@@ -1,0 +1,78 @@
+// Ablation A2: query result representation (§4.2 "Representing Query
+// Results") — object-lists versus id-lists versus the cost-based auto
+// decision, on two workload profiles:
+//   * state-churn  — updates mostly change document state in place
+//                    (object-lists get invalidated on every change;
+//                    id-lists survive because membership is stable);
+//   * member-churn — updates mostly move documents between groups (both
+//                    representations are invalidated; id-lists pay the
+//                    extra assembly round-trips for nothing).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace quaestor::bench {
+namespace {
+
+void RunProfile(const std::string& profile_name,
+                double membership_change_fraction) {
+  PrintHeader("Ablation A2 [" + profile_name + "]");
+  PrintColumns("policy",
+               {"q lat ms", "q hit rate", "invalidations", "purges"});
+
+  struct Policy {
+    std::string name;
+    core::RepresentationPolicy representation;
+    bool http2;
+  };
+  const std::vector<Policy> policies = {
+      {"object-list", core::RepresentationPolicy::kAlwaysObjectList, false},
+      {"id-list", core::RepresentationPolicy::kAlwaysIdList, false},
+      {"id-list + HTTP/2 push", core::RepresentationPolicy::kAlwaysIdList,
+       true},
+      {"auto (cost-based)", core::RepresentationPolicy::kAuto, false},
+  };
+
+  for (const Policy& policy : policies) {
+    workload::WorkloadOptions w = DefaultWorkload();
+    w.update_weight = 0.05;
+    w.read_weight = 0.475;
+    w.query_weight = 0.475;
+    w.membership_change_fraction = membership_change_fraction;
+
+    sim::SimOptions s = DefaultSim();
+    s.duration = SecondsToMicros(40.0);
+    s.warmup = SecondsToMicros(8.0);
+    s.server_options.representation = policy.representation;
+    s.client_options.http2 = policy.http2;
+
+    sim::Simulation simulation(w, s);
+    sim::SimResults r = simulation.Run();
+    PrintRow(policy.name,
+             {r.queries.latency.Mean(), r.queries.ClientHitRate(),
+              static_cast<double>(r.server_stats.query_invalidations),
+              static_cast<double>(r.cdn_stats.purges)});
+  }
+}
+
+void Run() {
+  RunProfile("state-churn: 90% in-place updates", 0.1);
+  RunProfile("member-churn: 90% membership moves", 0.9);
+  PrintNote("expected: id-lists dodge invalidations under state churn but");
+  PrintNote("pay assembly latency; object-lists win under member churn.");
+  PrintNote("the auto policy cuts invalidation load like id-lists while");
+  PrintNote("bounding assembly cost; a statically well-chosen");
+  PrintNote("representation can still beat it on pure workloads.");
+  PrintNote("HTTP/2 push removes the id-list assembly penalty entirely —");
+  PrintNote("the paper's §7 claim that push makes id-lists strictly best");
+}
+
+}  // namespace
+}  // namespace quaestor::bench
+
+int main() {
+  quaestor::bench::Run();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Ablation A1: the TTL estimation model (§3 straw-man vs §4.2 design).
+//
+// Compares three strategies on the same workload:
+//   * static TTL   — one constant application-defined TTL for everything
+//                    (the straw-man of §3): short → poor hit rates,
+//                    long → many invalidations and a bloated EBF;
+//   * Poisson only — per-record write-rate model, no feedback;
+//   * Poisson+EWMA — the full Quaestor estimator (Equations 1 and 2).
+// Reported per strategy: query hit rate, stale rate, invalidations, and
+// the EBF stale-set size (estimation errors inflate it, §4.2).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace quaestor::bench {
+namespace {
+
+struct Strategy {
+  std::string name;
+  ttl::TtlOptions options;
+};
+
+void Run() {
+  const Micros kStatic = SecondsToMicros(30.0);
+  std::vector<Strategy> strategies;
+  {
+    Strategy s;
+    s.name = "static TTL 30s";
+    s.options.min_ttl = kStatic;
+    s.options.max_ttl = kStatic;  // min == max → constant TTL
+    s.options.use_ewma = false;
+    strategies.push_back(s);
+  }
+  {
+    Strategy s;
+    s.name = "static TTL 300s";
+    s.options.min_ttl = SecondsToMicros(300.0);
+    s.options.max_ttl = SecondsToMicros(300.0);
+    s.options.use_ewma = false;
+    strategies.push_back(s);
+  }
+  {
+    Strategy s;
+    s.name = "Poisson only";
+    s.options.use_ewma = false;
+    strategies.push_back(s);
+  }
+  {
+    Strategy s;
+    s.name = "Poisson + EWMA";
+    strategies.push_back(s);
+  }
+
+  PrintHeader("Ablation A1: TTL estimation strategies");
+  PrintColumns("strategy",
+               {"q hit rate", "q stale", "invalidations", "ebf stale"});
+
+  for (const Strategy& strat : strategies) {
+    workload::WorkloadOptions w = DefaultWorkload();
+    w.update_weight = 0.05;
+    w.read_weight = 0.475;
+    w.query_weight = 0.475;
+
+    sim::SimOptions s = DefaultSim();
+    s.duration = SecondsToMicros(60.0);
+    s.warmup = SecondsToMicros(10.0);
+    s.server_options.ttl_options = strat.options;
+
+    sim::Simulation simulation(w, s);
+    sim::SimResults r = simulation.Run();
+    PrintRow(strat.name,
+             {r.queries.ClientHitRate(), r.queries.StaleRate(),
+              static_cast<double>(r.server_stats.query_invalidations),
+              static_cast<double>(
+                  simulation.server().ebf().StaleCount())});
+  }
+  PrintNote("expected: static TTLs buy hit rate at the price of staleness");
+  PrintNote("and invalidation-pipeline load; the adaptive estimator trades");
+  PrintNote("a few hits for markedly lower staleness and fewer");
+  PrintNote("invalidations (the §4.2 accuracy argument)");
+}
+
+}  // namespace
+}  // namespace quaestor::bench
+
+int main() {
+  quaestor::bench::Run();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E1 — §3.3 claim: "the Redis-based implementation of the Expiring Bloom
+// Filter provides sufficient performance to sustain a throughput of
+// >150 K queries or invalidations per second for each Redis instance."
+//
+// google-benchmark micro-benchmarks for both EBF variants (in-memory and
+// shared/KV-backed) across the three hot operations: ReportRead (every
+// cacheable response), ReportWrite (every invalidation), and Snapshot
+// (EBF handout / refresh).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "ebf/expiring_bloom_filter.h"
+#include "ebf/shared_ebf.h"
+#include "kv/kv_store.h"
+
+namespace quaestor::ebf {
+namespace {
+
+std::vector<std::string> MakeKeys(size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back("t/record-" + std::to_string(i));
+  }
+  return keys;
+}
+
+void BM_InMemoryReportRead(benchmark::State& state) {
+  SystemClock* clock = SystemClock::Default();
+  ExpiringBloomFilter ebf(clock);
+  const auto keys = MakeKeys(10000);
+  size_t i = 0;
+  for (auto _ : state) {
+    ebf.ReportRead(keys[i++ % keys.size()], SecondsToMicros(60.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InMemoryReportRead);
+
+void BM_InMemoryReportWrite(benchmark::State& state) {
+  SystemClock* clock = SystemClock::Default();
+  ExpiringBloomFilter ebf(clock);
+  const auto keys = MakeKeys(10000);
+  for (const auto& k : keys) ebf.ReportRead(k, SecondsToMicros(3600.0));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ebf.ReportWrite(keys[i++ % keys.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InMemoryReportWrite);
+
+void BM_InMemoryIsStale(benchmark::State& state) {
+  SystemClock* clock = SystemClock::Default();
+  ExpiringBloomFilter ebf(clock);
+  const auto keys = MakeKeys(10000);
+  for (const auto& k : keys) ebf.ReportRead(k, SecondsToMicros(3600.0));
+  for (size_t i = 0; i < keys.size(); i += 2) ebf.ReportWrite(keys[i]);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ebf.IsStale(keys[i++ % keys.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InMemoryIsStale);
+
+void BM_InMemorySnapshot(benchmark::State& state) {
+  SystemClock* clock = SystemClock::Default();
+  ExpiringBloomFilter ebf(clock);
+  const auto keys = MakeKeys(static_cast<size_t>(state.range(0)));
+  for (const auto& k : keys) ebf.ReportRead(k, SecondsToMicros(3600.0));
+  for (const auto& k : keys) ebf.ReportWrite(k);
+  for (auto _ : state) {
+    BloomFilter snap = ebf.Snapshot();
+    benchmark::DoNotOptimize(snap);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InMemorySnapshot)->Arg(1000)->Arg(20000);
+
+void BM_SharedReportRead(benchmark::State& state) {
+  SystemClock* clock = SystemClock::Default();
+  kv::KvStore kv(clock);
+  SharedEbf ebf(clock, &kv);
+  const auto keys = MakeKeys(10000);
+  size_t i = 0;
+  for (auto _ : state) {
+    ebf.ReportRead(keys[i++ % keys.size()], SecondsToMicros(60.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SharedReportRead);
+
+void BM_SharedReportWrite(benchmark::State& state) {
+  SystemClock* clock = SystemClock::Default();
+  kv::KvStore kv(clock);
+  SharedEbf ebf(clock, &kv);
+  const auto keys = MakeKeys(10000);
+  for (const auto& k : keys) ebf.ReportRead(k, SecondsToMicros(3600.0));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ebf.ReportWrite(keys[i++ % keys.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SharedReportWrite);
+
+}  // namespace
+}  // namespace quaestor::ebf
+
+BENCHMARK_MAIN();

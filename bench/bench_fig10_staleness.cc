@@ -1,0 +1,84 @@
+// Regenerates Figure 10: stale read and query rates for 10 and 100
+// clients under varying Bloom filter refresh intervals — the paper's
+// Monte Carlo staleness analysis (§6.2 "EBF-Bounded Staleness").
+//
+// Setting follows the paper: many clients with 6 connections each
+// (browser-typical), staleness measured as any linearizability violation
+// against the globally ordered commit log. Expected shapes: staleness
+// rises steeply between 1 s and 10 s refresh intervals and then flattens
+// (bounded by cache hit rates and write-through of own updates); query
+// staleness exceeds record staleness because query hit rates are higher.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace quaestor::bench {
+namespace {
+
+void Run() {
+  const std::vector<double> refresh_seconds = {1, 5, 10, 20, 30, 50};
+  const std::vector<size_t> client_counts = {10, 100};
+
+  std::vector<std::string> cols;
+  for (double r : refresh_seconds) {
+    cols.push_back(std::to_string(static_cast<int>(r)) + "s");
+  }
+
+  PrintHeader("Figure 10: stale rates vs Bloom filter refresh interval");
+  PrintColumns("series \\ refresh", cols);
+
+  for (size_t clients : client_counts) {
+    std::vector<double> stale_reads;
+    std::vector<double> stale_queries;
+    for (double refresh : refresh_seconds) {
+      workload::WorkloadOptions w = DefaultWorkload();
+      w.update_weight = 0.05;  // enough writes for measurable staleness
+      w.read_weight = 0.475;
+      w.query_weight = 0.475;
+
+      sim::SimOptions s = DefaultSim();
+      s.num_client_instances = clients;
+      s.connections_per_instance = 6;  // browser connection pool
+      s.think_time = MillisToMicros(100.0);
+      s.duration = SecondsToMicros(60.0);
+      s.warmup = SecondsToMicros(10.0);
+      s.client_options.ebf_refresh_interval = SecondsToMicros(refresh);
+      sim::Simulation simulation(w, s);
+      sim::SimResults r = simulation.Run();
+      stale_reads.push_back(r.reads.StaleRate());
+      stale_queries.push_back(r.queries.StaleRate());
+    }
+    PrintRow(std::to_string(clients) + " clients/queries", stale_queries);
+    PrintRow(std::to_string(clients) + " clients/reads", stale_reads);
+  }
+
+  // CDN staleness: governed by the invalidation latency, constantly below
+  // 0.1% in the paper. Measure with client caches disabled.
+  {
+    workload::WorkloadOptions w = DefaultWorkload();
+    w.update_weight = 0.05;
+    w.read_weight = 0.475;
+    w.query_weight = 0.475;
+    sim::SimOptions s = DefaultSim();
+    s.arch = sim::CacheArchitecture::CdnOnly();
+    s.num_client_instances = 10;
+    s.connections_per_instance = 6;
+    s.think_time = MillisToMicros(50.0);
+    s.duration = SecondsToMicros(60.0);
+    sim::Simulation simulation(w, s);
+    sim::SimResults r = simulation.Run();
+    PrintHeader("CDN staleness (paper: constantly below 0.1%)");
+    PrintRow("CDN stale rate (queries)", {r.queries.StaleRate()});
+    PrintRow("CDN stale rate (reads)", {r.reads.StaleRate()});
+  }
+}
+
+}  // namespace
+}  // namespace quaestor::bench
+
+int main() {
+  quaestor::bench::Run();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Regenerates Figure 11: the cumulative distribution of Quaestor's
+// estimated query TTLs against the true TTLs (time until the next
+// invalidation), at a 1% write rate.
+//
+// Expected shape: the two CDFs track each other over the bulk of the
+// distribution, with larger errors on the unpredictable long tail.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace quaestor::bench {
+namespace {
+
+std::vector<double> CdfAt(const std::vector<double>& sorted,
+                          const std::vector<double>& points) {
+  std::vector<double> out;
+  for (double p : points) {
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), p);
+    out.push_back(sorted.empty()
+                      ? 0.0
+                      : static_cast<double>(it - sorted.begin()) /
+                            static_cast<double>(sorted.size()));
+  }
+  return out;
+}
+
+void Run() {
+  workload::WorkloadOptions w = DefaultWorkload();
+  w.update_weight = 0.01;
+  w.read_weight = 0.299;
+  w.query_weight = 0.69;  // query-heavy to collect many TTL samples
+
+  sim::SimOptions s = DefaultSim();
+  s.duration = SecondsToMicros(120.0);
+  s.warmup = SecondsToMicros(10.0);
+  s.num_client_instances = 10;
+  s.connections_per_instance = 12;
+  // Shorter TTL ceiling so expirations and invalidations both occur
+  // within the (scaled-down) experiment duration.
+  s.server_options.ttl_options.max_ttl = SecondsToMicros(60.0);
+
+  sim::Simulation simulation(w, s);
+  sim::SimResults r = simulation.Run();
+
+  std::vector<double> estimated = r.estimated_ttls_s;
+  std::vector<double> true_ttls = r.true_ttls_s;
+  std::sort(estimated.begin(), estimated.end());
+  std::sort(true_ttls.begin(), true_ttls.end());
+
+  const std::vector<double> points = {1, 2, 5, 10, 20, 30, 45, 60};
+  std::vector<std::string> cols;
+  for (double p : points) {
+    cols.push_back(std::to_string(static_cast<int>(p)) + "s");
+  }
+
+  PrintHeader("Figure 11: CDF of estimated vs true query TTLs");
+  PrintRow("samples (est / true)",
+           {static_cast<double>(estimated.size()),
+            static_cast<double>(true_ttls.size())});
+  PrintColumns("series \\ TTL", cols);
+  PrintRow("Quaestor TTLs", CdfAt(estimated, points));
+  PrintRow("True TTLs", CdfAt(true_ttls, points));
+
+  // Distribution summary.
+  auto quantile = [](const std::vector<double>& v, double q) {
+    if (v.empty()) return 0.0;
+    return v[std::min(v.size() - 1,
+                      static_cast<size_t>(q * static_cast<double>(v.size())))];
+  };
+  PrintHeader("TTL distribution summary (seconds)");
+  PrintColumns("series", {"p25", "p50", "p75", "p90"});
+  PrintRow("Quaestor TTLs",
+           {quantile(estimated, 0.25), quantile(estimated, 0.5),
+            quantile(estimated, 0.75), quantile(estimated, 0.9)});
+  PrintRow("True TTLs",
+           {quantile(true_ttls, 0.25), quantile(true_ttls, 0.5),
+            quantile(true_ttls, 0.75), quantile(true_ttls, 0.9)});
+  PrintNote("expected: similar distributions for the bulk; tail diverges");
+}
+
+}  // namespace
+}  // namespace quaestor::bench
+
+int main() {
+  quaestor::bench::Run();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Regenerates Figures 8a/8b/8c of the paper: throughput, mean read
+// latency, and mean query latency versus the number of client connections
+// for the four architectures (Quaestor, EBF only, CDN only, Uncached) on
+// the read-heavy workload (99% reads+queries, 1% writes).
+//
+// Scale: connections are 1/10 of the paper's 300–3,000 (see
+// EXPERIMENTS.md); the comparison shape — Quaestor > CDN-only > EBF-only >
+// Uncached in throughput, and the inverse in latency — is the
+// reproduction target.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace quaestor::bench {
+namespace {
+
+struct ArchResult {
+  std::string name;
+  std::vector<double> throughput;
+  std::vector<double> read_latency;
+  std::vector<double> query_latency;
+};
+
+void Run() {
+  const std::vector<size_t> connection_counts = {30, 60, 120, 180, 240, 300};
+  const std::vector<std::pair<std::string, sim::CacheArchitecture>> archs = {
+      {"Quaestor", sim::CacheArchitecture::Quaestor()},
+      {"EBF only", sim::CacheArchitecture::EbfOnly()},
+      {"CDN only", sim::CacheArchitecture::CdnOnly()},
+      {"Uncached", sim::CacheArchitecture::Uncached()},
+  };
+
+  std::vector<ArchResult> results;
+  for (const auto& [name, arch] : archs) {
+    ArchResult ar;
+    ar.name = name;
+    for (size_t conns : connection_counts) {
+      sim::SimOptions s = DefaultSim();
+      s.arch = arch;
+      s.num_client_instances = 10;
+      s.connections_per_instance = conns / 10;
+      sim::Simulation simulation(DefaultWorkload(), s);
+      sim::SimResults r = simulation.Run();
+      ar.throughput.push_back(r.throughput_ops_s);
+      ar.read_latency.push_back(r.reads.latency.Mean());
+      ar.query_latency.push_back(r.queries.latency.Mean());
+    }
+    results.push_back(std::move(ar));
+  }
+
+  std::vector<std::string> cols;
+  for (size_t c : connection_counts) cols.push_back(std::to_string(c));
+
+  PrintHeader("Figure 8a: throughput (ops/s) vs connections");
+  PrintColumns("architecture \\ connections", cols);
+  for (const ArchResult& ar : results) PrintRow(ar.name, ar.throughput);
+
+  PrintHeader("Figure 8b: mean read latency (ms) vs connections");
+  PrintColumns("architecture \\ connections", cols);
+  for (const ArchResult& ar : results) PrintRow(ar.name, ar.read_latency);
+
+  PrintHeader("Figure 8c: mean query latency (ms) vs connections");
+  PrintColumns("architecture \\ connections", cols);
+  for (const ArchResult& ar : results) PrintRow(ar.name, ar.query_latency);
+
+  // Paper's headline claims at maximum load.
+  const ArchResult& quaestor = results[0];
+  const ArchResult& ebf_only = results[1];
+  const ArchResult& cdn_only = results[2];
+  const ArchResult& uncached = results[3];
+  const size_t last = connection_counts.size() - 1;
+  PrintHeader("Headline ratios at max connections (paper: 11x / 5x / 1.7x)");
+  PrintRow("Quaestor vs Uncached",
+           {quaestor.throughput[last] / uncached.throughput[last]});
+  PrintRow("Quaestor vs EBF only",
+           {quaestor.throughput[last] / ebf_only.throughput[last]});
+  PrintRow("Quaestor vs CDN only",
+           {quaestor.throughput[last] / cdn_only.throughput[last]});
+}
+
+}  // namespace
+}  // namespace quaestor::bench
+
+int main() {
+  quaestor::bench::Run();
+  return 0;
+}

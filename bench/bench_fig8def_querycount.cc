@@ -1,0 +1,87 @@
+// Regenerates Figures 8d/8e/8f: the effect of the number of distinct
+// queries on request latency and cache hit rates, plus the query latency
+// histogram at high load.
+//
+// Paper setting: 1,000–10,000 distinct queries over 10 tables; here 1/10
+// scale (100–1,000 queries over 10 tables × 1,000 documents). Expected
+// shapes: query latency grows with query count (client hit rate falls),
+// read latency *improves* (more records covered by cached results); CDN
+// hit rates stay comparatively stable.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace quaestor::bench {
+namespace {
+
+void Run() {
+  const std::vector<size_t> queries_per_table = {10, 20, 40, 70, 100};
+
+  std::vector<double> read_lat;
+  std::vector<double> query_lat;
+  std::vector<double> client_hit_q;
+  std::vector<double> client_hit_r;
+  std::vector<double> cdn_hit_q;
+  std::vector<double> cdn_hit_r;
+
+  for (size_t qpt : queries_per_table) {
+    workload::WorkloadOptions w = DefaultWorkload();
+    w.queries_per_table = qpt;
+    sim::SimOptions s = DefaultSim();
+    s.num_client_instances = 10;
+    s.connections_per_instance = 12;
+    sim::Simulation simulation(w, s);
+    sim::SimResults r = simulation.Run();
+    read_lat.push_back(r.reads.latency.Mean());
+    query_lat.push_back(r.queries.latency.Mean());
+    client_hit_q.push_back(r.queries.ClientHitRate());
+    client_hit_r.push_back(r.reads.ClientHitRate());
+    cdn_hit_q.push_back(r.queries.CdnHitRate());
+    cdn_hit_r.push_back(r.reads.CdnHitRate());
+  }
+
+  std::vector<std::string> cols;
+  for (size_t q : queries_per_table) {
+    cols.push_back(std::to_string(q * 10));  // total distinct queries
+  }
+
+  PrintHeader("Figure 8d: mean request latency (ms) vs total query count");
+  PrintColumns("series \\ query count", cols);
+  PrintRow("Queries", query_lat);
+  PrintRow("Reads", read_lat);
+
+  PrintHeader("Figure 8e: cache hit rates vs total query count");
+  PrintColumns("series \\ query count", cols);
+  PrintRow("Client/Qrs", client_hit_q);
+  PrintRow("Client/Reads", client_hit_r);
+  PrintRow("CDN/Qrs", cdn_hit_q);
+  PrintRow("CDN/Reads", cdn_hit_r);
+
+  // Figure 8f: latency distribution of queries at maximum load.
+  sim::SimOptions s = DefaultSim();
+  s.num_client_instances = 10;
+  s.connections_per_instance = 30;
+  sim::Simulation simulation(DefaultWorkload(), s);
+  sim::SimResults r = simulation.Run();
+  const double total = static_cast<double>(r.queries.count);
+  PrintHeader("Figure 8f: query latency histogram (share of requests)");
+  PrintRow("Client cache hits (~0 ms)",
+           {static_cast<double>(r.queries.client_hits) / total});
+  PrintRow("CDN cache hits (~4 ms)",
+           {static_cast<double>(r.queries.cdn_hits) / total});
+  PrintRow("Cache misses (~150 ms)",
+           {static_cast<double>(r.queries.origin) / total});
+  PrintRow("p50 latency (ms)", {r.queries.latency.Median()});
+  PrintRow("p99 latency (ms)", {r.queries.latency.P99()});
+  PrintNote("expected: client hits dominate, misses are the thin tail");
+}
+
+}  // namespace
+}  // namespace quaestor::bench
+
+int main() {
+  quaestor::bench::Run();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Regenerates Figure 9: client cache hit rates for queries under varying
+// update rates, for different EBF refresh intervals and query counts.
+//
+// Paper setting: 100k objects / 1k or 10k queries, update rate 0–0.20,
+// refresh intervals 1 s / 10 s / 100 s, 1,200 connections. Here 1/10
+// scale. Expected shapes: hit rates decay with the update rate; the
+// refresh interval has only limited influence (higher write rates also
+// shorten TTLs, §6.2 "Varying write rates"); more distinct queries lower
+// the curve.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace quaestor::bench {
+namespace {
+
+struct Config {
+  std::string label;
+  size_t num_tables;
+  size_t docs_per_table;
+  size_t docs_per_query;
+  double refresh_seconds;
+};
+
+void Run() {
+  const std::vector<double> update_rates = {0.0, 0.02, 0.05, 0.10, 0.20};
+  const std::vector<Config> configs = {
+      {"10k obj/1k queries/1 s", 10, 1000, 10, 1.0},
+      {"10k obj/1k queries/10 s", 10, 1000, 10, 10.0},
+      {"10k obj/1k queries/100 s", 10, 1000, 10, 100.0},
+      {"10k obj/2k queries/1 s", 20, 500, 5, 1.0},
+  };
+
+  std::vector<std::string> cols;
+  for (double u : update_rates) cols.push_back(std::to_string(u).substr(0, 4));
+
+  PrintHeader("Figure 9: query client-cache hit rate vs update rate");
+  PrintColumns("config \\ update rate", cols);
+
+  for (const Config& cfg : configs) {
+    std::vector<double> row;
+    for (double update_rate : update_rates) {
+      workload::WorkloadOptions w = DefaultWorkload();
+      w.num_tables = cfg.num_tables;
+      w.docs_per_table = cfg.docs_per_table;
+      w.docs_per_query = cfg.docs_per_query;
+      w.queries_per_table = 100;
+      w.update_weight = update_rate;
+      const double rest = 1.0 - update_rate;
+      w.read_weight = rest / 2.0;
+      w.query_weight = rest / 2.0;
+
+      sim::SimOptions s = DefaultSim();
+      s.num_client_instances = 10;
+      s.connections_per_instance = 12;  // paper's 1,200 connections / 100
+      s.duration = SecondsToMicros(15.0);
+      s.warmup = SecondsToMicros(4.0);
+      s.client_options.ebf_refresh_interval =
+          SecondsToMicros(cfg.refresh_seconds);
+      sim::Simulation simulation(w, s);
+      sim::SimResults r = simulation.Run();
+      row.push_back(r.queries.ClientHitRate());
+    }
+    PrintRow(cfg.label, row);
+  }
+  PrintNote("expected: monotone decay; refresh interval has little effect");
+}
+
+}  // namespace
+}  // namespace quaestor::bench
+
+int main() {
+  quaestor::bench::Run();
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Component micro-benchmarks (google-benchmark): the hot paths that sit
+// on Quaestor's critical request path — Bloom filter probes, query
+// normalization (cache-key derivation), predicate matching (InvaliDB's
+// per-update work), and document JSON (de)serialization.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "db/query.h"
+#include "db/table.h"
+#include "db/value.h"
+#include "ebf/bloom_filter.h"
+#include "invalidb/matching_node.h"
+
+namespace quaestor {
+namespace {
+
+void BM_BloomAdd(benchmark::State& state) {
+  ebf::BloomFilter bf;
+  size_t i = 0;
+  for (auto _ : state) {
+    bf.Add("key-" + std::to_string(i++ % 100000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomAdd);
+
+void BM_BloomContains(benchmark::State& state) {
+  ebf::BloomFilter bf;
+  for (int i = 0; i < 20000; ++i) bf.Add("key-" + std::to_string(i));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bf.MaybeContains("key-" + std::to_string(i++ % 40000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomContains);
+
+void BM_CountingBloomAddRemove(benchmark::State& state) {
+  ebf::CountingBloomFilter cbf;
+  size_t i = 0;
+  for (auto _ : state) {
+    const std::string key = "key-" + std::to_string(i++ % 10000);
+    cbf.Add(key);
+    cbf.Remove(key);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_CountingBloomAddRemove);
+
+void BM_QueryNormalize(benchmark::State& state) {
+  auto q = db::Query::ParseJson(
+      "posts",
+      R"({"tags":{"$contains":"example"},"views":{"$gte":10,"$lt":500},
+          "$or":[{"author":"ada"},{"author":"grace"}]})");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q->NormalizedKey());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueryNormalize);
+
+void BM_PredicateMatch(benchmark::State& state) {
+  auto q = db::Query::ParseJson(
+      "posts", R"({"tags":{"$contains":"example"},"views":{"$gte":10}})");
+  auto doc = db::Value::FromJson(
+      R"({"tags":["example","music"],"views":42,"title":"hello"})");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q->Matches(doc.value()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredicateMatch);
+
+void BM_MatchingNodeSweep(benchmark::State& state) {
+  // One update matched against `range(0)` installed queries — the unit of
+  // work behind Figure 12's per-node throughput.
+  invalidb::MatchingNode node;
+  const int num_queries = static_cast<int>(state.range(0));
+  for (int g = 0; g < num_queries; ++g) {
+    auto q = db::Query::ParseJson("posts",
+                                  "{\"group\":" + std::to_string(g) + "}");
+    node.AddQuery(q.value(), q->NormalizedKey(), {});
+  }
+  db::ChangeEvent ev;
+  ev.after.table = "posts";
+  ev.after.id = "d1";
+  ev.after.body = db::Value::FromJson(R"({"group":3,"views":1})").value();
+  std::vector<invalidb::Notification> out;
+  for (auto _ : state) {
+    out.clear();
+    node.Match(ev, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(num_queries));
+}
+BENCHMARK(BM_MatchingNodeSweep)->Arg(100)->Arg(500)->Arg(2000);
+
+void BM_TableExecuteScan(benchmark::State& state) {
+  db::Table table("t");
+  const int docs = static_cast<int>(state.range(0));
+  for (int i = 0; i < docs; ++i) {
+    (void)table.Insert(
+        "d" + std::to_string(i),
+        db::Value::FromJson(
+            ("{\"group\":" + std::to_string(i % 100) + "}").c_str())
+            .value(),
+        1);
+  }
+  auto q = db::Query::ParseJson("t", R"({"group":7})");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Execute(q.value()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TableExecuteScan)->Arg(1000)->Arg(10000);
+
+void BM_TableExecuteIndexed(benchmark::State& state) {
+  db::Table table("t");
+  const int docs = static_cast<int>(state.range(0));
+  for (int i = 0; i < docs; ++i) {
+    (void)table.Insert(
+        "d" + std::to_string(i),
+        db::Value::FromJson(
+            ("{\"group\":" + std::to_string(i % 100) + "}").c_str())
+            .value(),
+        1);
+  }
+  table.CreateIndex("group");
+  auto q = db::Query::ParseJson("t", R"({"group":7})");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Execute(q.value()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TableExecuteIndexed)->Arg(1000)->Arg(10000);
+
+void BM_JsonSerialize(benchmark::State& state) {
+  auto doc = db::Value::FromJson(
+      R"({"group":7,"title":"Post 123","author":"author42",
+          "views":10,"tags":["tag1","tag2"],"nested":{"a":[1,2,3]}})");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(doc->ToJson());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JsonSerialize);
+
+void BM_JsonParse(benchmark::State& state) {
+  const std::string json =
+      R"({"group":7,"title":"Post 123","author":"author42",)"
+      R"("views":10,"tags":["tag1","tag2"],"nested":{"a":[1,2,3]}})";
+  for (auto _ : state) {
+    auto v = db::Value::FromJson(json);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JsonParse);
+
+}  // namespace
+}  // namespace quaestor
+
+BENCHMARK_MAIN();

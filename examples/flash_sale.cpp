@@ -1,0 +1,126 @@
+// A flash-sale scenario modelled on the paper's production anecdote
+// (§6.2 "Production results"): an e-commerce shop featured on TV is hit
+// by a crowd of shoppers while stock counters keep changing. Quaestor
+// serves article pages and category queries from caches while InvaliDB
+// keeps stock information fresh.
+//
+// Build & run:  ./build/examples/flash_sale
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "client/client.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "core/server.h"
+#include "db/database.h"
+#include "webcache/web_cache.h"
+
+using namespace quaestor;
+
+int main() {
+  SimulatedClock clock(0);
+  db::Database database(&clock);
+  // Stock counters change constantly without altering which articles a
+  // category page shows — the cost-based representation model (§4.2)
+  // switches such queries to id-lists so the cached page survives stock
+  // updates and only the affected article record is refetched.
+  core::ServerOptions sopts;
+  sopts.representation = core::RepresentationPolicy::kAuto;
+  core::QuaestorServer server(&clock, &database, sopts);
+  webcache::InvalidationCache cdn(&clock);
+  server.AddPurgeTarget([&](const std::string& key) { cdn.Purge(key); });
+
+  // Catalogue: 50 articles in 5 categories, each with a stock counter.
+  for (int i = 0; i < 50; ++i) {
+    database.Insert(
+        "articles", "a" + std::to_string(i),
+        db::Value::FromJson(("{\"name\":\"Article " + std::to_string(i) +
+                             "\",\"category\":" + std::to_string(i % 5) +
+                             ",\"stock\":25,\"price\":" +
+                             std::to_string(10 + i) + "}")
+                                .c_str())
+            .value());
+  }
+
+  // The crowd: 40 shoppers with cold browser caches, 1 s staleness bound.
+  constexpr int kShoppers = 40;
+  std::vector<std::unique_ptr<webcache::ExpirationCache>> caches;
+  std::vector<std::unique_ptr<client::QuaestorClient>> shoppers;
+  client::ClientOptions copts;
+  copts.ebf_refresh_interval = SecondsToMicros(1.0);
+  // ∆ − ∆_invalidation optimization (§3.2): EBF-triggered revalidations
+  // are answered by the (purge-coherent) CDN instead of the origin.
+  copts.revalidate_at_cdn = true;
+  for (int i = 0; i < kShoppers; ++i) {
+    caches.push_back(std::make_unique<webcache::ExpirationCache>(&clock));
+    shoppers.push_back(std::make_unique<client::QuaestorClient>(
+        &clock, &server, caches.back().get(), &cdn, copts));
+    shoppers.back()->Connect();
+  }
+
+  Rng rng(7);
+  ZipfianGenerator hot_category(5, 0.99);  // everyone wants the TV item
+  double total_latency = 0.0;
+  uint64_t requests = 0;
+  int purchases = 0;
+
+  // 30 seconds of browsing: category pages + article views + purchases.
+  for (int second = 0; second < 30; ++second) {
+    for (int s = 0; s < kShoppers; ++s) {
+      client::QuaestorClient& shopper = *shoppers[s];
+      // Browse a category page.
+      const int cat = static_cast<int>(hot_category.Next(rng));
+      db::Query category_query =
+          db::Query::ParseJson(
+              "articles", "{\"category\":" + std::to_string(cat) + "}")
+              .value();
+      auto page = shopper.ExecuteQuery(category_query);
+      total_latency += page.outcome.latency_ms;
+      requests++;
+
+      // 5% of shoppers buy a random article from the page: the stock
+      // decrement invalidates the article record (and, for object-list
+      // pages, the page itself — which is why kAuto flips to id-lists).
+      if (!page.ids.empty() && rng.NextBool(0.05)) {
+        const std::string& key =
+            page.ids[rng.NextUint64(page.ids.size())];
+        const std::string id = key.substr(key.find('/') + 1);
+        db::Update buy;
+        buy.Inc("stock", db::Value(-1));
+        if (shopper.Update("articles", id, buy).ok()) purchases++;
+      }
+    }
+    clock.Advance(SecondsToMicros(1.0));
+  }
+
+  const webcache::CacheStats cdn_stats = cdn.stats();
+  const core::ServerStats stats = server.stats();
+  std::printf("flash sale over %d simulated seconds:\n", 30);
+  std::printf("  %llu page requests, %d purchases\n",
+              static_cast<unsigned long long>(requests), purchases);
+  std::printf("  mean page latency: %.1f ms\n",
+              total_latency / static_cast<double>(requests));
+  std::printf("  CDN: %llu hits / %llu purges (hit rate %.1f%%)\n",
+              static_cast<unsigned long long>(cdn_stats.hits),
+              static_cast<unsigned long long>(cdn_stats.purges),
+              cdn_stats.HitRate() * 100.0);
+  std::printf("  origin query evaluations: %llu (of %llu page views)\n",
+              static_cast<unsigned long long>(stats.query_reads),
+              static_cast<unsigned long long>(requests));
+  std::printf("  invalidations detected by InvaliDB: %llu\n",
+              static_cast<unsigned long long>(stats.query_invalidations));
+
+  // Stock must be exact at the origin regardless of caching.
+  int64_t remaining = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto doc = database.Get("articles", "a" + std::to_string(i));
+    remaining += doc->body.Find("stock")->as_int();
+  }
+  std::printf("  stock check: 1250 initial - %d sold = %lld remaining "
+              "(consistent: %s)\n",
+              purchases, static_cast<long long>(remaining),
+              remaining == 1250 - purchases ? "yes" : "NO");
+  return 0;
+}

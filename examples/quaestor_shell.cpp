@@ -1,0 +1,213 @@
+// quaestor_shell: an interactive REPL over a full in-process deployment —
+// poke at the system the way you would with mongosh/redis-cli.
+//
+//   ./build/examples/quaestor_shell            # interactive
+//   echo "..." | ./build/examples/quaestor_shell   # scripted
+//
+// Commands:
+//   insert <table> <id> <json>     insert a document
+//   update <table> <id> <json>     apply a MongoDB-style update document
+//   delete <table> <id>            delete a document
+//   get <table> <id>               read through the cache hierarchy
+//   query <table> <filter-json>    run a query through the caches
+//   subscribe <table> <filter>     print change-stream events as they occur
+//   bloom                          show EBF stats and staleness of a key
+//   stale <key>                    is <key> flagged in the EBF?
+//   refresh                        refresh this session's EBF
+//   advance <seconds>              advance the simulated clock
+//   stats                          server/cache counters
+//   help | quit
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "common/clock.h"
+#include "core/server.h"
+#include "core/streams.h"
+#include "db/database.h"
+#include "webcache/web_cache.h"
+
+using namespace quaestor;
+
+namespace {
+
+const char* Where(webcache::ServedBy s) {
+  switch (s) {
+    case webcache::ServedBy::kClientCache:
+      return "browser-cache";
+    case webcache::ServedBy::kExpirationCache:
+      return "proxy";
+    case webcache::ServedBy::kInvalidationCache:
+      return "cdn";
+    case webcache::ServedBy::kOrigin:
+      return "origin";
+  }
+  return "?";
+}
+
+void PrintHelp() {
+  std::printf(
+      "commands: insert|update|delete|get|query|subscribe|bloom|stale|"
+      "refresh|advance|stats|help|quit\n");
+}
+
+}  // namespace
+
+int main() {
+  SimulatedClock clock(0);
+  db::Database database(&clock);
+  core::QuaestorServer server(&clock, &database);
+  webcache::InvalidationCache cdn(&clock);
+  server.AddPurgeTarget([&](const std::string& key) { cdn.Purge(key); });
+  core::ChangeStreamHub hub(&server);
+  webcache::ExpirationCache browser(&clock);
+  client::ClientOptions copts;
+  copts.ebf_refresh_interval = SecondsToMicros(5.0);
+  client::QuaestorClient client(&clock, &server, &browser, &cdn, copts);
+  client.Connect();
+
+  std::printf("quaestor shell — type 'help' for commands\n");
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      PrintHelp();
+    } else if (cmd == "insert" || cmd == "update") {
+      std::string table, id, json;
+      in >> table >> id;
+      std::getline(in, json);
+      auto body = db::Value::FromJson(json);
+      if (!body.ok()) {
+        std::printf("bad json: %s\n", body.status().ToString().c_str());
+        continue;
+      }
+      if (cmd == "insert") {
+        auto r = client.Insert(table, id, std::move(body).value());
+        std::printf("%s\n", r.ok() ? ("v" + std::to_string(r->version)).c_str()
+                                   : r.status().ToString().c_str());
+      } else {
+        auto update = db::Update::Parse(body.value());
+        if (!update.ok()) {
+          std::printf("bad update: %s\n",
+                      update.status().ToString().c_str());
+          continue;
+        }
+        auto r = client.Update(table, id, update.value());
+        std::printf("%s\n", r.ok() ? ("v" + std::to_string(r->version)).c_str()
+                                   : r.status().ToString().c_str());
+      }
+    } else if (cmd == "delete") {
+      std::string table, id;
+      in >> table >> id;
+      auto r = client.Delete(table, id);
+      std::printf("%s\n", r.ok() ? "deleted" : r.status().ToString().c_str());
+    } else if (cmd == "get") {
+      std::string table, id;
+      in >> table >> id;
+      auto r = client.Read(table, id);
+      if (!r.status.ok()) {
+        std::printf("%s\n", r.status.ToString().c_str());
+      } else {
+        std::printf("%s  [v%llu via %s, %.1f ms%s]\n",
+                    r.doc.ToJson().c_str(),
+                    static_cast<unsigned long long>(r.version),
+                    Where(r.outcome.served_by), r.outcome.latency_ms,
+                    r.outcome.revalidated ? ", revalidated" : "");
+      }
+    } else if (cmd == "query") {
+      std::string table, json;
+      in >> table;
+      std::getline(in, json);
+      auto q = db::Query::ParseJson(table, json);
+      if (!q.ok()) {
+        std::printf("bad query: %s\n", q.status().ToString().c_str());
+        continue;
+      }
+      auto r = client.ExecuteQuery(q.value());
+      if (!r.status.ok()) {
+        std::printf("%s\n", r.status.ToString().c_str());
+        continue;
+      }
+      std::printf("%zu result(s) via %s, %.1f ms%s\n", r.ids.size(),
+                  Where(r.outcome.served_by), r.outcome.latency_ms,
+                  r.outcome.revalidated ? ", revalidated" : "");
+      for (size_t i = 0; i < r.ids.size(); ++i) {
+        std::printf("  %s %s\n", r.ids[i].c_str(),
+                    i < r.docs.size() ? r.docs[i].ToJson().c_str() : "");
+      }
+    } else if (cmd == "subscribe") {
+      std::string table, json;
+      in >> table;
+      std::getline(in, json);
+      auto q = db::Query::ParseJson(table, json);
+      if (!q.ok()) {
+        std::printf("bad query: %s\n", q.status().ToString().c_str());
+        continue;
+      }
+      std::vector<db::Document> initial;
+      auto id = hub.Subscribe(
+          q.value(),
+          [](const core::StreamEvent& ev) {
+            std::printf("  ~ %s %s%s\n",
+                        std::string(
+                            invalidb::NotificationTypeName(ev.type))
+                            .c_str(),
+                        ev.record_id.c_str(),
+                        ev.has_body ? (" " + ev.body.ToJson()).c_str() : "");
+          },
+          &initial);
+      if (!id.ok()) {
+        std::printf("%s\n", id.status().ToString().c_str());
+      } else {
+        std::printf("subscribed (#%llu), %zu initial result(s)\n",
+                    static_cast<unsigned long long>(id.value()),
+                    initial.size());
+      }
+    } else if (cmd == "bloom") {
+      auto snap = server.BloomSnapshot();
+      std::printf("EBF: %zu bits, fill %.4f, est. fpr %.4f, %zu stale keys\n",
+                  snap.params().num_bits, snap.FillRatio(),
+                  snap.EstimatedFpr(), server.ebf().StaleCount());
+    } else if (cmd == "stale") {
+      std::string key;
+      in >> key;
+      std::printf("%s\n", server.ebf().IsStale(key) ? "stale" : "fresh");
+    } else if (cmd == "refresh") {
+      client.RefreshEbf();
+      std::printf("EBF refreshed\n");
+    } else if (cmd == "advance") {
+      double seconds = 0;
+      in >> seconds;
+      clock.Advance(SecondsToMicros(seconds));
+      std::printf("t = %.1f s\n", MicrosToSeconds(clock.NowMicros()));
+    } else if (cmd == "stats") {
+      const core::ServerStats s = server.stats();
+      const webcache::CacheStats b = browser.stats();
+      const webcache::CacheStats c = cdn.stats();
+      std::printf("server: %llu reads, %llu queries, %llu writes, "
+                  "%llu invalidations\n",
+                  static_cast<unsigned long long>(s.record_reads),
+                  static_cast<unsigned long long>(s.query_reads),
+                  static_cast<unsigned long long>(s.writes),
+                  static_cast<unsigned long long>(s.query_invalidations));
+      std::printf("browser: %.0f%% hit rate (%llu entries)   "
+                  "cdn: %.0f%% hit rate (%llu purges)\n",
+                  b.HitRate() * 100,
+                  static_cast<unsigned long long>(browser.Size()),
+                  c.HitRate() * 100,
+                  static_cast<unsigned long long>(c.purges));
+    } else {
+      std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

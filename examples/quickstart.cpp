@@ -1,0 +1,116 @@
+// Quickstart: stand up a complete Quaestor deployment in-process —
+// document database, Quaestor server (TTL estimator + EBF + InvaliDB),
+// a CDN-style invalidation cache, and a browser client — then walk
+// through the cache behaviour of reads, queries, and writes.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "client/client.h"
+#include "common/clock.h"
+#include "core/server.h"
+#include "db/database.h"
+#include "webcache/web_cache.h"
+
+using namespace quaestor;
+
+namespace {
+
+const char* Where(webcache::ServedBy s) {
+  switch (s) {
+    case webcache::ServedBy::kClientCache:
+      return "browser cache";
+    case webcache::ServedBy::kExpirationCache:
+      return "ISP proxy";
+    case webcache::ServedBy::kInvalidationCache:
+      return "CDN edge";
+    case webcache::ServedBy::kOrigin:
+      return "origin (DBaaS)";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  // A simulated clock makes the run deterministic; production code would
+  // pass SystemClock::Default().
+  SimulatedClock clock(0);
+
+  // 1. The substrate: a document database.
+  db::Database database(&clock);
+
+  // 2. The Quaestor middleware on top of it.
+  core::QuaestorServer server(&clock, &database);
+
+  // 3. Web caching infrastructure: one CDN edge; the server purges it on
+  //    invalidations.
+  webcache::InvalidationCache cdn(&clock);
+  server.AddPurgeTarget([&](const std::string& key) { cdn.Purge(key); });
+
+  // 4. A browser session: client cache + SDK with a 1-second staleness
+  //    bound (∆-atomicity).
+  webcache::ExpirationCache browser(&clock);
+  client::ClientOptions copts;
+  copts.ebf_refresh_interval = SecondsToMicros(1.0);
+  client::QuaestorClient client(&clock, &server, &browser, &cdn, copts);
+  client.Connect();  // fetches the initial Expiring Bloom Filter
+
+  // --- Insert some data -----------------------------------------------
+  std::printf("== writing two articles ==\n");
+  client.Insert("articles", "a1",
+                db::Value::FromJson(
+                    R"({"title":"Hello Quaestor","category":"tech","views":0})")
+                    .value());
+  client.Insert("articles", "a2",
+                db::Value::FromJson(
+                    R"({"title":"Cache all the things","category":"tech",
+                        "views":0})")
+                    .value());
+
+  // --- Read a record ---------------------------------------------------
+  auto r1 = client.Read("articles", "a1");
+  std::printf("read a1: served by %s, latency %.1f ms\n",
+              Where(r1.outcome.served_by), r1.outcome.latency_ms);
+
+  // --- Run a query (MongoDB-style filter) ------------------------------
+  db::Query tech =
+      db::Query::ParseJson("articles", R"({"category":"tech"})").value();
+  auto q1 = client.ExecuteQuery(tech);
+  std::printf("query tech: %zu results, served by %s, latency %.1f ms\n",
+              q1.ids.size(), Where(q1.outcome.served_by),
+              q1.outcome.latency_ms);
+
+  // Served again: the cached result answers instantly.
+  auto q2 = client.ExecuteQuery(tech);
+  std::printf("query tech again: served by %s, latency %.1f ms\n",
+              Where(q2.outcome.served_by), q2.outcome.latency_ms);
+
+  // --- A write invalidates the cached query in real time ---------------
+  clock.Advance(SecondsToMicros(0.5));
+  db::Update bump;
+  bump.Set("category", db::Value("news"));
+  client.Update("articles", "a2", bump);
+  std::printf("\n== a2 moved to 'news': InvaliDB detected the change ==\n");
+  std::printf("EBF flags the query as stale: %s\n",
+              server.ebf().IsStale(tech.NormalizedKey()) ? "yes" : "no");
+
+  // After the staleness bound ∆ elapses, the next query refreshes the EBF
+  // and revalidates — the client sees the new result.
+  clock.Advance(SecondsToMicros(1.1));
+  auto q3 = client.ExecuteQuery(tech);
+  std::printf("query tech after ∆: %zu result(s), revalidated=%s, via %s\n",
+              q3.ids.size(), q3.outcome.revalidated ? "yes" : "no",
+              Where(q3.outcome.served_by));
+
+  // --- Server-side telemetry ------------------------------------------
+  const core::ServerStats stats = server.stats();
+  std::printf("\nserver stats: %llu query reads, %llu record reads, "
+              "%llu writes, %llu invalidations\n",
+              static_cast<unsigned long long>(stats.query_reads),
+              static_cast<unsigned long long>(stats.record_reads),
+              static_cast<unsigned long long>(stats.writes),
+              static_cast<unsigned long long>(stats.query_invalidations));
+  return 0;
+}

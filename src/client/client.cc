@@ -1,0 +1,314 @@
+#include "client/client.h"
+
+#include <algorithm>
+
+#include "ebf/expiring_bloom_filter.h"
+
+namespace quaestor::client {
+
+QuaestorClient::QuaestorClient(Clock* clock, core::QuaestorServer* server,
+                               webcache::ExpirationCache* client_cache,
+                               webcache::InvalidationCache* cdn,
+                               ClientOptions options,
+                               webcache::LatencyModel latency)
+    : clock_(clock),
+      server_(server),
+      client_cache_(client_cache),
+      hierarchy_(clock, client_cache, /*proxy=*/nullptr, cdn, server,
+                 latency),
+      options_(options),
+      latency_model_(latency) {
+  hierarchy_.set_auth_token(options_.auth_token);
+}
+
+void QuaestorClient::Connect() {
+  if (!options_.use_ebf) return;
+  bloom_ = server_->BloomSnapshot();
+  bloom_time_ = clock_->NowMicros();
+  whitelist_.clear();
+  read_newer_than_ebf_ = false;
+}
+
+void QuaestorClient::RefreshEbf() {
+  bloom_ = server_->BloomSnapshot();
+  bloom_time_ = clock_->NowMicros();
+  whitelist_.clear();
+  read_newer_than_ebf_ = false;
+  stats_.ebf_refreshes++;
+}
+
+Micros QuaestorClient::EbfAge() const {
+  return clock_->NowMicros() - bloom_time_;
+}
+
+webcache::FetchMode QuaestorClient::DecideMode(const std::string& key,
+                                               RequestOutcome* outcome) {
+  const webcache::FetchMode reval = options_.revalidate_at_cdn
+                                        ? webcache::FetchMode::kRevalidateAtCdn
+                                        : webcache::FetchMode::kRevalidate;
+  if (options_.consistency == ConsistencyLevel::kStrong) {
+    // Strong consistency: explicit revalidation, cache miss at all levels
+    // (Figure 4) — always end-to-end regardless of the CDN optimization.
+    outcome->revalidated = true;
+    return webcache::FetchMode::kRevalidate;
+  }
+  if (!options_.use_ebf) return webcache::FetchMode::kNormal;
+  if (options_.use_table_ebfs) {
+    return DecideModeTablePartitioned(key, outcome);
+  }
+  if (!bloom_.has_value()) return webcache::FetchMode::kNormal;
+  // ∆ elapsed: promote this request to a revalidation piggybacking a
+  // fresh EBF (§3.1 Freshness Policies — non-disruptive refresh).
+  if (EbfAge() >= options_.ebf_refresh_interval) {
+    RefreshEbf();
+    outcome->ebf_refreshed = true;
+    outcome->revalidated = true;
+    return reval;
+  }
+  // Causal opt-in: after observing data newer than the EBF, reads must
+  // revalidate until the next refresh (§3.2).
+  if (options_.consistency == ConsistencyLevel::kCausal &&
+      read_newer_than_ebf_) {
+    outcome->revalidated = true;
+    return reval;
+  }
+  if (bloom_->MaybeContains(key) && whitelist_.count(key) == 0) {
+    outcome->revalidated = true;
+    return reval;
+  }
+  return webcache::FetchMode::kNormal;
+}
+
+void QuaestorClient::EraseWhitelistForTable(const std::string& table) {
+  for (auto it = whitelist_.begin(); it != whitelist_.end();) {
+    if (ebf::PartitionedEbf::TableOfKey(*it) == table) {
+      it = whitelist_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+webcache::FetchMode QuaestorClient::DecideModeTablePartitioned(
+    const std::string& key, RequestOutcome* outcome) {
+  const webcache::FetchMode reval = options_.revalidate_at_cdn
+                                        ? webcache::FetchMode::kRevalidateAtCdn
+                                        : webcache::FetchMode::kRevalidate;
+  const std::string table = ebf::PartitionedEbf::TableOfKey(key);
+  const Micros now = clock_->NowMicros();
+  auto it = table_ebfs_.find(table);
+  if (it == table_ebfs_.end()) {
+    // Lazy initial fetch of this table's filter (piggybacked).
+    TableEbf entry;
+    entry.filter = server_->BloomSnapshotForTable(table);
+    entry.fetched_at = now;
+    it = table_ebfs_.emplace(table, std::move(entry)).first;
+  } else if (now - it->second.fetched_at >= options_.ebf_refresh_interval) {
+    // ∆ elapsed for this table: refresh and promote to a revalidation.
+    it->second.filter = server_->BloomSnapshotForTable(table);
+    it->second.fetched_at = now;
+    EraseWhitelistForTable(table);
+    stats_.ebf_refreshes++;
+    outcome->ebf_refreshed = true;
+    outcome->revalidated = true;
+    return reval;
+  }
+  if (it->second.filter.MaybeContains(key) && whitelist_.count(key) == 0) {
+    outcome->revalidated = true;
+    return reval;
+  }
+  return webcache::FetchMode::kNormal;
+}
+
+void QuaestorClient::NoteServedBy(const webcache::FetchOutcome& fo,
+                                  RequestOutcome* out) {
+  out->served_by = fo.served_by;
+  out->latency_ms += fo.latency_ms;
+  switch (fo.served_by) {
+    case webcache::ServedBy::kClientCache:
+      stats_.client_cache_hits++;
+      break;
+    case webcache::ServedBy::kExpirationCache:
+    case webcache::ServedBy::kInvalidationCache:
+      stats_.cdn_hits++;
+      break;
+    case webcache::ServedBy::kOrigin:
+      stats_.origin_fetches++;
+      // Data fresher than the current EBF has been observed.
+      read_newer_than_ebf_ = true;
+      break;
+  }
+}
+
+bool QuaestorClient::IsRegression(const std::string& key,
+                                  uint64_t version) const {
+  auto it = seen_versions_.find(key);
+  return it != seen_versions_.end() && version < it->second;
+}
+
+void QuaestorClient::NoteVersion(const std::string& key, uint64_t version) {
+  uint64_t& v = seen_versions_[key];
+  v = std::max(v, version);
+}
+
+ReadResult QuaestorClient::Read(const std::string& table,
+                                const std::string& id) {
+  const std::string key = table + "/" + id;
+  stats_.reads++;
+  ReadResult result;
+  webcache::FetchMode mode = DecideMode(key, &result.outcome);
+  if (result.outcome.revalidated) stats_.revalidations++;
+
+  webcache::FetchOutcome fo = hierarchy_.Fetch(key, mode);
+  NoteServedBy(fo, &result.outcome);
+  if (!fo.ok) {
+    result.status = Status::NotFound(key);
+    return result;
+  }
+
+  // Monotonic reads: a different cache may serve an older version than
+  // this session has already seen — trigger a revalidation (§3.2).
+  if (IsRegression(key, fo.etag)) {
+    webcache::FetchOutcome fresh =
+        hierarchy_.Fetch(key, webcache::FetchMode::kRevalidate);
+    result.outcome.revalidated = true;
+    stats_.revalidations++;
+    NoteServedBy(fresh, &result.outcome);
+    if (!fresh.ok) {
+      result.status = Status::NotFound(key);
+      return result;
+    }
+    fo = std::move(fresh);
+  }
+  NoteVersion(key, fo.etag);
+  // Differential whitelisting (§3.3): any key revalidated since the last
+  // EBF renewal — at the origin or at a purge-coherent CDN — is fresh
+  // until the next renewal.
+  if (result.outcome.revalidated ||
+      fo.served_by == webcache::ServedBy::kOrigin) {
+    whitelist_.insert(key);
+  }
+
+  auto doc = db::Value::FromJson(fo.body);
+  if (!doc.ok()) {
+    result.status = doc.status();
+    return result;
+  }
+  result.doc = std::move(doc).value();
+  result.version = fo.etag;
+  return result;
+}
+
+QueryResult QuaestorClient::ExecuteQuery(const db::Query& query) {
+  const std::string key = query.NormalizedKey();
+  // The HTTP URL carries the query; the server can always decode it.
+  server_->RegisterQueryShape(query);
+  stats_.queries++;
+  QueryResult result;
+  webcache::FetchMode mode = DecideMode(key, &result.outcome);
+  if (result.outcome.revalidated) stats_.revalidations++;
+
+  webcache::FetchOutcome fo = hierarchy_.Fetch(key, mode);
+  NoteServedBy(fo, &result.outcome);
+  if (!fo.ok) {
+    result.status = Status::NotFound(key);
+    return result;
+  }
+  if (result.outcome.revalidated ||
+      fo.served_by == webcache::ServedBy::kOrigin) {
+    whitelist_.insert(key);
+  }
+
+  auto parsed = core::QueryResponse::FromJson(fo.body);
+  if (!parsed.ok()) {
+    result.status = parsed.status();
+    return result;
+  }
+  core::QueryResponse& qr = parsed.value();
+  result.etag = fo.etag;
+  result.ids = qr.ids;
+  result.representation = qr.representation;
+
+  if (qr.representation == ttl::ResultRepresentation::kObjectList) {
+    // Results are inserted into the cache as individual record entries
+    // (§6.2) — bounded by the result's own remaining freshness.
+    for (size_t i = 0; i < qr.ids.size(); ++i) {
+      const Micros record_ttl =
+          std::min(qr.record_ttls[i], fo.remaining_ttl);
+      if (client_cache_ != nullptr && record_ttl > 0) {
+        client_cache_->Put(qr.ids[i], qr.docs[i].ToJson(), qr.versions[i],
+                           record_ttl);
+      }
+      NoteVersion(qr.ids[i], qr.versions[i]);
+    }
+    result.docs = std::move(qr.docs);
+    return result;
+  }
+
+  // Id-list: assemble the result with per-record reads. Browsers issue
+  // these in parallel over multiple connections, so the added latency is
+  // the slowest single fetch, not the sum. Under HTTP/2 (§7) the server
+  // pushes the member records with the id-list frame, so assembly adds no
+  // round-trips at all.
+  double max_record_latency = 0.0;
+  for (const std::string& record_key : qr.ids) {
+    const size_t slash = record_key.find('/');
+    if (slash == std::string::npos) continue;
+    ReadResult rr =
+        Read(record_key.substr(0, slash), record_key.substr(slash + 1));
+    if (rr.status.ok()) {
+      result.docs.push_back(std::move(rr.doc));
+      max_record_latency =
+          std::max(max_record_latency, rr.outcome.latency_ms);
+    }
+  }
+  if (!options_.http2) result.outcome.latency_ms += max_record_latency;
+  return result;
+}
+
+void QuaestorClient::CacheOwnWrite(const db::Document& doc) {
+  NoteVersion(doc.Key(), doc.version);
+  if (client_cache_ == nullptr) return;
+  if (doc.deleted) {
+    client_cache_->Remove(doc.Key());
+    return;
+  }
+  // Read-your-writes: the session serves its own writes from the local
+  // cache (§3.2).
+  client_cache_->Put(doc.Key(), doc.body.ToJson(), doc.version,
+                     options_.own_write_ttl);
+}
+
+Result<db::Document> QuaestorClient::Insert(const std::string& table,
+                                            const std::string& id,
+                                            db::Value body) {
+  stats_.writes++;
+  auto res = server_->Insert(server_->auth().Resolve(options_.auth_token),
+                             table, id, std::move(body));
+  if (res.ok()) CacheOwnWrite(res.value());
+  return res;
+}
+
+Result<db::Document> QuaestorClient::Update(const std::string& table,
+                                            const std::string& id,
+                                            const db::Update& update) {
+  stats_.writes++;
+  // Beginning an update drops the record from the session's own cache.
+  if (client_cache_ != nullptr) client_cache_->Remove(table + "/" + id);
+  auto res = server_->Update(server_->auth().Resolve(options_.auth_token),
+                             table, id, update);
+  if (res.ok()) CacheOwnWrite(res.value());
+  return res;
+}
+
+Result<db::Document> QuaestorClient::Delete(const std::string& table,
+                                            const std::string& id) {
+  stats_.writes++;
+  if (client_cache_ != nullptr) client_cache_->Remove(table + "/" + id);
+  auto res = server_->Delete(server_->auth().Resolve(options_.auth_token),
+                             table, id);
+  if (res.ok()) CacheOwnWrite(res.value());
+  return res;
+}
+
+}  // namespace quaestor::client

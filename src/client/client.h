@@ -1,0 +1,220 @@
+#ifndef QUAESTOR_CLIENT_CLIENT_H_
+#define QUAESTOR_CLIENT_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "core/query_result.h"
+#include "core/server.h"
+#include "db/query.h"
+#include "db/update.h"
+#include "db/value.h"
+#include "ebf/bloom_filter.h"
+#include "webcache/hierarchy.h"
+#include "webcache/web_cache.h"
+
+namespace quaestor::client {
+
+/// Client-side consistency levels (Figure 4). ∆-atomicity, monotonic
+/// writes, read-your-writes and monotonic reads are always provided;
+/// causal and strong consistency are opt-in with a performance penalty.
+enum class ConsistencyLevel {
+  kDeltaAtomic,
+  kCausal,
+  kStrong,
+};
+
+/// SDK configuration.
+struct ClientOptions {
+  /// ∆: the EBF refresh interval. Staleness is bounded by this value
+  /// (Theorem 1). The first request after ∆ elapses is promoted to a
+  /// revalidation that piggybacks a fresh EBF (§3.1 Freshness Policies).
+  Micros ebf_refresh_interval = SecondsToMicros(1.0);
+
+  ConsistencyLevel consistency = ConsistencyLevel::kDeltaAtomic;
+
+  /// Consult the Expiring Bloom Filter before reads (disabled for the
+  /// "CDN only" and "Uncached" baselines).
+  bool use_ebf = true;
+
+  /// Load table-specific EBF partitions (lazily, per accessed table)
+  /// instead of the single aggregate filter — §3.3: lowers the total
+  /// false-positive rate at the expense of more individual transfers.
+  /// The causal consistency level requires the aggregate mode.
+  bool use_table_ebfs = false;
+
+  /// Let EBF-triggered revalidations be served by the invalidation-based
+  /// cache instead of the origin (the ∆ − ∆_invalidation optimization of
+  /// §3.2 — trades invalidation latency for backend offload).
+  bool revalidate_at_cdn = false;
+
+  /// TTL for the client's own writes in its session cache
+  /// (read-your-writes).
+  Micros own_write_ttl = SecondsToMicros(60.0);
+
+  /// Bearer token for this session (empty = anonymous). Sent with every
+  /// origin request and used for write authorization.
+  std::string auth_token;
+
+  /// HTTP/2 transport semantics (§7): the server pushes the member
+  /// records of an id-list result over the multiplexed connection, so
+  /// result assembly adds no round-trip latency ("simplify the query
+  /// result representation to always favor id-lists without any
+  /// performance downsides").
+  bool http2 = false;
+};
+
+/// Per-request outcome telemetry.
+struct RequestOutcome {
+  webcache::ServedBy served_by = webcache::ServedBy::kOrigin;
+  double latency_ms = 0.0;
+  bool revalidated = false;       // EBF (or consistency level) forced it
+  bool ebf_refreshed = false;     // this request piggybacked a new EBF
+};
+
+/// Result of a record read.
+struct ReadResult {
+  Status status = Status::OK();
+  db::Value doc;
+  uint64_t version = 0;
+  RequestOutcome outcome;
+};
+
+/// Result of a query.
+struct QueryResult {
+  Status status = Status::OK();
+  std::vector<std::string> ids;
+  std::vector<db::Value> docs;
+  uint64_t etag = 0;
+  ttl::ResultRepresentation representation =
+      ttl::ResultRepresentation::kObjectList;
+  RequestOutcome outcome;
+};
+
+/// Aggregate client counters.
+struct ClientStats {
+  uint64_t reads = 0;
+  uint64_t queries = 0;
+  uint64_t writes = 0;
+  uint64_t revalidations = 0;
+  uint64_t ebf_refreshes = 0;
+  uint64_t client_cache_hits = 0;
+  uint64_t cdn_hits = 0;
+  uint64_t origin_fetches = 0;
+};
+
+/// The Quaestor client SDK (the "SDK (Data API)" box in Figure 3): wraps a
+/// cache hierarchy, transparently consults the Expiring Bloom Filter
+/// before every read, maintains the session guarantees (read-your-writes,
+/// monotonic reads) and executes the configured freshness policy.
+///
+/// Not thread-safe: one instance models one browser session (use one
+/// instance per simulated client).
+class QuaestorClient {
+ public:
+  /// `client_cache` may be nullptr (no browser cache); `cdn` may be
+  /// nullptr (no CDN). The client owns neither.
+  QuaestorClient(Clock* clock, core::QuaestorServer* server,
+                 webcache::ExpirationCache* client_cache,
+                 webcache::InvalidationCache* cdn,
+                 ClientOptions options = ClientOptions(),
+                 webcache::LatencyModel latency = webcache::LatencyModel());
+
+  /// Fetches the initial EBF (piggybacked on connect, §3.1). Costs one
+  /// origin round-trip.
+  void Connect();
+
+  // -- Reads --
+
+  ReadResult Read(const std::string& table, const std::string& id);
+
+  QueryResult ExecuteQuery(const db::Query& query);
+
+  // -- Writes (monotonic writes are guaranteed by the database) --
+
+  Result<db::Document> Insert(const std::string& table, const std::string& id,
+                              db::Value body);
+  Result<db::Document> Update(const std::string& table, const std::string& id,
+                              const db::Update& update);
+  Result<db::Document> Delete(const std::string& table, const std::string& id);
+
+  /// Forces an EBF refresh now (beyond the automatic ∆ policy).
+  void RefreshEbf();
+
+  /// Age of the current EBF (µs): the ∆ actually in force.
+  Micros EbfAge() const;
+
+  ClientStats stats() const { return stats_; }
+  const ClientOptions& options() const { return options_; }
+
+  /// Write latency (one origin round-trip) — exposed for simulators.
+  double WriteLatencyMs() const { return latency_model_.origin_ms; }
+
+  /// The server this session talks to (transactions commit through it).
+  core::QuaestorServer* server() { return server_; }
+
+  /// Absorbs an externally committed write (e.g. a transaction's
+  /// after-image) into the session: read-your-writes and monotonic-reads
+  /// state are updated as if this session had written it.
+  void AbsorbWrite(const db::Document& doc) { CacheOwnWrite(doc); }
+
+ private:
+  /// Decides the fetch mode for a key: EBF lookup + whitelist +
+  /// consistency level; refreshes the EBF when ∆ elapsed.
+  webcache::FetchMode DecideMode(const std::string& key,
+                                 RequestOutcome* outcome);
+
+  void NoteServedBy(const webcache::FetchOutcome& fo, RequestOutcome* out);
+
+  /// Monotonic reads: returns true if `version` regresses below the
+  /// highest version this session has seen for `key`.
+  bool IsRegression(const std::string& key, uint64_t version) const;
+  void NoteVersion(const std::string& key, uint64_t version);
+
+  void CacheOwnWrite(const db::Document& doc);
+
+  Clock* clock_;
+  core::QuaestorServer* server_;
+  webcache::ExpirationCache* client_cache_;
+  webcache::CacheHierarchy hierarchy_;
+  ClientOptions options_;
+  webcache::LatencyModel latency_model_;
+
+  /// Returns the fetch mode implied by the table-partitioned EBF policy
+  /// (use_table_ebfs): lazily fetches/refreshes the key's table filter.
+  webcache::FetchMode DecideModeTablePartitioned(const std::string& key,
+                                                 RequestOutcome* outcome);
+
+  void EraseWhitelistForTable(const std::string& table);
+
+  std::optional<ebf::BloomFilter> bloom_;
+  Micros bloom_time_ = 0;
+  /// Per-table filters (use_table_ebfs mode).
+  struct TableEbf {
+    ebf::BloomFilter filter;
+    Micros fetched_at = 0;
+  };
+  std::map<std::string, TableEbf> table_ebfs_;
+  /// Keys revalidated since the last EBF renewal — treated as fresh
+  /// ("differential whitelisting", §3.3).
+  std::set<std::string> whitelist_;
+  /// Monotonic-reads bookkeeping: highest seen version per key.
+  std::unordered_map<std::string, uint64_t> seen_versions_;
+  /// Causal mode: a read newer than the EBF was observed; reads must
+  /// revalidate until the next refresh (§3.2 Opt-in Consistency).
+  bool read_newer_than_ebf_ = false;
+
+  ClientStats stats_;
+};
+
+}  // namespace quaestor::client
+
+#endif  // QUAESTOR_CLIENT_CLIENT_H_

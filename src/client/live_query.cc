@@ -1,0 +1,138 @@
+#include "client/live_query.h"
+
+#include <algorithm>
+
+#include "core/server.h"
+
+namespace quaestor::client {
+
+LiveQuery::LiveQuery(core::ChangeStreamHub* hub,
+                     core::QuaestorServer* server, db::Query query)
+    : hub_(hub), server_(server), query_(std::move(query)) {
+  std::vector<db::Document> initial;
+  auto id = hub_->Subscribe(
+      query_, [this](const core::StreamEvent& ev) { OnEvent(ev); },
+      &initial);
+  if (!id.ok()) {
+    status_ = id.status();
+    return;
+  }
+  subscription_id_ = id.value();
+  std::lock_guard<std::mutex> lock(mu_);
+  result_ = std::move(initial);
+}
+
+LiveQuery::~LiveQuery() {
+  if (status_.ok()) hub_->Unsubscribe(subscription_id_);
+}
+
+std::vector<db::Document> LiveQuery::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return result_;
+}
+
+std::vector<std::string> LiveQuery::Ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> ids;
+  ids.reserve(result_.size());
+  for (const db::Document& d : result_) ids.push_back(d.id);
+  return ids;
+}
+
+size_t LiveQuery::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return result_.size();
+}
+
+uint64_t LiveQuery::change_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return change_count_;
+}
+
+uint64_t LiveQuery::resync_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resync_count_;
+}
+
+void LiveQuery::SetListener(std::function<void()> on_change) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listener_ = std::move(on_change);
+}
+
+void LiveQuery::ResyncLocked() {
+  result_ = server_->database().Execute(query_);
+  resync_count_++;
+}
+
+void LiveQuery::OnEvent(const core::StreamEvent& ev) {
+  std::function<void()> listener;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    change_count_++;
+    auto find = [this](const std::string& id) {
+      return std::find_if(result_.begin(), result_.end(),
+                          [&id](const db::Document& d) { return d.id == id; });
+    };
+    switch (ev.type) {
+      case invalidb::NotificationType::kAdd: {
+        if (!ev.has_body || find(ev.record_id) != result_.end()) {
+          ResyncLocked();
+          break;
+        }
+        db::Document doc;
+        doc.table = query_.table();
+        doc.id = ev.record_id;
+        doc.body = ev.body;
+        doc.write_time = ev.event_time;
+        if (ev.new_index >= 0 &&
+            static_cast<size_t>(ev.new_index) <= result_.size()) {
+          result_.insert(result_.begin() + ev.new_index, std::move(doc));
+        } else {
+          // Stateless result: keep deterministic id order.
+          auto pos = std::lower_bound(
+              result_.begin(), result_.end(), doc,
+              [](const db::Document& a, const db::Document& b) {
+                return a.id < b.id;
+              });
+          result_.insert(pos, std::move(doc));
+        }
+        break;
+      }
+      case invalidb::NotificationType::kRemove: {
+        auto it = find(ev.record_id);
+        if (it == result_.end()) {
+          ResyncLocked();
+          break;
+        }
+        result_.erase(it);
+        break;
+      }
+      case invalidb::NotificationType::kChange: {
+        auto it = find(ev.record_id);
+        if (it == result_.end() || !ev.has_body) {
+          ResyncLocked();
+          break;
+        }
+        it->body = ev.body;
+        it->write_time = ev.event_time;
+        break;
+      }
+      case invalidb::NotificationType::kChangeIndex: {
+        auto it = find(ev.record_id);
+        if (it == result_.end() || ev.new_index < 0 ||
+            static_cast<size_t>(ev.new_index) >= result_.size()) {
+          ResyncLocked();
+          break;
+        }
+        db::Document doc = std::move(*it);
+        result_.erase(it);
+        result_.insert(result_.begin() + ev.new_index, std::move(doc));
+        break;
+      }
+    }
+    listener = listener_;
+  }
+  if (listener) listener();
+}
+
+}  // namespace quaestor::client

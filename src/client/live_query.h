@@ -1,0 +1,75 @@
+#ifndef QUAESTOR_CLIENT_LIVE_QUERY_H_
+#define QUAESTOR_CLIENT_LIVE_QUERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/streams.h"
+#include "db/document.h"
+#include "db/query.h"
+
+namespace quaestor::client {
+
+/// A self-maintaining query result (§3.2: "the application can define its
+/// critical data set through queries and keep it up-to-date in
+/// real-time"). Subscribes to the query's change stream on construction
+/// and applies add / remove / change / changeIndex events to a local
+/// result copy; `Snapshot()` is always current without polling.
+///
+/// If the event stream ever becomes inconsistent with the local state
+/// (e.g. after missed events), the result is resynchronized from the
+/// origin and `resync_count()` increments.
+class LiveQuery {
+ public:
+  /// Subscribes immediately. Check `status()` before use.
+  LiveQuery(core::ChangeStreamHub* hub, core::QuaestorServer* server,
+            db::Query query);
+  ~LiveQuery();
+
+  LiveQuery(const LiveQuery&) = delete;
+  LiveQuery& operator=(const LiveQuery&) = delete;
+
+  /// OK when the subscription is active.
+  const Status& status() const { return status_; }
+
+  /// The current result, in query order (sorted queries keep their
+  /// window order; stateless results are id-ordered).
+  std::vector<db::Document> Snapshot() const;
+
+  std::vector<std::string> Ids() const;
+  size_t size() const;
+
+  /// Number of stream events applied so far.
+  uint64_t change_count() const;
+  uint64_t resync_count() const;
+
+  /// Invoked (synchronously, after the local state updated) on every
+  /// change to the result.
+  void SetListener(std::function<void()> on_change);
+
+  const db::Query& query() const { return query_; }
+
+ private:
+  void OnEvent(const core::StreamEvent& ev);
+  void ResyncLocked();
+
+  core::ChangeStreamHub* hub_;
+  core::QuaestorServer* server_;
+  db::Query query_;
+  Status status_;
+  uint64_t subscription_id_ = 0;
+
+  mutable std::mutex mu_;
+  std::vector<db::Document> result_;
+  uint64_t change_count_ = 0;
+  uint64_t resync_count_ = 0;
+  std::function<void()> listener_;
+};
+
+}  // namespace quaestor::client
+
+#endif  // QUAESTOR_CLIENT_LIVE_QUERY_H_

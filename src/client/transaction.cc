@@ -1,0 +1,110 @@
+#include "client/transaction.h"
+
+namespace quaestor::client {
+
+ClientTransaction::ClientTransaction(QuaestorClient* client)
+    : client_(client) {}
+
+ClientTransaction::Overlay* ClientTransaction::FindOverlay(
+    const std::string& key) {
+  auto it = overlays_.find(key);
+  return it == overlays_.end() ? nullptr : &it->second;
+}
+
+ReadResult ClientTransaction::Read(const std::string& table,
+                                   const std::string& id) {
+  const std::string key = table + "/" + id;
+  ReadResult result;
+  Overlay* ov = FindOverlay(key);
+  if (ov != nullptr && ov->deleted) {
+    result.status = Status::NotFound(key);
+    return result;
+  }
+  if (ov != nullptr && ov->has_value) {
+    // Buffered write or transaction-local snapshot: repeatable, free.
+    result.doc = ov->body;
+    result.outcome.served_by = webcache::ServedBy::kClientCache;
+    return result;
+  }
+
+  ReadResult rr = client_->Read(table, id);
+  // Record the observed version exactly once — this is what commit-time
+  // validation checks (0 = observed-as-absent).
+  request_.read_set.emplace(key, rr.status.ok() ? rr.version : 0);
+  if (!rr.status.ok()) return rr;
+
+  // Snapshot into the overlay so subsequent reads are repeatable.
+  Overlay& snap = overlays_[key];
+  snap.has_value = true;
+  snap.body = rr.doc;
+  return rr;
+}
+
+void ClientTransaction::Insert(const std::string& table,
+                               const std::string& id, db::Value body) {
+  const std::string key = table + "/" + id;
+  core::TxWrite w;
+  w.kind = core::TxWrite::Kind::kInsert;
+  w.table = table;
+  w.id = id;
+  w.body = body;
+  request_.writes.push_back(std::move(w));
+  Overlay& ov = overlays_[key];
+  ov.deleted = false;
+  ov.inserted = true;
+  ov.has_value = true;
+  ov.body = std::move(body);
+}
+
+void ClientTransaction::Update(const std::string& table,
+                               const std::string& id, db::Update update) {
+  const std::string key = table + "/" + id;
+  Overlay* ov = FindOverlay(key);
+  if (ov != nullptr && ov->has_value) {
+    // Keep the transaction-local view current (best effort; the server
+    // re-applies against the validated base at commit).
+    (void)update.ApplyTo(ov->body);
+  }
+  core::TxWrite w;
+  w.kind = core::TxWrite::Kind::kUpdate;
+  w.table = table;
+  w.id = id;
+  w.update = std::move(update);
+  request_.writes.push_back(std::move(w));
+}
+
+void ClientTransaction::Delete(const std::string& table,
+                               const std::string& id) {
+  const std::string key = table + "/" + id;
+  core::TxWrite w;
+  w.kind = core::TxWrite::Kind::kDelete;
+  w.table = table;
+  w.id = id;
+  request_.writes.push_back(std::move(w));
+  Overlay& ov = overlays_[key];
+  ov.deleted = true;
+  ov.has_value = false;
+  ov.inserted = false;
+}
+
+Result<core::CommitResult> ClientTransaction::Commit() {
+  if (committed_) {
+    return Status::FailedPrecondition("transaction already committed");
+  }
+  auto result = client_->server()->transactions().Commit(request_);
+  if (result.ok()) {
+    committed_ = true;
+    // The session keeps read-your-writes across the commit boundary.
+    for (const db::Document& doc : result->applied) {
+      client_->AbsorbWrite(doc);
+    }
+  }
+  return result;
+}
+
+void ClientTransaction::Rollback() {
+  request_ = core::TransactionRequest();
+  overlays_.clear();
+}
+
+}  // namespace quaestor::client

@@ -1,0 +1,77 @@
+#ifndef QUAESTOR_CLIENT_TRANSACTION_H_
+#define QUAESTOR_CLIENT_TRANSACTION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "common/result.h"
+#include "core/transactions.h"
+
+namespace quaestor::client {
+
+/// A client-side optimistic transaction (§3.2): reads execute through the
+/// normal cached read path (shrinking transaction duration — the paper's
+/// motivation for cache-accelerated transactions), collecting a read set
+/// of (key, observed version); writes are buffered locally and visible to
+/// the transaction's own reads. Commit ships read set + writes to the
+/// server, which validates with backwards-oriented OCC and applies
+/// atomically; a stale cached read or a concurrent conflicting write
+/// aborts (retry with `Commit` returning Status::Aborted).
+///
+/// Single-threaded like the owning client session. One-shot: after
+/// Commit() the transaction cannot be reused.
+class ClientTransaction {
+ public:
+  explicit ClientTransaction(QuaestorClient* client);
+
+  ClientTransaction(const ClientTransaction&) = delete;
+  ClientTransaction& operator=(const ClientTransaction&) = delete;
+
+  /// Transactional read: buffered writes overlay the cached read.
+  ReadResult Read(const std::string& table, const std::string& id);
+
+  /// Buffers an insert (fails at commit if the id exists).
+  void Insert(const std::string& table, const std::string& id,
+              db::Value body);
+
+  /// Buffers a partial update.
+  void Update(const std::string& table, const std::string& id,
+              db::Update update);
+
+  /// Buffers a delete.
+  void Delete(const std::string& table, const std::string& id);
+
+  /// Validates and applies at the server. On success the client session
+  /// absorbs the committed after-images (read-your-writes continuity).
+  /// Returns Status::Aborted on validation conflicts.
+  Result<core::CommitResult> Commit();
+
+  /// Discards all buffered state.
+  void Rollback();
+
+  size_t read_set_size() const { return request_.read_set.size(); }
+  size_t write_count() const { return request_.writes.size(); }
+  bool committed() const { return committed_; }
+
+ private:
+  struct Overlay {
+    bool deleted = false;
+    bool inserted = false;
+    bool has_value = false;
+    db::Value body;
+  };
+
+  /// Buffered view of a key, if any write touched it.
+  Overlay* FindOverlay(const std::string& key);
+
+  QuaestorClient* client_;
+  core::TransactionRequest request_;
+  std::map<std::string, Overlay> overlays_;
+  bool committed_ = false;
+};
+
+}  // namespace quaestor::client
+
+#endif  // QUAESTOR_CLIENT_TRANSACTION_H_

@@ -1,0 +1,18 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace quaestor {
+
+Micros SystemClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+SystemClock* SystemClock::Default() {
+  static SystemClock* const kInstance = new SystemClock();
+  return kInstance;
+}
+
+}  // namespace quaestor

@@ -1,0 +1,76 @@
+#ifndef QUAESTOR_COMMON_CLOCK_H_
+#define QUAESTOR_COMMON_CLOCK_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace quaestor {
+
+/// Time is represented as microseconds since an arbitrary epoch. All
+/// Quaestor components are written against this abstract clock so the same
+/// code runs under the real monotonic clock (InvaliDB throughput benches)
+/// and under the deterministic simulation clock (all staleness and latency
+/// experiments).
+using Micros = int64_t;
+
+constexpr Micros kMicrosPerMilli = 1000;
+constexpr Micros kMicrosPerSecond = 1000 * 1000;
+
+/// Converts seconds (fractional allowed) to microseconds.
+constexpr Micros SecondsToMicros(double seconds) {
+  return static_cast<Micros>(seconds * static_cast<double>(kMicrosPerSecond));
+}
+
+/// Converts microseconds to fractional seconds.
+constexpr double MicrosToSeconds(Micros us) {
+  return static_cast<double>(us) / static_cast<double>(kMicrosPerSecond);
+}
+
+/// Converts milliseconds (fractional allowed) to microseconds.
+constexpr Micros MillisToMicros(double millis) {
+  return static_cast<Micros>(millis * static_cast<double>(kMicrosPerMilli));
+}
+
+/// Converts microseconds to fractional milliseconds.
+constexpr double MicrosToMillis(Micros us) {
+  return static_cast<double>(us) / static_cast<double>(kMicrosPerMilli);
+}
+
+/// Abstract time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Returns the current time in microseconds since the clock's epoch.
+  virtual Micros NowMicros() const = 0;
+};
+
+/// Wall/monotonic clock backed by std::chrono::steady_clock.
+class SystemClock : public Clock {
+ public:
+  Micros NowMicros() const override;
+
+  /// Shared process-wide instance.
+  static SystemClock* Default();
+};
+
+/// Manually advanced clock for tests and discrete-event simulation.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(Micros start = 0) : now_(start) {}
+
+  Micros NowMicros() const override { return now_; }
+
+  /// Advances the clock by `delta` microseconds (must be non-negative).
+  void Advance(Micros delta) { now_ += delta; }
+
+  /// Jumps the clock to `t`; `t` must not be in the past.
+  void SetTime(Micros t) { now_ = t; }
+
+ private:
+  Micros now_;
+};
+
+}  // namespace quaestor
+
+#endif  // QUAESTOR_COMMON_CLOCK_H_

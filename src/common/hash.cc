@@ -1,0 +1,68 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace quaestor {
+
+namespace {
+
+inline uint64_t FMix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+}  // namespace
+
+uint64_t Hash64(const void* data, size_t len, uint64_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  const uint64_t m = 0xc6a4a7935bd1e995ULL;
+  const int r = 47;
+  uint64_t h = seed ^ (len * m);
+
+  while (len >= 8) {
+    uint64_t k;
+    std::memcpy(&k, p, 8);
+    k *= m;
+    k ^= k >> r;
+    k *= m;
+    h ^= k;
+    h *= m;
+    p += 8;
+    len -= 8;
+  }
+
+  uint64_t tail = 0;
+  std::memcpy(&tail, p, len);
+  if (len > 0) {
+    h ^= tail;
+    h *= m;
+  }
+  return FMix64(h);
+}
+
+uint64_t Hash64(std::string_view s, uint64_t seed) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+uint64_t Hash64(uint64_t x, uint64_t seed) {
+  return FMix64(x + seed * 0x9e3779b97f4a7c15ULL);
+}
+
+void BloomPositions(std::string_view key, size_t k, size_t m, size_t* out) {
+  const uint64_t h1 = Hash64(key, /*seed=*/0x51ed270b);
+  uint64_t h2 = Hash64(key, /*seed=*/0xc3a5c85c);
+  // Ensure h2 is odd so that for power-of-two m all positions are reachable;
+  // harmless for other m.
+  h2 |= 1;
+  uint64_t h = h1;
+  for (size_t i = 0; i < k; ++i) {
+    out[i] = static_cast<size_t>(h % m);
+    h += h2;
+  }
+}
+
+}  // namespace quaestor

@@ -1,0 +1,107 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace quaestor {
+
+namespace {
+// Buckets: bucket 0 holds value == 0; bucket b >= 1 holds values in
+// [kBase^(b-1), kBase^b) scaled so that 1e-3 (1 microsecond when the unit
+// is milliseconds) falls into bucket 1.
+constexpr double kBase = 1.08;
+constexpr double kFirstBound = 1e-3;
+}  // namespace
+
+Histogram::Histogram()
+    : buckets_(kNumBuckets, 0),
+      count_(0),
+      sum_(0.0),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(0.0) {}
+
+size_t Histogram::BucketFor(double value) {
+  if (value < kFirstBound) return 0;
+  const double b = std::log(value / kFirstBound) / std::log(kBase) + 1.0;
+  const size_t bucket = static_cast<size_t>(b);
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+double Histogram::BucketLowerBound(size_t bucket) {
+  if (bucket == 0) return 0.0;
+  return kFirstBound * std::pow(kBase, static_cast<double>(bucket - 1));
+}
+
+void Histogram::Record(double value) {
+  if (value < 0.0) value = 0.0;
+  buckets_[BucketFor(value)]++;
+  count_++;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = 0.0;
+}
+
+double Histogram::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cum += buckets_[i];
+    if (static_cast<double>(cum) >= target) {
+      // Interpolate within the bucket's bounds, clamped to observed range.
+      const double lo = BucketLowerBound(i);
+      const double hi = (i + 1 < kNumBuckets) ? BucketLowerBound(i + 1) : max_;
+      const double mid = (lo + hi) / 2.0;
+      return std::clamp(mid, min(), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << Mean() << " p50=" << Median()
+     << " p99=" << P99() << " max=" << max_;
+  return os.str();
+}
+
+void MeanAccumulator::Record(double value) {
+  count_++;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double MeanAccumulator::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double MeanAccumulator::StdDev() const { return std::sqrt(Variance()); }
+
+}  // namespace quaestor

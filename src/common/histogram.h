@@ -1,0 +1,71 @@
+#ifndef QUAESTOR_COMMON_HISTOGRAM_H_
+#define QUAESTOR_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace quaestor {
+
+/// Log-bucketed histogram for latency-like values, with exact tracking of
+/// count/sum/min/max and approximate quantiles. Values are non-negative
+/// doubles (unit chosen by caller; the library uses milliseconds).
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one observation. Negative values are clamped to 0.
+  void Record(double value);
+
+  /// Merges another histogram's observations into this one.
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const { return max_; }
+  double Mean() const;
+
+  /// Approximate quantile (q in [0,1]) via bucket interpolation.
+  double Quantile(double q) const;
+  double Median() const { return Quantile(0.5); }
+  double P99() const { return Quantile(0.99); }
+
+  /// One-line summary: count, mean, p50, p99, max.
+  std::string ToString() const;
+
+ private:
+  static size_t BucketFor(double value);
+  static double BucketLowerBound(size_t bucket);
+
+  static constexpr size_t kNumBuckets = 512;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_;
+  double sum_;
+  double min_;
+  double max_;
+};
+
+/// Running mean/variance accumulator (Welford).
+class MeanAccumulator {
+ public:
+  MeanAccumulator() : count_(0), mean_(0.0), m2_(0.0) {}
+
+  void Record(double value);
+
+  uint64_t count() const { return count_; }
+  double Mean() const { return mean_; }
+  double Variance() const;
+  double StdDev() const;
+
+ private:
+  uint64_t count_;
+  double mean_;
+  double m2_;
+};
+
+}  // namespace quaestor
+
+#endif  // QUAESTOR_COMMON_HISTOGRAM_H_

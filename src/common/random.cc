@@ -1,0 +1,165 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace quaestor {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextExponential(double lambda) {
+  assert(lambda > 0.0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+uint64_t Rng::NextPoisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's multiplicative method.
+    const double limit = std::exp(-mean);
+    double prod = NextDouble();
+    uint64_t count = 0;
+    while (prod > limit) {
+      prod *= NextDouble();
+      ++count;
+    }
+    return count;
+  }
+  // Normal approximation for large means.
+  double sample = NextGaussian(mean, std::sqrt(mean));
+  if (sample < 0.0) sample = 0.0;
+  return static_cast<uint64_t>(sample + 0.5);
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = NextDouble();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  assert(n > 0);
+  zetan_ = Zeta(n, theta);
+  zeta2theta_ = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+uint64_t ZipfianGenerator::Next(Rng& rng) {
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const uint64_t v = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+double ZipfianGenerator::Probability(uint64_t rank) const {
+  assert(rank < n_);
+  return 1.0 / (std::pow(static_cast<double>(rank + 1), theta_) * zetan_);
+}
+
+ScrambledZipfianGenerator::ScrambledZipfianGenerator(uint64_t n, double theta)
+    : zipf_(n, theta), n_(n) {}
+
+uint64_t ScrambledZipfianGenerator::Next(Rng& rng) {
+  const uint64_t rank = zipf_.Next(rng);
+  return Hash64(rank, /*seed=*/0xfeedbeef) % n_;
+}
+
+DiscreteDistribution::DiscreteDistribution(std::vector<double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  cumulative_.reserve(weights.size());
+  double acc = 0.0;
+  for (double w : weights) {
+    acc += w / total;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;  // guard against rounding drift
+}
+
+size_t DiscreteDistribution::Next(Rng& rng) const {
+  const double u = rng.NextDouble();
+  for (size_t i = 0; i < cumulative_.size(); ++i) {
+    if (u < cumulative_[i]) return i;
+  }
+  return cumulative_.size() - 1;
+}
+
+}  // namespace quaestor

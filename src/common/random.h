@@ -1,0 +1,112 @@
+#ifndef QUAESTOR_COMMON_RANDOM_H_
+#define QUAESTOR_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace quaestor {
+
+/// Deterministic 64-bit pseudo-random generator (xoshiro256**), seeded via
+/// SplitMix64. Every randomized component in the library takes an explicit
+/// seed so experiments are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). `n` must be > 0.
+  uint64_t NextUint64(uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Exponentially distributed sample with rate `lambda` (> 0).
+  /// Mean is 1/lambda.
+  double NextExponential(double lambda);
+
+  /// Poisson-distributed sample with mean `mean` (>= 0). Uses Knuth's
+  /// algorithm for small means and a normal approximation for large ones.
+  uint64_t NextPoisson(double mean);
+
+  /// Normally distributed sample (Box-Muller).
+  double NextGaussian(double mean, double stddev);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextUint64(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipfian generator over [0, n) with parameter `theta` (the YCSB /
+/// Gray et al. "Quickly generating billion-record synthetic databases"
+/// algorithm). Item 0 is the most popular. theta in (0, 1); the paper's
+/// experiments use the YCSB default and 0.99 for Table 1.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta);
+
+  /// Draws the next Zipf-distributed item in [0, n).
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// The probability of drawing item `rank` (0-based; rank 0 = hottest).
+  double Probability(uint64_t rank) const;
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  double zeta2theta_;
+};
+
+/// A "scrambled" Zipfian: Zipf ranks are spread over the key space by a
+/// hash so popular keys are not clustered (YCSB's scrambled_zipfian).
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t n, double theta);
+
+  uint64_t Next(Rng& rng);
+
+ private:
+  ZipfianGenerator zipf_;
+  uint64_t n_;
+};
+
+/// Samples an index from a discrete distribution given by non-negative
+/// weights. Used for operation-mix sampling in the workload generator.
+class DiscreteDistribution {
+ public:
+  explicit DiscreteDistribution(std::vector<double> weights);
+
+  /// Draws an index in [0, weights.size()).
+  size_t Next(Rng& rng) const;
+
+  size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;  // normalized cumulative weights
+};
+
+}  // namespace quaestor
+
+#endif  // QUAESTOR_COMMON_RANDOM_H_

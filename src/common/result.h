@@ -1,0 +1,83 @@
+#ifndef QUAESTOR_COMMON_RESULT_H_
+#define QUAESTOR_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace quaestor {
+
+/// A value-or-error holder (the `StatusOr` idiom). A `Result<T>` either
+/// holds a `T` (and `status().ok()` is true) or an error `Status`.
+///
+/// Usage:
+///   Result<int> r = ParseInt(s);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value.
+  Result(T value)  // NOLINT: implicit by design, mirrors absl::StatusOr.
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs a Result holding an error. `status` must not be OK.
+  Result(Status status)  // NOLINT: implicit by design.
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Accesses the held value; must only be called when `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if ok, otherwise `fallback`.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace quaestor
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its status, otherwise
+/// assigns the value to `lhs`.
+#define QUAESTOR_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  auto QUAESTOR_CONCAT_(_res_, __LINE__) = (rexpr);           \
+  if (!QUAESTOR_CONCAT_(_res_, __LINE__).ok())                \
+    return QUAESTOR_CONCAT_(_res_, __LINE__).status();        \
+  lhs = std::move(QUAESTOR_CONCAT_(_res_, __LINE__)).value()
+
+#define QUAESTOR_CONCAT_INNER_(a, b) a##b
+#define QUAESTOR_CONCAT_(a, b) QUAESTOR_CONCAT_INNER_(a, b)
+
+#endif  // QUAESTOR_COMMON_RESULT_H_

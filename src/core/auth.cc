@@ -1,0 +1,97 @@
+#include "core/auth.h"
+
+namespace quaestor::core {
+
+void AccessController::SetRule(const std::string& table, TableRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_[table] = std::move(rule);
+}
+
+void AccessController::ProtectWrites(const std::string& table,
+                                     const std::string& role) {
+  TableRule rule;
+  rule.read = AccessLevel::kPublic;
+  rule.write = AccessLevel::kRole;
+  rule.write_role = role;
+  SetRule(table, rule);
+}
+
+void AccessController::ProtectTable(const std::string& table,
+                                    const std::string& role) {
+  TableRule rule;
+  rule.read = AccessLevel::kRole;
+  rule.read_role = role;
+  rule.write = AccessLevel::kRole;
+  rule.write_role = role;
+  SetRule(table, rule);
+}
+
+Status AccessController::Check(const Credentials& who, AccessLevel level,
+                               const std::string& role,
+                               const std::string& table, const char* what) {
+  if (who.root) return Status::OK();
+  switch (level) {
+    case AccessLevel::kPublic:
+      return Status::OK();
+    case AccessLevel::kAuthenticated:
+      if (who.authenticated) return Status::OK();
+      break;
+    case AccessLevel::kRole:
+      if (who.HasRole(role)) return Status::OK();
+      break;
+    case AccessLevel::kNobody:
+      break;
+  }
+  return Status::FailedPrecondition(std::string(what) + " access to '" +
+                                    table + "' denied");
+}
+
+Status AccessController::CheckRead(const Credentials& who,
+                                   const std::string& table) const {
+  TableRule rule;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = rules_.find(table);
+    if (it == rules_.end()) return Status::OK();
+    rule = it->second;
+  }
+  return Check(who, rule.read, rule.read_role, table, "read");
+}
+
+Status AccessController::CheckWrite(const Credentials& who,
+                                    const std::string& table) const {
+  TableRule rule;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = rules_.find(table);
+    if (it == rules_.end()) return Status::OK();
+    rule = it->second;
+  }
+  return Check(who, rule.write, rule.write_role, table, "write");
+}
+
+bool AccessController::ReadIsPublic(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rules_.find(table);
+  return it == rules_.end() || it->second.read == AccessLevel::kPublic;
+}
+
+void AccessController::RegisterSession(const std::string& token,
+                                       Credentials creds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_[token] = std::move(creds);
+}
+
+void AccessController::RevokeSession(const std::string& token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.erase(token);
+}
+
+Credentials AccessController::Resolve(const std::string& token) const {
+  if (token.empty()) return Credentials::Anonymous();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(token);
+  return it == sessions_.end() ? Credentials::Anonymous() : it->second;
+}
+
+}  // namespace quaestor::core

@@ -1,0 +1,100 @@
+#ifndef QUAESTOR_CORE_AUTH_H_
+#define QUAESTOR_CORE_AUTH_H_
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/result.h"
+
+namespace quaestor::core {
+
+/// A caller's identity. Tokens map to credentials via AccessController
+/// sessions; the anonymous caller has no token.
+struct Credentials {
+  bool authenticated = false;
+  bool root = false;  // internal callers (server components) bypass checks
+  std::set<std::string> roles;
+
+  static Credentials Anonymous() { return Credentials{}; }
+  static Credentials Root() {
+    Credentials c;
+    c.authenticated = true;
+    c.root = true;
+    return c;
+  }
+  static Credentials User(std::set<std::string> roles = {}) {
+    Credentials c;
+    c.authenticated = true;
+    c.roles = std::move(roles);
+    return c;
+  }
+
+  bool HasRole(const std::string& role) const {
+    return roles.count(role) > 0;
+  }
+};
+
+/// Who may perform an operation class on a table.
+enum class AccessLevel {
+  kPublic,         // everyone, including anonymous
+  kAuthenticated,  // any logged-in session
+  kRole,           // sessions holding a specific role
+  kNobody,         // server-internal only
+};
+
+/// Per-table read/write rules (§2: Quaestor provides "authorization" as
+/// part of its DBaaS functionality). Default: public read and write.
+///
+/// Authorization interacts with caching: shared web caches must never
+/// serve protected content to the wrong client, so any table whose READ
+/// access is not public is served uncacheable (ttl = 0) by the server.
+class AccessController {
+ public:
+  struct TableRule {
+    AccessLevel read = AccessLevel::kPublic;
+    std::string read_role;
+    AccessLevel write = AccessLevel::kPublic;
+    std::string write_role;
+  };
+
+  /// Installs the rule for a table (replaces any previous rule).
+  void SetRule(const std::string& table, TableRule rule);
+
+  /// Convenience: public read, writes restricted to `role`.
+  void ProtectWrites(const std::string& table, const std::string& role);
+
+  /// Convenience: reads and writes restricted to `role` (implies
+  /// uncacheable reads).
+  void ProtectTable(const std::string& table, const std::string& role);
+
+  Status CheckRead(const Credentials& who, const std::string& table) const;
+  Status CheckWrite(const Credentials& who, const std::string& table) const;
+
+  /// True if read access is public (cacheable in shared caches).
+  bool ReadIsPublic(const std::string& table) const;
+
+  // -- Sessions (token → credentials) --
+
+  /// Registers a login session; the token authenticates as `creds`.
+  void RegisterSession(const std::string& token, Credentials creds);
+
+  void RevokeSession(const std::string& token);
+
+  /// Resolves a token; empty tokens and unknown tokens are anonymous.
+  Credentials Resolve(const std::string& token) const;
+
+ private:
+  static Status Check(const Credentials& who, AccessLevel level,
+                      const std::string& role, const std::string& table,
+                      const char* what);
+
+  mutable std::mutex mu_;
+  std::map<std::string, TableRule> rules_;
+  std::map<std::string, Credentials> sessions_;
+};
+
+}  // namespace quaestor::core
+
+#endif  // QUAESTOR_CORE_AUTH_H_

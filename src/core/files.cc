@@ -1,0 +1,57 @@
+#include "core/files.h"
+
+#include "core/server.h"
+
+namespace quaestor::core {
+
+Result<FileInfo> FileService::FromDocument(const db::Document& doc) {
+  const db::Value* content = doc.body.Find("content");
+  const db::Value* type = doc.body.Find("content_type");
+  if (content == nullptr || !content->is_string() || type == nullptr ||
+      !type->is_string()) {
+    return Status::Corruption("malformed file document: " + doc.Key());
+  }
+  FileInfo info;
+  info.path = doc.id;
+  info.content = content->as_string();
+  info.content_type = type->as_string();
+  info.version = doc.version;
+  return info;
+}
+
+Result<FileInfo> FileService::Upload(const std::string& path,
+                                     std::string content,
+                                     std::string content_type) {
+  if (path.empty()) return Status::InvalidArgument("empty file path");
+  db::Object body;
+  body["content"] = db::Value(std::move(content));
+  body["content_type"] = db::Value(std::move(content_type));
+
+  // Upsert semantics: first upload inserts, later uploads replace (and
+  // flow through the invalidation pipeline like any record write).
+  auto existing = server_->database().Get(kTable, path);
+  Result<db::Document> doc =
+      existing.ok()
+          ? [&] {
+              db::Update replace;
+              replace.Set("content", body["content"]);
+              replace.Set("content_type", body["content_type"]);
+              return server_->Update(kTable, path, replace);
+            }()
+          : server_->Insert(kTable, path, db::Value(std::move(body)));
+  if (!doc.ok()) return doc.status();
+  return FromDocument(doc.value());
+}
+
+Result<FileInfo> FileService::Get(const std::string& path) const {
+  auto doc = server_->database().Get(kTable, path);
+  if (!doc.ok()) return doc.status();
+  return FromDocument(doc.value());
+}
+
+Status FileService::Delete(const std::string& path) {
+  auto res = server_->Delete(kTable, path);
+  return res.ok() ? Status::OK() : res.status();
+}
+
+}  // namespace quaestor::core

@@ -1,0 +1,64 @@
+#ifndef QUAESTOR_CORE_FILES_H_
+#define QUAESTOR_CORE_FILES_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "db/document.h"
+
+namespace quaestor::core {
+
+class QuaestorServer;
+
+/// A stored file/asset.
+struct FileInfo {
+  std::string path;
+  std::string content;
+  std::string content_type;
+  uint64_t version = 0;
+};
+
+/// File and asset hosting (§1: Quaestor caches "database records and
+/// volatile files"; the Baqend deployment serves a site's HTML, CSS and
+/// images through the same machinery).
+///
+/// Files are stored as documents in the reserved `__files` table, which
+/// makes them first-class cacheable resources automatically: they receive
+/// estimated TTLs, appear in the Expiring Bloom Filter when overwritten
+/// before expiry, and are purged from invalidation-based caches on
+/// upload — identical semantics to records, as the paper prescribes.
+class FileService {
+ public:
+  static constexpr const char* kTable = "__files";
+
+  explicit FileService(QuaestorServer* server) : server_(server) {}
+
+  FileService(const FileService&) = delete;
+  FileService& operator=(const FileService&) = delete;
+
+  /// Uploads or replaces a file. Overwrites bump the version (ETag).
+  Result<FileInfo> Upload(const std::string& path, std::string content,
+                          std::string content_type = "text/plain");
+
+  /// Fetches the current file from the origin (clients normally read
+  /// through their cache hierarchy using CacheKeyFor()).
+  Result<FileInfo> Get(const std::string& path) const;
+
+  Status Delete(const std::string& path);
+
+  /// The HTTP cache key of a file ("__files/<path>"): usable with any
+  /// CacheHierarchy / QuaestorClient record read.
+  static std::string CacheKeyFor(const std::string& path) {
+    return std::string(kTable) + "/" + path;
+  }
+
+  /// Decodes a file document body into FileInfo fields.
+  static Result<FileInfo> FromDocument(const db::Document& doc);
+
+ private:
+  QuaestorServer* server_;
+};
+
+}  // namespace quaestor::core
+
+#endif  // QUAESTOR_CORE_FILES_H_

@@ -1,0 +1,94 @@
+#include "core/query_result.h"
+
+#include "common/hash.h"
+
+namespace quaestor::core {
+
+std::string QueryResponse::ToJson() const {
+  using db::Array;
+  using db::Object;
+  using db::Value;
+  Object root;
+  root["rep"] = Value(representation == ttl::ResultRepresentation::kIdList
+                          ? "ids"
+                          : "objects");
+  Array ids_arr;
+  for (const std::string& id : ids) ids_arr.push_back(Value(id));
+  root["ids"] = Value(std::move(ids_arr));
+  if (representation == ttl::ResultRepresentation::kObjectList) {
+    Array docs_arr(docs.begin(), docs.end());
+    root["docs"] = Value(std::move(docs_arr));
+    Array vers_arr;
+    for (uint64_t v : versions) {
+      vers_arr.push_back(Value(static_cast<int64_t>(v)));
+    }
+    root["versions"] = Value(std::move(vers_arr));
+    Array ttls_arr;
+    for (Micros t : record_ttls) {
+      ttls_arr.push_back(Value(static_cast<int64_t>(t)));
+    }
+    root["ttls"] = Value(std::move(ttls_arr));
+  }
+  return Value(std::move(root)).ToJson();
+}
+
+Result<QueryResponse> QueryResponse::FromJson(std::string_view json) {
+  auto parsed = db::Value::FromJson(json);
+  if (!parsed.ok()) return parsed.status();
+  const db::Value& root = parsed.value();
+  if (!root.is_object()) {
+    return Status::InvalidArgument("query response must be an object");
+  }
+  QueryResponse out;
+  const db::Value* rep = root.Find("rep");
+  if (rep == nullptr || !rep->is_string()) {
+    return Status::InvalidArgument("missing 'rep'");
+  }
+  out.representation = rep->as_string() == "ids"
+                           ? ttl::ResultRepresentation::kIdList
+                           : ttl::ResultRepresentation::kObjectList;
+  const db::Value* ids = root.Find("ids");
+  if (ids == nullptr || !ids->is_array()) {
+    return Status::InvalidArgument("missing 'ids'");
+  }
+  for (const db::Value& id : ids->as_array()) {
+    if (!id.is_string()) return Status::InvalidArgument("non-string id");
+    out.ids.push_back(id.as_string());
+  }
+  if (out.representation == ttl::ResultRepresentation::kObjectList) {
+    const db::Value* docs = root.Find("docs");
+    const db::Value* versions = root.Find("versions");
+    const db::Value* ttls = root.Find("ttls");
+    if (docs == nullptr || !docs->is_array() || versions == nullptr ||
+        !versions->is_array() || ttls == nullptr || !ttls->is_array()) {
+      return Status::InvalidArgument("object-list missing docs/versions/ttls");
+    }
+    if (docs->as_array().size() != out.ids.size() ||
+        versions->as_array().size() != out.ids.size() ||
+        ttls->as_array().size() != out.ids.size()) {
+      return Status::InvalidArgument("object-list field length mismatch");
+    }
+    out.docs = docs->as_array();
+    for (const db::Value& v : versions->as_array()) {
+      if (!v.is_int()) return Status::InvalidArgument("non-int version");
+      out.versions.push_back(static_cast<uint64_t>(v.as_int()));
+    }
+    for (const db::Value& t : ttls->as_array()) {
+      if (!t.is_int()) return Status::InvalidArgument("non-int ttl");
+      out.record_ttls.push_back(t.as_int());
+    }
+  }
+  return out;
+}
+
+uint64_t QueryResponse::ComputeEtag() const {
+  uint64_t h = 0x9ae16a3b2f90404fULL;
+  for (const std::string& id : ids) h = Hash64(id, h);
+  if (representation == ttl::ResultRepresentation::kObjectList) {
+    for (uint64_t v : versions) h = Hash64(v, h);
+  }
+  // Never collide with "no etag" (0).
+  return h == 0 ? 1 : h;
+}
+
+}  // namespace quaestor::core

@@ -1,0 +1,47 @@
+#ifndef QUAESTOR_CORE_QUERY_RESULT_H_
+#define QUAESTOR_CORE_QUERY_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "db/value.h"
+#include "ttl/representation.h"
+
+namespace quaestor::core {
+
+/// The wire representation of a cached query result (§4.2 "Representing
+/// Query Results"). An object-list carries the full documents (plus the
+/// version and a record TTL per member so clients can populate per-record
+/// cache entries as a side effect — §6.2: "All records in a result are
+/// inserted into the cache as individual entries"); an id-list carries
+/// only the record keys and clients assemble the result with per-record
+/// fetches.
+struct QueryResponse {
+  ttl::ResultRepresentation representation =
+      ttl::ResultRepresentation::kObjectList;
+  /// Record keys ("table/id") in result order.
+  std::vector<std::string> ids;
+  /// Object-list only (parallel to ids).
+  std::vector<db::Value> docs;
+  std::vector<uint64_t> versions;
+  std::vector<Micros> record_ttls;
+
+  /// Canonical JSON encoding (the HTTP body).
+  std::string ToJson() const;
+
+  /// Parses a response body.
+  static Result<QueryResponse> FromJson(std::string_view json);
+
+  /// Version tag of the result: hashes ids for id-lists (invalidated only
+  /// on membership change) and ids+versions for object-lists (§4.1).
+  uint64_t ComputeEtag() const;
+
+  size_t size() const { return ids.size(); }
+};
+
+}  // namespace quaestor::core
+
+#endif  // QUAESTOR_CORE_QUERY_RESULT_H_

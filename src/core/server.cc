@@ -1,0 +1,448 @@
+#include "core/server.h"
+
+#include <algorithm>
+
+namespace quaestor::core {
+
+QuaestorServer::QuaestorServer(Clock* clock, db::Database* database,
+                               ServerOptions options)
+    : clock_(clock),
+      db_(database),
+      options_(options),
+      ebf_(clock, options.bloom_params),
+      ttl_estimator_(clock, options.ttl_options),
+      active_list_(),
+      capacity_(options.query_capacity) {
+  invalidb_ = std::make_unique<invalidb::InvalidbCluster>(
+      clock, options.invalidb_options,
+      [this](const invalidb::Notification& n) { OnNotification(n); });
+  db_->AddChangeListener([this](const db::ChangeEvent& ev) {
+    invalidb_->OnChange(ev);
+  });
+  transactions_ = std::make_unique<TransactionManager>(this);
+}
+
+QuaestorServer::~QuaestorServer() = default;
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+Result<db::Document> QuaestorServer::Insert(const Credentials& who,
+                                            const std::string& table,
+                                            const std::string& id,
+                                            db::Value body) {
+  QUAESTOR_RETURN_IF_ERROR(auth_.CheckWrite(who, table));
+  QUAESTOR_RETURN_IF_ERROR(schemas_.Validate(table, body));
+  auto res = db_->Insert(table, id, std::move(body));
+  if (res.ok()) OnRecordWrite(res.value());
+  return res;
+}
+
+Result<db::Document> QuaestorServer::Update(const Credentials& who,
+                                            const std::string& table,
+                                            const std::string& id,
+                                            const db::Update& update) {
+  QUAESTOR_RETURN_IF_ERROR(auth_.CheckWrite(who, table));
+  if (schemas_.HasSchema(table)) {
+    // Validate the post-image before committing.
+    auto current = db_->Get(table, id);
+    if (!current.ok()) return current.status();
+    db::Value post = current->body;
+    QUAESTOR_RETURN_IF_ERROR(update.ApplyTo(post));
+    QUAESTOR_RETURN_IF_ERROR(schemas_.Validate(table, post));
+  }
+  auto res = db_->Apply(table, id, update);
+  if (res.ok()) OnRecordWrite(res.value());
+  return res;
+}
+
+Result<db::Document> QuaestorServer::Delete(const Credentials& who,
+                                            const std::string& table,
+                                            const std::string& id) {
+  QUAESTOR_RETURN_IF_ERROR(auth_.CheckWrite(who, table));
+  auto res = db_->Delete(table, id);
+  if (res.ok()) OnRecordWrite(res.value());
+  return res;
+}
+
+void QuaestorServer::OnRecordWrite(const db::Document& after) {
+  const std::string key = after.Key();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.writes++;
+  }
+  // Feed the write-rate estimator (Poisson model, §4.2).
+  ttl_estimator_.RecordWrite(key);
+  // The record's cached copies are now stale: flag in the EBF (if any
+  // issued TTL is outstanding) and purge invalidation-based caches.
+  const bool was_cached = ebf_.ReportWrite(key);
+  if (was_cached) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.record_invalidations++;
+  }
+  PurgeEverywhere(key);
+  // The write response itself is cacheable by the writer
+  // (read-your-writes): track its implied TTL so a later foreign write
+  // can flag that copy too.
+  if (!after.deleted) {
+    ebf_.ReportRead(key, options_.write_response_ttl);
+  }
+  // Query invalidations are detected by InvaliDB via the change stream
+  // (wired in the constructor) and handled in OnNotification.
+}
+
+// ---------------------------------------------------------------------------
+// Invalidation pipeline
+// ---------------------------------------------------------------------------
+
+void QuaestorServer::OnNotification(const invalidb::Notification& n) {
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    auto it = query_meta_.find(n.query_key);
+    if (it != query_meta_.end()) {
+      switch (n.type) {
+        case invalidb::NotificationType::kAdd:
+          it->second.adds++;
+          break;
+        case invalidb::NotificationType::kRemove:
+          it->second.removes++;
+          break;
+        default:
+          it->second.changes++;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.query_invalidations++;
+  }
+  // The cached result is stale: flag it in the EBF while issued TTLs are
+  // outstanding and purge CDNs (end-to-end example step 4, Figure 7).
+  ebf_.ReportWrite(n.query_key);
+  PurgeEverywhere(n.query_key);
+  // TTL feedback (Equation 2): the result's actual cache lifetime was the
+  // span between its last read and this invalidation.
+  const auto actual =
+      active_list_.OnInvalidation(n.query_key, n.event_time);
+  if (actual.has_value()) {
+    ttl_estimator_.OnQueryInvalidated(n.query_key, *actual);
+  }
+  capacity_.OnInvalidation(n.query_key);
+  std::vector<invalidb::NotificationSink> taps;
+  {
+    std::lock_guard<std::mutex> lock(purge_mu_);
+    taps = notification_taps_;
+  }
+  for (const auto& tap : taps) tap(n);
+}
+
+void QuaestorServer::AddNotificationTap(invalidb::NotificationSink tap) {
+  std::lock_guard<std::mutex> lock(purge_mu_);
+  notification_taps_.push_back(std::move(tap));
+}
+
+void QuaestorServer::PurgeEverywhere(const std::string& key) {
+  std::vector<PurgeTarget> targets;
+  {
+    std::lock_guard<std::mutex> lock(purge_mu_);
+    targets = purge_targets_;
+  }
+  for (const PurgeTarget& t : targets) t(key);
+}
+
+void QuaestorServer::AddPurgeTarget(PurgeTarget target) {
+  std::lock_guard<std::mutex> lock(purge_mu_);
+  purge_targets_.push_back(std::move(target));
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------------
+
+void QuaestorServer::RegisterQueryShape(const db::Query& query) {
+  const std::string key = query.NormalizedKey();
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  auto it = query_meta_.find(key);
+  if (it != query_meta_.end()) return;
+  QueryMeta meta;
+  meta.query = query;
+  meta.first_seen = clock_->NowMicros();
+  query_meta_[key] = std::move(meta);
+}
+
+webcache::HttpResponse QuaestorServer::Fetch(
+    const webcache::HttpRequest& request) {
+  if (request.key.rfind("q:", 0) == 0) {
+    db::Query query;
+    {
+      std::lock_guard<std::mutex> lock(meta_mu_);
+      auto it = query_meta_.find(request.key);
+      if (it == query_meta_.end()) {
+        webcache::HttpResponse resp;
+        resp.ok = false;
+        return resp;
+      }
+      query = it->second.query;
+    }
+    return FetchQuery(request, query);
+  }
+  return FetchRecord(request);
+}
+
+webcache::HttpResponse QuaestorServer::FetchRecord(
+    const webcache::HttpRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.record_reads++;
+  }
+  webcache::HttpResponse resp;
+  const size_t slash = request.key.find('/');
+  if (slash == std::string::npos) return resp;  // malformed key
+  const std::string table = request.key.substr(0, slash);
+  const std::string id = request.key.substr(slash + 1);
+  // Authorization: 403 for callers without read access; non-public
+  // tables are served uncacheable so shared caches never hold them.
+  if (!auth_.CheckRead(auth_.Resolve(request.auth_token), table).ok()) {
+    return resp;  // 403
+  }
+  const bool cacheable_table = auth_.ReadIsPublic(table);
+  auto doc = db_->Get(table, id);
+  if (!doc.ok()) return resp;  // 404
+
+  resp.ok = true;
+  resp.etag = doc->version;
+  resp.ttl = options_.cache_records && cacheable_table
+                 ? ttl_estimator_.RecordTtl(request.key)
+                 : 0;
+  if (request.has_if_none_match && request.if_none_match == doc->version) {
+    resp.not_modified = true;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.not_modified++;
+  } else {
+    resp.body = doc->body.ToJson();
+  }
+  // Track the issued TTL so a later write can flag staleness (§3.3).
+  ebf_.ReportRead(request.key, resp.ttl);
+  return resp;
+}
+
+ttl::ResultRepresentation QuaestorServer::ChooseRepresentationFor(
+    const std::string& query_key, size_t result_size) {
+  switch (options_.representation) {
+    case RepresentationPolicy::kAlwaysObjectList:
+      return ttl::ResultRepresentation::kObjectList;
+    case RepresentationPolicy::kAlwaysIdList:
+      return ttl::ResultRepresentation::kIdList;
+    case RepresentationPolicy::kAuto:
+      break;
+  }
+  ttl::RepresentationCosts costs;
+  costs.result_size = result_size;
+  costs.record_hit_rate = options_.assumed_record_hit_rate;
+  costs.invalidation_cost_ms = options_.round_trip_ms;
+  costs.record_miss_latency_ms = options_.record_miss_latency_ms;
+  costs.client_fanout = options_.assumed_client_fanout;
+  double age_s = 1.0;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    auto it = query_meta_.find(query_key);
+    if (it != query_meta_.end()) {
+      age_s = std::max(
+          1.0, MicrosToSeconds(clock_->NowMicros() - it->second.first_seen));
+      costs.change_rate = static_cast<double>(it->second.changes) / age_s;
+      costs.membership_rate =
+          static_cast<double>(it->second.adds + it->second.removes) / age_s;
+    }
+  }
+  const auto entry = active_list_.Find(query_key);
+  costs.read_rate =
+      entry.has_value()
+          ? std::max(1.0, static_cast<double>(entry->read_count) / age_s)
+          : 1.0;
+  return ttl::ChooseRepresentation(costs);
+}
+
+ttl::ResultRepresentation QuaestorServer::DecideRepresentation(
+    const std::string& query_key, size_t result_size, bool* need_switch) {
+  *need_switch = false;
+  if (options_.representation != RepresentationPolicy::kAuto) {
+    return ChooseRepresentationFor(query_key, result_size);
+  }
+  const Micros now = clock_->NowMicros();
+  bool evaluate = false;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    auto it = query_meta_.find(query_key);
+    if (it != query_meta_.end()) {
+      QueryMeta& m = it->second;
+      if (!m.has_chosen_representation ||
+          now - m.representation_chosen_at >=
+              kRepresentationDecisionInterval) {
+        evaluate = true;
+      } else {
+        return m.chosen_representation;
+      }
+    }
+  }
+  ttl::ResultRepresentation fresh =
+      ChooseRepresentationFor(query_key, result_size);
+  if (!evaluate) return fresh;
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  auto it = query_meta_.find(query_key);
+  if (it == query_meta_.end()) return fresh;
+  QueryMeta& m = it->second;
+  if (m.has_chosen_representation && fresh != m.chosen_representation) {
+    *need_switch = true;
+  }
+  m.has_chosen_representation = true;
+  m.chosen_representation = fresh;
+  m.representation_chosen_at = now;
+  return fresh;
+}
+
+webcache::HttpResponse QuaestorServer::FetchQuery(
+    const webcache::HttpRequest& request, const db::Query& query) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.query_reads++;
+  }
+  const std::string& key = request.key;
+  const Micros now = clock_->NowMicros();
+
+  // Authorization mirrors the record path: 403 without read access,
+  // uncacheable results for non-public tables.
+  if (!auth_.CheckRead(auth_.Resolve(request.auth_token), query.table())
+           .ok()) {
+    webcache::HttpResponse denied;
+    return denied;  // 403
+  }
+  const bool cacheable_table = auth_.ReadIsPublic(query.table());
+
+  // Capacity management (§4.1): only sufficiently cacheable queries are
+  // admitted; a displaced query is evicted from the cached set.
+  capacity_.OnRead(key);
+  bool admitted = false;
+  if (options_.cache_queries && cacheable_table) {
+    std::optional<std::string> evicted;
+    admitted = capacity_.Admit(key, &evicted);
+    if (evicted.has_value()) EvictQuery(*evicted);
+  }
+
+  // Execute the (windowed) query.
+  const std::vector<db::Document> docs = db_->Execute(query);
+
+  // Assemble the response. A representation switch changes the InvaliDB
+  // event mask, so the query is re-registered; outstanding copies of the
+  // old representation are conservatively flagged stale and purged (an
+  // object-list copy would otherwise miss `change` invalidations after a
+  // switch to an id-list subscription).
+  bool representation_switched = false;
+  QueryResponse qr;
+  qr.representation =
+      DecideRepresentation(key, docs.size(), &representation_switched);
+  if (representation_switched && active_list_.IsRegistered(key)) {
+    invalidb_->DeregisterQuery(key);
+    active_list_.SetRegistered(key, false);
+    ebf_.ReportWrite(key);
+    PurgeEverywhere(key);
+  }
+  std::vector<std::string> member_keys;
+  member_keys.reserve(docs.size());
+  for (const db::Document& d : docs) {
+    const std::string record_key = d.Key();
+    qr.ids.push_back(record_key);
+    member_keys.push_back(record_key);
+  }
+  Micros ttl = 0;
+  if (admitted) {
+    ttl = ttl_estimator_.QueryTtl(key, member_keys);
+  } else {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.uncacheable_queries++;
+  }
+  if (qr.representation == ttl::ResultRepresentation::kObjectList) {
+    for (const db::Document& d : docs) {
+      qr.docs.push_back(d.body);
+      qr.versions.push_back(d.version);
+      const Micros record_ttl = options_.cache_records && cacheable_table
+                                    ? ttl_estimator_.RecordTtl(d.Key())
+                                    : 0;
+      qr.record_ttls.push_back(record_ttl);
+      // The response implicitly issues per-record TTLs (results are
+      // inserted into caches as individual entries, §6.2).
+      ebf_.ReportRead(d.Key(), record_ttl);
+    }
+  }
+
+  webcache::HttpResponse resp;
+  resp.ok = true;
+  resp.etag = qr.ComputeEtag();
+  resp.ttl = ttl;
+  if (request.has_if_none_match && request.if_none_match == resp.etag) {
+    resp.not_modified = true;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.not_modified++;
+  } else {
+    resp.body = qr.ToJson();
+  }
+
+  if (admitted) {
+    // Register in InvaliDB before the response can be cached: every
+    // subsequent change within the TTL must be detected (Figure 7 step 2).
+    if (!active_list_.IsRegistered(key)) {
+      const invalidb::EventMask mask =
+          qr.representation == ttl::ResultRepresentation::kIdList
+              ? invalidb::kEventsIdList
+              : invalidb::kEventsObjectList;
+      std::vector<db::Document> registration_set = docs;
+      if (!query.IsStateless()) {
+        // Stateful queries register the unwindowed predicate set.
+        db::Query base(query.table(), query.filter());
+        registration_set = db_->Execute(base);
+      }
+      Status st = invalidb_->RegisterQuery(query, registration_set, mask);
+      if (st.ok() || st.IsAlreadyExists()) {
+        active_list_.SetRegistered(key, true);
+      }
+    }
+    active_list_.OnRead(key, now, ttl);
+    ebf_.ReportRead(key, ttl);
+  }
+  return resp;
+}
+
+void QuaestorServer::EvictQuery(const std::string& query_key) {
+  // Stop maintaining the query. Outstanding cached copies can no longer be
+  // invalidated, so conservatively mark the key stale for as long as any
+  // issued TTL is unexpired and purge CDNs now.
+  invalidb_->DeregisterQuery(query_key);
+  active_list_.SetRegistered(query_key, false);
+  ebf_.ReportWrite(query_key);
+  PurgeEverywhere(query_key);
+  ttl_estimator_.Forget(query_key);
+}
+
+ebf::BloomFilter QuaestorServer::BloomSnapshot() {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.bloom_filter_requests++;
+  }
+  return ebf_.AggregateSnapshot();
+}
+
+ebf::BloomFilter QuaestorServer::BloomSnapshotForTable(
+    const std::string& table) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.bloom_filter_requests++;
+  }
+  return ebf_.Partition(table)->Snapshot();
+}
+
+ServerStats QuaestorServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace quaestor::core

@@ -1,0 +1,245 @@
+#ifndef QUAESTOR_CORE_SERVER_H_
+#define QUAESTOR_CORE_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "core/auth.h"
+#include "core/query_result.h"
+#include "core/transactions.h"
+#include "db/database.h"
+#include "db/schema.h"
+#include "ebf/expiring_bloom_filter.h"
+#include "invalidb/cluster.h"
+#include "ttl/active_list.h"
+#include "ttl/capacity_manager.h"
+#include "ttl/representation.h"
+#include "ttl/ttl_estimator.h"
+#include "webcache/http.h"
+
+namespace quaestor::core {
+
+/// Which representation the server uses for query results.
+enum class RepresentationPolicy {
+  /// Cost-based decision per query (§4.2).
+  kAuto,
+  kAlwaysObjectList,
+  kAlwaysIdList,
+};
+
+/// Server configuration.
+struct ServerOptions {
+  ttl::TtlOptions ttl_options;
+  ebf::BloomParams bloom_params;
+  invalidb::InvalidbOptions invalidb_options;
+  /// Maximum simultaneously maintained (cached) queries; 0 = unlimited
+  /// (the InvaliDB capacity management model, §4.1).
+  size_t query_capacity = 0;
+  RepresentationPolicy representation = RepresentationPolicy::kAlwaysObjectList;
+  /// Disable caching entirely for records/queries (baselines).
+  bool cache_records = true;
+  bool cache_queries = true;
+  /// Inputs for the kAuto representation decision that the server cannot
+  /// observe itself (client-side record hit rate, hop latencies, number
+  /// of caches holding copies).
+  double assumed_record_hit_rate = 0.9;
+  double round_trip_ms = 145.0;
+  double record_miss_latency_ms = 8.0;
+  double assumed_client_fanout = 10.0;
+
+  /// Cache lifetime granted to write responses: the writing session keeps
+  /// its own after-image for read-your-writes, so the server must track
+  /// an issued TTL for it — otherwise a later foreign write could not
+  /// flag the writer's copy in the EBF (∆-atomicity would break for up to
+  /// the client's own-write cache lifetime). Clients must not cache own
+  /// writes longer than this.
+  Micros write_response_ttl = 60 * kMicrosPerSecond;
+};
+
+/// Server-side counters.
+struct ServerStats {
+  uint64_t record_reads = 0;
+  uint64_t query_reads = 0;
+  uint64_t writes = 0;
+  uint64_t not_modified = 0;  // 304 responses
+  uint64_t query_invalidations = 0;
+  uint64_t record_invalidations = 0;
+  uint64_t uncacheable_queries = 0;  // served with ttl 0 (capacity)
+  uint64_t bloom_filter_requests = 0;
+};
+
+/// The QUAESTOR database service (Figure 3): DBaaS middleware that serves
+/// records and query results over the HTTP caching model, maintains the
+/// Expiring Bloom Filter, estimates TTLs, registers cached queries in
+/// InvaliDB, and purges invalidation-based caches when results change.
+///
+/// Implements webcache::Origin so cache hierarchies can forward misses and
+/// revalidations to it. Thread-safe.
+class QuaestorServer : public webcache::Origin {
+ public:
+  /// A purge hook: invoked with a cache key whenever invalidation-based
+  /// caches must drop it. The simulator wires this to CDN purges with a
+  /// configurable invalidation latency.
+  using PurgeTarget = std::function<void(const std::string& key)>;
+
+  QuaestorServer(Clock* clock, db::Database* database,
+                 ServerOptions options = ServerOptions());
+  ~QuaestorServer() override;
+
+  QuaestorServer(const QuaestorServer&) = delete;
+  QuaestorServer& operator=(const QuaestorServer&) = delete;
+
+  // -- Write path (uncacheable; client SDK calls these directly) --
+
+  /// Credential-checked writes: authorization rules (auth()) and table
+  /// schemas (schemas()) are enforced before commit. The 3-argument
+  /// forms run as the internal root principal.
+  Result<db::Document> Insert(const Credentials& who,
+                              const std::string& table, const std::string& id,
+                              db::Value body);
+  Result<db::Document> Update(const Credentials& who,
+                              const std::string& table, const std::string& id,
+                              const db::Update& update);
+  Result<db::Document> Delete(const Credentials& who,
+                              const std::string& table, const std::string& id);
+
+  Result<db::Document> Insert(const std::string& table, const std::string& id,
+                              db::Value body) {
+    return Insert(Credentials::Root(), table, id, std::move(body));
+  }
+  Result<db::Document> Update(const std::string& table, const std::string& id,
+                              const db::Update& update) {
+    return Update(Credentials::Root(), table, id, update);
+  }
+  Result<db::Document> Delete(const std::string& table,
+                              const std::string& id) {
+    return Delete(Credentials::Root(), table, id);
+  }
+
+  // -- Read path --
+
+  /// Announces a query shape so Fetch can resolve its normalized key (in
+  /// HTTP the URL itself carries the query; this models URL decoding).
+  /// Idempotent.
+  void RegisterQueryShape(const db::Query& query);
+
+  /// Origin entry point: serves record keys ("table/id") and query keys
+  /// ("q:table?...") with freshly estimated TTLs, honouring If-None-Match.
+  webcache::HttpResponse Fetch(const webcache::HttpRequest& request) override;
+
+  /// Hands out the current flat Bloom filter (client connect & ∆-refresh).
+  ebf::BloomFilter BloomSnapshot();
+
+  /// Hands out one table's EBF partition (§3.3: clients may load
+  /// table-specific filters to lower the total false-positive rate at the
+  /// expense of more individual transfers).
+  ebf::BloomFilter BloomSnapshotForTable(const std::string& table);
+
+  /// Registers a purge hook for invalidation-based caches.
+  void AddPurgeTarget(PurgeTarget target);
+
+  /// Observability tap: invoked for every InvaliDB notification the server
+  /// processes (after its own handling). Used by the simulator to measure
+  /// true result lifetimes (Figure 11) and by the websocket-style change
+  /// streams of §3.2.
+  void AddNotificationTap(invalidb::NotificationSink tap);
+
+  // -- Introspection --
+
+  ServerStats stats() const;
+  ebf::PartitionedEbf& ebf() { return ebf_; }
+  ttl::TtlEstimator& ttl_estimator() { return ttl_estimator_; }
+  ttl::ActiveList& active_list() { return active_list_; }
+  ttl::CapacityManager& capacity() { return capacity_; }
+  invalidb::InvalidbCluster& invalidb() { return *invalidb_; }
+  db::Database& database() { return *db_; }
+  /// Optimistic ACID transactions (§3.2).
+  TransactionManager& transactions() { return *transactions_; }
+  /// Table schemas, enforced on writes.
+  db::SchemaRegistry& schemas() { return schemas_; }
+  /// Authorization rules and login sessions. Tables without public read
+  /// access are served uncacheable (shared caches must not hold them).
+  AccessController& auth() { return auth_; }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct QueryMeta {
+    db::Query query;
+    Micros first_seen = 0;
+    uint64_t adds = 0;
+    uint64_t removes = 0;
+    uint64_t changes = 0;
+    /// Sticky representation decision (kAuto policy): re-evaluated at most
+    /// every kRepresentationDecisionInterval to avoid flapping between
+    /// representations (each flip changes the result etag and the
+    /// InvaliDB subscription).
+    bool has_chosen_representation = false;
+    ttl::ResultRepresentation chosen_representation =
+        ttl::ResultRepresentation::kObjectList;
+    Micros representation_chosen_at = 0;
+  };
+
+  static constexpr Micros kRepresentationDecisionInterval =
+      5 * kMicrosPerSecond;
+
+  /// Sticky wrapper around ChooseRepresentationFor. Sets `*need_switch`
+  /// if the decision changed for an already-registered query (the caller
+  /// must re-register with the new event mask).
+  ttl::ResultRepresentation DecideRepresentation(const std::string& query_key,
+                                                 size_t result_size,
+                                                 bool* need_switch);
+
+  webcache::HttpResponse FetchRecord(const webcache::HttpRequest& request);
+  webcache::HttpResponse FetchQuery(const webcache::HttpRequest& request,
+                                    const db::Query& query);
+
+  /// Handles one InvaliDB notification (query result became stale).
+  void OnNotification(const invalidb::Notification& n);
+
+  /// Applies side effects of a committed record write.
+  void OnRecordWrite(const db::Document& after);
+
+  /// Purges a key from all registered invalidation-based caches.
+  void PurgeEverywhere(const std::string& key);
+
+  /// Evicts a query from the cached set (capacity displacement).
+  void EvictQuery(const std::string& query_key);
+
+  /// Picks the representation for a query result.
+  ttl::ResultRepresentation ChooseRepresentationFor(
+      const std::string& query_key, size_t result_size);
+
+  Clock* clock_;
+  db::Database* db_;
+  ServerOptions options_;
+
+  ebf::PartitionedEbf ebf_;
+  ttl::TtlEstimator ttl_estimator_;
+  ttl::ActiveList active_list_;
+  ttl::CapacityManager capacity_;
+  std::unique_ptr<invalidb::InvalidbCluster> invalidb_;
+  std::unique_ptr<TransactionManager> transactions_;
+  db::SchemaRegistry schemas_;
+  AccessController auth_;
+
+  mutable std::mutex meta_mu_;
+  std::unordered_map<std::string, QueryMeta> query_meta_;
+
+  mutable std::mutex purge_mu_;
+  std::vector<PurgeTarget> purge_targets_;
+  std::vector<invalidb::NotificationSink> notification_taps_;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+};
+
+}  // namespace quaestor::core
+
+#endif  // QUAESTOR_CORE_SERVER_H_

@@ -1,0 +1,94 @@
+#include "core/transactions.h"
+
+#include "core/server.h"
+
+namespace quaestor::core {
+
+Result<CommitResult> TransactionManager::Commit(
+    const TransactionRequest& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  db::Database& db = server_->database();
+
+  // Validation phase (BOCC): every observed version must still be
+  // current. A version of 0 asserts the record did not exist.
+  for (const auto& [key, observed_version] : request.read_set) {
+    const size_t slash = key.find('/');
+    if (slash == std::string::npos) {
+      aborted_++;
+      return Status::InvalidArgument("malformed read-set key: " + key);
+    }
+    const std::string table = key.substr(0, slash);
+    const std::string id = key.substr(slash + 1);
+    auto current = db.Get(table, id);
+    const uint64_t current_version = current.ok() ? current->version : 0;
+    if (current_version != observed_version) {
+      aborted_++;
+      return Status::Aborted("validation failed for " + key + ": read v" +
+                             std::to_string(observed_version) + ", now v" +
+                             std::to_string(current_version));
+    }
+  }
+
+  // Writes implicitly read their targets: guard against write-write
+  // conflicts for targets not in the read set by checking insert/update
+  // applicability up front (all-or-nothing apply below must not fail
+  // midway).
+  for (const TxWrite& w : request.writes) {
+    auto current = db.Get(w.table, w.id);
+    switch (w.kind) {
+      case TxWrite::Kind::kInsert:
+        if (current.ok()) {
+          aborted_++;
+          return Status::Aborted("insert target exists: " + w.table + "/" +
+                                 w.id);
+        }
+        break;
+      case TxWrite::Kind::kUpdate:
+      case TxWrite::Kind::kDelete:
+        if (!current.ok()) {
+          aborted_++;
+          return Status::Aborted("write target missing: " + w.table + "/" +
+                                 w.id);
+        }
+        if (w.kind == TxWrite::Kind::kUpdate) {
+          db::Value scratch = current->body;
+          if (!w.update.ApplyTo(scratch).ok()) {
+            aborted_++;
+            return Status::Aborted("update not applicable to " + w.table +
+                                   "/" + w.id);
+          }
+        }
+        break;
+    }
+  }
+
+  // Apply phase: writes go through the server so TTL estimation, the
+  // EBF, purges, and InvaliDB all observe them.
+  CommitResult result;
+  for (const TxWrite& w : request.writes) {
+    Result<db::Document> applied = [&]() -> Result<db::Document> {
+      switch (w.kind) {
+        case TxWrite::Kind::kInsert:
+          return server_->Insert(w.table, w.id, w.body);
+        case TxWrite::Kind::kUpdate:
+          return server_->Update(w.table, w.id, w.update);
+        case TxWrite::Kind::kDelete:
+          return server_->Delete(w.table, w.id);
+      }
+      return Status::Internal("unreachable");
+    }();
+    if (!applied.ok()) {
+      // Pre-validation makes this unreachable under the commit lock.
+      aborted_++;
+      return Status::Internal("apply failed after validation: " +
+                              applied.status().ToString());
+    }
+    result.applied.push_back(std::move(applied).value());
+  }
+  result.commit_timestamp = static_cast<uint64_t>(
+      result.applied.empty() ? 0 : result.applied.back().write_time);
+  committed_++;
+  return result;
+}
+
+}  // namespace quaestor::core

@@ -1,0 +1,86 @@
+#ifndef QUAESTOR_CORE_TRANSACTIONS_H_
+#define QUAESTOR_CORE_TRANSACTIONS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "db/document.h"
+#include "db/update.h"
+
+namespace quaestor::core {
+
+class QuaestorServer;
+
+/// One buffered write inside a transaction.
+struct TxWrite {
+  enum class Kind { kInsert, kUpdate, kDelete };
+  Kind kind = Kind::kUpdate;
+  std::string table;
+  std::string id;
+  db::Value body;      // kInsert
+  db::Update update;   // kUpdate
+};
+
+/// What the client ships to the server at commit time (§3.2): the read
+/// set collected during the transaction — every record key with the
+/// version the transaction observed (possibly from a cache) — plus the
+/// buffered writes.
+struct TransactionRequest {
+  /// key ("table/id") → version observed. Version 0 = observed-as-absent.
+  std::map<std::string, uint64_t> read_set;
+  std::vector<TxWrite> writes;
+};
+
+/// Commit outcome.
+struct CommitResult {
+  uint64_t commit_timestamp = 0;  // µs
+  /// After-images of all applied writes (for the client's session cache).
+  std::vector<db::Document> applied;
+};
+
+/// Server-side transaction validation and atomic apply — a variant of
+/// backwards-oriented optimistic concurrency control (§3.2): reads run
+/// against caches (shrinking transaction duration), writes are buffered,
+/// and at commit the server checks that every read version is still
+/// current. Any intervening write — or a stale cached read — aborts the
+/// transaction; this detects "both violations of serializability and
+/// stale reads".
+///
+/// Commits are serialized by a single validation lock (single-node OCC;
+/// the paper's deployment shards this by transaction scope).
+class TransactionManager {
+ public:
+  explicit TransactionManager(QuaestorServer* server) : server_(server) {}
+
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+
+  /// Validates and atomically applies the transaction. Returns
+  /// Status::Aborted when validation fails (caller may retry), along with
+  /// the conflicting key in the message.
+  Result<CommitResult> Commit(const TransactionRequest& request);
+
+  uint64_t committed_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return committed_;
+  }
+  uint64_t aborted_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return aborted_;
+  }
+
+ private:
+  QuaestorServer* server_;
+  mutable std::mutex mu_;  // serializes validate+apply
+  uint64_t committed_ = 0;
+  uint64_t aborted_ = 0;
+};
+
+}  // namespace quaestor::core
+
+#endif  // QUAESTOR_CORE_TRANSACTIONS_H_

@@ -1,0 +1,125 @@
+#include "db/database.h"
+
+namespace quaestor::db {
+
+Table* Database::GetOrCreateTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    it = tables_.emplace(name, std::make_unique<Table>(name)).first;
+  }
+  return it->second.get();
+}
+
+Table* Database::FindTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Result<Document> Database::Insert(const std::string& table,
+                                  const std::string& id, Value body) {
+  auto res = GetOrCreateTable(table)->Insert(id, std::move(body),
+                                             clock_->NowMicros());
+  if (res.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.inserts++;
+    }
+    Notify(WriteKind::kInsert, res.value());
+  }
+  return res;
+}
+
+Result<Document> Database::Upsert(const std::string& table,
+                                  const std::string& id, Value body) {
+  auto res = GetOrCreateTable(table)->Upsert(id, std::move(body),
+                                             clock_->NowMicros());
+  if (res.ok()) {
+    const bool was_insert = res.value().version == 1;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (was_insert) {
+        stats_.inserts++;
+      } else {
+        stats_.updates++;
+      }
+    }
+    Notify(was_insert ? WriteKind::kInsert : WriteKind::kUpdate, res.value());
+  }
+  return res;
+}
+
+Result<Document> Database::Apply(const std::string& table,
+                                 const std::string& id, const Update& update) {
+  Table* t = FindTable(table);
+  if (t == nullptr) return Status::NotFound(table + "/" + id);
+  auto res = t->Apply(id, update, clock_->NowMicros());
+  if (res.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.updates++;
+    }
+    Notify(WriteKind::kUpdate, res.value());
+  }
+  return res;
+}
+
+Result<Document> Database::Delete(const std::string& table,
+                                  const std::string& id) {
+  Table* t = FindTable(table);
+  if (t == nullptr) return Status::NotFound(table + "/" + id);
+  auto res = t->Delete(id, clock_->NowMicros());
+  if (res.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.deletes++;
+    }
+    Notify(WriteKind::kDelete, res.value());
+  }
+  return res;
+}
+
+Result<Document> Database::Get(const std::string& table,
+                               const std::string& id) const {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.reads++;
+  }
+  Table* t = FindTable(table);
+  if (t == nullptr) return Status::NotFound(table + "/" + id);
+  return t->Get(id);
+}
+
+std::vector<Document> Database::Execute(const Query& query) const {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.queries++;
+  }
+  Table* t = FindTable(query.table());
+  if (t == nullptr) return {};
+  return t->Execute(query);
+}
+
+void Database::AddChangeListener(ChangeListener listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void Database::Notify(WriteKind kind, const Document& after) {
+  if (listeners_.empty()) return;
+  ChangeEvent ev;
+  ev.kind = kind;
+  ev.after = after;
+  ev.commit_time = after.write_time;
+  for (const ChangeListener& l : listeners_) l(ev);
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, t] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace quaestor::db

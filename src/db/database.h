@@ -1,0 +1,100 @@
+#ifndef QUAESTOR_DB_DATABASE_H_
+#define QUAESTOR_DB_DATABASE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/hash.h"
+#include "common/result.h"
+#include "db/document.h"
+#include "db/query.h"
+#include "db/table.h"
+#include "db/update.h"
+
+namespace quaestor::db {
+
+/// Listener invoked synchronously after each committed write with the
+/// record's after-image. Quaestor's server wires this into InvaliDB's
+/// change-stream ingestion (§4.1).
+using ChangeListener = std::function<void(const ChangeEvent&)>;
+
+/// Per-shard and total operation counters.
+struct DatabaseStats {
+  uint64_t inserts = 0;
+  uint64_t updates = 0;
+  uint64_t deletes = 0;
+  uint64_t reads = 0;
+  uint64_t queries = 0;
+};
+
+/// A multi-table document database with a change stream — the MongoDB
+/// stand-in. Documents are hash-sharded by primary key across
+/// `num_shards` logical shards (shard assignment is observable for load
+/// accounting; all shards live in this process).
+class Database {
+ public:
+  explicit Database(Clock* clock, size_t num_shards = 1)
+      : clock_(clock), num_shards_(num_shards == 0 ? 1 : num_shards) {}
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Returns the table, creating it on first use.
+  Table* GetOrCreateTable(const std::string& name);
+
+  /// Returns the table or nullptr.
+  Table* FindTable(const std::string& name) const;
+
+  // -- CRUD (each committed write notifies change listeners) --
+
+  Result<Document> Insert(const std::string& table, const std::string& id,
+                          Value body);
+  Result<Document> Upsert(const std::string& table, const std::string& id,
+                          Value body);
+  Result<Document> Apply(const std::string& table, const std::string& id,
+                         const Update& update);
+  Result<Document> Delete(const std::string& table, const std::string& id);
+  Result<Document> Get(const std::string& table, const std::string& id) const;
+
+  /// Executes a query against its table (empty result for missing tables).
+  std::vector<Document> Execute(const Query& query) const;
+
+  /// Registers a change listener. Not thread-safe with respect to
+  /// concurrent writes; register listeners during setup.
+  void AddChangeListener(ChangeListener listener);
+
+  /// Logical shard for a record key (hashed primary key, like the paper's
+  /// MongoDB cluster configuration).
+  size_t ShardOf(const std::string& id) const {
+    return static_cast<size_t>(Hash64(id) % num_shards_);
+  }
+
+  size_t num_shards() const { return num_shards_; }
+
+  DatabaseStats stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  void Notify(WriteKind kind, const Document& after);
+
+  Clock* clock_;
+  const size_t num_shards_;
+  mutable std::mutex tables_mu_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<ChangeListener> listeners_;
+  mutable std::mutex stats_mu_;
+  mutable DatabaseStats stats_;
+};
+
+}  // namespace quaestor::db
+
+#endif  // QUAESTOR_DB_DATABASE_H_

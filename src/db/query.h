@@ -1,0 +1,143 @@
+#ifndef QUAESTOR_DB_QUERY_H_
+#define QUAESTOR_DB_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/value.h"
+
+namespace quaestor::db {
+
+/// Comparison operators supported by the query language (MongoDB subset).
+enum class CompareOp {
+  kEq,        // $eq  — equality; for array fields also element membership
+  kNe,        // $ne
+  kGt,        // $gt
+  kGte,       // $gte
+  kLt,        // $lt
+  kLte,       // $lte
+  kIn,        // $in  — field value is one of the operand array's elements
+  kNin,       // $nin
+  kContains,  // $contains — array field contains the operand element
+  kExists,    // $exists — operand is a bool
+  kPrefix,    // $prefix — string field starts with operand (index-friendly
+              //           stand-in for anchored $regex)
+};
+
+/// Returns the operator's name (e.g. "$eq").
+std::string_view CompareOpName(CompareOp op);
+
+/// A boolean predicate tree over document fields. Leaves compare a
+/// dot-path against an operand; inner nodes are AND/OR/NOT.
+struct Predicate {
+  enum class Kind { kTrue, kCompare, kAnd, kOr, kNot };
+
+  Kind kind = Kind::kTrue;
+
+  // kCompare:
+  std::string path;
+  CompareOp op = CompareOp::kEq;
+  Value operand;
+
+  // kAnd / kOr / kNot (kNot has exactly one child):
+  std::vector<Predicate> children;
+
+  /// Leaf constructor.
+  static Predicate Compare(std::string path, CompareOp op, Value operand);
+  static Predicate True();
+  static Predicate And(std::vector<Predicate> children);
+  static Predicate Or(std::vector<Predicate> children);
+  static Predicate Not(Predicate child);
+
+  /// Evaluates against a document body (an object value).
+  bool Matches(const Value& doc) const;
+
+  /// Canonical text form; AND/OR children are sorted so semantically equal
+  /// predicates produce identical strings.
+  std::string Normalize() const;
+
+  /// Re-encodes as a MongoDB-style filter spec (the inverse of parsing):
+  /// Query::Parse(table, p.ToSpec()) yields an equivalent predicate.
+  Value ToSpec() const;
+};
+
+/// A sort key: dot-path plus direction.
+struct SortKey {
+  std::string path;
+  bool ascending = true;
+};
+
+/// A query over a single table: a predicate plus optional ORDER BY /
+/// LIMIT / OFFSET. Queries without order/limit/offset are "stateless" in
+/// InvaliDB's sense (§4.1 Managing Query State).
+class Query {
+ public:
+  Query() = default;
+  Query(std::string table, Predicate filter)
+      : table_(std::move(table)), filter_(std::move(filter)) {}
+
+  const std::string& table() const { return table_; }
+  const Predicate& filter() const { return filter_; }
+  const std::vector<SortKey>& order_by() const { return order_by_; }
+  int64_t limit() const { return limit_; }
+  int64_t offset() const { return offset_; }
+
+  Query& SetOrderBy(std::vector<SortKey> keys) {
+    order_by_ = std::move(keys);
+    return *this;
+  }
+  Query& SetLimit(int64_t limit) {
+    limit_ = limit;
+    return *this;
+  }
+  Query& SetOffset(int64_t offset) {
+    offset_ = offset;
+    return *this;
+  }
+
+  /// True if the predicate matches the document body.
+  bool Matches(const Value& doc) const { return filter_.Matches(doc); }
+
+  /// True if the query carries no ORDER BY / LIMIT / OFFSET state.
+  bool IsStateless() const {
+    return order_by_.empty() && limit_ < 0 && offset_ == 0;
+  }
+
+  /// Canonical cache key: "q:<table>?<normalized filter>[&sort=...][&limit=
+  /// ...][&offset=...]". Two semantically identical queries (e.g. AND
+  /// clauses in different order) share one key — the paper's "normalized
+  /// query string" (§3.1).
+  std::string NormalizedKey() const;
+
+  /// Compares documents according to this query's ORDER BY (ties broken by
+  /// document id for determinism). Returns true if a < b.
+  bool OrderedBefore(const Value& a, std::string_view a_id, const Value& b,
+                     std::string_view b_id) const;
+
+  /// Parses a MongoDB-style filter document, e.g.
+  ///   {"tags": {"$contains": "example"}, "age": {"$gte": 21}}
+  ///   {"$or": [{"a": 1}, {"b": {"$lt": 5}}]}
+  /// A bare literal means $eq.
+  static Result<Query> Parse(std::string table, const Value& filter_spec);
+
+  /// Parses a filter from JSON text (convenience over Parse).
+  static Result<Query> ParseJson(std::string table, std::string_view json);
+
+  /// Full wire encoding including table, filter, and windowing —
+  /// round-trips through FromSpec (used by the queue transport, §4.1).
+  Value ToSpec() const;
+  static Result<Query> FromSpec(const Value& spec);
+
+ private:
+  std::string table_;
+  Predicate filter_;
+  std::vector<SortKey> order_by_;
+  int64_t limit_ = -1;  // -1 = no limit
+  int64_t offset_ = 0;
+};
+
+}  // namespace quaestor::db
+
+#endif  // QUAESTOR_DB_QUERY_H_

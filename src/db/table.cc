@@ -1,0 +1,237 @@
+#include "db/table.h"
+
+#include <algorithm>
+
+namespace quaestor::db {
+
+void Table::IndexKeysFor(const Value& body, const std::string& path,
+                         std::vector<std::string>* out) {
+  const Value* v = body.Find(path);
+  if (v == nullptr) return;
+  out->push_back(v->ToJson());
+  if (v->is_array()) {
+    // Multikey: {tags: "x"} equality matches array elements.
+    for (const Value& e : v->as_array()) out->push_back(e.ToJson());
+  }
+}
+
+void Table::AddToIndexesLocked(const Document& doc) {
+  for (auto& [path, index] : indexes_) {
+    std::vector<std::string> keys;
+    IndexKeysFor(doc.body, path, &keys);
+    for (const std::string& k : keys) index[k].insert(doc.id);
+  }
+}
+
+void Table::RemoveFromIndexesLocked(const Document& doc) {
+  for (auto& [path, index] : indexes_) {
+    std::vector<std::string> keys;
+    IndexKeysFor(doc.body, path, &keys);
+    for (const std::string& k : keys) {
+      auto it = index.find(k);
+      if (it == index.end()) continue;
+      it->second.erase(doc.id);
+      if (it->second.empty()) index.erase(it);
+    }
+  }
+}
+
+void Table::CreateIndex(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (indexes_.count(path) > 0) return;
+  Index& index = indexes_[path];
+  for (const auto& [id, doc] : docs_) {
+    if (doc.deleted) continue;
+    std::vector<std::string> keys;
+    IndexKeysFor(doc.body, path, &keys);
+    for (const std::string& k : keys) index[k].insert(id);
+  }
+}
+
+void Table::DropIndex(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  indexes_.erase(path);
+}
+
+bool Table::HasIndex(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return indexes_.count(path) > 0;
+}
+
+uint64_t Table::index_lookups() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_lookups_;
+}
+
+uint64_t Table::full_scans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return full_scans_;
+}
+
+const Predicate* Table::FindIndexableEqLocked(const Predicate& p) const {
+  auto usable = [this](const Predicate& leaf) {
+    return leaf.kind == Predicate::Kind::kCompare &&
+           leaf.op == CompareOp::kEq && !leaf.operand.is_null() &&
+           indexes_.count(leaf.path) > 0;
+  };
+  if (usable(p)) return &p;
+  if (p.kind == Predicate::Kind::kAnd) {
+    for (const Predicate& child : p.children) {
+      if (usable(child)) return &child;
+    }
+  }
+  return nullptr;
+}
+
+Result<Document> Table::Insert(const std::string& id, Value body, Micros now) {
+  if (!body.is_object()) {
+    return Status::InvalidArgument("document body must be an object");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = docs_.find(id);
+  if (it != docs_.end() && !it->second.deleted) {
+    return Status::AlreadyExists(name_ + "/" + id);
+  }
+  Document doc;
+  doc.table = name_;
+  doc.id = id;
+  doc.version = (it != docs_.end()) ? it->second.version + 1 : 1;
+  doc.write_time = now;
+  doc.deleted = false;
+  doc.body = std::move(body);
+  docs_[id] = doc;
+  AddToIndexesLocked(doc);
+  return doc;
+}
+
+Result<Document> Table::Upsert(const std::string& id, Value body, Micros now) {
+  if (!body.is_object()) {
+    return Status::InvalidArgument("document body must be an object");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = docs_.find(id);
+  if (it != docs_.end() && !it->second.deleted) {
+    RemoveFromIndexesLocked(it->second);
+  }
+  Document doc;
+  doc.table = name_;
+  doc.id = id;
+  doc.version = (it != docs_.end()) ? it->second.version + 1 : 1;
+  doc.write_time = now;
+  doc.deleted = false;
+  doc.body = std::move(body);
+  docs_[id] = doc;
+  AddToIndexesLocked(doc);
+  return doc;
+}
+
+Result<Document> Table::Apply(const std::string& id, const Update& update,
+                              Micros now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = docs_.find(id);
+  if (it == docs_.end() || it->second.deleted) {
+    return Status::NotFound(name_ + "/" + id);
+  }
+  Document doc = it->second;
+  QUAESTOR_RETURN_IF_ERROR(update.ApplyTo(doc.body));
+  doc.version++;
+  doc.write_time = now;
+  RemoveFromIndexesLocked(it->second);
+  docs_[id] = doc;
+  AddToIndexesLocked(doc);
+  return doc;
+}
+
+Result<Document> Table::Delete(const std::string& id, Micros now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = docs_.find(id);
+  if (it == docs_.end() || it->second.deleted) {
+    return Status::NotFound(name_ + "/" + id);
+  }
+  Document& doc = it->second;
+  RemoveFromIndexesLocked(doc);
+  doc.version++;
+  doc.write_time = now;
+  doc.deleted = true;
+  return doc;
+}
+
+Result<Document> Table::Get(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = docs_.find(id);
+  if (it == docs_.end() || it->second.deleted) {
+    return Status::NotFound(name_ + "/" + id);
+  }
+  return it->second;
+}
+
+std::vector<Document> Table::Execute(const Query& query) const {
+  std::vector<Document> matches;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Predicate* eq = FindIndexableEqLocked(query.filter());
+    if (eq != nullptr) {
+      // Index path: candidates from the multikey hash index, then verify
+      // the full predicate (other conjuncts may restrict further).
+      index_lookups_++;
+      const Index& index = indexes_.at(eq->path);
+      auto bucket = index.find(eq->operand.ToJson());
+      if (bucket != index.end()) {
+        for (const std::string& id : bucket->second) {
+          auto it = docs_.find(id);
+          if (it == docs_.end() || it->second.deleted) continue;
+          if (query.Matches(it->second.body)) matches.push_back(it->second);
+        }
+      }
+    } else {
+      full_scans_++;
+      for (const auto& [id, doc] : docs_) {
+        if (doc.deleted) continue;
+        if (query.Matches(doc.body)) matches.push_back(doc);
+      }
+    }
+  }
+  if (!query.order_by().empty()) {
+    std::sort(matches.begin(), matches.end(),
+              [&query](const Document& a, const Document& b) {
+                return query.OrderedBefore(a.body, a.id, b.body, b.id);
+              });
+  } else {
+    // Deterministic order even without ORDER BY (scan order of a hash map
+    // is arbitrary; id order keeps results and result-based cache entries
+    // stable).
+    std::sort(matches.begin(), matches.end(),
+              [](const Document& a, const Document& b) { return a.id < b.id; });
+  }
+  // OFFSET / LIMIT.
+  const size_t offset = static_cast<size_t>(std::max<int64_t>(
+      0, query.offset()));
+  if (offset >= matches.size()) return {};
+  if (offset > 0) matches.erase(matches.begin(), matches.begin() + offset);
+  if (query.limit() >= 0 &&
+      matches.size() > static_cast<size_t>(query.limit())) {
+    matches.resize(static_cast<size_t>(query.limit()));
+  }
+  return matches;
+}
+
+size_t Table::LiveCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [id, doc] : docs_) {
+    if (!doc.deleted) ++n;
+  }
+  return n;
+}
+
+std::vector<std::string> Table::LiveIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> ids;
+  ids.reserve(docs_.size());
+  for (const auto& [id, doc] : docs_) {
+    if (!doc.deleted) ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace quaestor::db

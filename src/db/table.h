@@ -1,0 +1,101 @@
+#ifndef QUAESTOR_DB_TABLE_H_
+#define QUAESTOR_DB_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "db/document.h"
+#include "db/query.h"
+#include "db/update.h"
+
+namespace quaestor::db {
+
+/// A single document table: id → versioned document. Thread-safe. Query
+/// execution is a predicate scan plus optional sort/offset/limit (the
+/// paper's substrate is an aggregate-oriented store; secondary indexing is
+/// orthogonal to the caching contribution).
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Inserts a new document. Fails with AlreadyExists if the id is live.
+  /// Returns the committed after-image.
+  Result<Document> Insert(const std::string& id, Value body, Micros now);
+
+  /// Inserts or fully replaces. Returns the committed after-image.
+  Result<Document> Upsert(const std::string& id, Value body, Micros now);
+
+  /// Applies a partial update. Fails with NotFound for missing/deleted ids.
+  Result<Document> Apply(const std::string& id, const Update& update,
+                         Micros now);
+
+  /// Deletes a document. Returns the tombstone after-image.
+  Result<Document> Delete(const std::string& id, Micros now);
+
+  /// Point lookup of the live version.
+  Result<Document> Get(const std::string& id) const;
+
+  /// Executes a query: scan + filter + order/offset/limit.
+  std::vector<Document> Execute(const Query& query) const;
+
+  /// Number of live (non-deleted) documents.
+  size_t LiveCount() const;
+
+  /// Ids of all live documents (snapshot).
+  std::vector<std::string> LiveIds() const;
+
+  // -- Secondary indexes --
+
+  /// Creates a multikey hash index on a dot-path (MongoDB-style: array
+  /// values index every element). Built from existing documents;
+  /// maintained on every write. Queries with a top-level equality on an
+  /// indexed path use it instead of scanning. Idempotent.
+  void CreateIndex(const std::string& path);
+
+  void DropIndex(const std::string& path);
+
+  bool HasIndex(const std::string& path) const;
+
+  /// How many Execute() calls were answered via an index (diagnostics).
+  uint64_t index_lookups() const;
+  /// How many Execute() calls fell back to a full scan.
+  uint64_t full_scans() const;
+
+ private:
+  /// value-json → ids. Multikey: array fields index each element AND the
+  /// whole array.
+  using Index = std::unordered_map<std::string,
+                                   std::unordered_set<std::string>>;
+
+  static void IndexKeysFor(const Value& body, const std::string& path,
+                           std::vector<std::string>* out);
+  void AddToIndexesLocked(const Document& doc);
+  void RemoveFromIndexesLocked(const Document& doc);
+
+  /// Finds a top-level equality predicate on an indexed path (the root
+  /// itself or a conjunct of a root AND).
+  const Predicate* FindIndexableEqLocked(const Predicate& p) const;
+
+  std::string name_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Document> docs_;
+  std::map<std::string, Index> indexes_;
+  mutable uint64_t index_lookups_ = 0;
+  mutable uint64_t full_scans_ = 0;
+};
+
+}  // namespace quaestor::db
+
+#endif  // QUAESTOR_DB_TABLE_H_

@@ -1,0 +1,102 @@
+#ifndef QUAESTOR_DB_VALUE_H_
+#define QUAESTOR_DB_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+
+namespace quaestor::db {
+
+class Value;
+
+/// Array of values.
+using Array = std::vector<Value>;
+/// Object with sorted keys (sorted order makes serialization canonical,
+/// which Quaestor relies on for normalized query cache keys).
+using Object = std::map<std::string, Value>;
+
+/// A JSON-like dynamic value: the unit of data in the document store.
+/// Numbers are stored as int64 or double; comparisons treat them as one
+/// numeric type (MongoDB semantics).
+class Value {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}          // NOLINT
+  Value(bool b) : data_(b) {}                        // NOLINT
+  Value(int i) : data_(static_cast<int64_t>(i)) {}   // NOLINT
+  Value(int64_t i) : data_(i) {}                     // NOLINT
+  Value(double d) : data_(d) {}                      // NOLINT
+  Value(const char* s) : data_(std::string(s)) {}    // NOLINT
+  Value(std::string s) : data_(std::move(s)) {}      // NOLINT
+  Value(std::string_view s) : data_(std::string(s)) {}  // NOLINT
+  Value(Array a) : data_(std::move(a)) {}            // NOLINT
+  Value(Object o) : data_(std::move(o)) {}           // NOLINT
+
+  Type type() const;
+
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_int() const { return type() == Type::kInt; }
+  bool is_double() const { return type() == Type::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  bool as_bool() const { return std::get<bool>(data_); }
+  int64_t as_int() const { return std::get<int64_t>(data_); }
+  double as_double() const { return std::get<double>(data_); }
+  /// Numeric value as double regardless of int/double storage.
+  double as_number() const;
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  const Array& as_array() const { return std::get<Array>(data_); }
+  Array& as_array() { return std::get<Array>(data_); }
+  const Object& as_object() const { return std::get<Object>(data_); }
+  Object& as_object() { return std::get<Object>(data_); }
+
+  /// Looks up a dot-separated path ("author.name", "tags") within this
+  /// value. Returns nullptr if any segment is missing or a non-object is
+  /// traversed. Array indices are supported as numeric segments
+  /// ("tags.0").
+  const Value* Find(std::string_view path) const;
+
+  /// Sets a dot-separated path, creating intermediate objects. Fails if an
+  /// intermediate segment exists but is not an object.
+  Status SetPath(std::string_view path, Value v);
+
+  /// Removes a dot-separated path. Returns true if something was removed.
+  bool RemovePath(std::string_view path);
+
+  /// Serializes to canonical JSON text (sorted object keys, shortest
+  /// round-trip numbers).
+  std::string ToJson() const;
+
+  /// Parses JSON text.
+  static Result<Value> FromJson(std::string_view text);
+
+  /// Deep structural equality. Int and double values compare numerically
+  /// (Value(1) == Value(1.0)).
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// Total order used by ORDER BY: null < bool < number < string < array <
+  /// object; numbers compare numerically. Returns <0, 0, >0.
+  static int Compare(const Value& a, const Value& b);
+
+ private:
+  std::variant<std::nullptr_t, bool, int64_t, double, std::string, Array,
+               Object>
+      data_;
+};
+
+}  // namespace quaestor::db
+
+#endif  // QUAESTOR_DB_VALUE_H_

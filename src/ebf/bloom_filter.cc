@@ -1,0 +1,191 @@
+#include "ebf/bloom_filter.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace quaestor::ebf {
+
+void BitVector::Reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+void BitVector::UnionWith(const BitVector& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+size_t BitVector::PopCount() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+size_t BloomParams::OptimalNumHashes(size_t m, size_t n) {
+  if (n == 0) return 1;
+  const double k = (static_cast<double>(m) / static_cast<double>(n)) *
+                   std::log(2.0);
+  return std::max<size_t>(1, static_cast<size_t>(std::lround(k)));
+}
+
+double BloomParams::FalsePositiveRate(size_t m, size_t n, size_t k) {
+  if (m == 0) return 1.0;
+  const double exponent = -static_cast<double>(k) * static_cast<double>(n) /
+                          static_cast<double>(m);
+  return std::pow(1.0 - std::exp(exponent), static_cast<double>(k));
+}
+
+BloomParams BloomParams::ForCapacity(size_t n, double target_fpr) {
+  assert(target_fpr > 0.0 && target_fpr < 1.0);
+  const double ln2 = std::log(2.0);
+  const double m = -static_cast<double>(n) * std::log(target_fpr) /
+                   (ln2 * ln2);
+  BloomParams p;
+  p.num_bits = std::max<size_t>(64, static_cast<size_t>(std::ceil(m)));
+  p.num_hashes = std::min<size_t>(16, OptimalNumHashes(p.num_bits, n));
+  return p;
+}
+
+BloomFilter::BloomFilter(BloomParams params)
+    : params_(params), bits_(params.num_bits) {
+  assert(params_.num_hashes >= 1 && params_.num_hashes <= 16);
+}
+
+void BloomFilter::Add(std::string_view key) {
+  size_t pos[16];
+  BloomPositions(key, params_.num_hashes, params_.num_bits, pos);
+  for (size_t i = 0; i < params_.num_hashes; ++i) bits_.Set(pos[i]);
+}
+
+bool BloomFilter::MaybeContains(std::string_view key) const {
+  size_t pos[16];
+  BloomPositions(key, params_.num_hashes, params_.num_bits, pos);
+  for (size_t i = 0; i < params_.num_hashes; ++i) {
+    if (!bits_.Test(pos[i])) return false;
+  }
+  return true;
+}
+
+void BloomFilter::Clear() { bits_.Reset(); }
+
+void BloomFilter::UnionWith(const BloomFilter& other) {
+  assert(params_.num_bits == other.params_.num_bits &&
+         params_.num_hashes == other.params_.num_hashes);
+  bits_.UnionWith(other.bits_);
+}
+
+double BloomFilter::FillRatio() const {
+  if (params_.num_bits == 0) return 0.0;
+  return static_cast<double>(bits_.PopCount()) /
+         static_cast<double>(params_.num_bits);
+}
+
+double BloomFilter::EstimatedFpr() const {
+  return std::pow(FillRatio(), static_cast<double>(params_.num_hashes));
+}
+
+namespace {
+
+void AppendU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t ReadU32(std::string_view bytes, size_t offset) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(bytes[offset + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+constexpr uint32_t kBloomMagic = 0x51454246;  // "QEBF"
+
+}  // namespace
+
+std::string BloomFilter::Serialize() const {
+  std::string out;
+  out.reserve(12 + ByteSize());
+  AppendU32(out, kBloomMagic);
+  AppendU32(out, static_cast<uint32_t>(params_.num_bits));
+  AppendU32(out, static_cast<uint32_t>(params_.num_hashes));
+  const std::vector<uint64_t>& words = bits_.words();
+  size_t remaining = ByteSize();
+  for (uint64_t w : words) {
+    for (int i = 0; i < 8 && remaining > 0; ++i, --remaining) {
+      out.push_back(static_cast<char>((w >> (8 * i)) & 0xff));
+    }
+  }
+  return out;
+}
+
+Result<BloomFilter> BloomFilter::Deserialize(std::string_view bytes) {
+  if (bytes.size() < 12) {
+    return Status::Corruption("bloom filter truncated header");
+  }
+  if (ReadU32(bytes, 0) != kBloomMagic) {
+    return Status::Corruption("bloom filter bad magic");
+  }
+  BloomParams params;
+  params.num_bits = ReadU32(bytes, 4);
+  params.num_hashes = ReadU32(bytes, 8);
+  if (params.num_bits == 0 || params.num_hashes == 0 ||
+      params.num_hashes > 16) {
+    return Status::Corruption("bloom filter bad parameters");
+  }
+  BloomFilter filter(params);
+  const size_t body = (params.num_bits + 7) / 8;
+  if (bytes.size() != 12 + body) {
+    return Status::Corruption("bloom filter truncated body");
+  }
+  std::vector<uint64_t>& words = filter.bits_.mutable_words();
+  for (size_t b = 0; b < body; ++b) {
+    const uint64_t byte =
+        static_cast<unsigned char>(bytes[12 + b]);
+    words[b / 8] |= byte << (8 * (b % 8));
+  }
+  return filter;
+}
+
+CountingBloomFilter::CountingBloomFilter(BloomParams params)
+    : params_(params), counters_(params.num_bits, 0) {
+  assert(params_.num_hashes >= 1 && params_.num_hashes <= 16);
+}
+
+void CountingBloomFilter::Positions(std::string_view key, size_t* out) const {
+  BloomPositions(key, params_.num_hashes, params_.num_bits, out);
+}
+
+void CountingBloomFilter::Add(std::string_view key) {
+  Add(key, [](size_t) {});
+}
+
+void CountingBloomFilter::Remove(std::string_view key) {
+  Remove(key, [](size_t) {});
+}
+
+bool CountingBloomFilter::MaybeContains(std::string_view key) const {
+  size_t pos[16];
+  Positions(key, pos);
+  for (size_t i = 0; i < params_.num_hashes; ++i) {
+    if (counters_[pos[i]] == 0) return false;
+  }
+  return true;
+}
+
+BloomFilter CountingBloomFilter::ToBloomFilter() const {
+  BloomFilter out(params_);
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i] > 0) out.SetBit(i);
+  }
+  return out;
+}
+
+void CountingBloomFilter::Clear() {
+  std::fill(counters_.begin(), counters_.end(), 0);
+}
+
+}  // namespace quaestor::ebf

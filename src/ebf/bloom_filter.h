@@ -1,0 +1,176 @@
+#ifndef QUAESTOR_EBF_BLOOM_FILTER_H_
+#define QUAESTOR_EBF_BLOOM_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace quaestor::ebf {
+
+/// A fixed-size bit vector backed by 64-bit words.
+class BitVector {
+ public:
+  explicit BitVector(size_t num_bits = 0)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  size_t size() const { return num_bits_; }
+
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  void Set(size_t i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+  void Clear(size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  void Reset();
+
+  /// Bitwise OR with another vector of the same size (EBF partition union,
+  /// §3.3 Scalability).
+  void UnionWith(const BitVector& other);
+
+  /// Number of set bits.
+  size_t PopCount() const;
+
+  /// Serialized byte size (what a client download costs before gzip).
+  size_t ByteSize() const { return (num_bits_ + 7) / 8; }
+
+  friend bool operator==(const BitVector& a, const BitVector& b) {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
+
+  const std::vector<uint64_t>& words() const { return words_; }
+  std::vector<uint64_t>& mutable_words() { return words_; }
+
+ private:
+  size_t num_bits_;
+  std::vector<uint64_t> words_;
+};
+
+/// Sizing parameters for Bloom filters. The paper's default matches TCP's
+/// initial congestion window: m ≈ 10 × 1460 B = 14.6 KB = 116,800 bits,
+/// giving a ~6% false-positive rate at 20,000 stale entries (§3.3).
+struct BloomParams {
+  size_t num_bits = 116800;
+  size_t num_hashes = 4;
+
+  /// Optimal k for a filter of m bits expected to hold n keys:
+  /// k = (m/n) ln 2.
+  static size_t OptimalNumHashes(size_t m, size_t n);
+
+  /// Expected false-positive rate for m bits, n keys, k hashes:
+  /// (1 - e^(-kn/m))^k.
+  static double FalsePositiveRate(size_t m, size_t n, size_t k);
+
+  /// Parameters sized for n keys at target false-positive rate f:
+  /// m = -n ln f / (ln 2)^2.
+  static BloomParams ForCapacity(size_t n, double target_fpr);
+};
+
+/// A plain ("flat") Bloom filter: the immutable client-side form of the
+/// EBF. Supports insertion, membership tests, and union.
+class BloomFilter {
+ public:
+  explicit BloomFilter(BloomParams params = BloomParams());
+
+  const BloomParams& params() const { return params_; }
+  const BitVector& bits() const { return bits_; }
+
+  void Add(std::string_view key);
+  bool MaybeContains(std::string_view key) const;
+  void Clear();
+
+  /// Sets/clears an individual bit position (used by the EBF to maintain
+  /// the flat filter incrementally from counter transitions).
+  void SetBit(size_t pos) { bits_.Set(pos); }
+  void ClearBit(size_t pos) { bits_.Clear(pos); }
+
+  /// Union with a filter of identical parameters.
+  void UnionWith(const BloomFilter& other);
+
+  /// Fraction of set bits.
+  double FillRatio() const;
+
+  /// Estimated FPR from the current fill ratio: fill^k.
+  double EstimatedFpr() const;
+
+  /// Serialized byte size (bit array only).
+  size_t ByteSize() const { return bits_.ByteSize(); }
+
+  /// Serializes to a compact byte string (params header + bit array) —
+  /// what travels to clients in one TCP congestion window (§3.3).
+  std::string Serialize() const;
+
+  /// Parses a serialized filter.
+  static Result<BloomFilter> Deserialize(std::string_view bytes);
+
+ private:
+  BloomParams params_;
+  BitVector bits_;
+};
+
+/// A counting Bloom filter: supports removal, which the server-side EBF
+/// needs to discard queries once they are no longer stale (§3.3). Counters
+/// are 16-bit and saturate.
+class CountingBloomFilter {
+ public:
+  explicit CountingBloomFilter(BloomParams params = BloomParams());
+
+  const BloomParams& params() const { return params_; }
+
+  /// Increments the key's counters. `on_bit_set` is called for every bit
+  /// position whose counter transitioned 0 → 1 (flat-filter maintenance).
+  template <typename Fn>
+  void Add(std::string_view key, Fn on_bit_set);
+  void Add(std::string_view key);
+
+  /// Decrements the key's counters (no-op guarding against underflow).
+  /// `on_bit_clear` is called for positions transitioning 1 → 0.
+  template <typename Fn>
+  void Remove(std::string_view key, Fn on_bit_clear);
+  void Remove(std::string_view key);
+
+  bool MaybeContains(std::string_view key) const;
+
+  /// Builds the flat filter (all non-zero counters as set bits).
+  BloomFilter ToBloomFilter() const;
+
+  void Clear();
+
+ private:
+  void Positions(std::string_view key, size_t* out) const;
+
+  BloomParams params_;
+  std::vector<uint16_t> counters_;
+};
+
+// -- template implementations --
+
+template <typename Fn>
+void CountingBloomFilter::Add(std::string_view key, Fn on_bit_set) {
+  size_t pos[16];
+  Positions(key, pos);
+  for (size_t i = 0; i < params_.num_hashes; ++i) {
+    uint16_t& c = counters_[pos[i]];
+    if (c == UINT16_MAX) continue;  // saturated
+    if (c == 0) on_bit_set(pos[i]);
+    ++c;
+  }
+}
+
+template <typename Fn>
+void CountingBloomFilter::Remove(std::string_view key, Fn on_bit_clear) {
+  size_t pos[16];
+  Positions(key, pos);
+  for (size_t i = 0; i < params_.num_hashes; ++i) {
+    uint16_t& c = counters_[pos[i]];
+    if (c == 0 || c == UINT16_MAX) continue;  // underflow/saturation guard
+    --c;
+    if (c == 0) on_bit_clear(pos[i]);
+  }
+}
+
+}  // namespace quaestor::ebf
+
+#endif  // QUAESTOR_EBF_BLOOM_FILTER_H_

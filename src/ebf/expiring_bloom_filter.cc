@@ -1,0 +1,175 @@
+#include "ebf/expiring_bloom_filter.h"
+
+#include <memory>
+
+namespace quaestor::ebf {
+
+ExpiringBloomFilter::ExpiringBloomFilter(Clock* clock, BloomParams params)
+    : clock_(clock), params_(params), counting_(params), flat_(params) {}
+
+void ExpiringBloomFilter::ReportRead(std::string_view key, Micros ttl) {
+  if (ttl <= 0) return;  // uncacheable response: nothing to track
+  const Micros now = clock_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  MaintainLocked(now);
+  stats_.reads_reported++;
+  KeyState& st = keys_[std::string(key)];
+  const Micros expire_at = now + ttl;
+  if (expire_at > st.expire_at) {
+    st.expire_at = expire_at;
+    // Track for cleanup of the keys_ map even if never invalidated.
+    deadlines_.push({expire_at, std::string(key)});
+  }
+}
+
+bool ExpiringBloomFilter::ReportWrite(std::string_view key) {
+  const Micros now = clock_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  MaintainLocked(now);
+  stats_.invalidations_reported++;
+  auto it = keys_.find(std::string(key));
+  if (it == keys_.end()) return false;  // no unexpired TTL issued
+  KeyState& st = it->second;
+  if (st.expire_at <= now) return st.in_filter;
+  // Some cache may hold this key until st.expire_at: mark stale until then.
+  if (st.expire_at > st.stale_until) {
+    st.stale_until = st.expire_at;
+    deadlines_.push({st.stale_until, std::string(key)});
+  }
+  if (!st.in_filter) {
+    st.in_filter = true;
+    stats_.keys_added++;
+    counting_.Add(key, [this](size_t pos) { flat_.SetBit(pos); });
+  }
+  return true;
+}
+
+bool ExpiringBloomFilter::IsStale(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = keys_.find(std::string(key));
+  if (it == keys_.end()) return false;
+  return it->second.in_filter &&
+         it->second.stale_until > clock_->NowMicros();
+}
+
+bool ExpiringBloomFilter::MaybeStale(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flat_.MaybeContains(key);
+}
+
+BloomFilter ExpiringBloomFilter::Snapshot() {
+  const Micros now = clock_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  MaintainLocked(now);
+  return flat_;
+}
+
+void ExpiringBloomFilter::Maintain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  MaintainLocked(clock_->NowMicros());
+}
+
+void ExpiringBloomFilter::MaintainLocked(Micros now) {
+  while (!deadlines_.empty() && deadlines_.top().at <= now) {
+    Deadline d = deadlines_.top();
+    deadlines_.pop();
+    auto it = keys_.find(d.key);
+    if (it == keys_.end()) continue;
+    KeyState& st = it->second;
+    if (st.in_filter && st.stale_until <= now) {
+      // The highest TTL issued before the invalidation has expired: every
+      // cache has dropped the stale copy; the key is fresh again.
+      st.in_filter = false;
+      stats_.keys_expired++;
+      counting_.Remove(d.key, [this](size_t pos) { flat_.ClearBit(pos); });
+    }
+    if (!st.in_filter && st.expire_at <= now) {
+      keys_.erase(it);  // no live TTLs and not stale: forget the key
+    }
+  }
+}
+
+size_t ExpiringBloomFilter::StaleCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [key, st] : keys_) {
+    if (st.in_filter) ++n;
+  }
+  return n;
+}
+
+size_t ExpiringBloomFilter::TrackedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return keys_.size();
+}
+
+EbfStats ExpiringBloomFilter::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+ExpiringBloomFilter* PartitionedEbf::Partition(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = partitions_.find(table);
+  if (it == partitions_.end()) {
+    it = partitions_
+             .emplace(table,
+                      std::make_unique<ExpiringBloomFilter>(clock_, params_))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string PartitionedEbf::TableOfKey(std::string_view key) {
+  // Record keys look like "table/id"; query keys like "q:table?...".
+  std::string_view rest = key;
+  if (rest.starts_with("q:")) {
+    rest.remove_prefix(2);
+    const size_t q = rest.find('?');
+    return std::string(rest.substr(0, q));
+  }
+  const size_t slash = rest.find('/');
+  return std::string(rest.substr(0, slash));
+}
+
+ExpiringBloomFilter* PartitionedEbf::PartitionForKey(std::string_view key) {
+  return Partition(TableOfKey(key));
+}
+
+void PartitionedEbf::ReportRead(std::string_view key, Micros ttl) {
+  PartitionForKey(key)->ReportRead(key, ttl);
+}
+
+bool PartitionedEbf::ReportWrite(std::string_view key) {
+  return PartitionForKey(key)->ReportWrite(key);
+}
+
+bool PartitionedEbf::IsStale(std::string_view key) {
+  return PartitionForKey(key)->IsStale(key);
+}
+
+BloomFilter PartitionedEbf::AggregateSnapshot() {
+  std::vector<ExpiringBloomFilter*> parts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    parts.reserve(partitions_.size());
+    for (const auto& [table, ebf] : partitions_) parts.push_back(ebf.get());
+  }
+  BloomFilter out{params_};
+  for (ExpiringBloomFilter* p : parts) out.UnionWith(p->Snapshot());
+  return out;
+}
+
+size_t PartitionedEbf::StaleCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [table, ebf] : partitions_) n += ebf->StaleCount();
+  return n;
+}
+
+size_t PartitionedEbf::PartitionCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return partitions_.size();
+}
+
+}  // namespace quaestor::ebf

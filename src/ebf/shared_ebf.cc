@@ -1,0 +1,154 @@
+#include "ebf/shared_ebf.h"
+
+#include <charconv>
+
+#include "common/hash.h"
+
+namespace quaestor::ebf {
+
+namespace {
+
+int64_t ParseI64(const std::string& s, int64_t fallback = 0) {
+  int64_t v = fallback;
+  std::from_chars(s.data(), s.data() + s.size(), v);
+  return v;
+}
+
+}  // namespace
+
+SharedEbf::SharedEbf(Clock* clock, kv::KvStore* kv, std::string prefix,
+                     BloomParams params)
+    : clock_(clock), kv_(kv), prefix_(std::move(prefix)), params_(params) {}
+
+void SharedEbf::ReportRead(std::string_view key, Micros ttl) {
+  if (ttl <= 0) return;
+  const Micros now = clock_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  MaintainLocked(now);
+  const std::string state_key = KeyStateKey(key);
+  const Micros expire_at = now + ttl;
+  const Micros prev =
+      ParseI64(kv_->HGet(state_key, "expire_at").value_or("0"));
+  if (expire_at > prev) {
+    kv_->HSet(state_key, "expire_at", std::to_string(expire_at));
+    deadlines_.push({expire_at, std::string(key)});
+  }
+}
+
+bool SharedEbf::ReportWrite(std::string_view key) {
+  const Micros now = clock_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  MaintainLocked(now);
+  const std::string state_key = KeyStateKey(key);
+  const auto all = kv_->HGetAll(state_key);
+  if (all.empty()) return false;
+  auto field = [&all](const char* f) -> int64_t {
+    auto it = all.find(f);
+    return it == all.end() ? 0 : ParseI64(it->second);
+  };
+  const Micros expire_at = field("expire_at");
+  const bool in_filter = field("in_filter") != 0;
+  if (expire_at <= now) return in_filter;
+  const Micros stale_until = field("stale_until");
+  if (expire_at > stale_until) {
+    kv_->HSet(state_key, "stale_until", std::to_string(expire_at));
+    deadlines_.push({expire_at, std::string(key)});
+  }
+  if (!in_filter) {
+    kv_->HSet(state_key, "in_filter", "1");
+    size_t pos[16];
+    BloomPositions(key, params_.num_hashes, params_.num_bits, pos);
+    for (size_t i = 0; i < params_.num_hashes; ++i) {
+      (void)kv_->HIncrBy(BitsKey(), std::to_string(pos[i]), 1);
+    }
+  }
+  return true;
+}
+
+bool SharedEbf::IsStale(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string state_key = KeyStateKey(key);
+  const auto in_filter = kv_->HGet(state_key, "in_filter");
+  if (!in_filter.ok() || in_filter.value() != "1") return false;
+  const Micros stale_until =
+      ParseI64(kv_->HGet(state_key, "stale_until").value_or("0"));
+  return stale_until > clock_->NowMicros();
+}
+
+BloomFilter SharedEbf::Snapshot() {
+  const Micros now = clock_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  MaintainLocked(now);
+  BloomFilter out(params_);
+  for (const auto& [pos_str, count_str] : kv_->HGetAll(BitsKey())) {
+    if (ParseI64(count_str) > 0) {
+      out.SetBit(static_cast<size_t>(ParseI64(pos_str)));
+    }
+  }
+  return out;
+}
+
+void SharedEbf::Maintain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  MaintainLocked(clock_->NowMicros());
+}
+
+void SharedEbf::MaintainLocked(Micros now) {
+  while (!deadlines_.empty() && deadlines_.top().at <= now) {
+    Deadline d = deadlines_.top();
+    deadlines_.pop();
+    const std::string state_key = KeyStateKey(d.key);
+    const auto all = kv_->HGetAll(state_key);
+    if (all.empty()) continue;
+    auto field = [&all](const char* f) -> int64_t {
+      auto it = all.find(f);
+      return it == all.end() ? 0 : ParseI64(it->second);
+    };
+    const bool in_filter = field("in_filter") != 0;
+    const Micros stale_until = field("stale_until");
+    const Micros expire_at = field("expire_at");
+    bool still_in_filter = in_filter;
+    if (in_filter && stale_until <= now) {
+      kv_->HSet(state_key, "in_filter", "0");
+      still_in_filter = false;
+      size_t pos[16];
+      BloomPositions(d.key, params_.num_hashes, params_.num_bits, pos);
+      for (size_t i = 0; i < params_.num_hashes; ++i) {
+        const std::string f = std::to_string(pos[i]);
+        auto v = kv_->HIncrBy(BitsKey(), f, -1);
+        if (v.ok() && v.value() <= 0) kv_->HDel(BitsKey(), f);
+      }
+    }
+    if (!still_in_filter && expire_at <= now) {
+      kv_->Del(state_key);
+    }
+  }
+}
+
+size_t SharedEbf::StaleCount() const {
+  // Counts distinct stale keys by scanning deadline entries' state. The
+  // in-memory variant is the fast path; this is a diagnostics helper.
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  std::priority_queue<Deadline, std::vector<Deadline>, std::greater<>> copy =
+      deadlines_;
+  std::vector<std::string> seen;
+  while (!copy.empty()) {
+    Deadline d = copy.top();
+    copy.pop();
+    bool dup = false;
+    for (const auto& s : seen) {
+      if (s == d.key) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) continue;
+    seen.push_back(d.key);
+    const auto in_filter = kv_->HGet(KeyStateKey(d.key), "in_filter");
+    if (in_filter.ok() && in_filter.value() == "1") ++n;
+  }
+  return n;
+}
+
+}  // namespace quaestor::ebf

@@ -1,0 +1,81 @@
+#ifndef QUAESTOR_EBF_SHARED_EBF_H_
+#define QUAESTOR_EBF_SHARED_EBF_H_
+
+#include <mutex>
+#include <queue>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "ebf/bloom_filter.h"
+#include "kv/kv_store.h"
+
+namespace quaestor::ebf {
+
+/// The distributed Expiring Bloom Filter variant (§3.3 Implementation):
+/// the counting Bloom filter and the per-key expiration state live in a
+/// shared key-value store (the Redis stand-in) so that multiple DBaaS
+/// server processes can report reads and invalidations against one shared
+/// filter. Semantics are identical to ExpiringBloomFilter.
+///
+/// Layout in the KV store (namespaced by `prefix`):
+///   <prefix>:bits          — hash: bit position → counter
+///   <prefix>:key:<key>     — hash: expire_at, stale_until, in_filter
+///
+/// Expiration deadlines are tracked in-process by whichever node performs
+/// maintenance (mirroring a deployment where a maintenance worker sweeps
+/// the shared state).
+class SharedEbf {
+ public:
+  SharedEbf(Clock* clock, kv::KvStore* kv, std::string prefix = "ebf",
+            BloomParams params = BloomParams());
+
+  SharedEbf(const SharedEbf&) = delete;
+  SharedEbf& operator=(const SharedEbf&) = delete;
+
+  /// See ExpiringBloomFilter::ReportRead.
+  void ReportRead(std::string_view key, Micros ttl);
+
+  /// See ExpiringBloomFilter::ReportWrite.
+  bool ReportWrite(std::string_view key);
+
+  /// Exact stale check from shared state.
+  bool IsStale(std::string_view key) const;
+
+  /// Builds a flat snapshot from the shared counter hash.
+  BloomFilter Snapshot();
+
+  /// Processes due expirations against the shared state.
+  void Maintain();
+
+  size_t StaleCount() const;
+
+  const BloomParams& params() const { return params_; }
+
+ private:
+  struct Deadline {
+    Micros at;
+    std::string key;
+    bool operator>(const Deadline& other) const { return at > other.at; }
+  };
+
+  std::string KeyStateKey(std::string_view key) const {
+    return prefix_ + ":key:" + std::string(key);
+  }
+  std::string BitsKey() const { return prefix_ + ":bits"; }
+
+  void MaintainLocked(Micros now);
+
+  Clock* clock_;
+  kv::KvStore* kv_;
+  std::string prefix_;
+  BloomParams params_;
+  mutable std::mutex mu_;  // serializes read-modify-write cycles
+  std::priority_queue<Deadline, std::vector<Deadline>, std::greater<>>
+      deadlines_;
+};
+
+}  // namespace quaestor::ebf
+
+#endif  // QUAESTOR_EBF_SHARED_EBF_H_

@@ -1,0 +1,262 @@
+#include "invalidb/cluster.h"
+
+#include "common/hash.h"
+
+namespace quaestor::invalidb {
+
+InvalidbCluster::InvalidbCluster(Clock* clock, InvalidbOptions options,
+                                 NotificationSink sink)
+    : clock_(clock), options_(options), sink_(std::move(sink)) {
+  if (options_.query_partitions == 0) options_.query_partitions = 1;
+  if (options_.object_partitions == 0) options_.object_partitions = 1;
+  const size_t n = options_.query_partitions * options_.object_partitions;
+  nodes_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto node = std::make_unique<Node>();
+    if (options_.threaded) {
+      node->queue =
+          std::make_unique<BoundedQueue<Task>>(options_.node_queue_capacity);
+    }
+    nodes_.push_back(std::move(node));
+  }
+  if (options_.threaded) {
+    for (auto& node : nodes_) {
+      node->worker = std::thread(&InvalidbCluster::WorkerLoop, this,
+                                 node.get());
+    }
+  }
+}
+
+InvalidbCluster::~InvalidbCluster() {
+  if (options_.threaded) {
+    for (auto& node : nodes_) node->queue->Close();
+    for (auto& node : nodes_) {
+      if (node->worker.joinable()) node->worker.join();
+    }
+  }
+}
+
+size_t InvalidbCluster::ColumnOf(const std::string& query_key) const {
+  return static_cast<size_t>(Hash64(query_key, /*seed=*/0x9c0d)) %
+         options_.query_partitions;
+}
+
+size_t InvalidbCluster::RowOf(const std::string& record_id) const {
+  return static_cast<size_t>(Hash64(record_id, /*seed=*/0x51f1)) %
+         options_.object_partitions;
+}
+
+void InvalidbCluster::Submit(size_t column, size_t row, Task task) {
+  Node& node = NodeAt(column, row);
+  if (options_.threaded) {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    if (!node.queue->Push(std::move(task))) {
+      // Queue closed during shutdown.
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  } else {
+    ExecuteTask(node, task);
+  }
+}
+
+void InvalidbCluster::WorkerLoop(Node* node) {
+  for (;;) {
+    std::optional<Task> task = node->queue->Pop();
+    if (!task.has_value()) return;
+    ExecuteTask(*node, *task);
+    if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(flush_mu_);
+      flush_cv_.notify_all();
+    }
+  }
+}
+
+void InvalidbCluster::ExecuteTask(Node& node, Task& task) {
+  std::vector<Notification> raw;
+  if (auto* reg = std::get_if<RegisterTask>(&task)) {
+    node.matcher.AddQuery(reg->query, reg->key,
+                          std::move(reg->initial_ids));
+    // Replay recently received objects for this query (§4.1): closes the
+    // window between initial evaluation and activation.
+    for (const db::ChangeEvent& ev : reg->replay) {
+      raw.clear();
+      node.matcher.MatchSingle(reg->key, ev, &raw);
+      if (!raw.empty()) Dispatch(raw, ev.after);
+    }
+  } else if (auto* dereg = std::get_if<DeregisterTask>(&task)) {
+    node.matcher.RemoveQuery(dereg->key);
+  } else if (auto* change = std::get_if<ChangeTask>(&task)) {
+    const size_t checks = node.matcher.QueryCount();
+    node.matcher.Match(change->event, &raw);
+    {
+      std::lock_guard<std::mutex> lock(sink_mu_);
+      stats_.match_checks += checks;
+    }
+    if (!raw.empty()) Dispatch(raw, change->event.after);
+  }
+}
+
+void InvalidbCluster::Dispatch(const std::vector<Notification>& raw,
+                               const db::Document& after_image) {
+  std::vector<Notification> deliverable;
+  for (const Notification& n : raw) {
+    Subscription sub;
+    {
+      std::lock_guard<std::mutex> lock(subs_mu_);
+      auto it = subscriptions_.find(n.query_key);
+      if (it == subscriptions_.end()) continue;  // deregistered meanwhile
+      sub = it->second;
+    }
+    if (sub.stateful) {
+      // Translate raw membership events into windowed events.
+      std::vector<Notification> windowed;
+      sorted_layer_.OnRawEvent(n.query_key, n.type, after_image,
+                               n.event_time, &windowed);
+      for (Notification& w : windowed) {
+        if (sub.mask & EventBit(w.type)) deliverable.push_back(std::move(w));
+      }
+    } else if (sub.mask & EventBit(n.type)) {
+      deliverable.push_back(n);
+    }
+  }
+  if (deliverable.empty()) return;
+  const Micros now = clock_->NowMicros();
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  for (const Notification& n : deliverable) {
+    latency_.Record(MicrosToMillis(now - n.event_time));
+    stats_.notifications_delivered++;
+    sink_(n);
+  }
+}
+
+Status InvalidbCluster::RegisterQuery(
+    const db::Query& query, const std::vector<db::Document>& initial_result,
+    EventMask events, Micros evaluated_at) {
+  const std::string key = query.NormalizedKey();
+  const bool stateful = !query.IsStateless();
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    if (subscriptions_.count(key) > 0) {
+      return Status::AlreadyExists(key);
+    }
+    subscriptions_[key] = Subscription{events, stateful};
+  }
+  if (stateful) {
+    sorted_layer_.AddQuery(query, key, initial_result);
+  }
+  // The grid matches the bare predicate; windowing happens in the sorted
+  // layer.
+  db::Query base(query.table(), query.filter());
+
+  // Snapshot the replay buffer once; each cell replays it against the new
+  // query after installation. Events committed at or before the initial
+  // evaluation are already reflected in `initial_result` — replaying them
+  // would produce spurious invalidations — so only strictly newer events
+  // are replayed (the activation race of §4.1 only involves writes that
+  // commit after the evaluation).
+  const Micros eval_time =
+      evaluated_at < 0 ? clock_->NowMicros() : evaluated_at;
+  std::vector<db::ChangeEvent> replay;
+  {
+    std::lock_guard<std::mutex> lock(replay_mu_);
+    for (const db::ChangeEvent& ev : replay_buffer_) {
+      if (ev.commit_time > eval_time) replay.push_back(ev);
+    }
+  }
+
+  // Partition the initial result ids over the column's rows.
+  const size_t column = ColumnOf(key);
+  std::vector<std::vector<std::string>> ids_by_row(
+      options_.object_partitions);
+  for (const db::Document& doc : initial_result) {
+    ids_by_row[RowOf(doc.id)].push_back(doc.id);
+  }
+  for (size_t row = 0; row < options_.object_partitions; ++row) {
+    RegisterTask task;
+    task.query = base;
+    task.key = key;
+    task.initial_ids = std::move(ids_by_row[row]);
+    // Replay only events owned by this row.
+    for (const db::ChangeEvent& ev : replay) {
+      if (RowOf(ev.after.id) == row) task.replay.push_back(ev);
+    }
+    Submit(column, row, Task(std::move(task)));
+  }
+  return Status::OK();
+}
+
+void InvalidbCluster::DeregisterQuery(const std::string& query_key) {
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    if (subscriptions_.erase(query_key) == 0) return;
+  }
+  sorted_layer_.RemoveQuery(query_key);
+  const size_t column = ColumnOf(query_key);
+  for (size_t row = 0; row < options_.object_partitions; ++row) {
+    Submit(column, row, Task(DeregisterTask{query_key}));
+  }
+}
+
+bool InvalidbCluster::IsRegistered(const std::string& query_key) const {
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  return subscriptions_.count(query_key) > 0;
+}
+
+size_t InvalidbCluster::RegisteredCount() const {
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  return subscriptions_.size();
+}
+
+void InvalidbCluster::OnChange(const db::ChangeEvent& event) {
+  {
+    std::lock_guard<std::mutex> lock(replay_mu_);
+    replay_buffer_.push_back(event);
+    while (replay_buffer_.size() > options_.replay_buffer_size) {
+      replay_buffer_.pop_front();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(sink_mu_);
+    stats_.changes_ingested++;
+  }
+  const size_t row = RowOf(event.after.id);
+  for (size_t col = 0; col < options_.query_partitions; ++col) {
+    Submit(col, row, Task(ChangeTask{event}));
+  }
+}
+
+void InvalidbCluster::Flush() {
+  if (!options_.threaded) return;
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  flush_cv_.wait(lock, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+ClusterStats InvalidbCluster::stats() const {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  return stats_;
+}
+
+Histogram InvalidbCluster::LatencyHistogram() const {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  return latency_;
+}
+
+std::vector<size_t> InvalidbCluster::QueriesPerNode() const {
+  std::vector<size_t> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) out.push_back(node->matcher.QueryCount());
+  return out;
+}
+
+std::vector<uint64_t> InvalidbCluster::OpsPerNode() const {
+  std::vector<uint64_t> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    out.push_back(node->matcher.processed_ops());
+  }
+  return out;
+}
+
+}  // namespace quaestor::invalidb

@@ -1,0 +1,174 @@
+#ifndef QUAESTOR_INVALIDB_CLUSTER_H_
+#define QUAESTOR_INVALIDB_CLUSTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "common/queue.h"
+#include "common/result.h"
+#include "db/document.h"
+#include "db/query.h"
+#include "invalidb/matching_node.h"
+#include "invalidb/notification.h"
+#include "invalidb/sorted_layer.h"
+
+namespace quaestor::invalidb {
+
+/// Deployment shape of an InvaliDB cluster (Figure 6): a grid of
+/// `query_partitions` columns × `object_partitions` rows of matching
+/// nodes. Every query lives in one column (all of its rows); every record
+/// lives in one row (all of its columns); each update is therefore matched
+/// against each query by exactly one node.
+struct InvalidbOptions {
+  size_t query_partitions = 1;
+  size_t object_partitions = 1;
+  /// If true, every matching node runs on its own worker thread fed by a
+  /// bounded queue (the real-throughput mode, Figure 12). If false, all
+  /// matching runs synchronously in the caller — deterministic, used by
+  /// the simulation.
+  bool threaded = false;
+  size_t node_queue_capacity = 1 << 14;
+  /// How many recent change events are replayed to a newly activated query
+  /// to close the activation race (§4.1).
+  size_t replay_buffer_size = 128;
+};
+
+/// Per-cluster activity counters.
+struct ClusterStats {
+  uint64_t changes_ingested = 0;
+  uint64_t notifications_delivered = 0;
+  uint64_t match_checks = 0;  // query×update predicate evaluations
+};
+
+/// The InvaliDB cluster: registers cached queries, ingests the database
+/// change stream, and emits invalidation notifications in real time.
+class InvalidbCluster {
+ public:
+  /// `sink` receives every subscribed notification. In threaded mode it is
+  /// invoked from worker threads (calls are serialized by the cluster).
+  InvalidbCluster(Clock* clock, InvalidbOptions options,
+                  NotificationSink sink);
+  ~InvalidbCluster();
+
+  InvalidbCluster(const InvalidbCluster&) = delete;
+  InvalidbCluster& operator=(const InvalidbCluster&) = delete;
+
+  /// Activates a query. `initial_result` must be the query's current
+  /// matching set evaluated by Quaestor — for stateful queries (ORDER
+  /// BY/LIMIT/OFFSET) the *unwindowed* predicate-matching set. `events`
+  /// selects which notifications are delivered (id-list results subscribe
+  /// to add/remove; object-lists also to change, §4.1).
+  ///
+  /// `evaluated_at` is the time the initial result was computed; recent
+  /// change events committed after it are replayed against the new query
+  /// to close the activation race (§4.1). Defaults to "now".
+  Status RegisterQuery(const db::Query& query,
+                       const std::vector<db::Document>& initial_result,
+                       EventMask events, Micros evaluated_at = -1);
+
+  /// Deactivates a query.
+  void DeregisterQuery(const std::string& query_key);
+
+  bool IsRegistered(const std::string& query_key) const;
+  size_t RegisteredCount() const;
+
+  /// Ingests one change-stream event (the record after-image, §4.1).
+  void OnChange(const db::ChangeEvent& event);
+
+  /// Blocks until all queued work is processed (threaded mode; immediate
+  /// otherwise).
+  void Flush();
+
+  /// Visible window of a registered stateful query (testing aid).
+  std::vector<std::string> SortedWindow(const std::string& query_key) const {
+    return sorted_layer_.WindowIds(query_key);
+  }
+
+  ClusterStats stats() const;
+
+  /// Notification latency from write commit to sink delivery (ms).
+  Histogram LatencyHistogram() const;
+
+  size_t NumNodes() const { return nodes_.size(); }
+  const InvalidbOptions& options() const { return options_; }
+
+  /// Installed-query count per node (row-major: row × query_partitions +
+  /// column) — load-balance diagnostics. Only call while no registrations
+  /// are in flight (threaded mode: Flush() first).
+  std::vector<size_t> QueriesPerNode() const;
+
+  /// Processed change-operations per node.
+  std::vector<uint64_t> OpsPerNode() const;
+
+ private:
+  struct RegisterTask {
+    db::Query query;
+    std::string key;
+    std::vector<std::string> initial_ids;     // this node's object partition
+    std::vector<db::ChangeEvent> replay;      // recent events to replay
+  };
+  struct DeregisterTask {
+    std::string key;
+  };
+  struct ChangeTask {
+    db::ChangeEvent event;
+  };
+  using Task = std::variant<RegisterTask, DeregisterTask, ChangeTask>;
+
+  struct Node {
+    MatchingNode matcher;
+    std::unique_ptr<BoundedQueue<Task>> queue;  // threaded mode only
+    std::thread worker;
+  };
+
+  struct Subscription {
+    EventMask mask;
+    bool stateful;
+  };
+
+  size_t ColumnOf(const std::string& query_key) const;
+  size_t RowOf(const std::string& record_id) const;
+  Node& NodeAt(size_t column, size_t row) {
+    return *nodes_[row * options_.query_partitions + column];
+  }
+
+  void ExecuteTask(Node& node, Task& task);
+  void Submit(size_t column, size_t row, Task task);
+  void Dispatch(const std::vector<Notification>& raw,
+                const db::Document& after_image);
+  void WorkerLoop(Node* node);
+
+  Clock* clock_;
+  InvalidbOptions options_;
+  NotificationSink sink_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  SortedLayer sorted_layer_;
+
+  mutable std::mutex subs_mu_;
+  std::unordered_map<std::string, Subscription> subscriptions_;
+
+  mutable std::mutex replay_mu_;
+  std::deque<db::ChangeEvent> replay_buffer_;
+
+  mutable std::mutex sink_mu_;
+  Histogram latency_;  // guarded by sink_mu_
+  ClusterStats stats_;  // guarded by sink_mu_
+
+  std::atomic<int64_t> in_flight_{0};
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+};
+
+}  // namespace quaestor::invalidb
+
+#endif  // QUAESTOR_INVALIDB_CLUSTER_H_

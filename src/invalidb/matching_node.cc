@@ -1,0 +1,80 @@
+#include "invalidb/matching_node.h"
+
+namespace quaestor::invalidb {
+
+std::string_view NotificationTypeName(NotificationType t) {
+  switch (t) {
+    case NotificationType::kAdd:
+      return "add";
+    case NotificationType::kRemove:
+      return "remove";
+    case NotificationType::kChange:
+      return "change";
+    case NotificationType::kChangeIndex:
+      return "changeIndex";
+  }
+  return "unknown";
+}
+
+void MatchingNode::AddQuery(const db::Query& query,
+                            const std::string& query_key,
+                            std::vector<std::string> initial_matching_ids) {
+  QueryState st;
+  st.query = query;
+  st.key = query_key;
+  for (std::string& id : initial_matching_ids) {
+    st.matching_ids.insert(std::move(id));
+  }
+  queries_[query_key] = std::move(st);
+}
+
+void MatchingNode::RemoveQuery(const std::string& query_key) {
+  queries_.erase(query_key);
+}
+
+bool MatchingNode::HasQuery(const std::string& query_key) const {
+  return queries_.find(query_key) != queries_.end();
+}
+
+void MatchingNode::MatchQuery(QueryState& st, const db::ChangeEvent& event,
+                              std::vector<Notification>* out) {
+  const db::Document& doc = event.after;
+  if (st.query.table() != doc.table) return;
+  const bool was_match = st.matching_ids.count(doc.id) > 0;
+  const bool is_match = !doc.deleted && st.query.Matches(doc.body);
+  if (!was_match && !is_match) return;
+
+  Notification n;
+  n.query_key = st.key;
+  n.record_id = doc.id;
+  n.event_time = event.commit_time;
+  if (was_match && is_match) {
+    n.type = NotificationType::kChange;
+  } else if (!was_match && is_match) {
+    n.type = NotificationType::kAdd;
+    st.matching_ids.insert(doc.id);
+  } else {  // was_match && !is_match
+    n.type = NotificationType::kRemove;
+    st.matching_ids.erase(doc.id);
+  }
+  emitted_++;
+  out->push_back(std::move(n));
+}
+
+void MatchingNode::Match(const db::ChangeEvent& event,
+                         std::vector<Notification>* out) {
+  processed_ops_++;
+  for (auto& [key, st] : queries_) {
+    MatchQuery(st, event, out);
+  }
+}
+
+void MatchingNode::MatchSingle(const std::string& query_key,
+                               const db::ChangeEvent& event,
+                               std::vector<Notification>* out) {
+  auto it = queries_.find(query_key);
+  if (it == queries_.end()) return;
+  MatchQuery(it->second, event, out);
+}
+
+}  // namespace quaestor::invalidb

@@ -1,0 +1,73 @@
+#ifndef QUAESTOR_INVALIDB_MATCHING_NODE_H_
+#define QUAESTOR_INVALIDB_MATCHING_NODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "db/document.h"
+#include "db/query.h"
+#include "invalidb/notification.h"
+
+namespace quaestor::invalidb {
+
+/// One cell of the InvaliDB matching grid (Figure 6): responsible for a
+/// subset of all queries (its query partition) and a fraction of each
+/// result set (its object partition). Keeps, per query, the former
+/// matching status of every record it owns — the only state required for
+/// stateless queries (§4.1 "Managing Query State").
+///
+/// Not thread-safe by itself; the cluster gives each node a dedicated
+/// worker thread (threaded mode) or serializes calls (synchronous mode).
+class MatchingNode {
+ public:
+  MatchingNode() = default;
+
+  MatchingNode(const MatchingNode&) = delete;
+  MatchingNode& operator=(const MatchingNode&) = delete;
+
+  /// Installs a query with the subset of its initial result ids owned by
+  /// this node's object partition.
+  void AddQuery(const db::Query& query, const std::string& query_key,
+                std::vector<std::string> initial_matching_ids);
+
+  void RemoveQuery(const std::string& query_key);
+
+  bool HasQuery(const std::string& query_key) const;
+
+  /// Matches one change-stream after-image against all installed queries,
+  /// appending raw membership notifications to `out` (the cluster filters
+  /// by subscription and feeds the sorted layer).
+  void Match(const db::ChangeEvent& event, std::vector<Notification>* out);
+
+  /// Matches one event against a single installed query — used to replay
+  /// recently received objects when a query is activated, closing the gap
+  /// between initial evaluation and activation (§4.1).
+  void MatchSingle(const std::string& query_key, const db::ChangeEvent& event,
+                   std::vector<Notification>* out);
+
+  size_t QueryCount() const { return queries_.size(); }
+  uint64_t processed_ops() const { return processed_ops_; }
+  uint64_t emitted_notifications() const { return emitted_; }
+
+ private:
+  struct QueryState {
+    db::Query query;
+    std::string key;
+    std::unordered_set<std::string> matching_ids;  // former matches we own
+  };
+
+  void MatchQuery(QueryState& st, const db::ChangeEvent& event,
+                  std::vector<Notification>* out);
+
+  std::unordered_map<std::string, QueryState> queries_;
+  uint64_t processed_ops_ = 0;
+  uint64_t emitted_ = 0;
+};
+
+}  // namespace quaestor::invalidb
+
+#endif  // QUAESTOR_INVALIDB_MATCHING_NODE_H_

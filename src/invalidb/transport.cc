@@ -1,0 +1,303 @@
+#include "invalidb/transport.h"
+
+#include <chrono>
+
+namespace quaestor::invalidb {
+
+namespace transport {
+
+using db::Array;
+using db::Object;
+using db::Value;
+
+namespace {
+
+Value DocumentToSpec(const db::Document& doc) {
+  Object obj;
+  obj["table"] = Value(doc.table);
+  obj["id"] = Value(doc.id);
+  obj["version"] = Value(static_cast<int64_t>(doc.version));
+  obj["write_time"] = Value(static_cast<int64_t>(doc.write_time));
+  obj["deleted"] = Value(doc.deleted);
+  obj["body"] = doc.body;
+  return Value(std::move(obj));
+}
+
+Result<db::Document> DocumentFromSpec(const Value& spec) {
+  const Value* table = spec.Find("table");
+  const Value* id = spec.Find("id");
+  const Value* body = spec.Find("body");
+  if (table == nullptr || !table->is_string() || id == nullptr ||
+      !id->is_string() || body == nullptr) {
+    return Status::Corruption("malformed document spec");
+  }
+  db::Document doc;
+  doc.table = table->as_string();
+  doc.id = id->as_string();
+  doc.body = *body;
+  if (const Value* v = spec.Find("version"); v != nullptr && v->is_int()) {
+    doc.version = static_cast<uint64_t>(v->as_int());
+  }
+  if (const Value* v = spec.Find("write_time"); v != nullptr && v->is_int()) {
+    doc.write_time = v->as_int();
+  }
+  if (const Value* v = spec.Find("deleted"); v != nullptr && v->is_bool()) {
+    doc.deleted = v->as_bool();
+  }
+  return doc;
+}
+
+}  // namespace
+
+Result<db::Document> DecodeDocument(const Value& spec) {
+  return DocumentFromSpec(spec);
+}
+
+std::string EncodeChange(const db::ChangeEvent& event) {
+  Object msg;
+  msg["op"] = Value("change");
+  msg["kind"] = Value(static_cast<int64_t>(event.kind));
+  msg["after"] = DocumentToSpec(event.after);
+  msg["commit_time"] = Value(static_cast<int64_t>(event.commit_time));
+  return Value(std::move(msg)).ToJson();
+}
+
+std::string EncodeRegister(const db::Query& query,
+                           const std::vector<db::Document>& initial_result,
+                           EventMask events, Micros evaluated_at) {
+  Object msg;
+  msg["op"] = Value("register");
+  msg["query"] = query.ToSpec();
+  msg["events"] = Value(static_cast<int64_t>(events));
+  msg["evaluated_at"] = Value(static_cast<int64_t>(evaluated_at));
+  Array docs;
+  for (const db::Document& d : initial_result) {
+    docs.push_back(DocumentToSpec(d));
+  }
+  msg["initial"] = Value(std::move(docs));
+  return Value(std::move(msg)).ToJson();
+}
+
+std::string EncodeDeregister(const std::string& query_key) {
+  Object msg;
+  msg["op"] = Value("deregister");
+  msg["key"] = Value(query_key);
+  return Value(std::move(msg)).ToJson();
+}
+
+std::string EncodeNotification(const Notification& n) {
+  Object msg;
+  msg["type"] = Value(static_cast<int64_t>(n.type));
+  msg["query_key"] = Value(n.query_key);
+  msg["record_id"] = Value(n.record_id);
+  msg["event_time"] = Value(static_cast<int64_t>(n.event_time));
+  msg["new_index"] = Value(n.new_index);
+  return Value(std::move(msg)).ToJson();
+}
+
+Result<Notification> DecodeNotification(const std::string& message) {
+  auto parsed = Value::FromJson(message);
+  if (!parsed.ok()) return parsed.status();
+  const Value& msg = parsed.value();
+  const Value* type = msg.Find("type");
+  const Value* key = msg.Find("query_key");
+  const Value* record = msg.Find("record_id");
+  if (type == nullptr || !type->is_int() || key == nullptr ||
+      !key->is_string() || record == nullptr || !record->is_string()) {
+    return Status::Corruption("malformed notification");
+  }
+  Notification n;
+  n.type = static_cast<NotificationType>(type->as_int());
+  n.query_key = key->as_string();
+  n.record_id = record->as_string();
+  if (const Value* v = msg.Find("event_time"); v != nullptr && v->is_int()) {
+    n.event_time = v->as_int();
+  }
+  if (const Value* v = msg.Find("new_index"); v != nullptr && v->is_int()) {
+    n.new_index = v->as_int();
+  }
+  return n;
+}
+
+}  // namespace transport
+
+// ---------------------------------------------------------------------------
+// InvalidbRemote
+// ---------------------------------------------------------------------------
+
+InvalidbRemote::InvalidbRemote(kv::KvStore* kv, std::string prefix,
+                               NotificationSink sink)
+    : kv_(kv),
+      requests_queue_(prefix + ":requests"),
+      notifications_queue_(prefix + ":notifications"),
+      sink_(std::move(sink)) {}
+
+InvalidbRemote::~InvalidbRemote() { StopPolling(); }
+
+void InvalidbRemote::RegisterQuery(
+    const db::Query& query, const std::vector<db::Document>& initial_result,
+    EventMask events, Micros evaluated_at) {
+  kv_->QueuePush(requests_queue_, transport::EncodeRegister(
+                                      query, initial_result, events,
+                                      evaluated_at));
+}
+
+void InvalidbRemote::DeregisterQuery(const std::string& query_key) {
+  kv_->QueuePush(requests_queue_, transport::EncodeDeregister(query_key));
+}
+
+void InvalidbRemote::OnChange(const db::ChangeEvent& event) {
+  kv_->QueuePush(requests_queue_, transport::EncodeChange(event));
+}
+
+size_t InvalidbRemote::DrainNotifications() {
+  size_t delivered = 0;
+  for (;;) {
+    auto msg = kv_->QueueTryPop(notifications_queue_);
+    if (!msg.has_value()) return delivered;
+    auto n = transport::DecodeNotification(*msg);
+    if (n.ok()) {
+      sink_(n.value());
+      delivered++;
+    }
+  }
+}
+
+void InvalidbRemote::StartPolling() {
+  if (polling_.exchange(true)) return;
+  poller_ = std::thread([this] {
+    while (polling_.load()) {
+      auto msg = kv_->QueuePop(notifications_queue_,
+                               /*timeout_micros=*/10 * kMicrosPerMilli);
+      if (!msg.has_value()) continue;
+      auto n = transport::DecodeNotification(*msg);
+      if (n.ok()) sink_(n.value());
+    }
+  });
+}
+
+void InvalidbRemote::StopPolling() {
+  if (!polling_.exchange(false)) return;
+  if (poller_.joinable()) poller_.join();
+}
+
+// ---------------------------------------------------------------------------
+// InvalidbWorker
+// ---------------------------------------------------------------------------
+
+InvalidbWorker::InvalidbWorker(Clock* clock, kv::KvStore* kv,
+                               std::string prefix, InvalidbOptions options)
+    : kv_(kv),
+      requests_queue_(prefix + ":requests"),
+      notifications_queue_(prefix + ":notifications") {
+  cluster_ = std::make_unique<InvalidbCluster>(
+      clock, options, [this](const Notification& n) {
+        kv_->QueuePush(notifications_queue_,
+                       transport::EncodeNotification(n));
+      });
+}
+
+InvalidbWorker::~InvalidbWorker() { Stop(); }
+
+void InvalidbWorker::HandleMessage(const std::string& message) {
+  auto parsed = db::Value::FromJson(message);
+  if (!parsed.ok() || !parsed->is_object()) {
+    decode_errors_++;
+    return;
+  }
+  const db::Value& msg = parsed.value();
+  const db::Value* op = msg.Find("op");
+  if (op == nullptr || !op->is_string()) {
+    decode_errors_++;
+    return;
+  }
+  if (op->as_string() == "register") {
+    const db::Value* query_spec = msg.Find("query");
+    const db::Value* events = msg.Find("events");
+    const db::Value* initial = msg.Find("initial");
+    const db::Value* evaluated_at = msg.Find("evaluated_at");
+    if (query_spec == nullptr || events == nullptr || !events->is_int() ||
+        initial == nullptr || !initial->is_array()) {
+      decode_errors_++;
+      return;
+    }
+    auto query = db::Query::FromSpec(*query_spec);
+    if (!query.ok()) {
+      decode_errors_++;
+      return;
+    }
+    std::vector<db::Document> docs;
+    for (const db::Value& d : initial->as_array()) {
+      auto doc = transport::DecodeDocument(d);
+      if (!doc.ok()) {
+        decode_errors_++;
+        return;
+      }
+      docs.push_back(std::move(doc).value());
+    }
+    (void)cluster_->RegisterQuery(
+        query.value(), docs, static_cast<EventMask>(events->as_int()),
+        evaluated_at != nullptr && evaluated_at->is_int()
+            ? evaluated_at->as_int()
+            : -1);
+  } else if (op->as_string() == "deregister") {
+    const db::Value* key = msg.Find("key");
+    if (key == nullptr || !key->is_string()) {
+      decode_errors_++;
+      return;
+    }
+    cluster_->DeregisterQuery(key->as_string());
+  } else if (op->as_string() == "change") {
+    const db::Value* after = msg.Find("after");
+    const db::Value* kind = msg.Find("kind");
+    const db::Value* commit = msg.Find("commit_time");
+    if (after == nullptr || kind == nullptr || !kind->is_int()) {
+      decode_errors_++;
+      return;
+    }
+    auto doc = transport::DecodeDocument(*after);
+    if (!doc.ok()) {
+      decode_errors_++;
+      return;
+    }
+    db::ChangeEvent ev;
+    ev.kind = static_cast<db::WriteKind>(kind->as_int());
+    ev.after = std::move(doc).value();
+    ev.commit_time = commit != nullptr && commit->is_int()
+                         ? commit->as_int()
+                         : ev.after.write_time;
+    cluster_->OnChange(ev);
+  } else {
+    decode_errors_++;
+  }
+}
+
+size_t InvalidbWorker::ProcessPending() {
+  size_t handled = 0;
+  for (;;) {
+    auto msg = kv_->QueueTryPop(requests_queue_);
+    if (!msg.has_value()) break;
+    HandleMessage(*msg);
+    handled++;
+  }
+  cluster_->Flush();
+  return handled;
+}
+
+void InvalidbWorker::Start() {
+  if (running_.exchange(true)) return;
+  consumer_ = std::thread([this] {
+    while (running_.load()) {
+      auto msg = kv_->QueuePop(requests_queue_,
+                               /*timeout_micros=*/10 * kMicrosPerMilli);
+      if (msg.has_value()) HandleMessage(*msg);
+    }
+  });
+}
+
+void InvalidbWorker::Stop() {
+  if (!running_.exchange(false)) return;
+  if (consumer_.joinable()) consumer_.join();
+}
+
+}  // namespace quaestor::invalidb

@@ -1,0 +1,120 @@
+#ifndef QUAESTOR_INVALIDB_TRANSPORT_H_
+#define QUAESTOR_INVALIDB_TRANSPORT_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "db/document.h"
+#include "db/query.h"
+#include "invalidb/cluster.h"
+#include "invalidb/notification.h"
+#include "kv/kv_store.h"
+
+namespace quaestor::invalidb {
+
+/// Message-queue transport between Quaestor and InvaliDB (§4.1:
+/// "Communication between QUAESTOR and InvaliDB is handled through Redis
+/// message queues"). Requests (query activations/deactivations, change-
+/// stream events) travel on one queue; notifications travel back on
+/// another. Messages are self-describing JSON.
+///
+/// Queue names (namespaced by `prefix`): <prefix>:requests and
+/// <prefix>:notifications.
+namespace transport {
+
+/// Serialized message builders / parsers (exposed for tests).
+std::string EncodeChange(const db::ChangeEvent& event);
+std::string EncodeRegister(const db::Query& query,
+                           const std::vector<db::Document>& initial_result,
+                           EventMask events, Micros evaluated_at);
+std::string EncodeDeregister(const std::string& query_key);
+std::string EncodeNotification(const Notification& n);
+Result<Notification> DecodeNotification(const std::string& message);
+
+/// Decodes a document spec (internal wire format; exposed for tests).
+Result<db::Document> DecodeDocument(const db::Value& spec);
+
+}  // namespace transport
+
+/// The Quaestor-side stub: mirrors InvalidbCluster's interface but ships
+/// every call through the KV queues; a background (or manually pumped)
+/// poller delivers notifications to the sink.
+class InvalidbRemote {
+ public:
+  InvalidbRemote(kv::KvStore* kv, std::string prefix, NotificationSink sink);
+  ~InvalidbRemote();
+
+  InvalidbRemote(const InvalidbRemote&) = delete;
+  InvalidbRemote& operator=(const InvalidbRemote&) = delete;
+
+  void RegisterQuery(const db::Query& query,
+                     const std::vector<db::Document>& initial_result,
+                     EventMask events, Micros evaluated_at = -1);
+  void DeregisterQuery(const std::string& query_key);
+  void OnChange(const db::ChangeEvent& event);
+
+  /// Delivers all currently queued notifications to the sink (manual
+  /// pump; deterministic tests). Returns how many were delivered.
+  size_t DrainNotifications();
+
+  /// Starts/stops a background notification poller thread.
+  void StartPolling();
+  void StopPolling();
+
+  const std::string& requests_queue() const { return requests_queue_; }
+  const std::string& notifications_queue() const {
+    return notifications_queue_;
+  }
+
+ private:
+  kv::KvStore* kv_;
+  std::string requests_queue_;
+  std::string notifications_queue_;
+  NotificationSink sink_;
+  std::atomic<bool> polling_{false};
+  std::thread poller_;
+};
+
+/// The InvaliDB-side worker: owns a cluster, consumes the request queue,
+/// and publishes notifications back.
+class InvalidbWorker {
+ public:
+  InvalidbWorker(Clock* clock, kv::KvStore* kv, std::string prefix,
+                 InvalidbOptions options = InvalidbOptions());
+  ~InvalidbWorker();
+
+  InvalidbWorker(const InvalidbWorker&) = delete;
+  InvalidbWorker& operator=(const InvalidbWorker&) = delete;
+
+  /// Processes all currently queued requests (manual pump). Returns how
+  /// many messages were handled; malformed messages are counted in
+  /// decode_errors() and skipped.
+  size_t ProcessPending();
+
+  /// Starts/stops a background consumer thread.
+  void Start();
+  void Stop();
+
+  InvalidbCluster& cluster() { return *cluster_; }
+  uint64_t decode_errors() const { return decode_errors_.load(); }
+
+ private:
+  void HandleMessage(const std::string& message);
+
+  kv::KvStore* kv_;
+  std::string requests_queue_;
+  std::string notifications_queue_;
+  std::unique_ptr<InvalidbCluster> cluster_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> decode_errors_{0};
+  std::thread consumer_;
+};
+
+}  // namespace quaestor::invalidb
+
+#endif  // QUAESTOR_INVALIDB_TRANSPORT_H_

@@ -1,0 +1,253 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+
+namespace quaestor::sim {
+
+Simulation::Simulation(workload::WorkloadOptions workload_options,
+                       SimOptions options)
+    : workload_options_(workload_options),
+      options_(options),
+      clock_(0),
+      events_(&clock_),
+      server_pool_(options.num_servers, options.server_service) {
+  db_ = std::make_unique<db::Database>(&clock_);
+
+  core::ServerOptions server_options = options_.server_options;
+  // The simulation needs deterministic, synchronous invalidation matching.
+  server_options.invalidb_options.threaded = false;
+  server_ = std::make_unique<core::QuaestorServer>(&clock_, db_.get(),
+                                                   server_options);
+
+  if (options_.arch.cdn) {
+    cdn_ = std::make_unique<webcache::InvalidationCache>(&clock_);
+    // Purges reach the CDN after ∆_invalidation.
+    server_->AddPurgeTarget([this](const std::string& key) {
+      events_.ScheduleAfter(options_.cdn_purge_latency,
+                            [this, key] { cdn_->Purge(key); });
+    });
+  }
+
+  // Record invalidation times per query for the TTL-quality analysis.
+  server_->AddNotificationTap([this](const invalidb::Notification& n) {
+    invalidations_[n.query_key].push_back(clock_.NowMicros());
+  });
+
+  client::ClientOptions copts = options_.client_options;
+  copts.use_ebf = copts.use_ebf && options_.arch.use_ebf;
+
+  clients_.reserve(options_.num_client_instances);
+  for (size_t i = 0; i < options_.num_client_instances; ++i) {
+    ClientInstance ci;
+    if (options_.arch.client_cache) {
+      ci.cache = std::make_unique<webcache::ExpirationCache>(
+          &clock_, options_.client_cache_entries);
+    }
+    ci.client = std::make_unique<client::QuaestorClient>(
+        &clock_, server_.get(), ci.cache.get(), cdn_.get(), copts,
+        options_.latency);
+    ci.cpu = std::make_unique<QueueingResource>(1, options_.client_cpu);
+    clients_.push_back(std::move(ci));
+  }
+
+  generator_ = std::make_unique<workload::WorkloadGenerator>(
+      workload_options_, options_.seed);
+}
+
+Simulation::~Simulation() = default;
+
+bool Simulation::CheckReadStale(const std::string& table,
+                                const std::string& id,
+                                const client::ReadResult& rr) {
+  if (!rr.status.ok()) return false;
+  auto current = db_->Get(table, id);
+  if (!current.ok()) return true;  // served a copy of a deleted record
+  return rr.version < current->version;
+}
+
+bool Simulation::CheckQueryStale(const db::Query& query,
+                                 const client::QueryResult& qr) {
+  if (!qr.status.ok()) return false;
+  // Responses assembled at the origin are fresh by construction.
+  if (qr.outcome.served_by == webcache::ServedBy::kOrigin) return false;
+  // The ground-truth etag only changes when the result changes, i.e. when
+  // InvaliDB emits a notification — recompute lazily keyed on the
+  // invalidation count instead of scanning the table on every check.
+  const std::string key = query.NormalizedKey();
+  const size_t inv_count = [&] {
+    auto it = invalidations_.find(key);
+    return it == invalidations_.end() ? size_t{0} : it->second.size();
+  }();
+  FreshEtags& cache = fresh_etags_[key];
+  if (!cache.valid || cache.inv_count != inv_count) {
+    const std::vector<db::Document> fresh = db_->Execute(query);
+    core::QueryResponse as_objects;
+    as_objects.representation = ttl::ResultRepresentation::kObjectList;
+    core::QueryResponse as_ids;
+    as_ids.representation = ttl::ResultRepresentation::kIdList;
+    for (const db::Document& d : fresh) {
+      as_objects.ids.push_back(d.Key());
+      as_objects.versions.push_back(d.version);
+      as_ids.ids.push_back(d.Key());
+    }
+    cache.valid = true;
+    cache.inv_count = inv_count;
+    cache.etag_objects = as_objects.ComputeEtag();
+    cache.etag_ids = as_ids.ComputeEtag();
+  }
+  const uint64_t fresh_etag =
+      qr.representation == ttl::ResultRepresentation::kObjectList
+          ? cache.etag_objects
+          : cache.etag_ids;
+  return fresh_etag != qr.etag;
+}
+
+void Simulation::RecordOutcome(OpMetrics* metrics,
+                               const client::RequestOutcome& o,
+                               double total_latency_ms, bool stale,
+                               bool in_window) {
+  if (!in_window) return;
+  metrics->count++;
+  metrics->latency.Record(total_latency_ms);
+  if (stale) metrics->stale++;
+  switch (o.served_by) {
+    case webcache::ServedBy::kClientCache:
+      metrics->client_hits++;
+      break;
+    case webcache::ServedBy::kExpirationCache:
+    case webcache::ServedBy::kInvalidationCache:
+      metrics->cdn_hits++;
+      break;
+    case webcache::ServedBy::kOrigin:
+      metrics->origin++;
+      break;
+  }
+}
+
+void Simulation::RunConnectionStep(size_t instance_index) {
+  const Micros now = clock_.NowMicros();
+  const bool in_window = now >= options_.warmup;
+  ClientInstance& ci = clients_[instance_index];
+  workload::Operation op = generator_->Next();
+
+  Micros total = ci.cpu->Acquire(now);
+  bool origin_visit = false;
+
+  switch (op.type) {
+    case workload::OpType::kRead: {
+      client::ReadResult rr = ci.client->Read(op.table, op.id);
+      origin_visit =
+          rr.outcome.served_by == webcache::ServedBy::kOrigin;
+      double latency_ms = rr.outcome.latency_ms;
+      if (origin_visit) {
+        latency_ms += MicrosToMillis(server_pool_.Acquire(now));
+      }
+      total += MillisToMicros(latency_ms);
+      RecordOutcome(&results_.reads, rr.outcome, latency_ms,
+                    CheckReadStale(op.table, op.id, rr), in_window);
+      break;
+    }
+    case workload::OpType::kQuery: {
+      client::QueryResult qr = ci.client->ExecuteQuery(op.query);
+      origin_visit =
+          qr.outcome.served_by == webcache::ServedBy::kOrigin;
+      double latency_ms = qr.outcome.latency_ms;
+      if (origin_visit) {
+        latency_ms += MicrosToMillis(server_pool_.Acquire(now));
+        // Track the issued TTL estimate for Figure 11.
+        if (in_window) {
+          const std::string key = op.query.NormalizedKey();
+          auto entry = server_->active_list().Find(key);
+          if (entry.has_value() && entry->last_read_time == now &&
+              entry->last_issued_ttl > 0) {
+            query_serves_.push_back(
+                QueryServe{key, now, entry->last_issued_ttl});
+          }
+        }
+      }
+      total += MillisToMicros(latency_ms);
+      RecordOutcome(&results_.queries, qr.outcome, latency_ms,
+                    CheckQueryStale(op.query, qr), in_window);
+      break;
+    }
+    case workload::OpType::kInsert:
+    case workload::OpType::kUpdate:
+    case workload::OpType::kDelete: {
+      if (op.type == workload::OpType::kInsert) {
+        (void)ci.client->Insert(op.table, op.id, std::move(op.body));
+      } else if (op.type == workload::OpType::kUpdate) {
+        (void)ci.client->Update(op.table, op.id, op.update);
+      } else {
+        (void)ci.client->Delete(op.table, op.id);
+      }
+      double latency_ms = ci.client->WriteLatencyMs() +
+                          MicrosToMillis(server_pool_.Acquire(now));
+      total += MillisToMicros(latency_ms);
+      client::RequestOutcome o;
+      o.served_by = webcache::ServedBy::kOrigin;
+      o.latency_ms = latency_ms;
+      RecordOutcome(&results_.writes, o, latency_ms, /*stale=*/false,
+                    in_window);
+      break;
+    }
+  }
+
+  const Micros next =
+      now + std::max<Micros>(total, 1) + options_.think_time;
+  if (next < options_.duration) {
+    events_.Schedule(next,
+                     [this, instance_index] {
+                       RunConnectionStep(instance_index);
+                     });
+  }
+}
+
+SimResults Simulation::Run() {
+  if (ran_) return results_;
+  ran_ = true;
+
+  generator_->Load(db_.get());
+
+  for (ClientInstance& ci : clients_) ci.client->Connect();
+
+  // Stagger connection start times to avoid lockstep artifacts.
+  uint64_t stagger = 0;
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    for (size_t c = 0; c < options_.connections_per_instance; ++c) {
+      stagger = (stagger + 7919) % 10000;
+      events_.Schedule(static_cast<Micros>(stagger),
+                       [this, i] { RunConnectionStep(i); });
+    }
+  }
+
+  events_.RunUntil(options_.duration);
+
+  results_.duration_s =
+      MicrosToSeconds(options_.duration - options_.warmup);
+  results_.total_ops = results_.reads.count + results_.queries.count +
+                       results_.writes.count;
+  results_.throughput_ops_s =
+      results_.duration_s > 0
+          ? static_cast<double>(results_.total_ops) / results_.duration_s
+          : 0.0;
+
+  // Figure 11: estimated vs true TTLs (seconds). The true TTL of a serve
+  // is the time until the result's next invalidation; serves never
+  // invalidated before simulation end are right-censored and dropped.
+  for (const QueryServe& s : query_serves_) {
+    results_.estimated_ttls_s.push_back(MicrosToSeconds(s.estimated_ttl));
+    auto it = invalidations_.find(s.key);
+    if (it == invalidations_.end()) continue;
+    const std::vector<Micros>& times = it->second;
+    auto next = std::upper_bound(times.begin(), times.end(), s.at);
+    if (next != times.end()) {
+      results_.true_ttls_s.push_back(MicrosToSeconds(*next - s.at));
+    }
+  }
+
+  results_.server_stats = server_->stats();
+  if (cdn_ != nullptr) results_.cdn_stats = cdn_->stats();
+  return results_;
+}
+
+}  // namespace quaestor::sim

@@ -1,0 +1,188 @@
+#ifndef QUAESTOR_SIM_SIMULATION_H_
+#define QUAESTOR_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "client/client.h"
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "core/server.h"
+#include "db/database.h"
+#include "sim/event_queue.h"
+#include "webcache/web_cache.h"
+#include "workload/workload.h"
+
+namespace quaestor::sim {
+
+/// Which caching layers the simulated deployment uses — the four
+/// architectures compared throughout §6.2.
+struct CacheArchitecture {
+  bool client_cache = true;
+  bool cdn = true;
+  bool use_ebf = true;
+
+  /// Full Quaestor: client caches + EBF + CDN + InvaliDB.
+  static CacheArchitecture Quaestor() { return {true, true, true}; }
+  /// "EBF only": client caches kept coherent by the EBF, no CDN.
+  static CacheArchitecture EbfOnly() { return {true, false, true}; }
+  /// "CDN only": InvaliDB-purged CDN, no client caches, no EBF.
+  static CacheArchitecture CdnOnly() { return {false, true, false}; }
+  /// Uncached baseline (Orestes with uncached communication).
+  static CacheArchitecture Uncached() { return {false, false, false}; }
+};
+
+/// Simulation parameters. Defaults mirror the paper's cloud setup (§6.1):
+/// 145 ms client↔origin RTT, 4 ms client↔CDN, 3 backend servers.
+struct SimOptions {
+  size_t num_client_instances = 10;
+  size_t connections_per_instance = 30;
+  Micros duration = SecondsToMicros(120.0);
+  Micros warmup = SecondsToMicros(10.0);
+  uint64_t seed = 42;
+
+  CacheArchitecture arch = CacheArchitecture::Quaestor();
+  client::ClientOptions client_options;
+  core::ServerOptions server_options;
+  webcache::LatencyModel latency;
+
+  /// ∆_invalidation: delay between a server purge decision and the CDN
+  /// actually dropping the entry.
+  Micros cdn_purge_latency = MillisToMicros(50.0);
+
+  /// Capacity model: per-op CPU cost at a client instance and per-origin-
+  /// request service time at the backend pool.
+  Micros client_cpu = MillisToMicros(0.06);
+  Micros server_service = MillisToMicros(0.2);
+  size_t num_servers = 3;
+
+  /// LRU bound for each client's browser cache (0 = unbounded).
+  size_t client_cache_entries = 0;
+
+  /// Pause between operations on one connection (models real browsers
+  /// that issue requests at human pace rather than in a closed loop).
+  Micros think_time = 0;
+};
+
+/// Per-operation-type measurements.
+struct OpMetrics {
+  Histogram latency;  // ms
+  uint64_t count = 0;
+  uint64_t stale = 0;
+  uint64_t client_hits = 0;
+  uint64_t cdn_hits = 0;
+  uint64_t origin = 0;
+
+  double StaleRate() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(stale) /
+                            static_cast<double>(count);
+  }
+  /// Fraction of requests answered by the client cache.
+  double ClientHitRate() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(client_hits) /
+                            static_cast<double>(count);
+  }
+  /// Fraction of requests that passed the client cache and hit the CDN.
+  double CdnHitRate() const {
+    const uint64_t at_cdn = cdn_hits + origin;
+    return at_cdn == 0 ? 0.0
+                       : static_cast<double>(cdn_hits) /
+                             static_cast<double>(at_cdn);
+  }
+};
+
+/// Results of one simulation run.
+struct SimResults {
+  OpMetrics reads;
+  OpMetrics queries;
+  OpMetrics writes;
+  double duration_s = 0.0;
+  uint64_t total_ops = 0;
+  double throughput_ops_s = 0.0;
+
+  /// TTL estimation quality samples (seconds) for Figure 11: parallel
+  /// arrays are NOT paired; each is the population for one CDF.
+  std::vector<double> estimated_ttls_s;
+  std::vector<double> true_ttls_s;
+
+  core::ServerStats server_stats;
+  webcache::CacheStats cdn_stats;
+};
+
+/// An end-to-end Monte Carlo simulation of concurrent clients talking to
+/// Quaestor through web caches (the paper's simulation framework, §6.1).
+/// Deterministic for a given seed: simulated clock, FIFO event order,
+/// seeded workload.
+class Simulation {
+ public:
+  Simulation(workload::WorkloadOptions workload_options, SimOptions options);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Loads the database, connects the clients, and runs the event loop for
+  /// `duration`. Can only be called once.
+  SimResults Run();
+
+  core::QuaestorServer& server() { return *server_; }
+  db::Database& database() { return *db_; }
+
+ private:
+  struct ClientInstance {
+    std::unique_ptr<webcache::ExpirationCache> cache;  // browser cache
+    std::unique_ptr<client::QuaestorClient> client;
+    std::unique_ptr<QueueingResource> cpu;
+  };
+
+  void RunConnectionStep(size_t instance_index);
+  bool CheckReadStale(const std::string& table, const std::string& id,
+                      const client::ReadResult& rr);
+  bool CheckQueryStale(const db::Query& query,
+                       const client::QueryResult& qr);
+  void RecordOutcome(OpMetrics* metrics, const client::RequestOutcome& o,
+                     double total_latency_ms, bool stale, bool in_window);
+
+  workload::WorkloadOptions workload_options_;
+  SimOptions options_;
+  SimulatedClock clock_;
+  EventQueue events_;
+  std::unique_ptr<db::Database> db_;
+  std::unique_ptr<core::QuaestorServer> server_;
+  std::unique_ptr<webcache::InvalidationCache> cdn_;
+  std::vector<ClientInstance> clients_;
+  std::unique_ptr<workload::WorkloadGenerator> generator_;
+  QueueingResource server_pool_;
+
+  // Figure 11 bookkeeping: query serve events and invalidation times.
+  struct QueryServe {
+    std::string key;
+    Micros at;
+    Micros estimated_ttl;
+  };
+  std::vector<QueryServe> query_serves_;
+  std::unordered_map<std::string, std::vector<Micros>> invalidations_;
+
+  /// Ground-truth result etags, recomputed only when a query's
+  /// invalidation count changes (staleness checks would otherwise scan the
+  /// table per operation).
+  struct FreshEtags {
+    bool valid = false;
+    size_t inv_count = 0;
+    uint64_t etag_objects = 0;
+    uint64_t etag_ids = 0;
+  };
+  std::unordered_map<std::string, FreshEtags> fresh_etags_;
+
+  SimResults results_;
+  bool ran_ = false;
+};
+
+}  // namespace quaestor::sim
+
+#endif  // QUAESTOR_SIM_SIMULATION_H_

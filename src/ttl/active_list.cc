@@ -1,0 +1,81 @@
+#include "ttl/active_list.h"
+
+namespace quaestor::ttl {
+
+ActiveList::ActiveList(size_t num_partitions)
+    : partitions_(num_partitions == 0 ? 1 : num_partitions) {}
+
+void ActiveList::OnRead(std::string_view query_key, Micros read_time,
+                        Micros ttl) {
+  Partition& p = PartitionFor(query_key);
+  std::lock_guard<std::mutex> lock(p.mu);
+  Entry& e = p.entries[std::string(query_key)];
+  e.last_read_time = read_time;
+  e.last_issued_ttl = ttl;
+  e.read_count++;
+  e.invalidated_since_read = false;
+}
+
+std::optional<Micros> ActiveList::OnInvalidation(std::string_view query_key,
+                                                 Micros invalidation_time) {
+  Partition& p = PartitionFor(query_key);
+  std::lock_guard<std::mutex> lock(p.mu);
+  auto it = p.entries.find(std::string(query_key));
+  if (it == p.entries.end()) return std::nullopt;
+  Entry& e = it->second;
+  e.invalidation_count++;
+  if (e.invalidated_since_read) return std::nullopt;
+  e.invalidated_since_read = true;
+  if (e.read_count == 0) return std::nullopt;  // never actually served
+  const Micros actual = invalidation_time - e.last_read_time;
+  return actual < 0 ? 0 : actual;
+}
+
+void ActiveList::SetRegistered(std::string_view query_key, bool registered) {
+  Partition& p = PartitionFor(query_key);
+  std::lock_guard<std::mutex> lock(p.mu);
+  p.entries[std::string(query_key)].registered = registered;
+}
+
+bool ActiveList::IsRegistered(std::string_view query_key) const {
+  Partition& p = PartitionFor(query_key);
+  std::lock_guard<std::mutex> lock(p.mu);
+  auto it = p.entries.find(std::string(query_key));
+  return it != p.entries.end() && it->second.registered;
+}
+
+std::optional<ActiveList::Entry> ActiveList::Find(
+    std::string_view query_key) const {
+  Partition& p = PartitionFor(query_key);
+  std::lock_guard<std::mutex> lock(p.mu);
+  auto it = p.entries.find(std::string(query_key));
+  if (it == p.entries.end()) return std::nullopt;
+  return it->second;
+}
+
+void ActiveList::Erase(std::string_view query_key) {
+  Partition& p = PartitionFor(query_key);
+  std::lock_guard<std::mutex> lock(p.mu);
+  p.entries.erase(std::string(query_key));
+}
+
+size_t ActiveList::Size() const {
+  size_t n = 0;
+  for (const Partition& p : partitions_) {
+    std::lock_guard<std::mutex> lock(p.mu);
+    n += p.entries.size();
+  }
+  return n;
+}
+
+std::vector<std::pair<std::string, ActiveList::Entry>> ActiveList::Snapshot()
+    const {
+  std::vector<std::pair<std::string, Entry>> out;
+  for (const Partition& p : partitions_) {
+    std::lock_guard<std::mutex> lock(p.mu);
+    for (const auto& [key, e] : p.entries) out.emplace_back(key, e);
+  }
+  return out;
+}
+
+}  // namespace quaestor::ttl

@@ -1,0 +1,76 @@
+#ifndef QUAESTOR_TTL_ACTIVE_LIST_H_
+#define QUAESTOR_TTL_ACTIVE_LIST_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/hash.h"
+
+namespace quaestor::ttl {
+
+/// Per-query bookkeeping shared across Quaestor server nodes (§4.2: "The
+/// current TTL estimate for a query is kept in a shared partitioned data
+/// structure called the active list"). Entries track the last read time
+/// (needed to derive the actual TTL on invalidation), the last issued TTL,
+/// access counters for capacity scoring, and whether the query is
+/// currently registered with InvaliDB.
+class ActiveList {
+ public:
+  struct Entry {
+    Micros last_read_time = 0;
+    Micros last_issued_ttl = 0;
+    uint64_t read_count = 0;
+    uint64_t invalidation_count = 0;
+    bool registered = false;  // active in InvaliDB
+    /// A result already invalidated since its last read is stale; further
+    /// writes must not produce additional TTL feedback (the observed
+    /// cache lifetime ended at the first invalidation).
+    bool invalidated_since_read = false;
+  };
+
+  explicit ActiveList(size_t num_partitions = 16);
+
+  /// Records a served read of `query_key` with the issued `ttl`. Creates
+  /// the entry if missing.
+  void OnRead(std::string_view query_key, Micros read_time, Micros ttl);
+
+  /// Records an invalidation; returns the derived actual TTL (time between
+  /// the last read and the invalidation) if the query was being tracked.
+  std::optional<Micros> OnInvalidation(std::string_view query_key,
+                                       Micros invalidation_time);
+
+  /// Marks the query registered/deregistered in InvaliDB.
+  void SetRegistered(std::string_view query_key, bool registered);
+  bool IsRegistered(std::string_view query_key) const;
+
+  std::optional<Entry> Find(std::string_view query_key) const;
+
+  void Erase(std::string_view query_key);
+
+  size_t Size() const;
+
+  /// Snapshot of all entries (diagnostics and capacity decisions).
+  std::vector<std::pair<std::string, Entry>> Snapshot() const;
+
+ private:
+  struct Partition {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> entries;
+  };
+
+  Partition& PartitionFor(std::string_view key) const {
+    return partitions_[Hash64(key) % partitions_.size()];
+  }
+
+  mutable std::vector<Partition> partitions_;
+};
+
+}  // namespace quaestor::ttl
+
+#endif  // QUAESTOR_TTL_ACTIVE_LIST_H_

@@ -1,0 +1,78 @@
+#include "ttl/capacity_manager.h"
+
+namespace quaestor::ttl {
+
+void CapacityManager::OnRead(std::string_view query_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_[std::string(query_key)].reads++;
+}
+
+void CapacityManager::OnInvalidation(std::string_view query_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stats_.find(std::string(query_key));
+  if (it != stats_.end()) it->second.invalidations++;
+}
+
+std::pair<const std::string*, double> CapacityManager::WorstAdmittedLocked()
+    const {
+  const std::string* worst_key = nullptr;
+  double worst_score = 0.0;
+  for (const auto& [key, s] : stats_) {
+    if (!s.admitted) continue;
+    const double score = Score(s);
+    if (worst_key == nullptr || score < worst_score) {
+      worst_key = &key;
+      worst_score = score;
+    }
+  }
+  return {worst_key, worst_score};
+}
+
+bool CapacityManager::Admit(std::string_view query_key,
+                            std::optional<std::string>* evicted) {
+  if (evicted != nullptr) evicted->reset();
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryStats& s = stats_[std::string(query_key)];
+  if (s.admitted) return true;
+  if (capacity_ == 0 || admitted_count_ < capacity_) {
+    s.admitted = true;
+    admitted_count_++;
+    return true;
+  }
+  // At capacity: admit only by displacing a strictly worse query.
+  auto [worst_key, worst_score] = WorstAdmittedLocked();
+  if (worst_key == nullptr || Score(s) <= worst_score) return false;
+  std::string victim = *worst_key;
+  stats_[victim].admitted = false;
+  if (evicted != nullptr) *evicted = victim;
+  s.admitted = true;
+  return true;
+}
+
+void CapacityManager::Remove(std::string_view query_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stats_.find(std::string(query_key));
+  if (it != stats_.end() && it->second.admitted) {
+    it->second.admitted = false;
+    admitted_count_--;
+  }
+}
+
+bool CapacityManager::IsAdmitted(std::string_view query_key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stats_.find(std::string(query_key));
+  return it != stats_.end() && it->second.admitted;
+}
+
+size_t CapacityManager::AdmittedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_count_;
+}
+
+double CapacityManager::ScoreOf(std::string_view query_key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stats_.find(std::string(query_key));
+  return it == stats_.end() ? 0.0 : Score(it->second);
+}
+
+}  // namespace quaestor::ttl

@@ -1,0 +1,80 @@
+#ifndef QUAESTOR_TTL_CAPACITY_MANAGER_H_
+#define QUAESTOR_TTL_CAPACITY_MANAGER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/clock.h"
+
+namespace quaestor::ttl {
+
+/// Admission control for cached queries (§4.1: "Through a capacity
+/// management model only queries that are sufficiently cachable are
+/// admitted and prioritized based on the costs of maintaining them").
+///
+/// The matching throughput of InvaliDB bounds how many queries can be
+/// actively maintained. Each query gets a benefit/cost score:
+///
+///   score = reads / (1 + invalidations)
+///
+/// i.e. the expected number of cache hits bought per invalidation-pipeline
+/// slot. When at capacity, a new query is admitted only if its score beats
+/// the currently worst admitted query, which is then evicted — Zipf access
+/// patterns make a small "hot" admitted set carry most of the hit rate
+/// (cf. Breslau et al., discussed in §7).
+class CapacityManager {
+ public:
+  /// `capacity` = maximum number of simultaneously maintained queries;
+  /// 0 means unlimited.
+  explicit CapacityManager(size_t capacity) : capacity_(capacity) {}
+
+  /// Records an access to a (potential) query. Call on every query read.
+  void OnRead(std::string_view query_key);
+
+  /// Records an invalidation of the query.
+  void OnInvalidation(std::string_view query_key);
+
+  /// Decides whether `query_key` may be cached/maintained right now. If
+  /// admission requires evicting a lower-scored query, that query's key is
+  /// returned in `evicted` (the caller must deregister it). Returns true
+  /// if admitted (or already admitted).
+  bool Admit(std::string_view query_key, std::optional<std::string>* evicted);
+
+  /// Removes a query from the admitted set (e.g. after external eviction).
+  void Remove(std::string_view query_key);
+
+  bool IsAdmitted(std::string_view query_key) const;
+  size_t AdmittedCount() const;
+  size_t capacity() const { return capacity_; }
+
+  /// Current benefit/cost score of a query (0 for unknown queries).
+  double ScoreOf(std::string_view query_key) const;
+
+ private:
+  struct QueryStats {
+    uint64_t reads = 0;
+    uint64_t invalidations = 0;
+    bool admitted = false;
+  };
+
+  static double Score(const QueryStats& s) {
+    return static_cast<double>(s.reads) /
+           (1.0 + static_cast<double>(s.invalidations));
+  }
+
+  /// Finds the admitted query with the lowest score (nullptr if none).
+  std::pair<const std::string*, double> WorstAdmittedLocked() const;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, QueryStats> stats_;
+  size_t admitted_count_ = 0;
+};
+
+}  // namespace quaestor::ttl
+
+#endif  // QUAESTOR_TTL_CAPACITY_MANAGER_H_

@@ -1,0 +1,27 @@
+#include "ttl/representation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace quaestor::ttl {
+
+double RepresentationCostDelta(const RepresentationCosts& c) {
+  const double read_rate = std::max(c.read_rate, 1e-9);
+  const double per_invalidation =
+      c.invalidation_cost_ms * c.client_fanout / read_rate;
+  const double object_cost =
+      (c.change_rate + c.membership_rate) * per_invalidation;
+  const double all_records_hit =
+      std::pow(c.record_hit_rate, static_cast<double>(c.result_size));
+  const double id_cost = c.membership_rate * per_invalidation +
+                         (1.0 - all_records_hit) * c.record_miss_latency_ms;
+  return object_cost - id_cost;
+}
+
+ResultRepresentation ChooseRepresentation(const RepresentationCosts& costs) {
+  return RepresentationCostDelta(costs) > 0.0
+             ? ResultRepresentation::kIdList
+             : ResultRepresentation::kObjectList;
+}
+
+}  // namespace quaestor::ttl

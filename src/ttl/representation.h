@@ -1,0 +1,68 @@
+#ifndef QUAESTOR_TTL_REPRESENTATION_H_
+#define QUAESTOR_TTL_REPRESENTATION_H_
+
+#include <cstddef>
+
+namespace quaestor::ttl {
+
+/// How a cached query result is materialized (§4.2 "Representing Query
+/// Results"): either the full documents (object-list) or just the record
+/// URLs, assembled by per-record fetches (id-list).
+enum class ResultRepresentation {
+  kObjectList,
+  kIdList,
+};
+
+/// Inputs to the cost-based representation decision. All costs are
+/// expressed as expected added latency *per query read*.
+struct RepresentationCosts {
+  /// Number of records in the result.
+  size_t result_size = 0;
+  /// Reads per second observed for this query.
+  double read_rate = 1.0;
+  /// Estimated per-result `change` notifications per second (object-lists
+  /// are additionally invalidated on every in-place member change, §4.1).
+  double change_rate = 0.0;
+  /// Estimated add/remove (membership) notifications per second — these
+  /// invalidate both representations.
+  double membership_rate = 0.0;
+  /// Probability that an individual record of the result is a client
+  /// cache hit when fetched separately (id-lists piggyback on record
+  /// caching).
+  double record_hit_rate = 0.9;
+  /// Latency of refetching an invalidated result at the origin (ms).
+  double invalidation_cost_ms = 145.0;
+  /// Latency of assembling a record that missed the client cache —
+  /// typically a CDN hit, not a full origin round-trip (ms).
+  double record_miss_latency_ms = 8.0;
+  /// How many client caches hold a copy when an invalidation strikes
+  /// (each of them pays the refetch).
+  double client_fanout = 10.0;
+};
+
+/// Chooses the representation minimizing expected added latency per read:
+///
+///   cost(object-list) = (change_rate + membership_rate)
+///                       · invalidation_cost · fanout / read_rate
+///   cost(id-list)     = membership_rate
+///                       · invalidation_cost · fanout / read_rate
+///                       + (1 − record_hit_rate^result_size)
+///                       · record_miss_latency
+///
+/// The invalidation terms amortize the cost of refetching stale copies
+/// over the reads between invalidations; the id-list additionally pays the
+/// result assembly, whose per-read penalty is bounded by the slowest
+/// parallel record fetch (browsers fetch result members concurrently).
+/// Object-lists win when results rarely change in place or assembly is
+/// expensive; id-lists win for hot results over well-cached, frequently
+/// changing records — the trade-off of §4.2 ("fewer invalidations against
+/// fewer round-trips").
+ResultRepresentation ChooseRepresentation(const RepresentationCosts& costs);
+
+/// The expected cost difference cost(object) − cost(id) in ms per read
+/// (diagnostic; positive favours id-lists).
+double RepresentationCostDelta(const RepresentationCosts& costs);
+
+}  // namespace quaestor::ttl
+
+#endif  // QUAESTOR_TTL_REPRESENTATION_H_

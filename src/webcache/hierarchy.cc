@@ -1,0 +1,109 @@
+#include "webcache/hierarchy.h"
+
+namespace quaestor::webcache {
+
+namespace {
+
+Micros RemainingTtl(const CacheEntry& e, Micros now) {
+  return e.expire_at > now ? e.expire_at - now : 0;
+}
+
+}  // namespace
+
+FetchOutcome CacheHierarchy::FromOrigin(const std::string& key,
+                                        bool write_through) {
+  HttpRequest req;
+  req.key = key;
+  req.auth_token = auth_token_;
+  // Revalidation: present the freshest ETag we have so the origin can
+  // answer 304 (the body then comes from the stored copy).
+  const CacheEntry* conditional_source = nullptr;
+  std::optional<CacheEntry> client_copy;
+  if (client_cache_ != nullptr) {
+    client_copy = client_cache_->GetEvenIfExpired(key);
+    if (client_copy.has_value()) {
+      req.has_if_none_match = true;
+      req.if_none_match = client_copy->etag;
+      conditional_source = &client_copy.value();
+    }
+  }
+
+  HttpResponse resp = origin_->Fetch(req);
+  FetchOutcome out;
+  out.served_by = ServedBy::kOrigin;
+  out.latency_ms = latency_.origin_ms;
+  if (!resp.ok) {
+    out.ok = false;
+    return out;
+  }
+  out.ok = true;
+  out.remaining_ttl = resp.ttl;
+  if (resp.not_modified && conditional_source != nullptr) {
+    out.body = conditional_source->body;
+    out.etag = conditional_source->etag;
+  } else {
+    out.body = resp.body;
+    out.etag = resp.etag;
+  }
+  if (write_through && resp.ttl > 0) {
+    // The response travels back through the chain and refreshes every
+    // cache on the path (HTTP caches store responses they forward).
+    if (cdn_ != nullptr) cdn_->Put(key, out.body, out.etag, resp.ttl);
+    if (proxy_ != nullptr) proxy_->Put(key, out.body, out.etag, resp.ttl);
+    if (client_cache_ != nullptr) {
+      client_cache_->Put(key, out.body, out.etag, resp.ttl);
+    }
+  }
+  return out;
+}
+
+FetchOutcome CacheHierarchy::Fetch(const std::string& key, FetchMode mode) {
+  const Micros now = clock_->NowMicros();
+
+  if (mode == FetchMode::kRevalidate) {
+    return FromOrigin(key, /*write_through=*/true);
+  }
+
+  // 1. Client (browser) cache.
+  if (mode == FetchMode::kNormal && client_cache_ != nullptr) {
+    auto hit = client_cache_->Get(key);
+    if (hit.has_value()) {
+      return {true, hit->body, hit->etag, ServedBy::kClientCache,
+              latency_.client_cache_ms, RemainingTtl(*hit, now)};
+    }
+  }
+
+  // 2. Intermediate expiration proxy (ISP), if present. Skipped for
+  // revalidate-at-CDN: expiration proxies cannot be purged so their copies
+  // are exactly what a revalidation must bypass.
+  if (mode == FetchMode::kNormal && proxy_ != nullptr) {
+    auto hit = proxy_->Get(key);
+    if (hit.has_value()) {
+      if (client_cache_ != nullptr) {
+        client_cache_->Put(key, hit->body, hit->etag,
+                           RemainingTtl(*hit, now));
+      }
+      return {true, hit->body, hit->etag, ServedBy::kExpirationCache,
+              latency_.expiration_proxy_ms, RemainingTtl(*hit, now)};
+    }
+  }
+
+  // 3. Invalidation-based cache (CDN edge).
+  if (cdn_ != nullptr) {
+    auto hit = cdn_->Get(key);
+    if (hit.has_value()) {
+      const Micros remaining = RemainingTtl(*hit, now);
+      if (proxy_ != nullptr) proxy_->Put(key, hit->body, hit->etag, remaining);
+      if (client_cache_ != nullptr) {
+        client_cache_->Put(key, hit->body, hit->etag, remaining);
+      }
+      return {true, hit->body, hit->etag, ServedBy::kInvalidationCache,
+              latency_.cdn_ms, remaining};
+    }
+  }
+
+  // 4. Origin.
+  return FromOrigin(key, /*write_through=*/true);
+}
+
+}  // namespace quaestor::webcache

@@ -1,0 +1,83 @@
+#ifndef QUAESTOR_WEBCACHE_HIERARCHY_H_
+#define QUAESTOR_WEBCACHE_HIERARCHY_H_
+
+#include <string>
+
+#include "common/clock.h"
+#include "webcache/http.h"
+#include "webcache/web_cache.h"
+
+namespace quaestor::webcache {
+
+/// How a fetch interacts with the cache levels.
+enum class FetchMode {
+  /// Serve from any fresh cache (standard HTTP GET).
+  kNormal,
+  /// Force end-to-end revalidation: bypass every cached copy, confirm or
+  /// refresh at the origin (If-None-Match), and refresh all caches on the
+  /// way back. Used for EBF-flagged keys and for strong consistency.
+  kRevalidate,
+  /// Bypass the client cache but allow the invalidation-based cache to
+  /// answer: because the server purges CDN copies on invalidation, a CDN
+  /// hit is trustworthy up to the invalidation latency. This is the
+  /// ∆ − ∆_invalidation optimization of §3.2 that offloads the backend.
+  kRevalidateAtCdn,
+};
+
+/// Result of a fetch through the hierarchy.
+struct FetchOutcome {
+  bool ok = false;
+  std::string body;
+  uint64_t etag = 0;
+  ServedBy served_by = ServedBy::kOrigin;
+  /// Total request latency implied by the hop that served the response.
+  double latency_ms = 0.0;
+  /// How much longer this response may be served from a cache: the
+  /// remaining TTL at the serving cache, or the freshly issued TTL at the
+  /// origin. Clients use it to bound the lifetime of derived cache entries
+  /// (e.g. per-record entries extracted from a query result).
+  Micros remaining_ttl = 0;
+};
+
+/// The web path between one client and the DBaaS: an optional client
+/// (browser) cache, an optional intermediate expiration proxy (ISP), a
+/// shared invalidation-based cache (CDN edge), and the origin. Any level
+/// may be nullptr (e.g. the "Uncached" baseline passes nullptr for all
+/// caches; "CDN only" passes no client cache).
+class CacheHierarchy {
+ public:
+  CacheHierarchy(Clock* clock, ExpirationCache* client_cache,
+                 ExpirationCache* proxy, InvalidationCache* cdn,
+                 Origin* origin, LatencyModel latency = LatencyModel())
+      : clock_(clock),
+        client_cache_(client_cache),
+        proxy_(proxy),
+        cdn_(cdn),
+        origin_(origin),
+        latency_(latency) {}
+
+  /// Performs a GET through the hierarchy.
+  FetchOutcome Fetch(const std::string& key, FetchMode mode);
+
+  ExpirationCache* client_cache() { return client_cache_; }
+  InvalidationCache* cdn() { return cdn_; }
+  const LatencyModel& latency_model() const { return latency_; }
+
+  /// Bearer token attached to every origin request (authorization).
+  void set_auth_token(std::string token) { auth_token_ = std::move(token); }
+
+ private:
+  FetchOutcome FromOrigin(const std::string& key, bool write_through);
+
+  Clock* clock_;
+  ExpirationCache* client_cache_;
+  ExpirationCache* proxy_;
+  InvalidationCache* cdn_;
+  Origin* origin_;
+  LatencyModel latency_;
+  std::string auth_token_;
+};
+
+}  // namespace quaestor::webcache
+
+#endif  // QUAESTOR_WEBCACHE_HIERARCHY_H_

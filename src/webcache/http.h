@@ -1,0 +1,63 @@
+#ifndef QUAESTOR_WEBCACHE_HTTP_H_
+#define QUAESTOR_WEBCACHE_HTTP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+
+namespace quaestor::webcache {
+
+/// The subset of HTTP caching semantics Quaestor relies on (§2 "Web
+/// Caching"): a resource is a body plus a version tag (ETag) and a
+/// server-assigned time-to-live. `Cache-Control: no-store` responses have
+/// ttl == 0.
+struct HttpResponse {
+  bool ok = false;
+  /// 304 Not Modified (revalidation confirmed freshness; body omitted).
+  bool not_modified = false;
+  std::string body;
+  uint64_t etag = 0;
+  Micros ttl = 0;  // 0 = uncacheable
+};
+
+/// A request travelling through the cache hierarchy.
+struct HttpRequest {
+  std::string key;  // the resource URL (record key or normalized query)
+  /// Conditional revalidation: server replies 304 if etag still current.
+  bool has_if_none_match = false;
+  uint64_t if_none_match = 0;
+  /// Bearer token identifying the session (empty = anonymous). Resolved
+  /// by the origin's access controller; caches never inspect it.
+  std::string auth_token;
+};
+
+/// Where a response was ultimately served from.
+enum class ServedBy {
+  kClientCache,
+  kExpirationCache,  // forward/ISP proxy level (optional hop)
+  kInvalidationCache,
+  kOrigin,
+};
+
+/// Round-trip latencies between the client and each level (milliseconds).
+/// Defaults reproduce the paper's measured setting: client cache hits are
+/// free, CDN hits cost 4 ms, origin misses 145-150 ms (§6.1, Figure 8f).
+struct LatencyModel {
+  double client_cache_ms = 0.0;
+  double expiration_proxy_ms = 2.0;
+  double cdn_ms = 4.0;
+  double origin_ms = 145.0;
+};
+
+/// The abstract backend behind all caches (Quaestor's server implements
+/// this). `Fetch` must honour If-None-Match by returning not_modified.
+class Origin {
+ public:
+  virtual ~Origin() = default;
+  virtual HttpResponse Fetch(const HttpRequest& request) = 0;
+};
+
+}  // namespace quaestor::webcache
+
+#endif  // QUAESTOR_WEBCACHE_HTTP_H_

@@ -1,0 +1,93 @@
+#include "webcache/web_cache.h"
+
+namespace quaestor::webcache {
+
+std::optional<CacheEntry> ExpirationCache::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    stats_.misses++;
+    return std::nullopt;
+  }
+  if (!it->second.IsFresh(clock_->NowMicros())) {
+    stats_.expired_misses++;
+    return std::nullopt;
+  }
+  stats_.hits++;
+  TouchLocked(key);
+  return it->second;
+}
+
+std::optional<CacheEntry> ExpirationCache::GetEvenIfExpired(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ExpirationCache::Put(const std::string& key, const std::string& body,
+                          uint64_t etag, Micros ttl) {
+  if (ttl <= 0) return;
+  const Micros now = clock_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheEntry& e = entries_[key];
+  e.body = body;
+  e.etag = etag;
+  e.stored_at = now;
+  e.expire_at = now + ttl;
+  stats_.insertions++;
+  TouchLocked(key);
+  EvictIfNeededLocked();
+}
+
+bool ExpirationCache::Remove(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  auto pos = lru_pos_.find(key);
+  if (pos != lru_pos_.end()) {
+    lru_.erase(pos->second);
+    lru_pos_.erase(pos);
+  }
+  stats_.purges++;
+  return true;
+}
+
+void ExpirationCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  lru_pos_.clear();
+}
+
+size_t ExpirationCache::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+CacheStats ExpirationCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ExpirationCache::TouchLocked(const std::string& key) {
+  auto pos = lru_pos_.find(key);
+  if (pos != lru_pos_.end()) lru_.erase(pos->second);
+  lru_.push_front(key);
+  lru_pos_[key] = lru_.begin();
+}
+
+void ExpirationCache::EvictIfNeededLocked() {
+  if (max_entries_ == 0) return;
+  while (entries_.size() > max_entries_ && !lru_.empty()) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    lru_pos_.erase(victim);
+    entries_.erase(victim);
+    stats_.evictions++;
+  }
+}
+
+}  // namespace quaestor::webcache

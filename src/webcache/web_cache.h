@@ -1,0 +1,120 @@
+#ifndef QUAESTOR_WEBCACHE_WEB_CACHE_H_
+#define QUAESTOR_WEBCACHE_WEB_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "webcache/http.h"
+
+namespace quaestor::webcache {
+
+/// A stored cache entry.
+struct CacheEntry {
+  std::string body;
+  uint64_t etag = 0;
+  Micros stored_at = 0;
+  Micros expire_at = 0;
+
+  bool IsFresh(Micros now) const { return now < expire_at; }
+};
+
+/// Hit/miss counters for one cache.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;        // key absent
+  uint64_t expired_misses = 0;  // key present but TTL passed
+  uint64_t purges = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses + expired_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// An HTTP expiration-based cache (browser cache, forward/ISP proxy):
+/// serves stored entries until their TTL passes; the server cannot purge
+/// it — only client-triggered revalidations replace stale content (§2).
+/// LRU-bounded; thread-safe.
+class ExpirationCache {
+ public:
+  explicit ExpirationCache(Clock* clock, size_t max_entries = 0)
+      : clock_(clock), max_entries_(max_entries) {}
+
+  ExpirationCache(const ExpirationCache&) = delete;
+  ExpirationCache& operator=(const ExpirationCache&) = delete;
+
+  virtual ~ExpirationCache() = default;
+
+  /// Fresh entry or nullopt (miss / expired).
+  std::optional<CacheEntry> Get(const std::string& key);
+
+  /// Entry regardless of freshness (clients use this with the EBF: a
+  /// stale-by-TTL copy can still be served if the EBF clears it — and a
+  /// fresh-by-TTL copy must be revalidated if the EBF flags it).
+  std::optional<CacheEntry> GetEvenIfExpired(const std::string& key);
+
+  /// Stores a response with TTL (no-op when ttl <= 0).
+  void Put(const std::string& key, const std::string& body, uint64_t etag,
+           Micros ttl);
+
+  /// Removes one entry locally (used by clients for their own writes —
+  /// read-your-writes; NOT a server purge).
+  bool Remove(const std::string& key);
+
+  void Clear();
+  size_t Size() const;
+  CacheStats stats() const;
+
+ protected:
+  Clock* clock_;
+
+ private:
+  void TouchLocked(const std::string& key);
+  void EvictIfNeededLocked();
+
+  const size_t max_entries_;  // 0 = unbounded
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, CacheEntry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<std::string>::iterator> lru_pos_;
+  CacheStats stats_;
+};
+
+/// An invalidation-based cache (CDN edge, reverse proxy): an expiration
+/// cache that additionally accepts asynchronous purges from the server
+/// (§2: "invalidation-based caches support ... asynchronous invalidations
+/// from the server that purge stale content").
+class InvalidationCache : public ExpirationCache {
+ public:
+  explicit InvalidationCache(Clock* clock, size_t max_entries = 0)
+      : ExpirationCache(clock, max_entries) {}
+
+  /// Server-initiated purge. Returns true if a copy was dropped.
+  bool Purge(const std::string& key) {
+    const bool removed = Remove(key);
+    std::lock_guard<std::mutex> lock(purge_mu_);
+    purge_count_++;
+    return removed;
+  }
+
+  uint64_t PurgeCount() const {
+    std::lock_guard<std::mutex> lock(purge_mu_);
+    return purge_count_;
+  }
+
+ private:
+  mutable std::mutex purge_mu_;
+  uint64_t purge_count_ = 0;
+};
+
+}  // namespace quaestor::webcache
+
+#endif  // QUAESTOR_WEBCACHE_WEB_CACHE_H_

@@ -1,0 +1,118 @@
+#ifndef QUAESTOR_WORKLOAD_WORKLOAD_H_
+#define QUAESTOR_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "db/database.h"
+#include "db/query.h"
+#include "db/update.h"
+
+namespace quaestor::workload {
+
+/// Operation kinds sampled by the generator (§6.1: "Workloads were
+/// specified by defining a discrete distribution of operations (reads,
+/// queries, inserts, partial updates, and deletes)").
+enum class OpType { kRead, kQuery, kInsert, kUpdate, kDelete };
+
+/// One sampled operation.
+struct Operation {
+  OpType type = OpType::kRead;
+  std::string table;
+  std::string id;       // reads / updates / deletes / inserts
+  db::Query query;      // queries
+  db::Update update;    // updates
+  db::Value body;       // inserts
+};
+
+/// YCSB-style workload shape. The paper's default setting (§6.1): 10
+/// tables × 10,000 documents, 100 distinct queries per table each
+/// initially matching ~10 documents, Zipfian request distribution.
+struct WorkloadOptions {
+  size_t num_tables = 10;
+  size_t docs_per_table = 10000;
+  size_t queries_per_table = 100;
+  /// Documents initially matched per query (controls the `group` fan-out).
+  size_t docs_per_query = 10;
+  /// Zipf parameter for key/query/table sampling (Table 1 uses 0.99).
+  double zipf_theta = 0.8;
+
+  /// Operation mix weights (normalized internally). Read-heavy default:
+  /// 99% reads+queries (equally weighted), 1% updates.
+  double read_weight = 0.495;
+  double query_weight = 0.495;
+  double insert_weight = 0.0;
+  double update_weight = 0.01;
+  double delete_weight = 0.0;
+
+  /// Fraction of updates that change query membership (move a document to
+  /// another group → add/remove events) rather than only its state
+  /// (counter bump → change events).
+  double membership_change_fraction = 0.3;
+};
+
+/// Generates the database population and an endless stream of operations.
+/// Deterministic for a given seed.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadOptions options, uint64_t seed);
+
+  /// Populates `db` with `num_tables × docs_per_table` documents. Each
+  /// document carries a `group` field; the i-th query of a table selects
+  /// `group == i`, so it initially returns `docs_per_query` documents.
+  void Load(db::Database* db);
+
+  /// Samples the next operation.
+  Operation Next();
+
+  /// The distinct queries of a table (normalized shapes the benchmark
+  /// re-issues).
+  const std::vector<db::Query>& QueriesFor(size_t table_index) const {
+    return queries_[table_index];
+  }
+
+  const WorkloadOptions& options() const { return options_; }
+
+  static std::string TableName(size_t index) {
+    return "t" + std::to_string(index);
+  }
+  static std::string DocId(size_t index) {
+    return "d" + std::to_string(index);
+  }
+
+  /// Builds the document body for (table_index, doc_index) — also used by
+  /// tests to predict query membership.
+  db::Value MakeDoc(size_t table_index, size_t doc_index) const;
+
+  /// The group a document initially belongs to. Group ids are permuted
+  /// (affine bijection) so that the Zipf-hottest documents do not land in
+  /// the Zipf-hottest query's group — read popularity and write
+  /// popularity of a query result are decorrelated, as they are for
+  /// independent real-world keys.
+  size_t GroupOf(size_t doc_index) const {
+    return (group_mult_ * (doc_index % num_groups_) + group_offset_) %
+           num_groups_;
+  }
+
+ private:
+  db::Query MakeQuery(size_t table_index, size_t group) const;
+
+  WorkloadOptions options_;
+  Rng rng_;
+  size_t num_groups_;
+  size_t group_mult_ = 1;    // coprime with num_groups_
+  size_t group_offset_ = 0;
+  ZipfianGenerator table_dist_;
+  ZipfianGenerator key_dist_;
+  ZipfianGenerator query_dist_;
+  DiscreteDistribution op_dist_;
+  std::vector<std::vector<db::Query>> queries_;  // [table][query]
+  uint64_t insert_counter_ = 0;
+};
+
+}  // namespace quaestor::workload
+
+#endif  // QUAESTOR_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "ebf/bloom_filter.h"
+
+namespace quaestor::ebf {
+namespace {
+
+TEST(BitVectorTest, SetTestClear) {
+  BitVector bits(100);
+  EXPECT_EQ(bits.size(), 100u);
+  EXPECT_FALSE(bits.Test(5));
+  bits.Set(5);
+  EXPECT_TRUE(bits.Test(5));
+  bits.Clear(5);
+  EXPECT_FALSE(bits.Test(5));
+}
+
+TEST(BitVectorTest, WordBoundaries) {
+  BitVector bits(130);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(129);
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(129));
+  EXPECT_EQ(bits.PopCount(), 3u);
+}
+
+TEST(BitVectorTest, UnionWith) {
+  BitVector a(64);
+  BitVector b(64);
+  a.Set(1);
+  b.Set(2);
+  a.UnionWith(b);
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_TRUE(a.Test(2));
+  EXPECT_FALSE(b.Test(1));  // b unchanged
+}
+
+TEST(BitVectorTest, ResetClearsAll) {
+  BitVector bits(64);
+  bits.Set(0);
+  bits.Set(63);
+  bits.Reset();
+  EXPECT_EQ(bits.PopCount(), 0u);
+}
+
+TEST(BitVectorTest, ByteSize) {
+  EXPECT_EQ(BitVector(8).ByteSize(), 1u);
+  EXPECT_EQ(BitVector(9).ByteSize(), 2u);
+  EXPECT_EQ(BitVector(116800).ByteSize(), 14600u);  // the paper's 14.6 KB
+}
+
+// ---------------------------------------------------------------------------
+// BloomParams math
+// ---------------------------------------------------------------------------
+
+TEST(BloomParamsTest, PaperConfigurationHasSixPercentFpr) {
+  // §3.3: m = 10 × 1460 B = 116,800 bits holds 20,000 stale queries at
+  // ~6% false positives.
+  const double fpr = BloomParams::FalsePositiveRate(116800, 20000, 4);
+  EXPECT_NEAR(fpr, 0.06, 0.005);
+}
+
+TEST(BloomParamsTest, OptimalHashes) {
+  // k = (m/n) ln 2 ≈ 4.05 for the paper's sizing.
+  EXPECT_EQ(BloomParams::OptimalNumHashes(116800, 20000), 4u);
+  EXPECT_EQ(BloomParams::OptimalNumHashes(1000, 0), 1u);
+  EXPECT_GE(BloomParams::OptimalNumHashes(10000, 100), 1u);
+}
+
+TEST(BloomParamsTest, ForCapacityMeetsTarget) {
+  const BloomParams p = BloomParams::ForCapacity(10000, 0.01);
+  const double fpr =
+      BloomParams::FalsePositiveRate(p.num_bits, 10000, p.num_hashes);
+  EXPECT_LE(fpr, 0.015);
+}
+
+TEST(BloomParamsTest, FprMonotonicInLoad) {
+  const double f1 = BloomParams::FalsePositiveRate(10000, 100, 4);
+  const double f2 = BloomParams::FalsePositiveRate(10000, 1000, 4);
+  const double f3 = BloomParams::FalsePositiveRate(10000, 5000, 4);
+  EXPECT_LT(f1, f2);
+  EXPECT_LT(f2, f3);
+}
+
+// ---------------------------------------------------------------------------
+// BloomFilter
+// ---------------------------------------------------------------------------
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter bf;
+  for (int i = 0; i < 1000; ++i) bf.Add("key" + std::to_string(i));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(bf.MaybeContains("key" + std::to_string(i)));
+  }
+}
+
+TEST(BloomFilterTest, EmptyContainsNothing) {
+  BloomFilter bf;
+  EXPECT_FALSE(bf.MaybeContains("anything"));
+  EXPECT_DOUBLE_EQ(bf.FillRatio(), 0.0);
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearTheory) {
+  BloomParams params;
+  params.num_bits = 116800;
+  params.num_hashes = 4;
+  BloomFilter bf(params);
+  constexpr int kInserted = 20000;
+  for (int i = 0; i < kInserted; ++i) bf.Add("in" + std::to_string(i));
+  int false_positives = 0;
+  constexpr int kProbes = 20000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (bf.MaybeContains("out" + std::to_string(i))) ++false_positives;
+  }
+  const double measured =
+      static_cast<double>(false_positives) / static_cast<double>(kProbes);
+  EXPECT_NEAR(measured, 0.06, 0.015);  // the paper's ~6%
+  EXPECT_NEAR(bf.EstimatedFpr(), measured, 0.02);
+}
+
+TEST(BloomFilterTest, ClearEmpties) {
+  BloomFilter bf;
+  bf.Add("x");
+  bf.Clear();
+  EXPECT_FALSE(bf.MaybeContains("x"));
+}
+
+TEST(BloomFilterTest, UnionIsSuperset) {
+  BloomFilter a;
+  BloomFilter b;
+  a.Add("only-a");
+  b.Add("only-b");
+  a.UnionWith(b);
+  EXPECT_TRUE(a.MaybeContains("only-a"));
+  EXPECT_TRUE(a.MaybeContains("only-b"));
+}
+
+TEST(BloomFilterTest, DefaultIsOneTcpWindow) {
+  BloomFilter bf;
+  EXPECT_EQ(bf.ByteSize(), 14600u);
+}
+
+// ---------------------------------------------------------------------------
+// CountingBloomFilter
+// ---------------------------------------------------------------------------
+
+TEST(CountingBloomTest, AddRemoveRestoresAbsence) {
+  CountingBloomFilter cbf;
+  cbf.Add("key");
+  EXPECT_TRUE(cbf.MaybeContains("key"));
+  cbf.Remove("key");
+  EXPECT_FALSE(cbf.MaybeContains("key"));
+}
+
+TEST(CountingBloomTest, DoubleAddNeedsDoubleRemove) {
+  CountingBloomFilter cbf;
+  cbf.Add("key");
+  cbf.Add("key");
+  cbf.Remove("key");
+  EXPECT_TRUE(cbf.MaybeContains("key"));
+  cbf.Remove("key");
+  EXPECT_FALSE(cbf.MaybeContains("key"));
+}
+
+TEST(CountingBloomTest, RemoveOfSharedBitsKeepsOtherKeys) {
+  CountingBloomFilter cbf;
+  for (int i = 0; i < 500; ++i) cbf.Add("k" + std::to_string(i));
+  cbf.Remove("k0");
+  // All remaining keys must still be present (counters prevent the
+  // clear-on-shared-bit bug of plain bitmaps).
+  for (int i = 1; i < 500; ++i) {
+    EXPECT_TRUE(cbf.MaybeContains("k" + std::to_string(i))) << i;
+  }
+}
+
+TEST(CountingBloomTest, RemoveAbsentIsSafe) {
+  CountingBloomFilter cbf;
+  cbf.Add("a");
+  cbf.Remove("never-added");  // underflow guard: counters stay sane
+  EXPECT_TRUE(cbf.MaybeContains("a"));
+}
+
+TEST(CountingBloomTest, BitTransitionCallbacks) {
+  CountingBloomFilter cbf;
+  int sets = 0;
+  int clears = 0;
+  cbf.Add("key", [&](size_t) { sets++; });
+  EXPECT_EQ(sets, static_cast<int>(cbf.params().num_hashes));
+  cbf.Add("key", [&](size_t) { sets++; });  // counters 1→2: no new bits
+  EXPECT_EQ(sets, static_cast<int>(cbf.params().num_hashes));
+  cbf.Remove("key", [&](size_t) { clears++; });
+  EXPECT_EQ(clears, 0);  // counters 2→1
+  cbf.Remove("key", [&](size_t) { clears++; });
+  EXPECT_EQ(clears, static_cast<int>(cbf.params().num_hashes));
+}
+
+TEST(CountingBloomTest, ToBloomFilterMatchesMembership) {
+  CountingBloomFilter cbf;
+  for (int i = 0; i < 100; ++i) cbf.Add("k" + std::to_string(i));
+  BloomFilter flat = cbf.ToBloomFilter();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(flat.MaybeContains("k" + std::to_string(i)));
+  }
+  EXPECT_EQ(flat.MaybeContains("absent-key-xyz"),
+            cbf.MaybeContains("absent-key-xyz"));
+}
+
+// Property sweep: flat filter maintained via callbacks equals rebuild.
+class CountingBloomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CountingBloomSweep, IncrementalFlatEqualsRebuilt) {
+  const int n = GetParam();
+  BloomParams params;
+  params.num_bits = 4096;
+  params.num_hashes = 3;
+  CountingBloomFilter cbf(params);
+  BloomFilter incremental(params);
+  // Add n keys, remove every third one.
+  for (int i = 0; i < n; ++i) {
+    cbf.Add("k" + std::to_string(i),
+            [&](size_t pos) { incremental.SetBit(pos); });
+  }
+  for (int i = 0; i < n; i += 3) {
+    cbf.Remove("k" + std::to_string(i),
+               [&](size_t pos) { incremental.ClearBit(pos); });
+  }
+  EXPECT_TRUE(incremental.bits() == cbf.ToBloomFilter().bits());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CountingBloomSweep,
+                         ::testing::Values(1, 10, 100, 500, 2000));
+
+}  // namespace
+}  // namespace quaestor::ebf

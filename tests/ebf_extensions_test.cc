@@ -1,0 +1,194 @@
+// Tests for EBF extensions: Bloom filter serialization (client transfer)
+// and the table-partitioned client EBF mode of §3.3.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "client/client.h"
+#include "common/clock.h"
+#include "core/server.h"
+#include "db/database.h"
+#include "ebf/bloom_filter.h"
+#include "ebf/expiring_bloom_filter.h"
+#include "webcache/web_cache.h"
+
+namespace quaestor {
+namespace {
+
+db::Value Doc(const char* json) {
+  auto v = db::Value::FromJson(json);
+  EXPECT_TRUE(v.ok());
+  return v.value();
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+TEST(BloomSerializationTest, RoundTripPreservesMembership) {
+  ebf::BloomFilter bf;
+  for (int i = 0; i < 5000; ++i) bf.Add("key" + std::to_string(i));
+  const std::string bytes = bf.Serialize();
+  EXPECT_EQ(bytes.size(), 12 + bf.ByteSize());
+
+  auto parsed = ebf::BloomFilter::Deserialize(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->params().num_bits, bf.params().num_bits);
+  EXPECT_EQ(parsed->params().num_hashes, bf.params().num_hashes);
+  EXPECT_TRUE(parsed->bits() == bf.bits());
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_TRUE(parsed->MaybeContains("key" + std::to_string(i)));
+  }
+}
+
+TEST(BloomSerializationTest, EmptyFilterRoundTrips) {
+  ebf::BloomParams params;
+  params.num_bits = 100;  // not a multiple of 8 or 64
+  params.num_hashes = 3;
+  ebf::BloomFilter bf(params);
+  auto parsed = ebf::BloomFilter::Deserialize(bf.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->FillRatio(), 0.0);
+  EXPECT_EQ(parsed->params().num_bits, 100u);
+}
+
+TEST(BloomSerializationTest, OddSizesRoundTrip) {
+  for (size_t bits : {65u, 127u, 1000u, 116800u}) {
+    ebf::BloomParams params;
+    params.num_bits = bits;
+    params.num_hashes = 4;
+    ebf::BloomFilter bf(params);
+    bf.Add("a");
+    bf.Add("b");
+    auto parsed = ebf::BloomFilter::Deserialize(bf.Serialize());
+    ASSERT_TRUE(parsed.ok()) << bits;
+    EXPECT_TRUE(parsed->bits() == bf.bits()) << bits;
+  }
+}
+
+TEST(BloomSerializationTest, RejectsCorruptInput) {
+  EXPECT_TRUE(ebf::BloomFilter::Deserialize("").status().code() ==
+              StatusCode::kCorruption);
+  EXPECT_FALSE(ebf::BloomFilter::Deserialize("short").ok());
+  ebf::BloomFilter bf;
+  std::string bytes = bf.Serialize();
+  bytes[0] ^= 0x7f;  // break the magic
+  EXPECT_FALSE(ebf::BloomFilter::Deserialize(bytes).ok());
+  std::string truncated = bf.Serialize();
+  truncated.resize(truncated.size() - 5);
+  EXPECT_FALSE(ebf::BloomFilter::Deserialize(truncated).ok());
+}
+
+TEST(BloomSerializationTest, DefaultFilterFitsOneCongestionWindow) {
+  ebf::BloomFilter bf;
+  // 12-byte header + 14,600-byte body ≤ 10 × 1460 B + header.
+  EXPECT_LE(bf.Serialize().size(), 14612u);
+}
+
+// ---------------------------------------------------------------------------
+// Table-partitioned client EBFs
+// ---------------------------------------------------------------------------
+
+TEST(PartitionedEbfKeyTest, TableOfKey) {
+  EXPECT_EQ(ebf::PartitionedEbf::TableOfKey("posts/p1"), "posts");
+  EXPECT_EQ(ebf::PartitionedEbf::TableOfKey("q:posts?g $eq 1"), "posts");
+  EXPECT_EQ(ebf::PartitionedEbf::TableOfKey("q:users?x $eq 2&limit=3"),
+            "users");
+}
+
+class TableEbfClientTest : public ::testing::Test {
+ protected:
+  TableEbfClientTest() : clock_(0), db_(&clock_) {
+    server_ = std::make_unique<core::QuaestorServer>(&clock_, &db_);
+    cache_ = std::make_unique<webcache::ExpirationCache>(&clock_);
+    writer_cache_ = std::make_unique<webcache::ExpirationCache>(&clock_);
+    client::ClientOptions opts;
+    opts.use_table_ebfs = true;
+    opts.ebf_refresh_interval = 5 * kMicrosPerSecond;
+    client_ = std::make_unique<client::QuaestorClient>(
+        &clock_, server_.get(), cache_.get(), nullptr, opts);
+    client_->Connect();
+    writer_ = std::make_unique<client::QuaestorClient>(
+        &clock_, server_.get(), writer_cache_.get(), nullptr);
+    writer_->Connect();
+  }
+
+  SimulatedClock clock_;
+  db::Database db_;
+  std::unique_ptr<core::QuaestorServer> server_;
+  std::unique_ptr<webcache::ExpirationCache> cache_;
+  std::unique_ptr<webcache::ExpirationCache> writer_cache_;
+  std::unique_ptr<client::QuaestorClient> client_;
+  std::unique_ptr<client::QuaestorClient> writer_;
+};
+
+TEST_F(TableEbfClientTest, DetectsStalenessViaTableFilter) {
+  ASSERT_TRUE(writer_->Insert("t", "x", Doc(R"({"v":1})")).ok());
+  (void)client_->Read("t", "x");  // cached v1; lazily fetched t's filter
+
+  clock_.Advance(1 * kMicrosPerSecond);
+  db::Update u;
+  u.Set("v", db::Value(2));
+  ASSERT_TRUE(writer_->Update("t", "x", u).ok());
+
+  // Within ∆ the stale copy may be served.
+  auto stale = client_->Read("t", "x");
+  EXPECT_EQ(stale.doc.Find("v")->as_int(), 1);
+
+  // After ∆ the table filter refreshes and the read revalidates.
+  clock_.Advance(5 * kMicrosPerSecond);
+  auto fresh = client_->Read("t", "x");
+  EXPECT_TRUE(fresh.outcome.ebf_refreshed);
+  EXPECT_EQ(fresh.doc.Find("v")->as_int(), 2);
+}
+
+TEST_F(TableEbfClientTest, TablesRefreshIndependently) {
+  ASSERT_TRUE(writer_->Insert("a", "x", Doc(R"({"v":1})")).ok());
+  ASSERT_TRUE(writer_->Insert("b", "y", Doc(R"({"v":1})")).ok());
+  (void)client_->Read("a", "x");  // fetches a's filter at t=0
+  clock_.Advance(3 * kMicrosPerSecond);
+  (void)client_->Read("b", "y");  // fetches b's filter at t=3
+  clock_.Advance(3 * kMicrosPerSecond);  // t=6: a is 6s old, b is 3s old
+  auto ra = client_->Read("a", "x");
+  EXPECT_TRUE(ra.outcome.ebf_refreshed);  // ∆=5s exceeded for a
+  auto rb = client_->Read("b", "y");
+  EXPECT_FALSE(rb.outcome.ebf_refreshed);  // b still fresh
+}
+
+TEST_F(TableEbfClientTest, CrossTableStalenessDoesNotTriggerRevalidation) {
+  ASSERT_TRUE(writer_->Insert("hot", "x", Doc(R"({"v":1})")).ok());
+  ASSERT_TRUE(writer_->Insert("cold", "y", Doc(R"({"v":1})")).ok());
+  (void)client_->Read("cold", "y");  // caches cold/y + cold's filter
+
+  // Make the 'hot' table extremely stale (many flagged keys).
+  for (int i = 0; i < 50; ++i) {
+    const std::string id = "k" + std::to_string(i);
+    ASSERT_TRUE(writer_->Insert("hot", id, Doc(R"({"v":1})")).ok());
+    (void)writer_->Read("hot", id);
+    db::Update u;
+    u.Set("v", db::Value(2));
+    ASSERT_TRUE(writer_->Update("hot", id, u).ok());
+  }
+  // A cold-table read keeps using its clean per-table filter: no
+  // revalidation, served from cache.
+  auto r = client_->Read("cold", "y");
+  EXPECT_FALSE(r.outcome.revalidated);
+  EXPECT_EQ(r.outcome.served_by, webcache::ServedBy::kClientCache);
+}
+
+TEST_F(TableEbfClientTest, ServerServesPerTableSnapshots) {
+  ASSERT_TRUE(writer_->Insert("a", "x", Doc(R"({"v":1})")).ok());
+  // Read from a different session so the request reaches the origin and
+  // a TTL is issued (the writer would hit its own session cache).
+  (void)client_->Read("a", "x");
+  clock_.Advance(1 * kMicrosPerSecond);
+  db::Update u;
+  u.Set("v", db::Value(2));
+  ASSERT_TRUE(writer_->Update("a", "x", u).ok());
+  EXPECT_TRUE(server_->BloomSnapshotForTable("a").MaybeContains("a/x"));
+  EXPECT_FALSE(server_->BloomSnapshotForTable("b").MaybeContains("a/x"));
+}
+
+}  // namespace
+}  // namespace quaestor

@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/clock.h"
+#include "ebf/expiring_bloom_filter.h"
+#include "ebf/shared_ebf.h"
+#include "kv/kv_store.h"
+
+namespace quaestor::ebf {
+namespace {
+
+constexpr Micros kSecond = kMicrosPerSecond;
+
+class EbfTest : public ::testing::Test {
+ protected:
+  EbfTest() : clock_(0), ebf_(&clock_) {}
+  SimulatedClock clock_;
+  ExpiringBloomFilter ebf_;
+};
+
+TEST_F(EbfTest, WriteWithoutReadIsNotStale) {
+  // No TTL was ever issued: no cache can hold the key.
+  EXPECT_FALSE(ebf_.ReportWrite("t/x"));
+  EXPECT_FALSE(ebf_.IsStale("t/x"));
+  EXPECT_FALSE(ebf_.Snapshot().MaybeContains("t/x"));
+}
+
+TEST_F(EbfTest, WriteDuringTtlMakesStale) {
+  ebf_.ReportRead("t/x", 10 * kSecond);
+  clock_.Advance(2 * kSecond);
+  EXPECT_TRUE(ebf_.ReportWrite("t/x"));
+  EXPECT_TRUE(ebf_.IsStale("t/x"));
+  EXPECT_TRUE(ebf_.Snapshot().MaybeContains("t/x"));
+}
+
+TEST_F(EbfTest, WriteAfterTtlExpiryIsNotStale) {
+  ebf_.ReportRead("t/x", 1 * kSecond);
+  clock_.Advance(2 * kSecond);  // TTL passed: all caches dropped the copy
+  EXPECT_FALSE(ebf_.ReportWrite("t/x"));
+  EXPECT_FALSE(ebf_.IsStale("t/x"));
+}
+
+TEST_F(EbfTest, StaleKeyLeavesFilterWhenHighestTtlExpires) {
+  ebf_.ReportRead("t/x", 10 * kSecond);
+  clock_.Advance(1 * kSecond);
+  ebf_.ReportWrite("t/x");
+  EXPECT_TRUE(ebf_.IsStale("t/x"));
+  // Just before the issued TTL expires the key is still flagged.
+  clock_.Advance(9 * kSecond - 1);
+  EXPECT_TRUE(ebf_.IsStale("t/x"));
+  EXPECT_TRUE(ebf_.Snapshot().MaybeContains("t/x"));
+  // At expiry the key leaves the filter.
+  clock_.Advance(1);
+  ebf_.Maintain();
+  EXPECT_FALSE(ebf_.IsStale("t/x"));
+  EXPECT_FALSE(ebf_.Snapshot().MaybeContains("t/x"));
+}
+
+TEST_F(EbfTest, ContainmentEndsAtHighestIssuedTtl) {
+  // Definition 1: the key stays contained until the *highest* issued TTL
+  // known at invalidation time has passed.
+  ebf_.ReportRead("t/x", 5 * kSecond);
+  clock_.Advance(1 * kSecond);
+  ebf_.ReportRead("t/x", 10 * kSecond);  // extends expiry to t=11s
+  clock_.Advance(1 * kSecond);
+  ebf_.ReportWrite("t/x");  // at t=2s; stale until t=11s
+  clock_.Advance(8 * kSecond);  // t=10s
+  EXPECT_TRUE(ebf_.Snapshot().MaybeContains("t/x"));
+  clock_.Advance(1 * kSecond);  // t=11s
+  EXPECT_FALSE(ebf_.Snapshot().MaybeContains("t/x"));
+}
+
+TEST_F(EbfTest, RevalidationAfterInvalidationExtendsNothing) {
+  // A fresh read during staleness issues a new TTL but must not shorten
+  // or extend the existing stale window.
+  ebf_.ReportRead("t/x", 10 * kSecond);
+  clock_.Advance(1 * kSecond);
+  ebf_.ReportWrite("t/x");  // stale until t=11s
+  clock_.Advance(1 * kSecond);
+  ebf_.ReportRead("t/x", 1 * kSecond);  // revalidation with short TTL
+  clock_.Advance(2 * kSecond);          // t=4s: still stale (old copies live)
+  EXPECT_TRUE(ebf_.IsStale("t/x"));
+  clock_.Advance(7 * kSecond);  // t=11s
+  ebf_.Maintain();
+  EXPECT_FALSE(ebf_.IsStale("t/x"));
+}
+
+TEST_F(EbfTest, SecondWriteDuringStalenessExtendsWindow) {
+  ebf_.ReportRead("t/x", 10 * kSecond);
+  clock_.Advance(1 * kSecond);
+  ebf_.ReportWrite("t/x");  // stale until t=11
+  clock_.Advance(1 * kSecond);
+  ebf_.ReportRead("t/x", 20 * kSecond);  // new copy until t=22
+  clock_.Advance(1 * kSecond);
+  ebf_.ReportWrite("t/x");  // stale until t=22 now
+  clock_.Advance(10 * kSecond);  // t=13
+  EXPECT_TRUE(ebf_.IsStale("t/x"));
+  clock_.Advance(9 * kSecond);  // t=22
+  ebf_.Maintain();
+  EXPECT_FALSE(ebf_.IsStale("t/x"));
+}
+
+TEST_F(EbfTest, ZeroTtlReadsAreIgnored) {
+  ebf_.ReportRead("t/x", 0);
+  EXPECT_EQ(ebf_.TrackedCount(), 0u);
+  EXPECT_FALSE(ebf_.ReportWrite("t/x"));
+}
+
+TEST_F(EbfTest, TrackedKeysAreForgottenAfterExpiry) {
+  ebf_.ReportRead("t/x", 1 * kSecond);
+  EXPECT_EQ(ebf_.TrackedCount(), 1u);
+  clock_.Advance(2 * kSecond);
+  ebf_.Maintain();
+  EXPECT_EQ(ebf_.TrackedCount(), 0u);
+}
+
+TEST_F(EbfTest, StaleCountTracksFilterPopulation) {
+  for (int i = 0; i < 10; ++i) {
+    ebf_.ReportRead("t/k" + std::to_string(i), 10 * kSecond);
+  }
+  clock_.Advance(1 * kSecond);
+  for (int i = 0; i < 5; ++i) {
+    ebf_.ReportWrite("t/k" + std::to_string(i));
+  }
+  EXPECT_EQ(ebf_.StaleCount(), 5u);
+  const EbfStats stats = ebf_.stats();
+  EXPECT_EQ(stats.keys_added, 5u);
+  EXPECT_EQ(stats.reads_reported, 10u);
+  EXPECT_EQ(stats.invalidations_reported, 5u);
+  clock_.Advance(10 * kSecond);
+  ebf_.Maintain();
+  EXPECT_EQ(ebf_.StaleCount(), 0u);
+  EXPECT_EQ(ebf_.stats().keys_expired, 5u);
+}
+
+TEST_F(EbfTest, RepeatedWritesAddOnlyOnce) {
+  ebf_.ReportRead("t/x", 10 * kSecond);
+  clock_.Advance(1 * kSecond);
+  ebf_.ReportWrite("t/x");
+  ebf_.ReportWrite("t/x");
+  ebf_.ReportWrite("t/x");
+  EXPECT_EQ(ebf_.stats().keys_added, 1u);
+  // One expiry must fully clear it (counting filter balance).
+  clock_.Advance(10 * kSecond);
+  ebf_.Maintain();
+  EXPECT_FALSE(ebf_.Snapshot().MaybeContains("t/x"));
+}
+
+TEST_F(EbfTest, SnapshotIsImmutableCopy) {
+  ebf_.ReportRead("t/x", 10 * kSecond);
+  BloomFilter snap = ebf_.Snapshot();
+  clock_.Advance(1 * kSecond);
+  ebf_.ReportWrite("t/x");
+  // The old snapshot does not see the new staleness (clients hold
+  // immutable copies until they refresh, §3.3).
+  EXPECT_FALSE(snap.MaybeContains("t/x"));
+  EXPECT_TRUE(ebf_.Snapshot().MaybeContains("t/x"));
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 1 (∆-atomicity) — property sweep over refresh intervals
+// ---------------------------------------------------------------------------
+
+class DeltaAtomicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeltaAtomicityTest, FilterContainsEveryResultStaleSinceSnapshot) {
+  // Construction: keys are read (cached), then written. Any key whose
+  // cached TTL outlives its write time must be in a snapshot taken at any
+  // t1 in between — a client using that snapshot can never unknowingly
+  // read data staler than t2 − t1 (Theorem 1).
+  const int delta_s = GetParam();
+  SimulatedClock clock(0);
+  ExpiringBloomFilter ebf(&clock);
+
+  // Issue TTLs at t=0 with varying lengths.
+  for (int i = 0; i < 50; ++i) {
+    ebf.ReportRead("t/k" + std::to_string(i),
+                   (i + 1) * kSecond);  // expire at i+1 seconds
+  }
+  // Writes at t=1s invalidate everything.
+  clock.Advance(1 * kSecond);
+  for (int i = 0; i < 50; ++i) {
+    ebf.ReportWrite("t/k" + std::to_string(i));
+  }
+  // Snapshot at t1 = 1s + delta.
+  clock.Advance(delta_s * kSecond);
+  BloomFilter snap = ebf.Snapshot();
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "t/k" + std::to_string(i);
+    const Micros ttl_expiry = (i + 1) * kSecond;
+    if (ttl_expiry > clock.NowMicros()) {
+      // Some cache may still serve the stale copy: must be flagged.
+      EXPECT_TRUE(snap.MaybeContains(key)) << key << " delta=" << delta_s;
+    }
+    // (Keys whose TTL passed may or may not be flagged — false positives
+    // are allowed, false negatives are not.)
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, DeltaAtomicityTest,
+                         ::testing::Values(0, 1, 5, 20, 45));
+
+// ---------------------------------------------------------------------------
+// PartitionedEbf
+// ---------------------------------------------------------------------------
+
+TEST(PartitionedEbfTest, RoutesByTable) {
+  SimulatedClock clock(0);
+  PartitionedEbf ebf(&clock);
+  ebf.ReportRead("users/1", 10 * kSecond);
+  ebf.ReportRead("posts/1", 10 * kSecond);
+  ebf.ReportRead("q:posts?group $eq 1", 10 * kSecond);
+  EXPECT_EQ(ebf.PartitionCount(), 2u);  // users, posts
+  EXPECT_EQ(ebf.Partition("posts")->TrackedCount(), 2u);
+  EXPECT_EQ(ebf.Partition("users")->TrackedCount(), 1u);
+}
+
+TEST(PartitionedEbfTest, AggregateIsUnionOfPartitions) {
+  SimulatedClock clock(0);
+  PartitionedEbf ebf(&clock);
+  ebf.ReportRead("a/1", 10 * kSecond);
+  ebf.ReportRead("b/1", 10 * kSecond);
+  clock.Advance(1 * kSecond);
+  ebf.ReportWrite("a/1");
+  ebf.ReportWrite("b/1");
+  BloomFilter agg = ebf.AggregateSnapshot();
+  EXPECT_TRUE(agg.MaybeContains("a/1"));
+  EXPECT_TRUE(agg.MaybeContains("b/1"));
+  EXPECT_EQ(ebf.StaleCount(), 2u);
+}
+
+TEST(PartitionedEbfTest, QueryKeysShareTablePartitionWithRecords) {
+  SimulatedClock clock(0);
+  PartitionedEbf ebf(&clock);
+  ebf.ReportRead("q:posts?group $eq 1", 10 * kSecond);
+  ebf.ReportRead("posts/1", 10 * kSecond);
+  EXPECT_EQ(ebf.PartitionCount(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// SharedEbf (kv-backed) — behavioural equivalence with the in-memory EBF
+// ---------------------------------------------------------------------------
+
+class SharedEbfTest : public ::testing::Test {
+ protected:
+  SharedEbfTest() : clock_(0), kv_(&clock_), ebf_(&clock_, &kv_) {}
+  SimulatedClock clock_;
+  kv::KvStore kv_;
+  SharedEbf ebf_;
+};
+
+TEST_F(SharedEbfTest, BasicStaleLifecycle) {
+  ebf_.ReportRead("t/x", 10 * kSecond);
+  clock_.Advance(1 * kSecond);
+  EXPECT_TRUE(ebf_.ReportWrite("t/x"));
+  EXPECT_TRUE(ebf_.IsStale("t/x"));
+  EXPECT_TRUE(ebf_.Snapshot().MaybeContains("t/x"));
+  clock_.Advance(10 * kSecond);
+  ebf_.Maintain();
+  EXPECT_FALSE(ebf_.IsStale("t/x"));
+  EXPECT_FALSE(ebf_.Snapshot().MaybeContains("t/x"));
+}
+
+TEST_F(SharedEbfTest, WriteWithoutTtlNotStale) {
+  EXPECT_FALSE(ebf_.ReportWrite("t/x"));
+  EXPECT_FALSE(ebf_.IsStale("t/x"));
+}
+
+TEST_F(SharedEbfTest, MatchesInMemoryVariantOnRandomTrace) {
+  // Drive both implementations with an identical trace; their observable
+  // stale sets must agree at every step.
+  ExpiringBloomFilter reference(&clock_);
+  const int kKeys = 20;
+  uint64_t state = 12345;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  for (int step = 0; step < 400; ++step) {
+    const std::string key = "t/k" + std::to_string(next() % kKeys);
+    switch (next() % 3) {
+      case 0: {
+        const Micros ttl = static_cast<Micros>(next() % 10 + 1) * kSecond;
+        ebf_.ReportRead(key, ttl);
+        reference.ReportRead(key, ttl);
+        break;
+      }
+      case 1:
+        EXPECT_EQ(ebf_.ReportWrite(key), reference.ReportWrite(key))
+            << "step " << step;
+        break;
+      default:
+        clock_.Advance(static_cast<Micros>(next() % 3) * kSecond);
+        break;
+    }
+    EXPECT_EQ(ebf_.IsStale(key), reference.IsStale(key)) << "step " << step;
+  }
+}
+
+TEST_F(SharedEbfTest, StateLivesInKvStore) {
+  ebf_.ReportRead("t/x", 10 * kSecond);
+  clock_.Advance(1 * kSecond);
+  ebf_.ReportWrite("t/x");
+  // Another SharedEbf over the same KV store observes the same state.
+  SharedEbf other(&clock_, &kv_);
+  EXPECT_TRUE(other.IsStale("t/x"));
+  EXPECT_TRUE(other.Snapshot().MaybeContains("t/x"));
+}
+
+}  // namespace
+}  // namespace quaestor::ebf

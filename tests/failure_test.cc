@@ -1,0 +1,349 @@
+// Failure-injection and edge-case tests: saturation, shutdown under load,
+// degenerate configurations, malformed inputs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "client/client.h"
+#include "common/clock.h"
+#include "core/server.h"
+#include "db/database.h"
+#include "ebf/expiring_bloom_filter.h"
+#include "invalidb/cluster.h"
+#include "sim/simulation.h"
+#include "webcache/web_cache.h"
+
+namespace quaestor {
+namespace {
+
+db::Value Doc(const char* json) {
+  auto v = db::Value::FromJson(json);
+  EXPECT_TRUE(v.ok());
+  return v.value();
+}
+
+db::Query Q(const char* table, const char* filter) {
+  auto q = db::Query::ParseJson(table, filter);
+  EXPECT_TRUE(q.ok());
+  return q.value();
+}
+
+// ---------------------------------------------------------------------------
+// InvaliDB under stress
+// ---------------------------------------------------------------------------
+
+TEST(FailureTest, ThreadedClusterWithTinyQueuesBackpressures) {
+  // Queue capacity 2: producers block instead of dropping; every event is
+  // still processed exactly once.
+  invalidb::InvalidbOptions opts;
+  opts.threaded = true;
+  opts.query_partitions = 2;
+  opts.object_partitions = 1;
+  opts.node_queue_capacity = 2;
+  std::atomic<int> delivered{0};
+  invalidb::InvalidbCluster cluster(
+      SystemClock::Default(), opts,
+      [&](const invalidb::Notification&) { delivered++; });
+  db::Query q = Q("t", R"({"n":{"$gte":0}})");
+  ASSERT_TRUE(cluster.RegisterQuery(q, {}, invalidb::kEventsAll).ok());
+  cluster.Flush();
+  constexpr int kEvents = 300;
+  for (int i = 0; i < kEvents; ++i) {
+    db::ChangeEvent ev;
+    ev.kind = db::WriteKind::kUpdate;
+    ev.after.table = "t";
+    ev.after.id = "d" + std::to_string(i);
+    ev.after.body = Doc(R"({"n":1})");
+    cluster.OnChange(ev);
+  }
+  cluster.Flush();
+  EXPECT_EQ(delivered.load(), kEvents);
+}
+
+TEST(FailureTest, DeregisterWhileEventsInFlight) {
+  invalidb::InvalidbOptions opts;
+  opts.threaded = true;
+  std::atomic<int> delivered{0};
+  invalidb::InvalidbCluster cluster(
+      SystemClock::Default(), opts,
+      [&](const invalidb::Notification&) { delivered++; });
+  db::Query q = Q("t", R"({"n":{"$gte":0}})");
+  ASSERT_TRUE(cluster.RegisterQuery(q, {}, invalidb::kEventsAll).ok());
+  std::thread producer([&] {
+    for (int i = 0; i < 200; ++i) {
+      db::ChangeEvent ev;
+      ev.kind = db::WriteKind::kUpdate;
+      ev.after.table = "t";
+      ev.after.id = "d" + std::to_string(i);
+      ev.after.body = Doc(R"({"n":1})");
+      cluster.OnChange(ev);
+    }
+  });
+  cluster.DeregisterQuery(q.NormalizedKey());
+  producer.join();
+  cluster.Flush();
+  // No crash, no hang; deliveries are a prefix of the stream.
+  EXPECT_LE(delivered.load(), 200);
+}
+
+TEST(FailureTest, ConcurrentRegistrationsAndChanges) {
+  invalidb::InvalidbOptions opts;
+  opts.threaded = true;
+  opts.query_partitions = 4;
+  std::atomic<int> delivered{0};
+  invalidb::InvalidbCluster cluster(
+      SystemClock::Default(), opts,
+      [&](const invalidb::Notification&) { delivered++; });
+  std::thread registrar([&] {
+    for (int i = 0; i < 50; ++i) {
+      db::Query q = Q("t", ("{\"g\":" + std::to_string(i) + "}").c_str());
+      (void)cluster.RegisterQuery(q, {}, invalidb::kEventsAll);
+    }
+  });
+  std::thread producer([&] {
+    for (int i = 0; i < 200; ++i) {
+      db::ChangeEvent ev;
+      ev.kind = db::WriteKind::kUpdate;
+      ev.after.table = "t";
+      ev.after.id = "d" + std::to_string(i % 10);
+      ev.after.body =
+          Doc(("{\"g\":" + std::to_string(i % 50) + "}").c_str());
+      cluster.OnChange(ev);
+    }
+  });
+  registrar.join();
+  producer.join();
+  cluster.Flush();
+  EXPECT_EQ(cluster.RegisteredCount(), 50u);
+  EXPECT_GT(delivered.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Server edge cases
+// ---------------------------------------------------------------------------
+
+class ServerEdgeTest : public ::testing::Test {
+ protected:
+  ServerEdgeTest() : clock_(0), db_(&clock_) {
+    server_ = std::make_unique<core::QuaestorServer>(&clock_, &db_);
+  }
+  SimulatedClock clock_;
+  db::Database db_;
+  std::unique_ptr<core::QuaestorServer> server_;
+};
+
+TEST_F(ServerEdgeTest, MalformedKeysAre404) {
+  webcache::HttpRequest req;
+  req.key = "no-slash-here";
+  EXPECT_FALSE(server_->Fetch(req).ok);
+  req.key = "";
+  EXPECT_FALSE(server_->Fetch(req).ok);
+  req.key = "q:unknown?never registered";
+  EXPECT_FALSE(server_->Fetch(req).ok);
+}
+
+TEST_F(ServerEdgeTest, QueryOnEmptyTableServesEmptyResult) {
+  db::Query q = Q("ghost_table", R"({"x":1})");
+  server_->RegisterQueryShape(q);
+  webcache::HttpRequest req;
+  req.key = q.NormalizedKey();
+  auto resp = server_->Fetch(req);
+  ASSERT_TRUE(resp.ok);
+  auto qr = core::QueryResponse::FromJson(resp.body);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_TRUE(qr->ids.empty());
+  EXPECT_GT(resp.ttl, 0);  // empty results are cacheable too
+}
+
+TEST_F(ServerEdgeTest, EmptyResultInvalidatedWhenFirstMatchAppears) {
+  db::Query q = Q("t", R"({"g":1})");
+  server_->RegisterQueryShape(q);
+  webcache::HttpRequest req;
+  req.key = q.NormalizedKey();
+  ASSERT_TRUE(server_->Fetch(req).ok);
+  clock_.Advance(kMicrosPerSecond);
+  ASSERT_TRUE(server_->Insert("t", "d1", Doc(R"({"g":1})")).ok());
+  EXPECT_TRUE(server_->ebf().IsStale(q.NormalizedKey()));
+}
+
+TEST_F(ServerEdgeTest, ZeroCapacityIsUnlimited) {
+  core::ServerOptions opts;
+  opts.query_capacity = 0;
+  auto server = std::make_unique<core::QuaestorServer>(&clock_, &db_, opts);
+  for (int i = 0; i < 50; ++i) {
+    db::Query q =
+        Q("t", ("{\"g\":" + std::to_string(i) + "}").c_str());
+    server->RegisterQueryShape(q);
+    webcache::HttpRequest req;
+    req.key = q.NormalizedKey();
+    ASSERT_TRUE(server->Fetch(req).ok);
+  }
+  EXPECT_EQ(server->invalidb().RegisteredCount(), 50u);
+}
+
+TEST_F(ServerEdgeTest, DoubleDeleteReportsNotFound) {
+  ASSERT_TRUE(server_->Insert("t", "x", Doc("{}")).ok());
+  ASSERT_TRUE(server_->Delete("t", "x").ok());
+  EXPECT_TRUE(server_->Delete("t", "x").status().IsNotFound());
+  EXPECT_TRUE(server_->Update("t", "x", db::Update().Set("a", db::Value(1)))
+                  .status()
+                  .IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// Client edge cases
+// ---------------------------------------------------------------------------
+
+TEST(ClientEdgeTest, ReadBeforeConnectWorksWithoutEbf) {
+  SimulatedClock clock(0);
+  db::Database db(&clock);
+  core::QuaestorServer server(&clock, &db);
+  ASSERT_TRUE(server.Insert("t", "x", Doc(R"({"v":1})")).ok());
+  webcache::ExpirationCache cache(&clock);
+  client::QuaestorClient c(&clock, &server, &cache, nullptr);
+  // No Connect(): the EBF is absent; reads behave like plain HTTP caching.
+  auto r = c.Read("t", "x");
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_FALSE(r.outcome.revalidated);
+}
+
+TEST(ClientEdgeTest, TinyClientCacheStillCorrect) {
+  SimulatedClock clock(0);
+  db::Database db(&clock);
+  core::QuaestorServer server(&clock, &db);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(server
+                    .Insert("t", "d" + std::to_string(i),
+                            Doc(("{\"n\":" + std::to_string(i) + "}")
+                                    .c_str()))
+                    .ok());
+  }
+  webcache::ExpirationCache cache(&clock, /*max_entries=*/2);
+  client::QuaestorClient c(&clock, &server, &cache, nullptr);
+  c.Connect();
+  // Cycle through many keys: evictions galore, values always correct.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      auto r = c.Read("t", "d" + std::to_string(i));
+      ASSERT_TRUE(r.status.ok());
+      EXPECT_EQ(r.doc.Find("n")->as_int(), i);
+    }
+  }
+  EXPECT_LE(cache.Size(), 2u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(ClientEdgeTest, QueryWithEmptyResultRoundTrips) {
+  SimulatedClock clock(0);
+  db::Database db(&clock);
+  core::QuaestorServer server(&clock, &db);
+  webcache::ExpirationCache cache(&clock);
+  client::QuaestorClient c(&clock, &server, &cache, nullptr);
+  c.Connect();
+  auto qr = c.ExecuteQuery(Q("t", R"({"never":"matches"})"));
+  ASSERT_TRUE(qr.status.ok());
+  EXPECT_TRUE(qr.ids.empty());
+  EXPECT_TRUE(qr.docs.empty());
+  // Cached: second execution is a client hit.
+  auto qr2 = c.ExecuteQuery(Q("t", R"({"never":"matches"})"));
+  EXPECT_EQ(qr2.outcome.served_by, webcache::ServedBy::kClientCache);
+}
+
+// ---------------------------------------------------------------------------
+// EBF degenerate configurations
+// ---------------------------------------------------------------------------
+
+TEST(EbfEdgeTest, TinyFilterSaturatesButStaysSafe) {
+  SimulatedClock clock(0);
+  ebf::BloomParams params;
+  params.num_bits = 64;  // absurdly small: will saturate
+  params.num_hashes = 2;
+  ebf::ExpiringBloomFilter filter(&clock, params);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    filter.ReportRead(key, 10 * kMicrosPerSecond);
+    filter.ReportWrite(key);
+  }
+  // Saturated: everything looks stale (safe), nothing crashes.
+  ebf::BloomFilter snap = filter.Snapshot();
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(snap.MaybeContains("k" + std::to_string(i)));
+  }
+  // After expiry everything drains back to empty.
+  clock.Advance(11 * kMicrosPerSecond);
+  filter.Maintain();
+  EXPECT_EQ(filter.StaleCount(), 0u);
+  EXPECT_DOUBLE_EQ(filter.Snapshot().FillRatio(), 0.0);
+}
+
+TEST(EbfEdgeTest, ManyWritesToSameKeySingleCounterBalance) {
+  SimulatedClock clock(0);
+  ebf::ExpiringBloomFilter filter(&clock);
+  filter.ReportRead("k", 5 * kMicrosPerSecond);
+  for (int i = 0; i < 1000; ++i) filter.ReportWrite("k");
+  clock.Advance(6 * kMicrosPerSecond);
+  filter.Maintain();
+  EXPECT_FALSE(filter.Snapshot().MaybeContains("k"));
+  EXPECT_EQ(filter.TrackedCount(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Simulation degenerate configurations
+// ---------------------------------------------------------------------------
+
+TEST(SimEdgeTest, ZeroWarmupAndShortDuration) {
+  workload::WorkloadOptions w;
+  w.num_tables = 1;
+  w.docs_per_table = 50;
+  w.queries_per_table = 5;
+  sim::SimOptions s;
+  s.num_client_instances = 1;
+  s.connections_per_instance = 2;
+  s.duration = SecondsToMicros(2.0);
+  s.warmup = 0;
+  sim::Simulation simulation(w, s);
+  sim::SimResults r = simulation.Run();
+  EXPECT_GT(r.total_ops, 0u);
+}
+
+TEST(SimEdgeTest, WriteOnlyWorkload) {
+  workload::WorkloadOptions w;
+  w.num_tables = 1;
+  w.docs_per_table = 50;
+  w.queries_per_table = 5;
+  w.read_weight = 0.0;
+  w.query_weight = 0.0;
+  w.update_weight = 1.0;
+  sim::SimOptions s;
+  s.num_client_instances = 1;
+  s.connections_per_instance = 2;
+  s.duration = SecondsToMicros(5.0);
+  s.warmup = SecondsToMicros(1.0);
+  sim::Simulation simulation(w, s);
+  sim::SimResults r = simulation.Run();
+  EXPECT_EQ(r.reads.count, 0u);
+  EXPECT_EQ(r.queries.count, 0u);
+  EXPECT_GT(r.writes.count, 0u);
+}
+
+TEST(SimEdgeTest, RunIsIdempotent) {
+  workload::WorkloadOptions w;
+  w.num_tables = 1;
+  w.docs_per_table = 20;
+  w.queries_per_table = 2;
+  sim::SimOptions s;
+  s.num_client_instances = 1;
+  s.connections_per_instance = 1;
+  s.duration = SecondsToMicros(2.0);
+  s.warmup = 0;
+  sim::Simulation simulation(w, s);
+  sim::SimResults first = simulation.Run();
+  sim::SimResults second = simulation.Run();  // returns cached results
+  EXPECT_EQ(first.total_ops, second.total_ops);
+}
+
+}  // namespace
+}  // namespace quaestor

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "client/client.h"
+#include "common/clock.h"
+#include "core/files.h"
+#include "core/server.h"
+#include "db/database.h"
+#include "webcache/web_cache.h"
+
+namespace quaestor::core {
+namespace {
+
+class FilesTest : public ::testing::Test {
+ protected:
+  FilesTest() : clock_(0), db_(&clock_) {
+    server_ = std::make_unique<QuaestorServer>(&clock_, &db_);
+    files_ = std::make_unique<FileService>(server_.get());
+    cdn_ = std::make_unique<webcache::InvalidationCache>(&clock_);
+    server_->AddPurgeTarget(
+        [this](const std::string& key) { cdn_->Purge(key); });
+  }
+
+  SimulatedClock clock_;
+  db::Database db_;
+  std::unique_ptr<QuaestorServer> server_;
+  std::unique_ptr<FileService> files_;
+  std::unique_ptr<webcache::InvalidationCache> cdn_;
+};
+
+TEST_F(FilesTest, UploadAndGet) {
+  auto up = files_->Upload("css/site.css", "body{margin:0}", "text/css");
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(up->version, 1u);
+  auto got = files_->Get("css/site.css");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->content, "body{margin:0}");
+  EXPECT_EQ(got->content_type, "text/css");
+}
+
+TEST_F(FilesTest, ReuploadBumpsVersion) {
+  ASSERT_TRUE(files_->Upload("a.txt", "v1").ok());
+  auto second = files_->Upload("a.txt", "v2");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->version, 2u);
+  EXPECT_EQ(files_->Get("a.txt")->content, "v2");
+}
+
+TEST_F(FilesTest, EmptyPathRejected) {
+  EXPECT_TRUE(files_->Upload("", "x").status().IsInvalidArgument());
+}
+
+TEST_F(FilesTest, DeleteRemoves) {
+  ASSERT_TRUE(files_->Upload("a.txt", "v1").ok());
+  ASSERT_TRUE(files_->Delete("a.txt").ok());
+  EXPECT_TRUE(files_->Get("a.txt").status().IsNotFound());
+  EXPECT_TRUE(files_->Delete("a.txt").IsNotFound());
+}
+
+TEST_F(FilesTest, FilesAreCacheableResources) {
+  ASSERT_TRUE(files_->Upload("img/logo.png", "PNGDATA", "image/png").ok());
+  webcache::HttpRequest req;
+  req.key = FileService::CacheKeyFor("img/logo.png");
+  auto resp = server_->Fetch(req);
+  ASSERT_TRUE(resp.ok);
+  EXPECT_GT(resp.ttl, 0);  // files get estimated TTLs like records
+  EXPECT_EQ(resp.etag, 1u);
+}
+
+TEST_F(FilesTest, OverwriteFlagsStaleAndPurges) {
+  ASSERT_TRUE(files_->Upload("a.txt", "v1").ok());
+  const std::string key = FileService::CacheKeyFor("a.txt");
+  // A client caches the file.
+  webcache::HttpRequest req;
+  req.key = key;
+  ASSERT_TRUE(server_->Fetch(req).ok);
+  clock_.Advance(kMicrosPerSecond);
+  // Overwrite: the EBF flags the key; the CDN gets purged.
+  const uint64_t purges_before = cdn_->PurgeCount();
+  ASSERT_TRUE(files_->Upload("a.txt", "v2").ok());
+  EXPECT_TRUE(server_->ebf().IsStale(key));
+  EXPECT_GT(cdn_->PurgeCount(), purges_before);
+}
+
+TEST_F(FilesTest, ClientReadsFilesThroughCaches) {
+  ASSERT_TRUE(files_->Upload("app.js", "console.log(1)", "text/javascript")
+                  .ok());
+  webcache::ExpirationCache browser(&clock_);
+  client::QuaestorClient c(&clock_, server_.get(), &browser, cdn_.get());
+  c.Connect();
+  auto r1 = c.Read(FileService::kTable, "app.js");
+  ASSERT_TRUE(r1.status.ok());
+  EXPECT_EQ(r1.outcome.served_by, webcache::ServedBy::kOrigin);
+  EXPECT_EQ(r1.doc.Find("content")->as_string(), "console.log(1)");
+  auto r2 = c.Read(FileService::kTable, "app.js");
+  EXPECT_EQ(r2.outcome.served_by, webcache::ServedBy::kClientCache);
+}
+
+TEST_F(FilesTest, StaleFileRevalidatedAfterEbfRefresh) {
+  ASSERT_TRUE(files_->Upload("a.txt", "v1").ok());
+  webcache::ExpirationCache browser(&clock_);
+  client::QuaestorClient c(&clock_, server_.get(), &browser, cdn_.get());
+  c.Connect();
+  (void)c.Read(FileService::kTable, "a.txt");  // cached v1
+  clock_.Advance(kMicrosPerSecond / 2);
+  ASSERT_TRUE(files_->Upload("a.txt", "v2").ok());
+  c.RefreshEbf();
+  auto r = c.Read(FileService::kTable, "a.txt");
+  EXPECT_TRUE(r.outcome.revalidated);
+  EXPECT_EQ(r.doc.Find("content")->as_string(), "v2");
+}
+
+TEST_F(FilesTest, MalformedFileDocumentReportsCorruption) {
+  ASSERT_TRUE(server_
+                  ->Insert(FileService::kTable, "broken",
+                           db::Value::FromJson(R"({"oops":1})").value())
+                  .ok());
+  EXPECT_EQ(files_->Get("broken").status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace quaestor::core

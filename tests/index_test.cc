@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "db/table.h"
+
+namespace quaestor::db {
+namespace {
+
+Value Doc(const char* json) {
+  auto v = Value::FromJson(json);
+  EXPECT_TRUE(v.ok());
+  return v.value();
+}
+
+Query Q(const char* filter) {
+  auto q = Query::ParseJson("t", filter);
+  EXPECT_TRUE(q.ok());
+  return q.value();
+}
+
+class IndexTest : public ::testing::Test {
+ protected:
+  IndexTest() : table_("t") {
+    for (int i = 0; i < 100; ++i) {
+      std::string body = "{\"g\":" + std::to_string(i % 10) +
+                         ",\"n\":" + std::to_string(i) + "}";
+      EXPECT_TRUE(
+          table_.Insert("d" + std::to_string(i), Doc(body.c_str()), 1).ok());
+    }
+  }
+
+  Table table_;
+};
+
+TEST_F(IndexTest, CreateIndexBuildsFromExistingDocs) {
+  table_.CreateIndex("g");
+  EXPECT_TRUE(table_.HasIndex("g"));
+  auto res = table_.Execute(Q(R"({"g":3})"));
+  EXPECT_EQ(res.size(), 10u);
+  EXPECT_EQ(table_.index_lookups(), 1u);
+  EXPECT_EQ(table_.full_scans(), 0u);
+}
+
+TEST_F(IndexTest, IndexedAndScanResultsIdentical) {
+  // Ground truth from a scan, then compare against the indexed plan.
+  const auto scan = table_.Execute(Q(R"({"g":7})"));
+  table_.CreateIndex("g");
+  const auto indexed = table_.Execute(Q(R"({"g":7})"));
+  ASSERT_EQ(scan.size(), indexed.size());
+  for (size_t i = 0; i < scan.size(); ++i) {
+    EXPECT_EQ(scan[i].id, indexed[i].id);  // same deterministic order
+  }
+}
+
+TEST_F(IndexTest, NonEqQueriesStillScan) {
+  table_.CreateIndex("g");
+  (void)table_.Execute(Q(R"({"g":{"$gt":3}})"));
+  EXPECT_EQ(table_.full_scans(), 1u);
+  EXPECT_EQ(table_.index_lookups(), 0u);
+}
+
+TEST_F(IndexTest, ConjunctUsesIndexAndVerifiesRest) {
+  table_.CreateIndex("g");
+  auto res = table_.Execute(Q(R"({"g":3,"n":{"$lt":50}})"));
+  EXPECT_EQ(table_.index_lookups(), 1u);
+  // g==3 → {3,13,23,...,93}; n<50 keeps 5 of them.
+  EXPECT_EQ(res.size(), 5u);
+}
+
+TEST_F(IndexTest, IndexMaintainedOnUpdate) {
+  table_.CreateIndex("g");
+  Update u;
+  u.Set("g", Value(3));
+  ASSERT_TRUE(table_.Apply("d0", u, 2).ok());  // d0: g 0 → 3
+  EXPECT_EQ(table_.Execute(Q(R"({"g":3})")).size(), 11u);
+  EXPECT_EQ(table_.Execute(Q(R"({"g":0})")).size(), 9u);
+}
+
+TEST_F(IndexTest, IndexMaintainedOnDeleteAndReinsert) {
+  table_.CreateIndex("g");
+  ASSERT_TRUE(table_.Delete("d3", 2).ok());
+  EXPECT_EQ(table_.Execute(Q(R"({"g":3})")).size(), 9u);
+  ASSERT_TRUE(table_.Insert("d3", Doc(R"({"g":3})"), 3).ok());
+  EXPECT_EQ(table_.Execute(Q(R"({"g":3})")).size(), 10u);
+}
+
+TEST_F(IndexTest, IndexMaintainedOnUpsert) {
+  table_.CreateIndex("g");
+  ASSERT_TRUE(table_.Upsert("d0", Doc(R"({"g":9})"), 2).ok());
+  EXPECT_EQ(table_.Execute(Q(R"({"g":0})")).size(), 9u);
+  EXPECT_EQ(table_.Execute(Q(R"({"g":9})")).size(), 11u);
+}
+
+TEST_F(IndexTest, MultikeyArrayIndex) {
+  Table t("posts");
+  ASSERT_TRUE(t.Insert("p1", Doc(R"({"tags":["a","b"]})"), 1).ok());
+  ASSERT_TRUE(t.Insert("p2", Doc(R"({"tags":["b","c"]})"), 1).ok());
+  t.CreateIndex("tags");
+  // Element equality via the multikey entries.
+  auto res = t.Execute(Query::ParseJson("posts", R"({"tags":"b"})").value());
+  EXPECT_EQ(res.size(), 2u);
+  EXPECT_EQ(t.index_lookups(), 1u);
+  // Whole-array equality also indexed.
+  auto exact = t.Execute(
+      Query::ParseJson("posts", R"({"tags":["a","b"]})").value());
+  EXPECT_EQ(exact.size(), 1u);
+}
+
+TEST_F(IndexTest, MultikeyMaintainedOnPushPull) {
+  Table t("posts");
+  ASSERT_TRUE(t.Insert("p1", Doc(R"({"tags":["a"]})"), 1).ok());
+  t.CreateIndex("tags");
+  Update push;
+  push.Push("tags", Value("z"));
+  ASSERT_TRUE(t.Apply("p1", push, 2).ok());
+  EXPECT_EQ(
+      t.Execute(Query::ParseJson("posts", R"({"tags":"z"})").value()).size(),
+      1u);
+  Update pull;
+  pull.Pull("tags", Value("z"));
+  ASSERT_TRUE(t.Apply("p1", pull, 3).ok());
+  EXPECT_EQ(
+      t.Execute(Query::ParseJson("posts", R"({"tags":"z"})").value()).size(),
+      0u);
+}
+
+TEST_F(IndexTest, DropIndexFallsBackToScan) {
+  table_.CreateIndex("g");
+  table_.DropIndex("g");
+  EXPECT_FALSE(table_.HasIndex("g"));
+  (void)table_.Execute(Q(R"({"g":3})"));
+  EXPECT_EQ(table_.full_scans(), 1u);
+}
+
+TEST_F(IndexTest, CreateIndexIsIdempotent) {
+  table_.CreateIndex("g");
+  table_.CreateIndex("g");
+  EXPECT_EQ(table_.Execute(Q(R"({"g":3})")).size(), 10u);
+}
+
+TEST_F(IndexTest, MissingValueNotIndexed) {
+  Table t("x");
+  ASSERT_TRUE(t.Insert("a", Doc(R"({"g":1})"), 1).ok());
+  ASSERT_TRUE(t.Insert("b", Doc(R"({"other":1})"), 1).ok());
+  t.CreateIndex("g");
+  EXPECT_EQ(t.Execute(Query::ParseJson("x", R"({"g":1})").value()).size(),
+            1u);
+  // Equality-with-null is not index-eligible (missing fields match null
+  // but are absent from the index) — correctness requires a scan.
+  (void)t.Execute(Query::ParseJson("x", R"({"g":null})").value());
+  EXPECT_EQ(t.full_scans(), 1u);
+}
+
+TEST_F(IndexTest, OrderByStillAppliedOnIndexPath) {
+  table_.CreateIndex("g");
+  Query q = Q(R"({"g":3})");
+  q.SetOrderBy({{"n", false}}).SetLimit(3);
+  auto res = table_.Execute(q);
+  ASSERT_EQ(res.size(), 3u);
+  EXPECT_EQ(res[0].body.Find("n")->as_int(), 93);
+  EXPECT_EQ(res[1].body.Find("n")->as_int(), 83);
+}
+
+}  // namespace
+}  // namespace quaestor::db

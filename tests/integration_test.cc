@@ -1,0 +1,250 @@
+// End-to-end integration scenarios across the full Quaestor stack:
+// client SDK → web caches → server → InvaliDB → EBF → back to clients.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "common/clock.h"
+#include "core/server.h"
+#include "db/database.h"
+#include "webcache/web_cache.h"
+
+namespace quaestor {
+namespace {
+
+constexpr Micros kSecond = kMicrosPerSecond;
+
+db::Value Doc(const char* json) {
+  auto v = db::Value::FromJson(json);
+  EXPECT_TRUE(v.ok());
+  return v.value();
+}
+
+db::Query Q(const char* table, const char* filter) {
+  auto q = db::Query::ParseJson(table, filter);
+  EXPECT_TRUE(q.ok());
+  return q.value();
+}
+
+/// A full single-CDN deployment with N independent browser sessions.
+class Deployment {
+ public:
+  Deployment(SimulatedClock* clock, size_t num_clients,
+             client::ClientOptions copts = client::ClientOptions(),
+             core::ServerOptions sopts = core::ServerOptions()) {
+    clock_ = clock;
+    db_ = std::make_unique<db::Database>(clock);
+    server_ = std::make_unique<core::QuaestorServer>(clock, db_.get(), sopts);
+    cdn_ = std::make_unique<webcache::InvalidationCache>(clock);
+    server_->AddPurgeTarget(
+        [this](const std::string& key) { cdn_->Purge(key); });
+    for (size_t i = 0; i < num_clients; ++i) {
+      caches_.push_back(std::make_unique<webcache::ExpirationCache>(clock));
+      clients_.push_back(std::make_unique<client::QuaestorClient>(
+          clock, server_.get(), caches_.back().get(), cdn_.get(), copts));
+      clients_.back()->Connect();
+    }
+  }
+
+  client::QuaestorClient& client(size_t i) { return *clients_[i]; }
+  core::QuaestorServer& server() { return *server_; }
+  db::Database& db() { return *db_; }
+  webcache::InvalidationCache& cdn() { return *cdn_; }
+
+ private:
+  SimulatedClock* clock_;
+  std::unique_ptr<db::Database> db_;
+  std::unique_ptr<core::QuaestorServer> server_;
+  std::unique_ptr<webcache::InvalidationCache> cdn_;
+  std::vector<std::unique_ptr<webcache::ExpirationCache>> caches_;
+  std::vector<std::unique_ptr<client::QuaestorClient>> clients_;
+};
+
+// ---------------------------------------------------------------------------
+// The paper's running example (§1): a social blogging application.
+// ---------------------------------------------------------------------------
+
+TEST(IntegrationTest, SocialBlogExampleFigure7) {
+  SimulatedClock clock(0);
+  Deployment dep(&clock, 2);
+  client::QuaestorClient& writer = dep.client(0);
+  client::QuaestorClient& reader = dep.client(1);
+
+  // Posts tagged 'example'.
+  ASSERT_TRUE(writer
+                  .Insert("posts", "p1",
+                          Doc(R"({"title":"First","tags":["example"]})"))
+                  .ok());
+  ASSERT_TRUE(writer
+                  .Insert("posts", "p2",
+                          Doc(R"({"title":"Second","tags":["other"]})"))
+                  .ok());
+
+  db::Query q = Q("posts", R"({"tags":{"$contains":"example"}})");
+
+  // Reader's first query: origin miss, caches warm up.
+  client::QueryResult r1 = reader.ExecuteQuery(q);
+  ASSERT_TRUE(r1.status.ok());
+  EXPECT_EQ(r1.ids, std::vector<std::string>{"posts/p1"});
+  EXPECT_EQ(r1.outcome.served_by, webcache::ServedBy::kOrigin);
+
+  // Second read: client cache hit — zero latency.
+  client::QueryResult r2 = reader.ExecuteQuery(q);
+  EXPECT_EQ(r2.outcome.served_by, webcache::ServedBy::kClientCache);
+
+  // p2 gains the 'example' tag → InvaliDB detects the add → CDN purged,
+  // EBF flags the query.
+  clock.Advance(1 * kSecond);
+  db::Update u;
+  u.Push("tags", db::Value("example"));
+  ASSERT_TRUE(writer.Update("posts", "p2", u).ok());
+  EXPECT_TRUE(dep.server().ebf().IsStale(q.NormalizedKey()));
+
+  // Reader still has an EBF from connect time; refreshing it reveals the
+  // staleness and the next query revalidates, returning both posts.
+  reader.RefreshEbf();
+  client::QueryResult r3 = reader.ExecuteQuery(q);
+  ASSERT_TRUE(r3.status.ok());
+  EXPECT_TRUE(r3.outcome.revalidated);
+  EXPECT_EQ(r3.ids,
+            (std::vector<std::string>{"posts/p1", "posts/p2"}));
+}
+
+// ---------------------------------------------------------------------------
+// Bounded staleness across many clients
+// ---------------------------------------------------------------------------
+
+class BoundedStalenessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundedStalenessTest, NoReadOlderThanDeltaAfterRefresh) {
+  // Property (Theorem 1): with refresh interval ∆, a client that refreshed
+  // its EBF at time t sees no data that was stale before t.
+  const int delta_s = GetParam();
+  SimulatedClock clock(0);
+  client::ClientOptions copts;
+  copts.ebf_refresh_interval = delta_s * kSecond;
+  Deployment dep(&clock, 3);
+  client::QuaestorClient& writer = dep.client(0);
+
+  ASSERT_TRUE(writer.Insert("t", "x", Doc(R"({"v":0})")).ok());
+
+  // All readers cache v0.
+  for (int c = 1; c <= 2; ++c) {
+    auto r = dep.client(c).Read("t", "x");
+    ASSERT_TRUE(r.status.ok());
+  }
+
+  // Writer bumps v repeatedly; after each write, once ∆ passes, every
+  // reader must observe a version at least as new as the write.
+  for (int round = 1; round <= 5; ++round) {
+    db::Update u;
+    u.Set("v", db::Value(round));
+    ASSERT_TRUE(writer.Update("t", "x", u).ok());
+    const uint64_t version_floor = dep.db().Get("t", "x")->version;
+
+    clock.Advance(static_cast<Micros>(delta_s + 1) * kSecond);
+    for (int c = 1; c <= 2; ++c) {
+      // The client-side policy refreshes the EBF on this read because ∆
+      // has elapsed; the read must be fresh.
+      auto r = dep.client(c).Read("t", "x");
+      ASSERT_TRUE(r.status.ok());
+      EXPECT_GE(r.version, version_floor)
+          << "client " << c << " round " << round << " delta " << delta_s;
+      EXPECT_EQ(r.doc.Find("v")->as_int(), round);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, BoundedStalenessTest,
+                         ::testing::Values(1, 5, 30));
+
+// ---------------------------------------------------------------------------
+// CDN coherence through purges
+// ---------------------------------------------------------------------------
+
+TEST(IntegrationTest, CdnPurgeKeepsSecondClientFresh) {
+  SimulatedClock clock(0);
+  Deployment dep(&clock, 2);
+  ASSERT_TRUE(dep.client(0).Insert("t", "x", Doc(R"({"v":1})")).ok());
+
+  // Client 1 warms the CDN.
+  (void)dep.client(1).Read("t", "x");
+  // Writer updates → purge (synchronous in this deployment).
+  db::Update u;
+  u.Set("v", db::Value(2));
+  ASSERT_TRUE(dep.client(0).Update("t", "x", u).ok());
+
+  // A brand-new client (empty browser cache) reads through the CDN: the
+  // purge means it cannot see v1.
+  webcache::ExpirationCache fresh_cache(&clock);
+  client::QuaestorClient fresh(&clock, &dep.server(), &fresh_cache,
+                               &dep.cdn(), client::ClientOptions());
+  fresh.Connect();
+  auto r = fresh.Read("t", "x");
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.doc.Find("v")->as_int(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Query caching correctness under mixed workload churn
+// ---------------------------------------------------------------------------
+
+TEST(IntegrationTest, RepeatedChurnConvergesAfterRefresh) {
+  SimulatedClock clock(0);
+  client::ClientOptions copts;
+  copts.ebf_refresh_interval = 2 * kSecond;
+  Deployment dep(&clock, 2, copts);
+  client::QuaestorClient& writer = dep.client(0);
+  client::QuaestorClient& reader = dep.client(1);
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(writer
+                    .Insert("t", "d" + std::to_string(i),
+                            Doc(i < 5 ? R"({"g":1})" : R"({"g":2})"))
+                    .ok());
+  }
+  db::Query q = Q("t", R"({"g":1})");
+
+  for (int round = 0; round < 8; ++round) {
+    // Move one document between groups each round.
+    db::Update u;
+    u.Set("g", db::Value(round % 2 == 0 ? 2 : 1));
+    ASSERT_TRUE(writer.Update("t", "d0", u).ok());
+    clock.Advance(3 * kSecond);  // > ∆ → reader refreshes on next query
+
+    client::QueryResult qr = reader.ExecuteQuery(q);
+    ASSERT_TRUE(qr.status.ok());
+    // Ground truth from the database.
+    const size_t truth = dep.db().Execute(q).size();
+    EXPECT_EQ(qr.ids.size(), truth) << "round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Server stats sanity across a busy session
+// ---------------------------------------------------------------------------
+
+TEST(IntegrationTest, StatsConsistency) {
+  SimulatedClock clock(0);
+  Deployment dep(&clock, 1);
+  client::QuaestorClient& c = dep.client(0);
+  ASSERT_TRUE(c.Insert("t", "1", Doc(R"({"g":1})")).ok());
+  db::Query q = Q("t", R"({"g":1})");
+  (void)c.ExecuteQuery(q);
+  (void)c.ExecuteQuery(q);  // cache hit — no server-side query read
+  db::Update u;
+  u.Set("g", db::Value(2));
+  ASSERT_TRUE(c.Update("t", "1", u).ok());
+
+  const core::ServerStats s = dep.server().stats();
+  EXPECT_EQ(s.writes, 2u);               // insert + update
+  EXPECT_EQ(s.query_reads, 1u);          // only the miss reached the origin
+  EXPECT_GE(s.query_invalidations, 1u);  // the update removed the match
+}
+
+}  // namespace
+}  // namespace quaestor

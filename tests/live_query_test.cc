@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "client/live_query.h"
+#include "common/clock.h"
+#include "core/server.h"
+#include "core/streams.h"
+#include "common/random.h"
+#include "db/database.h"
+
+namespace quaestor::client {
+namespace {
+
+db::Value Doc(const char* json) {
+  auto v = db::Value::FromJson(json);
+  EXPECT_TRUE(v.ok());
+  return v.value();
+}
+
+db::Query Q(const char* table, const char* filter) {
+  auto q = db::Query::ParseJson(table, filter);
+  EXPECT_TRUE(q.ok());
+  return q.value();
+}
+
+class LiveQueryTest : public ::testing::Test {
+ protected:
+  LiveQueryTest() : clock_(0), db_(&clock_) {
+    server_ = std::make_unique<core::QuaestorServer>(&clock_, &db_);
+    hub_ = std::make_unique<core::ChangeStreamHub>(server_.get());
+  }
+
+  SimulatedClock clock_;
+  db::Database db_;
+  std::unique_ptr<core::QuaestorServer> server_;
+  std::unique_ptr<core::ChangeStreamHub> hub_;
+};
+
+TEST_F(LiveQueryTest, InitialResultPopulated) {
+  ASSERT_TRUE(server_->Insert("t", "a", Doc(R"({"g":1})")).ok());
+  ASSERT_TRUE(server_->Insert("t", "b", Doc(R"({"g":2})")).ok());
+  LiveQuery live(hub_.get(), server_.get(), Q("t", R"({"g":1})"));
+  ASSERT_TRUE(live.status().ok());
+  EXPECT_EQ(live.Ids(), std::vector<std::string>{"a"});
+}
+
+TEST_F(LiveQueryTest, TracksMembershipChanges) {
+  LiveQuery live(hub_.get(), server_.get(), Q("t", R"({"g":1})"));
+  ASSERT_TRUE(live.status().ok());
+  EXPECT_EQ(live.size(), 0u);
+
+  ASSERT_TRUE(server_->Insert("t", "a", Doc(R"({"g":1})")).ok());
+  EXPECT_EQ(live.size(), 1u);
+
+  db::Update u;
+  u.Set("g", db::Value(2));
+  ASSERT_TRUE(server_->Update("t", "a", u).ok());
+  EXPECT_EQ(live.size(), 0u);
+  EXPECT_GE(live.change_count(), 2u);
+  EXPECT_EQ(live.resync_count(), 0u);
+}
+
+TEST_F(LiveQueryTest, TracksBodyChanges) {
+  ASSERT_TRUE(server_->Insert("t", "a", Doc(R"({"g":1,"views":0})")).ok());
+  LiveQuery live(hub_.get(), server_.get(), Q("t", R"({"g":1})"));
+  db::Update u;
+  u.Inc("views", db::Value(5));
+  ASSERT_TRUE(server_->Update("t", "a", u).ok());
+  auto snap = live.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].body.Find("views")->as_int(), 5);
+}
+
+TEST_F(LiveQueryTest, SortedWindowStaysOrdered) {
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(server_
+                    ->Insert("t", "d" + std::to_string(i),
+                             Doc(("{\"score\":" + std::to_string(i * 10) +
+                                  "}")
+                                     .c_str()))
+                    .ok());
+  }
+  db::Query top = Q("t", R"({"score":{"$gte":0}})");
+  top.SetOrderBy({{"score", false}}).SetLimit(3);
+  LiveQuery live(hub_.get(), server_.get(), top);
+  EXPECT_EQ(live.Ids(), (std::vector<std::string>{"d4", "d3", "d2"}));
+
+  // A new top scorer enters at index 0.
+  ASSERT_TRUE(server_->Insert("t", "hot", Doc(R"({"score":999})")).ok());
+  EXPECT_EQ(live.Ids(), (std::vector<std::string>{"hot", "d4", "d3"}));
+
+  // A member's score change reorders the window.
+  db::Update u;
+  u.Set("score", db::Value(50000));
+  ASSERT_TRUE(server_->Update("t", "d3", u).ok());
+  EXPECT_EQ(live.Ids(), (std::vector<std::string>{"d3", "hot", "d4"}));
+
+  // Ground truth agreement after every mutation.
+  auto truth = db_.Execute(top);
+  auto snap = live.Snapshot();
+  ASSERT_EQ(snap.size(), truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(snap[i].id, truth[i].id);
+  }
+  EXPECT_EQ(live.resync_count(), 0u);
+}
+
+TEST_F(LiveQueryTest, ListenerFiresOnEveryChange) {
+  LiveQuery live(hub_.get(), server_.get(), Q("t", R"({"g":1})"));
+  int fired = 0;
+  live.SetListener([&] { fired++; });
+  ASSERT_TRUE(server_->Insert("t", "a", Doc(R"({"g":1})")).ok());
+  db::Update u;
+  u.Inc("n", db::Value(1));
+  ASSERT_TRUE(server_->Update("t", "a", u).ok());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST_F(LiveQueryTest, UnsubscribesOnDestruction) {
+  const db::Query q = Q("t", R"({"g":1})");
+  {
+    LiveQuery live(hub_.get(), server_.get(), q);
+    EXPECT_EQ(hub_->SubscriberCount(q.NormalizedKey()), 1u);
+  }
+  EXPECT_EQ(hub_->SubscriberCount(q.NormalizedKey()), 0u);
+}
+
+TEST_F(LiveQueryTest, ManyWritesConvergeToGroundTruth) {
+  LiveQuery live(hub_.get(), server_.get(), Q("t", R"({"g":{"$lte":3}})"));
+  Rng rng(5);
+  for (int step = 0; step < 200; ++step) {
+    const std::string id = "d" + std::to_string(rng.NextUint64(15));
+    if (db_.Get("t", id).ok()) {
+      if (rng.NextBool(0.2)) {
+        ASSERT_TRUE(server_->Delete("t", id).ok());
+      } else {
+        db::Update u;
+        u.Set("g", db::Value(static_cast<int64_t>(rng.NextUint64(8))));
+        ASSERT_TRUE(server_->Update("t", id, u).ok());
+      }
+    } else {
+      ASSERT_TRUE(
+          server_
+              ->Insert("t", id,
+                       Doc(("{\"g\":" +
+                            std::to_string(rng.NextUint64(8)) + "}")
+                               .c_str()))
+              .ok());
+    }
+  }
+  std::vector<std::string> truth;
+  for (const auto& d : db_.Execute(Q("t", R"({"g":{"$lte":3}})"))) {
+    truth.push_back(d.id);
+  }
+  EXPECT_EQ(live.Ids(), truth);
+}
+
+}  // namespace
+}  // namespace quaestor::client

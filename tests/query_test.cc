@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "db/query.h"
+#include "db/value.h"
+
+namespace quaestor::db {
+namespace {
+
+Value Doc(const char* json) {
+  auto v = Value::FromJson(json);
+  EXPECT_TRUE(v.ok()) << v.status().ToString();
+  return v.value();
+}
+
+Query Q(const char* filter_json) {
+  auto q = Query::ParseJson("posts", filter_json);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return q.value();
+}
+
+// ---------------------------------------------------------------------------
+// Matching semantics — parameterized (filter, doc, expected)
+// ---------------------------------------------------------------------------
+
+using MatchCase = std::tuple<const char*, const char*, bool>;
+
+class MatchTest : public ::testing::TestWithParam<MatchCase> {};
+
+TEST_P(MatchTest, Matches) {
+  const auto& [filter, doc, expected] = GetParam();
+  EXPECT_EQ(Q(filter).Matches(Doc(doc)), expected)
+      << "filter=" << filter << " doc=" << doc;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Equality, MatchTest,
+    ::testing::Values(
+        MatchCase{R"({"a":1})", R"({"a":1})", true},
+        MatchCase{R"({"a":1})", R"({"a":2})", false},
+        MatchCase{R"({"a":1})", R"({"b":1})", false},
+        MatchCase{R"({"a":1.0})", R"({"a":1})", true},  // numeric equality
+        MatchCase{R"({"a":"x"})", R"({"a":"x"})", true},
+        MatchCase{R"({"a":null})", R"({"b":1})", true},   // missing == null
+        MatchCase{R"({"a":null})", R"({"a":null})", true},
+        MatchCase{R"({"a":null})", R"({"a":1})", false},
+        // MongoDB array semantics: equality matches array elements.
+        MatchCase{R"({"tags":"x"})", R"({"tags":["x","y"]})", true},
+        MatchCase{R"({"tags":"z"})", R"({"tags":["x","y"]})", false},
+        // Nested paths.
+        MatchCase{R"({"a.b":5})", R"({"a":{"b":5}})", true},
+        MatchCase{R"({"a.b":5})", R"({"a":{"b":6}})", false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, MatchTest,
+    ::testing::Values(
+        MatchCase{R"({"n":{"$gt":3}})", R"({"n":4})", true},
+        MatchCase{R"({"n":{"$gt":3}})", R"({"n":3})", false},
+        MatchCase{R"({"n":{"$gte":3}})", R"({"n":3})", true},
+        MatchCase{R"({"n":{"$lt":3}})", R"({"n":2})", true},
+        MatchCase{R"({"n":{"$lt":3}})", R"({"n":3})", false},
+        MatchCase{R"({"n":{"$lte":3}})", R"({"n":3})", true},
+        MatchCase{R"({"n":{"$gt":3,"$lt":10}})", R"({"n":5})", true},
+        MatchCase{R"({"n":{"$gt":3,"$lt":10}})", R"({"n":10})", false},
+        // Strings compare lexicographically.
+        MatchCase{R"({"s":{"$gt":"apple"}})", R"({"s":"banana"})", true},
+        MatchCase{R"({"s":{"$lt":"apple"}})", R"({"s":"banana"})", false},
+        // Mixed types never satisfy range predicates.
+        MatchCase{R"({"n":{"$gt":3}})", R"({"n":"4"})", false},
+        MatchCase{R"({"n":{"$gt":3}})", R"({"x":1})", false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    SetOps, MatchTest,
+    ::testing::Values(
+        MatchCase{R"({"c":{"$in":[1,2,3]}})", R"({"c":2})", true},
+        MatchCase{R"({"c":{"$in":[1,2,3]}})", R"({"c":4})", false},
+        MatchCase{R"({"c":{"$nin":[1,2]}})", R"({"c":3})", true},
+        MatchCase{R"({"c":{"$nin":[1,2]}})", R"({"c":2})", false},
+        MatchCase{R"({"tags":{"$contains":"x"}})", R"({"tags":["x"]})", true},
+        MatchCase{R"({"tags":{"$contains":"x"}})", R"({"tags":["y"]})",
+                  false},
+        MatchCase{R"({"tags":{"$contains":"x"}})", R"({"tags":"x"})", false},
+        MatchCase{R"({"tags":{"$contains":1}})", R"({"tags":[1,2]})", true},
+        MatchCase{R"({"a":{"$exists":true}})", R"({"a":0})", true},
+        MatchCase{R"({"a":{"$exists":true}})", R"({"b":0})", false},
+        MatchCase{R"({"a":{"$exists":false}})", R"({"b":0})", true},
+        MatchCase{R"({"s":{"$prefix":"foo"}})", R"({"s":"foobar"})", true},
+        MatchCase{R"({"s":{"$prefix":"foo"}})", R"({"s":"barfoo"})", false},
+        MatchCase{R"({"s":{"$prefix":"foo"}})", R"({"s":42})", false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Logical, MatchTest,
+    ::testing::Values(
+        MatchCase{R"({"$or":[{"a":1},{"b":2}]})", R"({"a":1})", true},
+        MatchCase{R"({"$or":[{"a":1},{"b":2}]})", R"({"b":2})", true},
+        MatchCase{R"({"$or":[{"a":1},{"b":2}]})", R"({"a":2,"b":3})", false},
+        MatchCase{R"({"$and":[{"a":1},{"b":2}]})", R"({"a":1,"b":2})", true},
+        MatchCase{R"({"$and":[{"a":1},{"b":2}]})", R"({"a":1,"b":3})",
+                  false},
+        MatchCase{R"({"$not":{"a":1}})", R"({"a":2})", true},
+        MatchCase{R"({"$not":{"a":1}})", R"({"a":1})", false},
+        // Implicit AND of multiple fields.
+        MatchCase{R"({"a":1,"b":2})", R"({"a":1,"b":2})", true},
+        MatchCase{R"({"a":1,"b":2})", R"({"a":1,"b":9})", false},
+        // Nested logical operators.
+        MatchCase{R"({"$or":[{"$and":[{"a":1},{"b":1}]},{"c":1}]})",
+                  R"({"c":1})", true},
+        MatchCase{R"({"$or":[{"$and":[{"a":1},{"b":1}]},{"c":1}]})",
+                  R"({"a":1,"b":1})", true},
+        MatchCase{R"({"$or":[{"$and":[{"a":1},{"b":1}]},{"c":1}]})",
+                  R"({"a":1,"b":2,"c":2})", false}));
+
+TEST(QueryTest, EmptyFilterMatchesEverything) {
+  Query q = Q("{}");
+  EXPECT_TRUE(q.Matches(Doc(R"({"a":1})")));
+  EXPECT_TRUE(q.Matches(Doc("{}")));
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+TEST(QueryParseTest, RejectsUnknownOperators) {
+  EXPECT_FALSE(Query::ParseJson("t", R"({"a":{"$regex":"x"}})").ok());
+  EXPECT_FALSE(Query::ParseJson("t", R"({"$nor":[{"a":1}]})").ok());
+}
+
+TEST(QueryParseTest, RejectsEmptyTable) {
+  auto spec = Value::FromJson("{}");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(Query::Parse("", spec.value()).ok());
+}
+
+TEST(QueryParseTest, RejectsNonObjectFilter) {
+  auto spec = Value::FromJson("[1,2]");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(Query::Parse("t", spec.value()).ok());
+}
+
+TEST(QueryParseTest, RejectsEmptyLogicalArray) {
+  EXPECT_FALSE(Query::ParseJson("t", R"({"$or":[]})").ok());
+  EXPECT_FALSE(Query::ParseJson("t", R"({"$and":7})").ok());
+}
+
+TEST(QueryParseTest, OperatorObjectWithMultipleOps) {
+  Query q = Q(R"({"n":{"$gte":1,"$lte":3}})");
+  EXPECT_TRUE(q.Matches(Doc(R"({"n":2})")));
+  EXPECT_FALSE(q.Matches(Doc(R"({"n":0})")));
+  EXPECT_FALSE(q.Matches(Doc(R"({"n":4})")));
+}
+
+// ---------------------------------------------------------------------------
+// Normalization (cache keys)
+// ---------------------------------------------------------------------------
+
+TEST(NormalizeTest, FieldOrderIrrelevant) {
+  EXPECT_EQ(Q(R"({"a":1,"b":2})").NormalizedKey(),
+            Q(R"({"b":2,"a":1})").NormalizedKey());
+}
+
+TEST(NormalizeTest, OrClauseOrderIrrelevant) {
+  EXPECT_EQ(Q(R"({"$or":[{"a":1},{"b":2}]})").NormalizedKey(),
+            Q(R"({"$or":[{"b":2},{"a":1}]})").NormalizedKey());
+}
+
+TEST(NormalizeTest, DifferentPredicatesDiffer) {
+  EXPECT_NE(Q(R"({"a":1})").NormalizedKey(), Q(R"({"a":2})").NormalizedKey());
+  EXPECT_NE(Q(R"({"a":1})").NormalizedKey(),
+            Q(R"({"a":{"$gt":1}})").NormalizedKey());
+}
+
+TEST(NormalizeTest, TableIsPartOfKey) {
+  auto q1 = Query::ParseJson("t1", R"({"a":1})");
+  auto q2 = Query::ParseJson("t2", R"({"a":1})");
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  EXPECT_NE(q1->NormalizedKey(), q2->NormalizedKey());
+}
+
+TEST(NormalizeTest, WindowingIsPartOfKey) {
+  Query base = Q(R"({"a":1})");
+  Query limited = Q(R"({"a":1})");
+  limited.SetLimit(10);
+  Query offsetted = Q(R"({"a":1})");
+  offsetted.SetOffset(5);
+  Query sorted = Q(R"({"a":1})");
+  sorted.SetOrderBy({{"n", true}});
+  EXPECT_NE(base.NormalizedKey(), limited.NormalizedKey());
+  EXPECT_NE(base.NormalizedKey(), offsetted.NormalizedKey());
+  EXPECT_NE(base.NormalizedKey(), sorted.NormalizedKey());
+  EXPECT_NE(limited.NormalizedKey(), offsetted.NormalizedKey());
+}
+
+TEST(NormalizeTest, KeyHasQueryPrefix) {
+  EXPECT_EQ(Q(R"({"a":1})").NormalizedKey().rfind("q:posts?", 0), 0u);
+}
+
+TEST(QueryTest, StatelessDetection) {
+  EXPECT_TRUE(Q(R"({"a":1})").IsStateless());
+  Query sorted = Q(R"({"a":1})");
+  sorted.SetOrderBy({{"n", true}});
+  EXPECT_FALSE(sorted.IsStateless());
+  Query limited = Q(R"({"a":1})");
+  limited.SetLimit(5);
+  EXPECT_FALSE(limited.IsStateless());
+  Query offsetted = Q(R"({"a":1})");
+  offsetted.SetOffset(2);
+  EXPECT_FALSE(offsetted.IsStateless());
+}
+
+// ---------------------------------------------------------------------------
+// Ordering
+// ---------------------------------------------------------------------------
+
+TEST(OrderTest, OrderedBeforeAscending) {
+  Query q = Q("{}");
+  q.SetOrderBy({{"n", true}});
+  EXPECT_TRUE(q.OrderedBefore(Doc(R"({"n":1})"), "a", Doc(R"({"n":2})"), "b"));
+  EXPECT_FALSE(
+      q.OrderedBefore(Doc(R"({"n":2})"), "a", Doc(R"({"n":1})"), "b"));
+}
+
+TEST(OrderTest, OrderedBeforeDescending) {
+  Query q = Q("{}");
+  q.SetOrderBy({{"n", false}});
+  EXPECT_TRUE(q.OrderedBefore(Doc(R"({"n":2})"), "a", Doc(R"({"n":1})"), "b"));
+}
+
+TEST(OrderTest, TieBrokenById) {
+  Query q = Q("{}");
+  q.SetOrderBy({{"n", true}});
+  EXPECT_TRUE(q.OrderedBefore(Doc(R"({"n":1})"), "a", Doc(R"({"n":1})"), "b"));
+  EXPECT_FALSE(
+      q.OrderedBefore(Doc(R"({"n":1})"), "b", Doc(R"({"n":1})"), "a"));
+}
+
+TEST(OrderTest, MissingFieldSortsAsNull) {
+  Query q = Q("{}");
+  q.SetOrderBy({{"n", true}});
+  // null < number, so the doc missing "n" comes first.
+  EXPECT_TRUE(q.OrderedBefore(Doc(R"({"x":1})"), "a", Doc(R"({"n":0})"), "b"));
+}
+
+TEST(OrderTest, MultiKeySort) {
+  Query q = Q("{}");
+  q.SetOrderBy({{"cat", true}, {"n", false}});
+  EXPECT_TRUE(q.OrderedBefore(Doc(R"({"cat":1,"n":5})"), "a",
+                              Doc(R"({"cat":2,"n":9})"), "b"));
+  EXPECT_TRUE(q.OrderedBefore(Doc(R"({"cat":1,"n":9})"), "a",
+                              Doc(R"({"cat":1,"n":5})"), "b"));
+}
+
+}  // namespace
+}  // namespace quaestor::db

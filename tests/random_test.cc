@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace quaestor {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextUint64InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolEdgeCases) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, NextBoolApproximatesProbability) {
+  Rng rng(99);
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.NextBool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialHasCorrectMean) {
+  Rng rng(42);
+  const double lambda = 0.5;
+  double sum = 0.0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.NextExponential(lambda);
+  EXPECT_NEAR(sum / kSamples, 1.0 / lambda, 0.05);
+}
+
+TEST(RngTest, PoissonSmallMean) {
+  Rng rng(42);
+  const double mean = 3.0;
+  double sum = 0.0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(rng.NextPoisson(mean));
+  }
+  EXPECT_NEAR(sum / kSamples, mean, 0.1);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(42);
+  const double mean = 200.0;
+  double sum = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(rng.NextPoisson(mean));
+  }
+  EXPECT_NEAR(sum / kSamples, mean, 2.0);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(42);
+  EXPECT_EQ(rng.NextPoisson(0.0), 0u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(42);
+  constexpr int kSamples = 50000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.NextGaussian(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(5);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+// ---------------------------------------------------------------------------
+// Zipfian — parameterized over theta
+// ---------------------------------------------------------------------------
+
+class ZipfianThetaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfianThetaTest, EmpiricalFrequenciesMatchTheory) {
+  const double theta = GetParam();
+  constexpr uint64_t kN = 100;
+  constexpr int kSamples = 200000;
+  ZipfianGenerator zipf(kN, theta);
+  Rng rng(17);
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < kSamples; ++i) counts[zipf.Next(rng)]++;
+  // Rank 0 should be the hottest and match its theoretical probability.
+  const double p0 = zipf.Probability(0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kSamples, p0, p0 * 0.1);
+  // Frequencies decay with rank (allowing sampling noise on the tail).
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST_P(ZipfianThetaTest, ProbabilitiesSumToOne) {
+  const double theta = GetParam();
+  ZipfianGenerator zipf(1000, theta);
+  double sum = 0.0;
+  for (uint64_t i = 0; i < 1000; ++i) sum += zipf.Probability(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_P(ZipfianThetaTest, SamplesInRange) {
+  ZipfianGenerator zipf(50, GetParam());
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Next(rng), 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfianThetaTest,
+                         ::testing::Values(0.5, 0.7, 0.8, 0.9, 0.99));
+
+TEST(ZipfianTest, SingleItemAlwaysZero) {
+  ZipfianGenerator zipf(1, 0.99);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Next(rng), 0u);
+}
+
+TEST(ScrambledZipfianTest, SpreadsHotKeys) {
+  ScrambledZipfianGenerator gen(1000, 0.99);
+  Rng rng(1);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) counts[gen.Next(rng)]++;
+  // The two hottest scrambled keys should not be adjacent.
+  uint64_t hottest = 0;
+  uint64_t second = 0;
+  int hottest_count = 0;
+  int second_count = 0;
+  for (const auto& [k, c] : counts) {
+    if (c > hottest_count) {
+      second = hottest;
+      second_count = hottest_count;
+      hottest = k;
+      hottest_count = c;
+    } else if (c > second_count) {
+      second = k;
+      second_count = c;
+    }
+  }
+  EXPECT_GT(hottest_count, 0);
+  EXPECT_NE(hottest + 1, second);
+}
+
+// ---------------------------------------------------------------------------
+// DiscreteDistribution
+// ---------------------------------------------------------------------------
+
+TEST(DiscreteDistributionTest, MatchesWeights) {
+  DiscreteDistribution dist({0.5, 0.3, 0.2});
+  Rng rng(11);
+  std::vector<int> counts(3, 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) counts[dist.Next(rng)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(kSamples), 0.5, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kSamples), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kSamples), 0.2, 0.01);
+}
+
+TEST(DiscreteDistributionTest, ZeroWeightNeverSampled) {
+  DiscreteDistribution dist({1.0, 0.0, 1.0});
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(dist.Next(rng), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Hashing
+// ---------------------------------------------------------------------------
+
+TEST(HashTest, StableAcrossCalls) {
+  EXPECT_EQ(Hash64("hello"), Hash64("hello"));
+  EXPECT_EQ(Hash64(uint64_t{42}), Hash64(uint64_t{42}));
+}
+
+TEST(HashTest, SeedChangesHash) {
+  EXPECT_NE(Hash64("hello", 1), Hash64("hello", 2));
+}
+
+TEST(HashTest, DifferentInputsDiffer) {
+  EXPECT_NE(Hash64("hello"), Hash64("hellp"));
+  EXPECT_NE(Hash64(""), Hash64("x"));
+}
+
+TEST(HashTest, BloomPositionsInRange) {
+  size_t pos[16];
+  BloomPositions("some-key", 8, 1000, pos);
+  for (int i = 0; i < 8; ++i) EXPECT_LT(pos[i], 1000u);
+}
+
+TEST(HashTest, BloomPositionsDeterministic) {
+  size_t a[4];
+  size_t b[4];
+  BloomPositions("key", 4, 512, a);
+  BloomPositions("key", 4, 512, b);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(HashTest, HashDistributionIsRoughlyUniform) {
+  constexpr int kBuckets = 16;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < 16000; ++i) {
+    counts[Hash64("key" + std::to_string(i)) % kBuckets]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+}  // namespace
+}  // namespace quaestor

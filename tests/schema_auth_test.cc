@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "client/client.h"
+#include "common/clock.h"
+#include "core/auth.h"
+#include "core/server.h"
+#include "db/database.h"
+#include "db/schema.h"
+#include "webcache/web_cache.h"
+
+namespace quaestor {
+namespace {
+
+db::Value Doc(const char* json) {
+  auto v = db::Value::FromJson(json);
+  EXPECT_TRUE(v.ok());
+  return v.value();
+}
+
+// ---------------------------------------------------------------------------
+// TableSchema
+// ---------------------------------------------------------------------------
+
+TEST(SchemaTest, RequiredFieldEnforced) {
+  db::TableSchema s;
+  s.Field("title", db::FieldType::kString, /*required=*/true);
+  EXPECT_TRUE(s.Validate(Doc(R"({"title":"x"})")).ok());
+  EXPECT_FALSE(s.Validate(Doc(R"({"other":1})")).ok());
+}
+
+TEST(SchemaTest, TypeChecking) {
+  db::TableSchema s;
+  s.Field("n", db::FieldType::kInt)
+      .Field("f", db::FieldType::kDouble)
+      .Field("num", db::FieldType::kNumber)
+      .Field("b", db::FieldType::kBool)
+      .Field("s", db::FieldType::kString)
+      .Field("a", db::FieldType::kArray)
+      .Field("o", db::FieldType::kObject)
+      .Field("w", db::FieldType::kAny);
+  EXPECT_TRUE(s.Validate(Doc(
+                   R"({"n":1,"f":1.5,"num":2,"b":true,"s":"x","a":[],
+                       "o":{},"w":null})"))
+                  .ok());
+  EXPECT_FALSE(s.Validate(Doc(R"({"n":1.5})")).ok());   // double for int
+  EXPECT_FALSE(s.Validate(Doc(R"({"f":1})")).ok());     // int for double
+  EXPECT_TRUE(s.Validate(Doc(R"({"num":1.5})")).ok());  // number: both
+  EXPECT_FALSE(s.Validate(Doc(R"({"b":"true"})")).ok());
+  EXPECT_FALSE(s.Validate(Doc(R"({"a":{}})")).ok());
+}
+
+TEST(SchemaTest, OptionalFieldsMayBeAbsent) {
+  db::TableSchema s;
+  s.Field("opt", db::FieldType::kString, /*required=*/false);
+  EXPECT_TRUE(s.Validate(Doc("{}")).ok());
+}
+
+TEST(SchemaTest, NestedPaths) {
+  db::TableSchema s;
+  s.Field("author.name", db::FieldType::kString, /*required=*/true);
+  EXPECT_TRUE(s.Validate(Doc(R"({"author":{"name":"ada"}})")).ok());
+  EXPECT_FALSE(s.Validate(Doc(R"({"author":{}})")).ok());
+  EXPECT_FALSE(s.Validate(Doc(R"({"author":{"name":42}})")).ok());
+}
+
+TEST(SchemaTest, UnknownFieldsPolicy) {
+  db::TableSchema s;
+  s.Field("known", db::FieldType::kAny).Field("nested.x", db::FieldType::kAny);
+  EXPECT_TRUE(s.Validate(Doc(R"({"known":1,"extra":2})")).ok());
+  s.DisallowUnknownFields();
+  EXPECT_FALSE(s.Validate(Doc(R"({"known":1,"extra":2})")).ok());
+  EXPECT_TRUE(s.Validate(Doc(R"({"known":1,"nested":{"x":1}})")).ok());
+}
+
+TEST(SchemaTest, RegistryRoutesPerTable) {
+  db::SchemaRegistry reg;
+  db::TableSchema s;
+  s.Field("x", db::FieldType::kInt, true);
+  reg.SetSchema("strict", std::move(s));
+  EXPECT_TRUE(reg.HasSchema("strict"));
+  EXPECT_FALSE(reg.HasSchema("lax"));
+  EXPECT_FALSE(reg.Validate("strict", Doc("{}")).ok());
+  EXPECT_TRUE(reg.Validate("lax", Doc("{}")).ok());
+  reg.RemoveSchema("strict");
+  EXPECT_TRUE(reg.Validate("strict", Doc("{}")).ok());
+}
+
+// ---------------------------------------------------------------------------
+// AccessController
+// ---------------------------------------------------------------------------
+
+TEST(AuthTest, DefaultIsPublic) {
+  core::AccessController ac;
+  EXPECT_TRUE(ac.CheckRead(core::Credentials::Anonymous(), "t").ok());
+  EXPECT_TRUE(ac.CheckWrite(core::Credentials::Anonymous(), "t").ok());
+  EXPECT_TRUE(ac.ReadIsPublic("t"));
+}
+
+TEST(AuthTest, ProtectWrites) {
+  core::AccessController ac;
+  ac.ProtectWrites("posts", "editor");
+  EXPECT_TRUE(ac.CheckRead(core::Credentials::Anonymous(), "posts").ok());
+  EXPECT_FALSE(ac.CheckWrite(core::Credentials::Anonymous(), "posts").ok());
+  EXPECT_FALSE(
+      ac.CheckWrite(core::Credentials::User({"viewer"}), "posts").ok());
+  EXPECT_TRUE(
+      ac.CheckWrite(core::Credentials::User({"editor"}), "posts").ok());
+  EXPECT_TRUE(ac.ReadIsPublic("posts"));
+}
+
+TEST(AuthTest, ProtectTable) {
+  core::AccessController ac;
+  ac.ProtectTable("secrets", "admin");
+  EXPECT_FALSE(ac.CheckRead(core::Credentials::Anonymous(), "secrets").ok());
+  EXPECT_TRUE(
+      ac.CheckRead(core::Credentials::User({"admin"}), "secrets").ok());
+  EXPECT_FALSE(ac.ReadIsPublic("secrets"));
+}
+
+TEST(AuthTest, AuthenticatedLevel) {
+  core::AccessController ac;
+  core::AccessController::TableRule rule;
+  rule.write = core::AccessLevel::kAuthenticated;
+  ac.SetRule("t", rule);
+  EXPECT_FALSE(ac.CheckWrite(core::Credentials::Anonymous(), "t").ok());
+  EXPECT_TRUE(ac.CheckWrite(core::Credentials::User(), "t").ok());
+}
+
+TEST(AuthTest, RootBypassesEverything) {
+  core::AccessController ac;
+  core::AccessController::TableRule rule;
+  rule.read = core::AccessLevel::kNobody;
+  rule.write = core::AccessLevel::kNobody;
+  ac.SetRule("t", rule);
+  EXPECT_TRUE(ac.CheckRead(core::Credentials::Root(), "t").ok());
+  EXPECT_TRUE(ac.CheckWrite(core::Credentials::Root(), "t").ok());
+  EXPECT_FALSE(ac.CheckWrite(core::Credentials::User({"any"}), "t").ok());
+}
+
+TEST(AuthTest, SessionResolution) {
+  core::AccessController ac;
+  ac.RegisterSession("tok-1", core::Credentials::User({"editor"}));
+  EXPECT_TRUE(ac.Resolve("tok-1").HasRole("editor"));
+  EXPECT_FALSE(ac.Resolve("").authenticated);
+  EXPECT_FALSE(ac.Resolve("unknown").authenticated);
+  ac.RevokeSession("tok-1");
+  EXPECT_FALSE(ac.Resolve("tok-1").authenticated);
+}
+
+// ---------------------------------------------------------------------------
+// Server integration
+// ---------------------------------------------------------------------------
+
+class SecureServerTest : public ::testing::Test {
+ protected:
+  SecureServerTest() : clock_(0), db_(&clock_) {
+    server_ = std::make_unique<core::QuaestorServer>(&clock_, &db_);
+  }
+
+  webcache::HttpResponse Get(const std::string& key,
+                             const std::string& token = "") {
+    webcache::HttpRequest req;
+    req.key = key;
+    req.auth_token = token;
+    return server_->Fetch(req);
+  }
+
+  SimulatedClock clock_;
+  db::Database db_;
+  std::unique_ptr<core::QuaestorServer> server_;
+};
+
+TEST_F(SecureServerTest, SchemaEnforcedOnInsert) {
+  db::TableSchema s;
+  s.Field("title", db::FieldType::kString, /*required=*/true);
+  server_->schemas().SetSchema("posts", std::move(s));
+  EXPECT_TRUE(server_->Insert("posts", "bad", Doc(R"({"x":1})"))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(server_->Insert("posts", "good", Doc(R"({"title":"t"})")).ok());
+}
+
+TEST_F(SecureServerTest, SchemaEnforcedOnUpdatePostImage) {
+  db::TableSchema s;
+  s.Field("title", db::FieldType::kString, /*required=*/true);
+  server_->schemas().SetSchema("posts", std::move(s));
+  ASSERT_TRUE(server_->Insert("posts", "p", Doc(R"({"title":"t"})")).ok());
+  // Removing the required field is rejected; the record is unchanged.
+  db::Update drop;
+  drop.Unset("title");
+  EXPECT_FALSE(server_->Update("posts", "p", drop).ok());
+  EXPECT_EQ(db_.Get("posts", "p")->version, 1u);
+  // A type-preserving update passes.
+  db::Update retitle;
+  retitle.Set("title", db::Value("new"));
+  EXPECT_TRUE(server_->Update("posts", "p", retitle).ok());
+}
+
+TEST_F(SecureServerTest, WriteAuthorizationEnforced) {
+  server_->auth().ProtectWrites("posts", "editor");
+  server_->auth().RegisterSession("editor-tok",
+                                  core::Credentials::User({"editor"}));
+  const auto anon = core::Credentials::Anonymous();
+  const auto editor = server_->auth().Resolve("editor-tok");
+  EXPECT_FALSE(server_->Insert(anon, "posts", "p", Doc("{}")).ok());
+  EXPECT_TRUE(server_->Insert(editor, "posts", "p", Doc("{}")).ok());
+  db::Update u;
+  u.Set("x", db::Value(1));
+  EXPECT_FALSE(server_->Update(anon, "posts", "p", u).ok());
+  EXPECT_FALSE(server_->Delete(anon, "posts", "p").ok());
+  EXPECT_TRUE(server_->Delete(editor, "posts", "p").ok());
+}
+
+TEST_F(SecureServerTest, ProtectedReadsDeniedAndUncacheable) {
+  server_->auth().ProtectTable("secrets", "admin");
+  server_->auth().RegisterSession("admin-tok",
+                                  core::Credentials::User({"admin"}));
+  ASSERT_TRUE(server_->Insert("secrets", "s1", Doc(R"({"k":"v"})")).ok());
+
+  // Anonymous: denied.
+  EXPECT_FALSE(Get("secrets/s1").ok);
+  // Admin: served, but with ttl 0 — shared caches must never store it.
+  auto resp = Get("secrets/s1", "admin-tok");
+  ASSERT_TRUE(resp.ok);
+  EXPECT_EQ(resp.ttl, 0);
+}
+
+TEST_F(SecureServerTest, ProtectedQueriesUncacheable) {
+  server_->auth().ProtectTable("secrets", "admin");
+  server_->auth().RegisterSession("admin-tok",
+                                  core::Credentials::User({"admin"}));
+  ASSERT_TRUE(server_->Insert("secrets", "s1", Doc(R"({"g":1})")).ok());
+  db::Query q = db::Query::ParseJson("secrets", R"({"g":1})").value();
+  server_->RegisterQueryShape(q);
+
+  EXPECT_FALSE(Get(q.NormalizedKey()).ok);  // anonymous: denied
+  auto resp = Get(q.NormalizedKey(), "admin-tok");
+  ASSERT_TRUE(resp.ok);
+  EXPECT_EQ(resp.ttl, 0);
+  // Never registered for invalidation: it is never cached.
+  EXPECT_FALSE(server_->invalidb().IsRegistered(q.NormalizedKey()));
+}
+
+TEST_F(SecureServerTest, ClientSessionCarriesToken) {
+  server_->auth().ProtectWrites("posts", "editor");
+  server_->auth().RegisterSession("editor-tok",
+                                  core::Credentials::User({"editor"}));
+
+  webcache::ExpirationCache cache(&clock_);
+  client::ClientOptions anon_opts;
+  client::QuaestorClient anon(&clock_, server_.get(), &cache, nullptr,
+                              anon_opts);
+  anon.Connect();
+  EXPECT_FALSE(anon.Insert("posts", "p", Doc("{}")).ok());
+
+  webcache::ExpirationCache cache2(&clock_);
+  client::ClientOptions editor_opts;
+  editor_opts.auth_token = "editor-tok";
+  client::QuaestorClient editor(&clock_, server_.get(), &cache2, nullptr,
+                                editor_opts);
+  editor.Connect();
+  EXPECT_TRUE(editor.Insert("posts", "p", Doc("{}")).ok());
+}
+
+TEST_F(SecureServerTest, ProtectedReadThroughClient) {
+  server_->auth().ProtectTable("secrets", "admin");
+  server_->auth().RegisterSession("admin-tok",
+                                  core::Credentials::User({"admin"}));
+  ASSERT_TRUE(server_->Insert("secrets", "s1", Doc(R"({"k":"v"})")).ok());
+
+  webcache::ExpirationCache cache(&clock_);
+  client::ClientOptions opts;
+  opts.auth_token = "admin-tok";
+  client::QuaestorClient admin(&clock_, server_.get(), &cache, nullptr, opts);
+  admin.Connect();
+  auto r = admin.Read("secrets", "s1");
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.doc.Find("k")->as_string(), "v");
+  // ttl 0 → nothing entered the browser cache.
+  EXPECT_EQ(cache.Size(), 0u);
+}
+
+}  // namespace
+}  // namespace quaestor

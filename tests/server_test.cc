@@ -1,0 +1,377 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/query_result.h"
+#include "core/server.h"
+#include "db/database.h"
+
+namespace quaestor::core {
+namespace {
+
+constexpr Micros kSecond = kMicrosPerSecond;
+
+db::Value Doc(const char* json) {
+  auto v = db::Value::FromJson(json);
+  EXPECT_TRUE(v.ok());
+  return v.value();
+}
+
+db::Query Q(const char* table, const char* filter) {
+  auto q = db::Query::ParseJson(table, filter);
+  EXPECT_TRUE(q.ok());
+  return q.value();
+}
+
+// ---------------------------------------------------------------------------
+// QueryResponse wire format
+// ---------------------------------------------------------------------------
+
+TEST(QueryResponseTest, ObjectListRoundTrip) {
+  QueryResponse qr;
+  qr.representation = ttl::ResultRepresentation::kObjectList;
+  qr.ids = {"t/a", "t/b"};
+  qr.docs = {Doc(R"({"x":1})"), Doc(R"({"x":2})")};
+  qr.versions = {3, 7};
+  qr.record_ttls = {1000, 2000};
+  auto parsed = QueryResponse::FromJson(qr.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->ids, qr.ids);
+  EXPECT_EQ(parsed->versions, qr.versions);
+  EXPECT_EQ(parsed->record_ttls, qr.record_ttls);
+  EXPECT_EQ(parsed->docs[1], qr.docs[1]);
+  EXPECT_EQ(parsed->ComputeEtag(), qr.ComputeEtag());
+}
+
+TEST(QueryResponseTest, IdListRoundTrip) {
+  QueryResponse qr;
+  qr.representation = ttl::ResultRepresentation::kIdList;
+  qr.ids = {"t/a", "t/b", "t/c"};
+  auto parsed = QueryResponse::FromJson(qr.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->representation, ttl::ResultRepresentation::kIdList);
+  EXPECT_EQ(parsed->ids, qr.ids);
+  EXPECT_TRUE(parsed->docs.empty());
+}
+
+TEST(QueryResponseTest, EtagChangesWithVersions) {
+  QueryResponse a;
+  a.representation = ttl::ResultRepresentation::kObjectList;
+  a.ids = {"t/a"};
+  a.versions = {1};
+  QueryResponse b = a;
+  b.versions = {2};
+  EXPECT_NE(a.ComputeEtag(), b.ComputeEtag());
+}
+
+TEST(QueryResponseTest, IdListEtagIgnoresVersions) {
+  QueryResponse a;
+  a.representation = ttl::ResultRepresentation::kIdList;
+  a.ids = {"t/a"};
+  a.versions = {1};
+  QueryResponse b = a;
+  b.versions = {2};
+  EXPECT_EQ(a.ComputeEtag(), b.ComputeEtag());
+}
+
+TEST(QueryResponseTest, RejectsMalformed) {
+  EXPECT_FALSE(QueryResponse::FromJson("not json").ok());
+  EXPECT_FALSE(QueryResponse::FromJson("[]").ok());
+  EXPECT_FALSE(QueryResponse::FromJson(R"({"ids":[1]})").ok());
+  EXPECT_FALSE(
+      QueryResponse::FromJson(R"({"rep":"objects","ids":["a"]})").ok());
+}
+
+// ---------------------------------------------------------------------------
+// QuaestorServer
+// ---------------------------------------------------------------------------
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest() : clock_(0), db_(&clock_) {}
+
+  void MakeServer(ServerOptions options = ServerOptions()) {
+    server_ = std::make_unique<QuaestorServer>(&clock_, &db_, options);
+    server_->AddPurgeTarget(
+        [this](const std::string& key) { purged_.push_back(key); });
+  }
+
+  webcache::HttpResponse Get(const std::string& key) {
+    webcache::HttpRequest req;
+    req.key = key;
+    return server_->Fetch(req);
+  }
+
+  webcache::HttpResponse GetQuery(const db::Query& q) {
+    server_->RegisterQueryShape(q);
+    return Get(q.NormalizedKey());
+  }
+
+  SimulatedClock clock_;
+  db::Database db_;
+  std::unique_ptr<QuaestorServer> server_;
+  std::vector<std::string> purged_;
+};
+
+TEST_F(ServerTest, RecordFetchServesBodyAndTtl) {
+  MakeServer();
+  ASSERT_TRUE(server_->Insert("t", "1", Doc(R"({"x":1})")).ok());
+  auto resp = Get("t/1");
+  ASSERT_TRUE(resp.ok);
+  EXPECT_GT(resp.ttl, 0);
+  EXPECT_EQ(resp.etag, 1u);  // insert creates version 1
+  EXPECT_EQ(resp.body, Doc(R"({"x":1})").ToJson());
+}
+
+TEST_F(ServerTest, RecordFetchMissing404) {
+  MakeServer();
+  EXPECT_FALSE(Get("t/none").ok);
+  EXPECT_FALSE(Get("malformed-key").ok);
+}
+
+TEST_F(ServerTest, RecordConditionalFetch304) {
+  MakeServer();
+  ASSERT_TRUE(server_->Insert("t", "1", Doc(R"({"x":1})")).ok());
+  auto first = Get("t/1");
+  webcache::HttpRequest req;
+  req.key = "t/1";
+  req.has_if_none_match = true;
+  req.if_none_match = first.etag;
+  auto second = server_->Fetch(req);
+  ASSERT_TRUE(second.ok);
+  EXPECT_TRUE(second.not_modified);
+  EXPECT_TRUE(second.body.empty());
+  EXPECT_EQ(server_->stats().not_modified, 1u);
+}
+
+TEST_F(ServerTest, WriteMakesCachedRecordStaleAndPurges) {
+  MakeServer();
+  ASSERT_TRUE(server_->Insert("t", "1", Doc(R"({"x":1})")).ok());
+  (void)Get("t/1");  // issues a TTL → tracked in the EBF
+  clock_.Advance(1 * kSecond);
+  purged_.clear();
+  db::Update u;
+  u.Set("x", db::Value(2));
+  ASSERT_TRUE(server_->Update("t", "1", u).ok());
+  EXPECT_TRUE(server_->ebf().IsStale("t/1"));
+  ASSERT_FALSE(purged_.empty());
+  EXPECT_EQ(purged_[0], "t/1");
+  EXPECT_TRUE(server_->BloomSnapshot().MaybeContains("t/1"));
+}
+
+TEST_F(ServerTest, QueryFetchReturnsObjectList) {
+  MakeServer();
+  ASSERT_TRUE(server_->Insert("t", "1", Doc(R"({"g":1})")).ok());
+  ASSERT_TRUE(server_->Insert("t", "2", Doc(R"({"g":1})")).ok());
+  ASSERT_TRUE(server_->Insert("t", "3", Doc(R"({"g":2})")).ok());
+  auto resp = GetQuery(Q("t", R"({"g":1})"));
+  ASSERT_TRUE(resp.ok);
+  EXPECT_GT(resp.ttl, 0);
+  auto qr = QueryResponse::FromJson(resp.body);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_EQ(qr->representation, ttl::ResultRepresentation::kObjectList);
+  EXPECT_EQ(qr->ids, (std::vector<std::string>{"t/1", "t/2"}));
+  EXPECT_EQ(qr->docs.size(), 2u);
+}
+
+TEST_F(ServerTest, UnknownQueryKeyIs404) {
+  MakeServer();
+  EXPECT_FALSE(Get("q:t?g $eq 1").ok);
+}
+
+TEST_F(ServerTest, QueryRegistersInInvalidb) {
+  MakeServer();
+  ASSERT_TRUE(server_->Insert("t", "1", Doc(R"({"g":1})")).ok());
+  db::Query q = Q("t", R"({"g":1})");
+  (void)GetQuery(q);
+  EXPECT_TRUE(server_->invalidb().IsRegistered(q.NormalizedKey()));
+  EXPECT_TRUE(server_->active_list().IsRegistered(q.NormalizedKey()));
+}
+
+TEST_F(ServerTest, InvalidationFlowEndToEnd) {
+  // The Figure 7 pipeline: cache query → write a matching record →
+  // InvaliDB detects → EBF flags the query → CDN purge issued.
+  MakeServer();
+  ASSERT_TRUE(server_->Insert("t", "1", Doc(R"({"g":1})")).ok());
+  db::Query q = Q("t", R"({"g":1})");
+  (void)GetQuery(q);
+  clock_.Advance(1 * kSecond);
+  purged_.clear();
+
+  db::Update u;
+  u.Set("g", db::Value(2));  // leaves the result set
+  ASSERT_TRUE(server_->Update("t", "1", u).ok());
+
+  const std::string key = q.NormalizedKey();
+  EXPECT_TRUE(server_->ebf().IsStale(key));
+  EXPECT_TRUE(server_->BloomSnapshot().MaybeContains(key));
+  EXPECT_NE(std::find(purged_.begin(), purged_.end(), key), purged_.end());
+  EXPECT_GE(server_->stats().query_invalidations, 1u);
+}
+
+TEST_F(ServerTest, NonMatchingWriteDoesNotInvalidateQuery) {
+  MakeServer();
+  ASSERT_TRUE(server_->Insert("t", "1", Doc(R"({"g":1})")).ok());
+  ASSERT_TRUE(server_->Insert("t", "2", Doc(R"({"g":9})")).ok());
+  db::Query q = Q("t", R"({"g":1})");
+  (void)GetQuery(q);
+  clock_.Advance(1 * kSecond);
+  db::Update u;
+  u.Set("x", db::Value(1));  // t/2 never matched and still doesn't
+  ASSERT_TRUE(server_->Update("t", "2", u).ok());
+  EXPECT_FALSE(server_->ebf().IsStale(q.NormalizedKey()));
+}
+
+TEST_F(ServerTest, QueryEtagStableAcrossIdenticalResults) {
+  MakeServer();
+  ASSERT_TRUE(server_->Insert("t", "1", Doc(R"({"g":1})")).ok());
+  db::Query q = Q("t", R"({"g":1})");
+  auto r1 = GetQuery(q);
+  auto r2 = GetQuery(q);
+  EXPECT_EQ(r1.etag, r2.etag);
+  // Conditional fetch revalidates to 304.
+  webcache::HttpRequest req;
+  req.key = q.NormalizedKey();
+  req.has_if_none_match = true;
+  req.if_none_match = r1.etag;
+  auto r3 = server_->Fetch(req);
+  EXPECT_TRUE(r3.not_modified);
+}
+
+TEST_F(ServerTest, QueryTtlFeedbackViaEwma) {
+  MakeServer();
+  ASSERT_TRUE(server_->Insert("t", "1", Doc(R"({"g":1})")).ok());
+  db::Query q = Q("t", R"({"g":1})");
+  (void)GetQuery(q);
+  // Invalidate after 5 s: the estimator learns the 5 s actual TTL.
+  clock_.Advance(5 * kSecond);
+  db::Update u;
+  u.Set("g", db::Value(2));
+  ASSERT_TRUE(server_->Update("t", "1", u).ok());
+  EXPECT_EQ(server_->ttl_estimator().TrackedQueries(), 1u);
+  const Micros learned =
+      server_->ttl_estimator().QueryTtl(q.NormalizedKey(), {});
+  EXPECT_EQ(learned, 5 * kSecond);
+}
+
+TEST_F(ServerTest, IdListPolicyServesIds) {
+  ServerOptions opts;
+  opts.representation = RepresentationPolicy::kAlwaysIdList;
+  MakeServer(opts);
+  ASSERT_TRUE(server_->Insert("t", "1", Doc(R"({"g":1})")).ok());
+  auto resp = GetQuery(Q("t", R"({"g":1})"));
+  auto qr = QueryResponse::FromJson(resp.body);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_EQ(qr->representation, ttl::ResultRepresentation::kIdList);
+  EXPECT_TRUE(qr->docs.empty());
+}
+
+TEST_F(ServerTest, CachingDisabledYieldsZeroTtl) {
+  ServerOptions opts;
+  opts.cache_records = false;
+  opts.cache_queries = false;
+  MakeServer(opts);
+  ASSERT_TRUE(server_->Insert("t", "1", Doc(R"({"g":1})")).ok());
+  EXPECT_EQ(Get("t/1").ttl, 0);
+  EXPECT_EQ(GetQuery(Q("t", R"({"g":1})")).ttl, 0);
+  // Nothing registered in InvaliDB for uncacheable queries.
+  EXPECT_EQ(server_->invalidb().RegisteredCount(), 0u);
+}
+
+TEST_F(ServerTest, CapacityEvictionDeregistersAndFlagsVictim) {
+  ServerOptions opts;
+  opts.query_capacity = 1;
+  MakeServer(opts);
+  ASSERT_TRUE(server_->Insert("t", "1", Doc(R"({"g":1})")).ok());
+  ASSERT_TRUE(server_->Insert("t", "2", Doc(R"({"g":2})")).ok());
+  db::Query q1 = Q("t", R"({"g":1})");
+  db::Query q2 = Q("t", R"({"g":2})");
+  (void)GetQuery(q1);  // admitted
+  EXPECT_TRUE(server_->invalidb().IsRegistered(q1.NormalizedKey()));
+  // q2 becomes hotter: displaces q1.
+  (void)GetQuery(q2);
+  (void)GetQuery(q2);
+  (void)GetQuery(q2);
+  EXPECT_TRUE(server_->invalidb().IsRegistered(q2.NormalizedKey()));
+  EXPECT_FALSE(server_->invalidb().IsRegistered(q1.NormalizedKey()));
+  // The victim's outstanding cached copies are conservatively stale.
+  EXPECT_TRUE(server_->ebf().IsStale(q1.NormalizedKey()));
+}
+
+TEST_F(ServerTest, StatefulQueryServedWindowedButRegisteredUnwindowed) {
+  MakeServer();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(server_
+                    ->Insert("t", std::to_string(i),
+                             Doc(("{\"n\":" + std::to_string(i) + "}")
+                                     .c_str()))
+                    .ok());
+  }
+  db::Query q = Q("t", "{}");
+  q.SetOrderBy({{"n", false}}).SetLimit(2);
+  auto resp = GetQuery(q);
+  auto qr = QueryResponse::FromJson(resp.body);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_EQ(qr->ids, (std::vector<std::string>{"t/4", "t/3"}));
+  // The sorted window is tracked; a new top element invalidates it.
+  clock_.Advance(1 * kSecond);
+  ASSERT_TRUE(server_->Insert("t", "9", Doc(R"({"n":99})")).ok());
+  EXPECT_TRUE(server_->ebf().IsStale(q.NormalizedKey()));
+}
+
+TEST_F(ServerTest, StatefulQueryNotInvalidatedByOutOfWindowChange) {
+  MakeServer();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(server_
+                    ->Insert("t", std::to_string(i),
+                             Doc(("{\"n\":" + std::to_string(i) + "}")
+                                     .c_str()))
+                    .ok());
+  }
+  db::Query q = Q("t", "{}");
+  q.SetOrderBy({{"n", false}}).SetLimit(2);
+  (void)GetQuery(q);
+  clock_.Advance(1 * kSecond);
+  // Insert below the window: window [t/4, t/3] unchanged.
+  ASSERT_TRUE(server_->Insert("t", "low", Doc(R"({"n":-1})")).ok());
+  EXPECT_FALSE(server_->ebf().IsStale(q.NormalizedKey()));
+}
+
+TEST_F(ServerTest, BloomSnapshotCountsRequests) {
+  MakeServer();
+  (void)server_->BloomSnapshot();
+  (void)server_->BloomSnapshot();
+  EXPECT_EQ(server_->stats().bloom_filter_requests, 2u);
+}
+
+TEST_F(ServerTest, DeleteInvalidatesQueriesAndRecord) {
+  MakeServer();
+  ASSERT_TRUE(server_->Insert("t", "1", Doc(R"({"g":1})")).ok());
+  db::Query q = Q("t", R"({"g":1})");
+  (void)GetQuery(q);
+  (void)Get("t/1");
+  clock_.Advance(1 * kSecond);
+  ASSERT_TRUE(server_->Delete("t", "1").ok());
+  EXPECT_TRUE(server_->ebf().IsStale("t/1"));
+  EXPECT_TRUE(server_->ebf().IsStale(q.NormalizedKey()));
+}
+
+TEST_F(ServerTest, NotificationTapObservesInvalidations) {
+  MakeServer();
+  std::vector<invalidb::Notification> taps;
+  server_->AddNotificationTap(
+      [&](const invalidb::Notification& n) { taps.push_back(n); });
+  ASSERT_TRUE(server_->Insert("t", "1", Doc(R"({"g":1})")).ok());
+  db::Query q = Q("t", R"({"g":1})");
+  (void)GetQuery(q);
+  db::Update u;
+  u.Set("g", db::Value(2));
+  ASSERT_TRUE(server_->Update("t", "1", u).ok());
+  ASSERT_EQ(taps.size(), 1u);
+  EXPECT_EQ(taps[0].type, invalidb::NotificationType::kRemove);
+}
+
+}  // namespace
+}  // namespace quaestor::core

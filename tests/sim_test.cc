@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "sim/simulation.h"
+
+namespace quaestor::sim {
+namespace {
+
+constexpr Micros kSecond = kMicrosPerSecond;
+
+// ---------------------------------------------------------------------------
+// EventQueue
+// ---------------------------------------------------------------------------
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  SimulatedClock clock(0);
+  EventQueue q(&clock);
+  std::vector<int> order;
+  q.Schedule(300, [&] { order.push_back(3); });
+  q.Schedule(100, [&] { order.push_back(1); });
+  q.Schedule(200, [&] { order.push_back(2); });
+  q.RunUntil(1000);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.NowMicros(), 1000);
+}
+
+TEST(EventQueueTest, EqualTimesRunFifo) {
+  SimulatedClock clock(0);
+  EventQueue q(&clock);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(100, [&order, i] { order.push_back(i); });
+  }
+  q.RunUntil(1000);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, EventsScheduleEvents) {
+  SimulatedClock clock(0);
+  EventQueue q(&clock);
+  int fired = 0;
+  q.Schedule(10, [&] {
+    fired++;
+    q.ScheduleAfter(10, [&] { fired++; });
+  });
+  q.RunUntil(100);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, StopsAtEnd) {
+  SimulatedClock clock(0);
+  EventQueue q(&clock);
+  int fired = 0;
+  q.Schedule(50, [&] { fired++; });
+  q.Schedule(150, [&] { fired++; });
+  q.RunUntil(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(clock.NowMicros(), 100);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, ClockAdvancesToEventTime) {
+  SimulatedClock clock(0);
+  EventQueue q(&clock);
+  Micros seen = -1;
+  q.Schedule(42, [&] { seen = clock.NowMicros(); });
+  q.RunUntil(100);
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(QueueingResourceTest, NoWaitWhenIdle) {
+  QueueingResource res(2, 100);
+  EXPECT_EQ(res.Acquire(0), 100);   // server 1
+  EXPECT_EQ(res.Acquire(0), 100);   // server 2
+  EXPECT_EQ(res.Acquire(0), 200);   // queues behind the first
+}
+
+TEST(QueueingResourceTest, DrainOverTime) {
+  QueueingResource res(1, 100);
+  EXPECT_EQ(res.Acquire(0), 100);
+  EXPECT_EQ(res.Acquire(50), 150);   // waits 50, serves 100
+  EXPECT_EQ(res.Acquire(500), 100);  // idle again
+}
+
+// ---------------------------------------------------------------------------
+// Simulation — small, fast configurations
+// ---------------------------------------------------------------------------
+
+workload::WorkloadOptions TinyWorkload() {
+  workload::WorkloadOptions w;
+  w.num_tables = 2;
+  w.docs_per_table = 200;
+  w.queries_per_table = 10;
+  w.docs_per_query = 10;
+  return w;
+}
+
+SimOptions TinySim() {
+  SimOptions s;
+  s.num_client_instances = 2;
+  s.connections_per_instance = 5;
+  s.duration = SecondsToMicros(20.0);
+  s.warmup = SecondsToMicros(2.0);
+  s.seed = 7;
+  return s;
+}
+
+TEST(SimulationTest, RunsAndProducesMetrics) {
+  Simulation sim(TinyWorkload(), TinySim());
+  SimResults r = sim.Run();
+  EXPECT_GT(r.total_ops, 100u);
+  EXPECT_GT(r.reads.count, 0u);
+  EXPECT_GT(r.queries.count, 0u);
+  EXPECT_GT(r.writes.count, 0u);
+  EXPECT_GT(r.throughput_ops_s, 0.0);
+  EXPECT_GT(r.reads.latency.count(), 0u);
+}
+
+TEST(SimulationTest, DeterministicForSeed) {
+  Simulation a(TinyWorkload(), TinySim());
+  Simulation b(TinyWorkload(), TinySim());
+  SimResults ra = a.Run();
+  SimResults rb = b.Run();
+  EXPECT_EQ(ra.total_ops, rb.total_ops);
+  EXPECT_EQ(ra.reads.count, rb.reads.count);
+  EXPECT_EQ(ra.queries.stale, rb.queries.stale);
+  EXPECT_DOUBLE_EQ(ra.reads.latency.Mean(), rb.reads.latency.Mean());
+}
+
+TEST(SimulationTest, DifferentSeedsDiffer) {
+  SimOptions s1 = TinySim();
+  SimOptions s2 = TinySim();
+  s2.seed = 8;
+  Simulation a(TinyWorkload(), s1);
+  Simulation b(TinyWorkload(), s2);
+  EXPECT_NE(a.Run().total_ops, b.Run().total_ops);
+}
+
+TEST(SimulationTest, QuaestorBeatsUncachedOnLatency) {
+  SimOptions quaestor = TinySim();
+  quaestor.arch = CacheArchitecture::Quaestor();
+  SimOptions uncached = TinySim();
+  uncached.arch = CacheArchitecture::Uncached();
+
+  Simulation qs(TinyWorkload(), quaestor);
+  Simulation us(TinyWorkload(), uncached);
+  SimResults rq = qs.Run();
+  SimResults ru = us.Run();
+
+  // Headline result of the paper: read-heavy workloads see large latency
+  // and throughput gains through web caching.
+  EXPECT_LT(rq.queries.latency.Mean(), ru.queries.latency.Mean() / 2.0);
+  EXPECT_GT(rq.throughput_ops_s, ru.throughput_ops_s);
+  // Uncached never hits a cache.
+  EXPECT_EQ(ru.reads.client_hits, 0u);
+  EXPECT_EQ(ru.reads.cdn_hits, 0u);
+}
+
+TEST(SimulationTest, UncachedHasNoStaleness) {
+  SimOptions s = TinySim();
+  s.arch = CacheArchitecture::Uncached();
+  Simulation sim(TinyWorkload(), s);
+  SimResults r = sim.Run();
+  EXPECT_EQ(r.reads.stale, 0u);
+  EXPECT_EQ(r.queries.stale, 0u);
+}
+
+TEST(SimulationTest, CdnOnlyUsesNoClientCache) {
+  SimOptions s = TinySim();
+  s.arch = CacheArchitecture::CdnOnly();
+  Simulation sim(TinyWorkload(), s);
+  SimResults r = sim.Run();
+  EXPECT_EQ(r.reads.client_hits, 0u);
+  EXPECT_GT(r.reads.cdn_hits + r.queries.cdn_hits, 0u);
+}
+
+TEST(SimulationTest, EbfOnlyNeverHitsCdn) {
+  SimOptions s = TinySim();
+  s.arch = CacheArchitecture::EbfOnly();
+  Simulation sim(TinyWorkload(), s);
+  SimResults r = sim.Run();
+  EXPECT_EQ(r.reads.cdn_hits, 0u);
+  EXPECT_EQ(r.queries.cdn_hits, 0u);
+  EXPECT_GT(r.reads.client_hits + r.queries.client_hits, 0u);
+}
+
+TEST(SimulationTest, StalenessBoundedByRefreshInterval) {
+  // Tighter ∆ → lower stale rate (Figure 10's monotone relationship).
+  workload::WorkloadOptions w = TinyWorkload();
+  SimOptions tight = TinySim();
+  tight.client_options.ebf_refresh_interval = SecondsToMicros(1.0);
+  SimOptions loose = TinySim();
+  loose.client_options.ebf_refresh_interval = SecondsToMicros(50.0);
+
+  // More writes so staleness actually occurs.
+  w.update_weight = 0.10;
+  w.read_weight = 0.45;
+  w.query_weight = 0.45;
+
+  Simulation ts(w, tight);
+  Simulation ls(w, loose);
+  SimResults rt = ts.Run();
+  SimResults rl = ls.Run();
+  EXPECT_LE(rt.queries.StaleRate(), rl.queries.StaleRate() + 0.01);
+}
+
+TEST(SimulationTest, TtlSamplesCollected) {
+  workload::WorkloadOptions w = TinyWorkload();
+  w.update_weight = 0.05;
+  w.read_weight = 0.45;
+  w.query_weight = 0.50;
+  SimOptions s = TinySim();
+  s.duration = SecondsToMicros(30.0);
+  Simulation sim(w, s);
+  SimResults r = sim.Run();
+  EXPECT_GT(r.estimated_ttls_s.size(), 0u);
+  EXPECT_GT(r.true_ttls_s.size(), 0u);
+}
+
+TEST(SimulationTest, HigherUpdateRateLowersHitRate) {
+  workload::WorkloadOptions quiet = TinyWorkload();
+  quiet.update_weight = 0.01;
+  quiet.read_weight = 0.495;
+  quiet.query_weight = 0.495;
+  workload::WorkloadOptions busy = TinyWorkload();
+  busy.update_weight = 0.3;
+  busy.read_weight = 0.35;
+  busy.query_weight = 0.35;
+
+  Simulation qs(quiet, TinySim());
+  Simulation bs(busy, TinySim());
+  SimResults rq = qs.Run();
+  SimResults rb = bs.Run();
+  EXPECT_GT(rq.queries.ClientHitRate(), rb.queries.ClientHitRate());
+}
+
+}  // namespace
+}  // namespace quaestor::sim

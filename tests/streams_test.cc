@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/server.h"
+#include "core/streams.h"
+#include "db/database.h"
+
+namespace quaestor::core {
+namespace {
+
+db::Value Doc(const char* json) {
+  auto v = db::Value::FromJson(json);
+  EXPECT_TRUE(v.ok());
+  return v.value();
+}
+
+db::Query Q(const char* table, const char* filter) {
+  auto q = db::Query::ParseJson(table, filter);
+  EXPECT_TRUE(q.ok());
+  return q.value();
+}
+
+class StreamsTest : public ::testing::Test {
+ protected:
+  StreamsTest() : clock_(0), db_(&clock_) {
+    server_ = std::make_unique<QuaestorServer>(&clock_, &db_);
+    hub_ = std::make_unique<ChangeStreamHub>(server_.get());
+  }
+
+  SimulatedClock clock_;
+  db::Database db_;
+  std::unique_ptr<QuaestorServer> server_;
+  std::unique_ptr<ChangeStreamHub> hub_;
+};
+
+TEST_F(StreamsTest, SubscribeReturnsInitialResult) {
+  ASSERT_TRUE(server_->Insert("posts", "p1", Doc(R"({"g":1})")).ok());
+  ASSERT_TRUE(server_->Insert("posts", "p2", Doc(R"({"g":2})")).ok());
+  std::vector<db::Document> initial;
+  auto id = hub_->Subscribe(Q("posts", R"({"g":1})"),
+                            [](const StreamEvent&) {}, &initial);
+  ASSERT_TRUE(id.ok());
+  ASSERT_EQ(initial.size(), 1u);
+  EXPECT_EQ(initial[0].id, "p1");
+  EXPECT_EQ(hub_->TotalSubscriptions(), 1u);
+}
+
+TEST_F(StreamsTest, DeliversAddChangeRemoveLifecycle) {
+  std::vector<StreamEvent> events;
+  auto id = hub_->Subscribe(
+      Q("posts", R"({"tags":{"$contains":"x"}})"),
+      [&](const StreamEvent& ev) { events.push_back(ev); }, nullptr);
+  ASSERT_TRUE(id.ok());
+
+  // add
+  ASSERT_TRUE(server_->Insert("posts", "p1", Doc(R"({"tags":["x"]})")).ok());
+  // change
+  db::Update bump;
+  bump.Push("tags", db::Value("y"));
+  ASSERT_TRUE(server_->Update("posts", "p1", bump).ok());
+  // remove
+  db::Update pull;
+  pull.Pull("tags", db::Value("x"));
+  ASSERT_TRUE(server_->Update("posts", "p1", pull).ok());
+
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].type, invalidb::NotificationType::kAdd);
+  EXPECT_TRUE(events[0].has_body);
+  EXPECT_EQ(events[1].type, invalidb::NotificationType::kChange);
+  ASSERT_TRUE(events[1].has_body);
+  EXPECT_EQ(events[1].body.Find("tags")->as_array().size(), 2u);
+  EXPECT_EQ(events[2].type, invalidb::NotificationType::kRemove);
+  EXPECT_FALSE(events[2].has_body);
+}
+
+TEST_F(StreamsTest, SortedStreamEmitsWindowEvents) {
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(server_
+                    ->Insert("posts", "p" + std::to_string(i),
+                             Doc(("{\"score\":" + std::to_string(i * 10) +
+                                  "}")
+                                     .c_str()))
+                    .ok());
+  }
+  db::Query top = Q("posts", "{}");
+  top.SetOrderBy({{"score", false}}).SetLimit(2);
+  std::vector<db::Document> initial;
+  std::vector<StreamEvent> events;
+  auto id = hub_->Subscribe(
+      top, [&](const StreamEvent& ev) { events.push_back(ev); }, &initial);
+  ASSERT_TRUE(id.ok());
+  ASSERT_EQ(initial.size(), 2u);
+  EXPECT_EQ(initial[0].id, "p2");
+
+  // A new top scorer: p0 window events with indices.
+  ASSERT_TRUE(
+      server_->Insert("posts", "p9", Doc(R"({"score":999})")).ok());
+  ASSERT_GE(events.size(), 2u);
+  bool saw_add_at_zero = false;
+  for (const StreamEvent& ev : events) {
+    if (ev.type == invalidb::NotificationType::kAdd &&
+        ev.record_id == "p9") {
+      EXPECT_EQ(ev.new_index, 0);
+      saw_add_at_zero = true;
+    }
+  }
+  EXPECT_TRUE(saw_add_at_zero);
+}
+
+TEST_F(StreamsTest, MultipleSubscribersShareOneRegistration) {
+  int a_events = 0;
+  int b_events = 0;
+  db::Query q = Q("posts", R"({"g":1})");
+  ASSERT_TRUE(hub_->Subscribe(
+                      q, [&](const StreamEvent&) { a_events++; }, nullptr)
+                  .ok());
+  ASSERT_TRUE(hub_->Subscribe(
+                      q, [&](const StreamEvent&) { b_events++; }, nullptr)
+                  .ok());
+  EXPECT_EQ(hub_->SubscriberCount(q.NormalizedKey()), 2u);
+  EXPECT_EQ(server_->invalidb().RegisteredCount(), 1u);
+
+  ASSERT_TRUE(server_->Insert("posts", "p1", Doc(R"({"g":1})")).ok());
+  EXPECT_EQ(a_events, 1);
+  EXPECT_EQ(b_events, 1);
+}
+
+TEST_F(StreamsTest, UnsubscribeStopsDelivery) {
+  int events = 0;
+  db::Query q = Q("posts", R"({"g":1})");
+  auto id = hub_->Subscribe(
+      q, [&](const StreamEvent&) { events++; }, nullptr);
+  ASSERT_TRUE(id.ok());
+  hub_->Unsubscribe(id.value());
+  EXPECT_EQ(hub_->TotalSubscriptions(), 0u);
+  ASSERT_TRUE(server_->Insert("posts", "p1", Doc(R"({"g":1})")).ok());
+  EXPECT_EQ(events, 0);
+}
+
+TEST_F(StreamsTest, UnsubscribeUnknownIdIsNoop) {
+  hub_->Unsubscribe(12345);
+  EXPECT_EQ(hub_->TotalSubscriptions(), 0u);
+}
+
+TEST_F(StreamsTest, StreamCoexistsWithCaching) {
+  // A query can be both cached (via the normal fetch path) and streamed.
+  ASSERT_TRUE(server_->Insert("posts", "p1", Doc(R"({"g":1})")).ok());
+  db::Query q = Q("posts", R"({"g":1})");
+  int events = 0;
+  ASSERT_TRUE(hub_->Subscribe(
+                      q, [&](const StreamEvent&) { events++; }, nullptr)
+                  .ok());
+  // Cached fetch path reuses the existing registration.
+  server_->RegisterQueryShape(q);
+  webcache::HttpRequest req;
+  req.key = q.NormalizedKey();
+  auto resp = server_->Fetch(req);
+  ASSERT_TRUE(resp.ok);
+  EXPECT_GT(resp.ttl, 0);
+
+  clock_.Advance(kMicrosPerSecond);
+  db::Update u;
+  u.Set("g", db::Value(2));
+  ASSERT_TRUE(server_->Update("posts", "p1", u).ok());
+  // Both consumers observe the change: the stream got an event and the
+  // cached result was flagged stale.
+  EXPECT_EQ(events, 1);
+  EXPECT_TRUE(server_->ebf().IsStale(q.NormalizedKey()));
+}
+
+}  // namespace
+}  // namespace quaestor::core

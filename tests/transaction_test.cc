@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "client/client.h"
+#include "client/transaction.h"
+#include "common/clock.h"
+#include "core/server.h"
+#include "db/database.h"
+#include "webcache/web_cache.h"
+
+namespace quaestor::client {
+namespace {
+
+db::Value Doc(const char* json) {
+  auto v = db::Value::FromJson(json);
+  EXPECT_TRUE(v.ok());
+  return v.value();
+}
+
+class TransactionTest : public ::testing::Test {
+ protected:
+  TransactionTest() : clock_(0), db_(&clock_) {
+    server_ = std::make_unique<core::QuaestorServer>(&clock_, &db_);
+    cdn_ = std::make_unique<webcache::InvalidationCache>(&clock_);
+    server_->AddPurgeTarget(
+        [this](const std::string& key) { cdn_->Purge(key); });
+    cache_a_ = std::make_unique<webcache::ExpirationCache>(&clock_);
+    cache_b_ = std::make_unique<webcache::ExpirationCache>(&clock_);
+    alice_ = std::make_unique<QuaestorClient>(&clock_, server_.get(),
+                                              cache_a_.get(), cdn_.get());
+    bob_ = std::make_unique<QuaestorClient>(&clock_, server_.get(),
+                                            cache_b_.get(), cdn_.get());
+    alice_->Connect();
+    bob_->Connect();
+  }
+
+  SimulatedClock clock_;
+  db::Database db_;
+  std::unique_ptr<core::QuaestorServer> server_;
+  std::unique_ptr<webcache::InvalidationCache> cdn_;
+  std::unique_ptr<webcache::ExpirationCache> cache_a_;
+  std::unique_ptr<webcache::ExpirationCache> cache_b_;
+  std::unique_ptr<QuaestorClient> alice_;
+  std::unique_ptr<QuaestorClient> bob_;
+};
+
+TEST_F(TransactionTest, ReadOnlyCommitSucceeds) {
+  ASSERT_TRUE(alice_->Insert("t", "x", Doc(R"({"v":1})")).ok());
+  ClientTransaction tx(bob_.get());
+  auto r = tx.Read("t", "x");
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(tx.read_set_size(), 1u);
+  auto commit = tx.Commit();
+  EXPECT_TRUE(commit.ok()) << commit.status().ToString();
+}
+
+TEST_F(TransactionTest, WritesApplyAtomicallyAtCommit) {
+  ASSERT_TRUE(alice_->Insert("acct", "a", Doc(R"({"balance":100})")).ok());
+  ASSERT_TRUE(alice_->Insert("acct", "b", Doc(R"({"balance":0})")).ok());
+
+  ClientTransaction tx(bob_.get());
+  auto a = tx.Read("acct", "a");
+  ASSERT_TRUE(a.status.ok());
+  const int64_t amount = 40;
+  db::Update debit;
+  debit.Inc("balance", db::Value(-amount));
+  db::Update credit;
+  credit.Inc("balance", db::Value(amount));
+  tx.Update("acct", "a", debit);
+  tx.Update("acct", "b", credit);
+
+  // Nothing visible before commit.
+  EXPECT_EQ(db_.Get("acct", "a")->body.Find("balance")->as_int(), 100);
+
+  auto commit = tx.Commit();
+  ASSERT_TRUE(commit.ok()) << commit.status().ToString();
+  EXPECT_EQ(commit->applied.size(), 2u);
+  EXPECT_EQ(db_.Get("acct", "a")->body.Find("balance")->as_int(), 60);
+  EXPECT_EQ(db_.Get("acct", "b")->body.Find("balance")->as_int(), 40);
+}
+
+TEST_F(TransactionTest, ConcurrentWriteAborts) {
+  ASSERT_TRUE(alice_->Insert("t", "x", Doc(R"({"v":1})")).ok());
+  ClientTransaction tx(bob_.get());
+  ASSERT_TRUE(tx.Read("t", "x").status.ok());
+
+  // Alice writes between Bob's read and his commit.
+  db::Update u;
+  u.Set("v", db::Value(2));
+  ASSERT_TRUE(alice_->Update("t", "x", u).ok());
+
+  db::Update bump;
+  bump.Inc("v", db::Value(10));
+  tx.Update("t", "x", bump);
+  auto commit = tx.Commit();
+  EXPECT_TRUE(commit.status().IsAborted()) << commit.status().ToString();
+  // The conflicting write was NOT applied.
+  EXPECT_EQ(db_.Get("t", "x")->body.Find("v")->as_int(), 2);
+  EXPECT_EQ(server_->transactions().aborted_count(), 1u);
+}
+
+TEST_F(TransactionTest, StaleCachedReadAborts) {
+  // The key insight of §3.2: validation catches stale reads served by
+  // caches.
+  ASSERT_TRUE(alice_->Insert("t", "x", Doc(R"({"v":1})")).ok());
+  (void)bob_->Read("t", "x");  // bob's cache now holds v1
+
+  db::Update u;
+  u.Set("v", db::Value(2));
+  ASSERT_TRUE(alice_->Update("t", "x", u).ok());
+
+  ClientTransaction tx(bob_.get());
+  auto r = tx.Read("t", "x");  // served stale from bob's cache
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.doc.Find("v")->as_int(), 1);
+  auto commit = tx.Commit();
+  EXPECT_TRUE(commit.status().IsAborted());
+}
+
+TEST_F(TransactionTest, RetryAfterAbortSucceeds) {
+  ASSERT_TRUE(alice_->Insert("t", "x", Doc(R"({"v":1})")).ok());
+  (void)bob_->Read("t", "x");
+  db::Update u;
+  u.Set("v", db::Value(2));
+  ASSERT_TRUE(alice_->Update("t", "x", u).ok());
+
+  ClientTransaction tx(bob_.get());
+  (void)tx.Read("t", "x");
+  ASSERT_TRUE(tx.Commit().status().IsAborted());
+
+  // Retry: a fresh transaction revalidates (strong read via EBF refresh).
+  bob_->RefreshEbf();
+  ClientTransaction retry(bob_.get());
+  auto r = retry.Read("t", "x");
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.doc.Find("v")->as_int(), 2);
+  EXPECT_TRUE(retry.Commit().ok());
+}
+
+TEST_F(TransactionTest, ObservedAbsenceValidated) {
+  ClientTransaction tx(bob_.get());
+  EXPECT_TRUE(tx.Read("t", "ghost").status.IsNotFound());
+  // Alice creates the record before commit: the absence observation is
+  // stale → abort.
+  ASSERT_TRUE(alice_->Insert("t", "ghost", Doc("{}")).ok());
+  EXPECT_TRUE(tx.Commit().status().IsAborted());
+}
+
+TEST_F(TransactionTest, InsertConflictAborts) {
+  ClientTransaction tx(bob_.get());
+  tx.Insert("t", "new", Doc(R"({"v":1})"));
+  ASSERT_TRUE(alice_->Insert("t", "new", Doc(R"({"v":9})")).ok());
+  EXPECT_TRUE(tx.Commit().status().IsAborted());
+  EXPECT_EQ(db_.Get("t", "new")->body.Find("v")->as_int(), 9);
+}
+
+TEST_F(TransactionTest, OwnWritesVisibleInsideTransaction) {
+  ASSERT_TRUE(alice_->Insert("t", "x", Doc(R"({"v":1})")).ok());
+  ClientTransaction tx(bob_.get());
+  tx.Insert("t", "y", Doc(R"({"v":10})"));
+  auto y = tx.Read("t", "y");
+  ASSERT_TRUE(y.status.ok());
+  EXPECT_EQ(y.doc.Find("v")->as_int(), 10);
+
+  auto x = tx.Read("t", "x");
+  ASSERT_TRUE(x.status.ok());
+  db::Update u;
+  u.Inc("v", db::Value(5));
+  tx.Update("t", "x", u);
+  auto x2 = tx.Read("t", "x");
+  EXPECT_EQ(x2.doc.Find("v")->as_int(), 6);  // overlay applied
+
+  auto commit = tx.Commit();
+  ASSERT_TRUE(commit.ok());
+  EXPECT_EQ(db_.Get("t", "x")->body.Find("v")->as_int(), 6);
+  EXPECT_EQ(db_.Get("t", "y")->body.Find("v")->as_int(), 10);
+}
+
+TEST_F(TransactionTest, DeleteVisibleInsideTransaction) {
+  ASSERT_TRUE(alice_->Insert("t", "x", Doc(R"({"v":1})")).ok());
+  ClientTransaction tx(bob_.get());
+  ASSERT_TRUE(tx.Read("t", "x").status.ok());
+  tx.Delete("t", "x");
+  EXPECT_TRUE(tx.Read("t", "x").status.IsNotFound());
+  ASSERT_TRUE(tx.Commit().ok());
+  EXPECT_TRUE(db_.Get("t", "x").status().IsNotFound());
+}
+
+TEST_F(TransactionTest, ReadsAreRepeatable) {
+  ASSERT_TRUE(alice_->Insert("t", "x", Doc(R"({"v":1})")).ok());
+  ClientTransaction tx(bob_.get());
+  auto r1 = tx.Read("t", "x");
+  ASSERT_TRUE(r1.status.ok());
+  // A concurrent write between the two reads is invisible inside the
+  // transaction (snapshot in the overlay)...
+  db::Update u;
+  u.Set("v", db::Value(99));
+  ASSERT_TRUE(alice_->Update("t", "x", u).ok());
+  auto r2 = tx.Read("t", "x");
+  EXPECT_EQ(r2.doc.Find("v")->as_int(), 1);
+  // ...but of course dooms the commit.
+  EXPECT_TRUE(tx.Commit().status().IsAborted());
+}
+
+TEST_F(TransactionTest, RollbackDiscardsEverything) {
+  ClientTransaction tx(bob_.get());
+  tx.Insert("t", "x", Doc(R"({"v":1})"));
+  tx.Rollback();
+  EXPECT_EQ(tx.write_count(), 0u);
+  ASSERT_TRUE(tx.Commit().ok());  // empty commit
+  EXPECT_TRUE(db_.Get("t", "x").status().IsNotFound());
+}
+
+TEST_F(TransactionTest, CommitIsOneShot) {
+  ClientTransaction tx(bob_.get());
+  ASSERT_TRUE(tx.Commit().ok());
+  EXPECT_EQ(tx.Commit().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(TransactionTest, CommittedWritesInvalidateCaches) {
+  ASSERT_TRUE(alice_->Insert("t", "x", Doc(R"({"g":1})")).ok());
+  db::Query q = db::Query::ParseJson("t", R"({"g":1})").value();
+  (void)bob_->ExecuteQuery(q);  // cached + registered in InvaliDB
+  clock_.Advance(kMicrosPerSecond);
+
+  ClientTransaction tx(alice_.get());
+  db::Update u;
+  u.Set("g", db::Value(2));
+  tx.Update("t", "x", u);
+  ASSERT_TRUE(tx.Commit().ok());
+
+  // The transactional write flows through the same invalidation pipeline.
+  EXPECT_TRUE(server_->ebf().IsStale(q.NormalizedKey()));
+}
+
+TEST_F(TransactionTest, SessionAbsorbsCommittedWrites) {
+  ClientTransaction tx(bob_.get());
+  tx.Insert("t", "mine", Doc(R"({"v":7})"));
+  ASSERT_TRUE(tx.Commit().ok());
+  // Read-your-writes continues after the transaction.
+  auto r = bob_->Read("t", "mine");
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.outcome.served_by, webcache::ServedBy::kClientCache);
+  EXPECT_EQ(r.doc.Find("v")->as_int(), 7);
+}
+
+TEST_F(TransactionTest, UpdateOfMissingTargetAborts) {
+  ClientTransaction tx(bob_.get());
+  db::Update u;
+  u.Set("v", db::Value(1));
+  tx.Update("t", "nope", u);
+  EXPECT_TRUE(tx.Commit().status().IsAborted());
+}
+
+TEST_F(TransactionTest, CounterStats) {
+  ASSERT_TRUE(alice_->Insert("t", "x", Doc(R"({"v":1})")).ok());
+  ClientTransaction ok_tx(bob_.get());
+  (void)ok_tx.Read("t", "x");
+  ASSERT_TRUE(ok_tx.Commit().ok());
+
+  ClientTransaction bad_tx(bob_.get());
+  (void)bad_tx.Read("t", "x");
+  db::Update u;
+  u.Set("v", db::Value(2));
+  ASSERT_TRUE(alice_->Update("t", "x", u).ok());
+  ASSERT_TRUE(bad_tx.Commit().status().IsAborted());
+
+  EXPECT_EQ(server_->transactions().committed_count(), 1u);
+  EXPECT_EQ(server_->transactions().aborted_count(), 1u);
+}
+
+}  // namespace
+}  // namespace quaestor::client

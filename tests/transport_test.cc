@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "db/query.h"
+#include "invalidb/transport.h"
+#include "kv/kv_store.h"
+
+namespace quaestor::invalidb {
+namespace {
+
+db::Value Doc(const char* json) {
+  auto v = db::Value::FromJson(json);
+  EXPECT_TRUE(v.ok());
+  return v.value();
+}
+
+db::Query Q(const char* table, const char* filter) {
+  auto q = db::Query::ParseJson(table, filter);
+  EXPECT_TRUE(q.ok());
+  return q.value();
+}
+
+db::ChangeEvent Change(const char* table, const char* id, const char* body,
+                       Micros at = 0) {
+  db::ChangeEvent ev;
+  ev.kind = db::WriteKind::kUpdate;
+  ev.after.table = table;
+  ev.after.id = id;
+  ev.after.body = Doc(body);
+  ev.after.write_time = at;
+  ev.commit_time = at;
+  return ev;
+}
+
+// ---------------------------------------------------------------------------
+// Query spec round trips (wire format prerequisite)
+// ---------------------------------------------------------------------------
+
+TEST(QuerySpecTest, StatelessRoundTrip) {
+  db::Query q = Q("posts", R"({"tags":{"$contains":"x"},"n":{"$gte":3}})");
+  auto back = db::Query::FromSpec(q.ToSpec());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->NormalizedKey(), q.NormalizedKey());
+}
+
+TEST(QuerySpecTest, StatefulRoundTrip) {
+  db::Query q = Q("posts", R"({"$or":[{"a":1},{"b":{"$lt":2}}]})");
+  q.SetOrderBy({{"score", false}, {"title", true}}).SetLimit(5).SetOffset(2);
+  auto back = db::Query::FromSpec(q.ToSpec());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NormalizedKey(), q.NormalizedKey());
+  EXPECT_EQ(back->limit(), 5);
+  EXPECT_EQ(back->offset(), 2);
+  ASSERT_EQ(back->order_by().size(), 2u);
+  EXPECT_FALSE(back->order_by()[0].ascending);
+}
+
+TEST(QuerySpecTest, NotAndEmptyRoundTrip) {
+  db::Query q = Q("t", R"({"$not":{"a":1}})");
+  auto back = db::Query::FromSpec(q.ToSpec());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NormalizedKey(), q.NormalizedKey());
+  db::Query empty = Q("t", "{}");
+  auto back2 = db::Query::FromSpec(empty.ToSpec());
+  ASSERT_TRUE(back2.ok());
+  EXPECT_EQ(back2->NormalizedKey(), empty.NormalizedKey());
+}
+
+TEST(QuerySpecTest, RejectsMalformed) {
+  EXPECT_FALSE(db::Query::FromSpec(db::Value(5)).ok());
+  EXPECT_FALSE(db::Query::FromSpec(Doc(R"({"filter":{}})")).ok());
+  EXPECT_FALSE(db::Query::FromSpec(Doc(R"({"table":"t"})")).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Message encode/decode
+// ---------------------------------------------------------------------------
+
+TEST(TransportCodecTest, NotificationRoundTrip) {
+  Notification n;
+  n.type = NotificationType::kChangeIndex;
+  n.query_key = "q:t?a $eq 1";
+  n.record_id = "d7";
+  n.event_time = 12345;
+  n.new_index = 3;
+  auto back = transport::DecodeNotification(transport::EncodeNotification(n));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->type, n.type);
+  EXPECT_EQ(back->query_key, n.query_key);
+  EXPECT_EQ(back->record_id, n.record_id);
+  EXPECT_EQ(back->event_time, n.event_time);
+  EXPECT_EQ(back->new_index, n.new_index);
+}
+
+TEST(TransportCodecTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(transport::DecodeNotification("not json").ok());
+  EXPECT_FALSE(transport::DecodeNotification("{}").ok());
+  EXPECT_FALSE(transport::DecodeNotification(R"({"type":"x"})").ok());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end over the message queues
+// ---------------------------------------------------------------------------
+
+class TransportTest : public ::testing::Test {
+ protected:
+  TransportTest()
+      : clock_(0),
+        kv_(&clock_),
+        remote_(&kv_, "invalidb",
+                [this](const Notification& n) { received_.push_back(n); }),
+        worker_(&clock_, &kv_, "invalidb") {}
+
+  SimulatedClock clock_;
+  kv::KvStore kv_;
+  std::vector<Notification> received_;
+  InvalidbRemote remote_;
+  InvalidbWorker worker_;
+};
+
+TEST_F(TransportTest, RegisterMatchNotifyRoundTrip) {
+  db::Query q = Q("posts", R"({"g":1})");
+  remote_.RegisterQuery(q, {}, kEventsAll);
+  remote_.OnChange(Change("posts", "p1", R"({"g":1})", 42));
+  EXPECT_EQ(worker_.ProcessPending(), 2u);
+  EXPECT_EQ(remote_.DrainNotifications(), 1u);
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].type, NotificationType::kAdd);
+  EXPECT_EQ(received_[0].record_id, "p1");
+  EXPECT_EQ(received_[0].event_time, 42);
+  EXPECT_EQ(received_[0].query_key, q.NormalizedKey());
+}
+
+TEST_F(TransportTest, InitialResultShipsOverTheWire) {
+  db::Query q = Q("posts", R"({"g":1})");
+  db::Document init;
+  init.table = "posts";
+  init.id = "p1";
+  init.body = Doc(R"({"g":1})");
+  remote_.RegisterQuery(q, {init}, kEventsAll);
+  // In-place change of a shipped member: change, not add.
+  remote_.OnChange(Change("posts", "p1", R"({"g":1,"views":1})"));
+  worker_.ProcessPending();
+  remote_.DrainNotifications();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].type, NotificationType::kChange);
+}
+
+TEST_F(TransportTest, DeregisterOverTheWire) {
+  db::Query q = Q("posts", R"({"g":1})");
+  remote_.RegisterQuery(q, {}, kEventsAll);
+  worker_.ProcessPending();
+  EXPECT_TRUE(worker_.cluster().IsRegistered(q.NormalizedKey()));
+  remote_.DeregisterQuery(q.NormalizedKey());
+  remote_.OnChange(Change("posts", "p1", R"({"g":1})"));
+  worker_.ProcessPending();
+  EXPECT_FALSE(worker_.cluster().IsRegistered(q.NormalizedKey()));
+  EXPECT_EQ(remote_.DrainNotifications(), 0u);
+}
+
+TEST_F(TransportTest, StatefulQueryOverTheWire) {
+  db::Query q = Q("posts", "{}");
+  q.SetOrderBy({{"score", false}}).SetLimit(1);
+  db::Document a;
+  a.table = "posts";
+  a.id = "a";
+  a.body = Doc(R"({"score":10})");
+  remote_.RegisterQuery(q, {a}, kEventsAll);
+  remote_.OnChange(Change("posts", "b", R"({"score":99})"));
+  worker_.ProcessPending();
+  remote_.DrainNotifications();
+  // b displaces a in the window: remove a + add b.
+  ASSERT_EQ(received_.size(), 2u);
+  EXPECT_EQ(received_[0].type, NotificationType::kRemove);
+  EXPECT_EQ(received_[0].record_id, "a");
+  EXPECT_EQ(received_[1].type, NotificationType::kAdd);
+  EXPECT_EQ(received_[1].new_index, 0);
+}
+
+TEST_F(TransportTest, MalformedMessagesCountedAndSkipped) {
+  kv_.QueuePush("invalidb:requests", "garbage");
+  kv_.QueuePush("invalidb:requests", R"({"op":"unknown"})");
+  kv_.QueuePush("invalidb:requests", R"({"op":"register"})");
+  db::Query q = Q("posts", R"({"g":1})");
+  remote_.RegisterQuery(q, {}, kEventsAll);
+  EXPECT_EQ(worker_.ProcessPending(), 4u);
+  EXPECT_EQ(worker_.decode_errors(), 3u);
+  EXPECT_TRUE(worker_.cluster().IsRegistered(q.NormalizedKey()));
+}
+
+TEST_F(TransportTest, BackgroundThreadsDeliver) {
+  std::atomic<int> count{0};
+  InvalidbRemote remote(&kv_, "bg", [&](const Notification&) { count++; });
+  InvalidbWorker worker(SystemClock::Default(), &kv_, "bg");
+  worker.Start();
+  remote.StartPolling();
+
+  db::Query q = Q("posts", R"({"g":{"$gte":0}})");
+  remote.RegisterQuery(q, {}, kEventsAll);
+  for (int i = 0; i < 50; ++i) {
+    remote.OnChange(Change("posts", ("p" + std::to_string(i)).c_str(),
+                           R"({"g":1})"));
+  }
+  // Wait for the pipeline to drain.
+  for (int spin = 0; spin < 500 && count.load() < 50; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  remote.StopPolling();
+  worker.Stop();
+  EXPECT_EQ(count.load(), 50);
+}
+
+}  // namespace
+}  // namespace quaestor::invalidb

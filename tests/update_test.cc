@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "db/update.h"
+#include "db/value.h"
+
+namespace quaestor::db {
+namespace {
+
+Value Doc(const char* json) {
+  auto v = Value::FromJson(json);
+  EXPECT_TRUE(v.ok());
+  return v.value();
+}
+
+TEST(UpdateTest, SetCreatesAndOverwrites) {
+  Value doc = Doc(R"({"a":1})");
+  Update u;
+  u.Set("a", Value(2)).Set("b.c", Value("x"));
+  ASSERT_TRUE(u.ApplyTo(doc).ok());
+  EXPECT_EQ(doc.Find("a")->as_int(), 2);
+  EXPECT_EQ(doc.Find("b.c")->as_string(), "x");
+}
+
+TEST(UpdateTest, UnsetRemoves) {
+  Value doc = Doc(R"({"a":1,"b":{"c":2}})");
+  Update u;
+  u.Unset("b.c");
+  ASSERT_TRUE(u.ApplyTo(doc).ok());
+  EXPECT_EQ(doc.Find("b.c"), nullptr);
+  EXPECT_NE(doc.Find("a"), nullptr);
+}
+
+TEST(UpdateTest, UnsetMissingIsNoop) {
+  Value doc = Doc(R"({"a":1})");
+  Update u;
+  u.Unset("zzz");
+  ASSERT_TRUE(u.ApplyTo(doc).ok());
+  EXPECT_EQ(doc, Doc(R"({"a":1})"));
+}
+
+TEST(UpdateTest, IncIntegers) {
+  Value doc = Doc(R"({"n":5})");
+  Update u;
+  u.Inc("n", Value(3));
+  ASSERT_TRUE(u.ApplyTo(doc).ok());
+  ASSERT_TRUE(doc.Find("n")->is_int());
+  EXPECT_EQ(doc.Find("n")->as_int(), 8);
+}
+
+TEST(UpdateTest, IncCreatesFromZero) {
+  Value doc = Doc("{}");
+  Update u;
+  u.Inc("n", Value(7));
+  ASSERT_TRUE(u.ApplyTo(doc).ok());
+  EXPECT_EQ(doc.Find("n")->as_int(), 7);
+}
+
+TEST(UpdateTest, IncMixedBecomesDouble) {
+  Value doc = Doc(R"({"n":1})");
+  Update u;
+  u.Inc("n", Value(0.5));
+  ASSERT_TRUE(u.ApplyTo(doc).ok());
+  EXPECT_DOUBLE_EQ(doc.Find("n")->as_number(), 1.5);
+}
+
+TEST(UpdateTest, IncNonNumberFails) {
+  Value doc = Doc(R"({"n":"text"})");
+  Update u;
+  u.Inc("n", Value(1));
+  EXPECT_FALSE(u.ApplyTo(doc).ok());
+  // Document unchanged on failure.
+  EXPECT_EQ(doc.Find("n")->as_string(), "text");
+}
+
+TEST(UpdateTest, PushAppends) {
+  Value doc = Doc(R"({"tags":["a"]})");
+  Update u;
+  u.Push("tags", Value("b"));
+  ASSERT_TRUE(u.ApplyTo(doc).ok());
+  EXPECT_EQ(doc.Find("tags")->as_array().size(), 2u);
+  EXPECT_EQ(doc.Find("tags.1")->as_string(), "b");
+}
+
+TEST(UpdateTest, PushCreatesArray) {
+  Value doc = Doc("{}");
+  Update u;
+  u.Push("tags", Value("x"));
+  ASSERT_TRUE(u.ApplyTo(doc).ok());
+  EXPECT_EQ(doc.Find("tags")->as_array().size(), 1u);
+}
+
+TEST(UpdateTest, PushOnScalarFails) {
+  Value doc = Doc(R"({"tags":1})");
+  Update u;
+  u.Push("tags", Value("x"));
+  EXPECT_FALSE(u.ApplyTo(doc).ok());
+}
+
+TEST(UpdateTest, PullRemovesAllMatches) {
+  Value doc = Doc(R"({"tags":["a","b","a"]})");
+  Update u;
+  u.Pull("tags", Value("a"));
+  ASSERT_TRUE(u.ApplyTo(doc).ok());
+  const Array& tags = doc.Find("tags")->as_array();
+  ASSERT_EQ(tags.size(), 1u);
+  EXPECT_EQ(tags[0].as_string(), "b");
+}
+
+TEST(UpdateTest, PullFromMissingIsNoop) {
+  Value doc = Doc("{}");
+  Update u;
+  u.Pull("tags", Value("a"));
+  EXPECT_TRUE(u.ApplyTo(doc).ok());
+}
+
+TEST(UpdateTest, ActionsApplyInOrder) {
+  Value doc = Doc(R"({"n":1})");
+  Update u;
+  u.Set("n", Value(10)).Inc("n", Value(5)).Set("m", Value(0));
+  ASSERT_TRUE(u.ApplyTo(doc).ok());
+  EXPECT_EQ(doc.Find("n")->as_int(), 15);
+}
+
+TEST(UpdateTest, AtomicityOnFailure) {
+  Value doc = Doc(R"({"a":1,"s":"x"})");
+  Update u;
+  u.Set("a", Value(2)).Inc("s", Value(1));  // second action fails
+  EXPECT_FALSE(u.ApplyTo(doc).ok());
+  EXPECT_EQ(doc.Find("a")->as_int(), 1);  // first action rolled back
+}
+
+TEST(UpdateTest, NonObjectBodyRejected) {
+  Value doc = Value(5);
+  Update u;
+  u.Set("a", Value(1));
+  EXPECT_FALSE(u.ApplyTo(doc).ok());
+}
+
+TEST(UpdateParseTest, ParsesAllOperators) {
+  auto spec = Value::FromJson(
+      R"({"$set":{"a":1},"$unset":{"b":1},"$inc":{"n":2},
+          "$push":{"t":"x"},"$pull":{"t":"y"}})");
+  ASSERT_TRUE(spec.ok());
+  auto u = Update::Parse(spec.value());
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->actions().size(), 5u);
+}
+
+TEST(UpdateParseTest, RejectsUnknownOperator) {
+  auto spec = Value::FromJson(R"({"$rename":{"a":"b"}})");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(Update::Parse(spec.value()).ok());
+}
+
+TEST(UpdateParseTest, RejectsEmptyUpdate) {
+  auto spec = Value::FromJson("{}");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(Update::Parse(spec.value()).ok());
+}
+
+TEST(UpdateParseTest, RejectsNonObjectOperand) {
+  auto spec = Value::FromJson(R"({"$set":5})");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(Update::Parse(spec.value()).ok());
+}
+
+TEST(UpdateParseTest, ParsedUpdateApplies) {
+  auto spec = Value::FromJson(R"({"$set":{"x":1},"$inc":{"n":1}})");
+  ASSERT_TRUE(spec.ok());
+  auto u = Update::Parse(spec.value());
+  ASSERT_TRUE(u.ok());
+  Value doc = Doc(R"({"n":41})");
+  ASSERT_TRUE(u->ApplyTo(doc).ok());
+  EXPECT_EQ(doc.Find("x")->as_int(), 1);
+  EXPECT_EQ(doc.Find("n")->as_int(), 42);
+}
+
+}  // namespace
+}  // namespace quaestor::db

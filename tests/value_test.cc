@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "db/value.h"
+
+namespace quaestor::db {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(nullptr).is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(42).is_int());
+  EXPECT_TRUE(Value(int64_t{42}).is_int());
+  EXPECT_TRUE(Value(3.14).is_double());
+  EXPECT_TRUE(Value(42).is_number());
+  EXPECT_TRUE(Value(3.14).is_number());
+  EXPECT_TRUE(Value("hi").is_string());
+  EXPECT_TRUE(Value(Array{}).is_array());
+  EXPECT_TRUE(Value(Object{}).is_object());
+
+  EXPECT_EQ(Value(42).as_int(), 42);
+  EXPECT_DOUBLE_EQ(Value(3.14).as_double(), 3.14);
+  EXPECT_DOUBLE_EQ(Value(42).as_number(), 42.0);
+  EXPECT_EQ(Value("hi").as_string(), "hi");
+}
+
+TEST(ValueTest, NumericEqualityAcrossIntDouble) {
+  EXPECT_EQ(Value(1), Value(1.0));
+  EXPECT_NE(Value(1), Value(1.5));
+  EXPECT_EQ(Value(0), Value(0.0));
+}
+
+TEST(ValueTest, DeepEquality) {
+  Object a;
+  a["x"] = Value(1);
+  a["y"] = Value(Array{Value("a"), Value("b")});
+  Object b = a;
+  EXPECT_EQ(Value(a), Value(b));
+  b["y"].as_array().push_back(Value("c"));
+  EXPECT_NE(Value(a), Value(b));
+}
+
+TEST(ValueTest, CompareTotalOrder) {
+  // null < bool < number < string < array < object
+  EXPECT_LT(Value::Compare(Value(), Value(false)), 0);
+  EXPECT_LT(Value::Compare(Value(true), Value(0)), 0);
+  EXPECT_LT(Value::Compare(Value(99), Value("a")), 0);
+  EXPECT_LT(Value::Compare(Value("zzz"), Value(Array{})), 0);
+  EXPECT_LT(Value::Compare(Value(Array{}), Value(Object{})), 0);
+
+  EXPECT_LT(Value::Compare(Value(1), Value(2)), 0);
+  EXPECT_GT(Value::Compare(Value(2.5), Value(2)), 0);
+  EXPECT_EQ(Value::Compare(Value("abc"), Value("abc")), 0);
+  EXPECT_LT(Value::Compare(Value("abc"), Value("abd")), 0);
+}
+
+TEST(ValueTest, CompareArraysLexicographically) {
+  Array a{Value(1), Value(2)};
+  Array b{Value(1), Value(3)};
+  Array c{Value(1), Value(2), Value(0)};
+  EXPECT_LT(Value::Compare(Value(a), Value(b)), 0);
+  EXPECT_LT(Value::Compare(Value(a), Value(c)), 0);  // prefix < longer
+}
+
+TEST(ValueTest, FindDotPath) {
+  auto v = Value::FromJson(
+      R"({"author":{"name":"ada","langs":["c","lisp"]},"n":5})");
+  ASSERT_TRUE(v.ok());
+  const Value& root = v.value();
+  ASSERT_NE(root.Find("author.name"), nullptr);
+  EXPECT_EQ(root.Find("author.name")->as_string(), "ada");
+  ASSERT_NE(root.Find("author.langs.1"), nullptr);
+  EXPECT_EQ(root.Find("author.langs.1")->as_string(), "lisp");
+  EXPECT_EQ(root.Find("author.missing"), nullptr);
+  EXPECT_EQ(root.Find("author.langs.9"), nullptr);
+  EXPECT_EQ(root.Find("n.x"), nullptr);  // traversing a scalar
+  EXPECT_EQ(root.Find("n")->as_int(), 5);
+}
+
+TEST(ValueTest, SetPathCreatesIntermediates) {
+  Value v = Object{};
+  ASSERT_TRUE(v.SetPath("a.b.c", Value(7)).ok());
+  ASSERT_NE(v.Find("a.b.c"), nullptr);
+  EXPECT_EQ(v.Find("a.b.c")->as_int(), 7);
+}
+
+TEST(ValueTest, SetPathFailsThroughScalar) {
+  Value v = Object{};
+  ASSERT_TRUE(v.SetPath("a", Value(1)).ok());
+  EXPECT_FALSE(v.SetPath("a.b", Value(2)).ok());
+}
+
+TEST(ValueTest, RemovePath) {
+  Value v = Object{};
+  ASSERT_TRUE(v.SetPath("a.b", Value(1)).ok());
+  EXPECT_TRUE(v.RemovePath("a.b"));
+  EXPECT_EQ(v.Find("a.b"), nullptr);
+  EXPECT_NE(v.Find("a"), nullptr);  // parent remains
+  EXPECT_FALSE(v.RemovePath("a.b"));  // already gone
+  EXPECT_FALSE(v.RemovePath("zzz"));
+}
+
+// ---------------------------------------------------------------------------
+// JSON round-trips (parameterized)
+// ---------------------------------------------------------------------------
+
+class JsonRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRoundTripTest, ParseSerializeParse) {
+  auto first = Value::FromJson(GetParam());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const std::string serialized = first->ToJson();
+  auto second = Value::FromJson(serialized);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(first.value(), second.value());
+  // Canonical form is a fixed point.
+  EXPECT_EQ(serialized, second->ToJson());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, JsonRoundTripTest,
+    ::testing::Values(
+        "null", "true", "false", "0", "-1", "42", "3.5", "-2.25", "1e10",
+        "\"\"", "\"hello\"", "\"with \\\"quotes\\\"\"",
+        "\"tab\\tnewline\\n\"", "[]", "[1,2,3]", "[[1],[2,[3]]]",
+        "{}", "{\"a\":1}", "{\"a\":{\"b\":[1,2,{\"c\":null}]}}",
+        "{\"z\":1,\"a\":2}", "[1,\"two\",3.5,null,true,{}]",
+        "9223372036854775807", "{\"unicode\":\"\\u00e9\\u4e2d\"}"));
+
+TEST(JsonTest, CanonicalObjectKeysSorted) {
+  auto v = Value::FromJson(R"({"z":1,"a":2,"m":3})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToJson(), R"({"a":2,"m":3,"z":1})");
+}
+
+TEST(JsonTest, RejectsMalformed) {
+  EXPECT_FALSE(Value::FromJson("").ok());
+  EXPECT_FALSE(Value::FromJson("{").ok());
+  EXPECT_FALSE(Value::FromJson("[1,").ok());
+  EXPECT_FALSE(Value::FromJson("{\"a\"}").ok());
+  EXPECT_FALSE(Value::FromJson("{\"a\":1,}").ok());
+  EXPECT_FALSE(Value::FromJson("tru").ok());
+  EXPECT_FALSE(Value::FromJson("\"unterminated").ok());
+  EXPECT_FALSE(Value::FromJson("1 2").ok());
+  EXPECT_FALSE(Value::FromJson("nulll").ok());
+}
+
+TEST(JsonTest, ParsesNestedWhitespace) {
+  auto v = Value::FromJson("  { \"a\" : [ 1 , 2 ] , \"b\" : null }  ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Find("a.0")->as_int(), 1);
+}
+
+TEST(JsonTest, IntegerPreservation) {
+  auto v = Value::FromJson("9007199254740993");  // > 2^53: double would lose it
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_int());
+  EXPECT_EQ(v->as_int(), 9007199254740993LL);
+}
+
+TEST(JsonTest, DoubleRoundTripsShortest) {
+  Value v(0.1);
+  EXPECT_EQ(v.ToJson(), "0.1");
+  auto parsed = Value::FromJson("0.1");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->as_double(), 0.1);
+}
+
+TEST(JsonTest, EscapedControlCharacters) {
+  Value v(std::string("a\x01z"));
+  const std::string json = v.ToJson();
+  auto parsed = Value::FromJson(json);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), v);
+}
+
+}  // namespace
+}  // namespace quaestor::db

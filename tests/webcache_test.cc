@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/clock.h"
+#include "webcache/hierarchy.h"
+#include "webcache/web_cache.h"
+
+namespace quaestor::webcache {
+namespace {
+
+constexpr Micros kSecond = kMicrosPerSecond;
+
+// ---------------------------------------------------------------------------
+// ExpirationCache
+// ---------------------------------------------------------------------------
+
+TEST(ExpirationCacheTest, ServesFreshEntries) {
+  SimulatedClock clock(0);
+  ExpirationCache cache(&clock);
+  cache.Put("k", "body", /*etag=*/1, /*ttl=*/10 * kSecond);
+  auto hit = cache.Get("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->body, "body");
+  EXPECT_EQ(hit->etag, 1u);
+}
+
+TEST(ExpirationCacheTest, ExpiresAfterTtl) {
+  SimulatedClock clock(0);
+  ExpirationCache cache(&clock);
+  cache.Put("k", "body", 1, 10 * kSecond);
+  clock.Advance(10 * kSecond);
+  EXPECT_FALSE(cache.Get("k").has_value());
+  // The entry is still retrievable for conditional revalidation.
+  EXPECT_TRUE(cache.GetEvenIfExpired("k").has_value());
+}
+
+TEST(ExpirationCacheTest, ZeroTtlNotStored) {
+  SimulatedClock clock(0);
+  ExpirationCache cache(&clock);
+  cache.Put("k", "body", 1, 0);
+  EXPECT_EQ(cache.Size(), 0u);
+  EXPECT_FALSE(cache.Get("k").has_value());
+}
+
+TEST(ExpirationCacheTest, PutRefreshesEntry) {
+  SimulatedClock clock(0);
+  ExpirationCache cache(&clock);
+  cache.Put("k", "v1", 1, 5 * kSecond);
+  clock.Advance(4 * kSecond);
+  cache.Put("k", "v2", 2, 5 * kSecond);
+  clock.Advance(4 * kSecond);  // old TTL would have expired
+  auto hit = cache.Get("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->body, "v2");
+}
+
+TEST(ExpirationCacheTest, StatsDistinguishMissKinds) {
+  SimulatedClock clock(0);
+  ExpirationCache cache(&clock);
+  (void)cache.Get("absent");
+  cache.Put("k", "v", 1, 1 * kSecond);
+  clock.Advance(2 * kSecond);
+  (void)cache.Get("k");
+  (void)cache.Get("k");
+  cache.Put("k2", "v", 1, 10 * kSecond);
+  (void)cache.Get("k2");
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.expired_misses, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.insertions, 2u);
+  EXPECT_NEAR(s.HitRate(), 0.25, 1e-9);
+}
+
+TEST(ExpirationCacheTest, LruEvictsLeastRecentlyUsed) {
+  SimulatedClock clock(0);
+  ExpirationCache cache(&clock, /*max_entries=*/2);
+  cache.Put("a", "1", 1, 100 * kSecond);
+  cache.Put("b", "2", 1, 100 * kSecond);
+  (void)cache.Get("a");              // a is now most recent
+  cache.Put("c", "3", 1, 100 * kSecond);  // evicts b
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ExpirationCacheTest, RemoveDropsEntry) {
+  SimulatedClock clock(0);
+  ExpirationCache cache(&clock);
+  cache.Put("k", "v", 1, 10 * kSecond);
+  EXPECT_TRUE(cache.Remove("k"));
+  EXPECT_FALSE(cache.Remove("k"));
+  EXPECT_FALSE(cache.Get("k").has_value());
+  EXPECT_FALSE(cache.GetEvenIfExpired("k").has_value());
+}
+
+TEST(InvalidationCacheTest, PurgeRemovesEntry) {
+  SimulatedClock clock(0);
+  InvalidationCache cdn(&clock);
+  cdn.Put("k", "v", 1, 100 * kSecond);
+  EXPECT_TRUE(cdn.Purge("k"));
+  EXPECT_FALSE(cdn.Get("k").has_value());
+  EXPECT_FALSE(cdn.Purge("k"));
+  EXPECT_EQ(cdn.PurgeCount(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchy
+// ---------------------------------------------------------------------------
+
+/// A scripted origin that counts fetches and serves a fixed body/version.
+class FakeOrigin : public Origin {
+ public:
+  HttpResponse Fetch(const HttpRequest& request) override {
+    fetches++;
+    last_request = request;
+    HttpResponse resp;
+    if (!exists) return resp;
+    resp.ok = true;
+    resp.etag = version;
+    resp.ttl = ttl;
+    if (request.has_if_none_match && request.if_none_match == version) {
+      resp.not_modified = true;
+      not_modified_count++;
+    } else {
+      resp.body = body;
+    }
+    return resp;
+  }
+
+  int fetches = 0;
+  int not_modified_count = 0;
+  bool exists = true;
+  std::string body = "origin-body";
+  uint64_t version = 1;
+  Micros ttl = 60 * kSecond;
+  HttpRequest last_request;
+};
+
+class HierarchyTest : public ::testing::Test {
+ protected:
+  HierarchyTest()
+      : clock_(0),
+        client_cache_(&clock_),
+        cdn_(&clock_),
+        hierarchy_(&clock_, &client_cache_, nullptr, &cdn_, &origin_) {}
+
+  SimulatedClock clock_;
+  ExpirationCache client_cache_;
+  InvalidationCache cdn_;
+  FakeOrigin origin_;
+  CacheHierarchy hierarchy_;
+};
+
+TEST_F(HierarchyTest, MissGoesToOriginAndFillsCaches) {
+  FetchOutcome fo = hierarchy_.Fetch("k", FetchMode::kNormal);
+  ASSERT_TRUE(fo.ok);
+  EXPECT_EQ(fo.served_by, ServedBy::kOrigin);
+  EXPECT_EQ(fo.body, "origin-body");
+  EXPECT_DOUBLE_EQ(fo.latency_ms, hierarchy_.latency_model().origin_ms);
+  EXPECT_EQ(fo.remaining_ttl, 60 * kSecond);
+  EXPECT_EQ(client_cache_.Size(), 1u);
+  EXPECT_EQ(cdn_.Size(), 1u);
+}
+
+TEST_F(HierarchyTest, SecondFetchHitsClientCache) {
+  (void)hierarchy_.Fetch("k", FetchMode::kNormal);
+  FetchOutcome fo = hierarchy_.Fetch("k", FetchMode::kNormal);
+  EXPECT_EQ(fo.served_by, ServedBy::kClientCache);
+  EXPECT_DOUBLE_EQ(fo.latency_ms, 0.0);
+  EXPECT_EQ(origin_.fetches, 1);
+}
+
+TEST_F(HierarchyTest, CdnHitAfterClientExpiry) {
+  origin_.ttl = 10 * kSecond;
+  (void)hierarchy_.Fetch("k", FetchMode::kNormal);
+  // Drop only the client copy; the CDN still holds it.
+  client_cache_.Remove("k");
+  FetchOutcome fo = hierarchy_.Fetch("k", FetchMode::kNormal);
+  EXPECT_EQ(fo.served_by, ServedBy::kInvalidationCache);
+  EXPECT_DOUBLE_EQ(fo.latency_ms, hierarchy_.latency_model().cdn_ms);
+  EXPECT_EQ(origin_.fetches, 1);
+  // The CDN hit re-fills the client cache with the remaining TTL.
+  EXPECT_TRUE(client_cache_.Get("k").has_value());
+}
+
+TEST_F(HierarchyTest, CdnHitRemainingTtlShrinks) {
+  origin_.ttl = 10 * kSecond;
+  (void)hierarchy_.Fetch("k", FetchMode::kNormal);
+  client_cache_.Remove("k");
+  clock_.Advance(4 * kSecond);
+  FetchOutcome fo = hierarchy_.Fetch("k", FetchMode::kNormal);
+  EXPECT_EQ(fo.served_by, ServedBy::kInvalidationCache);
+  EXPECT_EQ(fo.remaining_ttl, 6 * kSecond);
+  // Client copy expires when the CDN copy would have.
+  clock_.Advance(6 * kSecond);
+  EXPECT_FALSE(client_cache_.Get("k").has_value());
+}
+
+TEST_F(HierarchyTest, RevalidateBypassesCaches) {
+  (void)hierarchy_.Fetch("k", FetchMode::kNormal);
+  origin_.body = "new-body";
+  origin_.version = 2;
+  FetchOutcome fo = hierarchy_.Fetch("k", FetchMode::kRevalidate);
+  EXPECT_EQ(fo.served_by, ServedBy::kOrigin);
+  EXPECT_EQ(fo.body, "new-body");
+  EXPECT_EQ(fo.etag, 2u);
+  // Caches refreshed with the new version.
+  EXPECT_EQ(client_cache_.Get("k")->etag, 2u);
+  EXPECT_EQ(cdn_.Get("k")->etag, 2u);
+}
+
+TEST_F(HierarchyTest, RevalidateUses304WhenUnchanged) {
+  (void)hierarchy_.Fetch("k", FetchMode::kNormal);
+  FetchOutcome fo = hierarchy_.Fetch("k", FetchMode::kRevalidate);
+  ASSERT_TRUE(fo.ok);
+  EXPECT_EQ(origin_.not_modified_count, 1);
+  EXPECT_EQ(fo.body, "origin-body");  // body restored from stored copy
+  EXPECT_TRUE(origin_.last_request.has_if_none_match);
+}
+
+TEST_F(HierarchyTest, RevalidateAtCdnServedByCdn) {
+  (void)hierarchy_.Fetch("k", FetchMode::kNormal);
+  FetchOutcome fo = hierarchy_.Fetch("k", FetchMode::kRevalidateAtCdn);
+  EXPECT_EQ(fo.served_by, ServedBy::kInvalidationCache);
+  EXPECT_EQ(origin_.fetches, 1);
+}
+
+TEST_F(HierarchyTest, RevalidateAtCdnFallsThroughAfterPurge) {
+  (void)hierarchy_.Fetch("k", FetchMode::kNormal);
+  cdn_.Purge("k");
+  FetchOutcome fo = hierarchy_.Fetch("k", FetchMode::kRevalidateAtCdn);
+  EXPECT_EQ(fo.served_by, ServedBy::kOrigin);
+  EXPECT_EQ(origin_.fetches, 2);
+}
+
+TEST_F(HierarchyTest, NotFoundPropagates) {
+  origin_.exists = false;
+  FetchOutcome fo = hierarchy_.Fetch("k", FetchMode::kNormal);
+  EXPECT_FALSE(fo.ok);
+  EXPECT_EQ(fo.served_by, ServedBy::kOrigin);
+  EXPECT_EQ(client_cache_.Size(), 0u);
+}
+
+TEST_F(HierarchyTest, UncacheableResponsesNotStored) {
+  origin_.ttl = 0;
+  FetchOutcome fo = hierarchy_.Fetch("k", FetchMode::kNormal);
+  ASSERT_TRUE(fo.ok);
+  EXPECT_EQ(client_cache_.Size(), 0u);
+  EXPECT_EQ(cdn_.Size(), 0u);
+  // Every fetch reaches the origin.
+  (void)hierarchy_.Fetch("k", FetchMode::kNormal);
+  EXPECT_EQ(origin_.fetches, 2);
+}
+
+TEST(HierarchyBaselinesTest, UncachedAlwaysHitsOrigin) {
+  SimulatedClock clock(0);
+  FakeOrigin origin;
+  CacheHierarchy bare(&clock, nullptr, nullptr, nullptr, &origin);
+  for (int i = 0; i < 3; ++i) {
+    FetchOutcome fo = bare.Fetch("k", FetchMode::kNormal);
+    EXPECT_EQ(fo.served_by, ServedBy::kOrigin);
+  }
+  EXPECT_EQ(origin.fetches, 3);
+}
+
+TEST(HierarchyBaselinesTest, CdnOnlyServesFromCdn) {
+  SimulatedClock clock(0);
+  FakeOrigin origin;
+  InvalidationCache cdn(&clock);
+  CacheHierarchy h(&clock, nullptr, nullptr, &cdn, &origin);
+  (void)h.Fetch("k", FetchMode::kNormal);
+  FetchOutcome fo = h.Fetch("k", FetchMode::kNormal);
+  EXPECT_EQ(fo.served_by, ServedBy::kInvalidationCache);
+  EXPECT_EQ(origin.fetches, 1);
+}
+
+TEST(HierarchyProxyTest, ProxyHopServesAndFillsClient) {
+  SimulatedClock clock(0);
+  FakeOrigin origin;
+  ExpirationCache client_cache(&clock);
+  ExpirationCache proxy(&clock);
+  InvalidationCache cdn(&clock);
+  CacheHierarchy h(&clock, &client_cache, &proxy, &cdn, &origin);
+  (void)h.Fetch("k", FetchMode::kNormal);
+  EXPECT_EQ(proxy.Size(), 1u);
+  client_cache.Remove("k");
+  FetchOutcome fo = h.Fetch("k", FetchMode::kNormal);
+  EXPECT_EQ(fo.served_by, ServedBy::kExpirationCache);
+  EXPECT_EQ(origin.fetches, 1);
+  EXPECT_TRUE(client_cache.Get("k").has_value());
+}
+
+}  // namespace
+}  // namespace quaestor::webcache

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/clock.h"
+#include "db/database.h"
+#include "workload/workload.h"
+
+namespace quaestor::workload {
+namespace {
+
+WorkloadOptions SmallOptions() {
+  WorkloadOptions opts;
+  opts.num_tables = 2;
+  opts.docs_per_table = 100;
+  opts.queries_per_table = 10;
+  opts.docs_per_query = 10;
+  return opts;
+}
+
+TEST(WorkloadTest, LoadPopulatesTables) {
+  SimulatedClock clock(0);
+  db::Database db(&clock);
+  WorkloadGenerator gen(SmallOptions(), 1);
+  gen.Load(&db);
+  EXPECT_EQ(db.TableNames().size(), 2u);
+  EXPECT_EQ(db.FindTable("t0")->LiveCount(), 100u);
+  EXPECT_EQ(db.FindTable("t1")->LiveCount(), 100u);
+}
+
+TEST(WorkloadTest, QueriesInitiallyMatchDocsPerQuery) {
+  SimulatedClock clock(0);
+  db::Database db(&clock);
+  WorkloadGenerator gen(SmallOptions(), 1);
+  gen.Load(&db);
+  for (const db::Query& q : gen.QueriesFor(0)) {
+    EXPECT_EQ(db.Execute(q).size(), 10u) << q.NormalizedKey();
+  }
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  WorkloadGenerator a(SmallOptions(), 99);
+  WorkloadGenerator b(SmallOptions(), 99);
+  for (int i = 0; i < 200; ++i) {
+    Operation oa = a.Next();
+    Operation ob = b.Next();
+    EXPECT_EQ(static_cast<int>(oa.type), static_cast<int>(ob.type));
+    EXPECT_EQ(oa.table, ob.table);
+    EXPECT_EQ(oa.id, ob.id);
+  }
+}
+
+TEST(WorkloadTest, OperationMixMatchesWeights) {
+  WorkloadOptions opts = SmallOptions();
+  opts.read_weight = 0.5;
+  opts.query_weight = 0.3;
+  opts.update_weight = 0.2;
+  WorkloadGenerator gen(opts, 7);
+  std::map<OpType, int> counts;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) counts[gen.Next().type]++;
+  EXPECT_NEAR(counts[OpType::kRead] / double(kSamples), 0.5, 0.02);
+  EXPECT_NEAR(counts[OpType::kQuery] / double(kSamples), 0.3, 0.02);
+  EXPECT_NEAR(counts[OpType::kUpdate] / double(kSamples), 0.2, 0.02);
+  EXPECT_EQ(counts[OpType::kInsert], 0);
+  EXPECT_EQ(counts[OpType::kDelete], 0);
+}
+
+TEST(WorkloadTest, ZipfMakesKeysSkewed) {
+  WorkloadOptions opts = SmallOptions();
+  opts.read_weight = 1.0;
+  opts.query_weight = 0.0;
+  opts.update_weight = 0.0;
+  opts.zipf_theta = 0.99;
+  WorkloadGenerator gen(opts, 5);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[gen.Next().id]++;
+  // The hottest key must be dramatically more popular than the median.
+  EXPECT_GT(counts["d0"], 2000);
+}
+
+TEST(WorkloadTest, UpdatesSplitMembershipVsState) {
+  WorkloadOptions opts = SmallOptions();
+  opts.read_weight = 0.0;
+  opts.query_weight = 0.0;
+  opts.update_weight = 1.0;
+  opts.membership_change_fraction = 0.5;
+  WorkloadGenerator gen(opts, 3);
+  int membership = 0;
+  int state = 0;
+  for (int i = 0; i < 5000; ++i) {
+    Operation op = gen.Next();
+    ASSERT_EQ(op.type, OpType::kUpdate);
+    ASSERT_EQ(op.update.actions().size(), 1u);
+    if (op.update.actions()[0].op == db::UpdateOp::kSet) {
+      EXPECT_EQ(op.update.actions()[0].path, "group");
+      membership++;
+    } else {
+      EXPECT_EQ(op.update.actions()[0].op, db::UpdateOp::kInc);
+      state++;
+    }
+  }
+  EXPECT_NEAR(membership / 5000.0, 0.5, 0.05);
+  EXPECT_NEAR(state / 5000.0, 0.5, 0.05);
+}
+
+TEST(WorkloadTest, MembershipUpdateChangesQueryResults) {
+  SimulatedClock clock(0);
+  db::Database db(&clock);
+  WorkloadOptions opts = SmallOptions();
+  WorkloadGenerator gen(opts, 1);
+  gen.Load(&db);
+  // Move d0 out of its initial group: that group's query shrinks, the
+  // target group's query grows.
+  const size_t from = gen.GroupOf(0);
+  const size_t to = (from + 1) % 10;
+  db::Update u;
+  u.Set("group", db::Value(static_cast<int64_t>(to)));
+  ASSERT_TRUE(db.Apply("t0", "d0", u).ok());
+  EXPECT_EQ(db.Execute(gen.QueriesFor(0)[from]).size(), 9u);
+  EXPECT_EQ(db.Execute(gen.QueriesFor(0)[to]).size(), 11u);
+}
+
+TEST(WorkloadTest, GroupPermutationIsBijective) {
+  WorkloadGenerator gen(SmallOptions(), 1);
+  std::vector<bool> seen(10, false);
+  for (size_t d = 0; d < 10; ++d) {
+    const size_t g = gen.GroupOf(d);
+    ASSERT_LT(g, 10u);
+    EXPECT_FALSE(seen[g]) << "group " << g << " assigned twice";
+    seen[g] = true;
+  }
+  // Hot doc 0 must not land in the hot query's group (decorrelation).
+  EXPECT_NE(gen.GroupOf(0), 0u);
+}
+
+TEST(WorkloadTest, InsertsGetFreshIds) {
+  WorkloadOptions opts = SmallOptions();
+  opts.read_weight = 0.0;
+  opts.query_weight = 0.0;
+  opts.update_weight = 0.0;
+  opts.insert_weight = 1.0;
+  WorkloadGenerator gen(opts, 1);
+  Operation a = gen.Next();
+  Operation b = gen.Next();
+  EXPECT_EQ(a.type, OpType::kInsert);
+  EXPECT_NE(a.id, b.id);
+  EXPECT_TRUE(a.body.is_object());
+}
+
+TEST(WorkloadTest, DocSchemaHasQueryableFields) {
+  WorkloadGenerator gen(SmallOptions(), 1);
+  db::Value doc = gen.MakeDoc(0, 17);
+  ASSERT_NE(doc.Find("group"), nullptr);
+  EXPECT_EQ(doc.Find("group")->as_int(),
+            static_cast<int64_t>(gen.GroupOf(17)));
+  EXPECT_NE(doc.Find("title"), nullptr);
+  EXPECT_NE(doc.Find("tags"), nullptr);
+  EXPECT_TRUE(doc.Find("tags")->is_array());
+}
+
+}  // namespace
+}  // namespace quaestor::workload
