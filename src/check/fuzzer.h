@@ -1,0 +1,99 @@
+#ifndef QUAESTOR_CHECK_FUZZER_H_
+#define QUAESTOR_CHECK_FUZZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/oracle.h"
+#include "client/client.h"
+#include "common/clock.h"
+
+namespace quaestor::check {
+
+/// What one fuzzed step does.
+enum class FuzzOpKind {
+  kRead,         // session reads a record through the cached path
+  kQuery,        // session executes a query through the cached path
+  kInsert,       // session inserts a record
+  kUpdate,       // session updates a record (value and/or group churn)
+  kDelete,       // session deletes a record
+  kTxn,          // session runs a small optimistic transaction
+  kEvictCache,   // injected fault: evict an entry from a session's cache
+  kDelayPurges,  // injected fault: change the CDN purge delivery delay
+  kChangeDelta,  // injected event: reconfigure ∆ for every session
+  kLiveCheck,    // assert the LiveQuery snapshot matches the database
+};
+
+std::string_view FuzzOpKindName(FuzzOpKind kind);
+
+/// One step of a fuzzed schedule. Generated fully upfront from the seed,
+/// so a schedule replays byte-identically and shrinks by removing ops.
+struct FuzzOp {
+  FuzzOpKind kind = FuzzOpKind::kRead;
+  size_t session = 0;
+  size_t key_index = 0;    // record ops / eviction victim pick
+  size_t query_index = 0;  // query ops
+  Micros gap = 0;          // simulated time between the previous op and this
+  int value = 0;           // payload discriminator (also drives group churn)
+  Micros new_purge_delay = 0;  // kDelayPurges
+  Micros new_delta = 0;        // kChangeDelta
+};
+
+/// Fuzzer configuration. Defaults keep one run fast enough for a seed
+/// sweep under ctest while still exercising EBF refreshes, invalidation
+/// races and cache interleavings.
+struct FuzzOptions {
+  uint64_t seed = 1;
+  size_t num_sessions = 4;
+  size_t num_ops = 300;
+  size_t num_keys = 12;
+  size_t num_groups = 3;  // query predicates select on id % num_groups
+  client::ConsistencyLevel level = client::ConsistencyLevel::kDeltaAtomic;
+  bool revalidate_at_cdn = false;
+
+  /// ∆ (EBF refresh interval) at run start. Deliberately much shorter
+  /// than the server's minimum TTL so stale cache copies outlive ∆ and
+  /// only the EBF protocol keeps reads within the bound.
+  Micros delta = MillisToMicros(200.0);
+  /// ∆_invalidation at run start; kDelayPurges moves it within
+  /// [0, max_purge_delay].
+  Micros cdn_purge_delay = MillisToMicros(20.0);
+  Micros max_purge_delay = MillisToMicros(100.0);
+
+  // Fault injection (the oracle must catch these):
+  bool fault_skip_ebf_refresh = false;     // client never renews its EBF
+  bool fault_disable_ebf_report = false;   // server stops tracking TTLs
+};
+
+/// Outcome of one schedule execution (or a full fuzz-and-shrink run).
+struct FuzzReport {
+  bool ok = true;
+  std::vector<Violation> violations;
+  /// The schedule that produced the violations — shrunk to a (locally)
+  /// minimal failing trace by FuzzAndShrink.
+  std::vector<FuzzOp> trace;
+  uint64_t checked_reads = 0;
+  uint64_t checked_queries = 0;
+};
+
+/// Derives the full op schedule from the seed (pure function).
+std::vector<FuzzOp> GenerateSchedule(const FuzzOptions& options);
+
+/// Builds a fresh world (simulated clock, event queue, database, server,
+/// CDN, one client session per slot, a LiveQuery, the oracle) and drives
+/// the schedule through it. Deterministic for a given (options, schedule).
+FuzzReport RunSchedule(const FuzzOptions& options,
+                       const std::vector<FuzzOp>& schedule);
+
+/// Generates the seed's schedule, runs it, and — on violation — shrinks
+/// the schedule to a locally minimal failing trace (prefix truncation
+/// followed by ddmin-style chunk removal).
+FuzzReport FuzzAndShrink(const FuzzOptions& options);
+
+/// Human-readable trace for reproduction.
+std::string TraceToString(const std::vector<FuzzOp>& schedule);
+
+}  // namespace quaestor::check
+
+#endif  // QUAESTOR_CHECK_FUZZER_H_

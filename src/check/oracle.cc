@@ -1,0 +1,350 @@
+#include "check/oracle.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/query_result.h"
+
+namespace quaestor::check {
+
+std::string_view InvariantName(Invariant inv) {
+  switch (inv) {
+    case Invariant::kDeltaAtomicity:
+      return "delta-atomicity";
+    case Invariant::kMonotonicReads:
+      return "monotonic-reads";
+    case Invariant::kCausal:
+      return "causal";
+    case Invariant::kStrong:
+      return "strong";
+    case Invariant::kLiveQuerySync:
+      return "live-query-sync";
+  }
+  return "unknown";
+}
+
+std::string Violation::ToString() const {
+  std::ostringstream os;
+  os << "[" << InvariantName(invariant) << "] session=" << session
+     << " key=" << key << " t=" << at << "us: " << detail;
+  return os.str();
+}
+
+ConsistencyOracle::ConsistencyOracle(Clock* clock, db::Database* db,
+                                     OracleOptions options)
+    : clock_(clock), db_(db), options_(options), max_delta_(options.delta) {}
+
+Micros ConsistencyOracle::Bound() const {
+  Micros bound = max_delta_;
+  if (options_.revalidate_at_cdn) bound += options_.max_purge_delay;
+  return bound;
+}
+
+void ConsistencyOracle::SetDelta(Micros delta) {
+  options_.delta = delta;
+  max_delta_ = std::max(max_delta_, delta);
+}
+
+void ConsistencyOracle::Report(Invariant inv, const std::string& session,
+                               const std::string& key,
+                               const std::string& detail) {
+  Violation v;
+  v.invariant = inv;
+  v.session = session;
+  v.key = key;
+  v.at = clock_->NowMicros();
+  v.detail = detail;
+  violations_.push_back(std::move(v));
+}
+
+void ConsistencyOracle::ReportLiveQueryMismatch(const std::string& session,
+                                                const std::string& query_key,
+                                                const std::string& detail) {
+  Report(Invariant::kLiveQuerySync, session, query_key, detail);
+}
+
+void ConsistencyOracle::OnCommit(const db::ChangeEvent& event) {
+  const db::Document& doc = event.after;
+  VersionEntry entry;
+  entry.version = doc.version;
+  entry.commit_time = event.commit_time;
+  entry.deleted = doc.deleted;
+  history_[doc.Key()].push_back(std::move(entry));
+  for (auto& [qkey, tq] : queries_) {
+    if (tq.query.table() == doc.table) {
+      RefreshQueryEpochs(qkey, tq, event.commit_time);
+    }
+  }
+}
+
+void ConsistencyOracle::RefreshQueryEpochs(const std::string& query_key,
+                                           TrackedQuery& tq,
+                                           Micros commit_time) {
+  (void)query_key;
+  const std::vector<db::Document> docs = db_->Execute(tq.query);
+  core::QueryResponse as_objects;
+  as_objects.representation = ttl::ResultRepresentation::kObjectList;
+  core::QueryResponse as_ids;
+  as_ids.representation = ttl::ResultRepresentation::kIdList;
+  for (const db::Document& d : docs) {
+    as_objects.ids.push_back(d.Key());
+    as_objects.versions.push_back(d.version);
+    as_ids.ids.push_back(d.Key());
+  }
+  QueryEpoch epoch;
+  epoch.from = commit_time;
+  epoch.etag_objects = as_objects.ComputeEtag();
+  epoch.etag_ids = as_ids.ComputeEtag();
+  if (!tq.epochs.empty() &&
+      tq.epochs.back().etag_objects == epoch.etag_objects &&
+      tq.epochs.back().etag_ids == epoch.etag_ids) {
+    return;  // result unchanged by this commit
+  }
+  tq.epochs.push_back(epoch);
+}
+
+void ConsistencyOracle::TrackQuery(const db::Query& query) {
+  const std::string key = query.NormalizedKey();
+  if (queries_.count(key) > 0) return;
+  TrackedQuery tq;
+  tq.query = query;
+  queries_[key] = std::move(tq);
+  RefreshQueryEpochs(key, queries_[key], clock_->NowMicros());
+}
+
+void ConsistencyOracle::OnSessionWrite(const std::string& session,
+                                       const db::Document& doc) {
+  SessionState& ss = sessions_[session];
+  const std::string key = doc.Key();
+  // Attach the session's full causal past (direct observations merged
+  // with inherited dependencies) to the committed version.
+  auto hit = history_.find(key);
+  if (hit != history_.end()) {
+    for (auto rit = hit->second.rbegin(); rit != hit->second.rend(); ++rit) {
+      if (rit->version == doc.version) {
+        rit->deps = ss.observed;
+        for (const auto& [k, v] : ss.causal) {
+          uint64_t& d = rit->deps[k];
+          d = std::max(d, v);
+        }
+        break;
+      }
+    }
+  }
+  uint64_t& floor = ss.observed[key];
+  floor = std::max(floor, doc.version);
+  if (options_.check_causal) {
+    uint64_t& cf = ss.causal[key];
+    cf = std::max(cf, doc.version);
+  }
+}
+
+void ConsistencyOracle::CheckRead(const std::string& session,
+                                  const std::string& key, bool found,
+                                  uint64_t version) {
+  checked_reads_++;
+  const Micros now = clock_->NowMicros();
+  const Micros window_start = now - Bound();
+  SessionState& ss = sessions_[session];
+  auto hit = history_.find(key);
+  const std::vector<VersionEntry>* h =
+      hit == history_.end() ? nullptr : &hit->second;
+
+  if (!found) {
+    if (h == nullptr || h->empty()) return;  // key never existed
+    // Absence intervals: before the first insert, and from each delete to
+    // the next re-insert. ∆-atomicity holds if the key was absent at some
+    // point within [now − B, now].
+    bool delta_ok = (*h)[0].commit_time >= window_start;
+    for (size_t i = 0; i < h->size() && !delta_ok; ++i) {
+      if (!(*h)[i].deleted) continue;
+      const bool last = i + 1 == h->size();
+      if ((*h)[i].commit_time <= now &&
+          (last || (*h)[i + 1].commit_time >= window_start)) {
+        delta_ok = true;
+      }
+    }
+    if (!delta_ok) {
+      Report(Invariant::kDeltaAtomicity, session, key,
+             "read NotFound, but the key existed throughout the entire "
+             "staleness window");
+      return;
+    }
+    // Session monotonicity: the absence must be at least as new as the
+    // session's floor — i.e. some qualifying tombstone at or above it.
+    const auto check_floor = [&](uint64_t floor_version, Invariant inv,
+                                 uint64_t* merge_to) {
+      bool ok = false;
+      for (size_t i = 0; i < h->size(); ++i) {
+        const VersionEntry& e = (*h)[i];
+        if (!e.deleted || e.version < floor_version) continue;
+        const bool last = i + 1 == h->size();
+        if (e.commit_time <= now &&
+            (last || (*h)[i + 1].commit_time >= window_start)) {
+          ok = true;
+          // Merge conservatively to the earliest consistent tombstone.
+          *merge_to = e.version;
+          break;
+        }
+      }
+      if (!ok) {
+        Report(inv, session, key,
+               "read NotFound after having observed a live version the "
+               "staleness window no longer excuses");
+      }
+      return ok;
+    };
+    auto fit = ss.observed.find(key);
+    if (fit != ss.observed.end()) {
+      uint64_t merged = fit->second;
+      if (check_floor(fit->second, Invariant::kMonotonicReads, &merged)) {
+        fit->second = std::max(fit->second, merged);
+      }
+    }
+    if (options_.check_causal) {
+      auto cit = ss.causal.find(key);
+      if (cit != ss.causal.end() &&
+          (fit == ss.observed.end() || cit->second > fit->second)) {
+        uint64_t merged = cit->second;
+        if (check_floor(cit->second, Invariant::kCausal, &merged)) {
+          cit->second = std::max(cit->second, merged);
+        }
+      }
+    }
+    if (options_.check_strong && !h->back().deleted) {
+      Report(Invariant::kStrong, session, key,
+             "read NotFound, but the latest committed state is a live "
+             "version");
+    }
+    return;
+  }
+
+  // Found: locate the returned version in the history.
+  size_t idx = h == nullptr ? 0 : h->size();
+  if (h != nullptr) {
+    for (size_t i = 0; i < h->size(); ++i) {
+      if ((*h)[i].version == version) {
+        idx = i;
+        break;
+      }
+    }
+  }
+  if (h == nullptr || idx == h->size()) {
+    Report(Invariant::kDeltaAtomicity, session, key,
+           "returned version " + std::to_string(version) +
+               " never appears in the write history");
+    return;
+  }
+  const VersionEntry& entry = (*h)[idx];
+  if (entry.deleted) {
+    Report(Invariant::kDeltaAtomicity, session, key,
+           "returned version " + std::to_string(version) +
+               " is a tombstone");
+    return;
+  }
+  const bool last = idx + 1 == h->size();
+  if (!last && (*h)[idx + 1].commit_time < window_start) {
+    const Micros staleness = now - (*h)[idx + 1].commit_time;
+    Report(Invariant::kDeltaAtomicity, session, key,
+           "version " + std::to_string(version) + " was superseded " +
+               std::to_string(staleness) + "us ago (bound " +
+               std::to_string(Bound()) + "us)");
+  }
+  uint64_t& floor = ss.observed[key];
+  if (version < floor) {
+    Report(Invariant::kMonotonicReads, session, key,
+           "version regressed from " + std::to_string(floor) + " to " +
+               std::to_string(version));
+  } else if (options_.check_causal) {
+    auto cit = ss.causal.find(key);
+    if (cit != ss.causal.end() && version < cit->second) {
+      Report(Invariant::kCausal, session, key,
+             "version " + std::to_string(version) +
+                 " is older than causally required version " +
+                 std::to_string(cit->second));
+    }
+  }
+  if (options_.check_strong && !last) {
+    Report(Invariant::kStrong, session, key,
+           "version " + std::to_string(version) +
+               " was already superseded at read time");
+  }
+  floor = std::max(floor, version);
+  if (options_.check_causal) {
+    uint64_t& cf = ss.causal[key];
+    cf = std::max(cf, version);
+    for (const auto& [k, v] : entry.deps) {
+      uint64_t& dep_floor = ss.causal[k];
+      dep_floor = std::max(dep_floor, v);
+    }
+  }
+}
+
+void ConsistencyOracle::CheckQuery(const std::string& session,
+                                   const db::Query& query, bool found,
+                                   uint64_t etag,
+                                   ttl::ResultRepresentation representation) {
+  checked_queries_++;
+  if (!found) return;  // a failed fetch makes no freshness claim
+  const Micros now = clock_->NowMicros();
+  const Micros window_start = now - Bound();
+  const std::string qkey = query.NormalizedKey();
+  auto it = queries_.find(qkey);
+  if (it == queries_.end()) return;  // untracked
+  TrackedQuery& tq = it->second;
+  SessionState& ss = sessions_[session];
+
+  std::vector<size_t> matches;
+  for (size_t i = 0; i < tq.epochs.size(); ++i) {
+    const uint64_t expect =
+        representation == ttl::ResultRepresentation::kObjectList
+            ? tq.epochs[i].etag_objects
+            : tq.epochs[i].etag_ids;
+    if (expect == etag) matches.push_back(i);
+  }
+  if (matches.empty()) {
+    Report(Invariant::kDeltaAtomicity, session, qkey,
+           "result etag matches no result state in history");
+    return;
+  }
+  const auto epoch_live = [&](size_t i) {
+    const bool is_last = i + 1 == tq.epochs.size();
+    return tq.epochs[i].from <= now &&
+           (is_last || tq.epochs[i + 1].from >= window_start);
+  };
+  bool delta_ok = false;
+  for (size_t i : matches) {
+    if (epoch_live(i)) {
+      delta_ok = true;
+      break;
+    }
+  }
+  if (!delta_ok) {
+    Report(Invariant::kDeltaAtomicity, session, qkey,
+           "result reflects a state superseded before the staleness "
+           "window");
+  }
+  size_t& floor = ss.observed_epoch[qkey];
+  const size_t best = matches.back();
+  if (best < floor) {
+    Report(Invariant::kMonotonicReads, session, qkey,
+           "result regressed to epoch " + std::to_string(best) +
+               " after epoch " + std::to_string(floor));
+  } else {
+    // Merge conservatively: the earliest matching, window-consistent
+    // epoch at or above the current floor.
+    for (size_t i : matches) {
+      if (i >= floor && epoch_live(i)) {
+        floor = i;
+        break;
+      }
+    }
+  }
+  if (options_.check_strong && best + 1 != tq.epochs.size()) {
+    Report(Invariant::kStrong, session, qkey,
+           "result epoch " + std::to_string(best) +
+               " was already superseded at read time");
+  }
+}
+
+}  // namespace quaestor::check

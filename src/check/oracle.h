@@ -1,0 +1,179 @@
+#ifndef QUAESTOR_CHECK_ORACLE_H_
+#define QUAESTOR_CHECK_ORACLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "db/database.h"
+#include "db/document.h"
+#include "db/query.h"
+#include "ttl/representation.h"
+
+namespace quaestor::check {
+
+/// The level-specific invariants the oracle can assert (Figure 4).
+enum class Invariant {
+  /// ∆-atomicity (Theorem 1): a read never returns a version that stopped
+  /// being current more than B before the read, where B = max ∆ in force
+  /// (+ the maximum purge delay when revalidations are served at the CDN).
+  kDeltaAtomicity,
+  /// Per-session monotonicity: versions never regress below what the
+  /// session has already observed (covers read-your-writes: own writes
+  /// raise the floor). For query results, epochs never regress.
+  kMonotonicReads,
+  /// Reads reflect the session's causal past: observing a version pulls
+  /// in the writer session's observations at write time (transitively).
+  kCausal,
+  /// Strong consistency: reads return the latest committed state.
+  kStrong,
+  /// A LiveQuery snapshot diverged from the database's current result
+  /// (self-maintaining streams of §3.2 are synchronous in-process).
+  kLiveQuerySync,
+};
+
+std::string_view InvariantName(Invariant inv);
+
+/// One detected inconsistency.
+struct Violation {
+  Invariant invariant = Invariant::kDeltaAtomicity;
+  std::string session;
+  std::string key;  // record key ("table/id") or query key ("q:...")
+  Micros at = 0;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+/// Oracle configuration.
+struct OracleOptions {
+  /// ∆ currently in force (the client EBF refresh interval). Changeable
+  /// mid-run via SetDelta; the staleness bound uses the maximum ever set.
+  Micros delta = SecondsToMicros(1.0);
+  /// Revalidations may be answered by the invalidation-based cache, which
+  /// lags purges by up to this much (∆_invalidation). Only added to the
+  /// staleness bound when `revalidate_at_cdn` is true.
+  Micros max_purge_delay = 0;
+  bool revalidate_at_cdn = false;
+  /// Which opt-in invariants to assert on top of the always-on
+  /// ∆-atomicity + monotonic-reads pair.
+  bool check_causal = false;
+  bool check_strong = false;
+};
+
+/// A deterministic consistency oracle: records the global write history
+/// (version per key, stamped by the simulated clock) by listening to the
+/// database change stream, and checks every client read against the
+/// invariant of the configured consistency level. Query results are
+/// tracked as epochs — one per distinct result state — recomputed from
+/// the database whenever a commit touches the query's table.
+///
+/// Sound by construction: it only reports behaviours the architecture
+/// genuinely forbids, so a reported violation is a real bug (or an
+/// injected fault). Single-threaded like the simulation it observes.
+class ConsistencyOracle {
+ public:
+  ConsistencyOracle(Clock* clock, db::Database* db, OracleOptions options);
+
+  ConsistencyOracle(const ConsistencyOracle&) = delete;
+  ConsistencyOracle& operator=(const ConsistencyOracle&) = delete;
+
+  /// Wire into the database during setup:
+  ///   db->AddChangeListener([&o](const db::ChangeEvent& ev) {
+  ///     o.OnCommit(ev); });
+  void OnCommit(const db::ChangeEvent& event);
+
+  /// Starts tracking a query's result epochs (call before the run; the
+  /// current database state becomes epoch 0).
+  void TrackQuery(const db::Query& query);
+
+  /// Attributes a committed write to a session: raises the session's
+  /// observed floor and attaches the session's current observations as
+  /// the write's causal dependencies.
+  void OnSessionWrite(const std::string& session, const db::Document& doc);
+
+  /// Checks one record read. `found` is whether the read succeeded;
+  /// `version` is the returned document version (ignored when !found).
+  void CheckRead(const std::string& session, const std::string& key,
+                 bool found, uint64_t version);
+
+  /// Checks one query read against the tracked epochs.
+  void CheckQuery(const std::string& session, const db::Query& query,
+                  bool found, uint64_t etag,
+                  ttl::ResultRepresentation representation);
+
+  /// Records an externally detected LiveQuery divergence.
+  void ReportLiveQueryMismatch(const std::string& session,
+                               const std::string& query_key,
+                               const std::string& detail);
+
+  /// ∆ changed mid-run (the staleness bound keeps the maximum).
+  void SetDelta(Micros delta);
+
+  /// The staleness bound B currently enforced.
+  Micros Bound() const;
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  uint64_t checked_reads() const { return checked_reads_; }
+  uint64_t checked_queries() const { return checked_queries_; }
+
+ private:
+  struct VersionEntry {
+    uint64_t version = 0;
+    Micros commit_time = 0;
+    bool deleted = false;
+    /// Causal dependencies: the writer session's observed floors at write
+    /// time (empty for unattributed writes, e.g. the initial load).
+    std::map<std::string, uint64_t> deps;
+  };
+
+  struct QueryEpoch {
+    Micros from = 0;  // commit time at which this result became current
+    uint64_t etag_objects = 0;
+    uint64_t etag_ids = 0;
+  };
+
+  struct TrackedQuery {
+    db::Query query;
+    std::vector<QueryEpoch> epochs;
+  };
+
+  struct SessionState {
+    /// Record key → lowest version this session may still observe
+    /// (raised by direct reads and own writes).
+    std::map<std::string, uint64_t> observed;
+    /// Causal floors: `observed` plus dependencies inherited from the
+    /// writers of observed versions. Only maintained with check_causal.
+    std::map<std::string, uint64_t> causal;
+    /// Query key → lowest epoch index this session may still observe.
+    std::map<std::string, size_t> observed_epoch;
+  };
+
+  void Report(Invariant inv, const std::string& session,
+              const std::string& key, const std::string& detail);
+
+  /// Recomputes a tracked query's result etags and appends a new epoch if
+  /// the result changed.
+  void RefreshQueryEpochs(const std::string& query_key, TrackedQuery& tq,
+                          Micros commit_time);
+
+  Clock* clock_;
+  db::Database* db_;
+  OracleOptions options_;
+  Micros max_delta_;
+
+  std::unordered_map<std::string, std::vector<VersionEntry>> history_;
+  std::unordered_map<std::string, TrackedQuery> queries_;
+  std::unordered_map<std::string, SessionState> sessions_;
+
+  std::vector<Violation> violations_;
+  uint64_t checked_reads_ = 0;
+  uint64_t checked_queries_ = 0;
+};
+
+}  // namespace quaestor::check
+
+#endif  // QUAESTOR_CHECK_ORACLE_H_

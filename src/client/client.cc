@@ -43,9 +43,16 @@ Micros QuaestorClient::EbfAge() const {
 
 webcache::FetchMode QuaestorClient::DecideMode(const std::string& key,
                                                RequestOutcome* outcome) {
-  const webcache::FetchMode reval = options_.revalidate_at_cdn
-                                        ? webcache::FetchMode::kRevalidateAtCdn
-                                        : webcache::FetchMode::kRevalidate;
+  // The ∆ − ∆_invalidation optimization only applies at the default
+  // ∆-atomic level: a CDN copy can lag a purge by the invalidation
+  // latency, which ∆-atomicity absorbs into its bound but causal
+  // consistency cannot (a dependency committed just before the purge
+  // lands could be missed). Causal/strong revalidations are end-to-end.
+  const webcache::FetchMode reval =
+      options_.revalidate_at_cdn &&
+              options_.consistency == ConsistencyLevel::kDeltaAtomic
+          ? webcache::FetchMode::kRevalidateAtCdn
+          : webcache::FetchMode::kRevalidate;
   if (options_.consistency == ConsistencyLevel::kStrong) {
     // Strong consistency: explicit revalidation, cache miss at all levels
     // (Figure 4) — always end-to-end regardless of the CDN optimization.
@@ -59,7 +66,8 @@ webcache::FetchMode QuaestorClient::DecideMode(const std::string& key,
   if (!bloom_.has_value()) return webcache::FetchMode::kNormal;
   // ∆ elapsed: promote this request to a revalidation piggybacking a
   // fresh EBF (§3.1 Freshness Policies — non-disruptive refresh).
-  if (EbfAge() >= options_.ebf_refresh_interval) {
+  if (EbfAge() >= options_.ebf_refresh_interval &&
+      !options_.fault_skip_ebf_refresh) {
     RefreshEbf();
     outcome->ebf_refreshed = true;
     outcome->revalidated = true;
@@ -134,9 +142,17 @@ void QuaestorClient::NoteServedBy(const webcache::FetchOutcome& fo,
       break;
     case webcache::ServedBy::kOrigin:
       stats_.origin_fetches++;
-      // Data fresher than the current EBF has been observed.
-      read_newer_than_ebf_ = true;
       break;
+  }
+  // Causal tracking (§3.2): data committed after the current EBF fetch
+  // may be served from ANY level — a CDN copy refreshed by another
+  // session is just as young as an origin response. Compare the
+  // response's Last-Modified against the EBF fetch time; fall back to
+  // treating unstamped origin responses as young (conservative).
+  if (fo.last_modified > bloom_time_ ||
+      (fo.last_modified == 0 &&
+       fo.served_by == webcache::ServedBy::kOrigin)) {
+    read_newer_than_ebf_ = true;
   }
 }
 
@@ -214,6 +230,26 @@ QueryResult QuaestorClient::ExecuteQuery(const db::Query& query) {
     result.status = Status::NotFound(key);
     return result;
   }
+
+  // Monotonic reads for query results (§3.2): a delayed CDN purge can
+  // leave a copy older than a result this session has already seen.
+  // Etags are not ordered, so regressions are detected via Last-Modified
+  // (mirrors the version-regression check in Read()).
+  Micros& seen_lm = seen_result_times_[key];
+  if (fo.last_modified < seen_lm) {
+    webcache::FetchOutcome fresh =
+        hierarchy_.Fetch(key, webcache::FetchMode::kRevalidate);
+    result.outcome.revalidated = true;
+    stats_.revalidations++;
+    NoteServedBy(fresh, &result.outcome);
+    if (!fresh.ok) {
+      result.status = Status::NotFound(key);
+      return result;
+    }
+    fo = std::move(fresh);
+  }
+  seen_lm = std::max(seen_lm, fo.last_modified);
+
   if (result.outcome.revalidated ||
       fo.served_by == webcache::ServedBy::kOrigin) {
     whitelist_.insert(key);
@@ -276,7 +312,7 @@ void QuaestorClient::CacheOwnWrite(const db::Document& doc) {
   // Read-your-writes: the session serves its own writes from the local
   // cache (§3.2).
   client_cache_->Put(doc.Key(), doc.body.ToJson(), doc.version,
-                     options_.own_write_ttl);
+                     options_.own_write_ttl, doc.write_time);
 }
 
 Result<db::Document> QuaestorClient::Insert(const std::string& table,

@@ -70,6 +70,13 @@ struct ClientOptions {
   /// result representation to always favor id-lists without any
   /// performance downsides").
   bool http2 = false;
+
+  /// Fault injection (testing only): never refresh the EBF after the
+  /// initial Connect(), even once ∆ elapses. The session then keeps
+  /// consulting a stale filter forever, so cached copies can be served
+  /// arbitrarily long after a write — the consistency oracle's
+  /// ∆-atomicity check must flag this (see src/check).
+  bool fault_skip_ebf_refresh = false;
 };
 
 /// Per-request outcome telemetry.
@@ -155,6 +162,13 @@ class QuaestorClient {
   ClientStats stats() const { return stats_; }
   const ClientOptions& options() const { return options_; }
 
+  /// Changes ∆ mid-session (the fuzzer exercises this; a real deployment
+  /// reconfigures the refresh interval without reconnecting clients).
+  /// Takes effect at the next DecideMode evaluation.
+  void set_ebf_refresh_interval(Micros delta) {
+    options_.ebf_refresh_interval = delta;
+  }
+
   /// Write latency (one origin round-trip) — exposed for simulators.
   double WriteLatencyMs() const { return latency_model_.origin_ms; }
 
@@ -208,6 +222,10 @@ class QuaestorClient {
   std::set<std::string> whitelist_;
   /// Monotonic-reads bookkeeping: highest seen version per key.
   std::unordered_map<std::string, uint64_t> seen_versions_;
+  /// Monotonic reads for query results: etags are unordered, so
+  /// regressions are detected via the result's Last-Modified instead
+  /// (highest seen per query key).
+  std::unordered_map<std::string, Micros> seen_result_times_;
   /// Causal mode: a read newer than the EBF was observed; reads must
   /// revalidate until the next refresh (§3.2 Opt-in Consistency).
   bool read_newer_than_ebf_ = false;

@@ -85,7 +85,7 @@ void QuaestorServer::OnRecordWrite(const db::Document& after) {
   // The write response itself is cacheable by the writer
   // (read-your-writes): track its implied TTL so a later foreign write
   // can flag that copy too.
-  if (!after.deleted) {
+  if (!after.deleted && !options_.fault_disable_ebf_read_tracking) {
     ebf_.ReportRead(key, options_.write_response_ttl);
   }
   // Query invalidations are detected by InvaliDB via the change stream
@@ -101,6 +101,8 @@ void QuaestorServer::OnNotification(const invalidb::Notification& n) {
     std::lock_guard<std::mutex> lock(meta_mu_);
     auto it = query_meta_.find(n.query_key);
     if (it != query_meta_.end()) {
+      it->second.last_result_change =
+          std::max(it->second.last_result_change, n.event_time);
       switch (n.type) {
         case invalidb::NotificationType::kAdd:
           it->second.adds++;
@@ -212,6 +214,7 @@ webcache::HttpResponse QuaestorServer::FetchRecord(
 
   resp.ok = true;
   resp.etag = doc->version;
+  resp.last_modified = doc->write_time;
   resp.ttl = options_.cache_records && cacheable_table
                  ? ttl_estimator_.RecordTtl(request.key)
                  : 0;
@@ -223,7 +226,9 @@ webcache::HttpResponse QuaestorServer::FetchRecord(
     resp.body = doc->body.ToJson();
   }
   // Track the issued TTL so a later write can flag staleness (§3.3).
-  ebf_.ReportRead(request.key, resp.ttl);
+  if (!options_.fault_disable_ebf_read_tracking) {
+    ebf_.ReportRead(request.key, resp.ttl);
+  }
   return resp;
 }
 
@@ -371,7 +376,9 @@ webcache::HttpResponse QuaestorServer::FetchQuery(
       qr.record_ttls.push_back(record_ttl);
       // The response implicitly issues per-record TTLs (results are
       // inserted into caches as individual entries, §6.2).
-      ebf_.ReportRead(d.Key(), record_ttl);
+      if (!options_.fault_disable_ebf_read_tracking) {
+        ebf_.ReportRead(d.Key(), record_ttl);
+      }
     }
   }
 
@@ -379,6 +386,20 @@ webcache::HttpResponse QuaestorServer::FetchQuery(
   resp.ok = true;
   resp.etag = qr.ComputeEtag();
   resp.ttl = ttl;
+  // Last-Modified of a query result: the latest of its members' commit
+  // times and the last InvaliDB-detected result change (covers removals,
+  // whose commit is no longer visible among the members).
+  for (const db::Document& d : docs) {
+    resp.last_modified = std::max(resp.last_modified, d.write_time);
+  }
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    auto it = query_meta_.find(key);
+    if (it != query_meta_.end()) {
+      resp.last_modified =
+          std::max(resp.last_modified, it->second.last_result_change);
+    }
+  }
   if (request.has_if_none_match && request.if_none_match == resp.etag) {
     resp.not_modified = true;
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -407,7 +428,9 @@ webcache::HttpResponse QuaestorServer::FetchQuery(
       }
     }
     active_list_.OnRead(key, now, ttl);
-    ebf_.ReportRead(key, ttl);
+    if (!options_.fault_disable_ebf_read_tracking) {
+      ebf_.ReportRead(key, ttl);
+    }
   }
   return resp;
 }

@@ -61,6 +61,12 @@ struct ServerOptions {
   /// the client's own-write cache lifetime). Clients must not cache own
   /// writes longer than this.
   Micros write_response_ttl = 60 * kMicrosPerSecond;
+
+  /// Fault injection (testing only): stop tracking issued record-read TTLs
+  /// in the EBF. Writes then see no outstanding copy and never flag the
+  /// key, so cached copies go stale beyond ∆ — the consistency oracle must
+  /// catch this (see src/check).
+  bool fault_disable_ebf_read_tracking = false;
 };
 
 /// Server-side counters.
@@ -176,6 +182,9 @@ class QuaestorServer : public webcache::Origin {
     uint64_t adds = 0;
     uint64_t removes = 0;
     uint64_t changes = 0;
+    /// Commit time of the last change that affected this query's result
+    /// (InvaliDB notification). Feeds the Last-Modified response header.
+    Micros last_result_change = 0;
     /// Sticky representation decision (kAuto policy): re-evaluated at most
     /// every kRepresentationDecisionInterval to avoid flapping between
     /// representations (each flip changes the result etag and the

@@ -26,10 +26,12 @@ void MatchingNode::AddQuery(const db::Query& query,
     st.matching_ids.insert(std::move(id));
   }
   queries_[query_key] = std::move(st);
+  query_count_.store(queries_.size(), std::memory_order_relaxed);
 }
 
 void MatchingNode::RemoveQuery(const std::string& query_key) {
   queries_.erase(query_key);
+  query_count_.store(queries_.size(), std::memory_order_relaxed);
 }
 
 bool MatchingNode::HasQuery(const std::string& query_key) const {
@@ -57,13 +59,13 @@ void MatchingNode::MatchQuery(QueryState& st, const db::ChangeEvent& event,
     n.type = NotificationType::kRemove;
     st.matching_ids.erase(doc.id);
   }
-  emitted_++;
+  emitted_.fetch_add(1, std::memory_order_relaxed);
   out->push_back(std::move(n));
 }
 
 void MatchingNode::Match(const db::ChangeEvent& event,
                          std::vector<Notification>* out) {
-  processed_ops_++;
+  processed_ops_.fetch_add(1, std::memory_order_relaxed);
   for (auto& [key, st] : queries_) {
     MatchQuery(st, event, out);
   }

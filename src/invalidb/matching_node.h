@@ -1,6 +1,7 @@
 #ifndef QUAESTOR_INVALIDB_MATCHING_NODE_H_
 #define QUAESTOR_INVALIDB_MATCHING_NODE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -49,9 +50,19 @@ class MatchingNode {
   void MatchSingle(const std::string& query_key, const db::ChangeEvent& event,
                    std::vector<Notification>* out);
 
-  size_t QueryCount() const { return queries_.size(); }
-  uint64_t processed_ops() const { return processed_ops_; }
-  uint64_t emitted_notifications() const { return emitted_; }
+  /// The count/op accessors are observability reads that may race with
+  /// the node's worker thread in threaded mode, so they are backed by
+  /// atomics (plain counters here were flagged by TSan via
+  /// InvalidbCluster::QueriesPerNode/OpsPerNode).
+  size_t QueryCount() const {
+    return query_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t processed_ops() const {
+    return processed_ops_.load(std::memory_order_relaxed);
+  }
+  uint64_t emitted_notifications() const {
+    return emitted_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct QueryState {
@@ -64,8 +75,9 @@ class MatchingNode {
                   std::vector<Notification>* out);
 
   std::unordered_map<std::string, QueryState> queries_;
-  uint64_t processed_ops_ = 0;
-  uint64_t emitted_ = 0;
+  std::atomic<size_t> query_count_{0};
+  std::atomic<uint64_t> processed_ops_{0};
+  std::atomic<uint64_t> emitted_{0};
 };
 
 }  // namespace quaestor::invalidb

@@ -133,6 +133,12 @@ void Simulation::RunConnectionStep(size_t instance_index) {
   Micros total = ci.cpu->Acquire(now);
   bool origin_visit = false;
 
+  OpObservation obs;
+  obs.instance = instance_index;
+  obs.type = op.type;
+  obs.table = op.table;
+  obs.id = op.id;
+
   switch (op.type) {
     case workload::OpType::kRead: {
       client::ReadResult rr = ci.client->Read(op.table, op.id);
@@ -145,6 +151,8 @@ void Simulation::RunConnectionStep(size_t instance_index) {
       total += MillisToMicros(latency_ms);
       RecordOutcome(&results_.reads, rr.outcome, latency_ms,
                     CheckReadStale(op.table, op.id, rr), in_window);
+      obs.read = &rr;
+      for (const OpObserver& o : op_observers_) o(obs);
       break;
     }
     case workload::OpType::kQuery: {
@@ -168,18 +176,23 @@ void Simulation::RunConnectionStep(size_t instance_index) {
       total += MillisToMicros(latency_ms);
       RecordOutcome(&results_.queries, qr.outcome, latency_ms,
                     CheckQueryStale(op.query, qr), in_window);
+      obs.query = &op.query;
+      obs.query_result = &qr;
+      for (const OpObserver& o : op_observers_) o(obs);
       break;
     }
     case workload::OpType::kInsert:
     case workload::OpType::kUpdate:
     case workload::OpType::kDelete: {
-      if (op.type == workload::OpType::kInsert) {
-        (void)ci.client->Insert(op.table, op.id, std::move(op.body));
-      } else if (op.type == workload::OpType::kUpdate) {
-        (void)ci.client->Update(op.table, op.id, op.update);
-      } else {
-        (void)ci.client->Delete(op.table, op.id);
-      }
+      Result<db::Document> wr = [&] {
+        if (op.type == workload::OpType::kInsert) {
+          return ci.client->Insert(op.table, op.id, std::move(op.body));
+        }
+        if (op.type == workload::OpType::kUpdate) {
+          return ci.client->Update(op.table, op.id, op.update);
+        }
+        return ci.client->Delete(op.table, op.id);
+      }();
       double latency_ms = ci.client->WriteLatencyMs() +
                           MicrosToMillis(server_pool_.Acquire(now));
       total += MillisToMicros(latency_ms);
@@ -188,6 +201,8 @@ void Simulation::RunConnectionStep(size_t instance_index) {
       o.latency_ms = latency_ms;
       RecordOutcome(&results_.writes, o, latency_ms, /*stale=*/false,
                     in_window);
+      if (wr.ok()) obs.written = &wr.value();
+      for (const OpObserver& ob : op_observers_) ob(obs);
       break;
     }
   }

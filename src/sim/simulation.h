@@ -2,6 +2,7 @@
 #define QUAESTOR_SIM_SIMULATION_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -114,12 +115,30 @@ struct SimResults {
   webcache::CacheStats cdn_stats;
 };
 
+/// Observation of one completed client operation, handed to registered
+/// op observers. Pointer fields reference stack state of the executing
+/// step and are only valid for the duration of the callback. The
+/// consistency oracle (src/check) attaches through this hook to validate
+/// every simulated read against the global write history.
+struct OpObservation {
+  size_t instance = 0;  // which client session performed the op
+  workload::OpType type = workload::OpType::kRead;
+  std::string table;
+  std::string id;                                  // record ops
+  const db::Query* query = nullptr;                // kQuery
+  const client::ReadResult* read = nullptr;        // kRead
+  const client::QueryResult* query_result = nullptr;  // kQuery
+  const db::Document* written = nullptr;           // writes (null on error)
+};
+
 /// An end-to-end Monte Carlo simulation of concurrent clients talking to
 /// Quaestor through web caches (the paper's simulation framework, §6.1).
 /// Deterministic for a given seed: simulated clock, FIFO event order,
 /// seeded workload.
 class Simulation {
  public:
+  using OpObserver = std::function<void(const OpObservation&)>;
+
   Simulation(workload::WorkloadOptions workload_options, SimOptions options);
   ~Simulation();
 
@@ -130,8 +149,16 @@ class Simulation {
   /// `duration`. Can only be called once.
   SimResults Run();
 
+  /// Registers a callback invoked after every completed client operation
+  /// (register before Run()).
+  void AddOpObserver(OpObserver observer) {
+    op_observers_.push_back(std::move(observer));
+  }
+
   core::QuaestorServer& server() { return *server_; }
   db::Database& database() { return *db_; }
+  SimulatedClock& clock() { return clock_; }
+  workload::WorkloadGenerator& generator() { return *generator_; }
 
  private:
   struct ClientInstance {
@@ -158,6 +185,7 @@ class Simulation {
   std::vector<ClientInstance> clients_;
   std::unique_ptr<workload::WorkloadGenerator> generator_;
   QueueingResource server_pool_;
+  std::vector<OpObserver> op_observers_;
 
   // Figure 11 bookkeeping: query serve events and invalidation times.
   struct QueryServe {

@@ -41,17 +41,28 @@ FetchOutcome CacheHierarchy::FromOrigin(const std::string& key,
   if (resp.not_modified && conditional_source != nullptr) {
     out.body = conditional_source->body;
     out.etag = conditional_source->etag;
+    // 304 carries no body, but the origin still dates the confirmed
+    // version; prefer its stamp over the (possibly zero) stored one.
+    out.last_modified =
+        resp.last_modified > 0 ? resp.last_modified
+                               : conditional_source->last_modified;
   } else {
     out.body = resp.body;
     out.etag = resp.etag;
+    out.last_modified = resp.last_modified;
   }
   if (write_through && resp.ttl > 0) {
     // The response travels back through the chain and refreshes every
     // cache on the path (HTTP caches store responses they forward).
-    if (cdn_ != nullptr) cdn_->Put(key, out.body, out.etag, resp.ttl);
-    if (proxy_ != nullptr) proxy_->Put(key, out.body, out.etag, resp.ttl);
+    if (cdn_ != nullptr) {
+      cdn_->Put(key, out.body, out.etag, resp.ttl, out.last_modified);
+    }
+    if (proxy_ != nullptr) {
+      proxy_->Put(key, out.body, out.etag, resp.ttl, out.last_modified);
+    }
     if (client_cache_ != nullptr) {
-      client_cache_->Put(key, out.body, out.etag, resp.ttl);
+      client_cache_->Put(key, out.body, out.etag, resp.ttl,
+                         out.last_modified);
     }
   }
   return out;
@@ -68,8 +79,13 @@ FetchOutcome CacheHierarchy::Fetch(const std::string& key, FetchMode mode) {
   if (mode == FetchMode::kNormal && client_cache_ != nullptr) {
     auto hit = client_cache_->Get(key);
     if (hit.has_value()) {
-      return {true, hit->body, hit->etag, ServedBy::kClientCache,
-              latency_.client_cache_ms, RemainingTtl(*hit, now)};
+      return {true,
+              hit->body,
+              hit->etag,
+              ServedBy::kClientCache,
+              latency_.client_cache_ms,
+              RemainingTtl(*hit, now),
+              hit->last_modified};
     }
   }
 
@@ -80,11 +96,16 @@ FetchOutcome CacheHierarchy::Fetch(const std::string& key, FetchMode mode) {
     auto hit = proxy_->Get(key);
     if (hit.has_value()) {
       if (client_cache_ != nullptr) {
-        client_cache_->Put(key, hit->body, hit->etag,
-                           RemainingTtl(*hit, now));
+        client_cache_->Put(key, hit->body, hit->etag, RemainingTtl(*hit, now),
+                           hit->last_modified);
       }
-      return {true, hit->body, hit->etag, ServedBy::kExpirationCache,
-              latency_.expiration_proxy_ms, RemainingTtl(*hit, now)};
+      return {true,
+              hit->body,
+              hit->etag,
+              ServedBy::kExpirationCache,
+              latency_.expiration_proxy_ms,
+              RemainingTtl(*hit, now),
+              hit->last_modified};
     }
   }
 
@@ -93,12 +114,20 @@ FetchOutcome CacheHierarchy::Fetch(const std::string& key, FetchMode mode) {
     auto hit = cdn_->Get(key);
     if (hit.has_value()) {
       const Micros remaining = RemainingTtl(*hit, now);
-      if (proxy_ != nullptr) proxy_->Put(key, hit->body, hit->etag, remaining);
-      if (client_cache_ != nullptr) {
-        client_cache_->Put(key, hit->body, hit->etag, remaining);
+      if (proxy_ != nullptr) {
+        proxy_->Put(key, hit->body, hit->etag, remaining, hit->last_modified);
       }
-      return {true, hit->body, hit->etag, ServedBy::kInvalidationCache,
-              latency_.cdn_ms, remaining};
+      if (client_cache_ != nullptr) {
+        client_cache_->Put(key, hit->body, hit->etag, remaining,
+                           hit->last_modified);
+      }
+      return {true,
+              hit->body,
+              hit->etag,
+              ServedBy::kInvalidationCache,
+              latency_.cdn_ms,
+              remaining,
+              hit->last_modified};
     }
   }
 

@@ -37,6 +37,10 @@ struct FetchOutcome {
   /// origin. Clients use it to bound the lifetime of derived cache entries
   /// (e.g. per-record entries extracted from a query result).
   Micros remaining_ttl = 0;
+  /// Last-Modified of the served version, propagated from whichever level
+  /// answered. Clients compare it to their EBF fetch time to notice data
+  /// younger than the Bloom filter (needed for causal consistency).
+  Micros last_modified = 0;
 };
 
 /// The web path between one client and the DBaaS: an optional client

@@ -19,6 +19,12 @@ struct HttpResponse {
   std::string body;
   uint64_t etag = 0;
   Micros ttl = 0;  // 0 = uncacheable
+  /// Last-Modified: commit time of the served version (for query results,
+  /// the time the result last changed). Caches store and propagate it;
+  /// clients compare it against their EBF fetch time to detect data
+  /// younger than the Bloom filter (§3.2 Opt-in Consistency: causal mode
+  /// must revalidate after observing such data, from *any* cache level).
+  Micros last_modified = 0;
 };
 
 /// A request travelling through the cache hierarchy.

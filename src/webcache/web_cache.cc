@@ -27,7 +27,7 @@ std::optional<CacheEntry> ExpirationCache::GetEvenIfExpired(
 }
 
 void ExpirationCache::Put(const std::string& key, const std::string& body,
-                          uint64_t etag, Micros ttl) {
+                          uint64_t etag, Micros ttl, Micros last_modified) {
   if (ttl <= 0) return;
   const Micros now = clock_->NowMicros();
   std::lock_guard<std::mutex> lock(mu_);
@@ -36,6 +36,7 @@ void ExpirationCache::Put(const std::string& key, const std::string& body,
   e.etag = etag;
   e.stored_at = now;
   e.expire_at = now + ttl;
+  e.last_modified = last_modified;
   stats_.insertions++;
   TouchLocked(key);
   EvictIfNeededLocked();
@@ -70,6 +71,14 @@ size_t ExpirationCache::Size() const {
 CacheStats ExpirationCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+std::vector<std::string> ExpirationCache::Keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) out.push_back(key);
+  return out;
 }
 
 void ExpirationCache::TouchLocked(const std::string& key) {

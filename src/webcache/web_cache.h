@@ -7,6 +7,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/clock.h"
 #include "webcache/http.h"
@@ -19,6 +20,8 @@ struct CacheEntry {
   uint64_t etag = 0;
   Micros stored_at = 0;
   Micros expire_at = 0;
+  /// Last-Modified of the stored response (commit time of the version).
+  Micros last_modified = 0;
 
   bool IsFresh(Micros now) const { return now < expire_at; }
 };
@@ -63,7 +66,7 @@ class ExpirationCache {
 
   /// Stores a response with TTL (no-op when ttl <= 0).
   void Put(const std::string& key, const std::string& body, uint64_t etag,
-           Micros ttl);
+           Micros ttl, Micros last_modified = 0);
 
   /// Removes one entry locally (used by clients for their own writes —
   /// read-your-writes; NOT a server purge).
@@ -72,6 +75,10 @@ class ExpirationCache {
   void Clear();
   size_t Size() const;
   CacheStats stats() const;
+
+  /// Snapshot of the currently stored keys (regardless of freshness) —
+  /// used by fault-injection harnesses to pick eviction victims.
+  std::vector<std::string> Keys() const;
 
  protected:
   Clock* clock_;

@@ -1,0 +1,393 @@
+// Randomized consistency fuzzing: every (seed, level) combination drives a
+// fresh simulated cache hierarchy through a seeded schedule of CRUD, query,
+// transaction and fault-injection ops while the oracle (src/check) asserts
+// the level's invariants on every read. Violating schedules shrink to a
+// minimal trace and print it for reproduction.
+//
+// Replay a specific schedule outside the sweep:
+//   ./consistency_fuzz_test --fuzz_seed=17 --fuzz_level=causal
+//   ./consistency_fuzz_test --fuzz_seed=3 --fuzz_level=delta-cdn --fuzz_ops=600
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/fuzzer.h"
+#include "check/oracle.h"
+#include "sim/simulation.h"
+#include "workload/workload.h"
+
+namespace quaestor::check {
+namespace {
+
+struct LevelConfig {
+  const char* name;
+  client::ConsistencyLevel level;
+  bool revalidate_at_cdn;
+};
+
+constexpr LevelConfig kLevels[] = {
+    {"delta", client::ConsistencyLevel::kDeltaAtomic, false},
+    {"delta-cdn", client::ConsistencyLevel::kDeltaAtomic, true},
+    {"causal", client::ConsistencyLevel::kCausal, false},
+    {"strong", client::ConsistencyLevel::kStrong, false},
+};
+
+FuzzOptions MakeOptions(uint64_t seed, const LevelConfig& level) {
+  FuzzOptions options;
+  options.seed = seed;
+  options.level = level.level;
+  options.revalidate_at_cdn = level.revalidate_at_cdn;
+  return options;
+}
+
+std::string FailureMessage(const FuzzReport& report) {
+  std::string msg;
+  for (const Violation& v : report.violations) {
+    msg += v.ToString() + "\n";
+  }
+  msg += "minimal failing trace (" + std::to_string(report.trace.size()) +
+         " ops):\n" + TraceToString(report.trace);
+  return msg;
+}
+
+class ConsistencyFuzzTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ConsistencyFuzzTest, SeedIsViolationFree) {
+  const uint64_t seed = static_cast<uint64_t>(std::get<0>(GetParam()));
+  const LevelConfig& level = kLevels[std::get<1>(GetParam())];
+  const FuzzReport report = FuzzAndShrink(MakeOptions(seed, level));
+  EXPECT_TRUE(report.ok) << FailureMessage(report);
+  EXPECT_GT(report.checked_reads, 0u);
+  EXPECT_GT(report.checked_queries, 0u);
+}
+
+std::string SweepName(
+    const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  std::string name = "seed" + std::to_string(std::get<0>(info.param)) +
+                     "_" + kLevels[std::get<1>(info.param)].name;
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+// 20 seeds x 4 level configurations = 80 deterministic schedules. A
+// replayable repro for any failure is printed by FailureMessage above.
+INSTANTIATE_TEST_SUITE_P(Sweep, ConsistencyFuzzTest,
+                         ::testing::Combine(::testing::Range(1, 21),
+                                            ::testing::Values(0, 1, 2, 3)),
+                         SweepName);
+
+// -- Fault injection: the oracle must catch deliberately broken protocol --
+
+// Runs seeds until the injected fault produces a violation, and checks the
+// matching control run (same seed, fault off) stays clean.
+void ExpectFaultCaught(void (*inject)(FuzzOptions*), const char* what) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    FuzzOptions faulty = MakeOptions(seed, kLevels[0]);
+    inject(&faulty);
+    const FuzzReport report = FuzzAndShrink(faulty);
+    if (report.ok) continue;
+
+    bool delta_violation = false;
+    for (const Violation& v : report.violations) {
+      if (v.invariant == Invariant::kDeltaAtomicity) delta_violation = true;
+    }
+    EXPECT_TRUE(delta_violation)
+        << what << ": violations found but none is a delta-atomicity one:\n"
+        << FailureMessage(report);
+
+    // The shrunk trace must be a genuine, smaller repro.
+    EXPECT_FALSE(report.trace.empty());
+    EXPECT_LE(report.trace.size(), faulty.num_ops);
+    const FuzzReport replay = RunSchedule(faulty, report.trace);
+    EXPECT_FALSE(replay.ok) << what << ": shrunk trace no longer fails";
+
+    // Control: the identical schedule without the fault is clean.
+    const FuzzReport control =
+        FuzzAndShrink(MakeOptions(seed, kLevels[0]));
+    EXPECT_TRUE(control.ok)
+        << what << ": control run (fault off) also fails:\n"
+        << FailureMessage(control);
+
+    std::printf("%s: caught at seed %llu, shrunk %zu -> %zu ops\n%s", what,
+                static_cast<unsigned long long>(seed), faulty.num_ops,
+                report.trace.size(), TraceToString(report.trace).c_str());
+    return;
+  }
+  FAIL() << what
+         << ": no seed in 1..8 produced a violation — the oracle missed an "
+            "injected staleness bug";
+}
+
+TEST(FaultInjectionTest, SkippedEbfRefreshBreaksDeltaAtomicity) {
+  // The client keeps its connect-time EBF forever: writes it never hears
+  // about leave its cached copies servable far beyond delta.
+  ExpectFaultCaught(
+      [](FuzzOptions* o) { o->fault_skip_ebf_refresh = true; },
+      "fault_skip_ebf_refresh");
+}
+
+TEST(FaultInjectionTest, UntrackedReadTtlsBreakDeltaAtomicity) {
+  // The server stops recording issued TTLs, so writes never flag keys in
+  // the EBF and refreshed filters are empty.
+  ExpectFaultCaught(
+      [](FuzzOptions* o) { o->fault_disable_ebf_report = true; },
+      "fault_disable_ebf_report");
+}
+
+// -- Oracle attached to the full Monte Carlo simulation (src/sim) --
+
+TEST(SimulationOracleTest, MonteCarloRunIsViolationFree) {
+  workload::WorkloadOptions workload;
+  workload.num_tables = 2;
+  workload.docs_per_table = 80;
+  workload.queries_per_table = 4;
+  workload.docs_per_query = 8;
+  workload.read_weight = 0.40;
+  workload.query_weight = 0.25;
+  workload.insert_weight = 0.05;
+  workload.update_weight = 0.25;
+  workload.delete_weight = 0.05;
+
+  sim::SimOptions sim_options;
+  sim_options.num_client_instances = 4;
+  sim_options.connections_per_instance = 2;
+  sim_options.duration = SecondsToMicros(8.0);
+  sim_options.warmup = SecondsToMicros(1.0);
+  sim_options.seed = 7;
+
+  sim::Simulation sim(workload, sim_options);
+
+  OracleOptions oracle_options;
+  oracle_options.delta = sim_options.client_options.ebf_refresh_interval;
+  oracle_options.max_purge_delay = sim_options.cdn_purge_latency;
+  oracle_options.revalidate_at_cdn =
+      sim_options.client_options.revalidate_at_cdn;
+  ConsistencyOracle oracle(&sim.clock(), &sim.database(), oracle_options);
+  sim.database().AddChangeListener(
+      [&oracle](const db::ChangeEvent& ev) { oracle.OnCommit(ev); });
+  for (size_t t = 0; t < workload.num_tables; ++t) {
+    for (const db::Query& q : sim.generator().QueriesFor(t)) {
+      oracle.TrackQuery(q);
+    }
+  }
+  sim.AddOpObserver([&oracle](const sim::OpObservation& obs) {
+    const std::string session = "i" + std::to_string(obs.instance);
+    switch (obs.type) {
+      case workload::OpType::kRead:
+        oracle.CheckRead(session, obs.table + "/" + obs.id,
+                         obs.read->status.ok(), obs.read->version);
+        break;
+      case workload::OpType::kQuery:
+        oracle.CheckQuery(session, *obs.query, obs.query_result->status.ok(),
+                          obs.query_result->etag,
+                          obs.query_result->representation);
+        break;
+      default:
+        if (obs.written != nullptr) {
+          oracle.OnSessionWrite(session, *obs.written);
+        }
+        break;
+    }
+  });
+
+  sim.Run();
+
+  std::string msg;
+  for (const Violation& v : oracle.violations()) msg += v.ToString() + "\n";
+  EXPECT_TRUE(oracle.violations().empty()) << msg;
+  EXPECT_GT(oracle.checked_reads(), 100u);
+  EXPECT_GT(oracle.checked_queries(), 100u);
+}
+
+// -- Oracle unit coverage: hand-built histories --
+
+TEST(OracleTest, FlagsStaleReadBeyondBound) {
+  SimulatedClock clock(0);
+  db::Database db(&clock);
+  OracleOptions options;
+  options.delta = MillisToMicros(100.0);
+  ConsistencyOracle oracle(&clock, &db, options);
+  db.AddChangeListener(
+      [&oracle](const db::ChangeEvent& ev) { oracle.OnCommit(ev); });
+
+  auto v1 = db.Insert("t", "x", db::Value::FromJson(R"({"v":1})").value());
+  ASSERT_TRUE(v1.ok());
+  clock.Advance(MillisToMicros(50.0));
+  auto v2 = db.Apply("t", "x", db::Update().Set("v", db::Value(2)));
+  ASSERT_TRUE(v2.ok());
+
+  // 50 ms after supersession: still within the 100 ms bound.
+  clock.Advance(MillisToMicros(50.0));
+  oracle.CheckRead("s", "t/x", true, v1.value().version);
+  EXPECT_TRUE(oracle.violations().empty());
+
+  // 150 ms after supersession: out of bound.
+  clock.Advance(MillisToMicros(100.0));
+  oracle.CheckRead("s", "t/x", true, v1.value().version);
+  ASSERT_EQ(oracle.violations().size(), 1u);
+  EXPECT_EQ(oracle.violations()[0].invariant, Invariant::kDeltaAtomicity);
+}
+
+TEST(OracleTest, FlagsMonotonicReadRegression) {
+  SimulatedClock clock(0);
+  db::Database db(&clock);
+  OracleOptions options;
+  options.delta = SecondsToMicros(10.0);  // wide: isolate monotonicity
+  ConsistencyOracle oracle(&clock, &db, options);
+  db.AddChangeListener(
+      [&oracle](const db::ChangeEvent& ev) { oracle.OnCommit(ev); });
+
+  auto v1 = db.Insert("t", "x", db::Value::FromJson(R"({"v":1})").value());
+  auto v2 = db.Apply("t", "x", db::Update().Set("v", db::Value(2)));
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+
+  oracle.CheckRead("s", "t/x", true, v2.value().version);
+  EXPECT_TRUE(oracle.violations().empty());
+  oracle.CheckRead("s", "t/x", true, v1.value().version);
+  ASSERT_EQ(oracle.violations().size(), 1u);
+  EXPECT_EQ(oracle.violations()[0].invariant, Invariant::kMonotonicReads);
+
+  // A different session may still read v1 (its floor is unset).
+  oracle.CheckRead("s2", "t/x", true, v1.value().version);
+  EXPECT_EQ(oracle.violations().size(), 1u);
+}
+
+TEST(OracleTest, CausalDependencyPullsInWriterObservations) {
+  SimulatedClock clock(0);
+  db::Database db(&clock);
+  OracleOptions options;
+  options.delta = SecondsToMicros(10.0);
+  options.check_causal = true;
+  ConsistencyOracle oracle(&clock, &db, options);
+  db.AddChangeListener(
+      [&oracle](const db::ChangeEvent& ev) { oracle.OnCommit(ev); });
+
+  auto a1 = db.Insert("t", "a", db::Value::FromJson(R"({"v":1})").value());
+  auto a2 = db.Apply("t", "a", db::Update().Set("v", db::Value(2)));
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+
+  // Writer session reads a@2 then writes b@1: b@1 depends on a@2.
+  oracle.CheckRead("writer", "t/a", true, a2.value().version);
+  auto b1 = db.Insert("t", "b", db::Value::FromJson(R"({"v":1})").value());
+  ASSERT_TRUE(b1.ok());
+  oracle.OnSessionWrite("writer", b1.value());
+
+  // Reader observes b@1, then reads a@1 — causally impossible.
+  oracle.CheckRead("reader", "t/b", true, b1.value().version);
+  EXPECT_TRUE(oracle.violations().empty());
+  oracle.CheckRead("reader", "t/a", true, a1.value().version);
+  ASSERT_EQ(oracle.violations().size(), 1u);
+  EXPECT_EQ(oracle.violations()[0].invariant, Invariant::kCausal);
+}
+
+TEST(OracleTest, StrongRequiresLatestVersion) {
+  SimulatedClock clock(0);
+  db::Database db(&clock);
+  OracleOptions options;
+  options.delta = SecondsToMicros(10.0);
+  options.check_strong = true;
+  ConsistencyOracle oracle(&clock, &db, options);
+  db.AddChangeListener(
+      [&oracle](const db::ChangeEvent& ev) { oracle.OnCommit(ev); });
+
+  auto v1 = db.Insert("t", "x", db::Value::FromJson(R"({"v":1})").value());
+  auto v2 = db.Apply("t", "x", db::Update().Set("v", db::Value(2)));
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+
+  oracle.CheckRead("s", "t/x", true, v2.value().version);
+  EXPECT_TRUE(oracle.violations().empty());
+  oracle.CheckRead("s2", "t/x", true, v1.value().version);
+  ASSERT_EQ(oracle.violations().size(), 1u);
+  EXPECT_EQ(oracle.violations()[0].invariant, Invariant::kStrong);
+}
+
+TEST(OracleTest, DeletedKeyAbsenceIsBoundedToo) {
+  SimulatedClock clock(0);
+  db::Database db(&clock);
+  OracleOptions options;
+  options.delta = MillisToMicros(100.0);
+  ConsistencyOracle oracle(&clock, &db, options);
+  db.AddChangeListener(
+      [&oracle](const db::ChangeEvent& ev) { oracle.OnCommit(ev); });
+
+  auto v1 = db.Insert("t", "x", db::Value::FromJson(R"({"v":1})").value());
+  ASSERT_TRUE(v1.ok());
+  clock.Advance(MillisToMicros(10.0));
+  ASSERT_TRUE(db.Delete("t", "x").ok());
+  clock.Advance(MillisToMicros(10.0));
+  auto v3 = db.Insert("t", "x", db::Value::FromJson(R"({"v":3})").value());
+  ASSERT_TRUE(v3.ok());
+
+  // NotFound right after the re-insert: the delete interval is still
+  // within the window, so this is an acceptable (bounded-stale) answer.
+  oracle.CheckRead("s", "t/x", false, 0);
+  EXPECT_TRUE(oracle.violations().empty());
+
+  // Much later the key has existed for the whole window again.
+  clock.Advance(MillisToMicros(500.0));
+  oracle.CheckRead("s", "t/x", false, 0);
+  ASSERT_EQ(oracle.violations().size(), 1u);
+  EXPECT_EQ(oracle.violations()[0].invariant, Invariant::kDeltaAtomicity);
+}
+
+}  // namespace
+}  // namespace quaestor::check
+
+// Custom main: gtest by default; `--fuzz_seed` switches to single-schedule
+// replay (the workflow for reproducing a sweep failure or exploring seeds).
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  bool replay = false;
+  quaestor::check::FuzzOptions options;
+  const quaestor::check::LevelConfig* level =
+      &quaestor::check::kLevels[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg] {
+      return arg.substr(arg.find('=') + 1);
+    };
+    if (arg.rfind("--fuzz_seed=", 0) == 0) {
+      replay = true;
+      options.seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg.rfind("--fuzz_ops=", 0) == 0) {
+      options.num_ops = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg.rfind("--fuzz_level=", 0) == 0) {
+      level = nullptr;
+      for (const auto& l : quaestor::check::kLevels) {
+        if (value() == l.name) level = &l;
+      }
+      if (level == nullptr) {
+        std::fprintf(stderr,
+                     "unknown --fuzz_level (use delta, delta-cdn, causal, "
+                     "strong)\n");
+        return 2;
+      }
+    }
+  }
+  if (!replay) return RUN_ALL_TESTS();
+
+  options.level = level->level;
+  options.revalidate_at_cdn = level->revalidate_at_cdn;
+  const quaestor::check::FuzzReport report =
+      quaestor::check::FuzzAndShrink(options);
+  std::printf("seed=%llu level=%s ops=%zu: %s (%llu reads, %llu queries "
+              "checked)\n",
+              static_cast<unsigned long long>(options.seed), level->name,
+              options.num_ops, report.ok ? "PASS" : "FAIL",
+              static_cast<unsigned long long>(report.checked_reads),
+              static_cast<unsigned long long>(report.checked_queries));
+  if (!report.ok) {
+    std::printf("%s", quaestor::check::FailureMessage(report).c_str());
+  }
+  return report.ok ? 0 : 1;
+}

@@ -1,0 +1,155 @@
+// Property tests for the Expiring Bloom Filter family (§3.3):
+//  1. No false negatives, ever: every key the server tracks as stale must
+//     be reported stale by the client-facing Bloom snapshot — across
+//     randomized read/write/advance traces for the in-process EBF, the
+//     KV-backed SharedEbf, and the per-table PartitionedEbf.
+//  2. The SharedEbf's exact stale set behaves identically to the
+//     in-process EBF under the same trace.
+//  3. The measured false-positive rate of the flat filter stays within 2x
+//     of the analytic bound across fill levels.
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "ebf/bloom_filter.h"
+#include "ebf/expiring_bloom_filter.h"
+#include "ebf/shared_ebf.h"
+#include "kv/kv_store.h"
+
+namespace quaestor::ebf {
+namespace {
+
+std::string KeyName(uint64_t i) { return "items/k" + std::to_string(i); }
+
+/// One randomized step against both EBF variants plus a model `universe`
+/// of every key ever touched.
+struct Trace {
+  explicit Trace(uint64_t seed) : rng(seed) {}
+
+  void Step(SimulatedClock& clock, ExpiringBloomFilter& ebf,
+            SharedEbf& shared) {
+    const double roll = rng.NextDouble();
+    const std::string key = KeyName(rng.NextUint64(40));
+    universe.insert(key);
+    if (roll < 0.45) {
+      const Micros ttl = SecondsToMicros(0.1) +
+                         static_cast<Micros>(rng.NextUint64(
+                             static_cast<uint64_t>(SecondsToMicros(2.0))));
+      ebf.ReportRead(key, ttl);
+      shared.ReportRead(key, ttl);
+    } else if (roll < 0.80) {
+      ebf.ReportWrite(key);
+      shared.ReportWrite(key);
+    } else {
+      clock.Advance(static_cast<Micros>(
+          rng.NextUint64(static_cast<uint64_t>(SecondsToMicros(0.5)))));
+    }
+  }
+
+  Rng rng;
+  std::set<std::string> universe;
+};
+
+TEST(EbfPropertyTest, NoFalseNegativesAndSharedAgreesWithInProcess) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SimulatedClock clock(0);
+    kv::KvStore kv(&clock);
+    ExpiringBloomFilter ebf(&clock);
+    SharedEbf shared(&clock, &kv);
+    Trace trace(seed);
+    for (int step = 0; step < 400; ++step) {
+      trace.Step(clock, ebf, shared);
+
+      // The two implementations must agree on the exact stale set. Sweep
+      // expirations first: StaleCount reports the post-maintenance view.
+      ebf.Maintain();
+      shared.Maintain();
+      size_t stale = 0;
+      for (const std::string& key : trace.universe) {
+        ASSERT_EQ(ebf.IsStale(key), shared.IsStale(key))
+            << "seed " << seed << " step " << step << " key " << key;
+        stale += ebf.IsStale(key) ? 1 : 0;
+      }
+      ASSERT_EQ(ebf.StaleCount(), stale);
+
+      // Snapshot every 25 steps (it is O(m)): anything exactly stale must
+      // be in the flat filter — a false negative here would let a client
+      // serve provably stale data as fresh.
+      if (step % 25 != 0) continue;
+      BloomFilter snapshot = ebf.Snapshot();
+      BloomFilter shared_snapshot = shared.Snapshot();
+      for (const std::string& key : trace.universe) {
+        if (!ebf.IsStale(key)) continue;
+        EXPECT_TRUE(ebf.MaybeStale(key)) << key;
+        EXPECT_TRUE(snapshot.MaybeContains(key)) << key;
+        EXPECT_TRUE(shared_snapshot.MaybeContains(key)) << key;
+      }
+    }
+  }
+}
+
+TEST(EbfPropertyTest, PartitionedAggregateHasNoFalseNegatives) {
+  const char* const kTables[] = {"users", "posts", "items"};
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    SimulatedClock clock(0);
+    PartitionedEbf ebf(&clock);
+    Rng rng(seed);
+    std::set<std::string> universe;
+    for (int step = 0; step < 400; ++step) {
+      const std::string key = std::string(kTables[rng.NextUint64(3)]) +
+                              "/k" + std::to_string(rng.NextUint64(30));
+      universe.insert(key);
+      const double roll = rng.NextDouble();
+      if (roll < 0.45) {
+        ebf.ReportRead(key, SecondsToMicros(1.0));
+      } else if (roll < 0.8) {
+        ebf.ReportWrite(key);
+      } else {
+        clock.Advance(static_cast<Micros>(
+            rng.NextUint64(static_cast<uint64_t>(SecondsToMicros(0.4)))));
+      }
+      if (step % 25 != 0) continue;
+      BloomFilter aggregate = ebf.AggregateSnapshot();
+      for (const std::string& k : universe) {
+        if (ebf.IsStale(k)) {
+          EXPECT_TRUE(aggregate.MaybeContains(k)) << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(EbfPropertyTest, MeasuredFprWithinTwiceAnalyticBound) {
+  const BloomParams params;  // the paper's 14.6 KB / 4-hash default
+  const size_t kProbes = 20000;
+  for (const size_t fill : {1000u, 5000u, 10000u, 20000u}) {
+    BloomFilter filter(params);
+    for (size_t i = 0; i < fill; ++i) {
+      filter.Add("member/" + std::to_string(i));
+    }
+    size_t false_positives = 0;
+    for (size_t i = 0; i < kProbes; ++i) {
+      if (filter.MaybeContains("absent/" + std::to_string(i))) {
+        ++false_positives;
+      }
+    }
+    const double measured =
+        static_cast<double>(false_positives) / static_cast<double>(kProbes);
+    const double predicted = BloomParams::FalsePositiveRate(
+        params.num_bits, fill, params.num_hashes);
+    // 2x the analytic rate plus additive slack for sampling noise at the
+    // near-zero fill levels.
+    EXPECT_LE(measured, 2.0 * predicted + 0.002)
+        << "fill " << fill << ": measured " << measured << " vs predicted "
+        << predicted;
+    // And the filter must not be uselessly pessimistic either.
+    EXPECT_LE(predicted / 4.0, measured + 0.002) << "fill " << fill;
+  }
+}
+
+}  // namespace
+}  // namespace quaestor::ebf

@@ -1,0 +1,280 @@
+// Property test: db::Query matching agrees with an independently written
+// naive reference evaluator on randomized documents and predicate trees,
+// and survives a ToSpec -> Parse round trip. The reference implementation
+// below deliberately shares no code with src/db/query.cc — it re-derives
+// the documented MongoDB-subset semantics (dot-paths, array membership for
+// $eq, type-bracketed ordering, $in/$nin, $contains, $exists, $prefix).
+#include <charconv>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "db/query.h"
+#include "db/value.h"
+
+namespace quaestor::db {
+namespace {
+
+// -- Naive reference evaluator --
+
+const Value* RefFind(const Value* v, const std::string& path) {
+  size_t start = 0;
+  while (v != nullptr) {
+    const size_t dot = path.find('.', start);
+    const std::string seg =
+        path.substr(start, dot == std::string::npos ? dot : dot - start);
+    if (seg.empty()) return nullptr;
+    if (v->is_object()) {
+      const Object& obj = v->as_object();
+      const auto it = obj.find(seg);
+      v = it == obj.end() ? nullptr : &it->second;
+    } else if (v->is_array()) {
+      size_t idx = 0;
+      const auto [p, ec] =
+          std::from_chars(seg.data(), seg.data() + seg.size(), idx);
+      if (ec != std::errc() || p != seg.data() + seg.size() ||
+          idx >= v->as_array().size()) {
+        return nullptr;
+      }
+      v = &v->as_array()[idx];
+    } else {
+      return nullptr;
+    }
+    if (dot == std::string::npos) return v;
+    start = dot + 1;
+  }
+  return nullptr;
+}
+
+bool RefEq(const Value* field, const Value& operand) {
+  if (field == nullptr) return operand.is_null();
+  if (*field == operand) return true;
+  if (field->is_array() && !operand.is_array()) {
+    for (const Value& e : field->as_array()) {
+      if (e == operand) return true;
+    }
+  }
+  return false;
+}
+
+bool RefLeaf(const Value* field, CompareOp op, const Value& operand) {
+  switch (op) {
+    case CompareOp::kEq:
+      return RefEq(field, operand);
+    case CompareOp::kNe:
+      return !RefEq(field, operand);
+    case CompareOp::kGt:
+    case CompareOp::kGte:
+    case CompareOp::kLt:
+    case CompareOp::kLte: {
+      if (field == nullptr) return false;
+      const bool comparable =
+          (field->is_number() && operand.is_number()) ||
+          (field->is_string() && operand.is_string()) ||
+          (field->is_bool() && operand.is_bool());
+      if (!comparable) return false;
+      const int c = Value::Compare(*field, operand);
+      if (op == CompareOp::kGt) return c > 0;
+      if (op == CompareOp::kGte) return c >= 0;
+      if (op == CompareOp::kLt) return c < 0;
+      return c <= 0;
+    }
+    case CompareOp::kIn: {
+      if (!operand.is_array()) return false;
+      for (const Value& e : operand.as_array()) {
+        if (RefEq(field, e)) return true;
+      }
+      return false;
+    }
+    case CompareOp::kNin:
+      return !RefLeaf(field, CompareOp::kIn, operand);
+    case CompareOp::kContains: {
+      if (field == nullptr || !field->is_array()) return false;
+      for (const Value& e : field->as_array()) {
+        if (e == operand) return true;
+      }
+      return false;
+    }
+    case CompareOp::kExists: {
+      const bool want = operand.is_bool() ? operand.as_bool() : true;
+      return (field != nullptr) == want;
+    }
+    case CompareOp::kPrefix:
+      return field != nullptr && field->is_string() && operand.is_string() &&
+             field->as_string().compare(0, operand.as_string().size(),
+                                        operand.as_string()) == 0;
+  }
+  return false;
+}
+
+bool RefMatches(const Predicate& p, const Value& doc) {
+  switch (p.kind) {
+    case Predicate::Kind::kTrue:
+      return true;
+    case Predicate::Kind::kCompare:
+      return RefLeaf(RefFind(&doc, p.path), p.op, p.operand);
+    case Predicate::Kind::kAnd:
+      for (const Predicate& c : p.children) {
+        if (!RefMatches(c, doc)) return false;
+      }
+      return true;
+    case Predicate::Kind::kOr:
+      for (const Predicate& c : p.children) {
+        if (RefMatches(c, doc)) return true;
+      }
+      return false;
+    case Predicate::Kind::kNot:
+      return !RefMatches(p.children[0], doc);
+  }
+  return false;
+}
+
+// -- Random generation --
+
+const char* const kStrings[] = {"alpha", "alps",  "beta", "bet",
+                                "gamma", "gam",   "",     "delta"};
+const char* const kPaths[] = {"a", "b", "s", "tags", "nested.x",
+                              "nested.y", "tags.0", "missing"};
+
+Value RandomScalar(Rng& rng) {
+  switch (rng.NextUint64(5)) {
+    case 0:
+      return Value(nullptr);
+    case 1:
+      return Value(rng.NextBool(0.5));
+    case 2:
+      return Value(static_cast<int64_t>(rng.NextUint64(6)));
+    case 3:
+      return Value(static_cast<double>(rng.NextUint64(6)) / 2.0);
+    default:
+      return Value(kStrings[rng.NextUint64(8)]);
+  }
+}
+
+Value RandomDoc(Rng& rng) {
+  Object doc;
+  if (rng.NextBool(0.9)) doc["a"] = RandomScalar(rng);
+  if (rng.NextBool(0.8)) doc["b"] = RandomScalar(rng);
+  if (rng.NextBool(0.8)) doc["s"] = Value(kStrings[rng.NextUint64(8)]);
+  if (rng.NextBool(0.7)) {
+    Array tags;
+    const size_t n = rng.NextUint64(4);
+    for (size_t i = 0; i < n; ++i) tags.push_back(RandomScalar(rng));
+    doc["tags"] = Value(std::move(tags));
+  }
+  if (rng.NextBool(0.6)) {
+    Object nested;
+    if (rng.NextBool(0.8)) nested["x"] = RandomScalar(rng);
+    if (rng.NextBool(0.5)) nested["y"] = RandomScalar(rng);
+    doc["nested"] = Value(std::move(nested));
+  }
+  return Value(std::move(doc));
+}
+
+Predicate RandomPredicate(Rng& rng, int depth) {
+  const uint64_t roll = rng.NextUint64(depth > 0 ? 10 : 7);
+  if (roll < 7) {
+    const std::string path = kPaths[rng.NextUint64(8)];
+    const CompareOp ops[] = {
+        CompareOp::kEq,  CompareOp::kNe,       CompareOp::kGt,
+        CompareOp::kGte, CompareOp::kLt,       CompareOp::kLte,
+        CompareOp::kIn,  CompareOp::kNin,      CompareOp::kContains,
+        CompareOp::kExists, CompareOp::kPrefix};
+    const CompareOp op = ops[rng.NextUint64(11)];
+    Value operand;
+    if (op == CompareOp::kIn || op == CompareOp::kNin) {
+      Array elems;
+      const size_t n = 1 + rng.NextUint64(3);
+      for (size_t i = 0; i < n; ++i) elems.push_back(RandomScalar(rng));
+      operand = Value(std::move(elems));
+    } else if (op == CompareOp::kExists) {
+      operand = Value(rng.NextBool(0.5));
+    } else {
+      operand = RandomScalar(rng);
+    }
+    return Predicate::Compare(path, op, operand);
+  }
+  if (roll < 8) {  // NOT
+    return Predicate::Not(RandomPredicate(rng, depth - 1));
+  }
+  std::vector<Predicate> children;
+  const size_t n = 2 + rng.NextUint64(2);
+  for (size_t i = 0; i < n; ++i) {
+    children.push_back(RandomPredicate(rng, depth - 1));
+  }
+  return roll < 9 ? Predicate::And(std::move(children))
+                  : Predicate::Or(std::move(children));
+}
+
+// -- Properties --
+
+TEST(QueryReferenceTest, MatchesAgreesWithNaiveEvaluator) {
+  Rng rng(20240806);
+  size_t matched = 0, total = 0;
+  for (int round = 0; round < 300; ++round) {
+    const Predicate p = RandomPredicate(rng, 3);
+    const Query q("t", p);
+    for (int d = 0; d < 25; ++d) {
+      const Value doc = RandomDoc(rng);
+      const bool expect = RefMatches(p, doc);
+      ASSERT_EQ(q.Matches(doc), expect)
+          << "predicate " << p.Normalize() << "\ndoc " << doc.ToJson();
+      matched += expect ? 1 : 0;
+      ++total;
+    }
+  }
+  // The generator must exercise both outcomes, or the property is vacuous.
+  EXPECT_GT(matched, total / 20);
+  EXPECT_LT(matched, total - total / 20);
+}
+
+TEST(QueryReferenceTest, ToSpecParseRoundTripPreservesSemantics) {
+  Rng rng(97);
+  for (int round = 0; round < 200; ++round) {
+    const Predicate p = RandomPredicate(rng, 3);
+    const Query q("t", p);
+
+    // Predicate-level: filter spec -> Parse.
+    auto reparsed = Query::Parse("t", p.ToSpec());
+    ASSERT_TRUE(reparsed.ok())
+        << reparsed.status().ToString() << " for " << p.ToSpec().ToJson();
+    // Query-level: full wire spec -> FromSpec, via JSON text.
+    auto from_json = Value::FromJson(q.ToSpec().ToJson());
+    ASSERT_TRUE(from_json.ok());
+    auto rewired = Query::FromSpec(from_json.value());
+    ASSERT_TRUE(rewired.ok()) << rewired.status().ToString();
+
+    for (int d = 0; d < 20; ++d) {
+      const Value doc = RandomDoc(rng);
+      const bool expect = RefMatches(p, doc);
+      ASSERT_EQ(reparsed.value().Matches(doc), expect)
+          << "Parse(ToSpec) diverges for " << p.Normalize() << "\ndoc "
+          << doc.ToJson();
+      ASSERT_EQ(rewired.value().Matches(doc), expect)
+          << "FromSpec(ToSpec) diverges for " << p.Normalize() << "\ndoc "
+          << doc.ToJson();
+    }
+    // Normalization must survive the round trip (shared cache keys).
+    EXPECT_EQ(reparsed.value().NormalizedKey(), q.NormalizedKey());
+  }
+}
+
+TEST(QueryReferenceTest, PrefixOperatorMatchesAnchoredPrefixOnly) {
+  Rng rng(11);
+  for (int round = 0; round < 500; ++round) {
+    const std::string s = kStrings[rng.NextUint64(8)];
+    const std::string prefix = kStrings[rng.NextUint64(8)];
+    const Predicate p =
+        Predicate::Compare("s", CompareOp::kPrefix, Value(prefix));
+    Object doc;
+    doc["s"] = Value(s);
+    const bool expect = s.compare(0, prefix.size(), prefix) == 0;
+    EXPECT_EQ(p.Matches(Value(std::move(doc))), expect)
+        << "s=" << s << " prefix=" << prefix;
+  }
+}
+
+}  // namespace
+}  // namespace quaestor::db
