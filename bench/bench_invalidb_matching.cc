@@ -1,0 +1,180 @@
+// Micro-benchmark for predicate-indexed InvaliDB matching: a grid of
+// installed-query counts × update batch sizes, each cell measured twice —
+// with the brute-force seed matcher (every event evaluated against every
+// query) and with the query index (only candidates evaluated). Emits the
+// full grid to BENCH_matching.json for machine consumption; run it from
+// the repo root so the artifact lands there.
+//
+// The query mix mirrors a realistic subscription population: ~90%
+// carry an indexable conjunct (equality on "group", a range window on
+// "score", or a string prefix on "name") and ~10% are residual (no
+// indexable conjunct: $exists / $ne) and must be evaluated on every
+// event in both modes.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "db/query.h"
+#include "invalidb/matching_node.h"
+
+namespace quaestor::bench {
+namespace {
+
+using invalidb::MatchingNode;
+using invalidb::Notification;
+
+constexpr int kGroups = 1000;
+constexpr int kScoreDomain = 1000;
+constexpr int kNames = 1000;
+
+db::Query MakeQuery(Rng& rng, bool* residual) {
+  const uint64_t roll = rng.NextUint64(10);
+  std::string filter;
+  *residual = false;
+  if (roll < 5) {  // equality on group
+    filter = "{\"group\":" + std::to_string(rng.NextUint64(kGroups)) + "}";
+  } else if (roll < 8) {  // range window on score
+    const uint64_t lo = rng.NextUint64(kScoreDomain - 5);
+    filter = "{\"score\":{\"$gte\":" + std::to_string(lo) +
+             ",\"$lt\":" + std::to_string(lo + 5) + "}}";
+  } else if (roll < 9) {  // string prefix on name
+    filter = "{\"name\":{\"$prefix\":\"u" +
+             std::to_string(rng.NextUint64(kNames / 10)) + "\"}}";
+  } else {  // residual: no indexable conjunct
+    *residual = true;
+    filter = rng.NextBool(0.5)
+                 ? "{\"flags\":{\"$exists\":true}}"
+                 : "{\"group\":{\"$ne\":" +
+                       std::to_string(rng.NextUint64(kGroups)) + "}}";
+  }
+  return db::Query::ParseJson("posts", filter).value();
+}
+
+db::ChangeEvent MakeEvent(Rng& rng, int i) {
+  db::ChangeEvent ev;
+  ev.kind = db::WriteKind::kUpdate;
+  ev.after.table = "posts";
+  ev.after.id = "d" + std::to_string(i % 4096);
+  db::Object body;
+  body["group"] = db::Value(static_cast<int64_t>(rng.NextUint64(kGroups)));
+  body["score"] =
+      db::Value(static_cast<int64_t>(rng.NextUint64(kScoreDomain)));
+  body["name"] = db::Value("u" + std::to_string(rng.NextUint64(kNames)));
+  ev.after.body = db::Value(std::move(body));
+  ev.commit_time = i;
+  return ev;
+}
+
+struct ModeResult {
+  double events_per_s = 0;
+  double checks_per_event = 0;
+  uint64_t notifications = 0;
+  size_t residual_queries = 0;
+};
+
+ModeResult RunMode(bool use_index, size_t num_queries,
+                   const std::vector<db::ChangeEvent>& events) {
+  // Same seed in both modes → identical query populations.
+  Rng rng(0xBE7C * (num_queries + 1));
+  MatchingNode node(use_index);
+  for (size_t i = 0; i < num_queries; ++i) {
+    bool residual = false;
+    const db::Query q = MakeQuery(rng, &residual);
+    node.AddQuery(q, std::to_string(i) + ":" + q.NormalizedKey(), {});
+  }
+  std::vector<Notification> out;
+  const auto start = std::chrono::steady_clock::now();
+  for (const db::ChangeEvent& ev : events) {
+    out.clear();
+    node.Match(ev, &out);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(end - start).count();
+
+  ModeResult r;
+  r.events_per_s =
+      seconds > 0 ? static_cast<double>(events.size()) / seconds : 0;
+  r.checks_per_event =
+      static_cast<double>(node.match_checks()) /
+      static_cast<double>(events.size());
+  r.notifications = node.emitted_notifications();
+  r.residual_queries = node.ResidualQueryCount();
+  return r;
+}
+
+void Run(const std::string& json_path) {
+  PrintHeader("InvaliDB matching: brute-force seed vs query index");
+  PrintNote("~90% indexable queries (eq/range/prefix), ~10% residual");
+  PrintColumns("queries/updates",
+               {"seed ev/s", "idx ev/s", "speedup", "seed chk/ev",
+                "idx chk/ev", "resid%"});
+
+  db::Array rows;
+  const std::vector<size_t> query_counts = {1000, 5000, 10000};
+  const std::vector<size_t> update_counts = {1000, 4000};
+  for (size_t nq : query_counts) {
+    for (size_t nu : update_counts) {
+      Rng ev_rng(0xE0E0 + nu);
+      std::vector<db::ChangeEvent> events;
+      events.reserve(nu);
+      for (size_t i = 0; i < nu; ++i) {
+        events.push_back(MakeEvent(ev_rng, static_cast<int>(i)));
+      }
+
+      const ModeResult seed = RunMode(/*use_index=*/false, nq, events);
+      const ModeResult indexed = RunMode(/*use_index=*/true, nq, events);
+      const double speedup = seed.events_per_s > 0
+                                 ? indexed.events_per_s / seed.events_per_s
+                                 : 0;
+      const double resid_pct =
+          100.0 * static_cast<double>(indexed.residual_queries) /
+          static_cast<double>(nq);
+      PrintRow(std::to_string(nq) + "q / " + std::to_string(nu) + "u",
+               {seed.events_per_s, indexed.events_per_s, speedup,
+                seed.checks_per_event, indexed.checks_per_event, resid_pct});
+
+      // Both modes must agree on what they notified about.
+      if (seed.notifications != indexed.notifications) {
+        PrintNote("MISMATCH: seed delivered " +
+                  std::to_string(seed.notifications) + ", indexed " +
+                  std::to_string(indexed.notifications));
+      }
+
+      db::Object row;
+      row["queries"] = db::Value(static_cast<int64_t>(nq));
+      row["updates"] = db::Value(static_cast<int64_t>(nu));
+      row["residual_queries"] =
+          db::Value(static_cast<int64_t>(indexed.residual_queries));
+      row["seed_events_per_s"] = db::Value(seed.events_per_s);
+      row["indexed_events_per_s"] = db::Value(indexed.events_per_s);
+      row["speedup"] = db::Value(speedup);
+      row["seed_checks_per_event"] = db::Value(seed.checks_per_event);
+      row["indexed_checks_per_event"] =
+          db::Value(indexed.checks_per_event);
+      row["notifications"] =
+          db::Value(static_cast<int64_t>(indexed.notifications));
+      row["notifications_match"] =
+          db::Value(seed.notifications == indexed.notifications);
+      rows.push_back(db::Value(std::move(row)));
+    }
+  }
+
+  db::Object root;
+  root["benchmark"] = db::Value("invalidb_matching");
+  root["description"] = db::Value(
+      "MatchingNode::Match throughput, brute-force seed vs query index");
+  root["rows"] = db::Value(std::move(rows));
+  WriteJsonFile(json_path, db::Value(std::move(root)));
+}
+
+}  // namespace
+}  // namespace quaestor::bench
+
+int main(int argc, char** argv) {
+  quaestor::bench::Run(argc > 1 ? argv[1] : "BENCH_matching.json");
+  return 0;
+}

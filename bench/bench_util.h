@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "db/value.h"
 #include "sim/simulation.h"
 #include "workload/workload.h"
 
@@ -76,6 +77,23 @@ inline void PrintColumns(const std::string& label,
   std::printf("%-28s", label.c_str());
   for (const std::string& c : columns) std::printf(" %12s", c.c_str());
   std::printf("\n");
+}
+
+/// Writes a benchmark result tree (built as a db::Value) to `path` as
+/// JSON, so downstream tooling can diff runs without scraping stdout.
+/// Returns false (after printing a note) if the file cannot be opened.
+inline bool WriteJsonFile(const std::string& path, const db::Value& root) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    PrintNote("could not open " + path + " for writing");
+    return false;
+  }
+  const std::string json = root.ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  PrintNote("wrote " + path);
+  return true;
 }
 
 }  // namespace quaestor::bench

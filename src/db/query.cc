@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace quaestor::db {
 
@@ -31,6 +32,52 @@ std::string_view CompareOpName(CompareOp op) {
       return "$prefix";
   }
   return "$unknown";
+}
+
+bool IsRangeOp(CompareOp op) {
+  return op == CompareOp::kGt || op == CompareOp::kGte ||
+         op == CompareOp::kLt || op == CompareOp::kLte;
+}
+
+int RangeClassOf(const Value& v) {
+  if (v.is_bool()) return 0;
+  if (v.is_number()) return 1;
+  if (v.is_string()) return 2;
+  return -1;
+}
+
+Value RangeClassMin(int cls) {
+  switch (cls) {
+    case 0:
+      return Value(false);
+    case 1:
+      return Value(-std::numeric_limits<double>::infinity());
+    default:
+      return Value(std::string());
+  }
+}
+
+bool PrefixUpperBound(const std::string& prefix, std::string* out) {
+  *out = prefix;
+  while (!out->empty()) {
+    if (static_cast<unsigned char>(out->back()) != 0xff) {
+      out->back() = static_cast<char>(out->back() + 1);
+      return true;
+    }
+    out->pop_back();
+  }
+  return false;
+}
+
+void TopLevelConjuncts(const Predicate& p,
+                       std::vector<const Predicate*>* out) {
+  if (p.kind == Predicate::Kind::kCompare) {
+    out->push_back(&p);
+  } else if (p.kind == Predicate::Kind::kAnd) {
+    for (const Predicate& c : p.children) {
+      if (c.kind == Predicate::Kind::kCompare) out->push_back(&c);
+    }
+  }
 }
 
 Predicate Predicate::Compare(std::string path, CompareOp op, Value operand) {

@@ -63,6 +63,30 @@ struct Predicate {
   Value ToSpec() const;
 };
 
+// -- Predicate-analysis helpers shared by index planners (db::Table's
+// -- secondary indexes and InvaliDB's query index) --
+
+/// True for the ordered comparison operators $gt/$gte/$lt/$lte.
+bool IsRangeOp(CompareOp op);
+
+/// Type-bracketing class for ordered comparisons: 0 = bool, 1 = number,
+/// 2 = string, -1 = classes ranges never match (null/array/object).
+int RangeClassOf(const Value& v);
+
+/// Smallest Value of a range class, for unbounded-lower index scans.
+Value RangeClassMin(int cls);
+
+/// Smallest string strictly greater than every string with this prefix.
+/// Returns false if no such string exists (prefix is empty or all 0xff) —
+/// a $prefix scan is then unbounded above within the string class.
+bool PrefixUpperBound(const std::string& prefix, std::string* out);
+
+/// Appends the top-level conjuncts of a predicate: the root itself for a
+/// single comparison, or the comparison children of a root AND. Every
+/// conjunct is a necessary condition for the whole predicate — the basis
+/// for index-plan selection.
+void TopLevelConjuncts(const Predicate& p, std::vector<const Predicate*>* out);
+
 /// A sort key: dot-path plus direction.
 struct SortKey {
   std::string path;

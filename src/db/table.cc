@@ -5,33 +5,43 @@
 namespace quaestor::db {
 
 void Table::IndexKeysFor(const Value& body, const std::string& path,
-                         std::vector<std::string>* out) {
+                         std::vector<Value>* out) {
   const Value* v = body.Find(path);
   if (v == nullptr) return;
-  out->push_back(v->ToJson());
+  out->push_back(*v);
   if (v->is_array()) {
     // Multikey: {tags: "x"} equality matches array elements.
-    for (const Value& e : v->as_array()) out->push_back(e.ToJson());
+    for (const Value& e : v->as_array()) out->push_back(e);
   }
 }
 
 void Table::AddToIndexesLocked(const Document& doc) {
   for (auto& [path, index] : indexes_) {
-    std::vector<std::string> keys;
+    std::vector<Value> keys;
     IndexKeysFor(doc.body, path, &keys);
-    for (const std::string& k : keys) index[k].insert(doc.id);
+    if (keys.empty()) {
+      index.absent_docs++;
+    } else if (keys.size() > 1) {
+      index.multikey_docs++;
+    }
+    for (const Value& k : keys) index.buckets[k].insert(doc.id);
   }
 }
 
 void Table::RemoveFromIndexesLocked(const Document& doc) {
   for (auto& [path, index] : indexes_) {
-    std::vector<std::string> keys;
+    std::vector<Value> keys;
     IndexKeysFor(doc.body, path, &keys);
-    for (const std::string& k : keys) {
-      auto it = index.find(k);
-      if (it == index.end()) continue;
+    if (keys.empty()) {
+      index.absent_docs--;
+    } else if (keys.size() > 1) {
+      index.multikey_docs--;
+    }
+    for (const Value& k : keys) {
+      auto it = index.buckets.find(k);
+      if (it == index.buckets.end()) continue;
       it->second.erase(doc.id);
-      if (it->second.empty()) index.erase(it);
+      if (it->second.empty()) index.buckets.erase(it);
     }
   }
 }
@@ -39,12 +49,17 @@ void Table::RemoveFromIndexesLocked(const Document& doc) {
 void Table::CreateIndex(const std::string& path) {
   std::lock_guard<std::mutex> lock(mu_);
   if (indexes_.count(path) > 0) return;
-  Index& index = indexes_[path];
+  SecondaryIndex& index = indexes_[path];
   for (const auto& [id, doc] : docs_) {
     if (doc.deleted) continue;
-    std::vector<std::string> keys;
+    std::vector<Value> keys;
     IndexKeysFor(doc.body, path, &keys);
-    for (const std::string& k : keys) index[k].insert(id);
+    if (keys.empty()) {
+      index.absent_docs++;
+    } else if (keys.size() > 1) {
+      index.multikey_docs++;
+    }
+    for (const Value& k : keys) index.buckets[k].insert(id);
   }
 }
 
@@ -60,27 +75,17 @@ bool Table::HasIndex(const std::string& path) const {
 
 uint64_t Table::index_lookups() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return index_lookups_;
+  return stats_.eq_lookups + stats_.range_scans + stats_.order_scans;
 }
 
 uint64_t Table::full_scans() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return full_scans_;
+  return stats_.full_scans;
 }
 
-const Predicate* Table::FindIndexableEqLocked(const Predicate& p) const {
-  auto usable = [this](const Predicate& leaf) {
-    return leaf.kind == Predicate::Kind::kCompare &&
-           leaf.op == CompareOp::kEq && !leaf.operand.is_null() &&
-           indexes_.count(leaf.path) > 0;
-  };
-  if (usable(p)) return &p;
-  if (p.kind == Predicate::Kind::kAnd) {
-    for (const Predicate& child : p.children) {
-      if (usable(child)) return &child;
-    }
-  }
-  return nullptr;
+TableIndexStats Table::index_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 Result<Document> Table::Insert(const std::string& id, Value body, Micros now) {
@@ -165,54 +170,264 @@ Result<Document> Table::Get(const std::string& id) const {
   return it->second;
 }
 
+void Table::ExecuteEqLocked(const Query& query, const Predicate& conjunct,
+                            std::vector<const Document*>* out) const {
+  const SecondaryIndex& index = indexes_.at(conjunct.path);
+  auto emit_bucket = [&](const Value& key,
+                         std::unordered_set<std::string_view>* seen) {
+    auto bucket = index.buckets.find(key);
+    if (bucket == index.buckets.end()) return;
+    for (const std::string& id : bucket->second) {
+      if (seen != nullptr && !seen->insert(id).second) continue;
+      auto it = docs_.find(id);
+      if (it == docs_.end() || it->second.deleted) continue;
+      if (query.Matches(it->second.body)) out->push_back(&it->second);
+    }
+  };
+  if (conjunct.op == CompareOp::kEq) {
+    emit_bucket(conjunct.operand, nullptr);
+  } else {  // $in: union of the element buckets (a multikey doc can sit in
+            // several, so dedup by id).
+    std::unordered_set<std::string_view> seen;
+    for (const Value& e : conjunct.operand.as_array()) {
+      emit_bucket(e, &seen);
+    }
+  }
+}
+
+void Table::ExecuteRangeLocked(const Query& query, const std::string& path,
+                               const Value* lo, bool lo_incl, const Value* hi,
+                               bool hi_incl,
+                               std::vector<const Document*>* out) const {
+  const SecondaryIndex& index = indexes_.at(path);
+  const int cls = RangeClassOf(lo != nullptr ? *lo : *hi);
+  const Value class_min = RangeClassMin(cls);
+  auto it = lo == nullptr
+                ? index.buckets.lower_bound(class_min)
+                : (lo_incl ? index.buckets.lower_bound(*lo)
+                           : index.buckets.upper_bound(*lo));
+  for (; it != index.buckets.end(); ++it) {
+    const int key_cls = RangeClassOf(it->first);
+    if (key_cls != cls) break;  // left the class bracket — keys are sorted
+    if (hi != nullptr) {
+      const int c = Value::Compare(it->first, *hi);
+      if (c > 0 || (c == 0 && !hi_incl)) break;
+    }
+    for (const std::string& id : it->second) {
+      auto doc = docs_.find(id);
+      if (doc == docs_.end() || doc->second.deleted) continue;
+      if (query.Matches(doc->second.body)) out->push_back(&doc->second);
+    }
+  }
+  // Multikey docs can land in the scanned window via several array
+  // elements; dedup keeps windowing exact.
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+bool Table::ExecuteTopKLocked(const Query& query,
+                              std::vector<const Document*>* out) const {
+  if (query.order_by().size() != 1 || query.limit() < 0) return false;
+  auto idx = indexes_.find(query.order_by()[0].path);
+  if (idx == indexes_.end()) return false;
+  const SecondaryIndex& index = idx->second;
+  // Multikey docs appear at several index positions; absent docs sort as
+  // null but are invisible to the index. Either breaks in-order traversal.
+  if (index.multikey_docs > 0 || index.absent_docs > 0) return false;
+
+  const size_t skip =
+      static_cast<size_t>(std::max<int64_t>(0, query.offset()));
+  const size_t want = static_cast<size_t>(query.limit());
+  if (want == 0) return true;  // LIMIT 0 → empty result, nothing to scan
+  size_t skipped = 0;
+  std::vector<const std::string*> bucket_ids;
+  auto emit_bucket = [&](const std::unordered_set<std::string>& ids) {
+    // Within one bucket the sort key compares equal → tie-break by id asc.
+    bucket_ids.clear();
+    for (const std::string& id : ids) bucket_ids.push_back(&id);
+    std::sort(bucket_ids.begin(), bucket_ids.end(),
+              [](const std::string* a, const std::string* b) {
+                return *a < *b;
+              });
+    for (const std::string* id : bucket_ids) {
+      auto doc = docs_.find(*id);
+      if (doc == docs_.end() || doc->second.deleted) continue;
+      if (!query.Matches(doc->second.body)) continue;
+      if (skipped < skip) {
+        skipped++;
+        continue;
+      }
+      out->push_back(&doc->second);
+      if (out->size() >= want) return true;  // early termination
+    }
+    return false;
+  };
+  if (query.order_by()[0].ascending) {
+    for (auto it = index.buckets.begin(); it != index.buckets.end(); ++it) {
+      if (emit_bucket(it->second)) break;
+    }
+  } else {
+    for (auto it = index.buckets.rbegin(); it != index.buckets.rend(); ++it) {
+      if (emit_bucket(it->second)) break;
+    }
+  }
+  return true;
+}
+
 std::vector<Document> Table::Execute(const Query& query) const {
-  std::vector<Document> matches;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    const Predicate* eq = FindIndexableEqLocked(query.filter());
-    if (eq != nullptr) {
-      // Index path: candidates from the multikey hash index, then verify
-      // the full predicate (other conjuncts may restrict further).
-      index_lookups_++;
-      const Index& index = indexes_.at(eq->path);
-      auto bucket = index.find(eq->operand.ToJson());
-      if (bucket != index.end()) {
-        for (const std::string& id : bucket->second) {
-          auto it = docs_.find(id);
-          if (it == docs_.end() || it->second.deleted) continue;
-          if (query.Matches(it->second.body)) matches.push_back(it->second);
+  std::vector<Document> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Document*> matches;
+
+  // Plan selection over the top-level conjuncts.
+  std::vector<const Predicate*> conjuncts;
+  TopLevelConjuncts(query.filter(), &conjuncts);
+
+  // (1) Equality / $in bucket lookup. Equality with a null operand also
+  // matches documents missing the field entirely, which the index cannot
+  // see — those stay on the scan path.
+  const Predicate* eq = nullptr;
+  for (const Predicate* c : conjuncts) {
+    if (indexes_.count(c->path) == 0) continue;
+    if (c->op == CompareOp::kEq && !c->operand.is_null()) {
+      eq = c;
+      break;
+    }
+    if (c->op == CompareOp::kIn && c->operand.is_array() &&
+        !c->operand.as_array().empty()) {
+      bool all_non_null = true;
+      for (const Value& e : c->operand.as_array()) {
+        if (e.is_null()) {
+          all_non_null = false;
+          break;
         }
       }
-    } else {
-      full_scans_++;
-      for (const auto& [id, doc] : docs_) {
-        if (doc.deleted) continue;
-        if (query.Matches(doc.body)) matches.push_back(doc);
+      if (all_non_null) {
+        eq = c;
+        break;
       }
     }
   }
-  if (!query.order_by().empty()) {
-    std::sort(matches.begin(), matches.end(),
-              [&query](const Document& a, const Document& b) {
-                return query.OrderedBefore(a.body, a.id, b.body, b.id);
-              });
+
+  bool windowed_in_order = false;
+  if (eq != nullptr) {
+    stats_.eq_lookups++;
+    ExecuteEqLocked(query, *eq, &matches);
   } else {
-    // Deterministic order even without ORDER BY (scan order of a hash map
-    // is arbitrary; id order keeps results and result-based cache entries
-    // stable).
-    std::sort(matches.begin(), matches.end(),
-              [](const Document& a, const Document& b) { return a.id < b.id; });
+    // (2) Range / prefix scan: intersect all comparable bounds on the
+    // first indexed path carrying one.
+    const std::string* range_path = nullptr;
+    const Value* lo = nullptr;
+    const Value* hi = nullptr;
+    Value prefix_hi;
+    bool lo_incl = false, hi_incl = false, prefix_unbounded = false;
+    int cls = -1;
+    for (const Predicate* c : conjuncts) {
+      const bool range = IsRangeOp(c->op) && RangeClassOf(c->operand) >= 0;
+      const bool prefix = c->op == CompareOp::kPrefix && c->operand.is_string();
+      if (!range && !prefix) continue;
+      if (indexes_.count(c->path) == 0) continue;
+      if (range_path == nullptr) {
+        range_path = &c->path;
+        cls = prefix ? 2 : RangeClassOf(c->operand);
+      } else if (*range_path != c->path) {
+        continue;  // one path per scan; other conjuncts verify candidates
+      }
+      if (prefix ? cls != 2 : RangeClassOf(c->operand) != cls) {
+        continue;  // cross-class bound can't tighten this scan
+      }
+      auto tighten_lo = [&](const Value* v, bool incl) {
+        const int c2 = lo == nullptr ? 1 : Value::Compare(*v, *lo);
+        if (c2 > 0 || (c2 == 0 && !incl)) {
+          lo = v;
+          lo_incl = incl;
+        }
+      };
+      auto tighten_hi = [&](const Value* v, bool incl) {
+        const int c2 = hi == nullptr ? -1 : Value::Compare(*v, *hi);
+        if (c2 < 0 || (c2 == 0 && !incl)) {
+          hi = v;
+          hi_incl = incl;
+        }
+      };
+      switch (c->op) {
+        case CompareOp::kGt:
+          tighten_lo(&c->operand, false);
+          break;
+        case CompareOp::kGte:
+          tighten_lo(&c->operand, true);
+          break;
+        case CompareOp::kLt:
+          tighten_hi(&c->operand, false);
+          break;
+        case CompareOp::kLte:
+          tighten_hi(&c->operand, true);
+          break;
+        case CompareOp::kPrefix: {
+          tighten_lo(&c->operand, true);
+          std::string upper;
+          if (!prefix_unbounded &&
+              PrefixUpperBound(c->operand.as_string(), &upper)) {
+            prefix_hi = Value(std::move(upper));
+            tighten_hi(&prefix_hi, false);
+          } else {
+            prefix_unbounded = true;
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    if (range_path != nullptr && (lo != nullptr || hi != nullptr)) {
+      stats_.range_scans++;
+      ExecuteRangeLocked(query, *range_path, lo, lo_incl, hi, hi_incl,
+                         &matches);
+    } else if (ExecuteTopKLocked(query, &matches)) {
+      // (3) ORDER BY + LIMIT top-k with early termination: `matches` is
+      // already the final window in final order.
+      stats_.order_scans++;
+      windowed_in_order = true;
+    } else {
+      // (4) Full predicate scan.
+      stats_.full_scans++;
+      for (const auto& [id, doc] : docs_) {
+        if (doc.deleted) continue;
+        if (query.Matches(doc.body)) matches.push_back(&doc);
+      }
+    }
   }
-  // OFFSET / LIMIT.
-  const size_t offset = static_cast<size_t>(std::max<int64_t>(
-      0, query.offset()));
-  if (offset >= matches.size()) return {};
-  if (offset > 0) matches.erase(matches.begin(), matches.begin() + offset);
-  if (query.limit() >= 0 &&
-      matches.size() > static_cast<size_t>(query.limit())) {
-    matches.resize(static_cast<size_t>(query.limit()));
+
+  if (!windowed_in_order) {
+    if (!query.order_by().empty()) {
+      std::sort(matches.begin(), matches.end(),
+                [&query](const Document* a, const Document* b) {
+                  return query.OrderedBefore(a->body, a->id, b->body, b->id);
+                });
+    } else {
+      // Deterministic order even without ORDER BY (scan order of a hash
+      // map is arbitrary; id order keeps results and result-based cache
+      // entries stable).
+      std::sort(matches.begin(), matches.end(),
+                [](const Document* a, const Document* b) {
+                  return a->id < b->id;
+                });
+    }
+    // OFFSET / LIMIT window over the pointers; only survivors are copied.
+    const size_t offset =
+        static_cast<size_t>(std::max<int64_t>(0, query.offset()));
+    if (offset >= matches.size()) return {};
+    size_t end = matches.size();
+    if (query.limit() >= 0) {
+      end = std::min(end, offset + static_cast<size_t>(query.limit()));
+    }
+    matches.erase(matches.begin() + end, matches.end());
+    matches.erase(matches.begin(), matches.begin() + offset);
   }
-  return matches;
+
+  out.reserve(matches.size());
+  for (const Document* doc : matches) out.push_back(*doc);
+  return out;
 }
 
 size_t Table::LiveCount() const {

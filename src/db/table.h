@@ -17,10 +17,22 @@
 
 namespace quaestor::db {
 
-/// A single document table: id → versioned document. Thread-safe. Query
-/// execution is a predicate scan plus optional sort/offset/limit (the
-/// paper's substrate is an aggregate-oriented store; secondary indexing is
-/// orthogonal to the caching contribution).
+/// Execution-plan counters for one table (diagnostics; see Execute()).
+struct TableIndexStats {
+  uint64_t eq_lookups = 0;     // bucket lookups ($eq / $in conjuncts)
+  uint64_t range_scans = 0;    // ordered scans ($gt/$gte/$lt/$lte/$prefix)
+  uint64_t order_scans = 0;    // ORDER BY + LIMIT top-k index traversals
+  uint64_t full_scans = 0;     // no usable index: predicate scan
+};
+
+/// A single document table: id → versioned document. Thread-safe.
+///
+/// Query execution picks the cheapest applicable plan: (1) an equality /
+/// $in bucket lookup on an ordered secondary index, (2) an ordered range
+/// scan for $gt/$gte/$lt/$lte/$prefix conjuncts, (3) an ORDER BY + LIMIT
+/// top-k traversal of the sort key's index with early termination, or
+/// (4) a full predicate scan. Index candidates are always re-verified
+/// against the complete predicate, so plans never change results.
 class Table {
  public:
   explicit Table(std::string name) : name_(std::move(name)) {}
@@ -47,7 +59,7 @@ class Table {
   /// Point lookup of the live version.
   Result<Document> Get(const std::string& id) const;
 
-  /// Executes a query: scan + filter + order/offset/limit.
+  /// Executes a query: plan selection + filter + order/offset/limit.
   std::vector<Document> Execute(const Query& query) const;
 
   /// Number of live (non-deleted) documents.
@@ -58,10 +70,11 @@ class Table {
 
   // -- Secondary indexes --
 
-  /// Creates a multikey hash index on a dot-path (MongoDB-style: array
-  /// values index every element). Built from existing documents;
-  /// maintained on every write. Queries with a top-level equality on an
-  /// indexed path use it instead of scanning. Idempotent.
+  /// Creates a multikey ordered index on a dot-path (MongoDB-style: array
+  /// values index every element and the whole array). Keys are Values
+  /// ordered by Value::Compare, so equality, range, and prefix predicates
+  /// as well as single-key ORDER BY can be served from it. Built from
+  /// existing documents; maintained on every write. Idempotent.
   void CreateIndex(const std::string& path);
 
   void DropIndex(const std::string& path);
@@ -69,31 +82,56 @@ class Table {
   bool HasIndex(const std::string& path) const;
 
   /// How many Execute() calls were answered via an index (diagnostics).
+  /// Counts eq lookups + range scans + order scans.
   uint64_t index_lookups() const;
   /// How many Execute() calls fell back to a full scan.
   uint64_t full_scans() const;
+  /// Per-plan counters.
+  TableIndexStats index_stats() const;
 
  private:
-  /// value-json → ids. Multikey: array fields index each element AND the
-  /// whole array.
-  using Index = std::unordered_map<std::string,
-                                   std::unordered_set<std::string>>;
+  /// Ordered multikey index: value → ids holding that value at the path
+  /// (arrays contribute each element and the whole array).
+  struct SecondaryIndex {
+    std::map<Value, std::unordered_set<std::string>, ValueLess> buckets;
+    /// Live docs contributing more than one key (array values). The top-k
+    /// plan requires 0: a multikey doc would appear at several positions.
+    size_t multikey_docs = 0;
+    /// Live docs with no value at the path. The top-k plan requires 0:
+    /// absent docs sort as null (first ascending / last descending) but
+    /// are invisible to the index.
+    size_t absent_docs = 0;
+  };
 
   static void IndexKeysFor(const Value& body, const std::string& path,
-                           std::vector<std::string>* out);
+                           std::vector<Value>* out);
   void AddToIndexesLocked(const Document& doc);
   void RemoveFromIndexesLocked(const Document& doc);
 
-  /// Finds a top-level equality predicate on an indexed path (the root
-  /// itself or a conjunct of a root AND).
-  const Predicate* FindIndexableEqLocked(const Predicate& p) const;
+  /// Appends live matching docs via an eq/$in bucket plan. `conjunct` must
+  /// be an indexable equality. Ids reaching `out` satisfy the full query
+  /// predicate.
+  void ExecuteEqLocked(const Query& query, const Predicate& conjunct,
+                       std::vector<const Document*>* out) const;
+
+  /// Appends live matching docs via an ordered range scan over `path`'s
+  /// index between the given bounds (either may be null = unbounded).
+  void ExecuteRangeLocked(const Query& query, const std::string& path,
+                          const Value* lo, bool lo_incl, const Value* hi,
+                          bool hi_incl,
+                          std::vector<const Document*>* out) const;
+
+  /// Top-k via the ORDER BY path's index: emits up to offset+limit
+  /// matching docs already in query order, stopping early. Returns false
+  /// if the plan is inapplicable (multikey/absent docs, no index).
+  bool ExecuteTopKLocked(const Query& query,
+                         std::vector<const Document*>* out) const;
 
   std::string name_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, Document> docs_;
-  std::map<std::string, Index> indexes_;
-  mutable uint64_t index_lookups_ = 0;
-  mutable uint64_t full_scans_ = 0;
+  std::map<std::string, SecondaryIndex> indexes_;
+  mutable TableIndexStats stats_;
 };
 
 }  // namespace quaestor::db

@@ -97,6 +97,16 @@ class Value {
       data_;
 };
 
+/// Strict-weak-ordering wrapper over Value::Compare, for ordered containers
+/// keyed by Value (secondary indexes, range scans). Note that int and
+/// double keys compare numerically, so Value(1) and Value(1.0) collide —
+/// the semantics equality queries want.
+struct ValueLess {
+  bool operator()(const Value& a, const Value& b) const {
+    return Value::Compare(a, b) < 0;
+  }
+};
+
 }  // namespace quaestor::db
 
 #endif  // QUAESTOR_DB_VALUE_H_

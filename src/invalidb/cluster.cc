@@ -12,7 +12,7 @@ InvalidbCluster::InvalidbCluster(Clock* clock, InvalidbOptions options,
   const size_t n = options_.query_partitions * options_.object_partitions;
   nodes_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    auto node = std::make_unique<Node>();
+    auto node = std::make_unique<Node>(options_.indexed_matching);
     if (options_.threaded) {
       node->queue =
           std::make_unique<BoundedQueue<Task>>(options_.node_queue_capacity);
@@ -55,15 +55,29 @@ void InvalidbCluster::Submit(size_t column, size_t row, Task task) {
       in_flight_.fetch_sub(1, std::memory_order_relaxed);
     }
   } else {
-    ExecuteTask(node, task);
+    // Synchronous mode executes in the caller; per-thread scratch keeps
+    // concurrent callers isolated. A sink that re-enters a synchronous
+    // cluster on the same thread (e.g. chained clusters) must not clobber
+    // the outer call's buffers, so reentrant calls get a local scratch.
+    static thread_local NotifyScratch scratch;
+    static thread_local bool scratch_busy = false;
+    if (scratch_busy) {
+      NotifyScratch local;
+      ExecuteTask(node, task, local);
+    } else {
+      scratch_busy = true;
+      ExecuteTask(node, task, scratch);
+      scratch_busy = false;
+    }
   }
 }
 
 void InvalidbCluster::WorkerLoop(Node* node) {
+  NotifyScratch scratch;
   for (;;) {
     std::optional<Task> task = node->queue->Pop();
     if (!task.has_value()) return;
-    ExecuteTask(*node, *task);
+    ExecuteTask(*node, *task, scratch);
     if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(flush_mu_);
       flush_cv_.notify_all();
@@ -71,35 +85,40 @@ void InvalidbCluster::WorkerLoop(Node* node) {
   }
 }
 
-void InvalidbCluster::ExecuteTask(Node& node, Task& task) {
-  std::vector<Notification> raw;
+void InvalidbCluster::ExecuteTask(Node& node, Task& task,
+                                  NotifyScratch& scratch) {
+  scratch.raw.clear();
   if (auto* reg = std::get_if<RegisterTask>(&task)) {
     node.matcher.AddQuery(reg->query, reg->key,
                           std::move(reg->initial_ids));
     // Replay recently received objects for this query (§4.1): closes the
     // window between initial evaluation and activation.
     for (const db::ChangeEvent& ev : reg->replay) {
-      raw.clear();
-      node.matcher.MatchSingle(reg->key, ev, &raw);
-      if (!raw.empty()) Dispatch(raw, ev.after);
+      scratch.raw.clear();
+      node.matcher.MatchSingle(reg->key, ev, &scratch.raw);
+      if (!scratch.raw.empty()) Dispatch(scratch, ev.after);
     }
   } else if (auto* dereg = std::get_if<DeregisterTask>(&task)) {
     node.matcher.RemoveQuery(dereg->key);
   } else if (auto* change = std::get_if<ChangeTask>(&task)) {
-    const size_t checks = node.matcher.QueryCount();
-    node.matcher.Match(change->event, &raw);
+    const MatchingNode::MatchStats ms =
+        node.matcher.Match(change->event, &scratch.raw);
     {
       std::lock_guard<std::mutex> lock(sink_mu_);
-      stats_.match_checks += checks;
+      stats_.match_checks += ms.checked;
+      stats_.match_checks_naive += ms.installed;
+      stats_.index_candidates += ms.index_candidates;
+      stats_.residual_candidates += ms.residual_candidates;
     }
-    if (!raw.empty()) Dispatch(raw, change->event.after);
+    if (!scratch.raw.empty()) Dispatch(scratch, change->event.after);
   }
 }
 
-void InvalidbCluster::Dispatch(const std::vector<Notification>& raw,
+void InvalidbCluster::Dispatch(NotifyScratch& scratch,
                                const db::Document& after_image) {
-  std::vector<Notification> deliverable;
-  for (const Notification& n : raw) {
+  std::vector<Notification>& deliverable = scratch.deliverable;
+  deliverable.clear();
+  for (Notification& n : scratch.raw) {
     Subscription sub;
     {
       std::lock_guard<std::mutex> lock(subs_mu_);
@@ -109,16 +128,17 @@ void InvalidbCluster::Dispatch(const std::vector<Notification>& raw,
     }
     if (sub.stateful) {
       // Translate raw membership events into windowed events.
-      std::vector<Notification> windowed;
+      scratch.windowed.clear();
       sorted_layer_.OnRawEvent(n.query_key, n.type, after_image,
-                               n.event_time, &windowed);
-      for (Notification& w : windowed) {
+                               n.event_time, &scratch.windowed);
+      for (Notification& w : scratch.windowed) {
         if (sub.mask & EventBit(w.type)) deliverable.push_back(std::move(w));
       }
     } else if (sub.mask & EventBit(n.type)) {
-      deliverable.push_back(n);
+      deliverable.push_back(std::move(n));
     }
   }
+  scratch.raw.clear();
   if (deliverable.empty()) return;
   const Micros now = clock_->NowMicros();
   std::lock_guard<std::mutex> lock(sink_mu_);

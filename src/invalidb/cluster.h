@@ -41,13 +41,28 @@ struct InvalidbOptions {
   /// How many recent change events are replayed to a newly activated query
   /// to close the activation race (§4.1).
   size_t replay_buffer_size = 128;
+  /// If true (default), each node files installed queries in a predicate
+  /// index and only evaluates candidate queries per change event. False
+  /// selects the brute-force every-query-per-event path (reference /
+  /// comparison benchmarks).
+  bool indexed_matching = true;
 };
 
 /// Per-cluster activity counters.
 struct ClusterStats {
   uint64_t changes_ingested = 0;
   uint64_t notifications_delivered = 0;
-  uint64_t match_checks = 0;  // query×update predicate evaluations
+  /// query×update predicate evaluations actually performed (with indexed
+  /// matching: candidates only).
+  uint64_t match_checks = 0;
+  /// What a brute-force scan would have performed (installed queries ×
+  /// events, summed per node). match_checks / match_checks_naive is the
+  /// per-cluster match-check reduction.
+  uint64_t match_checks_naive = 0;
+  /// Candidates produced by the per-node query indexes (eq/range hits).
+  uint64_t index_candidates = 0;
+  /// Candidates from the residual (non-indexable) query lists.
+  uint64_t residual_candidates = 0;
 };
 
 /// The InvaliDB cluster: registers cached queries, ingests the database
@@ -126,9 +141,18 @@ class InvalidbCluster {
   using Task = std::variant<RegisterTask, DeregisterTask, ChangeTask>;
 
   struct Node {
+    explicit Node(bool indexed) : matcher(indexed) {}
     MatchingNode matcher;
     std::unique_ptr<BoundedQueue<Task>> queue;  // threaded mode only
     std::thread worker;
+  };
+
+  /// Per-thread reusable notification buffers (hot-path allocation churn:
+  /// one Match plus one Dispatch per change event per node).
+  struct NotifyScratch {
+    std::vector<Notification> raw;
+    std::vector<Notification> deliverable;
+    std::vector<Notification> windowed;
   };
 
   struct Subscription {
@@ -142,10 +166,11 @@ class InvalidbCluster {
     return *nodes_[row * options_.query_partitions + column];
   }
 
-  void ExecuteTask(Node& node, Task& task);
+  void ExecuteTask(Node& node, Task& task, NotifyScratch& scratch);
   void Submit(size_t column, size_t row, Task task);
-  void Dispatch(const std::vector<Notification>& raw,
-                const db::Document& after_image);
+  /// Consumes `scratch.raw` (notifications are moved out, vector is left
+  /// cleared) and delivers the subscribed subset to the sink.
+  void Dispatch(NotifyScratch& scratch, const db::Document& after_image);
   void WorkerLoop(Node* node);
 
   Clock* clock_;

@@ -16,21 +16,46 @@ std::string_view NotificationTypeName(NotificationType t) {
   return "unknown";
 }
 
+namespace {
+
+std::string RecordKey(const db::Document& doc) {
+  std::string key;
+  key.reserve(doc.table.size() + 1 + doc.id.size());
+  key += doc.table;
+  key += '/';
+  key += doc.id;
+  return key;
+}
+
+}  // namespace
+
 void MatchingNode::AddQuery(const db::Query& query,
                             const std::string& query_key,
                             std::vector<std::string> initial_matching_ids) {
-  QueryState st;
+  RemoveQuery(query_key);  // reinstallation resets all per-query state
+  QueryState& st = queries_[query_key];
   st.query = query;
   st.key = query_key;
   for (std::string& id : initial_matching_ids) {
+    by_record_[query.table() + "/" + id].insert(&st);
     st.matching_ids.insert(std::move(id));
   }
-  queries_[query_key] = std::move(st);
+  if (use_index_) index_.Add(query_key, query);
   query_count_.store(queries_.size(), std::memory_order_relaxed);
 }
 
 void MatchingNode::RemoveQuery(const std::string& query_key) {
-  queries_.erase(query_key);
+  auto it = queries_.find(query_key);
+  if (it == queries_.end()) return;
+  QueryState& st = it->second;
+  for (const std::string& id : st.matching_ids) {
+    auto rec = by_record_.find(st.query.table() + "/" + id);
+    if (rec == by_record_.end()) continue;
+    rec->second.erase(&st);
+    if (rec->second.empty()) by_record_.erase(rec);
+  }
+  if (use_index_) index_.Remove(query_key);
+  queries_.erase(it);
   query_count_.store(queries_.size(), std::memory_order_relaxed);
 }
 
@@ -39,6 +64,7 @@ bool MatchingNode::HasQuery(const std::string& query_key) const {
 }
 
 void MatchingNode::MatchQuery(QueryState& st, const db::ChangeEvent& event,
+                              const std::string& record_key,
                               std::vector<Notification>* out) {
   const db::Document& doc = event.after;
   if (st.query.table() != doc.table) return;
@@ -55,20 +81,73 @@ void MatchingNode::MatchQuery(QueryState& st, const db::ChangeEvent& event,
   } else if (!was_match && is_match) {
     n.type = NotificationType::kAdd;
     st.matching_ids.insert(doc.id);
+    by_record_[record_key].insert(&st);
   } else {  // was_match && !is_match
     n.type = NotificationType::kRemove;
     st.matching_ids.erase(doc.id);
+    auto rec = by_record_.find(record_key);
+    if (rec != by_record_.end()) {
+      rec->second.erase(&st);
+      if (rec->second.empty()) by_record_.erase(rec);
+    }
   }
   emitted_.fetch_add(1, std::memory_order_relaxed);
   out->push_back(std::move(n));
 }
 
-void MatchingNode::Match(const db::ChangeEvent& event,
-                         std::vector<Notification>* out) {
+MatchingNode::MatchStats MatchingNode::Match(const db::ChangeEvent& event,
+                                             std::vector<Notification>* out) {
   processed_ops_.fetch_add(1, std::memory_order_relaxed);
-  for (auto& [key, st] : queries_) {
-    MatchQuery(st, event, out);
+  MatchStats stats;
+  stats.installed = queries_.size();
+  const std::string record_key = RecordKey(event.after);
+
+  if (!use_index_) {
+    for (auto& [key, st] : queries_) {
+      MatchQuery(st, event, record_key, out);
+    }
+    stats.checked = stats.installed;
+    match_checks_.fetch_add(stats.checked, std::memory_order_relaxed);
+    match_checks_naive_.fetch_add(stats.installed, std::memory_order_relaxed);
+    return stats;
   }
+
+  // Candidate union, deduped by per-query epoch stamps:
+  //   (a) queries whose indexed conjunct the after-image can satisfy, and
+  //   (b) queries currently containing the record (before-image members),
+  //       so leaves are never missed.
+  ++epoch_;
+  candidate_keys_.clear();
+  candidates_.clear();
+  const CandidateStats cs = index_.CollectCandidates(
+      event.after.table, event.after.body, &candidate_keys_);
+  stats.index_candidates = cs.index_candidates;
+  stats.residual_candidates = cs.residual_candidates;
+  for (const std::string* key : candidate_keys_) {
+    auto it = queries_.find(*key);
+    if (it == queries_.end()) continue;
+    QueryState& st = it->second;
+    if (st.epoch == epoch_) continue;
+    st.epoch = epoch_;
+    candidates_.push_back(&st);
+  }
+  if (auto rec = by_record_.find(record_key); rec != by_record_.end()) {
+    for (QueryState* st : rec->second) {
+      if (st->epoch == epoch_) continue;
+      st->epoch = epoch_;
+      candidates_.push_back(st);
+    }
+  }
+
+  // Evaluation is separated from collection: MatchQuery mutates
+  // by_record_, which must not be iterated concurrently.
+  for (QueryState* st : candidates_) {
+    MatchQuery(*st, event, record_key, out);
+  }
+  stats.checked = candidates_.size();
+  match_checks_.fetch_add(stats.checked, std::memory_order_relaxed);
+  match_checks_naive_.fetch_add(stats.installed, std::memory_order_relaxed);
+  return stats;
 }
 
 void MatchingNode::MatchSingle(const std::string& query_key,
@@ -76,7 +155,7 @@ void MatchingNode::MatchSingle(const std::string& query_key,
                                std::vector<Notification>* out) {
   auto it = queries_.find(query_key);
   if (it == queries_.end()) return;
-  MatchQuery(it->second, event, out);
+  MatchQuery(it->second, event, RecordKey(event.after), out);
 }
 
 }  // namespace quaestor::invalidb

@@ -12,6 +12,7 @@
 #include "db/document.h"
 #include "db/query.h"
 #include "invalidb/notification.h"
+#include "invalidb/query_index.h"
 
 namespace quaestor::invalidb {
 
@@ -21,14 +22,33 @@ namespace quaestor::invalidb {
 /// matching status of every record it owns — the only state required for
 /// stateless queries (§4.1 "Managing Query State").
 ///
+/// Matching is predicate-indexed: installed queries are filed in a
+/// QueryIndex by one indexable conjunct, and each change event is only
+/// evaluated against (a) the queries whose indexed conjunct the
+/// after-image can satisfy and (b) the queries the record currently
+/// matches (the before-image membership, tracked exactly in
+/// matching_ids). The union is a superset of every query whose add /
+/// change / remove status can be affected, so indexed matching emits
+/// exactly the notifications brute force would. Construct with
+/// use_index=false for the brute-force reference path (benchmarks,
+/// equivalence tests).
+///
 /// Not thread-safe by itself; the cluster gives each node a dedicated
 /// worker thread (threaded mode) or serializes calls (synchronous mode).
 class MatchingNode {
  public:
-  MatchingNode() = default;
+  explicit MatchingNode(bool use_index = true) : use_index_(use_index) {}
 
   MatchingNode(const MatchingNode&) = delete;
   MatchingNode& operator=(const MatchingNode&) = delete;
+
+  /// Per-Match accounting: how much work the candidate index saved.
+  struct MatchStats {
+    size_t checked = 0;     // queries actually evaluated (candidates)
+    size_t installed = 0;   // brute force would have evaluated this many
+    size_t index_candidates = 0;     // via eq/range index lookups
+    size_t residual_candidates = 0;  // non-indexable, always checked
+  };
 
   /// Installs a query with the subset of its initial result ids owned by
   /// this node's object partition.
@@ -39,10 +59,12 @@ class MatchingNode {
 
   bool HasQuery(const std::string& query_key) const;
 
-  /// Matches one change-stream after-image against all installed queries,
+  /// Matches one change-stream after-image against the installed queries,
   /// appending raw membership notifications to `out` (the cluster filters
-  /// by subscription and feeds the sorted layer).
-  void Match(const db::ChangeEvent& event, std::vector<Notification>* out);
+  /// by subscription and feeds the sorted layer). Returns the candidate
+  /// accounting for this event.
+  MatchStats Match(const db::ChangeEvent& event,
+                   std::vector<Notification>* out);
 
   /// Matches one event against a single installed query — used to replay
   /// recently received objects when a query is activated, closing the gap
@@ -63,21 +85,49 @@ class MatchingNode {
   uint64_t emitted_notifications() const {
     return emitted_.load(std::memory_order_relaxed);
   }
+  /// Queries evaluated across all Match calls (the reduced number).
+  uint64_t match_checks() const {
+    return match_checks_.load(std::memory_order_relaxed);
+  }
+  /// Queries a brute-force scan would have evaluated.
+  uint64_t match_checks_naive() const {
+    return match_checks_naive_.load(std::memory_order_relaxed);
+  }
+  /// Installed queries with no indexable conjunct.
+  size_t ResidualQueryCount() const { return index_.residual_size(); }
 
  private:
   struct QueryState {
     db::Query query;
     std::string key;
     std::unordered_set<std::string> matching_ids;  // former matches we own
+    uint64_t epoch = 0;  // candidate-dedup stamp for the current Match
   };
 
   void MatchQuery(QueryState& st, const db::ChangeEvent& event,
+                  const std::string& record_key,
                   std::vector<Notification>* out);
 
+  /// "table/id" → queries currently containing the record. This is the
+  /// exact before-image membership, so a record leaving a result set is
+  /// always a candidate even when the after-image misses every index.
+  std::unordered_map<std::string, std::unordered_set<QueryState*>>
+      by_record_;
+
   std::unordered_map<std::string, QueryState> queries_;
+  const bool use_index_;
+  QueryIndex index_;
+  uint64_t epoch_ = 0;
+  // Reused per-Match scratch (hot path: no per-event allocations once
+  // capacities warm up).
+  std::vector<const std::string*> candidate_keys_;
+  std::vector<QueryState*> candidates_;
+
   std::atomic<size_t> query_count_{0};
   std::atomic<uint64_t> processed_ops_{0};
   std::atomic<uint64_t> emitted_{0};
+  std::atomic<uint64_t> match_checks_{0};
+  std::atomic<uint64_t> match_checks_naive_{0};
 };
 
 }  // namespace quaestor::invalidb

@@ -1,0 +1,255 @@
+#include "invalidb/query_index.h"
+
+#include <algorithm>
+
+namespace quaestor::invalidb {
+
+namespace {
+
+using db::CompareOp;
+using db::Predicate;
+using db::Value;
+
+/// True if every element of the $in operand is a non-null scalar the
+/// index can see. A null element matches documents missing the field
+/// entirely, which no value index covers.
+bool InOperandIndexable(const Value& operand) {
+  if (!operand.is_array() || operand.as_array().empty()) return false;
+  for (const Value& e : operand.as_array()) {
+    if (e.is_null()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool QueryIndex::FileEntry(Entry* entry, const db::Query& query) {
+  entry->table = query.table();
+  TableIndex& table = tables_[entry->table];
+
+  std::vector<const Predicate*> conjuncts;
+  db::TopLevelConjuncts(query.filter(), &conjuncts);
+
+  // Preference order: equality (point bucket) beats $in (a few buckets)
+  // beats range (interval-list probe); everything else is residual.
+  const Predicate* eq = nullptr;
+  const Predicate* in = nullptr;
+  for (const Predicate* c : conjuncts) {
+    if (c->op == CompareOp::kEq && !c->operand.is_null()) {
+      eq = c;
+      break;
+    }
+    if (in == nullptr && c->op == CompareOp::kIn &&
+        InOperandIndexable(c->operand)) {
+      in = c;
+    }
+  }
+  if (eq != nullptr || in != nullptr) {
+    const Predicate* chosen = eq != nullptr ? eq : in;
+    entry->slot = Slot::kEq;
+    entry->path = chosen->path;
+    if (eq != nullptr) {
+      entry->eq_values.push_back(chosen->operand);
+    } else {
+      for (const Value& e : chosen->operand.as_array()) {
+        entry->eq_values.push_back(e);
+      }
+    }
+    PathIndex& pidx = table.paths[entry->path];
+    for (const Value& v : entry->eq_values) {
+      std::vector<Entry*>& bucket = pidx.eq[v];
+      // $in elements like [1, 1.0] collapse into one bucket; file once.
+      if (bucket.empty() || bucket.back() != entry) bucket.push_back(entry);
+    }
+    return true;
+  }
+
+  // Range/$prefix: intersect all same-class bounds on the first indexed
+  // path that carries one. Other conjuncts stay verification-only.
+  Interval iv;
+  std::string path;
+  for (const Predicate* c : conjuncts) {
+    const bool range =
+        db::IsRangeOp(c->op) && db::RangeClassOf(c->operand) >= 0;
+    const bool prefix = c->op == CompareOp::kPrefix && c->operand.is_string();
+    if (!range && !prefix) continue;
+    if (path.empty()) {
+      path = c->path;
+      iv.cls = prefix ? 2 : db::RangeClassOf(c->operand);
+    } else if (path != c->path) {
+      continue;
+    }
+    if ((prefix ? 2 : db::RangeClassOf(c->operand)) != iv.cls) continue;
+    auto tighten_lo = [&iv](const Value& v, bool incl) {
+      const int c2 = !iv.has_lo ? 1 : Value::Compare(v, iv.lo);
+      if (c2 > 0 || (c2 == 0 && !incl)) {
+        iv.lo = v;
+        iv.has_lo = true;
+        iv.lo_incl = incl;
+      }
+    };
+    auto tighten_hi = [&iv](const Value& v, bool incl) {
+      const int c2 = !iv.has_hi ? -1 : Value::Compare(v, iv.hi);
+      if (c2 < 0 || (c2 == 0 && !incl)) {
+        iv.hi = v;
+        iv.has_hi = true;
+        iv.hi_incl = incl;
+      }
+    };
+    switch (c->op) {
+      case CompareOp::kGt:
+        tighten_lo(c->operand, false);
+        break;
+      case CompareOp::kGte:
+        tighten_lo(c->operand, true);
+        break;
+      case CompareOp::kLt:
+        tighten_hi(c->operand, false);
+        break;
+      case CompareOp::kLte:
+        tighten_hi(c->operand, true);
+        break;
+      case CompareOp::kPrefix: {
+        tighten_lo(c->operand, true);
+        std::string upper;
+        if (db::PrefixUpperBound(c->operand.as_string(), &upper)) {
+          tighten_hi(Value(std::move(upper)), false);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (!path.empty() && (iv.has_lo || iv.has_hi)) {
+    entry->slot = Slot::kRange;
+    entry->path = path;
+    iv.entry = entry;
+    table.paths[path].ranges.push_back(std::move(iv));
+    return true;
+  }
+
+  entry->slot = Slot::kResidual;
+  table.residual.push_back(entry);
+  residual_total_++;
+  return false;
+}
+
+bool QueryIndex::Add(const std::string& key, const db::Query& query) {
+  Remove(key);  // reinstallation replaces the previous filing
+  auto entry = std::make_unique<Entry>();
+  entry->key = key;
+  Entry* raw = entry.get();
+  entries_[key] = std::move(entry);
+  return FileEntry(raw, query);
+}
+
+void QueryIndex::Remove(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  Entry* entry = it->second.get();
+  auto table_it = tables_.find(entry->table);
+  if (table_it != tables_.end()) {
+    TableIndex& table = table_it->second;
+    switch (entry->slot) {
+      case Slot::kEq: {
+        auto path_it = table.paths.find(entry->path);
+        if (path_it != table.paths.end()) {
+          PathIndex& pidx = path_it->second;
+          for (const Value& v : entry->eq_values) {
+            auto bucket = pidx.eq.find(v);
+            if (bucket == pidx.eq.end()) continue;
+            auto& vec = bucket->second;
+            vec.erase(std::remove(vec.begin(), vec.end(), entry), vec.end());
+            if (vec.empty()) pidx.eq.erase(bucket);
+          }
+          if (pidx.eq.empty() && pidx.ranges.empty()) {
+            table.paths.erase(path_it);
+          }
+        }
+        break;
+      }
+      case Slot::kRange: {
+        auto path_it = table.paths.find(entry->path);
+        if (path_it != table.paths.end()) {
+          PathIndex& pidx = path_it->second;
+          auto& rs = pidx.ranges;
+          rs.erase(std::remove_if(rs.begin(), rs.end(),
+                                  [entry](const Interval& iv) {
+                                    return iv.entry == entry;
+                                  }),
+                   rs.end());
+          if (pidx.eq.empty() && pidx.ranges.empty()) {
+            table.paths.erase(path_it);
+          }
+        }
+        break;
+      }
+      case Slot::kResidual: {
+        auto& rs = table.residual;
+        rs.erase(std::remove(rs.begin(), rs.end(), entry), rs.end());
+        residual_total_--;
+        break;
+      }
+    }
+    if (table.paths.empty() && table.residual.empty()) {
+      tables_.erase(table_it);
+    }
+  }
+  entries_.erase(it);
+}
+
+CandidateStats QueryIndex::CollectCandidates(
+    const std::string& table, const db::Value& body,
+    std::vector<const std::string*>* out) const {
+  CandidateStats stats;
+  auto table_it = tables_.find(table);
+  if (table_it == tables_.end()) return stats;
+  const TableIndex& tidx = table_it->second;
+
+  for (const auto& [path, pidx] : tidx.paths) {
+    const Value* v = body.Find(path);
+    if (v == nullptr) continue;
+
+    auto emit_eq = [&](const Value& key) {
+      auto bucket = pidx.eq.find(key);
+      if (bucket == pidx.eq.end()) return;
+      for (Entry* e : bucket->second) {
+        out->push_back(&e->key);
+        stats.index_candidates++;
+      }
+    };
+    emit_eq(*v);
+    if (v->is_array()) {
+      // Multikey equality: {p: x} also matches docs whose array at p
+      // contains x.
+      for (const Value& e : v->as_array()) emit_eq(e);
+    }
+
+    // Ranges only ever match scalar comparable values (type bracketing).
+    const int cls = db::RangeClassOf(*v);
+    if (cls >= 0 && !pidx.ranges.empty()) {
+      for (const Interval& iv : pidx.ranges) {
+        if (iv.cls != cls) continue;
+        if (iv.has_lo) {
+          const int c = Value::Compare(*v, iv.lo);
+          if (c < 0 || (c == 0 && !iv.lo_incl)) continue;
+        }
+        if (iv.has_hi) {
+          const int c = Value::Compare(*v, iv.hi);
+          if (c > 0 || (c == 0 && !iv.hi_incl)) continue;
+        }
+        out->push_back(&iv.entry->key);
+        stats.index_candidates++;
+      }
+    }
+  }
+
+  for (Entry* e : tidx.residual) {
+    out->push_back(&e->key);
+    stats.residual_candidates++;
+  }
+  return stats;
+}
+
+}  // namespace quaestor::invalidb

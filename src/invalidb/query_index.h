@@ -1,0 +1,112 @@
+#ifndef QUAESTOR_INVALIDB_QUERY_INDEX_H_
+#define QUAESTOR_INVALIDB_QUERY_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/query.h"
+#include "db/value.h"
+
+namespace quaestor::invalidb {
+
+/// Candidate-set composition returned by one CollectCandidates call.
+struct CandidateStats {
+  size_t index_candidates = 0;     // reached via eq/range structures
+  size_t residual_candidates = 0;  // non-indexable queries (always checked)
+};
+
+/// A predicate index over installed queries: the inversion of a table
+/// index. Instead of "value → documents", it maintains, per table,
+///   (a) path → operand → queries with an equality/$in conjunct there,
+///   (b) path → interval list for range/$prefix conjuncts, and
+///   (c) a residual list of queries with no indexable conjunct
+///       ($or / $not / $exists / $ne roots, …).
+///
+/// CollectCandidates(table, body) returns a superset of the queries whose
+/// predicate matches `body`: one analysis-selected conjunct per query is
+/// a necessary condition for the whole (conjunctive) predicate, so a
+/// query missing from the candidate set provably cannot match. False
+/// candidates are harmless (the caller re-evaluates the full predicate);
+/// false negatives would lose invalidations, so anything not provably
+/// indexable lands in the residual list.
+///
+/// Note the asymmetry with matching: candidates cover queries the record
+/// may *enter*. Queries the record may *leave* are the ones it currently
+/// matches, which the matching node tracks exactly (its former-match
+/// state is the before-image membership) and unions in separately.
+///
+/// Not thread-safe; owned by a single matching node.
+class QueryIndex {
+ public:
+  QueryIndex() = default;
+
+  QueryIndex(const QueryIndex&) = delete;
+  QueryIndex& operator=(const QueryIndex&) = delete;
+
+  /// Indexes a query under `key`. Returns true if an indexable conjunct
+  /// was found, false if the query joined the residual list.
+  bool Add(const std::string& key, const db::Query& query);
+
+  /// Removes a previously added query. No-op for unknown keys.
+  void Remove(const std::string& key);
+
+  /// Appends (pointers to) the keys of every installed query on `table`
+  /// whose predicate may match `body`. Pointers stay valid until the next
+  /// Add/Remove. May contain duplicates (e.g. an array field hitting one
+  /// $in entry twice); callers dedup.
+  CandidateStats CollectCandidates(const std::string& table,
+                                   const db::Value& body,
+                                   std::vector<const std::string*>* out) const;
+
+  size_t size() const { return entries_.size(); }
+  /// Queries with no indexable conjunct (checked against every change).
+  size_t residual_size() const { return residual_total_; }
+
+ private:
+  /// Where a query's chosen conjunct was filed, so Remove can unlink it.
+  enum class Slot { kEq, kRange, kResidual };
+
+  struct Entry {
+    std::string key;
+    Slot slot = Slot::kResidual;
+    std::string table;
+    std::string path;                // kEq / kRange
+    std::vector<db::Value> eq_values;  // kEq: operand, or $in elements
+  };
+
+  /// One range-indexed query: candidate iff the record's value at the
+  /// path falls inside [lo, hi] (respecting openness) within `cls`.
+  struct Interval {
+    db::Value lo, hi;
+    bool has_lo = false, has_hi = false;
+    bool lo_incl = false, hi_incl = false;
+    int cls = -1;  // range class: 0 bool, 1 number, 2 string
+    Entry* entry = nullptr;
+  };
+
+  struct PathIndex {
+    std::map<db::Value, std::vector<Entry*>, db::ValueLess> eq;
+    std::vector<Interval> ranges;
+  };
+
+  struct TableIndex {
+    std::unordered_map<std::string, PathIndex> paths;
+    std::vector<Entry*> residual;
+  };
+
+  /// Analyzes the predicate and files the entry; fills entry slot fields.
+  /// Returns false if only the residual list was possible.
+  bool FileEntry(Entry* entry, const db::Query& query);
+
+  std::unordered_map<std::string, std::unique_ptr<Entry>> entries_;
+  std::unordered_map<std::string, TableIndex> tables_;
+  size_t residual_total_ = 0;
+};
+
+}  // namespace quaestor::invalidb
+
+#endif  // QUAESTOR_INVALIDB_QUERY_INDEX_H_

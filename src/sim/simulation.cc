@@ -261,6 +261,7 @@ SimResults Simulation::Run() {
   }
 
   results_.server_stats = server_->stats();
+  results_.invalidb_stats = server_->invalidb().stats();
   if (cdn_ != nullptr) results_.cdn_stats = cdn_->stats();
   return results_;
 }

@@ -113,6 +113,9 @@ struct SimResults {
 
   core::ServerStats server_stats;
   webcache::CacheStats cdn_stats;
+  /// InvaliDB activity, including the match-check reduction achieved by
+  /// predicate-indexed matching (match_checks vs match_checks_naive).
+  invalidb::ClusterStats invalidb_stats;
 };
 
 /// Observation of one completed client operation, handed to registered

@@ -52,10 +52,120 @@ TEST_F(IndexTest, IndexedAndScanResultsIdentical) {
   }
 }
 
-TEST_F(IndexTest, NonEqQueriesStillScan) {
+TEST_F(IndexTest, RangeQueriesUseOrderedIndex) {
   table_.CreateIndex("g");
-  (void)table_.Execute(Q(R"({"g":{"$gt":3}})"));
+  auto res = table_.Execute(Q(R"({"g":{"$gt":3}})"));
+  EXPECT_EQ(res.size(), 60u);  // g ∈ {4..9}, 10 docs each
+  EXPECT_EQ(table_.full_scans(), 0u);
+  EXPECT_EQ(table_.index_stats().range_scans, 1u);
+}
+
+TEST_F(IndexTest, RangeBoundsIntersected) {
+  table_.CreateIndex("g");
+  auto res = table_.Execute(Q(R"({"g":{"$gte":3,"$lt":5}})"));
+  EXPECT_EQ(res.size(), 20u);  // g ∈ {3,4}
+  EXPECT_EQ(table_.index_stats().range_scans, 1u);
+  // Open/closed bound variants.
+  EXPECT_EQ(table_.Execute(Q(R"({"g":{"$gt":3,"$lte":5}})")).size(), 20u);
+  EXPECT_EQ(table_.Execute(Q(R"({"g":{"$gt":8}})")).size(), 10u);
+  EXPECT_EQ(table_.Execute(Q(R"({"g":{"$lt":1}})")).size(), 10u);
+  EXPECT_EQ(table_.full_scans(), 0u);
+}
+
+TEST_F(IndexTest, RangeScanAgreesWithScanGroundTruth) {
+  const auto scan = table_.Execute(Q(R"({"g":{"$gte":2,"$lte":6}})"));
+  table_.CreateIndex("g");
+  const auto indexed = table_.Execute(Q(R"({"g":{"$gte":2,"$lte":6}})"));
+  ASSERT_EQ(scan.size(), indexed.size());
+  for (size_t i = 0; i < scan.size(); ++i) {
+    EXPECT_EQ(scan[i].id, indexed[i].id);
+  }
+}
+
+TEST_F(IndexTest, PrefixQueriesUseOrderedIndex) {
+  Table t("x");
+  ASSERT_TRUE(t.Insert("a", Doc(R"({"s":"alpha"})"), 1).ok());
+  ASSERT_TRUE(t.Insert("b", Doc(R"({"s":"alps"})"), 1).ok());
+  ASSERT_TRUE(t.Insert("c", Doc(R"({"s":"beta"})"), 1).ok());
+  ASSERT_TRUE(t.Insert("d", Doc(R"({"s":42})"), 1).ok());
+  t.CreateIndex("s");
+  auto res = t.Execute(Query::ParseJson("x", R"({"s":{"$prefix":"al"}})")
+                           .value());
+  ASSERT_EQ(res.size(), 2u);
+  EXPECT_EQ(res[0].id, "a");
+  EXPECT_EQ(res[1].id, "b");
+  EXPECT_EQ(t.index_stats().range_scans, 1u);
+  EXPECT_EQ(t.full_scans(), 0u);
+}
+
+TEST_F(IndexTest, InQueriesUnionIndexBuckets) {
+  table_.CreateIndex("g");
+  auto res = table_.Execute(Q(R"({"g":{"$in":[2,5]}})"));
+  EXPECT_EQ(res.size(), 20u);
+  EXPECT_EQ(table_.index_stats().eq_lookups, 1u);
+  EXPECT_EQ(table_.full_scans(), 0u);
+  // $in with a null element can match docs missing the field → must scan.
+  (void)table_.Execute(Q(R"({"g":{"$in":[2,null]}})"));
   EXPECT_EQ(table_.full_scans(), 1u);
+}
+
+TEST_F(IndexTest, OrderByLimitUsesTopKScan) {
+  table_.CreateIndex("n");
+  Query q = Q("{}");
+  q.SetOrderBy({{"n", false}}).SetLimit(3);
+  auto res = table_.Execute(q);
+  ASSERT_EQ(res.size(), 3u);
+  EXPECT_EQ(res[0].body.Find("n")->as_int(), 99);
+  EXPECT_EQ(res[1].body.Find("n")->as_int(), 98);
+  EXPECT_EQ(res[2].body.Find("n")->as_int(), 97);
+  EXPECT_EQ(table_.index_stats().order_scans, 1u);
+  EXPECT_EQ(table_.full_scans(), 0u);
+
+  // Ascending with offset, plus a predicate filtered during traversal.
+  Query q2 = Q(R"({"g":{"$exists":true}})");
+  q2.SetOrderBy({{"n", true}}).SetLimit(2).SetOffset(5);
+  auto res2 = table_.Execute(q2);
+  ASSERT_EQ(res2.size(), 2u);
+  EXPECT_EQ(res2[0].body.Find("n")->as_int(), 5);
+  EXPECT_EQ(res2[1].body.Find("n")->as_int(), 6);
+  EXPECT_EQ(table_.index_stats().order_scans, 2u);
+}
+
+TEST_F(IndexTest, TopKRefusedWhenDocsMissTheSortKey) {
+  // Docs missing the sort path order as null (first ascending) but are
+  // invisible to the index → the top-k plan must refuse and scan.
+  Table t("x");
+  ASSERT_TRUE(t.Insert("a", Doc(R"({"n":1})"), 1).ok());
+  ASSERT_TRUE(t.Insert("b", Doc(R"({"other":1})"), 1).ok());
+  t.CreateIndex("n");
+  Query q = Query::ParseJson("x", "{}").value();
+  q.SetOrderBy({{"n", true}}).SetLimit(1);
+  auto res = t.Execute(q);
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].id, "b");  // null sorts first
+  EXPECT_EQ(t.index_stats().order_scans, 0u);
+  EXPECT_EQ(t.full_scans(), 1u);
+}
+
+TEST_F(IndexTest, TopKRefusedOnMultikeyIndex) {
+  Table t("x");
+  ASSERT_TRUE(t.Insert("a", Doc(R"({"tags":["b","z"]})"), 1).ok());
+  ASSERT_TRUE(t.Insert("b", Doc(R"({"tags":["c"]})"), 1).ok());
+  t.CreateIndex("tags");
+  Query q = Query::ParseJson("x", "{}").value();
+  q.SetOrderBy({{"tags", true}}).SetLimit(1);
+  auto res = t.Execute(q);
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(t.index_stats().order_scans, 0u);
+  EXPECT_EQ(t.full_scans(), 1u);
+}
+
+TEST_F(IndexTest, TrulyNonIndexableQueriesStillScan) {
+  table_.CreateIndex("g");
+  (void)table_.Execute(Q(R"({"g":{"$ne":3}})"));
+  (void)table_.Execute(Q(R"({"$or":[{"g":1},{"n":5}]})"));
+  (void)table_.Execute(Q(R"({"g":{"$exists":true}})"));
+  EXPECT_EQ(table_.full_scans(), 3u);
   EXPECT_EQ(table_.index_lookups(), 0u);
 }
 

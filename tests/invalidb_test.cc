@@ -440,12 +440,36 @@ TEST_F(ClusterTest, StatsCountMatchChecks) {
   MakeCluster({});
   db::Query q = Q("posts", R"({"g":1})");
   ASSERT_TRUE(cluster_->RegisterQuery(q, {}, kEventsAll).ok());
+  // Non-candidate changes: the query index rules them out without a single
+  // predicate evaluation, while the pre-index cost shows up as "naive".
   cluster_->OnChange(Change("posts", "p1", R"({"g":9})"));
   cluster_->OnChange(Change("posts", "p2", R"({"g":9})"));
-  const ClusterStats stats = cluster_->stats();
+  ClusterStats stats = cluster_->stats();
   EXPECT_EQ(stats.changes_ingested, 2u);
-  EXPECT_EQ(stats.match_checks, 2u);
+  EXPECT_EQ(stats.match_checks, 0u);
+  EXPECT_EQ(stats.match_checks_naive, 2u);
   EXPECT_EQ(stats.notifications_delivered, 0u);
+  // A matching change is a candidate and gets evaluated.
+  cluster_->OnChange(Change("posts", "p3", R"({"g":1})"));
+  stats = cluster_->stats();
+  EXPECT_EQ(stats.match_checks, 1u);
+  EXPECT_EQ(stats.match_checks_naive, 3u);
+  EXPECT_EQ(stats.index_candidates, 1u);
+  EXPECT_EQ(stats.notifications_delivered, 1u);
+}
+
+TEST_F(ClusterTest, BruteForceModeMatchesEveryQuery) {
+  InvalidbOptions opts;
+  opts.indexed_matching = false;
+  MakeCluster(opts);
+  db::Query q = Q("posts", R"({"g":1})");
+  ASSERT_TRUE(cluster_->RegisterQuery(q, {}, kEventsAll).ok());
+  cluster_->OnChange(Change("posts", "p1", R"({"g":9})"));
+  cluster_->OnChange(Change("posts", "p2", R"({"g":1})"));
+  const ClusterStats stats = cluster_->stats();
+  EXPECT_EQ(stats.match_checks, 2u);
+  EXPECT_EQ(stats.match_checks_naive, 2u);
+  EXPECT_EQ(stats.notifications_delivered, 1u);
 }
 
 // ---------------------------------------------------------------------------
