@@ -1,0 +1,173 @@
+// Fault experiment: the invalidation pipeline silently loses 1% of the
+// change stream throughout the run (a lossy broker, no retransmit) and
+// suffers a hard 20 s outage mid-run. Two variants:
+//
+//   normal    degradation disabled — during the outage the caches keep
+//             serving long-TTL copies whose invalidations never arrive,
+//             so stale ages stretch toward the outage length.
+//   degraded  degradation enabled — the server notices the outage, caps
+//             every issued TTL (pure expiration caching), and on
+//             recovery rebuilds the matchers and flags all registered
+//             queries; stale ages stay bounded by cap + Δ.
+//
+// Writes BENCH_fault.json with stale rates and stale-age p99/max for
+// both variants.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+
+namespace quaestor::bench {
+namespace {
+
+struct VariantResult {
+  double read_stale_rate = 0.0;
+  double query_stale_rate = 0.0;
+  double read_stale_age_p99_ms = 0.0;
+  double query_stale_age_p99_ms = 0.0;
+  double query_stale_age_max_ms = 0.0;
+  /// Stale ages of serves during the outage + one grace budget — the
+  /// window degraded caching is supposed to bound. Whole-run tails also
+  /// contain staleness from the 1% background loss, which strikes while
+  /// the pipeline looks healthy and only reliable transport can remove.
+  double outage_stale_age_p99_ms = 0.0;
+  double outage_stale_age_max_ms = 0.0;
+  double throughput_ops_s = 0.0;
+  uint64_t change_events_dropped = 0;
+  uint64_t degraded_reads = 0;
+};
+
+VariantResult RunVariant(bool degraded) {
+  workload::WorkloadOptions w;
+  w.num_tables = 1;
+  w.docs_per_table = 500;
+  w.queries_per_table = 40;
+  w.docs_per_query = 10;
+  // Flat-ish popularity: per-query invalidations are rare, so TTL
+  // estimates grow well past the floor — which is what makes a *lost*
+  // invalidation expensive without degradation.
+  w.zipf_theta = 0.3;
+  w.read_weight = 0.595;
+  w.query_weight = 0.40;
+  // Low write rate (~2 writes/s with the think time below): per-query
+  // invalidations are ~20 s apart, so TTL estimates grow well past the
+  // floor. That is what makes a lost invalidation expensive — the copy
+  // stays stale until its long TTL runs out, not until the next write.
+  w.update_weight = 0.005;
+
+  sim::SimOptions s = DefaultSim();
+  s.num_client_instances = 20;
+  s.connections_per_instance = 5;
+  s.duration = SecondsToMicros(60.0);
+  s.warmup = SecondsToMicros(5.0);
+  s.seed = 42;
+  s.think_time = MillisToMicros(250.0);  // human pace, ~400 ops/s total
+
+  // 1% of committed changes never reach InvaliDB.
+  s.server_options.fault_change_loss_rate = 0.01;
+  s.server_options.fault_seed = 0x5eed;
+  s.server_options.degradation.enabled = degraded;
+  s.server_options.degradation.degraded_ttl_cap = SecondsToMicros(1.0);
+
+  sim::Simulation simulation(w, s);
+
+  // Hard outage from t=20s to t=40s. Driven from the op-observer hook so
+  // the flip happens inside the simulated timeline; with degradation
+  // enabled the server reacts on its own (capped TTLs, recovery rebuild).
+  const Micros outage_start = SecondsToMicros(20.0);
+  const Micros outage_end = SecondsToMicros(40.0);
+  const Micros grace_end = outage_end + SecondsToMicros(5.0);
+  bool down = false;
+  Histogram outage_stale_age_ms;
+  simulation.AddOpObserver([&](const sim::OpObservation& obs) {
+    const Micros now = simulation.clock().NowMicros();
+    if (!down && now >= outage_start && now < outage_end) {
+      down = true;
+      simulation.server().SetPipelineDown(true);
+    } else if (down && now >= outage_end) {
+      down = false;
+      simulation.server().SetPipelineDown(false);
+    }
+    if (obs.stale && now >= outage_start && now < grace_end) {
+      outage_stale_age_ms.Record(obs.stale_age_ms);
+    }
+  });
+
+  sim::SimResults r = simulation.Run();
+
+  VariantResult v;
+  v.read_stale_rate = r.reads.StaleRate();
+  v.query_stale_rate = r.queries.StaleRate();
+  v.read_stale_age_p99_ms = r.reads.stale_age_ms.P99();
+  v.query_stale_age_p99_ms = r.queries.stale_age_ms.P99();
+  v.query_stale_age_max_ms = r.queries.stale_age_ms.max();
+  v.outage_stale_age_p99_ms = outage_stale_age_ms.P99();
+  v.outage_stale_age_max_ms = outage_stale_age_ms.max();
+  v.throughput_ops_s = r.throughput_ops_s;
+  v.change_events_dropped = r.server_stats.change_events_dropped;
+  v.degraded_reads = r.server_stats.degraded_reads;
+  return v;
+}
+
+db::Value ToJson(const VariantResult& v) {
+  db::Object o;
+  o["read_stale_rate"] = db::Value(v.read_stale_rate);
+  o["query_stale_rate"] = db::Value(v.query_stale_rate);
+  o["read_stale_age_p99_ms"] = db::Value(v.read_stale_age_p99_ms);
+  o["query_stale_age_p99_ms"] = db::Value(v.query_stale_age_p99_ms);
+  o["query_stale_age_max_ms"] = db::Value(v.query_stale_age_max_ms);
+  o["outage_stale_age_p99_ms"] = db::Value(v.outage_stale_age_p99_ms);
+  o["outage_stale_age_max_ms"] = db::Value(v.outage_stale_age_max_ms);
+  o["throughput_ops_s"] = db::Value(v.throughput_ops_s);
+  o["change_events_dropped"] =
+      db::Value(static_cast<int64_t>(v.change_events_dropped));
+  o["degraded_reads"] = db::Value(static_cast<int64_t>(v.degraded_reads));
+  return db::Value(std::move(o));
+}
+
+void Run(const std::string& json_path) {
+  PrintHeader("Lossy invalidation pipeline (1% change loss)");
+
+  const VariantResult normal = RunVariant(/*degraded=*/false);
+  const VariantResult capped = RunVariant(/*degraded=*/true);
+
+  PrintRow("stale query rate (normal / degraded)",
+           {normal.query_stale_rate, capped.query_stale_rate});
+  PrintRow("stale read rate (normal / degraded)",
+           {normal.read_stale_rate, capped.read_stale_rate});
+  PrintRow("query stale-age p99 ms (normal / degraded)",
+           {normal.query_stale_age_p99_ms, capped.query_stale_age_p99_ms});
+  PrintRow("query stale-age max ms (normal / degraded)",
+           {normal.query_stale_age_max_ms, capped.query_stale_age_max_ms});
+  PrintRow("outage-window stale-age p99 ms (normal / degraded)",
+           {normal.outage_stale_age_p99_ms, capped.outage_stale_age_p99_ms});
+  PrintRow("outage-window stale-age max ms (normal / degraded)",
+           {normal.outage_stale_age_max_ms, capped.outage_stale_age_max_ms});
+  PrintRow("read stale-age p99 ms (normal / degraded)",
+           {normal.read_stale_age_p99_ms, capped.read_stale_age_p99_ms});
+  PrintRow("changes dropped (normal / degraded)",
+           {static_cast<double>(normal.change_events_dropped),
+            static_cast<double>(capped.change_events_dropped)});
+  PrintNote("expected: the TTL cap bounds how long a lost invalidation");
+  PrintNote("can keep serving stale data, at the cost of extra origin load");
+
+  db::Object root;
+  root["benchmark"] = db::Value("fault");
+  root["description"] = db::Value(
+      "staleness under 1% invalidation loss, with and without "
+      "TTL-degraded caching");
+  root["change_loss_rate"] = db::Value(0.01);
+  root["degraded_ttl_cap_s"] = db::Value(1.0);
+  root["normal"] = ToJson(normal);
+  root["degraded"] = ToJson(capped);
+  WriteJsonFile(json_path, db::Value(std::move(root)));
+}
+
+}  // namespace
+}  // namespace quaestor::bench
+
+int main(int argc, char** argv) {
+  quaestor::bench::Run(argc > 1 ? argv[1] : "BENCH_fault.json");
+  return 0;
+}

@@ -34,15 +34,30 @@ ConsistencyOracle::ConsistencyOracle(Clock* clock, db::Database* db,
                                      OracleOptions options)
     : clock_(clock), db_(db), options_(options), max_delta_(options.delta) {}
 
+bool ConsistencyOracle::DegradedNow() const {
+  return degraded_ || clock_->NowMicros() < degraded_until_;
+}
+
 Micros ConsistencyOracle::Bound() const {
   Micros bound = max_delta_;
   if (options_.revalidate_at_cdn) bound += options_.max_purge_delay;
+  if (DegradedNow()) bound += degraded_budget_;
   return bound;
 }
 
 void ConsistencyOracle::SetDelta(Micros delta) {
   options_.delta = delta;
   max_delta_ = std::max(max_delta_, delta);
+}
+
+void ConsistencyOracle::SetDegraded(bool degraded, Micros budget) {
+  if (budget >= 0) degraded_budget_ = budget;
+  if (degraded) {
+    degraded_ = true;
+  } else if (degraded_) {
+    degraded_ = false;
+    degraded_until_ = clock_->NowMicros() + degraded_budget_;
+  }
 }
 
 void ConsistencyOracle::Report(Invariant inv, const std::string& session,
@@ -143,6 +158,7 @@ void ConsistencyOracle::CheckRead(const std::string& session,
                                   const std::string& key, bool found,
                                   uint64_t version) {
   checked_reads_++;
+  if (DegradedNow()) degraded_checks_++;
   const Micros now = clock_->NowMicros();
   const Micros window_start = now - Bound();
   SessionState& ss = sessions_[session];
@@ -286,6 +302,7 @@ void ConsistencyOracle::CheckQuery(const std::string& session,
                                    ttl::ResultRepresentation representation) {
   checked_queries_++;
   if (!found) return;  // a failed fetch makes no freshness claim
+  if (DegradedNow()) degraded_checks_++;
   const Micros now = clock_->NowMicros();
   const Micros window_start = now - Bound();
   const std::string qkey = query.NormalizedKey();

@@ -113,12 +113,24 @@ class ConsistencyOracle {
   /// ∆ changed mid-run (the staleness bound keeps the maximum).
   void SetDelta(Micros delta);
 
-  /// The staleness bound B currently enforced.
+  /// Degraded-mode bracket: while the invalidation pipeline is unhealthy
+  /// the architecture only promises the degraded staleness budget on top
+  /// of B (TTL-capped expiration caching), so the oracle widens its bound
+  /// by `budget` instead of asserting exact freshness. On recovery the
+  /// widening persists for one extra budget (copies issued while degraded
+  /// outlive the transition), then checks are strict again. `budget` < 0
+  /// keeps the previously configured value.
+  void SetDegraded(bool degraded, Micros budget = -1);
+
+  /// The staleness bound B currently enforced (includes the degraded
+  /// widening while it is active).
   Micros Bound() const;
 
   const std::vector<Violation>& violations() const { return violations_; }
   uint64_t checked_reads() const { return checked_reads_; }
   uint64_t checked_queries() const { return checked_queries_; }
+  /// Checks performed under the widened (degraded) bound.
+  uint64_t degraded_checks() const { return degraded_checks_; }
 
  private:
   struct VersionEntry {
@@ -155,6 +167,10 @@ class ConsistencyOracle {
   void Report(Invariant inv, const std::string& session,
               const std::string& key, const std::string& detail);
 
+  /// True while the degraded widening applies (degraded, or within the
+  /// post-recovery grace window).
+  bool DegradedNow() const;
+
   /// Recomputes a tracked query's result etags and appends a new epoch if
   /// the result changed.
   void RefreshQueryEpochs(const std::string& query_key, TrackedQuery& tq,
@@ -172,6 +188,11 @@ class ConsistencyOracle {
   std::vector<Violation> violations_;
   uint64_t checked_reads_ = 0;
   uint64_t checked_queries_ = 0;
+
+  bool degraded_ = false;
+  Micros degraded_budget_ = 0;
+  Micros degraded_until_ = 0;  // post-recovery grace window end
+  uint64_t degraded_checks_ = 0;
 };
 
 }  // namespace quaestor::check

@@ -17,8 +17,34 @@ QuaestorClient::QuaestorClient(Clock* clock, core::QuaestorServer* server,
       hierarchy_(clock, client_cache, /*proxy=*/nullptr, cdn, server,
                  latency),
       options_(options),
-      latency_model_(latency) {
+      latency_model_(latency),
+      retry_rng_(options.retry.seed) {
   hierarchy_.set_auth_token(options_.auth_token);
+}
+
+webcache::FetchOutcome QuaestorClient::FetchWithRetry(
+    const std::string& key, webcache::FetchMode mode, RequestOutcome* out) {
+  webcache::FetchOutcome fo = hierarchy_.Fetch(key, mode);
+  if (!options_.retry.enabled) return fo;
+  const ClientOptions::RetryOptions& r = options_.retry;
+  Micros backoff = r.initial_backoff;
+  for (size_t attempt = 1; !fo.ok && fo.unavailable && attempt < r.max_attempts;
+       ++attempt) {
+    const double spread =
+        1.0 + r.jitter * (2.0 * retry_rng_.NextDouble() - 1.0);
+    const Micros wait = std::min(
+        r.max_backoff, static_cast<Micros>(static_cast<double>(backoff) *
+                                           spread));
+    // The failed round-trip and the backoff wait both delay the response.
+    out->latency_ms += fo.latency_ms + MicrosToMillis(wait);
+    backoff = std::min(r.max_backoff,
+                       static_cast<Micros>(static_cast<double>(backoff) *
+                                           r.multiplier));
+    stats_.retries++;
+    fo = hierarchy_.Fetch(key, mode);
+  }
+  if (!fo.ok && fo.unavailable) stats_.unavailable_failures++;
+  return fo;
 }
 
 void QuaestorClient::Connect() {
@@ -175,23 +201,25 @@ ReadResult QuaestorClient::Read(const std::string& table,
   webcache::FetchMode mode = DecideMode(key, &result.outcome);
   if (result.outcome.revalidated) stats_.revalidations++;
 
-  webcache::FetchOutcome fo = hierarchy_.Fetch(key, mode);
+  webcache::FetchOutcome fo = FetchWithRetry(key, mode, &result.outcome);
   NoteServedBy(fo, &result.outcome);
   if (!fo.ok) {
-    result.status = Status::NotFound(key);
+    result.status =
+        fo.unavailable ? Status::Unavailable(key) : Status::NotFound(key);
     return result;
   }
 
   // Monotonic reads: a different cache may serve an older version than
   // this session has already seen — trigger a revalidation (§3.2).
   if (IsRegression(key, fo.etag)) {
-    webcache::FetchOutcome fresh =
-        hierarchy_.Fetch(key, webcache::FetchMode::kRevalidate);
+    webcache::FetchOutcome fresh = FetchWithRetry(
+        key, webcache::FetchMode::kRevalidate, &result.outcome);
     result.outcome.revalidated = true;
     stats_.revalidations++;
     NoteServedBy(fresh, &result.outcome);
     if (!fresh.ok) {
-      result.status = Status::NotFound(key);
+      result.status = fresh.unavailable ? Status::Unavailable(key)
+                                        : Status::NotFound(key);
       return result;
     }
     fo = std::move(fresh);
@@ -224,10 +252,11 @@ QueryResult QuaestorClient::ExecuteQuery(const db::Query& query) {
   webcache::FetchMode mode = DecideMode(key, &result.outcome);
   if (result.outcome.revalidated) stats_.revalidations++;
 
-  webcache::FetchOutcome fo = hierarchy_.Fetch(key, mode);
+  webcache::FetchOutcome fo = FetchWithRetry(key, mode, &result.outcome);
   NoteServedBy(fo, &result.outcome);
   if (!fo.ok) {
-    result.status = Status::NotFound(key);
+    result.status =
+        fo.unavailable ? Status::Unavailable(key) : Status::NotFound(key);
     return result;
   }
 
@@ -237,13 +266,14 @@ QueryResult QuaestorClient::ExecuteQuery(const db::Query& query) {
   // (mirrors the version-regression check in Read()).
   Micros& seen_lm = seen_result_times_[key];
   if (fo.last_modified < seen_lm) {
-    webcache::FetchOutcome fresh =
-        hierarchy_.Fetch(key, webcache::FetchMode::kRevalidate);
+    webcache::FetchOutcome fresh = FetchWithRetry(
+        key, webcache::FetchMode::kRevalidate, &result.outcome);
     result.outcome.revalidated = true;
     stats_.revalidations++;
     NoteServedBy(fresh, &result.outcome);
     if (!fresh.ok) {
-      result.status = Status::NotFound(key);
+      result.status = fresh.unavailable ? Status::Unavailable(key)
+                                        : Status::NotFound(key);
       return result;
     }
     fo = std::move(fresh);

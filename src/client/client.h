@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/random.h"
 #include "common/result.h"
 #include "core/query_result.h"
 #include "core/server.h"
@@ -77,6 +78,21 @@ struct ClientOptions {
   /// arbitrarily long after a write — the consistency oracle's
   /// ∆-atomicity check must flag this (see src/check).
   bool fault_skip_ebf_refresh = false;
+
+  /// Bounded retry for transient origin faults (503 responses). Off by
+  /// default: a failed fetch then surfaces immediately, as before.
+  struct RetryOptions {
+    bool enabled = false;
+    /// Total attempts, including the first (so 3 = up to 2 retries).
+    size_t max_attempts = 3;
+    Micros initial_backoff = 50 * kMicrosPerMilli;
+    double multiplier = 2.0;
+    Micros max_backoff = 1 * kMicrosPerSecond;
+    /// Uniform backoff jitter fraction (avoids retry stampedes).
+    double jitter = 0.2;
+    uint64_t seed = 1;
+  };
+  RetryOptions retry;
 };
 
 /// Per-request outcome telemetry.
@@ -116,6 +132,9 @@ struct ClientStats {
   uint64_t client_cache_hits = 0;
   uint64_t cdn_hits = 0;
   uint64_t origin_fetches = 0;
+  /// Retry accounting (retry.enabled only).
+  uint64_t retries = 0;
+  uint64_t unavailable_failures = 0;  // budget exhausted, 503 surfaced
 };
 
 /// The Quaestor client SDK (the "SDK (Data API)" box in Figure 3): wraps a
@@ -188,6 +207,14 @@ class QuaestorClient {
 
   void NoteServedBy(const webcache::FetchOutcome& fo, RequestOutcome* out);
 
+  /// hierarchy_.Fetch plus the configured 503 retry policy: jittered
+  /// exponential backoff, bounded attempts; failed attempts and waits are
+  /// charged to `out->latency_ms` (the simulation models waiting as
+  /// response latency rather than sleeping a clock).
+  webcache::FetchOutcome FetchWithRetry(const std::string& key,
+                                        webcache::FetchMode mode,
+                                        RequestOutcome* out);
+
   /// Monotonic reads: returns true if `version` regresses below the
   /// highest version this session has seen for `key`.
   bool IsRegression(const std::string& key, uint64_t version) const;
@@ -230,6 +257,7 @@ class QuaestorClient {
   /// revalidate until the next refresh (§3.2 Opt-in Consistency).
   bool read_newer_than_ebf_ = false;
 
+  Rng retry_rng_;  // retry backoff jitter (deterministic from retry.seed)
   ClientStats stats_;
 };
 

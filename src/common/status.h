@@ -95,6 +95,8 @@ class Status {
     return code_ == StatusCode::kResourceExhausted;
   }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
 
   /// Renders as "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -12,11 +12,33 @@ QuaestorServer::QuaestorServer(Clock* clock, db::Database* database,
       ebf_(clock, options.bloom_params),
       ttl_estimator_(clock, options.ttl_options),
       active_list_(),
-      capacity_(options.query_capacity) {
+      capacity_(options.query_capacity),
+      fault_rng_(options.fault_seed) {
   invalidb_ = std::make_unique<invalidb::InvalidbCluster>(
       clock, options.invalidb_options,
       [this](const invalidb::Notification& n) { OnNotification(n); });
   db_->AddChangeListener([this](const db::ChangeEvent& ev) {
+    // Fault gates: a hard pipeline outage swallows the whole change
+    // stream; a lossy pipeline drops a seeded fraction of it. Either way
+    // the event is counted — the oracle/degradation machinery has to
+    // cover the resulting missed invalidations.
+    if (pipeline_down_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.change_events_dropped++;
+      return;
+    }
+    if (options_.fault_change_loss_rate > 0.0) {
+      bool drop;
+      {
+        std::lock_guard<std::mutex> lock(fault_mu_);
+        drop = fault_rng_.NextBool(options_.fault_change_loss_rate);
+      }
+      if (drop) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.change_events_dropped++;
+        return;
+      }
+    }
     invalidb_->OnChange(ev);
   });
   transactions_ = std::make_unique<TransactionManager>(this);
@@ -97,6 +119,20 @@ void QuaestorServer::OnRecordWrite(const db::Document& after) {
 // ---------------------------------------------------------------------------
 
 void QuaestorServer::OnNotification(const invalidb::Notification& n) {
+  // Pipeline health: commit-to-processing lag of this notification, with
+  // hysteresis so a single slow message does not flap the mode — degrade
+  // past the budget, recover only once the lag is back under half of it.
+  const Micros lag = std::max<Micros>(0, clock_->NowMicros() - n.event_time);
+  last_notification_lag_.store(lag, std::memory_order_relaxed);
+  if (options_.degradation.enabled) {
+    const Micros budget = options_.degradation.staleness_budget;
+    if (lag > budget) {
+      lag_degraded_.store(true, std::memory_order_relaxed);
+    } else if (lag <= budget / 2) {
+      lag_degraded_.store(false, std::memory_order_relaxed);
+    }
+    RefreshDegradedState();
+  }
   {
     std::lock_guard<std::mutex> lock(meta_mu_);
     auto it = query_meta_.find(n.query_key);
@@ -175,6 +211,15 @@ void QuaestorServer::RegisterQueryShape(const db::Query& query) {
 
 webcache::HttpResponse QuaestorServer::Fetch(
     const webcache::HttpRequest& request) {
+  if (unavailable_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.unavailable_responses++;
+    }
+    webcache::HttpResponse resp;
+    resp.unavailable = true;  // 503: retryable, never cacheable
+    return resp;
+  }
   if (request.key.rfind("q:", 0) == 0) {
     db::Query query;
     {
@@ -218,6 +263,12 @@ webcache::HttpResponse QuaestorServer::FetchRecord(
   resp.ttl = options_.cache_records && cacheable_table
                  ? ttl_estimator_.RecordTtl(request.key)
                  : 0;
+  const Micros uncapped_ttl = resp.ttl;
+  resp.ttl = CapTtl(resp.ttl);
+  if (resp.ttl != uncapped_ttl) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.degraded_reads++;
+  }
   if (request.has_if_none_match && request.if_none_match == doc->version) {
     resp.not_modified = true;
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -362,6 +413,12 @@ webcache::HttpResponse QuaestorServer::FetchQuery(
   Micros ttl = 0;
   if (admitted) {
     ttl = ttl_estimator_.QueryTtl(key, member_keys);
+    const Micros capped = CapTtl(ttl);
+    if (capped != ttl) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.degraded_reads++;
+    }
+    ttl = capped;
   } else {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.uncacheable_queries++;
@@ -370,9 +427,10 @@ webcache::HttpResponse QuaestorServer::FetchQuery(
     for (const db::Document& d : docs) {
       qr.docs.push_back(d.body);
       qr.versions.push_back(d.version);
-      const Micros record_ttl = options_.cache_records && cacheable_table
-                                    ? ttl_estimator_.RecordTtl(d.Key())
-                                    : 0;
+      const Micros record_ttl =
+          CapTtl(options_.cache_records && cacheable_table
+                     ? ttl_estimator_.RecordTtl(d.Key())
+                     : 0);
       qr.record_ttls.push_back(record_ttl);
       // The response implicitly issues per-record TTLs (results are
       // inserted into caches as individual entries, §6.2).
@@ -461,6 +519,88 @@ ebf::BloomFilter QuaestorServer::BloomSnapshotForTable(
     stats_.bloom_filter_requests++;
   }
   return ebf_.Partition(table)->Snapshot();
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance & degradation
+// ---------------------------------------------------------------------------
+
+bool QuaestorServer::degraded() const {
+  if (!options_.degradation.enabled) return false;
+  if (manual_degraded_.load(std::memory_order_relaxed) ||
+      pipeline_down_.load(std::memory_order_relaxed) ||
+      lag_degraded_.load(std::memory_order_relaxed)) {
+    return true;
+  }
+  // A dead matching node silently loses every invalidation routed through
+  // it — that alone forfeits the invalidation guarantee.
+  return invalidb_->AliveCount() < invalidb_->NumNodes();
+}
+
+Micros QuaestorServer::CapTtl(Micros ttl) const {
+  if (ttl <= 0 || !degraded()) return ttl;
+  return std::min(ttl, options_.degradation.degraded_ttl_cap);
+}
+
+void QuaestorServer::FlagAllCachedCopies() {
+  // The EBF tracks exactly the keys (records and queries) with unexpired
+  // issued TTLs — a strict superset of the currently-registered queries.
+  // Registered queries alone would miss cold queries that fell off the
+  // active list but still sit in some cache with a long TTL.
+  for (const std::string& key : ebf_.FlagAllTracked()) {
+    PurgeEverywhere(key);
+  }
+}
+
+void QuaestorServer::RefreshDegradedState() {
+  const bool now_degraded = degraded();
+  if (was_degraded_.exchange(now_degraded) == now_degraded) return;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.degradation_flips++;
+  }
+  if (now_degraded) FlagAllCachedCopies();
+}
+
+void QuaestorServer::SetDegraded(bool degraded) {
+  manual_degraded_.store(degraded, std::memory_order_relaxed);
+  RefreshDegradedState();
+}
+
+void QuaestorServer::SetPipelineDown(bool down) {
+  if (pipeline_down_.exchange(down, std::memory_order_acq_rel) == down) {
+    return;
+  }
+  if (!down) {
+    // Recovery. The matchers missed every change committed during the
+    // outage, so their membership state is untrustworthy: crash-restart
+    // each node against the authoritative database (the same path a
+    // single-node failover takes), then conservatively invalidate every
+    // key with an outstanding TTL — copies cached during the outage may
+    // be stale.
+    const size_t nodes = invalidb_->NumNodes();
+    for (size_t i = 0; i < nodes; ++i) {
+      invalidb_->KillNode(i);
+      invalidb_->RestartNode(
+          i, [this](const db::Query& q) { return db_->Execute(q); });
+    }
+    invalidb_->Flush();
+    FlagAllCachedCopies();
+    lag_degraded_.store(false, std::memory_order_relaxed);
+    last_notification_lag_.store(0, std::memory_order_relaxed);
+  }
+  RefreshDegradedState();
+}
+
+PipelineHealth QuaestorServer::pipeline_health() const {
+  PipelineHealth h;
+  h.degraded = degraded();
+  h.pipeline_down = pipeline_down_.load(std::memory_order_relaxed);
+  h.nodes_alive = invalidb_->AliveCount();
+  h.nodes_total = invalidb_->NumNodes();
+  h.last_notification_lag =
+      last_notification_lag_.load(std::memory_order_relaxed);
+  return h;
 }
 
 ServerStats QuaestorServer::stats() const {

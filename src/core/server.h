@@ -1,6 +1,7 @@
 #ifndef QUAESTOR_CORE_SERVER_H_
 #define QUAESTOR_CORE_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/random.h"
 #include "common/result.h"
 #include "core/auth.h"
 #include "core/query_result.h"
@@ -67,6 +69,39 @@ struct ServerOptions {
   /// key, so cached copies go stale beyond ∆ — the consistency oracle must
   /// catch this (see src/check).
   bool fault_disable_ebf_read_tracking = false;
+
+  /// Fault injection: drop this fraction of change-stream events before
+  /// they reach InvaliDB (a lossy invalidation pipeline). Deterministic
+  /// from fault_seed. Query invalidations are then best-effort — exactly
+  /// the regime graceful degradation exists for.
+  double fault_change_loss_rate = 0.0;
+  uint64_t fault_seed = 0x5eed;
+
+  /// Graceful degradation (the paper's Δ argument, §3.1): when the
+  /// invalidation pipeline is down, lagging, or has dead matching nodes,
+  /// the server caps every issued TTL so expiration alone bounds
+  /// staleness — invalidation-capable caches degrade to pure expiration
+  /// caches, and flip back once the pipeline is healthy.
+  struct DegradationOptions {
+    bool enabled = false;
+    /// Notification lag beyond which the pipeline counts as unhealthy;
+    /// recovery needs the lag back under half of this (hysteresis).
+    Micros staleness_budget = 5 * kMicrosPerSecond;
+    /// TTL ceiling applied to all responses while degraded (the degraded
+    /// Δ: reads are then at most this stale once caches drain).
+    Micros degraded_ttl_cap = 1 * kMicrosPerSecond;
+  };
+  DegradationOptions degradation;
+};
+
+/// Health-check snapshot of the invalidation pipeline.
+struct PipelineHealth {
+  bool degraded = false;       // TTL cap currently in force
+  bool pipeline_down = false;  // hard outage (SetPipelineDown)
+  size_t nodes_alive = 0;
+  size_t nodes_total = 0;
+  /// Commit-to-processing lag of the most recent notification (µs).
+  Micros last_notification_lag = 0;
 };
 
 /// Server-side counters.
@@ -79,6 +114,11 @@ struct ServerStats {
   uint64_t record_invalidations = 0;
   uint64_t uncacheable_queries = 0;  // served with ttl 0 (capacity)
   uint64_t bloom_filter_requests = 0;
+  /// Fault-tolerance accounting.
+  uint64_t degraded_reads = 0;        // responses served with a capped TTL
+  uint64_t degradation_flips = 0;     // healthy <-> degraded transitions
+  uint64_t change_events_dropped = 0; // lost before reaching InvaliDB
+  uint64_t unavailable_responses = 0; // SetUnavailable fault in force
 };
 
 /// The QUAESTOR database service (Figure 3): DBaaS middleware that serves
@@ -157,6 +197,33 @@ class QuaestorServer : public webcache::Origin {
   /// streams of §3.2.
   void AddNotificationTap(invalidb::NotificationSink tap);
 
+  // -- Fault tolerance & degradation --
+
+  /// True while the TTL cap is in force: an explicit operator/health
+  /// decision (SetDegraded / SetPipelineDown), a notification lag beyond
+  /// the staleness budget, or a dead matching node. Always false when
+  /// degradation is disabled in the options.
+  bool degraded() const;
+
+  /// Manually forces (or lifts) degraded mode — the operator override and
+  /// the bench's with/without-degradation switch.
+  void SetDegraded(bool degraded);
+
+  /// Hard pipeline outage: while down, change events are dropped before
+  /// InvaliDB (counted in change_events_dropped) and the server degrades.
+  /// On recovery every matching node is crash-restarted against the
+  /// authoritative database, and all registered query keys are flagged in
+  /// the EBF and purged from CDNs — copies cached during the outage can
+  /// be arbitrarily stale, as can the matcher state.
+  void SetPipelineDown(bool down);
+
+  /// Fault injection: while set, Fetch answers 503-style (ok=false,
+  /// unavailable=true) — the client retry/timeout path exercises this.
+  void SetUnavailable(bool unavailable) { unavailable_.store(unavailable); }
+
+  /// Heartbeat/health-check endpoint.
+  PipelineHealth pipeline_health() const;
+
   // -- Introspection --
 
   ServerStats stats() const;
@@ -225,6 +292,21 @@ class QuaestorServer : public webcache::Origin {
   ttl::ResultRepresentation ChooseRepresentationFor(
       const std::string& query_key, size_t result_size);
 
+  /// Applies the degraded TTL ceiling (identity while healthy).
+  Micros CapTtl(Micros ttl) const;
+
+  /// Conservatively invalidates every key (record or query) with an
+  /// unexpired issued TTL: EBF-flag + CDN purge via the EBF's exact
+  /// tracking. Used when entering degraded mode and after an outage —
+  /// outstanding long-TTL copies, including those of queries that have
+  /// since fallen off the active list, can no longer be trusted.
+  void FlagAllCachedCopies();
+
+  /// Re-evaluates degraded() against the remembered state: counts the
+  /// flip and, on a healthy→degraded edge, flags all cached copies
+  /// (their outstanding long-TTL copies predate the cap).
+  void RefreshDegradedState();
+
   Clock* clock_;
   db::Database* db_;
   ServerOptions options_;
@@ -247,6 +329,16 @@ class QuaestorServer : public webcache::Origin {
 
   mutable std::mutex stats_mu_;
   ServerStats stats_;
+
+  // Fault-tolerance state.
+  std::atomic<bool> manual_degraded_{false};
+  std::atomic<bool> pipeline_down_{false};
+  std::atomic<bool> lag_degraded_{false};
+  std::atomic<bool> unavailable_{false};
+  std::atomic<bool> was_degraded_{false};
+  std::atomic<Micros> last_notification_lag_{0};
+  mutable std::mutex fault_mu_;
+  Rng fault_rng_;  // guarded by fault_mu_ (change-loss decisions)
 };
 
 }  // namespace quaestor::core

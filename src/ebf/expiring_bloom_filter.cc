@@ -1,5 +1,6 @@
 #include "ebf/expiring_bloom_filter.h"
 
+#include <iterator>
 #include <memory>
 
 namespace quaestor::ebf {
@@ -42,6 +43,28 @@ bool ExpiringBloomFilter::ReportWrite(std::string_view key) {
     counting_.Add(key, [this](size_t pos) { flat_.SetBit(pos); });
   }
   return true;
+}
+
+std::vector<std::string> ExpiringBloomFilter::FlagAllTracked() {
+  const Micros now = clock_->NowMicros();
+  std::vector<std::string> flagged;
+  std::lock_guard<std::mutex> lock(mu_);
+  MaintainLocked(now);
+  for (auto& [key, st] : keys_) {
+    if (st.expire_at <= now) continue;
+    if (st.expire_at > st.stale_until) {
+      st.stale_until = st.expire_at;
+      deadlines_.push({st.stale_until, key});
+    }
+    if (!st.in_filter) {
+      st.in_filter = true;
+      stats_.keys_added++;
+      counting_.Add(key, [this](size_t pos) { flat_.SetBit(pos); });
+    }
+    flagged.push_back(key);
+  }
+  stats_.invalidations_reported += flagged.size();
+  return flagged;
 }
 
 bool ExpiringBloomFilter::IsStale(std::string_view key) const {
@@ -146,6 +169,22 @@ bool PartitionedEbf::ReportWrite(std::string_view key) {
 
 bool PartitionedEbf::IsStale(std::string_view key) {
   return PartitionForKey(key)->IsStale(key);
+}
+
+std::vector<std::string> PartitionedEbf::FlagAllTracked() {
+  std::vector<ExpiringBloomFilter*> parts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    parts.reserve(partitions_.size());
+    for (auto& [table, ebf] : partitions_) parts.push_back(ebf.get());
+  }
+  std::vector<std::string> flagged;
+  for (ExpiringBloomFilter* ebf : parts) {
+    std::vector<std::string> part = ebf->FlagAllTracked();
+    flagged.insert(flagged.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+  }
+  return flagged;
 }
 
 BloomFilter PartitionedEbf::AggregateSnapshot() {

@@ -59,6 +59,12 @@ class ExpiringBloomFilter {
   /// compact client representation).
   bool IsStale(std::string_view key) const;
 
+  /// Conservatively flags every key with an unexpired issued TTL as
+  /// potentially stale (degraded-mode entry: any of them may have a
+  /// cached copy whose invalidation will be lost). Returns the flagged
+  /// keys so the caller can also purge shared caches.
+  std::vector<std::string> FlagAllTracked();
+
   /// Bloom-filter membership test (what a client holding the current
   /// snapshot would conclude, including false positives).
   bool MaybeStale(std::string_view key) const;
@@ -125,6 +131,9 @@ class PartitionedEbf {
   void ReportRead(std::string_view key, Micros ttl);
   bool ReportWrite(std::string_view key);
   bool IsStale(std::string_view key);
+
+  /// FlagAllTracked over every partition (degraded-mode entry).
+  std::vector<std::string> FlagAllTracked();
 
   /// Union of all partitions' flat filters.
   BloomFilter AggregateSnapshot();

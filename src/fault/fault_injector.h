@@ -1,0 +1,85 @@
+#ifndef QUAESTOR_FAULT_FAULT_INJECTOR_H_
+#define QUAESTOR_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace quaestor::fault {
+
+/// Per-message fault probabilities for the injected channel. All rates are
+/// independent per decision; a message can be both delayed and duplicated.
+struct FaultProfile {
+  double drop_rate = 0.0;       // message silently disappears
+  double duplicate_rate = 0.0;  // message is delivered twice
+  double reorder_rate = 0.0;    // message is held back and released later
+  double delay_rate = 0.0;      // message is held until `max_delay` passes
+  Micros max_delay = 0;         // upper bound for injected delays
+  double corrupt_rate = 0.0;    // message bytes are mutated in place
+
+  bool Lossless() const {
+    return drop_rate == 0.0 && duplicate_rate == 0.0 && reorder_rate == 0.0 &&
+           delay_rate == 0.0 && corrupt_rate == 0.0;
+  }
+};
+
+/// Counters for what the injector actually did.
+struct FaultStats {
+  uint64_t decisions = 0;   // messages that passed through the injector
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t reordered = 0;
+  uint64_t delayed = 0;
+  uint64_t corrupted = 0;
+};
+
+/// A seeded source of fault decisions: every randomized choice in the
+/// fault layer flows through one injector so a chaos schedule replays
+/// exactly from its seed. Thread-safe (the faulty KV store is shared
+/// between the remote's poller and the worker's consumer threads).
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed, FaultProfile profile = FaultProfile())
+      : rng_(seed), profile_(profile) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  bool ShouldDrop();
+  bool ShouldDuplicate();
+  bool ShouldReorder();
+  bool ShouldCorrupt();
+
+  /// A uniformly random delay in [1, max_delay] µs (0 when the profile
+  /// injects no delay for this message).
+  Micros DelayFor();
+
+  /// Mutates `message` in place: truncation, byte flips, or random-byte
+  /// splices, chosen by the seeded stream. The result is intentionally
+  /// often invalid JSON — receivers must reject it, never crash.
+  void Corrupt(std::string* message);
+
+  /// Uniform double in [0, 1) from the injector's stream (for callers
+  /// that need extra seeded decisions tied to the same schedule).
+  double NextDouble();
+
+  /// Uniform value in [0, n).
+  uint64_t NextUint64(uint64_t n);
+
+  void set_profile(const FaultProfile& profile);
+  FaultProfile profile() const;
+  FaultStats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  Rng rng_;
+  FaultProfile profile_;
+  FaultStats stats_;
+};
+
+}  // namespace quaestor::fault
+
+#endif  // QUAESTOR_FAULT_FAULT_INJECTOR_H_

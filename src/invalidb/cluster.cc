@@ -47,7 +47,10 @@ size_t InvalidbCluster::RowOf(const std::string& record_id) const {
 }
 
 void InvalidbCluster::Submit(size_t column, size_t row, Task task) {
-  Node& node = NodeAt(column, row);
+  SubmitToNode(NodeAt(column, row), std::move(task));
+}
+
+void InvalidbCluster::SubmitToNode(Node& node, Task task) {
   if (options_.threaded) {
     in_flight_.fetch_add(1, std::memory_order_relaxed);
     if (!node.queue->Push(std::move(task))) {
@@ -87,7 +90,34 @@ void InvalidbCluster::WorkerLoop(Node* node) {
 
 void InvalidbCluster::ExecuteTask(Node& node, Task& task,
                                   NotifyScratch& scratch) {
+  node.last_heartbeat.store(clock_->NowMicros(), std::memory_order_relaxed);
   scratch.raw.clear();
+  // Control tasks first: they must execute even on a dead node, in queue
+  // order, so the crash window covers exactly the tasks between them.
+  if (std::get_if<KillTask>(&task) != nullptr) {
+    node.matcher.Clear();
+    node.alive.store(false, std::memory_order_release);
+    return;
+  }
+  if (auto* restart = std::get_if<RestartTask>(&task)) {
+    node.matcher.Clear();
+    for (RegisterTask& reg : restart->installs) {
+      node.matcher.AddQuery(reg.query, reg.key, std::move(reg.initial_ids));
+      for (const db::ChangeEvent& ev : reg.replay) {
+        scratch.raw.clear();
+        node.matcher.MatchSingle(reg.key, ev, &scratch.raw);
+        if (!scratch.raw.empty()) Dispatch(scratch, ev.after);
+      }
+    }
+    node.alive.store(true, std::memory_order_release);
+    return;
+  }
+  if (!node.alive.load(std::memory_order_acquire)) {
+    // A crashed node loses everything sent to it until its restart.
+    std::lock_guard<std::mutex> lock(sink_mu_);
+    stats_.tasks_dropped_dead++;
+    return;
+  }
   if (auto* reg = std::get_if<RegisterTask>(&task)) {
     node.matcher.AddQuery(reg->query, reg->key,
                           std::move(reg->initial_ids));
@@ -159,7 +189,7 @@ Status InvalidbCluster::RegisterQuery(
     if (subscriptions_.count(key) > 0) {
       return Status::AlreadyExists(key);
     }
-    subscriptions_[key] = Subscription{events, stateful};
+    subscriptions_[key] = Subscription{events, stateful, query};
   }
   if (stateful) {
     sorted_layer_.AddQuery(query, key, initial_result);
@@ -243,6 +273,103 @@ void InvalidbCluster::OnChange(const db::ChangeEvent& event) {
   for (size_t col = 0; col < options_.query_partitions; ++col) {
     Submit(col, row, Task(ChangeTask{event}));
   }
+}
+
+void InvalidbCluster::KillNode(size_t node_index) {
+  if (node_index >= nodes_.size()) return;
+  {
+    std::lock_guard<std::mutex> lock(sink_mu_);
+    stats_.node_kills++;
+  }
+  SubmitToNode(*nodes_[node_index], Task(KillTask{}));
+}
+
+size_t InvalidbCluster::RestartNode(size_t node_index,
+                                    const ResultEvaluator& evaluate) {
+  if (node_index >= nodes_.size()) return 0;
+  const size_t column = node_index % options_.query_partitions;
+  const size_t row = node_index / options_.query_partitions;
+
+  // Snapshot the registry: every query of this node's column.
+  std::vector<std::pair<std::string, Subscription>> to_install;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    for (const auto& [key, sub] : subscriptions_) {
+      if (ColumnOf(key) == column) to_install.emplace_back(key, sub);
+    }
+  }
+
+  // Events that commit after this point race the rebuild; replay them
+  // like a fresh registration does (§4.1 activation race).
+  const Micros eval_time = clock_->NowMicros();
+
+  RestartTask task;
+  for (auto& [key, sub] : to_install) {
+    const std::vector<db::Document> result = evaluate(
+        db::Query(sub.query.table(), sub.query.filter()));
+    if (sub.stateful) {
+      // The sorted layer is cluster-level: re-seed its window from the
+      // authoritative result (it may have missed events while the node
+      // was down).
+      sorted_layer_.RemoveQuery(key);
+      sorted_layer_.AddQuery(sub.query, key, result);
+    }
+    RegisterTask reg;
+    reg.query = db::Query(sub.query.table(), sub.query.filter());
+    reg.key = key;
+    for (const db::Document& doc : result) {
+      if (RowOf(doc.id) == row) reg.initial_ids.push_back(doc.id);
+    }
+    {
+      std::lock_guard<std::mutex> lock(replay_mu_);
+      for (const db::ChangeEvent& ev : replay_buffer_) {
+        if (ev.commit_time > eval_time && RowOf(ev.after.id) == row) {
+          reg.replay.push_back(ev);
+        }
+      }
+    }
+    task.installs.push_back(std::move(reg));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sink_mu_);
+    stats_.node_restarts++;
+  }
+  const size_t installed = task.installs.size();
+  SubmitToNode(*nodes_[node_index], Task(std::move(task)));
+  return installed;
+}
+
+bool InvalidbCluster::NodeAlive(size_t node_index) const {
+  if (node_index >= nodes_.size()) return false;
+  return nodes_[node_index]->alive.load(std::memory_order_acquire);
+}
+
+size_t InvalidbCluster::AliveCount() const {
+  size_t alive = 0;
+  for (const auto& node : nodes_) {
+    if (node->alive.load(std::memory_order_acquire)) alive++;
+  }
+  return alive;
+}
+
+std::vector<NodeHealth> InvalidbCluster::Health() const {
+  std::vector<NodeHealth> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    NodeHealth h;
+    h.alive = node->alive.load(std::memory_order_acquire);
+    h.last_heartbeat = node->last_heartbeat.load(std::memory_order_relaxed);
+    out.push_back(h);
+  }
+  return out;
+}
+
+std::vector<std::string> InvalidbCluster::RegisteredKeys() const {
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  std::vector<std::string> keys;
+  keys.reserve(subscriptions_.size());
+  for (const auto& [key, sub] : subscriptions_) keys.push_back(key);
+  return keys;
 }
 
 void InvalidbCluster::Flush() {

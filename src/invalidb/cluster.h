@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -48,10 +49,22 @@ struct InvalidbOptions {
   bool indexed_matching = true;
 };
 
+/// Health snapshot of one matching node (heartbeat API).
+struct NodeHealth {
+  bool alive = true;
+  /// Last time the node's worker executed a task (µs since epoch; 0 if it
+  /// never ran).
+  Micros last_heartbeat = 0;
+};
+
 /// Per-cluster activity counters.
 struct ClusterStats {
   uint64_t changes_ingested = 0;
   uint64_t notifications_delivered = 0;
+  /// Failover accounting: crashes, recoveries, and work lost while dead.
+  uint64_t node_kills = 0;
+  uint64_t node_restarts = 0;
+  uint64_t tasks_dropped_dead = 0;
   /// query×update predicate evaluations actually performed (with indexed
   /// matching: candidates only).
   uint64_t match_checks = 0;
@@ -100,6 +113,34 @@ class InvalidbCluster {
   /// Ingests one change-stream event (the record after-image, §4.1).
   void OnChange(const db::ChangeEvent& event);
 
+  // -- Node failover --
+
+  /// Evaluates a (predicate-only) query against the authoritative
+  /// database; RestartNode uses it to rebuild a node's matching state.
+  using ResultEvaluator =
+      std::function<std::vector<db::Document>(const db::Query&)>;
+
+  /// Crashes one matching node (row-major index): its in-memory state is
+  /// wiped and every non-control task it receives while dead is dropped
+  /// (counted in tasks_dropped_dead). Subscriptions survive at the
+  /// cluster level — they are the registry a restart rebuilds from.
+  void KillNode(size_t node_index);
+
+  /// Restarts a killed node: re-evaluates every registered query of the
+  /// node's column via `evaluate`, re-seeds the sorted layer for stateful
+  /// queries, and reinstalls this row's share of each result. The node
+  /// resumes matching once the rebuild task executes (queue order, so
+  /// events that arrived while dead stay dropped). Returns how many
+  /// queries were reinstalled.
+  size_t RestartNode(size_t node_index, const ResultEvaluator& evaluate);
+
+  bool NodeAlive(size_t node_index) const;
+  size_t AliveCount() const;
+  std::vector<NodeHealth> Health() const;
+
+  /// Keys of all registered queries (the failover registry).
+  std::vector<std::string> RegisteredKeys() const;
+
   /// Blocks until all queued work is processed (threaded mode; immediate
   /// otherwise).
   void Flush();
@@ -138,13 +179,24 @@ class InvalidbCluster {
   struct ChangeTask {
     db::ChangeEvent event;
   };
-  using Task = std::variant<RegisterTask, DeregisterTask, ChangeTask>;
+  /// Control tasks (failover): processed even by a dead node, in queue
+  /// order, so the alive flag flips exactly where the crash/recovery sits
+  /// in the task stream.
+  struct KillTask {};
+  struct RestartTask {
+    std::vector<RegisterTask> installs;
+  };
+  using Task = std::variant<RegisterTask, DeregisterTask, ChangeTask,
+                            KillTask, RestartTask>;
 
   struct Node {
     explicit Node(bool indexed) : matcher(indexed) {}
     MatchingNode matcher;
     std::unique_ptr<BoundedQueue<Task>> queue;  // threaded mode only
     std::thread worker;
+    /// Toggled by Kill/RestartTask execution on the worker itself.
+    std::atomic<bool> alive{true};
+    std::atomic<Micros> last_heartbeat{0};
   };
 
   /// Per-thread reusable notification buffers (hot-path allocation churn:
@@ -158,6 +210,9 @@ class InvalidbCluster {
   struct Subscription {
     EventMask mask;
     bool stateful;
+    /// The full (windowed) query — the restart registry needs it to
+    /// re-evaluate results and re-seed the sorted layer after a crash.
+    db::Query query;
   };
 
   size_t ColumnOf(const std::string& query_key) const;
@@ -168,6 +223,7 @@ class InvalidbCluster {
 
   void ExecuteTask(Node& node, Task& task, NotifyScratch& scratch);
   void Submit(size_t column, size_t row, Task task);
+  void SubmitToNode(Node& node, Task task);
   /// Consumes `scratch.raw` (notifications are moved out, vector is left
   /// cleared) and delivers the subscribed subset to the sink.
   void Dispatch(NotifyScratch& scratch, const db::Document& after_image);

@@ -59,6 +59,13 @@ void MatchingNode::RemoveQuery(const std::string& query_key) {
   query_count_.store(queries_.size(), std::memory_order_relaxed);
 }
 
+void MatchingNode::Clear() {
+  std::vector<std::string> keys;
+  keys.reserve(queries_.size());
+  for (const auto& [key, st] : queries_) keys.push_back(key);
+  for (const std::string& key : keys) RemoveQuery(key);
+}
+
 bool MatchingNode::HasQuery(const std::string& query_key) const {
   return queries_.find(query_key) != queries_.end();
 }

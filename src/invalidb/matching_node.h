@@ -57,6 +57,11 @@ class MatchingNode {
 
   void RemoveQuery(const std::string& query_key);
 
+  /// Drops every installed query and all per-record state — a node crash
+  /// wipes its in-memory matching state (failover support; the cluster
+  /// rebuilds it from the subscription registry on restart).
+  void Clear();
+
   bool HasQuery(const std::string& query_key) const;
 
   /// Matches one change-stream after-image against the installed queries,

@@ -1,0 +1,162 @@
+#ifndef QUAESTOR_INVALIDB_RELIABLE_QUEUE_H_
+#define QUAESTOR_INVALIDB_RELIABLE_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "kv/kv_store.h"
+
+namespace quaestor::invalidb {
+
+/// At-least-once delivery settings for one transport queue direction.
+/// Disabled by default: messages are pushed raw, exactly as the seed
+/// transport did, so existing behaviour (and seeds) are unchanged.
+struct ReliableOptions {
+  bool enabled = false;
+  /// First retransmit after this long without an ack; doubles per retry.
+  Micros retransmit_timeout = 200 * kMicrosPerMilli;
+  Micros max_backoff = 5 * kMicrosPerSecond;
+  /// Uniform jitter fraction added to every backoff (decorrelates
+  /// retransmit storms).
+  double jitter = 0.2;
+  uint64_t seed = 1;
+};
+
+/// Wire helpers for the sequence-numbered envelope (exposed for tests and
+/// the transport fuzzer). An envelope wraps an opaque payload string:
+///   {"rs": sender, "rn": seq, "rc": checksum, "rp": payload}
+/// Acks travel on "<queue>:acks" as {"rs": sender, "ra": seq}.
+/// The checksum covers sender+seq+payload, so a corrupted envelope is
+/// rejected (and never acked) instead of delivering mutated bytes.
+namespace reliable {
+
+struct Envelope {
+  std::string sender;
+  uint64_t seq = 0;
+  std::string payload;
+};
+
+std::string Encode(const std::string& sender, uint64_t seq,
+                   const std::string& payload);
+/// NotFound when `message` is not an envelope (raw passthrough);
+/// Corruption when it is one but fails the checksum.
+Result<Envelope> Decode(const std::string& message);
+
+std::string EncodeAck(const std::string& sender, uint64_t seq);
+Result<Envelope> DecodeAck(const std::string& message);  // payload unused
+
+}  // namespace reliable
+
+/// The sending half: stamps every payload with a per-sender sequence
+/// number, keeps it buffered until acked, and retransmits with
+/// exponential backoff + seeded jitter. Thread-safe (the transport's
+/// background threads tick senders while callers send).
+class ReliableSender {
+ public:
+  ReliableSender(Clock* clock, kv::KvStore* kv, std::string queue,
+                 std::string sender_id, ReliableOptions options);
+
+  ReliableSender(const ReliableSender&) = delete;
+  ReliableSender& operator=(const ReliableSender&) = delete;
+
+  /// Ships one payload. Raw push when the reliable layer is disabled.
+  void Send(std::string payload);
+
+  /// Drains the ack queue and forgets acked messages.
+  void ProcessAcks();
+
+  /// Retransmits every message whose ack deadline passed. Returns how
+  /// many were re-sent.
+  size_t RetransmitDue();
+
+  /// ProcessAcks + RetransmitDue (call from any pump loop).
+  void Tick() {
+    if (!options_.enabled) return;
+    ProcessAcks();
+    RetransmitDue();
+  }
+
+  size_t unacked() const;
+  uint64_t redeliveries() const;
+  const ReliableOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    std::string payload;
+    Micros next_retransmit = 0;
+    Micros backoff = 0;
+  };
+
+  Micros JitteredLocked(Micros backoff);
+
+  Clock* clock_;
+  kv::KvStore* kv_;
+  std::string queue_;
+  std::string ack_queue_;
+  std::string sender_id_;
+  ReliableOptions options_;
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  uint64_t next_seq_ = 1;
+  std::map<uint64_t, Pending> unacked_;
+  uint64_t redeliveries_ = 0;
+};
+
+/// The receiving half: acks every envelope (duplicates included — the
+/// original ack may have been lost), drops already-delivered sequence
+/// numbers, and buffers out-of-order arrivals until the gap fills, so the
+/// handler sees each sender's payloads exactly once, in send order.
+/// Non-envelope messages pass through verbatim (seed compatibility).
+class ReliableReceiver {
+ public:
+  using Handler = std::function<void(const std::string& payload)>;
+
+  ReliableReceiver(kv::KvStore* kv, std::string queue,
+                   ReliableOptions options);
+
+  ReliableReceiver(const ReliableReceiver&) = delete;
+  ReliableReceiver& operator=(const ReliableReceiver&) = delete;
+
+  /// Drains the queue, invoking `handler` for every deliverable payload.
+  /// Returns how many payloads reached the handler.
+  size_t Poll(const Handler& handler);
+
+  /// Blocking variant: waits up to `timeout_micros` for the first
+  /// message, then drains the rest non-blocking.
+  size_t PollBlocking(Micros timeout_micros, const Handler& handler);
+
+  uint64_t duplicates_dropped() const;
+  /// Out-of-order payloads currently parked waiting for a gap to fill.
+  size_t pending() const;
+
+ private:
+  /// Processes one raw queue message; returns payloads delivered.
+  size_t Accept(const std::string& message, const Handler& handler);
+
+  struct SenderState {
+    uint64_t floor = 0;  // highest contiguously delivered seq
+    std::map<uint64_t, std::string> pending;
+  };
+
+  kv::KvStore* kv_;
+  std::string queue_;
+  std::string ack_queue_;
+  ReliableOptions options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, SenderState> senders_;
+  uint64_t duplicates_dropped_ = 0;
+};
+
+}  // namespace quaestor::invalidb
+
+#endif  // QUAESTOR_INVALIDB_RELIABLE_QUEUE_H_

@@ -125,53 +125,67 @@ Result<Notification> DecodeNotification(const std::string& message) {
 // InvalidbRemote
 // ---------------------------------------------------------------------------
 
-InvalidbRemote::InvalidbRemote(kv::KvStore* kv, std::string prefix,
-                               NotificationSink sink)
+InvalidbRemote::InvalidbRemote(Clock* clock, kv::KvStore* kv,
+                               std::string prefix, NotificationSink sink,
+                               TransportOptions options)
     : kv_(kv),
       requests_queue_(prefix + ":requests"),
       notifications_queue_(prefix + ":notifications"),
-      sink_(std::move(sink)) {}
+      sink_(std::move(sink)),
+      req_sender_(clock, kv, requests_queue_, "quaestor", options.reliable),
+      notif_receiver_(kv, notifications_queue_, options.reliable) {}
 
 InvalidbRemote::~InvalidbRemote() { StopPolling(); }
 
 void InvalidbRemote::RegisterQuery(
     const db::Query& query, const std::vector<db::Document>& initial_result,
     EventMask events, Micros evaluated_at) {
-  kv_->QueuePush(requests_queue_, transport::EncodeRegister(
-                                      query, initial_result, events,
-                                      evaluated_at));
+  req_sender_.Send(transport::EncodeRegister(query, initial_result, events,
+                                             evaluated_at));
 }
 
 void InvalidbRemote::DeregisterQuery(const std::string& query_key) {
-  kv_->QueuePush(requests_queue_, transport::EncodeDeregister(query_key));
+  req_sender_.Send(transport::EncodeDeregister(query_key));
 }
 
 void InvalidbRemote::OnChange(const db::ChangeEvent& event) {
-  kv_->QueuePush(requests_queue_, transport::EncodeChange(event));
+  req_sender_.Send(transport::EncodeChange(event));
 }
 
+void InvalidbRemote::HandleWire(const std::string& payload) {
+  auto n = transport::DecodeNotification(payload);
+  if (n.ok()) {
+    sink_(n.value());
+  } else {
+    decode_errors_++;
+  }
+}
+
+void InvalidbRemote::Tick() { req_sender_.Tick(); }
+
 size_t InvalidbRemote::DrainNotifications() {
+  Tick();
   size_t delivered = 0;
-  for (;;) {
-    auto msg = kv_->QueueTryPop(notifications_queue_);
-    if (!msg.has_value()) return delivered;
-    auto n = transport::DecodeNotification(*msg);
+  notif_receiver_.Poll([this, &delivered](const std::string& payload) {
+    auto n = transport::DecodeNotification(payload);
     if (n.ok()) {
       sink_(n.value());
       delivered++;
+    } else {
+      decode_errors_++;
     }
-  }
+  });
+  return delivered;
 }
 
 void InvalidbRemote::StartPolling() {
   if (polling_.exchange(true)) return;
   poller_ = std::thread([this] {
     while (polling_.load()) {
-      auto msg = kv_->QueuePop(notifications_queue_,
-                               /*timeout_micros=*/10 * kMicrosPerMilli);
-      if (!msg.has_value()) continue;
-      auto n = transport::DecodeNotification(*msg);
-      if (n.ok()) sink_(n.value());
+      Tick();
+      notif_receiver_.PollBlocking(
+          /*timeout_micros=*/10 * kMicrosPerMilli,
+          [this](const std::string& payload) { HandleWire(payload); });
     }
   });
 }
@@ -181,19 +195,41 @@ void InvalidbRemote::StopPolling() {
   if (poller_.joinable()) poller_.join();
 }
 
+TransportStats InvalidbRemote::stats() const {
+  TransportStats s;
+  s.decode_errors = decode_errors_.load();
+  s.duplicates_dropped = notif_receiver_.duplicates_dropped();
+  s.redeliveries = req_sender_.redeliveries();
+  return s;
+}
+
 // ---------------------------------------------------------------------------
 // InvalidbWorker
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Decorrelates the worker's jitter stream from the remote's without a
+/// second configuration knob.
+ReliableOptions WorkerReliable(ReliableOptions base) {
+  base.seed = base.seed * 0x9e3779b97f4a7c15ull + 1;
+  return base;
+}
+
+}  // namespace
+
 InvalidbWorker::InvalidbWorker(Clock* clock, kv::KvStore* kv,
-                               std::string prefix, InvalidbOptions options)
+                               std::string prefix, InvalidbOptions options,
+                               TransportOptions transport_options)
     : kv_(kv),
       requests_queue_(prefix + ":requests"),
-      notifications_queue_(prefix + ":notifications") {
+      notifications_queue_(prefix + ":notifications"),
+      req_receiver_(kv, requests_queue_, transport_options.reliable),
+      notif_sender_(clock, kv, notifications_queue_, "invalidb",
+                    WorkerReliable(transport_options.reliable)) {
   cluster_ = std::make_unique<InvalidbCluster>(
       clock, options, [this](const Notification& n) {
-        kv_->QueuePush(notifications_queue_,
-                       transport::EncodeNotification(n));
+        notif_sender_.Send(transport::EncodeNotification(n));
       });
 }
 
@@ -272,14 +308,12 @@ void InvalidbWorker::HandleMessage(const std::string& message) {
   }
 }
 
+void InvalidbWorker::Tick() { notif_sender_.Tick(); }
+
 size_t InvalidbWorker::ProcessPending() {
-  size_t handled = 0;
-  for (;;) {
-    auto msg = kv_->QueueTryPop(requests_queue_);
-    if (!msg.has_value()) break;
-    HandleMessage(*msg);
-    handled++;
-  }
+  Tick();
+  const size_t handled = req_receiver_.Poll(
+      [this](const std::string& payload) { HandleMessage(payload); });
   cluster_->Flush();
   return handled;
 }
@@ -288,9 +322,10 @@ void InvalidbWorker::Start() {
   if (running_.exchange(true)) return;
   consumer_ = std::thread([this] {
     while (running_.load()) {
-      auto msg = kv_->QueuePop(requests_queue_,
-                               /*timeout_micros=*/10 * kMicrosPerMilli);
-      if (msg.has_value()) HandleMessage(*msg);
+      Tick();
+      req_receiver_.PollBlocking(
+          /*timeout_micros=*/10 * kMicrosPerMilli,
+          [this](const std::string& payload) { HandleMessage(payload); });
     }
   });
 }
@@ -298,6 +333,14 @@ void InvalidbWorker::Start() {
 void InvalidbWorker::Stop() {
   if (!running_.exchange(false)) return;
   if (consumer_.joinable()) consumer_.join();
+}
+
+TransportStats InvalidbWorker::stats() const {
+  TransportStats s;
+  s.decode_errors = decode_errors_.load();
+  s.duplicates_dropped = req_receiver_.duplicates_dropped();
+  s.redeliveries = notif_sender_.redeliveries();
+  return s;
 }
 
 }  // namespace quaestor::invalidb

@@ -13,6 +13,7 @@
 #include "db/query.h"
 #include "invalidb/cluster.h"
 #include "invalidb/notification.h"
+#include "invalidb/reliable_queue.h"
 #include "kv/kv_store.h"
 
 namespace quaestor::invalidb {
@@ -24,7 +25,8 @@ namespace quaestor::invalidb {
 /// another. Messages are self-describing JSON.
 ///
 /// Queue names (namespaced by `prefix`): <prefix>:requests and
-/// <prefix>:notifications.
+/// <prefix>:notifications. With the reliable layer enabled each direction
+/// additionally uses "<queue>:acks" for delivery confirmations.
 namespace transport {
 
 /// Serialized message builders / parsers (exposed for tests).
@@ -41,12 +43,32 @@ Result<db::Document> DecodeDocument(const db::Value& spec);
 
 }  // namespace transport
 
+/// Transport configuration: both queue directions share the reliable-
+/// delivery settings (disabled by default — the seed wire format).
+struct TransportOptions {
+  ReliableOptions reliable;
+};
+
+/// Delivery-quality counters for one transport endpoint.
+struct TransportStats {
+  /// Messages whose decode returned Status::Corruption (surfaced, not
+  /// silently swallowed).
+  uint64_t decode_errors = 0;
+  /// Envelopes discarded because their sequence number was already
+  /// delivered (at-least-once duplicates).
+  uint64_t duplicates_dropped = 0;
+  /// Retransmissions this endpoint's sender performed.
+  uint64_t redeliveries = 0;
+};
+
 /// The Quaestor-side stub: mirrors InvalidbCluster's interface but ships
 /// every call through the KV queues; a background (or manually pumped)
 /// poller delivers notifications to the sink.
 class InvalidbRemote {
  public:
-  InvalidbRemote(kv::KvStore* kv, std::string prefix, NotificationSink sink);
+  InvalidbRemote(Clock* clock, kv::KvStore* kv, std::string prefix,
+                 NotificationSink sink,
+                 TransportOptions options = TransportOptions());
   ~InvalidbRemote();
 
   InvalidbRemote(const InvalidbRemote&) = delete;
@@ -59,23 +81,44 @@ class InvalidbRemote {
   void OnChange(const db::ChangeEvent& event);
 
   /// Delivers all currently queued notifications to the sink (manual
-  /// pump; deterministic tests). Returns how many were delivered.
+  /// pump; deterministic tests). Also ticks the request sender (acks +
+  /// retransmits). Returns how many notifications were delivered.
   size_t DrainNotifications();
 
-  /// Starts/stops a background notification poller thread.
+  /// Pumps the reliable machinery without draining notifications.
+  void Tick();
+
+  /// Starts/stops a background notification poller thread. Stop/Start
+  /// also models a poller crash + restart: queued notifications survive
+  /// in the KV queue and are delivered after the restart.
   void StartPolling();
   void StopPolling();
+
+  bool polling() const { return polling_.load(); }
 
   const std::string& requests_queue() const { return requests_queue_; }
   const std::string& notifications_queue() const {
     return notifications_queue_;
   }
 
+  /// Request messages awaiting a worker ack (0 when reliability is off).
+  size_t unacked_requests() const { return req_sender_.unacked(); }
+  /// Out-of-order notifications parked until their gap fills.
+  size_t pending_notifications() const { return notif_receiver_.pending(); }
+
+  uint64_t decode_errors() const { return decode_errors_.load(); }
+  TransportStats stats() const;
+
  private:
+  void HandleWire(const std::string& payload);
+
   kv::KvStore* kv_;
   std::string requests_queue_;
   std::string notifications_queue_;
   NotificationSink sink_;
+  ReliableSender req_sender_;
+  ReliableReceiver notif_receiver_;
+  std::atomic<uint64_t> decode_errors_{0};
   std::atomic<bool> polling_{false};
   std::thread poller_;
 };
@@ -85,7 +128,8 @@ class InvalidbRemote {
 class InvalidbWorker {
  public:
   InvalidbWorker(Clock* clock, kv::KvStore* kv, std::string prefix,
-                 InvalidbOptions options = InvalidbOptions());
+                 InvalidbOptions options = InvalidbOptions(),
+                 TransportOptions transport_options = TransportOptions());
   ~InvalidbWorker();
 
   InvalidbWorker(const InvalidbWorker&) = delete;
@@ -93,8 +137,11 @@ class InvalidbWorker {
 
   /// Processes all currently queued requests (manual pump). Returns how
   /// many messages were handled; malformed messages are counted in
-  /// decode_errors() and skipped.
+  /// decode_errors() and skipped. Also ticks the notification sender.
   size_t ProcessPending();
+
+  /// Pumps the reliable machinery without processing requests.
+  void Tick();
 
   /// Starts/stops a background consumer thread.
   void Start();
@@ -102,6 +149,7 @@ class InvalidbWorker {
 
   InvalidbCluster& cluster() { return *cluster_; }
   uint64_t decode_errors() const { return decode_errors_.load(); }
+  TransportStats stats() const;
 
  private:
   void HandleMessage(const std::string& message);
@@ -109,6 +157,8 @@ class InvalidbWorker {
   kv::KvStore* kv_;
   std::string requests_queue_;
   std::string notifications_queue_;
+  ReliableReceiver req_receiver_;
+  ReliableSender notif_sender_;
   std::unique_ptr<InvalidbCluster> cluster_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> decode_errors_{0};

@@ -25,6 +25,7 @@ namespace quaestor::kv {
 class KvStore {
  public:
   explicit KvStore(Clock* clock) : clock_(clock) {}
+  virtual ~KvStore() = default;
 
   KvStore(const KvStore&) = delete;
   KvStore& operator=(const KvStore&) = delete;
@@ -91,18 +92,22 @@ class KvStore {
   size_t Publish(const std::string& channel, const std::string& message);
 
   // -- Queues (LPUSH/BRPOP-style message queues) --
+  //
+  // Virtual so fault-injection decorators (fault::FaultyKvStore) can
+  // intercept the Quaestor ↔ InvaliDB message path; everything else in
+  // the store is reliable by assumption.
 
   /// Pushes onto the named queue (created on first use, unbounded-ish cap).
-  void QueuePush(const std::string& queue, std::string message);
+  virtual void QueuePush(const std::string& queue, std::string message);
 
   /// Blocking pop with timeout. nullopt on timeout.
-  std::optional<std::string> QueuePop(const std::string& queue,
-                                      Micros timeout_micros);
+  virtual std::optional<std::string> QueuePop(const std::string& queue,
+                                              Micros timeout_micros);
 
   /// Non-blocking pop.
-  std::optional<std::string> QueueTryPop(const std::string& queue);
+  virtual std::optional<std::string> QueueTryPop(const std::string& queue);
 
-  size_t QueueLen(const std::string& queue) const;
+  virtual size_t QueueLen(const std::string& queue) const;
 
   // -- Maintenance --
 

@@ -33,6 +33,15 @@ Simulation::Simulation(workload::WorkloadOptions workload_options,
     invalidations_[n.query_key].push_back(clock_.NowMicros());
   });
 
+  // Ground-truth commit tracking per table (staleness checks key on this;
+  // the InvaliDB notification stream is not reliable under fault
+  // injection).
+  db_->AddChangeListener([this](const db::ChangeEvent& ev) {
+    TableActivity& ta = table_activity_[ev.after.table];
+    ta.commits++;
+    ta.last_commit = ev.commit_time;
+  });
+
   client::ClientOptions copts = options_.client_options;
   copts.use_ebf = copts.use_ebf && options_.arch.use_ebf;
 
@@ -58,28 +67,47 @@ Simulation::~Simulation() = default;
 
 bool Simulation::CheckReadStale(const std::string& table,
                                 const std::string& id,
-                                const client::ReadResult& rr) {
+                                const client::ReadResult& rr,
+                                double* stale_age_ms) {
+  *stale_age_ms = 0.0;
   if (!rr.status.ok()) return false;
   auto current = db_->Get(table, id);
-  if (!current.ok()) return true;  // served a copy of a deleted record
-  return rr.version < current->version;
+  const Micros now = clock_.NowMicros();
+  if (!current.ok()) {
+    // Served a copy of a deleted record; the table's latest commit is the
+    // closest known lower bound on when the copy went stale.
+    auto it = table_activity_.find(table);
+    if (it != table_activity_.end() && it->second.last_commit <= now) {
+      *stale_age_ms = MicrosToMillis(now - it->second.last_commit);
+    }
+    return true;
+  }
+  if (rr.version >= current->version) return false;
+  // The served version was superseded no later than the current version's
+  // commit.
+  *stale_age_ms = MicrosToMillis(now - current->write_time);
+  return true;
 }
 
 bool Simulation::CheckQueryStale(const db::Query& query,
-                                 const client::QueryResult& qr) {
+                                 const client::QueryResult& qr,
+                                 double* stale_age_ms) {
+  *stale_age_ms = 0.0;
   if (!qr.status.ok()) return false;
   // Responses assembled at the origin are fresh by construction.
   if (qr.outcome.served_by == webcache::ServedBy::kOrigin) return false;
-  // The ground-truth etag only changes when the result changes, i.e. when
-  // InvaliDB emits a notification — recompute lazily keyed on the
-  // invalidation count instead of scanning the table on every check.
+  // The ground-truth etag only changes when a commit touches the query's
+  // table — recompute lazily keyed on the table's commit count instead of
+  // scanning the table on every check. (Keying on the query's
+  // invalidation count would go wrong here: a lossy or downed pipeline
+  // emits no notification for exactly the commits that make copies
+  // stale.)
   const std::string key = query.NormalizedKey();
-  const size_t inv_count = [&] {
-    auto it = invalidations_.find(key);
-    return it == invalidations_.end() ? size_t{0} : it->second.size();
-  }();
+  const auto activity = table_activity_.find(query.table());
+  const uint64_t commit_count =
+      activity == table_activity_.end() ? 0 : activity->second.commits;
   FreshEtags& cache = fresh_etags_[key];
-  if (!cache.valid || cache.inv_count != inv_count) {
+  if (!cache.valid || cache.commit_count != commit_count) {
     const std::vector<db::Document> fresh = db_->Execute(query);
     core::QueryResponse as_objects;
     as_objects.representation = ttl::ResultRepresentation::kObjectList;
@@ -90,26 +118,55 @@ bool Simulation::CheckQueryStale(const db::Query& query,
       as_objects.versions.push_back(d.version);
       as_ids.ids.push_back(d.Key());
     }
+    const uint64_t new_objects = as_objects.ComputeEtag();
+    const uint64_t new_ids = as_ids.ComputeEtag();
+    if (cache.valid &&
+        (cache.etag_objects != new_objects || cache.etag_ids != new_ids) &&
+        activity != table_activity_.end()) {
+      const Micros changed_at = activity->second.last_commit;
+      cache.last_change = changed_at;
+      // Only the first expiry matters: an etag that resurfaces later
+      // (result flipped back) still went stale at its first supersession.
+      cache.expired_at.emplace(cache.etag_objects, changed_at);
+      cache.expired_at.emplace(cache.etag_ids, changed_at);
+    }
     cache.valid = true;
-    cache.inv_count = inv_count;
-    cache.etag_objects = as_objects.ComputeEtag();
-    cache.etag_ids = as_ids.ComputeEtag();
+    cache.commit_count = commit_count;
+    cache.etag_objects = new_objects;
+    cache.etag_ids = new_ids;
   }
   const uint64_t fresh_etag =
       qr.representation == ttl::ResultRepresentation::kObjectList
           ? cache.etag_objects
           : cache.etag_ids;
-  return fresh_etag != qr.etag;
+  if (fresh_etag == qr.etag) return false;
+  // Lower-bound age: when the served etag itself stopped being fresh;
+  // fallbacks are the query's last observed result change, then the
+  // table's latest commit.
+  const Micros now = clock_.NowMicros();
+  const auto expired = cache.expired_at.find(qr.etag);
+  if (expired != cache.expired_at.end() && expired->second <= now) {
+    *stale_age_ms = MicrosToMillis(now - expired->second);
+  } else if (cache.last_change > 0 && cache.last_change <= now) {
+    *stale_age_ms = MicrosToMillis(now - cache.last_change);
+  } else if (activity != table_activity_.end() &&
+             activity->second.last_commit <= now) {
+    *stale_age_ms = MicrosToMillis(now - activity->second.last_commit);
+  }
+  return true;
 }
 
 void Simulation::RecordOutcome(OpMetrics* metrics,
                                const client::RequestOutcome& o,
                                double total_latency_ms, bool stale,
-                               bool in_window) {
+                               double stale_age_ms, bool in_window) {
   if (!in_window) return;
   metrics->count++;
   metrics->latency.Record(total_latency_ms);
-  if (stale) metrics->stale++;
+  if (stale) {
+    metrics->stale++;
+    metrics->stale_age_ms.Record(stale_age_ms);
+  }
   switch (o.served_by) {
     case webcache::ServedBy::kClientCache:
       metrics->client_hits++;
@@ -149,9 +206,13 @@ void Simulation::RunConnectionStep(size_t instance_index) {
         latency_ms += MicrosToMillis(server_pool_.Acquire(now));
       }
       total += MillisToMicros(latency_ms);
-      RecordOutcome(&results_.reads, rr.outcome, latency_ms,
-                    CheckReadStale(op.table, op.id, rr), in_window);
+      double stale_age_ms = 0.0;
+      const bool stale = CheckReadStale(op.table, op.id, rr, &stale_age_ms);
+      RecordOutcome(&results_.reads, rr.outcome, latency_ms, stale,
+                    stale_age_ms, in_window);
       obs.read = &rr;
+      obs.stale = stale;
+      obs.stale_age_ms = stale_age_ms;
       for (const OpObserver& o : op_observers_) o(obs);
       break;
     }
@@ -174,10 +235,14 @@ void Simulation::RunConnectionStep(size_t instance_index) {
         }
       }
       total += MillisToMicros(latency_ms);
-      RecordOutcome(&results_.queries, qr.outcome, latency_ms,
-                    CheckQueryStale(op.query, qr), in_window);
+      double stale_age_ms = 0.0;
+      const bool stale = CheckQueryStale(op.query, qr, &stale_age_ms);
+      RecordOutcome(&results_.queries, qr.outcome, latency_ms, stale,
+                    stale_age_ms, in_window);
       obs.query = &op.query;
       obs.query_result = &qr;
+      obs.stale = stale;
+      obs.stale_age_ms = stale_age_ms;
       for (const OpObserver& o : op_observers_) o(obs);
       break;
     }
@@ -200,7 +265,7 @@ void Simulation::RunConnectionStep(size_t instance_index) {
       o.served_by = webcache::ServedBy::kOrigin;
       o.latency_ms = latency_ms;
       RecordOutcome(&results_.writes, o, latency_ms, /*stale=*/false,
-                    in_window);
+                    /*stale_age_ms=*/0.0, in_window);
       if (wr.ok()) obs.written = &wr.value();
       for (const OpObserver& ob : op_observers_) ob(obs);
       break;

@@ -71,6 +71,10 @@ struct SimOptions {
 /// Per-operation-type measurements.
 struct OpMetrics {
   Histogram latency;  // ms
+  /// How old stale responses were (ms): a lower bound — time since the
+  /// latest commit known to supersede the served state. p99 of this is
+  /// the observed staleness a degraded TTL cap must bound.
+  Histogram stale_age_ms;
   uint64_t count = 0;
   uint64_t stale = 0;
   uint64_t client_hits = 0;
@@ -132,6 +136,11 @@ struct OpObservation {
   const client::ReadResult* read = nullptr;        // kRead
   const client::QueryResult* query_result = nullptr;  // kQuery
   const db::Document* written = nullptr;           // writes (null on error)
+  /// Ground-truth staleness verdict for this op (reads/queries; always
+  /// false for writes). `stale_age_ms` is the lower-bound age of the
+  /// superseded state that was served.
+  bool stale = false;
+  double stale_age_ms = 0.0;
 };
 
 /// An end-to-end Monte Carlo simulation of concurrent clients talking to
@@ -172,11 +181,12 @@ class Simulation {
 
   void RunConnectionStep(size_t instance_index);
   bool CheckReadStale(const std::string& table, const std::string& id,
-                      const client::ReadResult& rr);
+                      const client::ReadResult& rr, double* stale_age_ms);
   bool CheckQueryStale(const db::Query& query,
-                       const client::QueryResult& qr);
+                       const client::QueryResult& qr, double* stale_age_ms);
   void RecordOutcome(OpMetrics* metrics, const client::RequestOutcome& o,
-                     double total_latency_ms, bool stale, bool in_window);
+                     double total_latency_ms, bool stale,
+                     double stale_age_ms, bool in_window);
 
   workload::WorkloadOptions workload_options_;
   SimOptions options_;
@@ -199,16 +209,36 @@ class Simulation {
   std::vector<QueryServe> query_serves_;
   std::unordered_map<std::string, std::vector<Micros>> invalidations_;
 
-  /// Ground-truth result etags, recomputed only when a query's
-  /// invalidation count changes (staleness checks would otherwise scan the
-  /// table per operation).
+  /// Ground-truth result etags, recomputed only when the query's table
+  /// sees a commit (staleness checks would otherwise scan the table per
+  /// operation). Keyed on the table's commit count — NOT the query's
+  /// invalidation count, which undercounts when the invalidation pipeline
+  /// is lossy or down (exactly the regimes the fault experiments create).
   struct FreshEtags {
     bool valid = false;
-    size_t inv_count = 0;
+    uint64_t commit_count = 0;
     uint64_t etag_objects = 0;
     uint64_t etag_ids = 0;
+    /// When this query's result last changed (0 = never observed to
+    /// change). A late lower bound — set to the table's latest commit at
+    /// recompute time — but far tighter than the table's last commit for
+    /// stale-age measurement: a busy table keeps committing while an
+    /// individual query's lost invalidation keeps its copy stale.
+    Micros last_change = 0;
+    /// When each previously-fresh etag stopped being fresh. Lets a stale
+    /// serve be aged against the moment *its own* result state expired,
+    /// not just the query's latest change (a copy can outlive several
+    /// result changes during a pipeline outage).
+    std::unordered_map<uint64_t, Micros> expired_at;
   };
   std::unordered_map<std::string, FreshEtags> fresh_etags_;
+
+  /// Per-table commit tracking (ground truth, independent of InvaliDB).
+  struct TableActivity {
+    uint64_t commits = 0;
+    Micros last_commit = 0;
+  };
+  std::unordered_map<std::string, TableActivity> table_activity_;
 
   SimResults results_;
   bool ran_ = false;

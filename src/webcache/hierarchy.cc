@@ -34,6 +34,7 @@ FetchOutcome CacheHierarchy::FromOrigin(const std::string& key,
   out.latency_ms = latency_.origin_ms;
   if (!resp.ok) {
     out.ok = false;
+    out.unavailable = resp.unavailable;
     return out;
   }
   out.ok = true;
@@ -79,13 +80,15 @@ FetchOutcome CacheHierarchy::Fetch(const std::string& key, FetchMode mode) {
   if (mode == FetchMode::kNormal && client_cache_ != nullptr) {
     auto hit = client_cache_->Get(key);
     if (hit.has_value()) {
-      return {true,
-              hit->body,
-              hit->etag,
-              ServedBy::kClientCache,
-              latency_.client_cache_ms,
-              RemainingTtl(*hit, now),
-              hit->last_modified};
+      FetchOutcome out;
+      out.ok = true;
+      out.body = hit->body;
+      out.etag = hit->etag;
+      out.served_by = ServedBy::kClientCache;
+      out.latency_ms = latency_.client_cache_ms;
+      out.remaining_ttl = RemainingTtl(*hit, now);
+      out.last_modified = hit->last_modified;
+      return out;
     }
   }
 
@@ -99,13 +102,15 @@ FetchOutcome CacheHierarchy::Fetch(const std::string& key, FetchMode mode) {
         client_cache_->Put(key, hit->body, hit->etag, RemainingTtl(*hit, now),
                            hit->last_modified);
       }
-      return {true,
-              hit->body,
-              hit->etag,
-              ServedBy::kExpirationCache,
-              latency_.expiration_proxy_ms,
-              RemainingTtl(*hit, now),
-              hit->last_modified};
+      FetchOutcome out;
+      out.ok = true;
+      out.body = hit->body;
+      out.etag = hit->etag;
+      out.served_by = ServedBy::kExpirationCache;
+      out.latency_ms = latency_.expiration_proxy_ms;
+      out.remaining_ttl = RemainingTtl(*hit, now);
+      out.last_modified = hit->last_modified;
+      return out;
     }
   }
 
@@ -121,13 +126,15 @@ FetchOutcome CacheHierarchy::Fetch(const std::string& key, FetchMode mode) {
         client_cache_->Put(key, hit->body, hit->etag, remaining,
                            hit->last_modified);
       }
-      return {true,
-              hit->body,
-              hit->etag,
-              ServedBy::kInvalidationCache,
-              latency_.cdn_ms,
-              remaining,
-              hit->last_modified};
+      FetchOutcome out;
+      out.ok = true;
+      out.body = hit->body;
+      out.etag = hit->etag;
+      out.served_by = ServedBy::kInvalidationCache;
+      out.latency_ms = latency_.cdn_ms;
+      out.remaining_ttl = remaining;
+      out.last_modified = hit->last_modified;
+      return out;
     }
   }
 

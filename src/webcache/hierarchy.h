@@ -27,6 +27,9 @@ enum class FetchMode {
 /// Result of a fetch through the hierarchy.
 struct FetchOutcome {
   bool ok = false;
+  /// The origin answered 503 (transient fault) — retryable, unlike a
+  /// plain miss. Never satisfied from or stored into any cache level.
+  bool unavailable = false;
   std::string body;
   uint64_t etag = 0;
   ServedBy served_by = ServedBy::kOrigin;

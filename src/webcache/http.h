@@ -14,6 +14,9 @@ namespace quaestor::webcache {
 /// ttl == 0.
 struct HttpResponse {
   bool ok = false;
+  /// 503 Service Unavailable: a transient origin fault. Never cacheable;
+  /// clients with retry enabled back off and try again.
+  bool unavailable = false;
   /// 304 Not Modified (revalidation confirmed freshness; body omitted).
   bool not_modified = false;
   std::string body;

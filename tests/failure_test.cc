@@ -7,12 +7,16 @@
 #include <memory>
 #include <thread>
 
+#include "check/oracle.h"
 #include "client/client.h"
 #include "common/clock.h"
 #include "core/server.h"
 #include "db/database.h"
 #include "ebf/expiring_bloom_filter.h"
+#include "fault/fault_injector.h"
+#include "fault/faulty_kv_store.h"
 #include "invalidb/cluster.h"
+#include "invalidb/transport.h"
 #include "sim/simulation.h"
 #include "webcache/web_cache.h"
 
@@ -118,6 +122,16 @@ TEST(FailureTest, ConcurrentRegistrationsAndChanges) {
   producer.join();
   cluster.Flush();
   EXPECT_EQ(cluster.RegisteredCount(), 50u);
+  // The concurrent phase may legally race to zero deliveries (all events
+  // can drain before the first registration installs). One more event
+  // after the registrations settled must be delivered.
+  db::ChangeEvent ev;
+  ev.kind = db::WriteKind::kUpdate;
+  ev.after.table = "t";
+  ev.after.id = "final";
+  ev.after.body = Doc(R"({"g":0})");
+  cluster.OnChange(ev);
+  cluster.Flush();
   EXPECT_GT(delivered.load(), 0);
 }
 
@@ -343,6 +357,313 @@ TEST(SimEdgeTest, RunIsIdempotent) {
   sim::SimResults first = simulation.Run();
   sim::SimResults second = simulation.Run();  // returns cached results
   EXPECT_EQ(first.total_ops, second.total_ops);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded chaos: the invalidation pipeline under injected faults
+// ---------------------------------------------------------------------------
+
+std::string NotificationSignature(const invalidb::Notification& n) {
+  return std::to_string(static_cast<int>(n.type)) + "|" + n.query_key + "|" +
+         n.record_id + "|" + std::to_string(n.event_time) + "|" +
+         std::to_string(n.new_index);
+}
+
+db::ChangeEvent ChaosChange(const std::string& id, int g, Micros at) {
+  db::ChangeEvent ev;
+  ev.kind = db::WriteKind::kUpdate;
+  ev.after.table = "posts";
+  ev.after.id = id;
+  ev.after.body = Doc(("{\"g\":" + std::to_string(g) + "}").c_str());
+  ev.after.write_time = at;
+  ev.commit_time = at;
+  return ev;
+}
+
+// Runs one register-then-change script through a remote/worker pair over
+// the given store, pumping until the pipeline drains, and returns the
+// notification sequence.
+std::vector<std::string> RunTransportScript(SimulatedClock* clock,
+                                            kv::KvStore* kv,
+                                            fault::FaultyKvStore* faulty) {
+  invalidb::TransportOptions topts;
+  topts.reliable.enabled = true;
+  topts.reliable.seed = 0xabc;
+  std::vector<std::string> sequence;
+  invalidb::InvalidbRemote remote(
+      clock, kv, "chaos",
+      [&](const invalidb::Notification& n) {
+        sequence.push_back(NotificationSignature(n));
+      },
+      topts);
+  invalidb::InvalidbWorker worker(clock, kv, "chaos",
+                                  invalidb::InvalidbOptions(), topts);
+
+  db::Query q = Q("posts", R"({"g":{"$gte":1}})");
+  remote.RegisterQuery(q, {}, invalidb::kEventsAll);
+  for (int i = 0; i < 60; ++i) {
+    remote.OnChange(ChaosChange("d" + std::to_string(i), 1 + (i % 3),
+                                clock->NowMicros()));
+    if (i % 4 == 0) clock->Advance(10 * kMicrosPerMilli);
+  }
+
+  // Pump until everything converges. Each round processes both queues,
+  // ticks acks/retransmits, and advances time so retransmit timers and
+  // held (delayed) messages fire. Bounded: the schedule is deterministic.
+  for (int round = 0; round < 400; ++round) {
+    worker.ProcessPending();
+    remote.DrainNotifications();
+    clock->Advance(150 * kMicrosPerMilli);
+    worker.Tick();
+    remote.Tick();
+    const bool drained =
+        remote.unacked_requests() == 0 && remote.pending_notifications() == 0 &&
+        kv->QueueLen("chaos:requests") == 0 &&
+        kv->QueueLen("chaos:notifications") == 0 &&
+        (faulty == nullptr || faulty->held_count() == 0);
+    if (drained && round > 4) break;
+  }
+  return sequence;
+}
+
+TEST(ChaosTest, LossyDuplicatingReorderingChannelConverges) {
+  // Reference: perfect channel.
+  SimulatedClock ref_clock(0);
+  kv::KvStore ref_kv(&ref_clock);
+  const std::vector<std::string> expected =
+      RunTransportScript(&ref_clock, &ref_kv, nullptr);
+  ASSERT_GT(expected.size(), 50u);  // every change matched the query
+
+  // Same script over a channel that drops, duplicates, reorders, and
+  // delays — at-least-once delivery plus receiver dedup must reproduce
+  // the exact same notification sequence.
+  fault::FaultProfile profile;
+  profile.drop_rate = 0.10;
+  profile.duplicate_rate = 0.10;
+  profile.reorder_rate = 0.08;
+  profile.delay_rate = 0.05;
+  profile.max_delay = 300 * kMicrosPerMilli;
+  SimulatedClock clock(0);
+  fault::FaultInjector injector(0x5eed, profile);
+  fault::FaultyKvStore faulty(&clock, &injector);
+  const std::vector<std::string> got =
+      RunTransportScript(&clock, &faulty, &faulty);
+
+  EXPECT_EQ(got, expected);
+  EXPECT_GT(injector.stats().dropped, 0u);      // faults actually fired
+  EXPECT_GT(injector.stats().duplicated, 0u);
+}
+
+TEST(ChaosTest, SameSeedSameSchedule) {
+  fault::FaultProfile profile;
+  profile.drop_rate = 0.15;
+  profile.duplicate_rate = 0.15;
+  auto run = [&] {
+    SimulatedClock clock(0);
+    fault::FaultInjector injector(0x77, profile);
+    fault::FaultyKvStore faulty(&clock, &injector);
+    auto seq = RunTransportScript(&clock, &faulty, &faulty);
+    return std::make_pair(seq, injector.stats().dropped);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);  // identical fault schedule, not just outcome
+}
+
+TEST(ChaosTest, PollerCrashAndRestartLosesNothing) {
+  kv::KvStore kv(SystemClock::Default());
+  std::atomic<int> count{0};
+  invalidb::InvalidbRemote remote(SystemClock::Default(), &kv, "pc",
+                                  [&](const invalidb::Notification&) {
+                                    count++;
+                                  });
+  invalidb::InvalidbWorker worker(SystemClock::Default(), &kv, "pc");
+
+  db::Query q = Q("posts", R"({"g":{"$gte":1}})");
+  remote.RegisterQuery(q, {}, invalidb::kEventsAll);
+  remote.StartPolling();
+  for (int i = 0; i < 10; ++i) {
+    remote.OnChange(ChaosChange("a" + std::to_string(i), 1, 0));
+  }
+  worker.ProcessPending();
+  // Crash the poller; notifications produced while it is down stay queued.
+  remote.StopPolling();
+  EXPECT_FALSE(remote.polling());
+  for (int i = 0; i < 10; ++i) {
+    remote.OnChange(ChaosChange("b" + std::to_string(i), 1, 0));
+  }
+  worker.ProcessPending();
+  // Restart: the backlog drains.
+  remote.StartPolling();
+  for (int spin = 0; spin < 1000 && count.load() < 20; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  remote.StopPolling();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ChaosTest, NodeKillRestartRebuildsMatchingState) {
+  SimulatedClock clock(0);
+  db::Database db(&clock);
+  std::vector<invalidb::Notification> received;
+  invalidb::InvalidbCluster cluster(
+      &clock, invalidb::InvalidbOptions(),
+      [&](const invalidb::Notification& n) { received.push_back(n); });
+  db::Query q = Q("posts", R"({"g":{"$gte":1}})");
+  ASSERT_TRUE(cluster.RegisterQuery(q, {}, invalidb::kEventsAll).ok());
+
+  auto commit = [&](const std::string& id, int g) {
+    auto r = db.Upsert("posts", id,
+                       Doc(("{\"g\":" + std::to_string(g) + "}").c_str()));
+    ASSERT_TRUE(r.ok());
+  };
+  db.AddChangeListener(
+      [&](const db::ChangeEvent& ev) { cluster.OnChange(ev); });
+
+  commit("d1", 1);
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].type, invalidb::NotificationType::kAdd);
+
+  // Crash the (single) node; the commit below is silently lost.
+  cluster.KillNode(0);
+  cluster.Flush();
+  commit("d2", 1);
+  clock.Advance(kMicrosPerSecond);
+  EXPECT_EQ(received.size(), 1u);
+  EXPECT_EQ(cluster.AliveCount(), 0u);
+  EXPECT_GE(cluster.stats().tasks_dropped_dead, 1u);
+
+  // Failover: rebuild from the authoritative database.
+  cluster.RestartNode(0, [&](const db::Query& rq) { return db.Execute(rq); });
+  cluster.Flush();
+  EXPECT_EQ(cluster.AliveCount(), 1u);
+  EXPECT_EQ(cluster.stats().node_kills, 1u);
+  EXPECT_EQ(cluster.stats().node_restarts, 1u);
+
+  // d2 was recovered into the membership state: an in-place update is a
+  // kChange (a node that had lost d2 would emit kAdd), and leaving the
+  // result emits kRemove.
+  commit("d2", 2);
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[1].type, invalidb::NotificationType::kChange);
+  EXPECT_EQ(received[1].record_id, "d2");
+  commit("d2", 0);
+  ASSERT_EQ(received.size(), 3u);
+  EXPECT_EQ(received[2].type, invalidb::NotificationType::kRemove);
+}
+
+// ---------------------------------------------------------------------------
+// Degraded caching end to end: outage → TTL-capped Δ bound → recovery
+// ---------------------------------------------------------------------------
+
+TEST(ChaosTest, OracleWidensBoundWhileDegradedOnly) {
+  SimulatedClock clock(0);
+  db::Database db(&clock);
+  check::OracleOptions options;
+  options.delta = MillisToMicros(100.0);
+  check::ConsistencyOracle oracle(&clock, &db, options);
+  db.AddChangeListener(
+      [&](const db::ChangeEvent& ev) { oracle.OnCommit(ev); });
+
+  auto v1 = db.Upsert("t", "x", Doc(R"({"v":1})"));
+  ASSERT_TRUE(v1.ok());
+  clock.Advance(kMicrosPerSecond);
+  auto v2 = db.Upsert("t", "x", Doc(R"({"v":2})"));
+  ASSERT_TRUE(v2.ok());
+
+  // v1 is far beyond the 100 ms Δ bound — but a 10 s degraded budget is
+  // in force, so serving it is within the degraded contract.
+  clock.Advance(5 * kMicrosPerSecond);
+  oracle.SetDegraded(true, SecondsToMicros(10.0));
+  oracle.CheckRead("s", "t/x", true, v1.value().version);
+  EXPECT_TRUE(oracle.violations().empty());
+  EXPECT_EQ(oracle.degraded_checks(), 1u);
+
+  // Recovery starts a one-budget grace window for copies issued while
+  // degraded...
+  oracle.SetDegraded(false, SecondsToMicros(10.0));
+  oracle.CheckRead("s", "t/x", true, v1.value().version);
+  EXPECT_TRUE(oracle.violations().empty());
+
+  // ...after which the strict bound applies again.
+  clock.Advance(SecondsToMicros(11.0));
+  oracle.CheckRead("s", "t/x", true, v1.value().version);
+  ASSERT_EQ(oracle.violations().size(), 1u);
+  EXPECT_EQ(oracle.violations()[0].invariant,
+            check::Invariant::kDeltaAtomicity);
+}
+
+TEST(ChaosTest, PipelineOutageDegradedCachingStaysWithinBudget) {
+  SimulatedClock clock(0);
+  db::Database db(&clock);
+  core::ServerOptions sopts;
+  sopts.degradation.enabled = true;
+  sopts.degradation.staleness_budget = 5 * kMicrosPerSecond;
+  sopts.degradation.degraded_ttl_cap = 500 * kMicrosPerMilli;
+  core::QuaestorServer server(&clock, &db, sopts);
+
+  check::OracleOptions oopts;
+  oopts.delta = SecondsToMicros(1.0);
+  check::ConsistencyOracle oracle(&clock, &db, oopts);
+  db.AddChangeListener(
+      [&](const db::ChangeEvent& ev) { oracle.OnCommit(ev); });
+
+  webcache::ExpirationCache cache(&clock);
+  client::ClientOptions copts;
+  copts.ebf_refresh_interval = oopts.delta;
+  client::QuaestorClient c(&clock, &server, &cache, nullptr, copts);
+  c.Connect();
+
+  db::Query q = Q("posts", R"({"g":{"$gte":1}})");
+  oracle.TrackQuery(q);
+  ASSERT_TRUE(server.Insert("posts", "d1", Doc(R"({"g":1})")).ok());
+
+  auto step = [&](Micros advance) {
+    clock.Advance(advance);
+    auto rr = c.Read("posts", "d1");
+    oracle.CheckRead("s", "posts/d1", rr.status.ok(), rr.version);
+    auto qr = c.ExecuteQuery(q);
+    oracle.CheckQuery("s", q, qr.status.ok(), qr.etag, qr.representation);
+  };
+
+  step(10 * kMicrosPerMilli);  // healthy warm-up serve
+  ASSERT_TRUE(oracle.violations().empty());
+
+  // Hard outage: every invalidation is lost. The oracle only demands the
+  // degraded budget (which must cover the server's TTL cap + Δ).
+  server.SetPipelineDown(true);
+  oracle.SetDegraded(true, sopts.degradation.staleness_budget);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        server
+            .Update("posts", "d1",
+                    db::Update().Set("g", db::Value(int64_t{2 + i})))
+            .ok());
+    step(300 * kMicrosPerMilli);
+  }
+  EXPECT_TRUE(oracle.violations().empty())
+      << oracle.violations()[0].ToString();
+  EXPECT_GT(oracle.degraded_checks(), 0u);
+  EXPECT_GT(server.stats().change_events_dropped, 0u);
+  EXPECT_GT(server.stats().degraded_reads, 0u);
+
+  // Recovery: matchers rebuilt from the database, caches conservatively
+  // flagged; after the grace window strict Δ-atomicity holds again.
+  server.SetPipelineDown(false);
+  oracle.SetDegraded(false);
+  clock.Advance(sopts.degradation.staleness_budget + kMicrosPerSecond);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        server
+            .Update("posts", "d1",
+                    db::Update().Set("g", db::Value(int64_t{50 + i})))
+            .ok());
+    step(300 * kMicrosPerMilli);
+  }
+  EXPECT_TRUE(oracle.violations().empty())
+      << oracle.violations()[0].ToString();
+  EXPECT_FALSE(server.degraded());
 }
 
 }  // namespace

@@ -1,0 +1,456 @@
+// Fault-injection building blocks: the seeded injector, the lossy KV
+// decorator, the at-least-once reliable queue layer, client retry, and
+// server degradation plumbing.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "common/clock.h"
+#include "core/server.h"
+#include "db/database.h"
+#include "fault/fault_injector.h"
+#include "fault/faulty_kv_store.h"
+#include "invalidb/reliable_queue.h"
+#include "kv/kv_store.h"
+#include "webcache/web_cache.h"
+
+namespace quaestor {
+namespace {
+
+db::Value Doc(const char* json) {
+  auto v = db::Value::FromJson(json);
+  EXPECT_TRUE(v.ok());
+  return v.value();
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorTest, DeterministicFromSeed) {
+  fault::FaultProfile p;
+  p.drop_rate = 0.3;
+  p.duplicate_rate = 0.2;
+  p.corrupt_rate = 0.5;
+  p.delay_rate = 0.4;
+  p.max_delay = 1000;
+  fault::FaultInjector a(0xfeed, p);
+  fault::FaultInjector b(0xfeed, p);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.ShouldDrop(), b.ShouldDrop());
+    EXPECT_EQ(a.ShouldDuplicate(), b.ShouldDuplicate());
+    EXPECT_EQ(a.ShouldCorrupt(), b.ShouldCorrupt());
+    EXPECT_EQ(a.DelayFor(), b.DelayFor());
+    std::string ma = "the quick brown fox";
+    std::string mb = ma;
+    a.Corrupt(&ma);
+    b.Corrupt(&mb);
+    EXPECT_EQ(ma, mb);
+  }
+}
+
+TEST(FaultInjectorTest, RatesRoughlyRespected) {
+  fault::FaultProfile p;
+  p.drop_rate = 0.25;
+  fault::FaultInjector inj(7, p);
+  int drops = 0;
+  for (int i = 0; i < 4000; ++i) {
+    if (inj.ShouldDrop()) drops++;
+  }
+  EXPECT_GT(drops, 4000 * 0.15);
+  EXPECT_LT(drops, 4000 * 0.35);
+  EXPECT_EQ(inj.stats().dropped, static_cast<uint64_t>(drops));
+}
+
+TEST(FaultInjectorTest, CorruptAlwaysMutatesOrTruncates) {
+  fault::FaultProfile p;
+  p.corrupt_rate = 1.0;
+  fault::FaultInjector inj(3, p);
+  for (int i = 0; i < 200; ++i) {
+    const std::string original = R"({"op":"change","k":"v12345"})";
+    std::string m = original;
+    inj.Corrupt(&m);
+    EXPECT_NE(m, original);
+  }
+  // Empty messages don't crash the corruptor.
+  std::string empty;
+  inj.Corrupt(&empty);
+  EXPECT_FALSE(empty.empty());
+}
+
+// ---------------------------------------------------------------------------
+// FaultyKvStore
+// ---------------------------------------------------------------------------
+
+class FaultyKvTest : public ::testing::Test {
+ protected:
+  FaultyKvTest() : clock_(0), injector_(1), kv_(&clock_, &injector_) {}
+
+  void SetProfile(const fault::FaultProfile& p) { injector_.set_profile(p); }
+
+  SimulatedClock clock_;
+  fault::FaultInjector injector_;
+  fault::FaultyKvStore kv_;
+};
+
+TEST_F(FaultyKvTest, LosslessProfilePassesThrough) {
+  kv_.QueuePush("q", "a");
+  kv_.QueuePush("q", "b");
+  EXPECT_EQ(kv_.QueueLen("q"), 2u);
+  EXPECT_EQ(kv_.QueueTryPop("q").value(), "a");
+  EXPECT_EQ(kv_.QueueTryPop("q").value(), "b");
+  EXPECT_FALSE(kv_.QueueTryPop("q").has_value());
+}
+
+TEST_F(FaultyKvTest, DropRateOneLosesEverything) {
+  fault::FaultProfile p;
+  p.drop_rate = 1.0;
+  SetProfile(p);
+  kv_.QueuePush("q", "gone");
+  EXPECT_EQ(kv_.QueueLen("q"), 0u);
+  EXPECT_FALSE(kv_.QueueTryPop("q").has_value());
+  EXPECT_EQ(injector_.stats().dropped, 1u);
+}
+
+TEST_F(FaultyKvTest, DuplicateRateOneDeliversTwice) {
+  fault::FaultProfile p;
+  p.duplicate_rate = 1.0;
+  SetProfile(p);
+  kv_.QueuePush("q", "twin");
+  EXPECT_EQ(kv_.QueueLen("q"), 2u);
+  EXPECT_EQ(kv_.QueueTryPop("q").value(), "twin");
+  EXPECT_EQ(kv_.QueueTryPop("q").value(), "twin");
+}
+
+TEST_F(FaultyKvTest, DelayedMessageReleasedAfterDue) {
+  fault::FaultProfile p;
+  p.delay_rate = 1.0;
+  p.max_delay = 1000;
+  SetProfile(p);
+  kv_.QueuePush("q", "late");
+  SetProfile(fault::FaultProfile());
+  // Held, not yet in the visible queue — but counted in QueueLen.
+  EXPECT_EQ(kv_.held_count(), 1u);
+  EXPECT_EQ(kv_.QueueLen("q"), 1u);
+  EXPECT_FALSE(kv_.QueueTryPop("q").has_value());
+  clock_.Advance(1001);
+  EXPECT_EQ(kv_.QueueTryPop("q").value(), "late");
+  EXPECT_EQ(kv_.held_count(), 0u);
+}
+
+TEST_F(FaultyKvTest, ReorderedMessageOvertakenByLaterPushes) {
+  fault::FaultProfile p;
+  p.reorder_rate = 1.0;
+  SetProfile(p);
+  kv_.QueuePush("q", "first");
+  SetProfile(fault::FaultProfile());
+  EXPECT_EQ(kv_.held_count(), 1u);
+  // At most 3 subsequent pushes release it, behind at least one of them.
+  std::vector<std::string> order;
+  for (int i = 0; i < 4; ++i) {
+    kv_.QueuePush("q", "later" + std::to_string(i));
+  }
+  while (auto m = kv_.QueueTryPop("q")) order.push_back(*m);
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(kv_.held_count(), 0u);
+  // "first" was overtaken: it is not at the front any more.
+  EXPECT_NE(order.front(), "first");
+  EXPECT_NE(std::find(order.begin(), order.end(), "first"), order.end());
+}
+
+TEST_F(FaultyKvTest, FlushHeldReleasesEverything) {
+  fault::FaultProfile p;
+  p.delay_rate = 1.0;
+  p.max_delay = 1000000;
+  SetProfile(p);
+  kv_.QueuePush("q", "a");
+  kv_.QueuePush("q", "b");
+  SetProfile(fault::FaultProfile());
+  EXPECT_EQ(kv_.held_count(), 2u);
+  EXPECT_EQ(kv_.FlushHeld(), 2u);
+  EXPECT_EQ(kv_.held_count(), 0u);
+  EXPECT_TRUE(kv_.QueueTryPop("q").has_value());
+  EXPECT_TRUE(kv_.QueueTryPop("q").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Reliable queue layer
+// ---------------------------------------------------------------------------
+
+invalidb::ReliableOptions Reliable(uint64_t seed = 9) {
+  invalidb::ReliableOptions r;
+  r.enabled = true;
+  r.seed = seed;
+  return r;
+}
+
+TEST(ReliableQueueTest, EnvelopeRoundTripAndCorruptionDetected) {
+  const std::string wire = invalidb::reliable::Encode("s1", 7, "payload");
+  auto env = invalidb::reliable::Decode(wire);
+  ASSERT_TRUE(env.ok());
+  EXPECT_EQ(env->sender, "s1");
+  EXPECT_EQ(env->seq, 7u);
+  EXPECT_EQ(env->payload, "payload");
+  // Raw (non-envelope) messages: NotFound → passthrough.
+  EXPECT_TRUE(invalidb::reliable::Decode(R"({"op":"change"})")
+                  .status()
+                  .IsNotFound());
+  // A mutated payload fails the checksum: Corruption, not NotFound.
+  std::string mutated = wire;
+  const size_t pos = mutated.find("payload");
+  ASSERT_NE(pos, std::string::npos);
+  mutated[pos] = 'P';
+  EXPECT_TRUE(invalidb::reliable::Decode(mutated).status().IsCorruption());
+}
+
+TEST(ReliableQueueTest, InOrderDeliveryWithAcks) {
+  SimulatedClock clock(0);
+  kv::KvStore kv(&clock);
+  invalidb::ReliableSender sender(&clock, &kv, "q", "s", Reliable());
+  invalidb::ReliableReceiver receiver(&kv, "q", Reliable());
+  sender.Send("m1");
+  sender.Send("m2");
+  sender.Send("m3");
+  EXPECT_EQ(sender.unacked(), 3u);
+  std::vector<std::string> got;
+  receiver.Poll([&](const std::string& p) { got.push_back(p); });
+  EXPECT_EQ(got, (std::vector<std::string>{"m1", "m2", "m3"}));
+  sender.Tick();  // consume acks
+  EXPECT_EQ(sender.unacked(), 0u);
+  EXPECT_EQ(sender.redeliveries(), 0u);
+}
+
+TEST(ReliableQueueTest, DuplicatesDroppedReordersBuffered) {
+  SimulatedClock clock(0);
+  kv::KvStore kv(&clock);
+  invalidb::ReliableReceiver receiver(&kv, "q", Reliable());
+  // Deliver seq 2 before seq 1, then seq 1 twice.
+  kv.QueuePush("q", invalidb::reliable::Encode("s", 2, "b"));
+  std::vector<std::string> got;
+  const auto h = [&](const std::string& p) { got.push_back(p); };
+  receiver.Poll(h);
+  EXPECT_TRUE(got.empty());  // gap: parked
+  EXPECT_EQ(receiver.pending(), 1u);
+  kv.QueuePush("q", invalidb::reliable::Encode("s", 1, "a"));
+  kv.QueuePush("q", invalidb::reliable::Encode("s", 1, "a"));
+  receiver.Poll(h);
+  EXPECT_EQ(got, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(receiver.duplicates_dropped(), 1u);
+  EXPECT_EQ(receiver.pending(), 0u);
+  // Every envelope was acked, duplicates included.
+  EXPECT_EQ(kv.QueueLen("q:acks"), 3u);
+}
+
+TEST(ReliableQueueTest, LostMessageRetransmittedUntilAcked) {
+  SimulatedClock clock(0);
+  kv::KvStore kv(&clock);
+  invalidb::ReliableOptions opts = Reliable();
+  invalidb::ReliableSender sender(&clock, &kv, "q", "s", opts);
+  invalidb::ReliableReceiver receiver(&kv, "q", opts);
+  sender.Send("precious");
+  // The channel eats the message.
+  ASSERT_TRUE(kv.QueueTryPop("q").has_value());
+  sender.Tick();
+  EXPECT_EQ(sender.unacked(), 1u);
+  // Past the (jittered) retransmit deadline the sender re-sends.
+  clock.Advance(opts.retransmit_timeout * 2);
+  sender.Tick();
+  EXPECT_GE(sender.redeliveries(), 1u);
+  std::vector<std::string> got;
+  receiver.Poll([&](const std::string& p) { got.push_back(p); });
+  EXPECT_EQ(got, (std::vector<std::string>{"precious"}));
+  sender.Tick();
+  EXPECT_EQ(sender.unacked(), 0u);
+}
+
+TEST(ReliableQueueTest, CorruptedEnvelopeNotAckedThenRecovered) {
+  SimulatedClock clock(0);
+  kv::KvStore kv(&clock);
+  invalidb::ReliableOptions opts = Reliable();
+  invalidb::ReliableSender sender(&clock, &kv, "q", "s", opts);
+  invalidb::ReliableReceiver receiver(&kv, "q", opts);
+  sender.Send("fragile");
+  // Corrupt the in-flight envelope's payload (the checksum must catch it).
+  std::string wire = kv.QueueTryPop("q").value();
+  const size_t pos = wire.find("fragile");
+  ASSERT_NE(pos, std::string::npos);
+  wire[pos] ^= 0x20;
+  kv.QueuePush("q", wire);
+  std::vector<std::string> got;
+  receiver.Poll([&](const std::string& p) { got.push_back(p); });
+  EXPECT_TRUE(got.empty());        // rejected
+  EXPECT_EQ(kv.QueueLen("q:acks"), 0u);  // and NOT acked
+  // The sender's retransmission delivers the intact copy.
+  clock.Advance(opts.retransmit_timeout * 2);
+  sender.Tick();
+  receiver.Poll([&](const std::string& p) { got.push_back(p); });
+  EXPECT_EQ(got, (std::vector<std::string>{"fragile"}));
+  sender.Tick();
+  EXPECT_EQ(sender.unacked(), 0u);
+}
+
+TEST(ReliableQueueTest, ExponentialBackoffCapped) {
+  SimulatedClock clock(0);
+  kv::KvStore kv(&clock);
+  invalidb::ReliableOptions opts = Reliable();
+  opts.jitter = 0.0;
+  invalidb::ReliableSender sender(&clock, &kv, "q", "s", opts);
+  sender.Send("x");
+  (void)kv.QueueTryPop("q");
+  uint64_t redeliveries = 0;
+  for (int i = 0; i < 12; ++i) {
+    clock.Advance(opts.max_backoff);
+    sender.Tick();
+    (void)kv.QueueTryPop("q");  // channel keeps eating them
+    EXPECT_GE(sender.redeliveries(), redeliveries);
+    redeliveries = sender.redeliveries();
+  }
+  // Backoff is capped at max_backoff, so advancing by max_backoff each
+  // round keeps triggering retransmits.
+  EXPECT_GE(redeliveries, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Client retry on 503
+// ---------------------------------------------------------------------------
+
+TEST(ClientRetryTest, UnavailableSurfacesAfterBudgetAndRecovers) {
+  SimulatedClock clock(0);
+  db::Database db(&clock);
+  core::QuaestorServer server(&clock, &db);
+  ASSERT_TRUE(server.Insert("t", "x", Doc(R"({"v":1})")).ok());
+  client::ClientOptions copts;
+  copts.retry.enabled = true;
+  copts.retry.max_attempts = 3;
+  client::QuaestorClient c(&clock, &server, nullptr, nullptr, copts);
+  c.Connect();
+
+  server.SetUnavailable(true);
+  auto r = c.Read("t", "x");
+  EXPECT_TRUE(r.status.IsUnavailable());
+  EXPECT_EQ(c.stats().retries, 2u);                // 3 attempts total
+  EXPECT_EQ(c.stats().unavailable_failures, 1u);
+  EXPECT_GT(r.outcome.latency_ms, 0.0);           // backoff was charged
+
+  server.SetUnavailable(false);
+  auto ok = c.Read("t", "x");
+  ASSERT_TRUE(ok.status.ok());
+  EXPECT_EQ(ok.doc.Find("v")->as_int(), 1);
+  EXPECT_EQ(c.stats().unavailable_failures, 1u);
+}
+
+TEST(ClientRetryTest, DisabledRetrySurfacesImmediately) {
+  SimulatedClock clock(0);
+  db::Database db(&clock);
+  core::QuaestorServer server(&clock, &db);
+  ASSERT_TRUE(server.Insert("t", "x", Doc(R"({"v":1})")).ok());
+  client::QuaestorClient c(&clock, &server, nullptr, nullptr);
+  server.SetUnavailable(true);
+  auto r = c.Read("t", "x");
+  EXPECT_TRUE(r.status.IsUnavailable());
+  EXPECT_EQ(c.stats().retries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Server degradation plumbing
+// ---------------------------------------------------------------------------
+
+TEST(DegradationTest, ManualDegradeCapsTtls) {
+  SimulatedClock clock(0);
+  db::Database db(&clock);
+  core::ServerOptions opts;
+  opts.degradation.enabled = true;
+  opts.degradation.degraded_ttl_cap = 200 * kMicrosPerMilli;
+  core::QuaestorServer server(&clock, &db, opts);
+  ASSERT_TRUE(server.Insert("t", "x", Doc(R"({"v":1})")).ok());
+
+  webcache::HttpRequest req;
+  req.key = "t/x";
+  auto healthy = server.Fetch(req);
+  ASSERT_TRUE(healthy.ok);
+  EXPECT_GT(healthy.ttl, opts.degradation.degraded_ttl_cap);
+
+  server.SetDegraded(true);
+  EXPECT_TRUE(server.degraded());
+  auto capped = server.Fetch(req);
+  ASSERT_TRUE(capped.ok);
+  EXPECT_LE(capped.ttl, opts.degradation.degraded_ttl_cap);
+  EXPECT_GE(server.stats().degraded_reads, 1u);
+  EXPECT_EQ(server.stats().degradation_flips, 1u);
+
+  server.SetDegraded(false);
+  EXPECT_FALSE(server.degraded());
+  auto again = server.Fetch(req);
+  EXPECT_GT(again.ttl, opts.degradation.degraded_ttl_cap);
+  EXPECT_EQ(server.stats().degradation_flips, 2u);
+}
+
+TEST(DegradationTest, DisabledDegradationIgnoresSignals) {
+  SimulatedClock clock(0);
+  db::Database db(&clock);
+  core::QuaestorServer server(&clock, &db);  // degradation.enabled = false
+  server.SetDegraded(true);
+  EXPECT_FALSE(server.degraded());
+  server.SetPipelineDown(true);
+  EXPECT_FALSE(server.degraded());  // still drops events, but no cap
+  EXPECT_TRUE(server.pipeline_health().pipeline_down);
+}
+
+TEST(DegradationTest, PipelineDownDropsChangesAndDegrades) {
+  SimulatedClock clock(0);
+  db::Database db(&clock);
+  core::ServerOptions opts;
+  opts.degradation.enabled = true;
+  core::QuaestorServer server(&clock, &db, opts);
+  server.SetPipelineDown(true);
+  EXPECT_TRUE(server.degraded());
+  ASSERT_TRUE(server.Insert("t", "x", Doc(R"({"v":1})")).ok());
+  EXPECT_EQ(server.stats().change_events_dropped, 1u);
+  EXPECT_EQ(server.invalidb().stats().changes_ingested, 0u);
+
+  server.SetPipelineDown(false);
+  EXPECT_FALSE(server.degraded());
+  ASSERT_TRUE(server.Insert("t", "y", Doc(R"({"v":2})")).ok());
+  EXPECT_EQ(server.stats().change_events_dropped, 1u);
+  EXPECT_EQ(server.invalidb().stats().changes_ingested, 1u);
+}
+
+TEST(DegradationTest, DeadNodeDegradesUntilRestart) {
+  SimulatedClock clock(0);
+  db::Database db(&clock);
+  core::ServerOptions opts;
+  opts.degradation.enabled = true;
+  core::QuaestorServer server(&clock, &db, opts);
+  server.invalidb().KillNode(0);
+  server.invalidb().Flush();
+  EXPECT_TRUE(server.degraded());
+  auto health = server.pipeline_health();
+  EXPECT_TRUE(health.degraded);
+  EXPECT_EQ(health.nodes_alive, 0u);
+  EXPECT_EQ(health.nodes_total, 1u);
+  server.invalidb().RestartNode(
+      0, [&](const db::Query& q) { return db.Execute(q); });
+  server.invalidb().Flush();
+  EXPECT_FALSE(server.degraded());
+}
+
+TEST(DegradationTest, ChangeLossRateDropsDeterministically) {
+  SimulatedClock clock(0);
+  db::Database db(&clock);
+  core::ServerOptions opts;
+  opts.fault_change_loss_rate = 1.0;  // every event lost
+  core::QuaestorServer server(&clock, &db, opts);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        server.Insert("t", "d" + std::to_string(i), Doc(R"({"v":1})")).ok());
+  }
+  EXPECT_EQ(server.stats().change_events_dropped, 5u);
+  EXPECT_EQ(server.invalidb().stats().changes_ingested, 0u);
+}
+
+}  // namespace
+}  // namespace quaestor

@@ -113,7 +113,7 @@ class TransportTest : public ::testing::Test {
   TransportTest()
       : clock_(0),
         kv_(&clock_),
-        remote_(&kv_, "invalidb",
+        remote_(&clock_, &kv_, "invalidb",
                 [this](const Notification& n) { received_.push_back(n); }),
         worker_(&clock_, &kv_, "invalidb") {}
 
@@ -196,7 +196,8 @@ TEST_F(TransportTest, MalformedMessagesCountedAndSkipped) {
 
 TEST_F(TransportTest, BackgroundThreadsDeliver) {
   std::atomic<int> count{0};
-  InvalidbRemote remote(&kv_, "bg", [&](const Notification&) { count++; });
+  InvalidbRemote remote(SystemClock::Default(), &kv_, "bg",
+                        [&](const Notification&) { count++; });
   InvalidbWorker worker(SystemClock::Default(), &kv_, "bg");
   worker.Start();
   remote.StartPolling();
