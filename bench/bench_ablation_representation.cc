@@ -50,6 +50,7 @@ void RunProfile(const std::string& profile_name,
 
     sim::Simulation simulation(w, s);
     sim::SimResults r = simulation.Run();
+    AccumulateObs(r.metrics);
     PrintRow(policy.name,
              {r.queries.latency.Mean(), r.queries.ClientHitRate(),
               static_cast<double>(r.server_stats.query_invalidations),
@@ -74,5 +75,6 @@ void Run() {
 
 int main() {
   quaestor::bench::Run();
+  quaestor::bench::WriteObsSnapshot("ablation_representation");
   return 0;
 }

@@ -35,6 +35,7 @@ void Run() {
 
       sim::Simulation simulation(w, s);
       sim::SimResults r = simulation.Run();
+      AccumulateObs(r.metrics);
       const uint64_t total =
           r.reads.count + r.queries.count + r.writes.count;
       const uint64_t origin =
@@ -56,5 +57,6 @@ void Run() {
 
 int main() {
   quaestor::bench::Run();
+  quaestor::bench::WriteObsSnapshot("ablation_revalidation");
   return 0;
 }

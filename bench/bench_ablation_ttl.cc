@@ -70,6 +70,7 @@ void Run() {
 
     sim::Simulation simulation(w, s);
     sim::SimResults r = simulation.Run();
+    AccumulateObs(r.metrics);
     PrintRow(strat.name,
              {r.queries.ClientHitRate(), r.queries.StaleRate(),
               static_cast<double>(r.server_stats.query_invalidations),
@@ -87,5 +88,6 @@ void Run() {
 
 int main() {
   quaestor::bench::Run();
+  quaestor::bench::WriteObsSnapshot("ablation_ttl");
   return 0;
 }

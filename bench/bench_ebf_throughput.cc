@@ -9,16 +9,30 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/clock.h"
 #include "ebf/expiring_bloom_filter.h"
 #include "ebf/shared_ebf.h"
 #include "kv/kv_store.h"
+#include "obs/metrics.h"
 
 namespace quaestor::ebf {
 namespace {
+
+/// Binary-wide metrics registry, written as OBS_ebf_throughput.json.
+obs::MetricsRegistry& Registry() {
+  static obs::MetricsRegistry registry;
+  return registry;
+}
+
+void NoteItems(benchmark::State& state, int64_t items) {
+  state.SetItemsProcessed(items);
+  Registry().Count("bench_items_processed", static_cast<uint64_t>(items));
+}
 
 std::vector<std::string> MakeKeys(size_t n) {
   std::vector<std::string> keys;
@@ -37,7 +51,7 @@ void BM_InMemoryReportRead(benchmark::State& state) {
   for (auto _ : state) {
     ebf.ReportRead(keys[i++ % keys.size()], SecondsToMicros(60.0));
   }
-  state.SetItemsProcessed(state.iterations());
+  NoteItems(state, state.iterations());
 }
 BENCHMARK(BM_InMemoryReportRead);
 
@@ -50,7 +64,7 @@ void BM_InMemoryReportWrite(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(ebf.ReportWrite(keys[i++ % keys.size()]));
   }
-  state.SetItemsProcessed(state.iterations());
+  NoteItems(state, state.iterations());
 }
 BENCHMARK(BM_InMemoryReportWrite);
 
@@ -64,7 +78,7 @@ void BM_InMemoryIsStale(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(ebf.IsStale(keys[i++ % keys.size()]));
   }
-  state.SetItemsProcessed(state.iterations());
+  NoteItems(state, state.iterations());
 }
 BENCHMARK(BM_InMemoryIsStale);
 
@@ -78,7 +92,7 @@ void BM_InMemorySnapshot(benchmark::State& state) {
     BloomFilter snap = ebf.Snapshot();
     benchmark::DoNotOptimize(snap);
   }
-  state.SetItemsProcessed(state.iterations());
+  NoteItems(state, state.iterations());
 }
 BENCHMARK(BM_InMemorySnapshot)->Arg(1000)->Arg(20000);
 
@@ -91,7 +105,7 @@ void BM_SharedReportRead(benchmark::State& state) {
   for (auto _ : state) {
     ebf.ReportRead(keys[i++ % keys.size()], SecondsToMicros(60.0));
   }
-  state.SetItemsProcessed(state.iterations());
+  NoteItems(state, state.iterations());
 }
 BENCHMARK(BM_SharedReportRead);
 
@@ -105,11 +119,19 @@ void BM_SharedReportWrite(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(ebf.ReportWrite(keys[i++ % keys.size()]));
   }
-  state.SetItemsProcessed(state.iterations());
+  NoteItems(state, state.iterations());
 }
 BENCHMARK(BM_SharedReportWrite);
 
 }  // namespace
 }  // namespace quaestor::ebf
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  quaestor::bench::AccumulateObs(quaestor::ebf::Registry().Snapshot());
+  quaestor::bench::WriteObsSnapshot("ebf_throughput");
+  return 0;
+}

@@ -95,6 +95,7 @@ VariantResult RunVariant(bool degraded) {
   });
 
   sim::SimResults r = simulation.Run();
+  AccumulateObs(r.metrics);
 
   VariantResult v;
   v.read_stale_rate = r.reads.StaleRate();
@@ -169,5 +170,6 @@ void Run(const std::string& json_path) {
 
 int main(int argc, char** argv) {
   quaestor::bench::Run(argc > 1 ? argv[1] : "BENCH_fault.json");
+  quaestor::bench::WriteObsSnapshot("fault");
   return 0;
 }

@@ -47,6 +47,7 @@ void Run() {
       s.client_options.ebf_refresh_interval = SecondsToMicros(refresh);
       sim::Simulation simulation(w, s);
       sim::SimResults r = simulation.Run();
+      AccumulateObs(r.metrics);
       stale_reads.push_back(r.reads.StaleRate());
       stale_queries.push_back(r.queries.StaleRate());
     }
@@ -69,6 +70,7 @@ void Run() {
     s.duration = SecondsToMicros(60.0);
     sim::Simulation simulation(w, s);
     sim::SimResults r = simulation.Run();
+    AccumulateObs(r.metrics);
     PrintHeader("CDN staleness (paper: constantly below 0.1%)");
     PrintRow("CDN stale rate (queries)", {r.queries.StaleRate()});
     PrintRow("CDN stale rate (reads)", {r.reads.StaleRate()});
@@ -80,5 +82,6 @@ void Run() {
 
 int main() {
   quaestor::bench::Run();
+  quaestor::bench::WriteObsSnapshot("fig10_staleness");
   return 0;
 }

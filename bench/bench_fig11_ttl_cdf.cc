@@ -44,6 +44,7 @@ void Run() {
 
   sim::Simulation simulation(w, s);
   sim::SimResults r = simulation.Run();
+  AccumulateObs(r.metrics);
 
   std::vector<double> estimated = r.estimated_ttls_s;
   std::vector<double> true_ttls = r.true_ttls_s;
@@ -86,5 +87,6 @@ void Run() {
 
 int main() {
   quaestor::bench::Run();
+  quaestor::bench::WriteObsSnapshot("fig11_ttl_cdf");
   return 0;
 }

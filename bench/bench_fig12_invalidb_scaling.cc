@@ -137,6 +137,13 @@ void Run() {
     PrintRow(std::to_string(n) + " nodes / " + std::to_string(queries) + "q",
              {per_node / 1e6, balance, aggregate / 1e6, p99,
               static_cast<double>(delivered)});
+
+    obs::MetricsRegistry registry;
+    const obs::Labels labels = {{"nodes", std::to_string(n)}};
+    threaded.stats().ExportTo(&registry, labels);
+    registry.GetTimer("invalidb_notification_latency_ms", labels)
+        ->MergeHistogram(threaded.LatencyHistogram());
+    AccumulateObs(registry.Snapshot());
   }
   PrintNote("expected: per-node capacity flat, aggregate linear in N,");
   PrintNote("p99 low while load fits capacity (paper: <20-30 ms)");
@@ -147,5 +154,6 @@ void Run() {
 
 int main() {
   quaestor::bench::Run();
+  quaestor::bench::WriteObsSnapshot("fig12_invalidb_scaling");
   return 0;
 }

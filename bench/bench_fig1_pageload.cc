@@ -83,13 +83,19 @@ void Run() {
   std::vector<std::string> cols;
   for (const Region& r : regions) cols.push_back(r.name);
   PrintColumns("provider \\ region", cols);
+  obs::MetricsRegistry registry;
   for (const Provider& p : providers) {
     std::vector<double> row;
     for (const Region& r : regions) {
-      row.push_back(PageLoadMs(page, r, p) / 1000.0);
+      const double ms = PageLoadMs(page, r, p);
+      row.push_back(ms / 1000.0);
+      registry.Count("pageload_models_evaluated");
+      registry.SetGauge("pageload_ms",
+                        {{"provider", p.name}, {"region", r.name}}, ms);
     }
     PrintRow(p.name, row);
   }
+  AccumulateObs(registry.Snapshot());
   PrintNote("expected shape: Quaestor flat & sub-second everywhere;");
   PrintNote("others grow with distance to the backend region (paper: 2-8s)");
 }
@@ -99,5 +105,6 @@ void Run() {
 
 int main() {
   quaestor::bench::Run();
+  quaestor::bench::WriteObsSnapshot("fig1_pageload");
   return 0;
 }

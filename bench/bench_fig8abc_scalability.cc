@@ -43,6 +43,7 @@ void Run() {
       s.connections_per_instance = conns / 10;
       sim::Simulation simulation(DefaultWorkload(), s);
       sim::SimResults r = simulation.Run();
+      AccumulateObs(r.metrics);
       ar.throughput.push_back(r.throughput_ops_s);
       ar.read_latency.push_back(r.reads.latency.Mean());
       ar.query_latency.push_back(r.queries.latency.Mean());
@@ -85,5 +86,6 @@ void Run() {
 
 int main() {
   quaestor::bench::Run();
+  quaestor::bench::WriteObsSnapshot("fig8abc_scalability");
   return 0;
 }

@@ -34,6 +34,7 @@ void Run() {
     s.connections_per_instance = 12;
     sim::Simulation simulation(w, s);
     sim::SimResults r = simulation.Run();
+    AccumulateObs(r.metrics);
     read_lat.push_back(r.reads.latency.Mean());
     query_lat.push_back(r.queries.latency.Mean());
     client_hit_q.push_back(r.queries.ClientHitRate());
@@ -65,6 +66,7 @@ void Run() {
   s.connections_per_instance = 30;
   sim::Simulation simulation(DefaultWorkload(), s);
   sim::SimResults r = simulation.Run();
+  AccumulateObs(r.metrics);
   const double total = static_cast<double>(r.queries.count);
   PrintHeader("Figure 8f: query latency histogram (share of requests)");
   PrintRow("Client cache hits (~0 ms)",
@@ -83,5 +85,6 @@ void Run() {
 
 int main() {
   quaestor::bench::Run();
+  quaestor::bench::WriteObsSnapshot("fig8def_querycount");
   return 0;
 }

@@ -61,6 +61,7 @@ void Run() {
           SecondsToMicros(cfg.refresh_seconds);
       sim::Simulation simulation(w, s);
       sim::SimResults r = simulation.Run();
+      AccumulateObs(r.metrics);
       row.push_back(r.queries.ClientHitRate());
     }
     PrintRow(cfg.label, row);
@@ -73,5 +74,6 @@ void Run() {
 
 int main() {
   quaestor::bench::Run();
+  quaestor::bench::WriteObsSnapshot("fig9_update_rates");
   return 0;
 }

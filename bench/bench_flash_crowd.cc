@@ -37,6 +37,7 @@ void Run() {
 
   sim::Simulation simulation(w, s);
   sim::SimResults r = simulation.Run();
+  AccumulateObs(r.metrics);
 
   const uint64_t total_reads = r.reads.count + r.queries.count;
   const uint64_t origin = r.reads.origin + r.queries.origin;
@@ -68,5 +69,6 @@ void Run() {
 
 int main() {
   quaestor::bench::Run();
+  quaestor::bench::WriteObsSnapshot("flash_crowd");
   return 0;
 }

@@ -11,6 +11,7 @@
 // indexable conjunct: $exists / $ne) and must be evaluated on every
 // event in both modes.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -20,6 +21,7 @@
 #include "common/random.h"
 #include "db/query.h"
 #include "invalidb/matching_node.h"
+#include "obs/trace.h"
 
 namespace quaestor::bench {
 namespace {
@@ -77,10 +79,12 @@ struct ModeResult {
 };
 
 ModeResult RunMode(bool use_index, size_t num_queries,
-                   const std::vector<db::ChangeEvent>& events) {
+                   const std::vector<db::ChangeEvent>& events,
+                   obs::Tracer* tracer = nullptr) {
   // Same seed in both modes → identical query populations.
   Rng rng(0xBE7C * (num_queries + 1));
   MatchingNode node(use_index);
+  node.set_tracer(tracer);
   for (size_t i = 0; i < num_queries; ++i) {
     bool residual = false;
     const db::Query q = MakeQuery(rng, &residual);
@@ -163,12 +167,94 @@ void Run(const std::string& json_path) {
     }
   }
 
+  // Tracer overhead: the per-request span instrumentation must cost
+  // < 5% matching throughput (CI gates on this). Each trial times the
+  // tracer-off and tracer-on node back to back on the same events, and
+  // the reported overhead is the median of the per-trial ratios — the
+  // pairing cancels load drift that would swamp the sub-percent signal
+  // if the two modes were timed in separate passes.
+  PrintHeader("Tracer overhead on indexed matching (10000q)");
+  Rng overhead_rng(0xE0E0 + 1000);
+  std::vector<db::ChangeEvent> overhead_events;
+  overhead_events.reserve(1000);
+  for (size_t i = 0; i < 1000; ++i) {
+    overhead_events.push_back(MakeEvent(overhead_rng, static_cast<int>(i)));
+  }
+
+  // Identical query populations in both nodes (same seed).
+  MatchingNode off_node(/*use_index=*/true);
+  MatchingNode on_node(/*use_index=*/true);
+  for (MatchingNode* node : {&off_node, &on_node}) {
+    Rng rng(0xBE7C * (10000 + 1));
+    for (size_t i = 0; i < 10000; ++i) {
+      bool residual = false;
+      const db::Query q = MakeQuery(rng, &residual);
+      node->AddQuery(q, std::to_string(i) + ":" + q.NormalizedKey(), {});
+    }
+  }
+  obs::TracerOptions topts;
+  topts.deterministic_ids = false;  // wall-clock mode, as in production
+  obs::Tracer tracer(SystemClock::Default(), topts);
+  on_node.set_tracer(&tracer);
+
+  // Short slices interleave the two modes finely, so a load spike lands
+  // on both sides of a pair rather than skewing one whole pass.
+  constexpr size_t kSliceEvents = 200;
+  constexpr int kTrials = 21;
+  const auto time_slice = [&overhead_events](MatchingNode* node,
+                                             size_t offset) {
+    std::vector<Notification> out;
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < kSliceEvents; ++i) {
+      out.clear();
+      node->Match(overhead_events[(offset + i) % overhead_events.size()],
+                  &out);
+    }
+    const auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(end - start).count();
+  };
+
+  std::vector<double> ratios;
+  double sum_off = 0.0;
+  double sum_on = 0.0;
+  (void)time_slice(&off_node, 0);  // warm both nodes before timing
+  (void)time_slice(&on_node, 0);
+  tracer.Clear();
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const size_t offset = static_cast<size_t>(trial) * kSliceEvents;
+    const double t_off = time_slice(&off_node, offset);
+    const double t_on = time_slice(&on_node, offset);
+    tracer.Clear();  // keep the span buffer from growing across trials
+    if (t_off > 0) ratios.push_back(t_on / t_off);
+    sum_off += t_off;
+    sum_on += t_on;
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const double median_ratio =
+      ratios.empty() ? 1.0 : ratios[ratios.size() / 2];
+  const double overhead_pct = (median_ratio - 1.0) * 100.0;
+  const double total_events =
+      static_cast<double>(kTrials) * static_cast<double>(kSliceEvents);
+  const double best_off = sum_off > 0 ? total_events / sum_off : 0.0;
+  const double best_on = sum_on > 0 ? total_events / sum_on : 0.0;
+  PrintRow("tracer off/on ev/s", {best_off, best_on, overhead_pct});
+  PrintNote("overhead% (median of paired trials) must stay <= 5 (CI-gated)");
+
   db::Object root;
   root["benchmark"] = db::Value("invalidb_matching");
   root["description"] = db::Value(
       "MatchingNode::Match throughput, brute-force seed vs query index");
   root["rows"] = db::Value(std::move(rows));
+  root["tracer_events_per_s_off"] = db::Value(best_off);
+  root["tracer_events_per_s_on"] = db::Value(best_on);
+  root["tracer_overhead_pct"] = db::Value(overhead_pct);
   WriteJsonFile(json_path, db::Value(std::move(root)));
+
+  obs::MetricsRegistry registry;
+  registry.SetGauge("tracer_overhead_pct", overhead_pct);
+  registry.SetGauge("matching_events_per_s", {{"tracer", "off"}}, best_off);
+  registry.SetGauge("matching_events_per_s", {{"tracer", "on"}}, best_on);
+  AccumulateObs(registry.Snapshot());
 }
 
 }  // namespace
@@ -176,5 +262,6 @@ void Run(const std::string& json_path) {
 
 int main(int argc, char** argv) {
   quaestor::bench::Run(argc > 1 ? argv[1] : "BENCH_matching.json");
+  quaestor::bench::WriteObsSnapshot("invalidb_matching");
   return 0;
 }

@@ -5,17 +5,34 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
+#include "common/clock.h"
 #include "db/query.h"
 #include "db/table.h"
 #include "db/value.h"
 #include "ebf/bloom_filter.h"
 #include "invalidb/matching_node.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace quaestor {
 namespace {
+
+/// The binary's metrics registry: every benchmark folds its processed
+/// items in, and main() writes the snapshot as BENCH_obs.json.
+obs::MetricsRegistry& Registry() {
+  static obs::MetricsRegistry registry;
+  return registry;
+}
+
+void NoteItems(benchmark::State& state, int64_t items) {
+  state.SetItemsProcessed(items);
+  Registry().Count("bench_items_processed", static_cast<uint64_t>(items));
+}
 
 void BM_BloomAdd(benchmark::State& state) {
   ebf::BloomFilter bf;
@@ -23,7 +40,7 @@ void BM_BloomAdd(benchmark::State& state) {
   for (auto _ : state) {
     bf.Add("key-" + std::to_string(i++ % 100000));
   }
-  state.SetItemsProcessed(state.iterations());
+  NoteItems(state, state.iterations());
 }
 BENCHMARK(BM_BloomAdd);
 
@@ -35,7 +52,7 @@ void BM_BloomContains(benchmark::State& state) {
     benchmark::DoNotOptimize(
         bf.MaybeContains("key-" + std::to_string(i++ % 40000)));
   }
-  state.SetItemsProcessed(state.iterations());
+  NoteItems(state, state.iterations());
 }
 BENCHMARK(BM_BloomContains);
 
@@ -47,7 +64,7 @@ void BM_CountingBloomAddRemove(benchmark::State& state) {
     cbf.Add(key);
     cbf.Remove(key);
   }
-  state.SetItemsProcessed(state.iterations() * 2);
+  NoteItems(state, state.iterations() * 2);
 }
 BENCHMARK(BM_CountingBloomAddRemove);
 
@@ -59,7 +76,7 @@ void BM_QueryNormalize(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(q->NormalizedKey());
   }
-  state.SetItemsProcessed(state.iterations());
+  NoteItems(state, state.iterations());
 }
 BENCHMARK(BM_QueryNormalize);
 
@@ -71,7 +88,7 @@ void BM_PredicateMatch(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(q->Matches(doc.value()));
   }
-  state.SetItemsProcessed(state.iterations());
+  NoteItems(state, state.iterations());
 }
 BENCHMARK(BM_PredicateMatch);
 
@@ -95,7 +112,7 @@ void BM_MatchingNodeSweep(benchmark::State& state) {
     node.Match(ev, &out);
     benchmark::DoNotOptimize(out);
   }
-  state.SetItemsProcessed(state.iterations() *
+  NoteItems(state, state.iterations() *
                           static_cast<int64_t>(num_queries));
 }
 BENCHMARK(BM_MatchingNodeSweep)->Arg(100)->Arg(500)->Arg(2000);
@@ -115,7 +132,7 @@ void BM_TableExecuteScan(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(table.Execute(q.value()));
   }
-  state.SetItemsProcessed(state.iterations());
+  NoteItems(state, state.iterations());
 }
 BENCHMARK(BM_TableExecuteScan)->Arg(1000)->Arg(10000);
 
@@ -135,7 +152,7 @@ void BM_TableExecuteIndexed(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(table.Execute(q.value()));
   }
-  state.SetItemsProcessed(state.iterations());
+  NoteItems(state, state.iterations());
 }
 BENCHMARK(BM_TableExecuteIndexed)->Arg(1000)->Arg(10000);
 
@@ -146,7 +163,7 @@ void BM_JsonSerialize(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(doc->ToJson());
   }
-  state.SetItemsProcessed(state.iterations());
+  NoteItems(state, state.iterations());
 }
 BENCHMARK(BM_JsonSerialize);
 
@@ -158,11 +175,84 @@ void BM_JsonParse(benchmark::State& state) {
     auto v = db::Value::FromJson(json);
     benchmark::DoNotOptimize(v);
   }
-  state.SetItemsProcessed(state.iterations());
+  NoteItems(state, state.iterations());
 }
 BENCHMARK(BM_JsonParse);
+
+// -- Observability-layer costs (the instrumentation is itself on the
+//    critical path, so its primitives are benchmarked like any other) --
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::Counter* c = Registry().GetCounter("bm_obs_counter");
+  for (auto _ : state) {
+    c->Add();
+  }
+  NoteItems(state, state.iterations());
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsLabeledLookup(benchmark::State& state) {
+  // Cold-path convenience: name+label → map lookup + atomic add.
+  for (auto _ : state) {
+    Registry().Count("bm_obs_lookup", {{"op", "read"}});
+  }
+  NoteItems(state, state.iterations());
+}
+BENCHMARK(BM_ObsLabeledLookup);
+
+void BM_ObsTimerObserve(benchmark::State& state) {
+  obs::Timer* t = Registry().GetTimer("bm_obs_timer_ms");
+  for (auto _ : state) {
+    t->Observe(0.5);
+  }
+  NoteItems(state, state.iterations());
+}
+BENCHMARK(BM_ObsTimerObserve);
+
+void BM_TracerSpanStartEnd(benchmark::State& state) {
+  obs::TracerOptions topts;
+  topts.max_spans = 1 << 16;
+  topts.deterministic_ids = false;
+  obs::Tracer tracer(SystemClock::Default(), topts);
+  for (auto _ : state) {
+    uint64_t id = tracer.StartSpan("bm");
+    if (id == 0) {  // buffer full: drain and keep measuring
+      tracer.Clear();
+      id = tracer.StartSpan("bm");
+    }
+    tracer.EndSpan(id);
+  }
+  NoteItems(state, state.iterations());
+}
+BENCHMARK(BM_TracerSpanStartEnd);
+
+void BM_TracerDisabledSpan(benchmark::State& state) {
+  obs::TracerOptions topts;
+  topts.enabled = false;
+  obs::Tracer tracer(SystemClock::Default(), topts);
+  for (auto _ : state) {
+    obs::ScopedSpan span(&tracer, "bm");
+    benchmark::DoNotOptimize(span.id());
+  }
+  NoteItems(state, state.iterations());
+}
+BENCHMARK(BM_TracerDisabledSpan);
 
 }  // namespace
 }  // namespace quaestor
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+
+  // Registry snapshot alongside the google-benchmark output (CI uploads
+  // this as the BENCH_obs.json artifact).
+  quaestor::obs::MetricsSnapshot snapshot = quaestor::Registry().Snapshot();
+  quaestor::db::Object root = snapshot.ToValue().as_object();
+  root["benchmark"] = quaestor::db::Value("micro_components");
+  quaestor::bench::WriteJsonFile("BENCH_obs.json",
+                                 quaestor::db::Value(std::move(root)));
+  return 0;
+}

@@ -50,6 +50,7 @@ void Run() {
 
     sim::Simulation simulation(w, s);
     sim::SimResults r = simulation.Run();
+    AccumulateObs(r.metrics);
     PrintRow(std::to_string(row.docs) + "/" + std::to_string(row.queries),
              {r.queries.latency.Mean(), r.reads.latency.Mean(),
               r.queries.ClientHitRate(), r.reads.ClientHitRate()});
@@ -64,5 +65,6 @@ void Run() {
 
 int main() {
   quaestor::bench::Run();
+  quaestor::bench::WriteObsSnapshot("table1_doc_counts");
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "db/value.h"
+#include "obs/metrics.h"
 #include "sim/simulation.h"
 #include "workload/workload.h"
 
@@ -94,6 +95,27 @@ inline bool WriteJsonFile(const std::string& path, const db::Value& root) {
   std::fclose(f);
   PrintNote("wrote " + path);
   return true;
+}
+
+/// The binary-wide metrics snapshot: every simulation run folds its
+/// SimResults::metrics in here (counters add, timers merge), and
+/// WriteObsSnapshot() emits the union at exit. Benches that drive
+/// components directly (no Simulation) export their *Stats surfaces into
+/// a local MetricsRegistry and accumulate its Snapshot() the same way.
+inline obs::MetricsSnapshot& ObsAccumulator() {
+  static obs::MetricsSnapshot snapshot;
+  return snapshot;
+}
+
+inline void AccumulateObs(const obs::MetricsSnapshot& snapshot) {
+  ObsAccumulator().Merge(snapshot);
+}
+
+/// Writes the accumulated registry snapshot as OBS_<bench>.json alongside
+/// the bench's other outputs.
+inline bool WriteObsSnapshot(const std::string& bench_name) {
+  return WriteJsonFile("OBS_" + bench_name + ".json",
+                       ObsAccumulator().ToValue());
 }
 
 }  // namespace quaestor::bench

@@ -69,6 +69,7 @@ Micros QuaestorClient::EbfAge() const {
 
 webcache::FetchMode QuaestorClient::DecideMode(const std::string& key,
                                                RequestOutcome* outcome) {
+  obs::ScopedSpan span(tracer_, "client.ebf_decide");
   // The ∆ − ∆_invalidation optimization only applies at the default
   // ∆-atomic level: a CDN copy can lag a purge by the invalidation
   // latency, which ∆-atomicity absorbs into its bound but causal
@@ -196,6 +197,8 @@ void QuaestorClient::NoteVersion(const std::string& key, uint64_t version) {
 ReadResult QuaestorClient::Read(const std::string& table,
                                 const std::string& id) {
   const std::string key = table + "/" + id;
+  obs::ScopedSpan span(tracer_, "client.read");
+  span.Annotate("key", key);
   stats_.reads++;
   ReadResult result;
   webcache::FetchMode mode = DecideMode(key, &result.outcome);
@@ -245,6 +248,8 @@ ReadResult QuaestorClient::Read(const std::string& table,
 
 QueryResult QuaestorClient::ExecuteQuery(const db::Query& query) {
   const std::string key = query.NormalizedKey();
+  obs::ScopedSpan span(tracer_, "client.query");
+  span.Annotate("key", key);
   // The HTTP URL carries the query; the server can always decode it.
   server_->RegisterQueryShape(query);
   stats_.queries++;
@@ -348,6 +353,7 @@ void QuaestorClient::CacheOwnWrite(const db::Document& doc) {
 Result<db::Document> QuaestorClient::Insert(const std::string& table,
                                             const std::string& id,
                                             db::Value body) {
+  obs::ScopedSpan span(tracer_, "client.write");
   stats_.writes++;
   auto res = server_->Insert(server_->auth().Resolve(options_.auth_token),
                              table, id, std::move(body));
@@ -358,6 +364,7 @@ Result<db::Document> QuaestorClient::Insert(const std::string& table,
 Result<db::Document> QuaestorClient::Update(const std::string& table,
                                             const std::string& id,
                                             const db::Update& update) {
+  obs::ScopedSpan span(tracer_, "client.write");
   stats_.writes++;
   // Beginning an update drops the record from the session's own cache.
   if (client_cache_ != nullptr) client_cache_->Remove(table + "/" + id);
@@ -369,12 +376,28 @@ Result<db::Document> QuaestorClient::Update(const std::string& table,
 
 Result<db::Document> QuaestorClient::Delete(const std::string& table,
                                             const std::string& id) {
+  obs::ScopedSpan span(tracer_, "client.write");
   stats_.writes++;
   if (client_cache_ != nullptr) client_cache_->Remove(table + "/" + id);
   auto res = server_->Delete(server_->auth().Resolve(options_.auth_token),
                              table, id);
   if (res.ok()) CacheOwnWrite(res.value());
   return res;
+}
+
+void ClientStats::ExportTo(obs::MetricsRegistry* registry,
+                           const obs::Labels& labels) const {
+  registry->Count("client_reads", labels, reads);
+  registry->Count("client_queries", labels, queries);
+  registry->Count("client_writes", labels, writes);
+  registry->Count("client_revalidations", labels, revalidations);
+  registry->Count("client_ebf_refreshes", labels, ebf_refreshes);
+  registry->Count("client_cache_hits", labels, client_cache_hits);
+  registry->Count("client_cdn_hits", labels, cdn_hits);
+  registry->Count("client_origin_fetches", labels, origin_fetches);
+  registry->Count("client_retries", labels, retries);
+  registry->Count("client_unavailable_failures", labels,
+                  unavailable_failures);
 }
 
 }  // namespace quaestor::client

@@ -19,6 +19,8 @@
 #include "db/update.h"
 #include "db/value.h"
 #include "ebf/bloom_filter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "webcache/hierarchy.h"
 #include "webcache/web_cache.h"
 
@@ -135,6 +137,11 @@ struct ClientStats {
   /// Retry accounting (retry.enabled only).
   uint64_t retries = 0;
   uint64_t unavailable_failures = 0;  // budget exhausted, 503 surfaced
+
+  /// Adds these totals into `client_*` registry counters — exporting
+  /// every session's stats under the same labels sums them.
+  void ExportTo(obs::MetricsRegistry* registry,
+                const obs::Labels& labels = {}) const;
 };
 
 /// The Quaestor client SDK (the "SDK (Data API)" box in Figure 3): wraps a
@@ -180,6 +187,16 @@ class QuaestorClient {
 
   ClientStats stats() const { return stats_; }
   const ClientOptions& options() const { return options_; }
+
+  /// Installs a tracer on the SDK and its cache hierarchy (spans:
+  /// client.read/client.query/client.write, client.ebf_decide, plus the
+  /// cache-tier and server spans beneath). Does NOT propagate to the
+  /// shared server — install there separately with the same tracer.
+  /// nullptr detaches.
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    hierarchy_.set_tracer(tracer);
+  }
 
   /// Changes ∆ mid-session (the fuzzer exercises this; a real deployment
   /// reconfigures the refresh interval without reconnecting clients).
@@ -259,6 +276,7 @@ class QuaestorClient {
 
   Rng retry_rng_;  // retry backoff jitter (deterministic from retry.seed)
   ClientStats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace quaestor::client

@@ -51,6 +51,24 @@ void Histogram::Merge(const Histogram& other) {
   max_ = std::max(max_, other.max_);
 }
 
+Histogram Histogram::DiffSince(const Histogram& earlier) const {
+  Histogram out;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    out.buckets_[i] = buckets_[i] >= earlier.buckets_[i]
+                          ? buckets_[i] - earlier.buckets_[i]
+                          : 0;
+  }
+  out.count_ = count_ >= earlier.count_ ? count_ - earlier.count_ : 0;
+  out.sum_ = sum_ - earlier.sum_;
+  if (out.count_ == 0) {
+    out.sum_ = 0.0;
+  } else {
+    out.min_ = min_;
+    out.max_ = max_;
+  }
+  return out;
+}
+
 void Histogram::Reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
@@ -67,6 +85,10 @@ double Histogram::Mean() const {
 
 double Histogram::Quantile(double q) const {
   if (count_ == 0) return 0.0;
+  // The extreme quantiles are tracked exactly; returning a bucket
+  // midpoint for them would violate the observed range.
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max_;
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(count_);
   uint64_t cum = 0;

@@ -20,6 +20,13 @@ class Histogram {
   /// Merges another histogram's observations into this one.
   void Merge(const Histogram& other);
 
+  /// Returns the observations accumulated since `earlier`, which must be
+  /// a previous snapshot of this histogram (bucket counts subtract;
+  /// underflow clamps to zero). min/max cannot be recovered for a delta,
+  /// so the result inherits this histogram's lifetime min/max — an
+  /// approximation callers of snapshot-diffing accept.
+  Histogram DiffSince(const Histogram& earlier) const;
+
   void Reset();
 
   uint64_t count() const { return count_; }

@@ -4,6 +4,26 @@
 
 namespace quaestor::core {
 
+void ServerStats::ExportTo(obs::MetricsRegistry* registry,
+                           const obs::Labels& labels) const {
+  registry->Count("server_record_reads", labels, record_reads);
+  registry->Count("server_query_reads", labels, query_reads);
+  registry->Count("server_writes", labels, writes);
+  registry->Count("server_not_modified", labels, not_modified);
+  registry->Count("server_query_invalidations", labels, query_invalidations);
+  registry->Count("server_record_invalidations", labels,
+                  record_invalidations);
+  registry->Count("server_uncacheable_queries", labels, uncacheable_queries);
+  registry->Count("server_bloom_filter_requests", labels,
+                  bloom_filter_requests);
+  registry->Count("server_degraded_reads", labels, degraded_reads);
+  registry->Count("server_degradation_flips", labels, degradation_flips);
+  registry->Count("server_change_events_dropped", labels,
+                  change_events_dropped);
+  registry->Count("server_unavailable_responses", labels,
+                  unavailable_responses);
+}
+
 QuaestorServer::QuaestorServer(Clock* clock, db::Database* database,
                                ServerOptions options)
     : clock_(clock),
@@ -54,6 +74,7 @@ Result<db::Document> QuaestorServer::Insert(const Credentials& who,
                                             const std::string& table,
                                             const std::string& id,
                                             db::Value body) {
+  obs::ScopedSpan span(tracer_, "server.write");
   QUAESTOR_RETURN_IF_ERROR(auth_.CheckWrite(who, table));
   QUAESTOR_RETURN_IF_ERROR(schemas_.Validate(table, body));
   auto res = db_->Insert(table, id, std::move(body));
@@ -65,6 +86,7 @@ Result<db::Document> QuaestorServer::Update(const Credentials& who,
                                             const std::string& table,
                                             const std::string& id,
                                             const db::Update& update) {
+  obs::ScopedSpan span(tracer_, "server.write");
   QUAESTOR_RETURN_IF_ERROR(auth_.CheckWrite(who, table));
   if (schemas_.HasSchema(table)) {
     // Validate the post-image before committing.
@@ -82,6 +104,7 @@ Result<db::Document> QuaestorServer::Update(const Credentials& who,
 Result<db::Document> QuaestorServer::Delete(const Credentials& who,
                                             const std::string& table,
                                             const std::string& id) {
+  obs::ScopedSpan span(tracer_, "server.write");
   QUAESTOR_RETURN_IF_ERROR(auth_.CheckWrite(who, table));
   auto res = db_->Delete(table, id);
   if (res.ok()) OnRecordWrite(res.value());
@@ -119,6 +142,7 @@ void QuaestorServer::OnRecordWrite(const db::Document& after) {
 // ---------------------------------------------------------------------------
 
 void QuaestorServer::OnNotification(const invalidb::Notification& n) {
+  obs::ScopedSpan span(tracer_, "server.on_notification");
   // Pipeline health: commit-to-processing lag of this notification, with
   // hysteresis so a single slow message does not flap the mode — degrade
   // past the budget, recover only once the lag is back under half of it.
@@ -211,6 +235,8 @@ void QuaestorServer::RegisterQueryShape(const db::Query& query) {
 
 webcache::HttpResponse QuaestorServer::Fetch(
     const webcache::HttpRequest& request) {
+  obs::ScopedSpan span(tracer_, "server.fetch");
+  span.Annotate("key", request.key);
   if (unavailable_.load(std::memory_order_acquire)) {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -239,6 +265,7 @@ webcache::HttpResponse QuaestorServer::Fetch(
 
 webcache::HttpResponse QuaestorServer::FetchRecord(
     const webcache::HttpRequest& request) {
+  obs::ScopedSpan span(tracer_, "server.record");
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.record_reads++;
@@ -260,9 +287,12 @@ webcache::HttpResponse QuaestorServer::FetchRecord(
   resp.ok = true;
   resp.etag = doc->version;
   resp.last_modified = doc->write_time;
-  resp.ttl = options_.cache_records && cacheable_table
-                 ? ttl_estimator_.RecordTtl(request.key)
-                 : 0;
+  {
+    obs::ScopedSpan ttl_span(tracer_, "ttl.estimate");
+    resp.ttl = options_.cache_records && cacheable_table
+                   ? ttl_estimator_.RecordTtl(request.key)
+                   : 0;
+  }
   const Micros uncapped_ttl = resp.ttl;
   resp.ttl = CapTtl(resp.ttl);
   if (resp.ttl != uncapped_ttl) {
@@ -278,6 +308,7 @@ webcache::HttpResponse QuaestorServer::FetchRecord(
   }
   // Track the issued TTL so a later write can flag staleness (§3.3).
   if (!options_.fault_disable_ebf_read_tracking) {
+    obs::ScopedSpan ebf_span(tracer_, "ebf.report_read");
     ebf_.ReportRead(request.key, resp.ttl);
   }
   return resp;
@@ -359,6 +390,7 @@ ttl::ResultRepresentation QuaestorServer::DecideRepresentation(
 
 webcache::HttpResponse QuaestorServer::FetchQuery(
     const webcache::HttpRequest& request, const db::Query& query) {
+  obs::ScopedSpan span(tracer_, "server.query");
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.query_reads++;
@@ -386,7 +418,11 @@ webcache::HttpResponse QuaestorServer::FetchQuery(
   }
 
   // Execute the (windowed) query.
-  const std::vector<db::Document> docs = db_->Execute(query);
+  std::vector<db::Document> docs;
+  {
+    obs::ScopedSpan db_span(tracer_, "db.execute");
+    docs = db_->Execute(query);
+  }
 
   // Assemble the response. A representation switch changes the InvaliDB
   // event mask, so the query is re-registered; outstanding copies of the
@@ -412,7 +448,10 @@ webcache::HttpResponse QuaestorServer::FetchQuery(
   }
   Micros ttl = 0;
   if (admitted) {
-    ttl = ttl_estimator_.QueryTtl(key, member_keys);
+    {
+      obs::ScopedSpan ttl_span(tracer_, "ttl.estimate");
+      ttl = ttl_estimator_.QueryTtl(key, member_keys);
+    }
     const Micros capped = CapTtl(ttl);
     if (capped != ttl) {
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -480,13 +519,18 @@ webcache::HttpResponse QuaestorServer::FetchQuery(
         db::Query base(query.table(), query.filter());
         registration_set = db_->Execute(base);
       }
-      Status st = invalidb_->RegisterQuery(query, registration_set, mask);
+      Status st;
+      {
+        obs::ScopedSpan reg_span(tracer_, "invalidb.register");
+        st = invalidb_->RegisterQuery(query, registration_set, mask);
+      }
       if (st.ok() || st.IsAlreadyExists()) {
         active_list_.SetRegistered(key, true);
       }
     }
     active_list_.OnRead(key, now, ttl);
     if (!options_.fault_disable_ebf_read_tracking) {
+      obs::ScopedSpan ebf_span(tracer_, "ebf.report_read");
       ebf_.ReportRead(key, ttl);
     }
   }
@@ -606,6 +650,19 @@ PipelineHealth QuaestorServer::pipeline_health() const {
 ServerStats QuaestorServer::stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   return stats_;
+}
+
+void QuaestorServer::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  invalidb_->set_tracer(tracer);
+}
+
+void QuaestorServer::ExportMetrics(obs::MetricsRegistry* registry) const {
+  stats().ExportTo(registry);
+  ebf_.AggregateStats().ExportTo(registry);
+  invalidb_->stats().ExportTo(registry);
+  registry->GetTimer("invalidb_notification_latency_ms")
+      ->MergeHistogram(invalidb_->LatencyHistogram());
 }
 
 }  // namespace quaestor::core

@@ -20,6 +20,8 @@
 #include "db/schema.h"
 #include "ebf/expiring_bloom_filter.h"
 #include "invalidb/cluster.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ttl/active_list.h"
 #include "ttl/capacity_manager.h"
 #include "ttl/representation.h"
@@ -119,6 +121,10 @@ struct ServerStats {
   uint64_t degradation_flips = 0;     // healthy <-> degraded transitions
   uint64_t change_events_dropped = 0; // lost before reaching InvaliDB
   uint64_t unavailable_responses = 0; // SetUnavailable fault in force
+
+  /// Adds these totals into `server_*` registry counters.
+  void ExportTo(obs::MetricsRegistry* registry,
+                const obs::Labels& labels = {}) const;
 };
 
 /// The QUAESTOR database service (Figure 3): DBaaS middleware that serves
@@ -227,6 +233,17 @@ class QuaestorServer : public webcache::Origin {
   // -- Introspection --
 
   ServerStats stats() const;
+
+  /// Installs a request tracer on the server and the InvaliDB cluster
+  /// (spans: server.fetch/record/query, server.write, ttl.estimate,
+  /// ebf.report_read, db.execute, invalidb.register/match/notify,
+  /// server.on_notification). nullptr detaches.
+  void set_tracer(obs::Tracer* tracer);
+
+  /// Exports the server's own counters plus its EBF and InvaliDB stats
+  /// into `registry` (accumulating — see the ExportTo convention).
+  void ExportMetrics(obs::MetricsRegistry* registry) const;
+
   ebf::PartitionedEbf& ebf() { return ebf_; }
   ttl::TtlEstimator& ttl_estimator() { return ttl_estimator_; }
   ttl::ActiveList& active_list() { return active_list_; }
@@ -310,6 +327,7 @@ class QuaestorServer : public webcache::Origin {
   Clock* clock_;
   db::Database* db_;
   ServerOptions options_;
+  obs::Tracer* tracer_ = nullptr;
 
   ebf::PartitionedEbf ebf_;
   ttl::TtlEstimator ttl_estimator_;

@@ -5,6 +5,15 @@
 
 namespace quaestor::ebf {
 
+void EbfStats::ExportTo(obs::MetricsRegistry* registry,
+                        const obs::Labels& labels) const {
+  registry->Count("ebf_reads_reported", labels, reads_reported);
+  registry->Count("ebf_invalidations_reported", labels,
+                  invalidations_reported);
+  registry->Count("ebf_keys_added", labels, keys_added);
+  registry->Count("ebf_keys_expired", labels, keys_expired);
+}
+
 ExpiringBloomFilter::ExpiringBloomFilter(Clock* clock, BloomParams params)
     : clock_(clock), params_(params), counting_(params), flat_(params) {}
 
@@ -196,6 +205,19 @@ BloomFilter PartitionedEbf::AggregateSnapshot() {
   }
   BloomFilter out{params_};
   for (ExpiringBloomFilter* p : parts) out.UnionWith(p->Snapshot());
+  return out;
+}
+
+EbfStats PartitionedEbf::AggregateStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  EbfStats out;
+  for (const auto& [table, ebf] : partitions_) {
+    const EbfStats s = ebf->stats();
+    out.reads_reported += s.reads_reported;
+    out.invalidations_reported += s.invalidations_reported;
+    out.keys_added += s.keys_added;
+    out.keys_expired += s.keys_expired;
+  }
   return out;
 }
 

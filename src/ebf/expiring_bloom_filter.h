@@ -11,6 +11,7 @@
 
 #include "common/clock.h"
 #include "ebf/bloom_filter.h"
+#include "obs/metrics.h"
 
 namespace quaestor::ebf {
 
@@ -20,6 +21,10 @@ struct EbfStats {
   uint64_t invalidations_reported = 0;
   uint64_t keys_added = 0;    // key entered the stale set
   uint64_t keys_expired = 0;  // key left the stale set (TTL passed)
+
+  /// Adds these totals into `ebf_*` registry counters.
+  void ExportTo(obs::MetricsRegistry* registry,
+                const obs::Labels& labels = {}) const;
 };
 
 /// The server-side Expiring Bloom Filter (§3.1, §3.3).
@@ -140,6 +145,9 @@ class PartitionedEbf {
 
   size_t StaleCount() const;
   size_t PartitionCount() const;
+
+  /// Sum of all partitions' counters.
+  EbfStats AggregateStats() const;
 
   /// The table a cache key belongs to ("table/id" → table,
   /// "q:table?..." → table) — also the partition routing rule clients use

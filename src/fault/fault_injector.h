@@ -7,6 +7,7 @@
 
 #include "common/clock.h"
 #include "common/random.h"
+#include "obs/metrics.h"
 
 namespace quaestor::fault {
 
@@ -34,6 +35,10 @@ struct FaultStats {
   uint64_t reordered = 0;
   uint64_t delayed = 0;
   uint64_t corrupted = 0;
+
+  /// Adds these totals into `fault_*` registry counters.
+  void ExportTo(obs::MetricsRegistry* registry,
+                const obs::Labels& labels = {}) const;
 };
 
 /// A seeded source of fault decisions: every randomized choice in the

@@ -4,6 +4,21 @@
 
 namespace quaestor::invalidb {
 
+void ClusterStats::ExportTo(obs::MetricsRegistry* registry,
+                            const obs::Labels& labels) const {
+  registry->Count("invalidb_changes_ingested", labels, changes_ingested);
+  registry->Count("invalidb_notifications_delivered", labels,
+                  notifications_delivered);
+  registry->Count("invalidb_node_kills", labels, node_kills);
+  registry->Count("invalidb_node_restarts", labels, node_restarts);
+  registry->Count("invalidb_tasks_dropped_dead", labels, tasks_dropped_dead);
+  registry->Count("invalidb_match_checks", labels, match_checks);
+  registry->Count("invalidb_match_checks_naive", labels, match_checks_naive);
+  registry->Count("invalidb_index_candidates", labels, index_candidates);
+  registry->Count("invalidb_residual_candidates", labels,
+                  residual_candidates);
+}
+
 InvalidbCluster::InvalidbCluster(Clock* clock, InvalidbOptions options,
                                  NotificationSink sink)
     : clock_(clock), options_(options), sink_(std::move(sink)) {
@@ -146,6 +161,7 @@ void InvalidbCluster::ExecuteTask(Node& node, Task& task,
 
 void InvalidbCluster::Dispatch(NotifyScratch& scratch,
                                const db::Document& after_image) {
+  obs::ScopedSpan span(tracer_, "invalidb.notify");
   std::vector<Notification>& deliverable = scratch.deliverable;
   deliverable.clear();
   for (Notification& n : scratch.raw) {
@@ -383,6 +399,11 @@ void InvalidbCluster::Flush() {
 ClusterStats InvalidbCluster::stats() const {
   std::lock_guard<std::mutex> lock(sink_mu_);
   return stats_;
+}
+
+void InvalidbCluster::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  for (auto& node : nodes_) node->matcher.set_tracer(tracer);
 }
 
 Histogram InvalidbCluster::LatencyHistogram() const {

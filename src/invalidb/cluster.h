@@ -22,6 +22,8 @@
 #include "invalidb/matching_node.h"
 #include "invalidb/notification.h"
 #include "invalidb/sorted_layer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace quaestor::invalidb {
 
@@ -76,6 +78,10 @@ struct ClusterStats {
   uint64_t index_candidates = 0;
   /// Candidates from the residual (non-indexable) query lists.
   uint64_t residual_candidates = 0;
+
+  /// Adds these totals into `invalidb_*` registry counters.
+  void ExportTo(obs::MetricsRegistry* registry,
+                const obs::Labels& labels = {}) const;
 };
 
 /// The InvaliDB cluster: registers cached queries, ingests the database
@@ -151,6 +157,12 @@ class InvalidbCluster {
   }
 
   ClusterStats stats() const;
+
+  /// Installs a request tracer on the cluster and all matching nodes
+  /// (spans: invalidb.match per node match, invalidb.notify per sink
+  /// dispatch). Intended for the synchronous (non-threaded) mode; pass
+  /// nullptr to detach.
+  void set_tracer(obs::Tracer* tracer);
 
   /// Notification latency from write commit to sink delivery (ms).
   Histogram LatencyHistogram() const;
@@ -232,6 +244,7 @@ class InvalidbCluster {
   Clock* clock_;
   InvalidbOptions options_;
   NotificationSink sink_;
+  obs::Tracer* tracer_ = nullptr;
   std::vector<std::unique_ptr<Node>> nodes_;
   SortedLayer sorted_layer_;
 

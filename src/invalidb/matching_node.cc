@@ -104,6 +104,7 @@ void MatchingNode::MatchQuery(QueryState& st, const db::ChangeEvent& event,
 
 MatchingNode::MatchStats MatchingNode::Match(const db::ChangeEvent& event,
                                              std::vector<Notification>* out) {
+  obs::ScopedSpan span(tracer_, "invalidb.match");
   processed_ops_.fetch_add(1, std::memory_order_relaxed);
   MatchStats stats;
   stats.installed = queries_.size();

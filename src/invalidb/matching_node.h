@@ -13,6 +13,7 @@
 #include "db/query.h"
 #include "invalidb/notification.h"
 #include "invalidb/query_index.h"
+#include "obs/trace.h"
 
 namespace quaestor::invalidb {
 
@@ -101,6 +102,10 @@ class MatchingNode {
   /// Installed queries with no indexable conjunct.
   size_t ResidualQueryCount() const { return index_.residual_size(); }
 
+  /// Attaches a tracer; every Match then records an "invalidb.match"
+  /// span. nullptr (default) detaches.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct QueryState {
     db::Query query;
@@ -121,6 +126,7 @@ class MatchingNode {
 
   std::unordered_map<std::string, QueryState> queries_;
   const bool use_index_;
+  obs::Tracer* tracer_ = nullptr;
   QueryIndex index_;
   uint64_t epoch_ = 0;
   // Reused per-Match scratch (hot path: no per-event allocations once

@@ -4,6 +4,14 @@
 
 namespace quaestor::invalidb {
 
+void TransportStats::ExportTo(obs::MetricsRegistry* registry,
+                              const obs::Labels& labels) const {
+  registry->Count("transport_decode_errors", labels, decode_errors);
+  registry->Count("transport_duplicates_dropped", labels,
+                  duplicates_dropped);
+  registry->Count("transport_redeliveries", labels, redeliveries);
+}
+
 namespace transport {
 
 using db::Array;

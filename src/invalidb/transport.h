@@ -15,6 +15,7 @@
 #include "invalidb/notification.h"
 #include "invalidb/reliable_queue.h"
 #include "kv/kv_store.h"
+#include "obs/metrics.h"
 
 namespace quaestor::invalidb {
 
@@ -59,6 +60,11 @@ struct TransportStats {
   uint64_t duplicates_dropped = 0;
   /// Retransmissions this endpoint's sender performed.
   uint64_t redeliveries = 0;
+
+  /// Adds these totals into `transport_*` registry counters. Labels
+  /// conventionally carry {"endpoint","remote"|"worker"}.
+  void ExportTo(obs::MetricsRegistry* registry,
+                const obs::Labels& labels = {}) const;
 };
 
 /// The Quaestor-side stub: mirrors InvalidbCluster's interface but ships

@@ -1,0 +1,120 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace quaestor::obs {
+
+std::string EncodeMetricKey(std::string_view name, const Labels& labels) {
+  if (labels.empty()) return std::string(name);
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key(name);
+  key.push_back('{');
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key.push_back(',');
+    key += sorted[i].first;
+    key.push_back('=');
+    key += sorted[i].second;
+  }
+  key.push_back('}');
+  return key;
+}
+
+MetricsSnapshot MetricsSnapshot::DiffSince(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot out;
+  for (const auto& [key, value] : counters) {
+    auto it = earlier.counters.find(key);
+    const uint64_t base = it == earlier.counters.end() ? 0 : it->second;
+    out.counters[key] = value >= base ? value - base : value;
+  }
+  out.gauges = gauges;
+  for (const auto& [key, hist] : timers) {
+    auto it = earlier.timers.find(key);
+    out.timers[key] =
+        it == earlier.timers.end() ? hist : hist.DiffSince(it->second);
+  }
+  return out;
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [key, value] : other.counters) counters[key] += value;
+  for (const auto& [key, value] : other.gauges) gauges[key] = value;
+  for (const auto& [key, hist] : other.timers) timers[key].Merge(hist);
+}
+
+db::Value MetricsSnapshot::ToValue() const {
+  db::Object root;
+  db::Object counter_obj;
+  for (const auto& [key, value] : counters) {
+    counter_obj[key] = db::Value(static_cast<int64_t>(value));
+  }
+  db::Object gauge_obj;
+  for (const auto& [key, value] : gauges) gauge_obj[key] = db::Value(value);
+  db::Object timer_obj;
+  for (const auto& [key, hist] : timers) {
+    db::Object t;
+    t["count"] = db::Value(static_cast<int64_t>(hist.count()));
+    t["sum"] = db::Value(hist.sum());
+    t["min"] = db::Value(hist.min());
+    t["max"] = db::Value(hist.max());
+    t["mean"] = db::Value(hist.Mean());
+    t["p50"] = db::Value(hist.Quantile(0.5));
+    t["p90"] = db::Value(hist.Quantile(0.9));
+    t["p99"] = db::Value(hist.Quantile(0.99));
+    timer_obj[key] = db::Value(std::move(t));
+  }
+  root["counters"] = db::Value(std::move(counter_obj));
+  root["gauges"] = db::Value(std::move(gauge_obj));
+  root["timers"] = db::Value(std::move(timer_obj));
+  return db::Value(std::move(root));
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     const Labels& labels) {
+  const std::string key = EncodeMetricKey(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[key];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 const Labels& labels) {
+  const std::string key = EncodeMetricKey(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[key];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Timer* MetricsRegistry::GetTimer(std::string_view name,
+                                 const Labels& labels) {
+  const std::string key = EncodeMetricKey(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = timers_[key];
+  if (slot == nullptr) slot = std::make_unique<Timer>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, counter] : counters_) {
+    snap.counters[key] = counter->Value();
+  }
+  for (const auto& [key, gauge] : gauges_) snap.gauges[key] = gauge->Value();
+  for (const auto& [key, timer] : timers_) {
+    snap.timers[key] = timer->SnapshotHistogram();
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  timers_.clear();
+}
+
+}  // namespace quaestor::obs

@@ -1,0 +1,160 @@
+#ifndef QUAESTOR_OBS_METRICS_H_
+#define QUAESTOR_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+#include "db/value.h"
+
+namespace quaestor::obs {
+
+/// A small fixed label set attached to one metric instance, e.g.
+/// {{"op","read"},{"cache","cdn"}}. Order-insensitive: keys are sorted
+/// when the metric identity is encoded.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical flat identity of one metric instance: `name` for label-less
+/// metrics, `name{k=v,k=v}` (keys sorted) otherwise. This string is the
+/// key in snapshots and JSON exports, so two registries exporting the
+/// same logical metric always collide on the same entry.
+std::string EncodeMetricKey(std::string_view name, const Labels& labels);
+
+/// Monotonically increasing counter. Handles returned by MetricsRegistry
+/// stay valid for the registry's lifetime, so hot paths resolve the
+/// handle once and then only touch the atomic.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-value gauge.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram-backed timer/distribution. The unit is chosen by the caller;
+/// the convention throughout this repo is milliseconds.
+class Timer {
+ public:
+  void Observe(double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.Record(value);
+  }
+
+  /// Folds a whole pre-aggregated histogram in (components that already
+  /// keep a Histogram export through this).
+  void MergeHistogram(const Histogram& h) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.Merge(h);
+  }
+
+  Histogram SnapshotHistogram() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram hist_;
+};
+
+/// Point-in-time copy of every metric in a registry. Plain data: safe to
+/// keep, merge across runs, diff against an earlier snapshot, and export
+/// as JSON (via bench_util::WriteJsonFile on ToValue()).
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram> timers;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && timers.empty();
+  }
+
+  /// Counters and timers become the delta accumulated since `earlier`
+  /// (absent-in-earlier entries pass through whole); gauges keep this
+  /// snapshot's value (a gauge has no meaningful delta). Timer min/max
+  /// are inherited from this snapshot — see Histogram::DiffSince.
+  MetricsSnapshot DiffSince(const MetricsSnapshot& earlier) const;
+
+  /// Element-wise accumulation: counters add, timers merge, gauges take
+  /// the other snapshot's value (last writer wins).
+  void Merge(const MetricsSnapshot& other);
+
+  /// JSON-exportable tree:
+  ///   {"counters": {...}, "gauges": {...},
+  ///    "timers": {"name": {"count","sum","min","max","mean",
+  ///                        "p50","p90","p99"}}}
+  db::Value ToValue() const;
+  std::string ToJson() const { return ToValue().ToJson(); }
+};
+
+/// A thread-safe registry of named counters, gauges and histogram-backed
+/// timers with small fixed label sets. Metric handles are created on
+/// first use and live as long as the registry.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name, const Labels& labels = {});
+  Gauge* GetGauge(std::string_view name, const Labels& labels = {});
+  Timer* GetTimer(std::string_view name, const Labels& labels = {});
+
+  // One-shot conveniences for cold paths (hot paths should cache the
+  // handle from Get*).
+  void Count(std::string_view name, uint64_t delta = 1) {
+    GetCounter(name)->Add(delta);
+  }
+  void Count(std::string_view name, const Labels& labels,
+             uint64_t delta = 1) {
+    GetCounter(name, labels)->Add(delta);
+  }
+  void SetGauge(std::string_view name, double value) {
+    GetGauge(name)->Set(value);
+  }
+  void SetGauge(std::string_view name, const Labels& labels, double value) {
+    GetGauge(name, labels)->Set(value);
+  }
+  void Observe(std::string_view name, double value) {
+    GetTimer(name)->Observe(value);
+  }
+  void Observe(std::string_view name, const Labels& labels, double value) {
+    GetTimer(name, labels)->Observe(value);
+  }
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Drops every metric (handles from Get* become dangling — only for
+  /// tests and between independent benchmark runs).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Timer>> timers_;
+};
+
+}  // namespace quaestor::obs
+
+#endif  // QUAESTOR_OBS_METRICS_H_

@@ -1,0 +1,170 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace quaestor::obs {
+namespace {
+
+// Per-thread stack of open spans, tagged with the owning tracer so that
+// several tracers (e.g. one per simulation in a test binary) never see
+// each other's spans as parents. Entries are pushed by StartSpan and
+// erased by EndSpan; the nearest-from-the-back entry for a given tracer
+// is the implicit parent.
+thread_local std::vector<std::pair<const Tracer*, uint64_t>> g_span_stack;
+
+uint64_t InnermostFor(const Tracer* tracer) {
+  for (auto it = g_span_stack.rbegin(); it != g_span_stack.rend(); ++it) {
+    if (it->first == tracer) return it->second;
+  }
+  return 0;
+}
+
+void PopFor(const Tracer* tracer, uint64_t id) {
+  for (auto it = g_span_stack.rbegin(); it != g_span_stack.rend(); ++it) {
+    if (it->first == tracer && it->second == id) {
+      g_span_stack.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void DropAllFor(const Tracer* tracer) {
+  g_span_stack.erase(
+      std::remove_if(g_span_stack.begin(), g_span_stack.end(),
+                     [tracer](const auto& e) { return e.first == tracer; }),
+      g_span_stack.end());
+}
+
+}  // namespace
+
+Tracer::Tracer(Clock* clock, TracerOptions options)
+    : clock_(clock), options_(options), enabled_(options.enabled) {
+  if (!options_.deterministic_ids) {
+    // Spread id ranges of distinct tracer instances apart so spans from
+    // two tracers can be mixed in one timeline without id collisions.
+    next_id_ = (static_cast<uint64_t>(clock_->NowMicros()) << 20) | 1;
+  }
+}
+
+Tracer::~Tracer() { DropAllFor(this); }
+
+uint64_t Tracer::StartSpan(std::string_view name) {
+  if (!enabled_) return 0;
+  const uint64_t parent = InnermostFor(this);
+  const uint64_t id = StartSpanWithParent(name, parent);
+  if (id != 0) g_span_stack.emplace_back(this, id);
+  return id;
+}
+
+uint64_t Tracer::StartSpanWithParent(std::string_view name, uint64_t parent) {
+  if (!enabled_) return 0;
+  const Micros now = clock_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= options_.max_spans) {
+    ++dropped_;
+    return 0;
+  }
+  Span span;
+  span.id = next_id_++;
+  span.parent = parent;
+  span.name = std::string(name);
+  span.start = now;
+  span.tid = TidForCurrentThreadLocked();
+  open_[span.id] = spans_.size();
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Tracer::EndSpan(uint64_t id) {
+  if (!enabled_ || id == 0) return;
+  const Micros now = clock_->NowMicros();
+  PopFor(this, id);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  spans_[it->second].end = now;
+  open_.erase(it);
+}
+
+void Tracer::Annotate(uint64_t id, std::string_view key,
+                      std::string_view value) {
+  if (!enabled_ || id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  spans_[it->second].annotations.emplace_back(std::string(key),
+                                              std::string(value));
+}
+
+uint64_t Tracer::CurrentSpan() const {
+  if (!enabled_) return 0;
+  return InnermostFor(this);
+}
+
+std::vector<Span> Tracer::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+db::Value Tracer::ToChromeTrace() const {
+  db::Array events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events.reserve(spans_.size());
+    for (const Span& span : spans_) {
+      if (!span.finished()) continue;
+      db::Object ev;
+      ev["cat"] = db::Value("quaestor");
+      ev["ph"] = db::Value("X");
+      ev["name"] = db::Value(span.name);
+      ev["pid"] = db::Value(static_cast<int64_t>(1));
+      ev["tid"] = db::Value(static_cast<int64_t>(span.tid));
+      ev["ts"] = db::Value(static_cast<int64_t>(span.start));
+      ev["dur"] = db::Value(static_cast<int64_t>(span.end - span.start));
+      db::Object args;
+      args["span_id"] = db::Value(static_cast<int64_t>(span.id));
+      args["parent_id"] = db::Value(static_cast<int64_t>(span.parent));
+      for (const auto& [key, value] : span.annotations) {
+        args[key] = db::Value(value);
+      }
+      ev["args"] = db::Value(std::move(args));
+      events.push_back(db::Value(std::move(ev)));
+    }
+  }
+  db::Object root;
+  root["displayTimeUnit"] = db::Value("ms");
+  root["traceEvents"] = db::Value(std::move(events));
+  return db::Value(std::move(root));
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  return ToChromeTrace().ToJson();
+}
+
+void Tracer::Clear() {
+  DropAllFor(this);
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  open_.clear();
+  dropped_ = 0;
+}
+
+uint64_t Tracer::DroppedSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+size_t Tracer::SpanCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+uint32_t Tracer::TidForCurrentThreadLocked() {
+  auto [it, inserted] =
+      tids_.emplace(std::this_thread::get_id(), next_tid_);
+  if (inserted) ++next_tid_;
+  return it->second;
+}
+
+}  // namespace quaestor::obs

@@ -1,0 +1,149 @@
+#ifndef QUAESTOR_OBS_TRACE_H_
+#define QUAESTOR_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "db/value.h"
+
+namespace quaestor::obs {
+
+/// One recorded span: a named interval on the request path, optionally
+/// parented to an enclosing span (parent == 0 for roots).
+struct Span {
+  uint64_t id = 0;
+  uint64_t parent = 0;
+  std::string name;
+  Micros start = 0;
+  Micros end = -1;  // -1 while open
+  uint32_t tid = 0;  // dense per-tracer thread index (1-based)
+  std::vector<std::pair<std::string, std::string>> annotations;
+
+  bool finished() const { return end >= start; }
+};
+
+struct TracerOptions {
+  /// A disabled tracer turns every call into a cheap no-op returning span
+  /// id 0 — components can hold a Tracer* unconditionally.
+  bool enabled = true;
+
+  /// Span buffer bound; StartSpan drops (and counts) beyond it.
+  size_t max_spans = 1 << 20;
+
+  /// Deterministic-ids mode (default, used by the simulator): span ids are
+  /// assigned sequentially from 1 in creation order, and per-thread ids
+  /// are dense 1-based indices in first-use order — two runs that make
+  /// identical calls on an identical clock export byte-identical JSON.
+  /// When false, the id sequence starts from a wall-clock-derived base so
+  /// ids from separate tracer instances are unlikely to collide.
+  bool deterministic_ids = true;
+};
+
+/// A low-overhead request tracer: records per-request spans (id, parent,
+/// name, start/end micros, annotations) through the client → cache
+/// hierarchy → server → EBF/TTL/InvaliDB path, and exports them in the
+/// Chrome trace_event JSON format (load in chrome://tracing or Perfetto).
+///
+/// Parentage is implicit: StartSpan(name) uses the calling thread's
+/// innermost open span on this tracer as parent (a thread-local stack),
+/// which matches the synchronous call nesting of the request path.
+/// StartSpanWithParent pins an explicit parent and does not participate
+/// in the thread-local stack (for spans ended on another thread).
+///
+/// Thread-safe; spans started on worker threads simply become roots of
+/// their own trees (each thread has its own implicit-parent stack).
+class Tracer {
+ public:
+  explicit Tracer(Clock* clock, TracerOptions options = TracerOptions());
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+  ~Tracer();
+
+  /// Starts a span parented to the current thread's innermost open span
+  /// (0 = root). Returns the span id, or 0 if disabled/dropped.
+  uint64_t StartSpan(std::string_view name);
+
+  /// Starts a span with an explicit parent (0 = root). Does not join the
+  /// implicit-parent stack.
+  uint64_t StartSpanWithParent(std::string_view name, uint64_t parent);
+
+  /// Closes a span (idempotent; id 0 is ignored).
+  void EndSpan(uint64_t id);
+
+  /// Attaches a key/value annotation to an open span.
+  void Annotate(uint64_t id, std::string_view key, std::string_view value);
+
+  /// The calling thread's innermost open span id on this tracer (0 if
+  /// none) — what the next StartSpan would use as parent.
+  uint64_t CurrentSpan() const;
+
+  /// Copy of every recorded span (open spans have end == -1).
+  std::vector<Span> Spans() const;
+
+  /// Chrome trace_event export: {"displayTimeUnit":"ms","traceEvents":
+  /// [{"ph":"X","name",...,"ts","dur","pid","tid","args":{...}}]}.
+  /// Only finished spans are exported; span/parent ids ride in "args".
+  db::Value ToChromeTrace() const;
+  std::string ToChromeTraceJson() const;
+
+  /// Drops all recorded spans (open spans too) and the drop counter.
+  void Clear();
+
+  uint64_t DroppedSpans() const;
+  size_t SpanCount() const;
+  bool enabled() const { return enabled_; }
+
+ private:
+  uint32_t TidForCurrentThreadLocked();
+
+  Clock* clock_;
+  const TracerOptions options_;
+  const bool enabled_;
+
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::unordered_map<uint64_t, size_t> open_;  // span id → spans_ index
+  std::unordered_map<std::thread::id, uint32_t> tids_;
+  uint64_t next_id_ = 1;
+  uint32_t next_tid_ = 1;
+  uint64_t dropped_ = 0;
+};
+
+/// RAII span helper, null-safe: a nullptr or disabled tracer makes every
+/// operation a no-op, so instrumented code needs no branches of its own.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string_view name) : tracer_(tracer) {
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      id_ = tracer_->StartSpan(name);
+    }
+  }
+  ~ScopedSpan() {
+    if (id_ != 0) tracer_->EndSpan(id_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void Annotate(std::string_view key, std::string_view value) {
+    if (id_ != 0) tracer_->Annotate(id_, key, value);
+  }
+
+  uint64_t id() const { return id_; }
+
+ private:
+  Tracer* tracer_;
+  uint64_t id_ = 0;
+};
+
+}  // namespace quaestor::obs
+
+#endif  // QUAESTOR_OBS_TRACE_H_

@@ -19,6 +19,14 @@ Simulation::Simulation(workload::WorkloadOptions workload_options,
   server_ = std::make_unique<core::QuaestorServer>(&clock_, db_.get(),
                                                    server_options);
 
+  if (options_.trace) {
+    obs::TracerOptions topts;
+    topts.max_spans = options_.trace_max_spans;
+    topts.deterministic_ids = true;
+    tracer_ = std::make_unique<obs::Tracer>(&clock_, topts);
+    server_->set_tracer(tracer_.get());
+  }
+
   if (options_.arch.cdn) {
     cdn_ = std::make_unique<webcache::InvalidationCache>(&clock_);
     // Purges reach the CDN after ∆_invalidation.
@@ -55,6 +63,7 @@ Simulation::Simulation(workload::WorkloadOptions workload_options,
     ci.client = std::make_unique<client::QuaestorClient>(
         &clock_, server_.get(), ci.cache.get(), cdn_.get(), copts,
         options_.latency);
+    if (tracer_ != nullptr) ci.client->set_tracer(tracer_.get());
     ci.cpu = std::make_unique<QueueingResource>(1, options_.client_cpu);
     clients_.push_back(std::move(ci));
   }
@@ -328,6 +337,42 @@ SimResults Simulation::Run() {
   results_.server_stats = server_->stats();
   results_.invalidb_stats = server_->invalidb().stats();
   if (cdn_ != nullptr) results_.cdn_stats = cdn_->stats();
+
+  // Unified export: every component's stats surface lands in the
+  // registry, and the snapshot rides along in the results so benches can
+  // merge runs and write one JSON blob.
+  server_->ExportMetrics(&registry_);
+  if (cdn_ != nullptr) {
+    results_.cdn_stats.ExportTo(&registry_, {{"tier", "cdn"}});
+  }
+  for (const ClientInstance& ci : clients_) {
+    ci.client->stats().ExportTo(&registry_);
+    if (ci.cache != nullptr) {
+      ci.cache->stats().ExportTo(&registry_, {{"tier", "client"}});
+    }
+  }
+  const auto export_op = [this](const char* op_name, const OpMetrics& m) {
+    const obs::Labels labels = {{"op", op_name}};
+    registry_.Count("sim_ops", labels, m.count);
+    registry_.Count("sim_stale", labels, m.stale);
+    registry_.Count("sim_client_hits", labels, m.client_hits);
+    registry_.Count("sim_cdn_hits", labels, m.cdn_hits);
+    registry_.Count("sim_origin_fetches", labels, m.origin);
+    registry_.GetTimer("sim_latency_ms", labels)->MergeHistogram(m.latency);
+    registry_.GetTimer("sim_stale_age_ms", labels)
+        ->MergeHistogram(m.stale_age_ms);
+  };
+  export_op("read", results_.reads);
+  export_op("query", results_.queries);
+  export_op("write", results_.writes);
+  registry_.SetGauge("sim_throughput_ops_s", results_.throughput_ops_s);
+  if (tracer_ != nullptr) {
+    registry_.SetGauge("trace_spans",
+                       static_cast<double>(tracer_->SpanCount()));
+    registry_.SetGauge("trace_dropped_spans",
+                       static_cast<double>(tracer_->DroppedSpans()));
+  }
+  results_.metrics = registry_.Snapshot();
   return results_;
 }
 

@@ -13,6 +13,8 @@
 #include "common/histogram.h"
 #include "core/server.h"
 #include "db/database.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "webcache/web_cache.h"
 #include "workload/workload.h"
@@ -66,6 +68,13 @@ struct SimOptions {
   /// Pause between operations on one connection (models real browsers
   /// that issue requests at human pace rather than in a closed loop).
   Micros think_time = 0;
+
+  /// Record per-request spans through client → caches → server →
+  /// EBF/TTL/InvaliDB (deterministic ids + simulated timestamps: two
+  /// same-seed runs export byte-identical Chrome-trace JSON). Off by
+  /// default — tracing every op of a long run costs memory.
+  bool trace = false;
+  size_t trace_max_spans = 1 << 20;
 };
 
 /// Per-operation-type measurements.
@@ -120,6 +129,11 @@ struct SimResults {
   /// InvaliDB activity, including the match-check reduction achieved by
   /// predicate-indexed matching (match_checks vs match_checks_naive).
   invalidb::ClusterStats invalidb_stats;
+
+  /// Unified metrics snapshot: every *Stats surface above exported
+  /// through the registry, plus sim-level op counters/latency timers.
+  /// Merge across runs and export via MetricsSnapshot::ToValue().
+  obs::MetricsSnapshot metrics;
 };
 
 /// Observation of one completed client operation, handed to registered
@@ -172,6 +186,13 @@ class Simulation {
   SimulatedClock& clock() { return clock_; }
   workload::WorkloadGenerator& generator() { return *generator_; }
 
+  /// The run's metrics registry (snapshotted into SimResults::metrics at
+  /// the end of Run()).
+  obs::MetricsRegistry& registry() { return registry_; }
+
+  /// The request tracer, or nullptr when SimOptions::trace is false.
+  obs::Tracer* tracer() { return tracer_.get(); }
+
  private:
   struct ClientInstance {
     std::unique_ptr<webcache::ExpirationCache> cache;  // browser cache
@@ -191,6 +212,8 @@ class Simulation {
   workload::WorkloadOptions workload_options_;
   SimOptions options_;
   SimulatedClock clock_;
+  obs::MetricsRegistry registry_;
+  std::unique_ptr<obs::Tracer> tracer_;
   EventQueue events_;
   std::unique_ptr<db::Database> db_;
   std::unique_ptr<core::QuaestorServer> server_;

@@ -28,10 +28,15 @@ double WriteRateEstimator::RateOf(std::string_view key) const {
     if (t >= cutoff) ++count;
   }
   if (count == 0) return 0.0;
-  if (count == s.size() && s.size() == options_.max_samples_per_key) {
-    // Ring is full: rate over the observed sample span is more accurate
-    // than over the full window.
-    const Micros span = now - s.front();
+  if (count >= 2) {
+    // Rate over the span actually observed (oldest in-window sample to
+    // now). Using this whenever two or more samples are present keeps the
+    // estimate continuous as samples age out of the window or ring; the
+    // fixed-window denominator is only a fallback for a lone sample,
+    // where no span exists.
+    const Micros oldest = *std::find_if(
+        s.begin(), s.end(), [cutoff](Micros t) { return t >= cutoff; });
+    const Micros span = now - oldest;
     if (span > 0) return static_cast<double>(count) / static_cast<double>(span);
   }
   return static_cast<double>(count) /
@@ -87,7 +92,10 @@ void TtlEstimator::OnQueryInvalidated(std::string_view query_key,
   const std::string key(query_key);
   auto it = query_ewma_.find(key);
   if (it == query_ewma_.end()) {
-    query_ewma_[key] = static_cast<double>(Clamp(actual_ttl));
+    // Store the raw observation: clamping happens only when a TTL is
+    // issued (QueryTtl), so Eq. (2) always folds values on one scale and
+    // the state converges the same regardless of observation order.
+    query_ewma_[key] = static_cast<double>(actual_ttl);
     return;
   }
   // Equation (2): TTL = α·TTL_old + (1-α)·TTL_actual.

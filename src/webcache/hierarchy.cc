@@ -12,6 +12,7 @@ Micros RemainingTtl(const CacheEntry& e, Micros now) {
 
 FetchOutcome CacheHierarchy::FromOrigin(const std::string& key,
                                         bool write_through) {
+  obs::ScopedSpan span(tracer_, "cache.origin");
   HttpRequest req;
   req.key = key;
   req.auth_token = auth_token_;
@@ -70,6 +71,8 @@ FetchOutcome CacheHierarchy::FromOrigin(const std::string& key,
 }
 
 FetchOutcome CacheHierarchy::Fetch(const std::string& key, FetchMode mode) {
+  obs::ScopedSpan span(tracer_, "cache.fetch");
+  span.Annotate("key", key);
   const Micros now = clock_->NowMicros();
 
   if (mode == FetchMode::kRevalidate) {
@@ -78,6 +81,7 @@ FetchOutcome CacheHierarchy::Fetch(const std::string& key, FetchMode mode) {
 
   // 1. Client (browser) cache.
   if (mode == FetchMode::kNormal && client_cache_ != nullptr) {
+    obs::ScopedSpan tier_span(tracer_, "cache.client");
     auto hit = client_cache_->Get(key);
     if (hit.has_value()) {
       FetchOutcome out;
@@ -96,6 +100,7 @@ FetchOutcome CacheHierarchy::Fetch(const std::string& key, FetchMode mode) {
   // revalidate-at-CDN: expiration proxies cannot be purged so their copies
   // are exactly what a revalidation must bypass.
   if (mode == FetchMode::kNormal && proxy_ != nullptr) {
+    obs::ScopedSpan tier_span(tracer_, "cache.proxy");
     auto hit = proxy_->Get(key);
     if (hit.has_value()) {
       if (client_cache_ != nullptr) {
@@ -116,6 +121,7 @@ FetchOutcome CacheHierarchy::Fetch(const std::string& key, FetchMode mode) {
 
   // 3. Invalidation-based cache (CDN edge).
   if (cdn_ != nullptr) {
+    obs::ScopedSpan tier_span(tracer_, "cache.cdn");
     auto hit = cdn_->Get(key);
     if (hit.has_value()) {
       const Micros remaining = RemainingTtl(*hit, now);

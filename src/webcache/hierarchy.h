@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/clock.h"
+#include "obs/trace.h"
 #include "webcache/http.h"
 #include "webcache/web_cache.h"
 
@@ -73,6 +74,11 @@ class CacheHierarchy {
   /// Bearer token attached to every origin request (authorization).
   void set_auth_token(std::string token) { auth_token_ = std::move(token); }
 
+  /// Attaches a tracer; Fetch then records a "cache.fetch" span with one
+  /// child per tier consulted (cache.client/proxy/cdn/origin). nullptr
+  /// (default) detaches.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   FetchOutcome FromOrigin(const std::string& key, bool write_through);
 
@@ -83,6 +89,7 @@ class CacheHierarchy {
   Origin* origin_;
   LatencyModel latency_;
   std::string auth_token_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace quaestor::webcache

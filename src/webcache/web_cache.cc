@@ -2,6 +2,17 @@
 
 namespace quaestor::webcache {
 
+void CacheStats::ExportTo(obs::MetricsRegistry* registry,
+                          const obs::Labels& labels) const {
+  registry->Count("cache_hits", labels, hits);
+  registry->Count("cache_misses", labels, misses);
+  registry->Count("cache_expired_misses", labels, expired_misses);
+  registry->Count("cache_purges", labels, purges);
+  registry->Count("cache_insertions", labels, insertions);
+  registry->Count("cache_evictions", labels, evictions);
+  registry->SetGauge("cache_hit_rate", labels, HitRate());
+}
+
 std::optional<CacheEntry> ExpirationCache::Get(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "obs/metrics.h"
 #include "webcache/http.h"
 
 namespace quaestor::webcache {
@@ -40,6 +41,12 @@ struct CacheStats {
     return total == 0 ? 0.0
                       : static_cast<double>(hits) / static_cast<double>(total);
   }
+
+  /// Adds these totals into `cache_*` registry counters (plus a
+  /// `cache_hit_rate` gauge). Labels conventionally carry {"tier",...};
+  /// exporting several caches under the same labels sums them.
+  void ExportTo(obs::MetricsRegistry* registry,
+                const obs::Labels& labels = {}) const;
 };
 
 /// An HTTP expiration-based cache (browser cache, forward/ISP proxy):

@@ -180,6 +180,85 @@ TEST(HistogramTest, ResetClears) {
   EXPECT_EQ(h.Mean(), 0.0);
 }
 
+TEST(HistogramTest, ExtremeQuantilesReturnObservedBounds) {
+  // Regression: Quantile(0) interpolated the first occupied bucket's
+  // midpoint and Quantile(1) its last — both could fall outside
+  // [min(), max()]. The extremes must be exactly the observed bounds.
+  Histogram h;
+  h.Record(7.0);
+  h.Record(100.0);
+  h.Record(2500.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 2500.0);
+  // Out-of-range q clamps the same way.
+  EXPECT_DOUBLE_EQ(h.Quantile(-0.5), 7.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.5), 2500.0);
+}
+
+TEST(HistogramTest, SingleObservationQuantilesAreExact) {
+  Histogram h;
+  h.Record(42.0);
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_GE(h.Quantile(q), h.min()) << "q=" << q;
+    EXPECT_LE(h.Quantile(q), h.max()) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 42.0);
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram a;
+  a.Record(3.0);
+  a.Record(9.0);
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.sum(), 12.0);
+  EXPECT_DOUBLE_EQ(a.min(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+
+  // Merging INTO an empty histogram must not let the +inf min_ sentinel
+  // or 0 max_ leak into the result.
+  Histogram b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.min(), 3.0);
+  EXPECT_DOUBLE_EQ(b.max(), 9.0);
+
+  // Empty ∪ empty stays empty and keeps reporting min() == 0.
+  Histogram c;
+  Histogram d;
+  c.Merge(d);
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_DOUBLE_EQ(c.min(), 0.0);
+  EXPECT_DOUBLE_EQ(c.Quantile(1.0), 0.0);
+}
+
+TEST(HistogramTest, DiffSinceSubtractsEarlierSnapshot) {
+  Histogram earlier;
+  earlier.Record(1.0);
+  earlier.Record(5.0);
+  Histogram later = earlier;  // snapshot semantics: later extends earlier
+  later.Record(100.0);
+  later.Record(200.0);
+
+  const Histogram delta = later.DiffSince(earlier);
+  EXPECT_EQ(delta.count(), 2u);
+  EXPECT_DOUBLE_EQ(delta.sum(), 300.0);
+  EXPECT_NEAR(delta.Quantile(0.5), 100.0, 10.0);  // log buckets: ~8% error
+
+  // Diffing a snapshot against itself yields a truly empty histogram.
+  const Histogram zero = later.DiffSince(later);
+  EXPECT_EQ(zero.count(), 0u);
+  EXPECT_DOUBLE_EQ(zero.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.Mean(), 0.0);
+
+  // Diffing against an empty baseline is a copy.
+  const Histogram all = later.DiffSince(Histogram());
+  EXPECT_EQ(all.count(), 4u);
+  EXPECT_DOUBLE_EQ(all.sum(), 306.0);
+}
+
 TEST(MeanAccumulatorTest, MeanAndVariance) {
   MeanAccumulator acc;
   for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Record(v);

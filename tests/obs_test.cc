@@ -1,0 +1,156 @@
+// Unit tests for the observability layer: metric key encoding, the
+// counter/gauge/timer primitives, registry handle semantics, and
+// snapshot diff/merge/export.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "db/value.h"
+#include "obs/metrics.h"
+
+namespace quaestor::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EncodeMetricKey
+// ---------------------------------------------------------------------------
+
+TEST(EncodeMetricKeyTest, NoLabelsIsBareName) {
+  EXPECT_EQ(EncodeMetricKey("requests", {}), "requests");
+}
+
+TEST(EncodeMetricKeyTest, LabelsSortedByKey) {
+  EXPECT_EQ(EncodeMetricKey("hits", {{"tier", "cdn"}, {"op", "read"}}),
+            "hits{op=read,tier=cdn}");
+  // Same labels, different order → same identity.
+  EXPECT_EQ(EncodeMetricKey("hits", {{"op", "read"}, {"tier", "cdn"}}),
+            EncodeMetricKey("hits", {{"tier", "cdn"}, {"op", "read"}}));
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, HandlesAreStableAcrossLookups) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.GetCounter("ops", {{"op", "read"}});
+  Counter* c2 = reg.GetCounter("ops", {{"op", "read"}});
+  EXPECT_EQ(c1, c2);
+  // Label order must not mint a second instance.
+  Counter* c3 = reg.GetCounter("x", {{"a", "1"}, {"b", "2"}});
+  Counter* c4 = reg.GetCounter("x", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(c3, c4);
+  // A different label value is a different instance.
+  EXPECT_NE(c1, reg.GetCounter("ops", {{"op", "write"}}));
+}
+
+TEST(MetricsRegistryTest, CountersGaugesTimersRoundTrip) {
+  MetricsRegistry reg;
+  reg.Count("ops");
+  reg.Count("ops", 4);
+  reg.SetGauge("hit_rate", 0.75);
+  reg.Observe("latency_ms", 5.0);
+  reg.Observe("latency_ms", 15.0);
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("ops"), 5u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("hit_rate"), 0.75);
+  EXPECT_EQ(snap.timers.at("latency_ms").count(), 2u);
+  EXPECT_DOUBLE_EQ(snap.timers.at("latency_ms").sum(), 20.0);
+}
+
+TEST(MetricsRegistryTest, ConcurrentCountsAreLossless) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("n");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&reg, c] {
+      for (int i = 0; i < 10000; ++i) {
+        c->Add();
+        reg.Count("via_name");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("n"), 40000u);
+  EXPECT_EQ(snap.counters.at("via_name"), 40000u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot diff / merge / export
+// ---------------------------------------------------------------------------
+
+TEST(MetricsSnapshotTest, DiffSinceSubtractsCountersAndTimers) {
+  MetricsRegistry reg;
+  reg.Count("ops", 10);
+  reg.Observe("lat", 1.0);
+  const MetricsSnapshot before = reg.Snapshot();
+
+  reg.Count("ops", 7);
+  reg.Count("fresh", 2);  // absent in `before` — passes through whole
+  reg.SetGauge("g", 3.0);
+  reg.Observe("lat", 9.0);
+  const MetricsSnapshot after = reg.Snapshot();
+
+  const MetricsSnapshot delta = after.DiffSince(before);
+  EXPECT_EQ(delta.counters.at("ops"), 7u);
+  EXPECT_EQ(delta.counters.at("fresh"), 2u);
+  EXPECT_DOUBLE_EQ(delta.gauges.at("g"), 3.0);  // gauges: latest value
+  EXPECT_EQ(delta.timers.at("lat").count(), 1u);
+  EXPECT_DOUBLE_EQ(delta.timers.at("lat").sum(), 9.0);
+}
+
+TEST(MetricsSnapshotTest, MergeAccumulates) {
+  MetricsRegistry a;
+  a.Count("ops", 3);
+  a.Observe("lat", 2.0);
+  MetricsRegistry b;
+  b.Count("ops", 4);
+  b.Count("only_b", 1);
+  b.Observe("lat", 8.0);
+
+  MetricsSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.counters.at("ops"), 7u);
+  EXPECT_EQ(merged.counters.at("only_b"), 1u);
+  EXPECT_EQ(merged.timers.at("lat").count(), 2u);
+  EXPECT_DOUBLE_EQ(merged.timers.at("lat").sum(), 10.0);
+}
+
+TEST(MetricsSnapshotTest, ToValueShape) {
+  MetricsRegistry reg;
+  reg.Count("ops", 2);
+  reg.SetGauge("rate", 0.5);
+  reg.Observe("lat", 4.0);
+
+  const db::Value v = reg.Snapshot().ToValue();
+  ASSERT_TRUE(v.is_object());
+  const db::Object& root = v.as_object();
+  ASSERT_TRUE(root.count("counters"));
+  ASSERT_TRUE(root.count("gauges"));
+  ASSERT_TRUE(root.count("timers"));
+  EXPECT_EQ(root.at("counters").as_object().at("ops").as_int(), 2);
+  EXPECT_DOUBLE_EQ(root.at("gauges").as_object().at("rate").as_double(), 0.5);
+  const db::Object& lat = root.at("timers").as_object().at("lat").as_object();
+  EXPECT_EQ(lat.at("count").as_int(), 1);
+  EXPECT_DOUBLE_EQ(lat.at("sum").as_double(), 4.0);
+  for (const char* field : {"min", "max", "mean", "p50", "p90", "p99"}) {
+    EXPECT_TRUE(lat.count(field)) << field;
+  }
+  // db::Object keys are sorted → the JSON string is deterministic.
+  EXPECT_EQ(reg.Snapshot().ToJson(), reg.Snapshot().ToJson());
+}
+
+TEST(MetricsSnapshotTest, EmptyDetectsAnyContent) {
+  MetricsSnapshot s;
+  EXPECT_TRUE(s.empty());
+  MetricsRegistry reg;
+  reg.Count("x");
+  EXPECT_FALSE(reg.Snapshot().empty());
+}
+
+}  // namespace
+}  // namespace quaestor::obs

@@ -1,0 +1,338 @@
+// Tracer unit tests plus end-to-end span coverage: a simulated cache-miss
+// Fetch must yield a complete, causally ordered span tree through
+// client → cache tiers → server → EBF/TTL/InvaliDB, and same-seed runs
+// must export byte-identical Chrome-trace JSON.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "common/clock.h"
+#include "core/server.h"
+#include "db/database.h"
+#include "obs/trace.h"
+#include "sim/simulation.h"
+#include "webcache/web_cache.h"
+
+namespace quaestor::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tracer unit tests
+// ---------------------------------------------------------------------------
+
+TEST(TracerTest, ImplicitParentFollowsCallNesting) {
+  SimulatedClock clock(0);
+  Tracer tracer(&clock);
+  const uint64_t root = tracer.StartSpan("root");
+  EXPECT_EQ(tracer.CurrentSpan(), root);
+  clock.Advance(10);
+  const uint64_t child = tracer.StartSpan("child");
+  clock.Advance(10);
+  tracer.EndSpan(child);
+  EXPECT_EQ(tracer.CurrentSpan(), root);
+  const uint64_t sibling = tracer.StartSpan("sibling");
+  tracer.EndSpan(sibling);
+  tracer.EndSpan(root);
+  EXPECT_EQ(tracer.CurrentSpan(), 0u);
+
+  const std::vector<Span> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "root");
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[1].name, "child");
+  EXPECT_EQ(spans[1].parent, root);
+  EXPECT_EQ(spans[2].name, "sibling");
+  EXPECT_EQ(spans[2].parent, root);
+  EXPECT_EQ(spans[1].start, 10);
+  EXPECT_EQ(spans[1].end, 20);
+  for (const Span& s : spans) EXPECT_TRUE(s.finished());
+}
+
+TEST(TracerTest, DeterministicIdsAreSequential) {
+  SimulatedClock clock(0);
+  Tracer tracer(&clock);
+  EXPECT_EQ(tracer.StartSpan("a"), 1u);
+  EXPECT_EQ(tracer.StartSpan("b"), 2u);
+  EXPECT_EQ(tracer.StartSpan("c"), 3u);
+}
+
+TEST(TracerTest, ExplicitParentDoesNotJoinImplicitStack) {
+  SimulatedClock clock(0);
+  Tracer tracer(&clock);
+  const uint64_t root = tracer.StartSpan("root");
+  const uint64_t detached = tracer.StartSpanWithParent("detached", root);
+  // The detached span must not become the implicit parent.
+  EXPECT_EQ(tracer.CurrentSpan(), root);
+  const uint64_t child = tracer.StartSpan("child");
+  const std::vector<Span> spans = tracer.Spans();
+  EXPECT_EQ(spans[1].parent, root);
+  EXPECT_EQ(spans[2].parent, root);
+  tracer.EndSpan(child);
+  tracer.EndSpan(detached);
+  tracer.EndSpan(root);
+}
+
+TEST(TracerTest, AnnotationsAttachToOpenSpan) {
+  SimulatedClock clock(0);
+  Tracer tracer(&clock);
+  const uint64_t id = tracer.StartSpan("op");
+  tracer.Annotate(id, "key", "t:1");
+  tracer.EndSpan(id);
+  tracer.Annotate(id, "late", "ignored");  // closed span: no-op
+  const std::vector<Span> spans = tracer.Spans();
+  ASSERT_EQ(spans[0].annotations.size(), 1u);
+  EXPECT_EQ(spans[0].annotations[0].first, "key");
+  EXPECT_EQ(spans[0].annotations[0].second, "t:1");
+}
+
+TEST(TracerTest, DisabledAndNullTracersAreNoOps) {
+  SimulatedClock clock(0);
+  TracerOptions opts;
+  opts.enabled = false;
+  Tracer tracer(&clock, opts);
+  EXPECT_EQ(tracer.StartSpan("x"), 0u);
+  EXPECT_EQ(tracer.SpanCount(), 0u);
+  {
+    ScopedSpan s1(&tracer, "scoped");
+    ScopedSpan s2(nullptr, "null");
+    s2.Annotate("k", "v");
+    EXPECT_EQ(s1.id(), 0u);
+    EXPECT_EQ(s2.id(), 0u);
+  }
+  EXPECT_EQ(tracer.SpanCount(), 0u);
+}
+
+TEST(TracerTest, MaxSpansBoundsBufferAndCountsDrops) {
+  SimulatedClock clock(0);
+  TracerOptions opts;
+  opts.max_spans = 2;
+  Tracer tracer(&clock, opts);
+  const uint64_t a = tracer.StartSpan("a");
+  const uint64_t b = tracer.StartSpan("b");
+  const uint64_t c = tracer.StartSpan("c");  // dropped
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_EQ(c, 0u);
+  EXPECT_EQ(tracer.SpanCount(), 2u);
+  EXPECT_EQ(tracer.DroppedSpans(), 1u);
+}
+
+TEST(TracerTest, ChromeTraceExportsFinishedSpansOnly) {
+  SimulatedClock clock(100);
+  Tracer tracer(&clock);
+  const uint64_t done = tracer.StartSpan("done");
+  clock.Advance(50);
+  tracer.EndSpan(done);
+  tracer.StartSpan("still_open");
+
+  const db::Value trace = tracer.ToChromeTrace();
+  ASSERT_TRUE(trace.is_object());
+  const db::Object& root = trace.as_object();
+  EXPECT_EQ(root.at("displayTimeUnit").as_string(), "ms");
+  const db::Array& events = root.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 1u);
+  const db::Object& ev = events[0].as_object();
+  EXPECT_EQ(ev.at("ph").as_string(), "X");
+  EXPECT_EQ(ev.at("name").as_string(), "done");
+  EXPECT_EQ(ev.at("ts").as_int(), 100);
+  EXPECT_EQ(ev.at("dur").as_int(), 50);
+  EXPECT_EQ(ev.at("pid").as_int(), 1);
+  EXPECT_EQ(ev.at("args").as_object().at("span_id").as_int(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end span tree through the full stack
+// ---------------------------------------------------------------------------
+
+db::Value Doc(const char* json) {
+  auto v = db::Value::FromJson(json);
+  EXPECT_TRUE(v.ok());
+  return v.value();
+}
+
+const Span* FindByName(const std::vector<Span>& spans,
+                       const std::string& name) {
+  for (const Span& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const Span* FindById(const std::vector<Span>& spans, uint64_t id) {
+  for (const Span& s : spans) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+/// True if `ancestor` is on `span`'s parent chain (or is the span itself).
+bool HasAncestor(const std::vector<Span>& spans, const Span& span,
+                 uint64_t ancestor) {
+  const Span* cur = &span;
+  while (cur != nullptr) {
+    if (cur->id == ancestor) return true;
+    cur = cur->parent == 0 ? nullptr : FindById(spans, cur->parent);
+  }
+  return false;
+}
+
+class TraceStackTest : public ::testing::Test {
+ protected:
+  TraceStackTest() : clock_(0), db_(&clock_), tracer_(&clock_) {
+    server_ = std::make_unique<core::QuaestorServer>(&clock_, &db_);
+    cdn_ = std::make_unique<webcache::InvalidationCache>(&clock_);
+    server_->AddPurgeTarget(
+        [this](const std::string& key) { cdn_->Purge(key); });
+    browser_ = std::make_unique<webcache::ExpirationCache>(&clock_);
+    client_ = std::make_unique<client::QuaestorClient>(
+        &clock_, server_.get(), browser_.get(), cdn_.get());
+    client_->Connect();
+    server_->set_tracer(&tracer_);
+    client_->set_tracer(&tracer_);
+  }
+
+  SimulatedClock clock_;
+  db::Database db_;
+  Tracer tracer_;
+  std::unique_ptr<core::QuaestorServer> server_;
+  std::unique_ptr<webcache::InvalidationCache> cdn_;
+  std::unique_ptr<webcache::ExpirationCache> browser_;
+  std::unique_ptr<client::QuaestorClient> client_;
+};
+
+TEST_F(TraceStackTest, CacheMissQueryYieldsCompleteSpanTree) {
+  ASSERT_TRUE(db_.Insert("t", "1", Doc(R"({"group":1})")).ok());
+  auto q = db::Query::ParseJson("t", R"({"group":1})");
+  ASSERT_TRUE(q.ok());
+  client::QueryResult qr = client_->ExecuteQuery(q.value());
+  ASSERT_TRUE(qr.status.ok());
+  EXPECT_EQ(qr.outcome.served_by, webcache::ServedBy::kOrigin);
+
+  const std::vector<Span> spans = tracer_.Spans();
+  const Span* root = FindByName(spans, "client.query");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->parent, 0u);
+
+  // Every stage of the miss path must be present and sit under the
+  // client span: cache hierarchy → origin → server → TTL/EBF/InvaliDB.
+  for (const char* name :
+       {"cache.fetch", "cache.client", "cache.cdn", "cache.origin",
+        "server.fetch", "server.query", "db.execute", "ttl.estimate",
+        "invalidb.register", "ebf.report_read"}) {
+    const Span* s = FindByName(spans, name);
+    ASSERT_NE(s, nullptr) << name;
+    EXPECT_TRUE(HasAncestor(spans, *s, root->id)) << name;
+    EXPECT_TRUE(s->finished()) << name;
+  }
+
+  // Causal nesting: each stage is contained in its parent stage.
+  const Span* origin = FindByName(spans, "cache.origin");
+  const Span* server_fetch = FindByName(spans, "server.fetch");
+  const Span* server_query = FindByName(spans, "server.query");
+  const Span* db_exec = FindByName(spans, "db.execute");
+  EXPECT_TRUE(HasAncestor(spans, *server_fetch, origin->id));
+  EXPECT_EQ(server_query->parent, server_fetch->id);
+  EXPECT_EQ(db_exec->parent, server_query->id);
+  EXPECT_TRUE(HasAncestor(spans, *FindByName(spans, "cache.origin"),
+                          FindByName(spans, "cache.fetch")->id));
+}
+
+TEST_F(TraceStackTest, WriteYieldsMatchAndNotifySpans) {
+  // Register a live query first so the write has something to match.
+  ASSERT_TRUE(db_.Insert("t", "1", Doc(R"({"group":1})")).ok());
+  auto q = db::Query::ParseJson("t", R"({"group":1})");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(client_->ExecuteQuery(q.value()).status.ok());
+  tracer_.Clear();
+
+  db::Update update;
+  update.Set("group", db::Value(2));
+  ASSERT_TRUE(client_->Update("t", "1", update).ok());
+  const std::vector<Span> spans = tracer_.Spans();
+  const Span* root = FindByName(spans, "client.write");
+  ASSERT_NE(root, nullptr);
+  for (const char* name :
+       {"server.write", "invalidb.match", "invalidb.notify"}) {
+    const Span* s = FindByName(spans, name);
+    ASSERT_NE(s, nullptr) << name;
+    EXPECT_TRUE(HasAncestor(spans, *s, root->id)) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simulation tracing: deterministic export
+// ---------------------------------------------------------------------------
+
+workload::WorkloadOptions TinyWorkload() {
+  workload::WorkloadOptions w;
+  w.num_tables = 2;
+  w.docs_per_table = 100;
+  w.queries_per_table = 5;
+  w.docs_per_query = 5;
+  return w;
+}
+
+sim::SimOptions TracedSim() {
+  sim::SimOptions s;
+  s.num_client_instances = 2;
+  s.connections_per_instance = 3;
+  s.duration = SecondsToMicros(5.0);
+  s.warmup = SecondsToMicros(1.0);
+  s.seed = 7;
+  s.trace = true;
+  return s;
+}
+
+TEST(SimulationTraceTest, SameSeedRunsExportIdenticalTraceJson) {
+  sim::Simulation a(TinyWorkload(), TracedSim());
+  sim::Simulation b(TinyWorkload(), TracedSim());
+  a.Run();
+  b.Run();
+  ASSERT_NE(a.tracer(), nullptr);
+  ASSERT_NE(b.tracer(), nullptr);
+  EXPECT_GT(a.tracer()->SpanCount(), 0u);
+  const std::string ja = a.tracer()->ToChromeTraceJson();
+  const std::string jb = b.tracer()->ToChromeTraceJson();
+  EXPECT_EQ(ja, jb);  // byte-identical
+}
+
+TEST(SimulationTraceTest, SimulatedFetchSpansFormTrees) {
+  sim::Simulation sim(TinyWorkload(), TracedSim());
+  sim.Run();
+  ASSERT_NE(sim.tracer(), nullptr);
+  const std::vector<Span> spans = sim.tracer()->Spans();
+  ASSERT_FALSE(spans.empty());
+
+  // Every parent reference resolves, and client.* spans are roots.
+  size_t roots = 0;
+  for (const Span& s : spans) {
+    if (s.parent != 0) {
+      EXPECT_NE(FindById(spans, s.parent), nullptr) << s.name;
+    } else {
+      ++roots;
+    }
+  }
+  EXPECT_GT(roots, 0u);
+
+  // At least one query miss traversed the whole stack.
+  const Span* q = FindByName(spans, "server.query");
+  ASSERT_NE(q, nullptr);
+  EXPECT_NE(FindByName(spans, "client.query"), nullptr);
+  EXPECT_NE(FindByName(spans, "db.execute"), nullptr);
+}
+
+TEST(SimulationTraceTest, TracingOffByDefault) {
+  sim::SimOptions s = TracedSim();
+  s.trace = false;
+  sim::Simulation sim(TinyWorkload(), s);
+  sim.Run();
+  EXPECT_EQ(sim.tracer(), nullptr);
+}
+
+}  // namespace
+}  // namespace quaestor::obs

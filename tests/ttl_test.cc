@@ -28,13 +28,71 @@ TEST(WriteRateTest, RateMatchesWriteFrequency) {
   TtlOptions opts;
   opts.rate_window = 60 * kSecond;
   WriteRateEstimator est(&clock, opts);
-  // 1 write per second for 30 seconds → ~30 writes in a 60 s window.
+  // 1 write per second for 30 seconds. The rate is estimated over the
+  // observed sample span (30 s), not the full 60 s window — the true
+  // write frequency, regardless of how much window remains unobserved.
   for (int i = 0; i < 30; ++i) {
     est.RecordWrite("k");
     clock.Advance(1 * kSecond);
   }
   const double per_second = est.RateOf("k") * kSecond;
-  EXPECT_NEAR(per_second, 0.5, 0.1);  // 30 writes / 60 s window
+  EXPECT_NEAR(per_second, 1.0, 0.1);
+}
+
+TEST(WriteRateTest, PartialRingUsesObservedSpan) {
+  // Regression: with fewer samples than the ring capacity, RateOf used
+  // the full-window denominator, grossly underestimating bursty writers
+  // (7 writes 1 s apart over a 100 s window read as 0.07/s, then jumped
+  // 16× the moment the 8th write filled the ring).
+  SimulatedClock clock(0);
+  TtlOptions opts;
+  opts.max_samples_per_key = 8;
+  opts.rate_window = 100 * kSecond;
+  WriteRateEstimator est(&clock, opts);
+  for (int i = 0; i < 7; ++i) {
+    est.RecordWrite("k");
+    clock.Advance(1 * kSecond);
+  }
+  const double per_second = est.RateOf("k") * kSecond;
+  EXPECT_GT(per_second, 0.5);
+  EXPECT_NEAR(per_second, 1.0, 0.3);
+}
+
+TEST(WriteRateTest, RateStaysContinuousAsSamplesExpire) {
+  // Regression: the estimator must not jump discontinuously when a
+  // sample ages out of the window. Writes at t = 0..7 s, window 10 s:
+  // just before t = 10 s all 8 samples count; just after, the t = 0
+  // sample expires. Both sides use the observed-span denominator, so the
+  // rate moves by a few percent — not the 12%+ cliff the old
+  // window-denominator fallback produced.
+  SimulatedClock clock(0);
+  TtlOptions opts;
+  opts.max_samples_per_key = 8;
+  opts.rate_window = 10 * kSecond;
+  WriteRateEstimator est(&clock, opts);
+  for (int i = 0; i < 8; ++i) {
+    est.RecordWrite("k");
+    clock.Advance(1 * kSecond);
+  }
+  clock.SetTime(static_cast<Micros>(9.99 * kSecond));
+  const double before = est.RateOf("k") * kSecond;
+  clock.SetTime(static_cast<Micros>(10.01 * kSecond));
+  const double after = est.RateOf("k") * kSecond;
+  ASSERT_GT(before, 0.0);
+  ASSERT_GT(after, 0.0);
+  EXPECT_LT(std::abs(after - before) / before, 0.05);
+}
+
+TEST(WriteRateTest, SingleSampleFallsBackToWindow) {
+  SimulatedClock clock(0);
+  TtlOptions opts;
+  opts.rate_window = 10 * kSecond;
+  WriteRateEstimator est(&clock, opts);
+  est.RecordWrite("k");
+  clock.Advance(1 * kSecond);
+  // One sample has no observable span; the window is the only defensible
+  // denominator.
+  EXPECT_DOUBLE_EQ(est.RateOf("k") * kSecond, 0.1);
 }
 
 TEST(WriteRateTest, OldWritesAgeOut) {
@@ -189,6 +247,52 @@ TEST(TtlEstimatorTest, EwmaConvergesToTrueTtl) {
   est.OnQueryInvalidated("q", 500 * kSecond);
   for (int i = 0; i < 40; ++i) est.OnQueryInvalidated("q", 20 * kSecond);
   EXPECT_NEAR(MicrosToSeconds(est.QueryTtl("q", {})), 20.0, 1.0);
+}
+
+TEST(TtlEstimatorTest, EwmaStateStoresRawObservations) {
+  // Regression: the seed observation was clamped to max_ttl while later
+  // observations folded in raw, so Eq. (2) mixed scales. With raw state,
+  // observations [1000, 1000, 0, 0] (max_ttl 600 s) must leave the EWMA
+  // at 0.7²·1000 = 490 s — under the cap, so the clamp-on-issue is a
+  // no-op and any residue of the old seeded clamp (0.7²·600 = 294 s)
+  // is visible.
+  SimulatedClock clock(0);
+  TtlOptions opts;
+  opts.ewma_alpha = 0.7;
+  opts.min_ttl = 0;
+  opts.max_ttl = 600 * kSecond;
+  TtlEstimator est(&clock, opts);
+  est.OnQueryInvalidated("q", 1000 * kSecond);
+  est.OnQueryInvalidated("q", 1000 * kSecond);
+  est.OnQueryInvalidated("q", 0);
+  est.OnQueryInvalidated("q", 0);
+  EXPECT_NEAR(MicrosToSeconds(est.QueryTtl("q", {})), 490.0, 1.0);
+}
+
+TEST(TtlEstimatorTest, EwmaConvergesIdenticallyRegardlessOfOrder) {
+  // Regression: because only the first observation was clamped, two
+  // estimators fed the same observations in different orders diverged.
+  // Both sequences below have the same out-of-range observation; with
+  // raw state both issue the (clamped) max_ttl.
+  SimulatedClock clock(0);
+  TtlOptions opts;
+  opts.ewma_alpha = 0.7;
+  opts.min_ttl = 0;
+  opts.max_ttl = 600 * kSecond;
+
+  TtlEstimator first_high(&clock, opts);
+  first_high.OnQueryInvalidated("q", 2000 * kSecond);
+  first_high.OnQueryInvalidated("q", 10 * kSecond);
+
+  TtlEstimator first_low(&clock, opts);
+  first_low.OnQueryInvalidated("q", 10 * kSecond);
+  first_low.OnQueryInvalidated("q", 2000 * kSecond);
+
+  // EWMA states: 0.7·2000 + 0.3·10 = 1403 vs 0.7·10 + 0.3·2000 = 607 —
+  // both above max_ttl, so both must issue exactly the cap. (Pre-fix,
+  // first_high seeded at the clamp: 0.7·600 + 0.3·10 = 423 s ≠ 600 s.)
+  EXPECT_EQ(first_high.QueryTtl("q", {}), opts.max_ttl);
+  EXPECT_EQ(first_low.QueryTtl("q", {}), opts.max_ttl);
 }
 
 TEST(TtlEstimatorTest, ForgetDropsEwmaState) {
