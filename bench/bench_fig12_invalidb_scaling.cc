@@ -14,9 +14,11 @@
 // notification p99 latency stays low while the offered load fits the
 // core's capacity.
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -149,11 +151,106 @@ void Run() {
   PrintNote("p99 low while load fits capacity (paper: <20-30 ms)");
 }
 
+std::string ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return {};
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  return content;
+}
+
+/// Elastic step-up: a live threaded cluster with 10k installed queries
+/// steps through the node counts of the figure via Resize() while an
+/// update stream keeps flowing, and reports the migration-pause p99 —
+/// the paper's elasticity story (§5.4: repartitioning without dropping
+/// notifications). The result merges into BENCH_matching.json as the
+/// "elastic" object so CI can gate the pause bound alongside the
+/// matching-correctness checks (run bench_invalidb_matching first).
+void RunElastic(const std::string& json_path) {
+  SystemClock* clock = SystemClock::Default();
+
+  PrintHeader("Elastic scale-out: live Resize() under load, 10k queries");
+  PrintColumns("step", {"nodes", "pause ms", "reinstalled", "notif"});
+
+  constexpr size_t kQueries = 10000;
+  InvalidbOptions opts;  // starts 1x1, threaded
+  opts.threaded = true;
+  std::atomic<uint64_t> delivered{0};
+  InvalidbCluster cluster(clock, opts, [&](const invalidb::Notification&) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t g = 0; g < kQueries; ++g) {
+    (void)cluster.RegisterQuery(GroupQuery(static_cast<int>(g)), {},
+                                invalidb::kEventsObjectList);
+  }
+  cluster.Flush();
+
+  const std::vector<std::pair<size_t, size_t>> steps = {
+      {2, 1}, {2, 2}, {4, 2}, {4, 4}};
+  constexpr int kEventsPerStep = 200;
+  int event_id = 0;
+  Histogram pauses_before;
+  for (const auto& [qp, op] : steps) {
+    for (int i = 0; i < kEventsPerStep; ++i) {
+      cluster.OnChange(MakeEvent(event_id++, clock->NowMicros()));
+    }
+    const size_t reinstalled = cluster.Resize(qp, op);
+    for (int i = 0; i < kEventsPerStep; ++i) {
+      cluster.OnChange(MakeEvent(event_id++, clock->NowMicros()));
+    }
+    cluster.Flush();
+    const Histogram pauses = cluster.MigrationPauseHistogram();
+    const double step_pause = pauses.DiffSince(pauses_before).Mean();
+    pauses_before = pauses;
+    PrintRow("-> " + std::to_string(qp) + "x" + std::to_string(op),
+             {static_cast<double>(qp * op), step_pause,
+              static_cast<double>(reinstalled),
+              static_cast<double>(delivered.load())});
+  }
+
+  const Histogram pauses = cluster.MigrationPauseHistogram();
+  const double p99 = pauses.P99();
+  PrintNote("migration pause p99 " + std::to_string(p99) + " ms over " +
+            std::to_string(pauses.count()) + " resizes");
+
+  // Merge the elastic results into the matching bench's JSON (preserving
+  // whatever bench_invalidb_matching wrote) rather than clobbering it.
+  db::Object root;
+  const std::string existing = ReadFileToString(json_path);
+  if (!existing.empty()) {
+    auto parsed = db::Value::FromJson(existing);
+    if (parsed.ok() && parsed.value().is_object()) {
+      root = parsed.value().as_object();
+    }
+  }
+  db::Object elastic;
+  elastic["installed_queries"] = db::Value(static_cast<int64_t>(kQueries));
+  elastic["resizes"] = db::Value(static_cast<int64_t>(pauses.count()));
+  elastic["migration_pause_p99_ms"] = db::Value(p99);
+  elastic["migration_pause_max_ms"] = db::Value(pauses.max());
+  elastic["queries_reinstalled"] =
+      db::Value(static_cast<int64_t>(cluster.stats().rebalance_queries_reinstalled));
+  elastic["notifications_delivered"] =
+      db::Value(static_cast<int64_t>(delivered.load()));
+  root["elastic"] = db::Value(std::move(elastic));
+  WriteJsonFile(json_path, db::Value(std::move(root)));
+
+  obs::MetricsRegistry registry;
+  cluster.stats().ExportTo(&registry, {{"bench", "elastic"}});
+  AccumulateObs(registry.Snapshot());
+}
+
 }  // namespace
 }  // namespace quaestor::bench
 
-int main() {
+int main(int argc, char** argv) {
   quaestor::bench::Run();
+  quaestor::bench::RunElastic(argc > 1 ? argv[1] : "BENCH_matching.json");
   quaestor::bench::WriteObsSnapshot("fig12_invalidb_scaling");
   return 0;
 }

@@ -231,6 +231,14 @@ void World::Execute(const FuzzOp& op) {
       }
       break;
     }
+    case FuzzOpKind::kResize:
+      // Elastic scale-out mid-schedule. The synchronous resize must be
+      // invisible to every consistency property the oracle checks — the
+      // fuzz world runs with degradation disabled and a strict ∆, so any
+      // lost or duplicated notification surfaces as a violation.
+      server->ResizeInvalidb(1 + static_cast<size_t>(op.value) % 3,
+                             1 + op.key_index % 3);
+      break;
   }
 }
 
@@ -258,6 +266,8 @@ std::string_view FuzzOpKindName(FuzzOpKind kind) {
       return "change-delta";
     case FuzzOpKind::kLiveCheck:
       return "live-check";
+    case FuzzOpKind::kResize:
+      return "resize";
   }
   return "unknown";
 }
@@ -287,8 +297,10 @@ std::vector<FuzzOp> GenerateSchedule(const FuzzOptions& options) {
       op.kind = FuzzOpKind::kDelayPurges;
     } else if (roll < 0.95) {
       op.kind = FuzzOpKind::kChangeDelta;
-    } else {
+    } else if (roll < 0.975) {
       op.kind = FuzzOpKind::kLiveCheck;
+    } else {
+      op.kind = FuzzOpKind::kResize;
     }
     op.session = rng.NextUint64(options.num_sessions);
     op.key_index = rng.NextUint64(options.num_keys);
@@ -444,6 +456,10 @@ std::string TraceToString(const std::vector<FuzzOp>& schedule) {
         os << " -> " << op.new_delta << "us";
         break;
       case FuzzOpKind::kLiveCheck:
+        break;
+      case FuzzOpKind::kResize:
+        os << " -> " << (1 + static_cast<size_t>(op.value) % 3) << "x"
+           << (1 + op.key_index % 3);
         break;
     }
     os << "\n";

@@ -23,6 +23,7 @@ enum class FuzzOpKind {
   kDelayPurges,  // injected fault: change the CDN purge delivery delay
   kChangeDelta,  // injected event: reconfigure ∆ for every session
   kLiveCheck,    // assert the LiveQuery snapshot matches the database
+  kResize,       // live-repartition the server's InvaliDB matching grid
 };
 
 std::string_view FuzzOpKindName(FuzzOpKind kind);

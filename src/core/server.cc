@@ -573,7 +573,8 @@ bool QuaestorServer::degraded() const {
   if (!options_.degradation.enabled) return false;
   if (manual_degraded_.load(std::memory_order_relaxed) ||
       pipeline_down_.load(std::memory_order_relaxed) ||
-      lag_degraded_.load(std::memory_order_relaxed)) {
+      lag_degraded_.load(std::memory_order_relaxed) ||
+      resizing_.load(std::memory_order_relaxed)) {
     return true;
   }
   // A dead matching node silently loses every invalidation routed through
@@ -636,10 +637,26 @@ void QuaestorServer::SetPipelineDown(bool down) {
   RefreshDegradedState();
 }
 
+size_t QuaestorServer::ResizeInvalidb(size_t new_query_partitions,
+                                      size_t new_object_partitions) {
+  // Enter degraded mode before the cutover: notifications may be delayed
+  // by the migration pause, so the TTL cap must already bound staleness
+  // for responses issued during it (flags outstanding long-TTL copies).
+  resizing_.store(true, std::memory_order_relaxed);
+  RefreshDegradedState();
+  const size_t reinstalled = invalidb_->Resize(
+      new_query_partitions, new_object_partitions,
+      [this](const db::Query& q) { return db_->Execute(q); });
+  resizing_.store(false, std::memory_order_relaxed);
+  RefreshDegradedState();
+  return reinstalled;
+}
+
 PipelineHealth QuaestorServer::pipeline_health() const {
   PipelineHealth h;
   h.degraded = degraded();
   h.pipeline_down = pipeline_down_.load(std::memory_order_relaxed);
+  h.resizing = resizing_.load(std::memory_order_relaxed);
   h.nodes_alive = invalidb_->AliveCount();
   h.nodes_total = invalidb_->NumNodes();
   h.last_notification_lag =

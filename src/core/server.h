@@ -100,6 +100,7 @@ struct ServerOptions {
 struct PipelineHealth {
   bool degraded = false;       // TTL cap currently in force
   bool pipeline_down = false;  // hard outage (SetPipelineDown)
+  bool resizing = false;       // live InvaliDB repartition in progress
   size_t nodes_alive = 0;
   size_t nodes_total = 0;
   /// Commit-to-processing lag of the most recent notification (µs).
@@ -227,6 +228,18 @@ class QuaestorServer : public webcache::Origin {
   /// unavailable=true) — the client retry/timeout path exercises this.
   void SetUnavailable(bool unavailable) { unavailable_.store(unavailable); }
 
+  /// Live-repartitions the InvaliDB grid to the given shape (elastic
+  /// scale-out). Query state is rebuilt by re-evaluating every registered
+  /// query against the authoritative database (the same path an outage
+  /// recovery takes), so it is safe even with dead matching nodes. The
+  /// server rides out the migration window in degraded mode (when
+  /// degradation is enabled): the TTL cap is in force from the start of
+  /// the resize until it completes, so expiration bounds staleness if the
+  /// pause delays notifications. Returns the number of queries
+  /// re-installed on the new grid.
+  size_t ResizeInvalidb(size_t new_query_partitions,
+                        size_t new_object_partitions);
+
   /// Heartbeat/health-check endpoint.
   PipelineHealth pipeline_health() const;
 
@@ -352,6 +365,7 @@ class QuaestorServer : public webcache::Origin {
   std::atomic<bool> manual_degraded_{false};
   std::atomic<bool> pipeline_down_{false};
   std::atomic<bool> lag_degraded_{false};
+  std::atomic<bool> resizing_{false};
   std::atomic<bool> unavailable_{false};
   std::atomic<bool> was_degraded_{false};
   std::atomic<Micros> last_notification_lag_{0};

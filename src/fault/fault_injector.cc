@@ -112,4 +112,31 @@ FaultStats FaultInjector::stats() const {
   return stats_;
 }
 
+std::vector<ResizePoint> MakeResizeSchedule(uint64_t seed, size_t num_events,
+                                            size_t max_resizes,
+                                            size_t max_partitions) {
+  std::vector<ResizePoint> schedule;
+  if (num_events == 0 || max_resizes == 0) return schedule;
+  if (max_partitions == 0) max_partitions = 1;
+  Rng rng(seed);
+  const size_t count = 1 + rng.NextUint64(max_resizes);
+  std::vector<size_t> positions;
+  positions.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    positions.push_back(static_cast<size_t>(rng.NextUint64(num_events)));
+  }
+  std::sort(positions.begin(), positions.end());
+  positions.erase(std::unique(positions.begin(), positions.end()),
+                  positions.end());
+  schedule.reserve(positions.size());
+  for (size_t pos : positions) {
+    ResizePoint p;
+    p.after_event = pos;
+    p.query_partitions = 1 + rng.NextUint64(max_partitions);
+    p.object_partitions = 1 + rng.NextUint64(max_partitions);
+    schedule.push_back(p);
+  }
+  return schedule;
+}
+
 }  // namespace quaestor::fault

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/random.h"
@@ -84,6 +85,23 @@ class FaultInjector {
   FaultProfile profile_;
   FaultStats stats_;
 };
+
+/// One scheduled elastic-resize point in a chaos run: after the stream's
+/// `after_event`-th change event, repartition to the given grid shape.
+struct ResizePoint {
+  size_t after_event = 0;
+  size_t query_partitions = 1;
+  size_t object_partitions = 1;
+};
+
+/// Derives a deterministic resize schedule from `seed`: up to
+/// `max_resizes` points at strictly increasing positions within a stream
+/// of `num_events` events, each with partition counts in
+/// [1, max_partitions]. Chaos suites interleave these with fault-injected
+/// traffic to exercise resize-under-failure windows reproducibly.
+std::vector<ResizePoint> MakeResizeSchedule(uint64_t seed, size_t num_events,
+                                            size_t max_resizes,
+                                            size_t max_partitions);
 
 }  // namespace quaestor::fault
 

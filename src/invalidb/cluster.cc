@@ -1,8 +1,51 @@
 #include "invalidb/cluster.h"
 
+#include <algorithm>
+
 #include "common/hash.h"
 
 namespace quaestor::invalidb {
+namespace {
+
+/// Clusters whose topology lock is currently held by this thread. A sink
+/// invoked during dispatch may legitimately call back into the same
+/// cluster (synchronous mode) — the nested call must not re-acquire the
+/// shared topology lock, which would deadlock against a writer waiting in
+/// Resize(). Keyed per cluster so chained distinct clusters still lock.
+thread_local std::vector<const void*> t_held_topology;
+
+bool TopologyHeldByThisThread(const void* cluster) {
+  return std::find(t_held_topology.begin(), t_held_topology.end(), cluster) !=
+         t_held_topology.end();
+}
+
+/// Shared (reader) hold on a cluster's topology lock, reentrancy-aware.
+class TopologyReadGuard {
+ public:
+  TopologyReadGuard(std::shared_mutex* mu, const void* cluster)
+      : mu_(mu), cluster_(cluster),
+        engaged_(!TopologyHeldByThisThread(cluster)) {
+    if (engaged_) {
+      mu_->lock_shared();
+      t_held_topology.push_back(cluster_);
+    }
+  }
+  ~TopologyReadGuard() {
+    if (engaged_) {
+      t_held_topology.pop_back();
+      mu_->unlock_shared();
+    }
+  }
+  TopologyReadGuard(const TopologyReadGuard&) = delete;
+  TopologyReadGuard& operator=(const TopologyReadGuard&) = delete;
+
+ private:
+  std::shared_mutex* mu_;
+  const void* cluster_;
+  bool engaged_;
+};
+
+}  // namespace
 
 void ClusterStats::ExportTo(obs::MetricsRegistry* registry,
                             const obs::Labels& labels) const {
@@ -17,6 +60,15 @@ void ClusterStats::ExportTo(obs::MetricsRegistry* registry,
   registry->Count("invalidb_index_candidates", labels, index_candidates);
   registry->Count("invalidb_residual_candidates", labels,
                   residual_candidates);
+  registry->Count("rebalance_resizes", labels, rebalance_resizes);
+  registry->Count("rebalance_queries_reinstalled", labels,
+                  rebalance_queries_reinstalled);
+  registry->Count("rebalance_events_replayed", labels,
+                  rebalance_events_replayed);
+  registry->Count("rebalance_nodes_added", labels, rebalance_nodes_added);
+  registry->Count("rebalance_nodes_removed", labels, rebalance_nodes_removed);
+  registry->Count("rebalance_pause_us_total", labels,
+                  rebalance_pause_us_total);
 }
 
 InvalidbCluster::InvalidbCluster(Clock* clock, InvalidbOptions options,
@@ -198,6 +250,12 @@ void InvalidbCluster::Dispatch(NotifyScratch& scratch,
 Status InvalidbCluster::RegisterQuery(
     const db::Query& query, const std::vector<db::Document>& initial_result,
     EventMask events, Micros evaluated_at) {
+  // Held across the whole registration so the column/row computation and
+  // the submissions target the same topology (a concurrent Resize would
+  // otherwise re-shard between them). Resize re-installs everything in
+  // subscriptions_, so a registration strictly-before or strictly-after a
+  // cutover lands on the live grid either way.
+  TopologyReadGuard topology(&topology_mu_, this);
   const std::string key = query.NormalizedKey();
   const bool stateful = !query.IsStateless();
   {
@@ -252,6 +310,7 @@ Status InvalidbCluster::RegisterQuery(
 }
 
 void InvalidbCluster::DeregisterQuery(const std::string& query_key) {
+  TopologyReadGuard topology(&topology_mu_, this);
   {
     std::lock_guard<std::mutex> lock(subs_mu_);
     if (subscriptions_.erase(query_key) == 0) return;
@@ -274,11 +333,17 @@ size_t InvalidbCluster::RegisteredCount() const {
 }
 
 void InvalidbCluster::OnChange(const db::ChangeEvent& event) {
+  TopologyReadGuard topology(&topology_mu_, this);
   {
     std::lock_guard<std::mutex> lock(replay_mu_);
     replay_buffer_.push_back(event);
     while (replay_buffer_.size() > options_.replay_buffer_size) {
       replay_buffer_.pop_front();
+    }
+    Micros prev = last_ingested_commit_.load(std::memory_order_relaxed);
+    while (prev < event.commit_time &&
+           !last_ingested_commit_.compare_exchange_weak(
+               prev, event.commit_time, std::memory_order_relaxed)) {
     }
   }
   {
@@ -292,6 +357,7 @@ void InvalidbCluster::OnChange(const db::ChangeEvent& event) {
 }
 
 void InvalidbCluster::KillNode(size_t node_index) {
+  TopologyReadGuard topology(&topology_mu_, this);
   if (node_index >= nodes_.size()) return;
   {
     std::lock_guard<std::mutex> lock(sink_mu_);
@@ -302,6 +368,7 @@ void InvalidbCluster::KillNode(size_t node_index) {
 
 size_t InvalidbCluster::RestartNode(size_t node_index,
                                     const ResultEvaluator& evaluate) {
+  TopologyReadGuard topology(&topology_mu_, this);
   if (node_index >= nodes_.size()) return 0;
   const size_t column = node_index % options_.query_partitions;
   const size_t row = node_index / options_.query_partitions;
@@ -316,8 +383,13 @@ size_t InvalidbCluster::RestartNode(size_t node_index,
   }
 
   // Events that commit after this point race the rebuild; replay them
-  // like a fresh registration does (§4.1 activation race).
-  const Micros eval_time = clock_->NowMicros();
+  // like a fresh registration does (§4.1 activation race). Everything
+  // already ingested is reflected in the authoritative evaluation, so
+  // lower-bound by the highest ingested commit_time in case the stream's
+  // timestamps run ahead of the wall clock.
+  const Micros eval_time =
+      std::max(clock_->NowMicros(),
+               last_ingested_commit_.load(std::memory_order_relaxed));
 
   RestartTask task;
   for (auto& [key, sub] : to_install) {
@@ -355,12 +427,193 @@ size_t InvalidbCluster::RestartNode(size_t node_index,
   return installed;
 }
 
+size_t InvalidbCluster::Resize(size_t new_query_partitions,
+                               size_t new_object_partitions,
+                               const ResultEvaluator& evaluate) {
+  if (new_query_partitions == 0) new_query_partitions = 1;
+  if (new_object_partitions == 0) new_object_partitions = 1;
+  // Serializes concurrent resizes without blocking traffic: the expensive
+  // grid construction below runs before the topology lock is taken.
+  std::lock_guard<std::mutex> serialize(resize_mu_);
+
+  const size_t new_n = new_query_partitions * new_object_partitions;
+  std::vector<std::unique_ptr<Node>> fresh;
+  fresh.reserve(new_n);
+  for (size_t i = 0; i < new_n; ++i) {
+    auto node = std::make_unique<Node>(options_.indexed_matching);
+    if (options_.threaded) {
+      node->queue =
+          std::make_unique<BoundedQueue<Task>>(options_.node_queue_capacity);
+    }
+    fresh.push_back(std::move(node));
+  }
+
+  obs::ScopedSpan span(tracer_, "invalidb.resize");
+
+  // ---- Stop the world: block new submissions, drain in-flight tasks ----
+  std::unique_lock<std::shared_mutex> topology(topology_mu_);
+  // Mark the lock held so replay dispatch below may re-enter this cluster
+  // through a sink without self-deadlocking on the topology lock.
+  t_held_topology.push_back(this);
+  const Micros pause_start = clock_->NowMicros();
+  if (options_.threaded) {
+    std::unique_lock<std::mutex> lock(flush_mu_);
+    flush_cv_.wait(lock, [this] {
+      return in_flight_.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  // The old grid is quiescent: every submitted task has executed, so
+  // every buffered change event has already been matched and delivered.
+  // eval_time must dominate every drained commit_time or those events
+  // would re-match on the new grid as duplicates; the wall clock alone is
+  // not enough because stream commit timestamps may run ahead of it, so
+  // take the max with the highest ingested commit_time. Events that
+  // arrive after the cutover land on the new grid directly (and also in
+  // the replay filter, which stays as the §4.1 activation-race replay a
+  // fresh registration would perform).
+  const Micros eval_time =
+      std::max(clock_->NowMicros(),
+               last_ingested_commit_.load(std::memory_order_relaxed));
+
+  std::vector<std::pair<std::string, Subscription>> registry;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    registry.reserve(subscriptions_.size());
+    for (const auto& [key, sub] : subscriptions_) {
+      registry.emplace_back(key, sub);
+    }
+  }
+  std::sort(registry.begin(), registry.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::vector<db::ChangeEvent> replay;
+  {
+    std::lock_guard<std::mutex> lock(replay_mu_);
+    for (const db::ChangeEvent& ev : replay_buffer_) {
+      if (ev.commit_time > eval_time) replay.push_back(ev);
+    }
+  }
+
+  const auto new_column = [&](const std::string& key) {
+    return static_cast<size_t>(Hash64(key, /*seed=*/0x9c0d)) %
+           new_query_partitions;
+  };
+  const auto new_row = [&](const std::string& id) {
+    return static_cast<size_t>(Hash64(id, /*seed=*/0x51f1)) %
+           new_object_partitions;
+  };
+
+  uint64_t events_replayed = 0;
+  NotifyScratch scratch;
+  std::vector<std::vector<std::string>> ids_by_row(new_object_partitions);
+  for (auto& [key, sub] : registry) {
+    db::Query base(sub.query.table(), sub.query.filter());
+    std::vector<std::string> ids;
+    if (evaluate) {
+      // Registry-rebuild path: authoritative re-evaluation, identical to
+      // RestartNode. Also re-seeds the sorted layer, whose window may
+      // have drifted if nodes died before this resize.
+      const std::vector<db::Document> result = evaluate(base);
+      if (sub.stateful) {
+        sorted_layer_.RemoveQuery(key);
+        sorted_layer_.AddQuery(sub.query, key, result);
+      }
+      ids.reserve(result.size());
+      for (const db::Document& doc : result) ids.push_back(doc.id);
+    } else {
+      // State handoff: this query's matching set is the union of its
+      // per-row shards on the (healthy, drained) old grid. Dead nodes
+      // hold empty matchers — recover through the evaluator path instead.
+      const size_t old_col = ColumnOf(key);
+      for (size_t row = 0; row < options_.object_partitions; ++row) {
+        std::vector<std::string> shard =
+            NodeAt(old_col, row).matcher.MatchingIdsOf(key);
+        ids.insert(ids.end(), std::make_move_iterator(shard.begin()),
+                   std::make_move_iterator(shard.end()));
+      }
+      std::sort(ids.begin(), ids.end());
+    }
+
+    // Install directly into the target cell — its worker is not running
+    // yet, so the matcher is exclusively ours.
+    for (auto& row_ids : ids_by_row) row_ids.clear();
+    for (std::string& id : ids) {
+      ids_by_row[new_row(id)].push_back(std::move(id));
+    }
+    const size_t col = new_column(key);
+    for (size_t row = 0; row < new_object_partitions; ++row) {
+      Node& node = *fresh[row * new_query_partitions + col];
+      node.matcher.AddQuery(base, key, std::move(ids_by_row[row]));
+      for (const db::ChangeEvent& ev : replay) {
+        if (new_row(ev.after.id) != row) continue;
+        events_replayed++;
+        scratch.raw.clear();
+        node.matcher.MatchSingle(key, ev, &scratch.raw);
+        if (!scratch.raw.empty()) Dispatch(scratch, ev.after);
+      }
+    }
+  }
+
+  // ---- Cutover ----
+  std::vector<std::unique_ptr<Node>> retired = std::move(nodes_);
+  nodes_ = std::move(fresh);
+  options_.query_partitions = new_query_partitions;
+  options_.object_partitions = new_object_partitions;
+  if (tracer_ != nullptr) {
+    for (auto& node : nodes_) node->matcher.set_tracer(tracer_);
+  }
+  if (options_.threaded) {
+    for (auto& node : nodes_) {
+      node->worker =
+          std::thread(&InvalidbCluster::WorkerLoop, this, node.get());
+    }
+  }
+
+  const Micros pause_end = clock_->NowMicros();
+  const size_t old_n = retired.size();
+  {
+    std::lock_guard<std::mutex> lock(sink_mu_);
+    stats_.rebalance_resizes++;
+    stats_.rebalance_queries_reinstalled += registry.size();
+    stats_.rebalance_events_replayed += events_replayed;
+    if (new_n > old_n) {
+      stats_.rebalance_nodes_added += new_n - old_n;
+    } else {
+      stats_.rebalance_nodes_removed += old_n - new_n;
+    }
+    stats_.rebalance_pause_us_total +=
+        static_cast<uint64_t>(pause_end - pause_start);
+    migration_pause_.Record(MicrosToMillis(pause_end - pause_start));
+  }
+  span.Annotate("queries_reinstalled", std::to_string(registry.size()));
+  span.Annotate("pause_us", std::to_string(pause_end - pause_start));
+  t_held_topology.pop_back();
+  topology.unlock();
+
+  // ---- Teardown of the retired grid, outside the pause window ----
+  if (options_.threaded) {
+    for (auto& node : retired) node->queue->Close();
+    for (auto& node : retired) {
+      if (node->worker.joinable()) node->worker.join();
+    }
+  }
+  return registry.size();
+}
+
+Histogram InvalidbCluster::MigrationPauseHistogram() const {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  return migration_pause_;
+}
+
 bool InvalidbCluster::NodeAlive(size_t node_index) const {
+  TopologyReadGuard topology(&topology_mu_, this);
   if (node_index >= nodes_.size()) return false;
   return nodes_[node_index]->alive.load(std::memory_order_acquire);
 }
 
 size_t InvalidbCluster::AliveCount() const {
+  TopologyReadGuard topology(&topology_mu_, this);
   size_t alive = 0;
   for (const auto& node : nodes_) {
     if (node->alive.load(std::memory_order_acquire)) alive++;
@@ -369,6 +622,7 @@ size_t InvalidbCluster::AliveCount() const {
 }
 
 std::vector<NodeHealth> InvalidbCluster::Health() const {
+  TopologyReadGuard topology(&topology_mu_, this);
   std::vector<NodeHealth> out;
   out.reserve(nodes_.size());
   for (const auto& node : nodes_) {
@@ -402,8 +656,14 @@ ClusterStats InvalidbCluster::stats() const {
 }
 
 void InvalidbCluster::set_tracer(obs::Tracer* tracer) {
+  TopologyReadGuard topology(&topology_mu_, this);
   tracer_ = tracer;
   for (auto& node : nodes_) node->matcher.set_tracer(tracer);
+}
+
+size_t InvalidbCluster::NumNodes() const {
+  TopologyReadGuard topology(&topology_mu_, this);
+  return nodes_.size();
 }
 
 Histogram InvalidbCluster::LatencyHistogram() const {
@@ -412,6 +672,7 @@ Histogram InvalidbCluster::LatencyHistogram() const {
 }
 
 std::vector<size_t> InvalidbCluster::QueriesPerNode() const {
+  TopologyReadGuard topology(&topology_mu_, this);
   std::vector<size_t> out;
   out.reserve(nodes_.size());
   for (const auto& node : nodes_) out.push_back(node->matcher.QueryCount());
@@ -419,6 +680,7 @@ std::vector<size_t> InvalidbCluster::QueriesPerNode() const {
 }
 
 std::vector<uint64_t> InvalidbCluster::OpsPerNode() const {
+  TopologyReadGuard topology(&topology_mu_, this);
   std::vector<uint64_t> out;
   out.reserve(nodes_.size());
   for (const auto& node : nodes_) {

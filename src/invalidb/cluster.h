@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -78,6 +79,14 @@ struct ClusterStats {
   uint64_t index_candidates = 0;
   /// Candidates from the residual (non-indexable) query lists.
   uint64_t residual_candidates = 0;
+  /// Elastic scale-out accounting (live Resize()).
+  uint64_t rebalance_resizes = 0;
+  uint64_t rebalance_queries_reinstalled = 0;
+  uint64_t rebalance_events_replayed = 0;
+  uint64_t rebalance_nodes_added = 0;
+  uint64_t rebalance_nodes_removed = 0;
+  /// Total stop-the-world migration pause across all resizes (µs).
+  uint64_t rebalance_pause_us_total = 0;
 
   /// Adds these totals into `invalidb_*` registry counters.
   void ExportTo(obs::MetricsRegistry* registry,
@@ -144,6 +153,35 @@ class InvalidbCluster {
   size_t AliveCount() const;
   std::vector<NodeHealth> Health() const;
 
+  // -- Elastic scale-out --
+
+  /// Live-repartitions the cluster to a `new_query_partitions ×
+  /// new_object_partitions` grid without dropping or duplicating
+  /// notifications. The target grid is built concurrently with traffic;
+  /// the cutover is stop-the-world: new submissions block on the topology
+  /// lock, in-flight tasks drain, every registered query is re-installed
+  /// on the target grid via stable hashing, and the grids swap. After
+  /// Resize() the cluster's notifications are byte-identical to a
+  /// freshly-constructed cluster of the target size whose queries were
+  /// registered with results evaluated at the cutover instant.
+  ///
+  /// With `evaluate`, each query's matching set is re-evaluated against
+  /// the authoritative database (the PR 3 registry-rebuild path): this
+  /// also re-seeds the sorted layer for stateful queries and recovers
+  /// state lost to dead nodes. Without it, state is handed off directly
+  /// from the old grid (union of each query's per-row matching-id shards)
+  /// — cheaper, but it requires every old node alive and leaves the
+  /// sorted layer untouched.
+  ///
+  /// Resizing to the current shape is permitted and acts as a full grid
+  /// rebuild. Returns the number of queries re-installed. Must not be
+  /// called from a notification sink.
+  size_t Resize(size_t new_query_partitions, size_t new_object_partitions,
+                const ResultEvaluator& evaluate = {});
+
+  /// Stop-the-world pause of each completed Resize (ms).
+  Histogram MigrationPauseHistogram() const;
+
   /// Keys of all registered queries (the failover registry).
   std::vector<std::string> RegisteredKeys() const;
 
@@ -167,12 +205,15 @@ class InvalidbCluster {
   /// Notification latency from write commit to sink delivery (ms).
   Histogram LatencyHistogram() const;
 
-  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumNodes() const;
   const InvalidbOptions& options() const { return options_; }
 
   /// Installed-query count per node (row-major: row × query_partitions +
-  /// column) — load-balance diagnostics. Only call while no registrations
-  /// are in flight (threaded mode: Flush() first).
+  /// column) — load-balance diagnostics. Safe to call at any time, even
+  /// with registrations in flight or a Resize() in progress: the per-node
+  /// counters are atomics and the node vector is read under the topology
+  /// lock. Counts are naturally momentary while tasks are queued;
+  /// Flush() first for an exact snapshot in threaded mode.
   std::vector<size_t> QueriesPerNode() const;
 
   /// Processed change-operations per node.
@@ -242,9 +283,19 @@ class InvalidbCluster {
   void WorkerLoop(Node* node);
 
   Clock* clock_;
+  /// Grid shape; query_partitions/object_partitions mutate only under an
+  /// exclusive topology_mu_ (Resize cutover).
   InvalidbOptions options_;
   NotificationSink sink_;
   obs::Tracer* tracer_ = nullptr;
+  /// Protects nodes_ and the partition counts in options_ against a
+  /// concurrent Resize(). Every public operation that routes to or reads
+  /// the grid takes it shared (reentrancy-safe via a thread-local
+  /// held-cluster list, so sinks may call back into the cluster); Resize
+  /// takes it exclusive for the cutover.
+  mutable std::shared_mutex topology_mu_;
+  /// Serializes concurrent Resize() calls ahead of the topology lock.
+  std::mutex resize_mu_;
   std::vector<std::unique_ptr<Node>> nodes_;
   SortedLayer sorted_layer_;
 
@@ -253,9 +304,15 @@ class InvalidbCluster {
 
   mutable std::mutex replay_mu_;
   std::deque<db::ChangeEvent> replay_buffer_;
+  /// Highest commit_time ever ingested through OnChange. Resize() uses it
+  /// to lower-bound its eval_time: every drained event is already matched
+  /// and delivered, so it must never re-enter via the replay buffer even
+  /// when the wall clock lags the stream's commit timestamps.
+  std::atomic<Micros> last_ingested_commit_{0};
 
   mutable std::mutex sink_mu_;
   Histogram latency_;  // guarded by sink_mu_
+  Histogram migration_pause_;  // guarded by sink_mu_ (ms per Resize)
   ClusterStats stats_;  // guarded by sink_mu_
 
   std::atomic<int64_t> in_flight_{0};

@@ -1,5 +1,7 @@
 #include "invalidb/matching_node.h"
 
+#include <algorithm>
+
 namespace quaestor::invalidb {
 
 std::string_view NotificationTypeName(NotificationType t) {
@@ -164,6 +166,16 @@ void MatchingNode::MatchSingle(const std::string& query_key,
   auto it = queries_.find(query_key);
   if (it == queries_.end()) return;
   MatchQuery(it->second, event, RecordKey(event.after), out);
+}
+
+std::vector<std::string> MatchingNode::MatchingIdsOf(
+    const std::string& query_key) const {
+  std::vector<std::string> ids;
+  auto it = queries_.find(query_key);
+  if (it == queries_.end()) return ids;
+  ids.assign(it->second.matching_ids.begin(), it->second.matching_ids.end());
+  std::sort(ids.begin(), ids.end());
+  return ids;
 }
 
 }  // namespace quaestor::invalidb

@@ -78,6 +78,12 @@ class MatchingNode {
   void MatchSingle(const std::string& query_key, const db::ChangeEvent& event,
                    std::vector<Notification>* out);
 
+  /// Sorted snapshot of one installed query's matching ids on this node
+  /// (its object-partition shard of the result). Empty if the query is
+  /// not installed. Used for direct state handoff during a live cluster
+  /// Resize().
+  std::vector<std::string> MatchingIdsOf(const std::string& query_key) const;
+
   /// The count/op accessors are observability reads that may race with
   /// the node's worker thread in threaded mode, so they are backed by
   /// atomics (plain counters here were flagged by TSan via

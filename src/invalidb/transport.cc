@@ -93,6 +93,14 @@ std::string EncodeDeregister(const std::string& query_key) {
   return Value(std::move(msg)).ToJson();
 }
 
+std::string EncodeResize(size_t query_partitions, size_t object_partitions) {
+  Object msg;
+  msg["op"] = Value("resize");
+  msg["query_partitions"] = Value(static_cast<int64_t>(query_partitions));
+  msg["object_partitions"] = Value(static_cast<int64_t>(object_partitions));
+  return Value(std::move(msg)).ToJson();
+}
+
 std::string EncodeNotification(const Notification& n) {
   Object msg;
   msg["type"] = Value(static_cast<int64_t>(n.type));
@@ -158,6 +166,12 @@ void InvalidbRemote::DeregisterQuery(const std::string& query_key) {
 
 void InvalidbRemote::OnChange(const db::ChangeEvent& event) {
   req_sender_.Send(transport::EncodeChange(event));
+}
+
+void InvalidbRemote::Resize(size_t query_partitions,
+                            size_t object_partitions) {
+  req_sender_.Send(
+      transport::EncodeResize(query_partitions, object_partitions));
 }
 
 void InvalidbRemote::HandleWire(const std::string& payload) {
@@ -311,6 +325,19 @@ void InvalidbWorker::HandleMessage(const std::string& message) {
                          ? commit->as_int()
                          : ev.after.write_time;
     cluster_->OnChange(ev);
+  } else if (op->as_string() == "resize") {
+    const db::Value* qp = msg.Find("query_partitions");
+    const db::Value* op_parts = msg.Find("object_partitions");
+    if (qp == nullptr || !qp->is_int() || qp->as_int() <= 0 ||
+        op_parts == nullptr || !op_parts->is_int() ||
+        op_parts->as_int() <= 0) {
+      decode_errors_++;
+      return;
+    }
+    // State handoff (no evaluator): the worker has no database to
+    // re-evaluate against; the cluster hands matching sets between grids.
+    (void)cluster_->Resize(static_cast<size_t>(qp->as_int()),
+                           static_cast<size_t>(op_parts->as_int()));
   } else {
     decode_errors_++;
   }

@@ -36,6 +36,7 @@ std::string EncodeRegister(const db::Query& query,
                            const std::vector<db::Document>& initial_result,
                            EventMask events, Micros evaluated_at);
 std::string EncodeDeregister(const std::string& query_key);
+std::string EncodeResize(size_t query_partitions, size_t object_partitions);
 std::string EncodeNotification(const Notification& n);
 Result<Notification> DecodeNotification(const std::string& message);
 
@@ -85,6 +86,13 @@ class InvalidbRemote {
                      EventMask events, Micros evaluated_at = -1);
   void DeregisterQuery(const std::string& query_key);
   void OnChange(const db::ChangeEvent& event);
+
+  /// Requests a live repartition of the worker's cluster (elastic
+  /// scale-out). The worker resizes via direct state handoff — it has no
+  /// database access for re-evaluation — so the request assumes a healthy
+  /// grid. Queue order guarantees every change sent before this call is
+  /// matched on the old grid and everything after on the new one.
+  void Resize(size_t query_partitions, size_t object_partitions);
 
   /// Delivers all currently queued notifications to the sink (manual
   /// pump; deterministic tests). Also ticks the request sender (acks +

@@ -299,6 +299,13 @@ SimResults Simulation::Run() {
 
   for (ClientInstance& ci : clients_) ci.client->Connect();
 
+  // Elastic scale-out events: repartition the matching grid mid-run.
+  for (const SimOptions::ScheduledResize& r : options_.scheduled_resizes) {
+    events_.Schedule(r.at, [this, r] {
+      server_->ResizeInvalidb(r.query_partitions, r.object_partitions);
+    });
+  }
+
   // Stagger connection start times to avoid lockstep artifacts.
   uint64_t stagger = 0;
   for (size_t i = 0; i < clients_.size(); ++i) {

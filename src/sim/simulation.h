@@ -75,6 +75,16 @@ struct SimOptions {
   /// default — tracing every op of a long run costs memory.
   bool trace = false;
   size_t trace_max_spans = 1 << 20;
+
+  /// Elastic scale-out events: at simulated time `at`, the server
+  /// live-repartitions its InvaliDB grid to the given shape (rides the
+  /// migration out in degraded mode when degradation is enabled).
+  struct ScheduledResize {
+    Micros at = 0;
+    size_t query_partitions = 1;
+    size_t object_partitions = 1;
+  };
+  std::vector<ScheduledResize> scheduled_resizes;
 };
 
 /// Per-operation-type measurements.

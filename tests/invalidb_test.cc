@@ -622,5 +622,72 @@ TEST(ClusterRoutingTest, ReplaySkipsEventsBeforeEvaluation) {
   EXPECT_EQ(ns[0].record_id, "new");
 }
 
+// ---------------------------------------------------------------------------
+// Resize — compact unit cases (the chaos/equivalence properties live in
+// rebalance_test.cc and matching_equivalence_test.cc)
+// ---------------------------------------------------------------------------
+
+TEST(ClusterResizeTest, HandoffCarriesMembershipToNewShape) {
+  SimulatedClock clock(0);
+  InvalidbOptions opts;  // 1x1
+  std::vector<Notification> ns;
+  InvalidbCluster cluster(&clock, opts,
+                          [&](const Notification& n) { ns.push_back(n); });
+  db::Query q = Q("t", R"({"g":1})");
+  ASSERT_TRUE(cluster.RegisterQuery(q, {}, kEventsAll).ok());
+  cluster.OnChange(Change("t", "a", R"({"g":1})", 10));
+  ASSERT_EQ(ns.size(), 1u);
+  EXPECT_EQ(ns[0].type, NotificationType::kAdd);
+
+  EXPECT_EQ(cluster.Resize(3, 2), 1u);
+  EXPECT_EQ(cluster.NumNodes(), 6u);
+  EXPECT_TRUE(cluster.IsRegistered(q.NormalizedKey()));
+
+  // Membership carried over: leaving the result emits a remove, not a
+  // spurious re-add.
+  cluster.OnChange(Change("t", "a", R"({"g":2})", 20));
+  ASSERT_EQ(ns.size(), 2u);
+  EXPECT_EQ(ns[1].type, NotificationType::kRemove);
+  EXPECT_EQ(cluster.stats().rebalance_resizes, 1u);
+  EXPECT_EQ(cluster.stats().rebalance_nodes_added, 5u);
+}
+
+TEST(ClusterResizeTest, ZeroPartitionsClampToOne) {
+  SimulatedClock clock(0);
+  InvalidbOptions opts;
+  opts.query_partitions = 2;
+  opts.object_partitions = 2;
+  InvalidbCluster cluster(&clock, opts, [](const Notification&) {});
+  EXPECT_EQ(cluster.Resize(0, 0), 0u);
+  EXPECT_EQ(cluster.NumNodes(), 1u);
+}
+
+TEST(ClusterResizeTest, DrainedEventsNeverReplayEvenIfClockLags) {
+  // Stream commit_times run far ahead of the cluster clock; a resize must
+  // still not re-deliver events the old grid already matched.
+  SimulatedClock clock(0);
+  InvalidbOptions opts;
+  std::vector<Notification> ns;
+  InvalidbCluster cluster(&clock, opts,
+                          [&](const Notification& n) { ns.push_back(n); });
+  db::Query q = Q("t", R"({"g":1})");
+  ASSERT_TRUE(cluster.RegisterQuery(q, {}, kEventsAll).ok());
+  cluster.OnChange(Change("t", "a", R"({"g":1})", /*at=*/1000000));
+  ASSERT_EQ(ns.size(), 1u);
+  EXPECT_EQ(cluster.Resize(2, 2), 1u);
+  EXPECT_EQ(ns.size(), 1u) << "drained event replayed as a duplicate";
+}
+
+TEST(ClusterResizeTest, MigrationPauseIsRecorded) {
+  SimulatedClock clock(0);
+  InvalidbOptions opts;
+  InvalidbCluster cluster(&clock, opts, [](const Notification&) {});
+  EXPECT_EQ(cluster.MigrationPauseHistogram().count(), 0u);
+  cluster.Resize(2, 1);
+  cluster.Resize(1, 2);
+  EXPECT_EQ(cluster.MigrationPauseHistogram().count(), 2u);
+  EXPECT_EQ(cluster.stats().rebalance_resizes, 2u);
+}
+
 }  // namespace
 }  // namespace quaestor::invalidb

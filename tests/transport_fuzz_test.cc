@@ -86,6 +86,7 @@ std::vector<std::string> ValidWireMessages() {
   init.body = Doc(R"({"g":2})");
   msgs.push_back(transport::EncodeRegister(q, {init}, kEventsAll, 7));
   msgs.push_back(transport::EncodeDeregister(q.NormalizedKey()));
+  msgs.push_back(transport::EncodeResize(3, 2));
 
   msgs.push_back(reliable::Encode("sender-1", 42, msgs[0]));
   msgs.push_back(reliable::EncodeAck("sender-1", 42));
