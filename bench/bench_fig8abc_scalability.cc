@@ -9,9 +9,17 @@
 // reproduction target.
 
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/thread_driver.h"
+#include "common/clock.h"
+#include "core/server.h"
+#include "db/database.h"
+#include "db/query.h"
+#include "webcache/http.h"
 
 namespace quaestor::bench {
 namespace {
@@ -23,7 +31,69 @@ struct ArchResult {
   std::vector<double> query_latency;
 };
 
-void Run() {
+/// Threads axis: the simulation above is single-threaded by construction
+/// (discrete-event clock), so Fig. 8-style scalability additionally
+/// sweeps real threads over the live serving path — the read-heavy mix
+/// (~49.5% record reads, ~49.5% query reads, 1% writes) against a
+/// QuaestorServer + Database, closed loop.
+db::Value ThreadSweep() {
+  db::Database database(SystemClock::Default());
+  core::ServerOptions opts;
+  opts.ttl_options.max_ttl = 600 * kMicrosPerSecond;
+  core::QuaestorServer server(SystemClock::Default(), &database, opts);
+  constexpr int kRecords = 1000;
+  for (int i = 0; i < kRecords; ++i) {
+    db::Object o;
+    o["group"] = db::Value(static_cast<int64_t>(i % 100));
+    o["views"] = db::Value(static_cast<int64_t>(i));
+    auto res = server.Insert("posts", "post-" + std::to_string(i),
+                             db::Value(std::move(o)));
+    if (!res.ok()) std::abort();
+  }
+  database.GetOrCreateTable("posts")->CreateIndex("group");
+  std::vector<std::string> query_keys;
+  for (int g = 0; g < 50; ++g) {
+    auto q =
+        db::Query::ParseJson("posts", "{\"group\":" + std::to_string(g) + "}");
+    server.RegisterQueryShape(q.value());
+    query_keys.push_back(q->NormalizedKey());
+  }
+
+  PrintHeader("Threads axis: live read path ops/s (1% writes)");
+  db::Object per_thread;
+  double single = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    const ThroughputResult r = MeasureThroughput(
+        threads, 0.3, [&](size_t t, uint64_t n) {
+          const uint64_t x = n * 2654435761u + t * 40503u;
+          if (x % 100 == 99) {
+            db::Update up;
+            up.Set("views", db::Value(static_cast<int64_t>(n)));
+            (void)server.Update(
+                "posts", "post-" + std::to_string(x % kRecords), up);
+            return;
+          }
+          webcache::HttpRequest req;
+          req.key = x % 2 == 0
+                        ? "posts/post-" + std::to_string(x % kRecords)
+                        : query_keys[x % query_keys.size()];
+          auto resp = server.Fetch(req);
+          if (!resp.ok) std::abort();
+        });
+    const double ops = r.OpsPerSecond();
+    if (threads == 1) single = ops;
+    per_thread["t" + std::to_string(threads)] = db::Value(ops);
+    PrintRow("threads=" + std::to_string(threads),
+             {ops, single > 0.0 ? ops / single : 0.0});
+  }
+  db::Object out;
+  out["ops_per_sec"] = db::Value(std::move(per_thread));
+  out["hardware_threads"] = db::Value(
+      static_cast<int64_t>(std::thread::hardware_concurrency()));
+  return db::Value(std::move(out));
+}
+
+db::Value Run() {
   const std::vector<size_t> connection_counts = {30, 60, 120, 180, 240, 300};
   const std::vector<std::pair<std::string, sim::CacheArchitecture>> archs = {
       {"Quaestor", sim::CacheArchitecture::Quaestor()},
@@ -79,13 +149,40 @@ void Run() {
            {quaestor.throughput[last] / ebf_only.throughput[last]});
   PrintRow("Quaestor vs CDN only",
            {quaestor.throughput[last] / cdn_only.throughput[last]});
+
+  // Figure data as JSON (merged with the threads axis in main).
+  db::Object sim_out;
+  db::Array conns;
+  for (size_t c : connection_counts) {
+    conns.push_back(db::Value(static_cast<int64_t>(c)));
+  }
+  sim_out["connections"] = db::Value(std::move(conns));
+  db::Object arch_out;
+  for (const ArchResult& ar : results) {
+    db::Object one;
+    db::Array tp, rl, ql;
+    for (double v : ar.throughput) tp.push_back(db::Value(v));
+    for (double v : ar.read_latency) rl.push_back(db::Value(v));
+    for (double v : ar.query_latency) ql.push_back(db::Value(v));
+    one["throughput_ops_s"] = db::Value(std::move(tp));
+    one["read_latency_ms"] = db::Value(std::move(rl));
+    one["query_latency_ms"] = db::Value(std::move(ql));
+    arch_out[ar.name] = db::Value(std::move(one));
+  }
+  sim_out["architectures"] = db::Value(std::move(arch_out));
+  return db::Value(std::move(sim_out));
 }
 
 }  // namespace
 }  // namespace quaestor::bench
 
 int main() {
-  quaestor::bench::Run();
-  quaestor::bench::WriteObsSnapshot("fig8abc_scalability");
+  using namespace quaestor;
+  db::Object root;
+  root["benchmark"] = db::Value("fig8abc_scalability");
+  root["sim"] = bench::Run();
+  root["threaded_path"] = bench::ThreadSweep();
+  bench::WriteJsonFile("BENCH_fig8abc.json", db::Value(std::move(root)));
+  bench::WriteObsSnapshot("fig8abc_scalability");
   return 0;
 }

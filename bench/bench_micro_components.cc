@@ -167,6 +167,22 @@ void BM_JsonSerialize(benchmark::State& state) {
 }
 BENCHMARK(BM_JsonSerialize);
 
+void BM_JsonSerializeAppend(benchmark::State& state) {
+  // Single-pass serialization into one reused buffer — the hot-path form
+  // (response assembly serializes many values into one body).
+  auto doc = db::Value::FromJson(
+      R"({"group":7,"title":"Post 123","author":"author42",
+          "views":10,"tags":["tag1","tag2"],"nested":{"a":[1,2,3]}})");
+  std::string buf;
+  for (auto _ : state) {
+    buf.clear();
+    doc->AppendJson(&buf);
+    benchmark::DoNotOptimize(buf);
+  }
+  NoteItems(state, state.iterations());
+}
+BENCHMARK(BM_JsonSerializeAppend);
+
 void BM_JsonParse(benchmark::State& state) {
   const std::string json =
       R"({"group":7,"title":"Post 123","author":"author42",)"

@@ -1,0 +1,65 @@
+#ifndef QUAESTOR_BENCH_THREAD_DRIVER_H_
+#define QUAESTOR_BENCH_THREAD_DRIVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace quaestor::bench {
+
+/// One closed-loop throughput measurement.
+struct ThroughputResult {
+  int threads = 0;
+  uint64_t total_ops = 0;
+  double seconds = 0.0;
+
+  double OpsPerSecond() const {
+    return seconds <= 0.0 ? 0.0 : static_cast<double>(total_ops) / seconds;
+  }
+};
+
+/// Runs `op(thread_index, iteration)` in a closed loop on `num_threads`
+/// threads for ~`seconds` of wall time and returns the aggregate
+/// throughput. Threads spin on a start flag so they enter the measured
+/// region together; each keeps its op count in a local and publishes it
+/// once at exit (no shared counter on the hot loop).
+inline ThroughputResult MeasureThroughput(
+    int num_threads, double seconds,
+    const std::function<void(size_t thread_index, uint64_t iteration)>& op) {
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  std::vector<uint64_t> ops(static_cast<size_t>(num_threads), 0);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      uint64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        op(static_cast<size_t>(t), n);
+        ++n;
+      }
+      ops[static_cast<size_t>(t)] = n;
+    });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true, std::memory_order_relaxed);
+  const auto t1 = std::chrono::steady_clock::now();
+  for (std::thread& th : threads) th.join();
+
+  ThroughputResult r;
+  r.threads = num_threads;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (uint64_t n : ops) r.total_ops += n;
+  return r;
+}
+
+}  // namespace quaestor::bench
+
+#endif  // QUAESTOR_BENCH_THREAD_DRIVER_H_

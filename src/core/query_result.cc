@@ -5,31 +5,57 @@
 namespace quaestor::core {
 
 std::string QueryResponse::ToJson() const {
-  using db::Array;
-  using db::Object;
-  using db::Value;
-  Object root;
-  root["rep"] = Value(representation == ttl::ResultRepresentation::kIdList
-                          ? "ids"
-                          : "objects");
-  Array ids_arr;
-  for (const std::string& id : ids) ids_arr.push_back(Value(id));
-  root["ids"] = Value(std::move(ids_arr));
-  if (representation == ttl::ResultRepresentation::kObjectList) {
-    Array docs_arr(docs.begin(), docs.end());
-    root["docs"] = Value(std::move(docs_arr));
-    Array vers_arr;
-    for (uint64_t v : versions) {
-      vers_arr.push_back(Value(static_cast<int64_t>(v)));
+  std::string out;
+  AppendJsonTo(&out);
+  return out;
+}
+
+void QueryResponse::AppendJsonTo(std::string* out) const {
+  // Emits exactly what serializing the equivalent db::Value object tree
+  // would: sorted keys ("docs" < "ids" < "rep" < "ttls" < "versions"),
+  // no whitespace. Keep this in lockstep with Value::AppendJson — cache
+  // etags and stored bodies depend on the canonical form.
+  const bool object_list =
+      representation == ttl::ResultRepresentation::kObjectList;
+  out->reserve(out->size() + 40 + ids.size() * 24);
+  out->push_back('{');
+  bool first = true;
+  if (object_list) {
+    out->append("\"docs\":[");
+    for (const db::Value& d : docs) {
+      if (!first) out->push_back(',');
+      first = false;
+      d.AppendJson(out);
     }
-    root["versions"] = Value(std::move(vers_arr));
-    Array ttls_arr;
-    for (Micros t : record_ttls) {
-      ttls_arr.push_back(Value(static_cast<int64_t>(t)));
-    }
-    root["ttls"] = Value(std::move(ttls_arr));
+    out->append("],");
   }
-  return Value(std::move(root)).ToJson();
+  out->append("\"ids\":[");
+  first = true;
+  for (const std::string& id : ids) {
+    if (!first) out->push_back(',');
+    first = false;
+    db::AppendJsonEscaped(out, id);
+  }
+  out->append("],\"rep\":");
+  out->append(object_list ? "\"objects\"" : "\"ids\"");
+  if (object_list) {
+    out->append(",\"ttls\":[");
+    first = true;
+    for (Micros t : record_ttls) {
+      if (!first) out->push_back(',');
+      first = false;
+      out->append(std::to_string(static_cast<int64_t>(t)));
+    }
+    out->append("],\"versions\":[");
+    first = true;
+    for (uint64_t v : versions) {
+      if (!first) out->push_back(',');
+      first = false;
+      out->append(std::to_string(static_cast<int64_t>(v)));
+    }
+    out->push_back(']');
+  }
+  out->push_back('}');
 }
 
 Result<QueryResponse> QueryResponse::FromJson(std::string_view json) {

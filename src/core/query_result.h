@@ -32,6 +32,12 @@ struct QueryResponse {
   /// Canonical JSON encoding (the HTTP body).
   std::string ToJson() const;
 
+  /// Appends the canonical JSON encoding to *out in a single pass —
+  /// byte-identical to ToJson (which wraps this) but without building an
+  /// intermediate db::Value tree, so object-list serialization never
+  /// copies the member documents.
+  void AppendJsonTo(std::string* out) const;
+
   /// Parses a response body.
   static Result<QueryResponse> FromJson(std::string_view json);
 

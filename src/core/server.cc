@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
+
 namespace quaestor::core {
 
 void ServerStats::ExportTo(obs::MetricsRegistry* registry,
@@ -16,6 +18,8 @@ void ServerStats::ExportTo(obs::MetricsRegistry* registry,
   registry->Count("server_uncacheable_queries", labels, uncacheable_queries);
   registry->Count("server_bloom_filter_requests", labels,
                   bloom_filter_requests);
+  registry->Count("server_body_memo_hits", labels, body_memo_hits);
+  registry->Count("server_body_memo_misses", labels, body_memo_misses);
   registry->Count("server_degraded_reads", labels, degraded_reads);
   registry->Count("server_degradation_flips", labels, degradation_flips);
   registry->Count("server_change_events_dropped", labels,
@@ -43,8 +47,7 @@ QuaestorServer::QuaestorServer(Clock* clock, db::Database* database,
     // the event is counted — the oracle/degradation machinery has to
     // cover the resulting missed invalidations.
     if (pipeline_down_.load(std::memory_order_acquire)) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      stats_.change_events_dropped++;
+      change_events_dropped_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     if (options_.fault_change_loss_rate > 0.0) {
@@ -54,8 +57,7 @@ QuaestorServer::QuaestorServer(Clock* clock, db::Database* database,
         drop = fault_rng_.NextBool(options_.fault_change_loss_rate);
       }
       if (drop) {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        stats_.change_events_dropped++;
+        change_events_dropped_.fetch_add(1, std::memory_order_relaxed);
         return;
       }
     }
@@ -113,18 +115,17 @@ Result<db::Document> QuaestorServer::Delete(const Credentials& who,
 
 void QuaestorServer::OnRecordWrite(const db::Document& after) {
   const std::string key = after.Key();
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.writes++;
-  }
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  // The record's memoized body (if any) describes the old version; the
+  // version bump already makes it unservable, drop it eagerly.
+  MemoErase(key);
   // Feed the write-rate estimator (Poisson model, §4.2).
   ttl_estimator_.RecordWrite(key);
   // The record's cached copies are now stale: flag in the EBF (if any
   // issued TTL is outstanding) and purge invalidation-based caches.
   const bool was_cached = ebf_.ReportWrite(key);
   if (was_cached) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.record_invalidations++;
+    record_invalidations_.fetch_add(1, std::memory_order_relaxed);
   }
   PurgeEverywhere(key);
   // The write response itself is cacheable by the writer
@@ -175,12 +176,11 @@ void QuaestorServer::OnNotification(const invalidb::Notification& n) {
       }
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.query_invalidations++;
-  }
+  query_invalidations_.fetch_add(1, std::memory_order_relaxed);
   // The cached result is stale: flag it in the EBF while issued TTLs are
-  // outstanding and purge CDNs (end-to-end example step 4, Figure 7).
+  // outstanding and purge CDNs (end-to-end example step 4, Figure 7);
+  // the memoized body died with the etag.
+  MemoErase(n.query_key);
   ebf_.ReportWrite(n.query_key);
   PurgeEverywhere(n.query_key);
   // TTL feedback (Equation 2): the result's actual cache lifetime was the
@@ -238,10 +238,7 @@ webcache::HttpResponse QuaestorServer::Fetch(
   obs::ScopedSpan span(tracer_, "server.fetch");
   span.Annotate("key", request.key);
   if (unavailable_.load(std::memory_order_acquire)) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      stats_.unavailable_responses++;
-    }
+    unavailable_responses_.fetch_add(1, std::memory_order_relaxed);
     webcache::HttpResponse resp;
     resp.unavailable = true;  // 503: retryable, never cacheable
     return resp;
@@ -266,10 +263,7 @@ webcache::HttpResponse QuaestorServer::Fetch(
 webcache::HttpResponse QuaestorServer::FetchRecord(
     const webcache::HttpRequest& request) {
   obs::ScopedSpan span(tracer_, "server.record");
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.record_reads++;
-  }
+  record_reads_.fetch_add(1, std::memory_order_relaxed);
   webcache::HttpResponse resp;
   const size_t slash = request.key.find('/');
   if (slash == std::string::npos) return resp;  // malformed key
@@ -296,15 +290,24 @@ webcache::HttpResponse QuaestorServer::FetchRecord(
   const Micros uncapped_ttl = resp.ttl;
   resp.ttl = CapTtl(resp.ttl);
   if (resp.ttl != uncapped_ttl) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.degraded_reads++;
+    degraded_reads_.fetch_add(1, std::memory_order_relaxed);
   }
   if (request.has_if_none_match && request.if_none_match == doc->version) {
     resp.not_modified = true;
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.not_modified++;
+    not_modified_.fetch_add(1, std::memory_order_relaxed);
+  } else if (auto memo = MemoLookup(request.key, doc->version,
+                                    ttl::ResultRepresentation::kObjectList)) {
+    // Record bodies carry no TTLs, so a memoized body is valid whenever
+    // the version still matches (degraded or not).
+    resp.body = memo->body;
+    body_memo_hits_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    resp.body = doc->body.ToJson();
+    auto entry = std::make_shared<MemoEntry>();
+    entry->etag = doc->version;
+    doc->body.AppendJson(&entry->body);
+    resp.body = entry->body;
+    MemoStore(request.key, std::move(entry));
+    body_memo_misses_.fetch_add(1, std::memory_order_relaxed);
   }
   // Track the issued TTL so a later write can flag staleness (§3.3).
   if (!options_.fault_disable_ebf_read_tracking) {
@@ -391,10 +394,7 @@ ttl::ResultRepresentation QuaestorServer::DecideRepresentation(
 webcache::HttpResponse QuaestorServer::FetchQuery(
     const webcache::HttpRequest& request, const db::Query& query) {
   obs::ScopedSpan span(tracer_, "server.query");
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.query_reads++;
-  }
+  query_reads_.fetch_add(1, std::memory_order_relaxed);
   const std::string& key = request.key;
   const Micros now = clock_->NowMicros();
 
@@ -436,6 +436,7 @@ webcache::HttpResponse QuaestorServer::FetchQuery(
   if (representation_switched && active_list_.IsRegistered(key)) {
     invalidb_->DeregisterQuery(key);
     active_list_.SetRegistered(key, false);
+    MemoErase(key);
     ebf_.ReportWrite(key);
     PurgeEverywhere(key);
   }
@@ -454,29 +455,19 @@ webcache::HttpResponse QuaestorServer::FetchQuery(
     }
     const Micros capped = CapTtl(ttl);
     if (capped != ttl) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      stats_.degraded_reads++;
+      degraded_reads_.fetch_add(1, std::memory_order_relaxed);
     }
     ttl = capped;
   } else {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.uncacheable_queries++;
+    uncacheable_queries_.fetch_add(1, std::memory_order_relaxed);
   }
-  if (qr.representation == ttl::ResultRepresentation::kObjectList) {
-    for (const db::Document& d : docs) {
-      qr.docs.push_back(d.body);
-      qr.versions.push_back(d.version);
-      const Micros record_ttl =
-          CapTtl(options_.cache_records && cacheable_table
-                     ? ttl_estimator_.RecordTtl(d.Key())
-                     : 0);
-      qr.record_ttls.push_back(record_ttl);
-      // The response implicitly issues per-record TTLs (results are
-      // inserted into caches as individual entries, §6.2).
-      if (!options_.fault_disable_ebf_read_tracking) {
-        ebf_.ReportRead(d.Key(), record_ttl);
-      }
-    }
+  const bool object_list =
+      qr.representation == ttl::ResultRepresentation::kObjectList;
+  if (object_list) {
+    // Ids and versions alone determine the object-list etag: fill them
+    // before the 304/memo decision so neither path copies document bodies.
+    qr.versions.reserve(docs.size());
+    for (const db::Document& d : docs) qr.versions.push_back(d.version);
   }
 
   webcache::HttpResponse resp;
@@ -498,11 +489,57 @@ webcache::HttpResponse QuaestorServer::FetchQuery(
     }
   }
   if (request.has_if_none_match && request.if_none_match == resp.etag) {
+    // 304: no body leaves the server and no new record copies are issued,
+    // so per-record TTL estimation and EBF tracking are skipped — every
+    // copy the revalidating client holds was tracked when its body was
+    // first served.
     resp.not_modified = true;
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.not_modified++;
+    not_modified_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    resp.body = qr.ToJson();
+    // Bodies embed per-record TTLs, so degraded mode (which caps them)
+    // must neither serve nor publish memo entries.
+    const bool memo_usable = !degraded();
+    std::shared_ptr<const MemoEntry> memo =
+        memo_usable ? MemoLookup(key, resp.etag, qr.representation) : nullptr;
+    if (memo != nullptr) {
+      resp.body = memo->body;
+      // Re-issue the memoized record TTLs: the embedded values are
+      // durations from receipt, so each serve hands out fresh copies the
+      // EBF must keep tracking (issued == tracked preserves ∆-atomicity).
+      if (!options_.fault_disable_ebf_read_tracking) {
+        for (const auto& [record_key, record_ttl] : memo->record_reads) {
+          ebf_.ReportRead(record_key, record_ttl);
+        }
+      }
+      body_memo_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      auto entry = std::make_shared<MemoEntry>();
+      if (object_list) {
+        qr.docs.reserve(docs.size());
+        qr.record_ttls.reserve(docs.size());
+        entry->record_reads.reserve(docs.size());
+        for (const db::Document& d : docs) {
+          qr.docs.push_back(d.body);
+          const Micros record_ttl =
+              CapTtl(options_.cache_records && cacheable_table
+                         ? ttl_estimator_.RecordTtl(d.Key())
+                         : 0);
+          qr.record_ttls.push_back(record_ttl);
+          entry->record_reads.emplace_back(d.Key(), record_ttl);
+          // The response implicitly issues per-record TTLs (results are
+          // inserted into caches as individual entries, §6.2).
+          if (!options_.fault_disable_ebf_read_tracking) {
+            ebf_.ReportRead(d.Key(), record_ttl);
+          }
+        }
+      }
+      entry->etag = resp.etag;
+      entry->representation = qr.representation;
+      qr.AppendJsonTo(&entry->body);
+      resp.body = entry->body;
+      if (memo_usable) MemoStore(key, std::move(entry));
+      body_memo_misses_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   if (admitted) {
@@ -543,25 +580,20 @@ void QuaestorServer::EvictQuery(const std::string& query_key) {
   // issued TTL is unexpired and purge CDNs now.
   invalidb_->DeregisterQuery(query_key);
   active_list_.SetRegistered(query_key, false);
+  MemoErase(query_key);
   ebf_.ReportWrite(query_key);
   PurgeEverywhere(query_key);
   ttl_estimator_.Forget(query_key);
 }
 
 ebf::BloomFilter QuaestorServer::BloomSnapshot() {
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.bloom_filter_requests++;
-  }
+  bloom_filter_requests_.fetch_add(1, std::memory_order_relaxed);
   return ebf_.AggregateSnapshot();
 }
 
 ebf::BloomFilter QuaestorServer::BloomSnapshotForTable(
     const std::string& table) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.bloom_filter_requests++;
-  }
+  bloom_filter_requests_.fetch_add(1, std::memory_order_relaxed);
   return ebf_.Partition(table)->Snapshot();
 }
 
@@ -595,15 +627,15 @@ void QuaestorServer::FlagAllCachedCopies() {
   for (const std::string& key : ebf_.FlagAllTracked()) {
     PurgeEverywhere(key);
   }
+  // Memoized bodies embed uncapped record TTLs from before the flip —
+  // none of them may be replayed.
+  MemoClear();
 }
 
 void QuaestorServer::RefreshDegradedState() {
   const bool now_degraded = degraded();
   if (was_degraded_.exchange(now_degraded) == now_degraded) return;
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.degradation_flips++;
-  }
+  degradation_flips_.fetch_add(1, std::memory_order_relaxed);
   if (now_degraded) FlagAllCachedCopies();
 }
 
@@ -665,8 +697,62 @@ PipelineHealth QuaestorServer::pipeline_health() const {
 }
 
 ServerStats QuaestorServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  ServerStats s;
+  s.record_reads = record_reads_.load(std::memory_order_relaxed);
+  s.query_reads = query_reads_.load(std::memory_order_relaxed);
+  s.writes = writes_.load(std::memory_order_relaxed);
+  s.not_modified = not_modified_.load(std::memory_order_relaxed);
+  s.query_invalidations =
+      query_invalidations_.load(std::memory_order_relaxed);
+  s.record_invalidations =
+      record_invalidations_.load(std::memory_order_relaxed);
+  s.uncacheable_queries =
+      uncacheable_queries_.load(std::memory_order_relaxed);
+  s.bloom_filter_requests =
+      bloom_filter_requests_.load(std::memory_order_relaxed);
+  s.body_memo_hits = body_memo_hits_.load(std::memory_order_relaxed);
+  s.body_memo_misses = body_memo_misses_.load(std::memory_order_relaxed);
+  s.degraded_reads = degraded_reads_.load(std::memory_order_relaxed);
+  s.degradation_flips = degradation_flips_.load(std::memory_order_relaxed);
+  s.change_events_dropped =
+      change_events_dropped_.load(std::memory_order_relaxed);
+  s.unavailable_responses =
+      unavailable_responses_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::shared_ptr<const QuaestorServer::MemoEntry> QuaestorServer::MemoLookup(
+    const std::string& key, uint64_t etag,
+    ttl::ResultRepresentation representation) const {
+  MemoShard& shard = body_memo_[Hash64(key) % kMemoShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return nullptr;
+  const auto& entry = it->second;
+  if (entry->etag != etag || entry->representation != representation) {
+    return nullptr;
+  }
+  return entry;
+}
+
+void QuaestorServer::MemoStore(const std::string& key,
+                               std::shared_ptr<const MemoEntry> entry) const {
+  MemoShard& shard = body_memo_[Hash64(key) % kMemoShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.entries[key] = std::move(entry);
+}
+
+void QuaestorServer::MemoErase(const std::string& key) const {
+  MemoShard& shard = body_memo_[Hash64(key) % kMemoShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.entries.erase(key);
+}
+
+void QuaestorServer::MemoClear() const {
+  for (MemoShard& shard : body_memo_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.clear();
+  }
 }
 
 void QuaestorServer::set_tracer(obs::Tracer* tracer) {

@@ -1,6 +1,7 @@
 #ifndef QUAESTOR_CORE_SERVER_H_
 #define QUAESTOR_CORE_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -8,6 +9,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -117,6 +119,10 @@ struct ServerStats {
   uint64_t record_invalidations = 0;
   uint64_t uncacheable_queries = 0;  // served with ttl 0 (capacity)
   uint64_t bloom_filter_requests = 0;
+  /// Response-body memoization: misses/revalidations served from the
+  /// per-(key, etag) serialized-body memo vs freshly serialized.
+  uint64_t body_memo_hits = 0;
+  uint64_t body_memo_misses = 0;
   /// Fault-tolerance accounting.
   uint64_t degraded_reads = 0;        // responses served with a capped TTL
   uint64_t degradation_flips = 0;     // healthy <-> degraded transitions
@@ -337,6 +343,40 @@ class QuaestorServer : public webcache::Origin {
   /// (their outstanding long-TTL copies predate the cap).
   void RefreshDegradedState();
 
+  // -- Response-body memoization --
+  //
+  // The serialized body of the last response per key, valid only at the
+  // exact (etag, representation) it was built for. The etag check is the
+  // correctness guard — any result change bumps the etag, so a stale memo
+  // entry simply never matches (explicit erasure on invalidations is
+  // memory hygiene, not a safety requirement). Degraded mode bypasses the
+  // memo entirely: bodies embed record TTLs, which must honour the cap.
+
+  /// One memoized body. Immutable once published; hits share the pointer.
+  struct MemoEntry {
+    uint64_t etag = 0;
+    ttl::ResultRepresentation representation =
+        ttl::ResultRepresentation::kObjectList;
+    std::string body;
+    /// Per-record (key, ttl) issued inside this body (object-list query
+    /// results). Replayed into the EBF on every memo hit: the embedded
+    /// TTLs are durations from receipt, so each serve re-issues them.
+    std::vector<std::pair<std::string, Micros>> record_reads;
+  };
+  struct MemoShard {
+    std::mutex mu;
+    std::unordered_map<std::string, std::shared_ptr<const MemoEntry>> entries;
+  };
+
+  /// Entry for `key` iff it matches `etag` and `representation`.
+  std::shared_ptr<const MemoEntry> MemoLookup(
+      const std::string& key, uint64_t etag,
+      ttl::ResultRepresentation representation) const;
+  void MemoStore(const std::string& key,
+                 std::shared_ptr<const MemoEntry> entry) const;
+  void MemoErase(const std::string& key) const;
+  void MemoClear() const;
+
   Clock* clock_;
   db::Database* db_;
   ServerOptions options_;
@@ -358,8 +398,25 @@ class QuaestorServer : public webcache::Origin {
   std::vector<PurgeTarget> purge_targets_;
   std::vector<invalidb::NotificationSink> notification_taps_;
 
-  mutable std::mutex stats_mu_;
-  ServerStats stats_;
+  static constexpr size_t kMemoShards = 16;
+  mutable std::array<MemoShard, kMemoShards> body_memo_;
+
+  /// Hot-path counters (relaxed atomics: every fetch bumps several; a
+  /// shared stats mutex would serialize the whole read path).
+  mutable std::atomic<uint64_t> record_reads_{0};
+  mutable std::atomic<uint64_t> query_reads_{0};
+  mutable std::atomic<uint64_t> writes_{0};
+  mutable std::atomic<uint64_t> not_modified_{0};
+  mutable std::atomic<uint64_t> query_invalidations_{0};
+  mutable std::atomic<uint64_t> record_invalidations_{0};
+  mutable std::atomic<uint64_t> uncacheable_queries_{0};
+  mutable std::atomic<uint64_t> bloom_filter_requests_{0};
+  mutable std::atomic<uint64_t> body_memo_hits_{0};
+  mutable std::atomic<uint64_t> body_memo_misses_{0};
+  mutable std::atomic<uint64_t> degraded_reads_{0};
+  mutable std::atomic<uint64_t> degradation_flips_{0};
+  mutable std::atomic<uint64_t> change_events_dropped_{0};
+  mutable std::atomic<uint64_t> unavailable_responses_{0};
 
   // Fault-tolerance state.
   std::atomic<bool> manual_degraded_{false};

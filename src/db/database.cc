@@ -1,9 +1,17 @@
 #include "db/database.h"
 
+#include <mutex>
+
 namespace quaestor::db {
 
 Table* Database::GetOrCreateTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(tables_mu_);
+  // Fast path: the table already exists (every request after the first).
+  {
+    std::shared_lock<std::shared_mutex> lock(tables_mu_);
+    auto it = tables_.find(name);
+    if (it != tables_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(tables_mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     it = tables_.emplace(name, std::make_unique<Table>(name)).first;
@@ -12,7 +20,7 @@ Table* Database::GetOrCreateTable(const std::string& name) {
 }
 
 Table* Database::FindTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(tables_mu_);
+  std::shared_lock<std::shared_mutex> lock(tables_mu_);
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();
 }
@@ -22,10 +30,7 @@ Result<Document> Database::Insert(const std::string& table,
   auto res = GetOrCreateTable(table)->Insert(id, std::move(body),
                                              clock_->NowMicros());
   if (res.ok()) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      stats_.inserts++;
-    }
+    inserts_.fetch_add(1, std::memory_order_relaxed);
     Notify(WriteKind::kInsert, res.value());
   }
   return res;
@@ -37,14 +42,8 @@ Result<Document> Database::Upsert(const std::string& table,
                                              clock_->NowMicros());
   if (res.ok()) {
     const bool was_insert = res.value().version == 1;
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      if (was_insert) {
-        stats_.inserts++;
-      } else {
-        stats_.updates++;
-      }
-    }
+    (was_insert ? inserts_ : updates_)
+        .fetch_add(1, std::memory_order_relaxed);
     Notify(was_insert ? WriteKind::kInsert : WriteKind::kUpdate, res.value());
   }
   return res;
@@ -56,10 +55,7 @@ Result<Document> Database::Apply(const std::string& table,
   if (t == nullptr) return Status::NotFound(table + "/" + id);
   auto res = t->Apply(id, update, clock_->NowMicros());
   if (res.ok()) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      stats_.updates++;
-    }
+    updates_.fetch_add(1, std::memory_order_relaxed);
     Notify(WriteKind::kUpdate, res.value());
   }
   return res;
@@ -71,10 +67,7 @@ Result<Document> Database::Delete(const std::string& table,
   if (t == nullptr) return Status::NotFound(table + "/" + id);
   auto res = t->Delete(id, clock_->NowMicros());
   if (res.ok()) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      stats_.deletes++;
-    }
+    deletes_.fetch_add(1, std::memory_order_relaxed);
     Notify(WriteKind::kDelete, res.value());
   }
   return res;
@@ -82,20 +75,14 @@ Result<Document> Database::Delete(const std::string& table,
 
 Result<Document> Database::Get(const std::string& table,
                                const std::string& id) const {
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.reads++;
-  }
+  reads_.fetch_add(1, std::memory_order_relaxed);
   Table* t = FindTable(table);
   if (t == nullptr) return Status::NotFound(table + "/" + id);
   return t->Get(id);
 }
 
 std::vector<Document> Database::Execute(const Query& query) const {
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.queries++;
-  }
+  queries_.fetch_add(1, std::memory_order_relaxed);
   Table* t = FindTable(query.table());
   if (t == nullptr) return {};
   return t->Execute(query);
@@ -115,7 +102,7 @@ void Database::Notify(WriteKind kind, const Document& after) {
 }
 
 std::vector<std::string> Database::TableNames() const {
-  std::lock_guard<std::mutex> lock(tables_mu_);
+  std::shared_lock<std::shared_mutex> lock(tables_mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, t] : tables_) names.push_back(name);

@@ -1,10 +1,11 @@
 #ifndef QUAESTOR_DB_DATABASE_H_
 #define QUAESTOR_DB_DATABASE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -77,8 +78,13 @@ class Database {
   size_t num_shards() const { return num_shards_; }
 
   DatabaseStats stats() const {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    return stats_;
+    DatabaseStats s;
+    s.inserts = inserts_.load(std::memory_order_relaxed);
+    s.updates = updates_.load(std::memory_order_relaxed);
+    s.deletes = deletes_.load(std::memory_order_relaxed);
+    s.reads = reads_.load(std::memory_order_relaxed);
+    s.queries = queries_.load(std::memory_order_relaxed);
+    return s;
   }
 
   std::vector<std::string> TableNames() const;
@@ -88,11 +94,18 @@ class Database {
 
   Clock* clock_;
   const size_t num_shards_;
-  mutable std::mutex tables_mu_;
+  /// Table registry: looked up shared (every read and write resolves its
+  /// table), extended exclusively on first use of a new table name.
+  mutable std::shared_mutex tables_mu_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::vector<ChangeListener> listeners_;
-  mutable std::mutex stats_mu_;
-  mutable DatabaseStats stats_;
+  /// Operation counters, relaxed atomics: read/query paths must not share
+  /// a hot mutex.
+  mutable std::atomic<uint64_t> inserts_{0};
+  mutable std::atomic<uint64_t> updates_{0};
+  mutable std::atomic<uint64_t> deletes_{0};
+  mutable std::atomic<uint64_t> reads_{0};
+  mutable std::atomic<uint64_t> queries_{0};
 };
 
 }  // namespace quaestor::db

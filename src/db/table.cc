@@ -1,6 +1,7 @@
 #include "db/table.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace quaestor::db {
 
@@ -47,7 +48,7 @@ void Table::RemoveFromIndexesLocked(const Document& doc) {
 }
 
 void Table::CreateIndex(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (indexes_.count(path) > 0) return;
   SecondaryIndex& index = indexes_[path];
   for (const auto& [id, doc] : docs_) {
@@ -64,35 +65,39 @@ void Table::CreateIndex(const std::string& path) {
 }
 
 void Table::DropIndex(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   indexes_.erase(path);
 }
 
 bool Table::HasIndex(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return indexes_.count(path) > 0;
 }
 
 uint64_t Table::index_lookups() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_.eq_lookups + stats_.range_scans + stats_.order_scans;
+  return eq_lookups_.load(std::memory_order_relaxed) +
+         range_scans_.load(std::memory_order_relaxed) +
+         order_scans_.load(std::memory_order_relaxed);
 }
 
 uint64_t Table::full_scans() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_.full_scans;
+  return full_scans_.load(std::memory_order_relaxed);
 }
 
 TableIndexStats Table::index_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  TableIndexStats s;
+  s.eq_lookups = eq_lookups_.load(std::memory_order_relaxed);
+  s.range_scans = range_scans_.load(std::memory_order_relaxed);
+  s.order_scans = order_scans_.load(std::memory_order_relaxed);
+  s.full_scans = full_scans_.load(std::memory_order_relaxed);
+  return s;
 }
 
 Result<Document> Table::Insert(const std::string& id, Value body, Micros now) {
   if (!body.is_object()) {
     return Status::InvalidArgument("document body must be an object");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = docs_.find(id);
   if (it != docs_.end() && !it->second.deleted) {
     return Status::AlreadyExists(name_ + "/" + id);
@@ -113,7 +118,7 @@ Result<Document> Table::Upsert(const std::string& id, Value body, Micros now) {
   if (!body.is_object()) {
     return Status::InvalidArgument("document body must be an object");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = docs_.find(id);
   if (it != docs_.end() && !it->second.deleted) {
     RemoveFromIndexesLocked(it->second);
@@ -132,7 +137,7 @@ Result<Document> Table::Upsert(const std::string& id, Value body, Micros now) {
 
 Result<Document> Table::Apply(const std::string& id, const Update& update,
                               Micros now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = docs_.find(id);
   if (it == docs_.end() || it->second.deleted) {
     return Status::NotFound(name_ + "/" + id);
@@ -148,7 +153,7 @@ Result<Document> Table::Apply(const std::string& id, const Update& update,
 }
 
 Result<Document> Table::Delete(const std::string& id, Micros now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = docs_.find(id);
   if (it == docs_.end() || it->second.deleted) {
     return Status::NotFound(name_ + "/" + id);
@@ -162,7 +167,7 @@ Result<Document> Table::Delete(const std::string& id, Micros now) {
 }
 
 Result<Document> Table::Get(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = docs_.find(id);
   if (it == docs_.end() || it->second.deleted) {
     return Status::NotFound(name_ + "/" + id);
@@ -276,7 +281,7 @@ bool Table::ExecuteTopKLocked(const Query& query,
 
 std::vector<Document> Table::Execute(const Query& query) const {
   std::vector<Document> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<const Document*> matches;
 
   // Plan selection over the top-level conjuncts.
@@ -311,7 +316,7 @@ std::vector<Document> Table::Execute(const Query& query) const {
 
   bool windowed_in_order = false;
   if (eq != nullptr) {
-    stats_.eq_lookups++;
+    eq_lookups_.fetch_add(1, std::memory_order_relaxed);
     ExecuteEqLocked(query, *eq, &matches);
   } else {
     // (2) Range / prefix scan: intersect all comparable bounds on the
@@ -380,17 +385,17 @@ std::vector<Document> Table::Execute(const Query& query) const {
       }
     }
     if (range_path != nullptr && (lo != nullptr || hi != nullptr)) {
-      stats_.range_scans++;
+      range_scans_.fetch_add(1, std::memory_order_relaxed);
       ExecuteRangeLocked(query, *range_path, lo, lo_incl, hi, hi_incl,
                          &matches);
     } else if (ExecuteTopKLocked(query, &matches)) {
       // (3) ORDER BY + LIMIT top-k with early termination: `matches` is
       // already the final window in final order.
-      stats_.order_scans++;
+      order_scans_.fetch_add(1, std::memory_order_relaxed);
       windowed_in_order = true;
     } else {
       // (4) Full predicate scan.
-      stats_.full_scans++;
+      full_scans_.fetch_add(1, std::memory_order_relaxed);
       for (const auto& [id, doc] : docs_) {
         if (doc.deleted) continue;
         if (query.Matches(doc.body)) matches.push_back(&doc);
@@ -431,7 +436,7 @@ std::vector<Document> Table::Execute(const Query& query) const {
 }
 
 size_t Table::LiveCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   size_t n = 0;
   for (const auto& [id, doc] : docs_) {
     if (!doc.deleted) ++n;
@@ -440,7 +445,7 @@ size_t Table::LiveCount() const {
 }
 
 std::vector<std::string> Table::LiveIds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> ids;
   ids.reserve(docs_.size());
   for (const auto& [id, doc] : docs_) {

@@ -1,9 +1,10 @@
 #ifndef QUAESTOR_DB_TABLE_H_
 #define QUAESTOR_DB_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -25,7 +26,11 @@ struct TableIndexStats {
   uint64_t full_scans = 0;     // no usable index: predicate scan
 };
 
-/// A single document table: id → versioned document. Thread-safe.
+/// A single document table: id → versioned document. Thread-safe: reads
+/// (point lookups, query execution, introspection) take a shared lock and
+/// run concurrently with each other; only writers (CRUD, index DDL) take
+/// the lock exclusively. Plan counters are atomics so concurrent readers
+/// never write shared state.
 ///
 /// Query execution picks the cheapest applicable plan: (1) an equality /
 /// $in bucket lookup on an ordered secondary index, (2) an ordered range
@@ -128,10 +133,17 @@ class Table {
                          std::vector<const Document*>* out) const;
 
   std::string name_;
-  mutable std::mutex mu_;
+  /// Readers shared, writers exclusive. Ordered after the database's
+  /// table-registry lock and before any cache-shard lock (see DESIGN.md
+  /// "Concurrency model").
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::string, Document> docs_;
   std::map<std::string, SecondaryIndex> indexes_;
-  mutable TableIndexStats stats_;
+  /// Per-plan counters, bumped relaxed under the shared lock.
+  mutable std::atomic<uint64_t> eq_lookups_{0};
+  mutable std::atomic<uint64_t> range_scans_{0};
+  mutable std::atomic<uint64_t> order_scans_{0};
+  mutable std::atomic<uint64_t> full_scans_{0};
 };
 
 }  // namespace quaestor::db

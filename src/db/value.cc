@@ -114,7 +114,7 @@ bool Value::RemovePath(std::string_view path) {
 
 namespace {
 
-void AppendEscaped(std::string& out, const std::string& s) {
+void AppendEscaped(std::string& out, std::string_view s) {
   out += '"';
   for (char c : s) {
     switch (c) {
@@ -152,7 +152,7 @@ void AppendEscaped(std::string& out, const std::string& s) {
   out += '"';
 }
 
-void AppendJson(std::string& out, const Value& v) {
+void AppendJsonImpl(std::string& out, const Value& v) {
   switch (v.type()) {
     case Value::Type::kNull:
       out += "null";
@@ -194,7 +194,7 @@ void AppendJson(std::string& out, const Value& v) {
       for (const Value& e : v.as_array()) {
         if (!first) out += ',';
         first = false;
-        AppendJson(out, e);
+        AppendJsonImpl(out, e);
       }
       out += ']';
       break;
@@ -207,7 +207,7 @@ void AppendJson(std::string& out, const Value& v) {
         first = false;
         AppendEscaped(out, k);
         out += ':';
-        AppendJson(out, e);
+        AppendJsonImpl(out, e);
       }
       out += '}';
       break;
@@ -466,8 +466,14 @@ int TypeRank(Value::Type t) {
 
 std::string Value::ToJson() const {
   std::string out;
-  AppendJson(out, *this);
+  AppendJsonImpl(out, *this);
   return out;
+}
+
+void Value::AppendJson(std::string* out) const { AppendJsonImpl(*out, *this); }
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  AppendEscaped(*out, s);
 }
 
 Result<Value> Value::FromJson(std::string_view text) {

@@ -79,6 +79,12 @@ class Value {
   /// round-trip numbers).
   std::string ToJson() const;
 
+  /// Appends the canonical JSON encoding to *out in a single pass.
+  /// ToJson is a thin wrapper over this; hot serialization paths reuse
+  /// one reserved buffer across many values instead of materializing a
+  /// string per value.
+  void AppendJson(std::string* out) const;
+
   /// Parses JSON text.
   static Result<Value> FromJson(std::string_view text);
 
@@ -96,6 +102,11 @@ class Value {
                Object>
       data_;
 };
+
+/// Appends `s` to *out as a JSON string literal (quoted and escaped) —
+/// the escaping Value::AppendJson applies to string values, exposed for
+/// serializers that emit JSON around raw strings (query responses).
+void AppendJsonEscaped(std::string* out, std::string_view s);
 
 /// Strict-weak-ordering wrapper over Value::Compare, for ordered containers
 /// keyed by Value (secondary indexes, range scans). Note that int and

@@ -1,6 +1,32 @@
 #include "webcache/web_cache.h"
 
+#include <algorithm>
+
 namespace quaestor::webcache {
+
+namespace {
+
+/// Shard-count default for unbounded caches. Bounded caches are clamped so
+/// each shard keeps at least this many capacity slots — tiny caches (the
+/// max_entries=2 browser-cache tests, say) collapse to one shard and keep
+/// exact global replacement semantics.
+constexpr size_t kDefaultShards = 16;
+constexpr size_t kMinEntriesPerShard = 64;
+
+/// How many ring slots the amortized expired sweep examines per insertion.
+constexpr size_t kSweepBudgetPerPut = 2;
+
+constexpr Micros kDefaultStaleRetention = 600 * kMicrosPerSecond;
+
+size_t PickShardCount(size_t max_entries, size_t requested) {
+  size_t shards = requested == 0 ? kDefaultShards : requested;
+  if (max_entries > 0) {
+    shards = std::min(shards, std::max<size_t>(1, max_entries / kMinEntriesPerShard));
+  }
+  return std::max<size_t>(1, shards);
+}
+
+}  // namespace
 
 void CacheStats::ExportTo(obs::MetricsRegistry* registry,
                           const obs::Labels& labels) const {
@@ -10,103 +36,211 @@ void CacheStats::ExportTo(obs::MetricsRegistry* registry,
   registry->Count("cache_purges", labels, purges);
   registry->Count("cache_insertions", labels, insertions);
   registry->Count("cache_evictions", labels, evictions);
+  registry->Count("cache_expired_evictions", labels, expired_evictions);
   registry->SetGauge("cache_hit_rate", labels, HitRate());
 }
 
+ExpirationCache::ExpirationCache(Clock* clock, size_t max_entries,
+                                 size_t num_shards)
+    : clock_(clock),
+      max_entries_(max_entries),
+      stale_retention_(kDefaultStaleRetention) {
+  const size_t shards = PickShardCount(max_entries, num_shards);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (max_entries_ > 0) {
+    // Ceil-divide so the summed shard capacities cover max_entries; with
+    // more than one shard the bound is per-stripe (hash skew can leave one
+    // stripe full while another has room — the usual striped-cache
+    // approximation).
+    per_shard_capacity_ = (max_entries_ + shards - 1) / shards;
+  }
+}
+
 std::optional<CacheEntry> ExpirationCache::Get(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    stats_.misses++;
-    return std::nullopt;
+  const Micros now = clock_->NowMicros();
+  Shard& shard = ShardFor(key);
+  bool reclaim = false;
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) {
+      shard.misses.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    if (it->second.entry.IsFresh(now)) {
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      it->second.referenced.store(true, std::memory_order_relaxed);
+      return it->second.entry;
+    }
+    shard.expired_misses.fetch_add(1, std::memory_order_relaxed);
+    reclaim = now >= it->second.entry.expire_at +
+                         stale_retention_.load(std::memory_order_relaxed);
   }
-  if (!it->second.IsFresh(clock_->NowMicros())) {
-    stats_.expired_misses++;
-    return std::nullopt;
+  if (reclaim) {
+    // Past the stale-retention window the dead body is useless even for
+    // revalidation: reclaim it now instead of pinning it until eviction.
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end() &&
+        now >= it->second.entry.expire_at +
+                   stale_retention_.load(std::memory_order_relaxed)) {
+      EraseLocked(shard, it);
+      shard.expired_evictions.fetch_add(1, std::memory_order_relaxed);
+    }
   }
-  stats_.hits++;
-  TouchLocked(key);
-  return it->second;
+  return std::nullopt;
 }
 
 std::optional<CacheEntry> ExpirationCache::GetEvenIfExpired(
     const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return std::nullopt;
-  return it->second;
+  Shard& shard = ShardFor(key);
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return std::nullopt;
+  return it->second.entry;
 }
 
 void ExpirationCache::Put(const std::string& key, const std::string& body,
                           uint64_t etag, Micros ttl, Micros last_modified) {
   if (ttl <= 0) return;
   const Micros now = clock_->NowMicros();
-  std::lock_guard<std::mutex> lock(mu_);
-  CacheEntry& e = entries_[key];
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto [it, inserted] = shard.entries.try_emplace(key);
+  CacheEntry& e = it->second.entry;
   e.body = body;
   e.etag = etag;
   e.stored_at = now;
   e.expire_at = now + ttl;
   e.last_modified = last_modified;
-  stats_.insertions++;
-  TouchLocked(key);
-  EvictIfNeededLocked();
+  // A refreshed entry earns a second chance like a hit would.
+  it->second.referenced.store(!inserted, std::memory_order_relaxed);
+  if (inserted) {
+    shard.ring.push_back(key);
+    shard.pos[key] = std::prev(shard.ring.end());
+  }
+  shard.insertions.fetch_add(1, std::memory_order_relaxed);
+  SweepExpiredLocked(shard, now, kSweepBudgetPerPut);
+  EvictIfNeededLocked(shard, now);
 }
 
 bool ExpirationCache::Remove(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return false;
-  entries_.erase(it);
-  auto pos = lru_pos_.find(key);
-  if (pos != lru_pos_.end()) {
-    lru_.erase(pos->second);
-    lru_pos_.erase(pos);
-  }
-  stats_.purges++;
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return false;
+  EraseLocked(shard, it);
+  shard.purges.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 void ExpirationCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  entries_.clear();
-  lru_.clear();
-  lru_pos_.clear();
+  for (auto& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard->mu);
+    shard->entries.clear();
+    shard->ring.clear();
+    shard->pos.clear();
+    shard->clock_hand = shard->ring.end();
+    shard->sweep_hand = shard->ring.end();
+  }
 }
 
 size_t ExpirationCache::Size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    total += shard->entries.size();
+  }
+  return total;
 }
 
 CacheStats ExpirationCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  CacheStats s;
+  for (const auto& shard : shards_) {
+    s.hits += shard->hits.load(std::memory_order_relaxed);
+    s.misses += shard->misses.load(std::memory_order_relaxed);
+    s.expired_misses += shard->expired_misses.load(std::memory_order_relaxed);
+    s.purges += shard->purges.load(std::memory_order_relaxed);
+    s.insertions += shard->insertions.load(std::memory_order_relaxed);
+    s.evictions += shard->evictions.load(std::memory_order_relaxed);
+    s.expired_evictions +=
+        shard->expired_evictions.load(std::memory_order_relaxed);
+  }
+  return s;
 }
 
 std::vector<std::string> ExpirationCache::Keys() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
-  out.reserve(entries_.size());
-  for (const auto& [key, entry] : entries_) out.push_back(key);
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    out.reserve(out.size() + shard->entries.size());
+    for (const auto& [key, stored] : shard->entries) out.push_back(key);
+  }
   return out;
 }
 
-void ExpirationCache::TouchLocked(const std::string& key) {
-  auto pos = lru_pos_.find(key);
-  if (pos != lru_pos_.end()) lru_.erase(pos->second);
-  lru_.push_front(key);
-  lru_pos_[key] = lru_.begin();
+void ExpirationCache::EraseLocked(
+    Shard& shard, std::unordered_map<std::string, Stored>::iterator it) {
+  auto pos = shard.pos.find(it->first);
+  if (pos != shard.pos.end()) {
+    if (shard.clock_hand == pos->second) ++shard.clock_hand;
+    if (shard.sweep_hand == pos->second) ++shard.sweep_hand;
+    shard.ring.erase(pos->second);
+    shard.pos.erase(pos);
+  }
+  shard.entries.erase(it);
 }
 
-void ExpirationCache::EvictIfNeededLocked() {
-  if (max_entries_ == 0) return;
-  while (entries_.size() > max_entries_ && !lru_.empty()) {
-    const std::string victim = lru_.back();
-    lru_.pop_back();
-    lru_pos_.erase(victim);
-    entries_.erase(victim);
-    stats_.evictions++;
+void ExpirationCache::SweepExpiredLocked(Shard& shard, Micros now,
+                                         size_t budget) {
+  const Micros retention = stale_retention_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < budget && !shard.ring.empty(); ++i) {
+    if (shard.sweep_hand == shard.ring.end()) {
+      shard.sweep_hand = shard.ring.begin();
+    }
+    auto it = shard.entries.find(*shard.sweep_hand);
+    if (it == shard.entries.end()) {  // stale ring slot (shouldn't happen)
+      shard.pos.erase(*shard.sweep_hand);
+      shard.sweep_hand = shard.ring.erase(shard.sweep_hand);
+      continue;
+    }
+    if (now >= it->second.entry.expire_at + retention) {
+      EraseLocked(shard, it);
+      shard.expired_evictions.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ++shard.sweep_hand;
+    }
+  }
+}
+
+void ExpirationCache::EvictIfNeededLocked(Shard& shard, Micros now) {
+  if (per_shard_capacity_ == 0) return;
+  // CLOCK second chance: referenced entries get their bit cleared and
+  // survive one sweep; expired entries are evicted on sight.
+  size_t scanned = 0;
+  const size_t limit = 2 * shard.ring.size() + 1;
+  while (shard.entries.size() > per_shard_capacity_ && !shard.ring.empty() &&
+         scanned++ < limit) {
+    if (shard.clock_hand == shard.ring.end()) {
+      shard.clock_hand = shard.ring.begin();
+    }
+    auto it = shard.entries.find(*shard.clock_hand);
+    if (it == shard.entries.end()) {
+      shard.pos.erase(*shard.clock_hand);
+      shard.clock_hand = shard.ring.erase(shard.clock_hand);
+      continue;
+    }
+    const bool expired = !it->second.entry.IsFresh(now);
+    if (!expired &&
+        it->second.referenced.exchange(false, std::memory_order_relaxed)) {
+      ++shard.clock_hand;
+      continue;
+    }
+    EraseLocked(shard, it);
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

@@ -1,15 +1,19 @@
 #ifndef QUAESTOR_WEBCACHE_WEB_CACHE_H_
 #define QUAESTOR_WEBCACHE_WEB_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/hash.h"
 #include "obs/metrics.h"
 #include "webcache/http.h"
 
@@ -35,6 +39,9 @@ struct CacheStats {
   uint64_t purges = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;
+  /// Expired entries reclaimed by the lazy sweep (not capacity evictions):
+  /// dead bodies whose TTL + stale retention both passed.
+  uint64_t expired_evictions = 0;
 
   double HitRate() const {
     const uint64_t total = hits + misses + expired_misses;
@@ -52,11 +59,25 @@ struct CacheStats {
 /// An HTTP expiration-based cache (browser cache, forward/ISP proxy):
 /// serves stored entries until their TTL passes; the server cannot purge
 /// it — only client-triggered revalidations replace stale content (§2).
-/// LRU-bounded; thread-safe.
+/// Thread-safe.
+///
+/// Concurrency: entries are striped across shards by key hash, each shard
+/// with its own reader-writer lock. A hit is a shared-lock read that sets a
+/// relaxed CLOCK reference bit instead of splicing an LRU list, so
+/// concurrent hits on one shard never serialize on eviction metadata.
+/// Capacity is enforced per shard with CLOCK second-chance replacement
+/// (recently referenced entries survive one sweep — LRU-like without
+/// per-hit list mutation). Expired entries stay resident for a stale
+/// retention window so conditional revalidation (`GetEvenIfExpired`) can
+/// reuse their ETag/body; past the window they are reclaimed lazily on the
+/// expired-miss itself and by an amortized sweep on insertions.
 class ExpirationCache {
  public:
-  explicit ExpirationCache(Clock* clock, size_t max_entries = 0)
-      : clock_(clock), max_entries_(max_entries) {}
+  /// `num_shards == 0` picks a default. Bounded caches clamp the shard
+  /// count so every shard keeps a useful capacity slice (small caches
+  /// degenerate to one shard, preserving global replacement order).
+  explicit ExpirationCache(Clock* clock, size_t max_entries = 0,
+                           size_t num_shards = 0);
 
   ExpirationCache(const ExpirationCache&) = delete;
   ExpirationCache& operator=(const ExpirationCache&) = delete;
@@ -87,19 +108,73 @@ class ExpirationCache {
   /// used by fault-injection harnesses to pick eviction victims.
   std::vector<std::string> Keys() const;
 
+  size_t num_shards() const { return shards_.size(); }
+
+  /// How long an expired entry stays resident for revalidation before the
+  /// lazy sweep reclaims it. Default 600 s.
+  Micros stale_retention() const {
+    return stale_retention_.load(std::memory_order_relaxed);
+  }
+  void set_stale_retention(Micros retention) {
+    stale_retention_.store(retention, std::memory_order_relaxed);
+  }
+
  protected:
   Clock* clock_;
 
  private:
-  void TouchLocked(const std::string& key);
-  void EvictIfNeededLocked();
+  struct Stored {
+    CacheEntry entry;
+    /// CLOCK second-chance bit: set on hit (relaxed, under the shared
+    /// lock), cleared by the eviction hand.
+    std::atomic<bool> referenced{false};
+  };
 
-  const size_t max_entries_;  // 0 = unbounded
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, CacheEntry> entries_;
-  std::list<std::string> lru_;  // front = most recent
-  std::unordered_map<std::string, std::list<std::string>::iterator> lru_pos_;
-  CacheStats stats_;
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::string, Stored> entries;
+    /// CLOCK ring in insertion order. Two independent hands walk it: the
+    /// eviction hand (capacity, second-chance order) and the sweep hand
+    /// (amortized expired-entry reclamation) — sharing one hand would let
+    /// the sweep drag the eviction hand onto freshly inserted tails.
+    std::list<std::string> ring;
+    std::unordered_map<std::string, std::list<std::string>::iterator> pos;
+    std::list<std::string>::iterator clock_hand = ring.end();
+    std::list<std::string>::iterator sweep_hand = ring.end();
+
+    // Counters are atomics so the hit path can bump them under the shared
+    // lock.
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> expired_misses{0};
+    std::atomic<uint64_t> purges{0};
+    std::atomic<uint64_t> insertions{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> expired_evictions{0};
+  };
+
+  Shard& ShardFor(const std::string& key) {
+    return *shards_[shards_.size() == 1
+                        ? 0
+                        : static_cast<size_t>(Hash64(key) % shards_.size())];
+  }
+  const Shard& ShardFor(const std::string& key) const {
+    return const_cast<ExpirationCache*>(this)->ShardFor(key);
+  }
+
+  /// Drops `key` from the shard's map and ring. Exclusive lock held.
+  static void EraseLocked(Shard& shard,
+                          std::unordered_map<std::string, Stored>::iterator it);
+  /// Capacity eviction: CLOCK second-chance sweep. Exclusive lock held.
+  void EvictIfNeededLocked(Shard& shard, Micros now);
+  /// Amortized expired-entry sweep: examines up to `budget` ring slots
+  /// from the hand, reclaiming entries past retention. Exclusive lock held.
+  void SweepExpiredLocked(Shard& shard, Micros now, size_t budget);
+
+  const size_t max_entries_;        // 0 = unbounded (global)
+  size_t per_shard_capacity_ = 0;   // 0 = unbounded
+  std::atomic<Micros> stale_retention_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 /// An invalidation-based cache (CDN edge, reverse proxy): an expiration
@@ -108,25 +183,23 @@ class ExpirationCache {
 /// from the server that purge stale content").
 class InvalidationCache : public ExpirationCache {
  public:
-  explicit InvalidationCache(Clock* clock, size_t max_entries = 0)
-      : ExpirationCache(clock, max_entries) {}
+  explicit InvalidationCache(Clock* clock, size_t max_entries = 0,
+                             size_t num_shards = 0)
+      : ExpirationCache(clock, max_entries, num_shards) {}
 
   /// Server-initiated purge. Returns true if a copy was dropped.
   bool Purge(const std::string& key) {
     const bool removed = Remove(key);
-    std::lock_guard<std::mutex> lock(purge_mu_);
-    purge_count_++;
+    purge_count_.fetch_add(1, std::memory_order_relaxed);
     return removed;
   }
 
   uint64_t PurgeCount() const {
-    std::lock_guard<std::mutex> lock(purge_mu_);
-    return purge_count_;
+    return purge_count_.load(std::memory_order_relaxed);
   }
 
  private:
-  mutable std::mutex purge_mu_;
-  uint64_t purge_count_ = 0;
+  std::atomic<uint64_t> purge_count_{0};
 };
 
 }  // namespace quaestor::webcache

@@ -1,0 +1,318 @@
+// Multithreaded stress over the concurrent read path (tier2; run under
+// TSan in CI): the striped web cache, the shared-lock table/database, and
+// the server's memoized response bodies — all hammered at once by reader
+// and writer threads.
+//
+// The invariants are chosen to be sound under any interleaving (no
+// false positives):
+//  - Cache: etags are globally unique and never reused, so after
+//    Purge(key) completes, a Get(key) may never return the etag the entry
+//    held before the purge — any re-insert carries a fresh etag.
+//  - Server: every response body must satisfy
+//    FromJson(body).ComputeEtag() == resp.etag, whether it was freshly
+//    serialized or replayed from the body memo. A memo entry surviving
+//    its etag would fail this immediately.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/query_result.h"
+#include "core/server.h"
+#include "db/database.h"
+#include "db/query.h"
+#include "db/update.h"
+#include "db/value.h"
+#include "webcache/web_cache.h"
+
+namespace quaestor {
+namespace {
+
+constexpr int kThreads = 4;
+
+// ---------------------------------------------------------------------------
+// Web cache: concurrent Get/Put/Remove/Purge across shards
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyStressTest, CacheHitNeverReturnsPurgedEtag) {
+  SystemClock* clock = SystemClock::Default();
+  webcache::InvalidationCache cache(clock, /*max_entries=*/4096,
+                                    /*num_shards=*/8);
+  ASSERT_GT(cache.num_shards(), 1u);
+  constexpr int kKeys = 64;
+  constexpr int kOpsPerThread = 8000;
+  std::atomic<uint64_t> next_etag{1};
+
+  auto key_of = [](uint64_t x) {
+    return "k" + std::to_string(x % kKeys);
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t x =
+            static_cast<uint64_t>(i) * 2654435761u + t * 40503u;
+        const std::string key = key_of(x);
+        switch (x % 7) {
+          case 0:
+          case 1: {  // writer: fresh globally-unique etag
+            const uint64_t etag =
+                next_etag.fetch_add(1, std::memory_order_relaxed);
+            cache.Put(key, "body-" + std::to_string(etag), etag,
+                      (1 + x % 3) * kMicrosPerSecond);
+            break;
+          }
+          case 2: {  // purger with the soundness check
+            auto before = cache.GetEvenIfExpired(key);
+            cache.Purge(key);
+            if (before.has_value()) {
+              auto after = cache.Get(key);
+              if (after.has_value()) {
+                // A hit after the purge must be a newer insert: etags are
+                // never reused, so matching the pre-purge etag means the
+                // purge failed to remove the entry.
+                ASSERT_NE(after->etag, before->etag);
+              }
+            }
+            break;
+          }
+          case 3:
+            cache.Remove(key);
+            break;
+          case 4:
+            (void)cache.GetEvenIfExpired(key);
+            break;
+          default: {
+            auto hit = cache.Get(key);
+            if (hit.has_value()) {
+              // Entry integrity: body and etag were stored together.
+              ASSERT_EQ(hit->body, "body-" + std::to_string(hit->etag));
+            }
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  const webcache::CacheStats s = cache.stats();
+  EXPECT_GT(s.insertions, 0u);
+  EXPECT_GT(cache.PurgeCount(), 0u);
+  // Accounting stays coherent after the storm.
+  EXPECT_LE(cache.Size(), 4096u);
+  EXPECT_EQ(cache.Keys().size(), cache.Size());
+}
+
+TEST(ConcurrencyStressTest, CacheEvictionAndSweepUnderLoad) {
+  SystemClock* clock = SystemClock::Default();
+  webcache::ExpirationCache cache(clock, /*max_entries=*/256,
+                                  /*num_shards=*/4);
+  constexpr int kOpsPerThread = 6000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t x =
+            static_cast<uint64_t>(i) * 2654435761u + t * 97u;
+        const std::string key = "e" + std::to_string(x % 2048);
+        if (x % 3 == 0) {
+          cache.Put(key, "v", x + 1, 1 + static_cast<Micros>(x % 100));
+        } else {
+          (void)cache.Get(key);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  // Capacity is enforced per shard: the global bound holds up to shard
+  // skew, and never exceeds the configured total by more than the
+  // per-shard rounding.
+  EXPECT_LE(cache.Size(), 256u + cache.num_shards());
+  const webcache::CacheStats s = cache.stats();
+  EXPECT_GT(s.evictions + s.expired_evictions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Table/Database: shared-lock readers racing exclusive writers
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyStressTest, TableReadersRaceWriters) {
+  db::Database database(SystemClock::Default());
+  db::Table* table = database.GetOrCreateTable("t");
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(database
+                    .Insert("t", "d" + std::to_string(i),
+                            db::Value::FromJson(
+                                "{\"group\":" + std::to_string(i % 10) + "}")
+                                .value())
+                    .ok());
+  }
+  table->CreateIndex("group");
+  auto query = db::Query::ParseJson("t", R"({"group":3})");
+  ASSERT_TRUE(query.ok());
+
+  constexpr int kOpsPerThread = 3000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t x =
+            static_cast<uint64_t>(i) * 2654435761u + t * 7919u;
+        const std::string id = "d" + std::to_string(x % 200);
+        switch (x % 8) {
+          case 0: {  // writer
+            db::Update up;
+            up.Set("views", db::Value(static_cast<int64_t>(x)));
+            (void)database.Apply("t", id, up);
+            break;
+          }
+          case 1:  // registry reader (+ occasional new table)
+            ASSERT_NE(database.FindTable("t"), nullptr);
+            break;
+          case 2: {
+            // Every doc an index plan returns must match the predicate.
+            for (const db::Document& d : database.Execute(query.value())) {
+              const db::Value* g = d.body.Find("group");
+              ASSERT_NE(g, nullptr);
+              ASSERT_EQ(g->as_int(), 3);
+            }
+            break;
+          }
+          case 3:
+            (void)table->LiveCount();
+            break;
+          default: {
+            auto doc = database.Get("t", id);
+            ASSERT_TRUE(doc.ok());
+            ASSERT_GT(doc->version, 0u);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  const db::DatabaseStats s = database.stats();
+  EXPECT_GT(s.updates, 0u);
+  EXPECT_GT(s.reads, 0u);
+  EXPECT_GT(s.queries, 0u);
+  EXPECT_EQ(table->LiveCount(), 200u);
+}
+
+// ---------------------------------------------------------------------------
+// Server: memoized bodies racing writes across all three layers
+// ---------------------------------------------------------------------------
+
+class ServerMemoStress : public ::testing::Test {
+ protected:
+  ServerMemoStress()
+      : database_(SystemClock::Default()),
+        server_(SystemClock::Default(), &database_) {
+    for (int i = 0; i < 100; ++i) {
+      db::Object o;
+      o["group"] = db::Value(static_cast<int64_t>(i % 10));
+      o["views"] = db::Value(static_cast<int64_t>(i));
+      EXPECT_TRUE(server_
+                      .Insert("posts", "p" + std::to_string(i),
+                              db::Value(std::move(o)))
+                      .ok());
+    }
+    for (int g = 0; g < 10; ++g) {
+      auto q = db::Query::ParseJson("posts",
+                                    "{\"group\":" + std::to_string(g) + "}");
+      server_.RegisterQueryShape(q.value());
+      query_keys_.push_back(q->NormalizedKey());
+    }
+  }
+
+  db::Database database_;
+  core::QuaestorServer server_;
+  std::vector<std::string> query_keys_;
+};
+
+TEST_F(ServerMemoStress, BodiesConsistentWithEtagsUnderWrites) {
+  constexpr int kOpsPerThread = 1200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t x =
+            static_cast<uint64_t>(i) * 2654435761u + t * 104729u;
+        if (x % 12 == 11) {  // writer: bumps versions => etags => memo death
+          db::Update up;
+          up.Set("views", db::Value(static_cast<int64_t>(x)));
+          (void)server_.Update("posts", "p" + std::to_string(x % 100), up);
+          continue;
+        }
+        webcache::HttpRequest req;
+        req.key = x % 3 == 0 ? "posts/p" + std::to_string(x % 100)
+                             : query_keys_[x % query_keys_.size()];
+        auto resp = server_.Fetch(req);
+        ASSERT_TRUE(resp.ok);
+        ASSERT_FALSE(resp.body.empty());
+        if (req.key.rfind("q:", 0) == 0) {
+          // The body (memoized or fresh) must hash to the etag served
+          // with it — a memo entry outliving its etag fails here.
+          auto parsed = core::QueryResponse::FromJson(resp.body);
+          ASSERT_TRUE(parsed.ok()) << resp.body;
+          ASSERT_EQ(parsed->ComputeEtag(), resp.etag);
+        } else {
+          // Record bodies must parse and carry the served version.
+          auto doc = database_.Get("posts", req.key.substr(6));
+          ASSERT_TRUE(db::Value::FromJson(resp.body).ok());
+          ASSERT_TRUE(doc.ok());
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  const core::ServerStats s = server_.stats();
+  EXPECT_GT(s.body_memo_misses, 0u);
+  EXPECT_GT(s.writes, 0u);
+}
+
+TEST_F(ServerMemoStress, MemoizedBodiesByteIdenticalToFresh) {
+  // Quiescent read-only phase: the first fetch serializes and memoizes,
+  // the second must replay the identical bytes (and count a memo hit).
+  for (const std::string& key : query_keys_) {
+    webcache::HttpRequest req;
+    req.key = key;
+    auto first = server_.Fetch(req);
+    ASSERT_TRUE(first.ok);
+    auto second = server_.Fetch(req);
+    ASSERT_TRUE(second.ok);
+    EXPECT_EQ(first.etag, second.etag);
+    EXPECT_EQ(first.body, second.body);
+    // And both match a from-scratch serialization of the parsed result.
+    auto parsed = core::QueryResponse::FromJson(second.body);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->ToJson(), second.body);
+  }
+  const core::ServerStats s = server_.stats();
+  EXPECT_GT(s.body_memo_hits, 0u);
+
+  // A write kills exactly the touched memo entries: the next fetch of an
+  // affected query is a memo miss with a new etag.
+  webcache::HttpRequest req;
+  req.key = query_keys_[0];
+  auto before = server_.Fetch(req);
+  db::Update up;
+  up.Set("views", db::Value(static_cast<int64_t>(999999)));
+  ASSERT_TRUE(server_.Update("posts", "p0", up).ok());
+  auto after = server_.Fetch(req);
+  ASSERT_TRUE(after.ok);
+  EXPECT_NE(after.etag, before.etag);
+  auto parsed = core::QueryResponse::FromJson(after.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->ComputeEtag(), after.etag);
+}
+
+}  // namespace
+}  // namespace quaestor

@@ -86,6 +86,77 @@ TEST(ExpirationCacheTest, LruEvictsLeastRecentlyUsed) {
   EXPECT_EQ(cache.stats().evictions, 1u);
 }
 
+TEST(ExpirationCacheTest, ExpiredEntryReclaimedPastStaleRetention) {
+  SimulatedClock clock(0);
+  ExpirationCache cache(&clock);
+  cache.set_stale_retention(30 * kSecond);
+  cache.Put("k", "v", 1, 10 * kSecond);
+  clock.Advance(20 * kSecond);
+  // Expired but inside the retention window: kept for revalidation.
+  EXPECT_FALSE(cache.Get("k").has_value());
+  EXPECT_TRUE(cache.GetEvenIfExpired("k").has_value());
+  EXPECT_EQ(cache.Size(), 1u);
+  // Past expire_at + retention the expired-miss itself reclaims it.
+  clock.Advance(25 * kSecond);
+  EXPECT_FALSE(cache.Get("k").has_value());
+  EXPECT_EQ(cache.Size(), 0u);
+  EXPECT_FALSE(cache.GetEvenIfExpired("k").has_value());
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.expired_evictions, 1u);
+  EXPECT_EQ(s.expired_misses, 2u);
+  EXPECT_EQ(s.evictions, 0u);  // reclaimed, not capacity-evicted
+}
+
+TEST(ExpirationCacheTest, PutSweepReclaimsDeadEntries) {
+  SimulatedClock clock(0);
+  // One shard so every Put's sweep walks the same ring.
+  ExpirationCache cache(&clock, /*max_entries=*/0, /*num_shards=*/1);
+  cache.set_stale_retention(1 * kSecond);
+  for (int i = 0; i < 8; ++i) {
+    cache.Put("dead" + std::to_string(i), "v", 1, 1 * kSecond);
+  }
+  clock.Advance(10 * kSecond);  // all 8 now past TTL + retention
+  // Each Put sweeps a bounded number of ring slots; enough Puts reclaim
+  // every dead body without any Get touching them.
+  for (int i = 0; i < 8; ++i) {
+    cache.Put("live" + std::to_string(i), "v", 1, 100 * kSecond);
+  }
+  EXPECT_GT(cache.stats().expired_evictions, 0u);
+  EXPECT_LT(cache.Size(), 16u);
+}
+
+TEST(ExpirationCacheTest, ShardedCacheKeepsSemantics) {
+  SimulatedClock clock(0);
+  ExpirationCache cache(&clock, /*max_entries=*/0, /*num_shards=*/8);
+  EXPECT_EQ(cache.num_shards(), 8u);
+  for (int i = 0; i < 500; ++i) {
+    cache.Put("k" + std::to_string(i), "v" + std::to_string(i),
+              static_cast<uint64_t>(i + 1), 100 * kSecond);
+  }
+  EXPECT_EQ(cache.Size(), 500u);
+  EXPECT_EQ(cache.Keys().size(), 500u);
+  for (int i = 0; i < 500; ++i) {
+    auto hit = cache.Get("k" + std::to_string(i));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->body, "v" + std::to_string(i));
+  }
+  EXPECT_TRUE(cache.Remove("k7"));
+  EXPECT_FALSE(cache.Get("k7").has_value());
+  EXPECT_EQ(cache.stats().hits, 500u);
+  cache.Clear();
+  EXPECT_EQ(cache.Size(), 0u);
+}
+
+TEST(ExpirationCacheTest, TinyCacheCollapsesToOneShard) {
+  SimulatedClock clock(0);
+  // Bounded caches clamp shards so replacement stays globally exact for
+  // small capacities (the browser-cache tests rely on this).
+  ExpirationCache tiny(&clock, /*max_entries=*/2, /*num_shards=*/16);
+  EXPECT_EQ(tiny.num_shards(), 1u);
+  ExpirationCache big(&clock, /*max_entries=*/4096, /*num_shards=*/16);
+  EXPECT_EQ(big.num_shards(), 16u);
+}
+
 TEST(ExpirationCacheTest, RemoveDropsEntry) {
   SimulatedClock clock(0);
   ExpirationCache cache(&clock);
