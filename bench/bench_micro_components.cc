@@ -16,6 +16,7 @@
 #include "db/value.h"
 #include "ebf/bloom_filter.h"
 #include "invalidb/matching_node.h"
+#include "invalidb/transport.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -194,6 +195,103 @@ void BM_JsonParse(benchmark::State& state) {
   NoteItems(state, state.iterations());
 }
 BENCHMARK(BM_JsonParse);
+
+// -- Transport wire-format costs (the batched write path ships every
+//    change event through these; see DESIGN.md §10) --
+
+db::ChangeEvent SampleChange() {
+  db::ChangeEvent ev;
+  ev.kind = db::WriteKind::kUpdate;
+  ev.after.table = "posts";
+  ev.after.id = "post-12345";
+  ev.after.version = 7;
+  ev.after.write_time = 1234567;
+  ev.after.body = db::Value::FromJson(
+                      R"({"group":7,"title":"Post 123","views":10,
+                          "tags":["tag1","tag2"]})")
+                      .value();
+  ev.commit_time = 1234567;
+  return ev;
+}
+
+// Reference implementation: build the equivalent spec as a db::Value tree
+// and serialize it. The delta vs BM_TransportEncodeChange is what the
+// single-pass append-into-one-buffer encoder saves per event.
+std::string EncodeChangeViaValueTree(const db::ChangeEvent& ev) {
+  db::Object after;
+  after["body"] = ev.after.body;
+  after["deleted"] = db::Value(ev.after.deleted);
+  after["id"] = db::Value(ev.after.id);
+  after["table"] = db::Value(ev.after.table);
+  after["version"] = db::Value(static_cast<int64_t>(ev.after.version));
+  after["write_time"] = db::Value(static_cast<int64_t>(ev.after.write_time));
+  db::Object spec;
+  spec["after"] = db::Value(std::move(after));
+  spec["commit_time"] = db::Value(static_cast<int64_t>(ev.commit_time));
+  spec["kind"] = db::Value(static_cast<int64_t>(ev.kind));
+  spec["op"] = db::Value("change");
+  return db::Value(std::move(spec)).ToJson();
+}
+
+void BM_TransportEncodeChange(benchmark::State& state) {
+  const db::ChangeEvent ev = SampleChange();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(invalidb::transport::EncodeChange(ev));
+  }
+  NoteItems(state, state.iterations());
+}
+BENCHMARK(BM_TransportEncodeChange);
+
+void BM_TransportEncodeChangeTreeReference(benchmark::State& state) {
+  const db::ChangeEvent ev = SampleChange();
+  if (EncodeChangeViaValueTree(ev) != invalidb::transport::EncodeChange(ev)) {
+    state.SkipWithError("tree reference diverged from single-pass encoder");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeChangeViaValueTree(ev));
+  }
+  NoteItems(state, state.iterations());
+}
+BENCHMARK(BM_TransportEncodeChangeTreeReference);
+
+void BM_TransportEncodeChangeBatch(benchmark::State& state) {
+  const std::vector<db::ChangeEvent> events(
+      static_cast<size_t>(state.range(0)), SampleChange());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(invalidb::transport::EncodeChangeBatch(events));
+  }
+  NoteItems(state, state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TransportEncodeChangeBatch)->Arg(1)->Arg(64);
+
+void BM_TransportDecodeChangeBatchCanonical(benchmark::State& state) {
+  const std::vector<db::ChangeEvent> events(
+      static_cast<size_t>(state.range(0)), SampleChange());
+  const std::string wire = invalidb::transport::EncodeChangeBatch(events);
+  for (auto _ : state) {
+    auto decoded = invalidb::transport::DecodeChangeBatch(wire);
+    benchmark::DoNotOptimize(decoded);
+  }
+  NoteItems(state, state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TransportDecodeChangeBatchCanonical)->Arg(1)->Arg(64);
+
+void BM_TransportDecodeChangeBatchFallback(benchmark::State& state) {
+  // One leading space defeats the canonical scanner, forcing the generic
+  // parse-to-Value fallback. The delta vs ...Canonical is the fast path's
+  // saving on well-formed peer traffic.
+  const std::vector<db::ChangeEvent> events(
+      static_cast<size_t>(state.range(0)), SampleChange());
+  std::string wire = invalidb::transport::EncodeChangeBatch(events);
+  wire.insert(1, " ");
+  for (auto _ : state) {
+    auto decoded = invalidb::transport::DecodeChangeBatch(wire);
+    benchmark::DoNotOptimize(decoded);
+  }
+  NoteItems(state, state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TransportDecodeChangeBatchFallback)->Arg(1)->Arg(64);
 
 // -- Observability-layer costs (the instrumentation is itself on the
 //    critical path, so its primitives are benchmarked like any other) --

@@ -6,6 +6,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 namespace quaestor {
 
@@ -65,6 +66,21 @@ class BoundedQueue {
     items_.pop_front();
     not_full_.notify_one();
     return item;
+  }
+
+  /// Non-blocking drain: moves every queued item into `out` (appending,
+  /// FIFO order) under a single lock acquisition. Returns how many items
+  /// were moved. Consumers that process items in bulk use this instead of
+  /// paying one lock round-trip per TryPop.
+  size_t TryPopAll(std::vector<T>* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t n = items_.size();
+    if (n == 0) return 0;
+    out->reserve(out->size() + n);
+    for (T& item : items_) out->push_back(std::move(item));
+    items_.clear();
+    not_full_.notify_all();
+    return n;
   }
 
   /// Non-blocking pop.

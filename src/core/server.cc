@@ -1,6 +1,8 @@
 #include "core/server.h"
 
 #include <algorithm>
+#include <string_view>
+#include <unordered_set>
 
 #include "common/hash.h"
 
@@ -41,6 +43,15 @@ QuaestorServer::QuaestorServer(Clock* clock, db::Database* database,
   invalidb_ = std::make_unique<invalidb::InvalidbCluster>(
       clock, options.invalidb_options,
       [this](const invalidb::Notification& n) { OnNotification(n); });
+  if (options_.write_batching.enabled) {
+    // Coalesced fan-out: each batched dispatch hands all of its
+    // notifications over in one call, so the memo-erase/EBF/purge pass
+    // runs once per distinct stale query.
+    invalidb_->SetBatchSink(
+        [this](const std::vector<invalidb::Notification>& batch) {
+          OnNotificationBatch(batch);
+        });
+  }
   db_->AddChangeListener([this](const db::ChangeEvent& ev) {
     // Fault gates: a hard pipeline outage swallows the whole change
     // stream; a lossy pipeline drops a seeded fraction of it. Either way
@@ -61,12 +72,46 @@ QuaestorServer::QuaestorServer(Clock* clock, db::Database* database,
         return;
       }
     }
-    invalidb_->OnChange(ev);
+    if (options_.write_batching.enabled) {
+      BufferChange(ev);
+    } else {
+      invalidb_->OnChange(ev);
+    }
   });
   transactions_ = std::make_unique<TransactionManager>(this);
 }
 
-QuaestorServer::~QuaestorServer() = default;
+QuaestorServer::~QuaestorServer() { FlushChanges(); }
+
+void QuaestorServer::BufferChange(const db::ChangeEvent& ev) {
+  std::vector<db::ChangeEvent> flush;
+  {
+    std::lock_guard<std::mutex> lock(write_batch_mu_);
+    if (write_batch_.empty()) write_batch_oldest_ = clock_->NowMicros();
+    write_batch_.push_back(ev);
+    const auto& wb = options_.write_batching;
+    if (write_batch_.size() < wb.max_batch &&
+        clock_->NowMicros() - write_batch_oldest_ < wb.flush_interval) {
+      return;
+    }
+    flush = std::move(write_batch_);
+    write_batch_.clear();
+  }
+  invalidb_->OnChangeBatch(std::move(flush));
+}
+
+size_t QuaestorServer::FlushChanges() {
+  if (!options_.write_batching.enabled) return 0;
+  std::vector<db::ChangeEvent> flush;
+  {
+    std::lock_guard<std::mutex> lock(write_batch_mu_);
+    flush = std::move(write_batch_);
+    write_batch_.clear();
+  }
+  const size_t flushed = flush.size();
+  if (!flush.empty()) invalidb_->OnChangeBatch(std::move(flush));
+  return flushed;
+}
 
 // ---------------------------------------------------------------------------
 // Write path
@@ -197,6 +242,77 @@ void QuaestorServer::OnNotification(const invalidb::Notification& n) {
     taps = notification_taps_;
   }
   for (const auto& tap : taps) tap(n);
+}
+
+void QuaestorServer::OnNotificationBatch(
+    const std::vector<invalidb::Notification>& batch) {
+  if (batch.empty()) return;
+  obs::ScopedSpan span(tracer_, "server.on_notification");
+  // Lag / hysteresis: record every notification's lag (the last one wins,
+  // matching per-event processing order), then refresh the mode once.
+  const Micros now = clock_->NowMicros();
+  for (const invalidb::Notification& n : batch) {
+    const Micros lag = std::max<Micros>(0, now - n.event_time);
+    last_notification_lag_.store(lag, std::memory_order_relaxed);
+    if (options_.degradation.enabled) {
+      const Micros budget = options_.degradation.staleness_budget;
+      if (lag > budget) {
+        lag_degraded_.store(true, std::memory_order_relaxed);
+      } else if (lag <= budget / 2) {
+        lag_degraded_.store(false, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (options_.degradation.enabled) RefreshDegradedState();
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    for (const invalidb::Notification& n : batch) {
+      auto it = query_meta_.find(n.query_key);
+      if (it == query_meta_.end()) continue;
+      it->second.last_result_change =
+          std::max(it->second.last_result_change, n.event_time);
+      switch (n.type) {
+        case invalidb::NotificationType::kAdd:
+          it->second.adds++;
+          break;
+        case invalidb::NotificationType::kRemove:
+          it->second.removes++;
+          break;
+        default:
+          it->second.changes++;
+      }
+    }
+  }
+  query_invalidations_.fetch_add(batch.size(), std::memory_order_relaxed);
+  // Stale-key pass, once per distinct query in first-occurrence order:
+  // repeated flags/purges of the same key within one batch are redundant
+  // (the first already made every copy unservable).
+  std::unordered_set<std::string_view> seen;
+  seen.reserve(batch.size());
+  for (const invalidb::Notification& n : batch) {
+    if (!seen.insert(n.query_key).second) continue;
+    MemoErase(n.query_key);
+    ebf_.ReportWrite(n.query_key);
+    PurgeEverywhere(n.query_key);
+  }
+  // TTL feedback and capacity accounting stay per-notification: the
+  // active list needs every invalidation timestamp.
+  for (const invalidb::Notification& n : batch) {
+    const auto actual =
+        active_list_.OnInvalidation(n.query_key, n.event_time);
+    if (actual.has_value()) {
+      ttl_estimator_.OnQueryInvalidated(n.query_key, *actual);
+    }
+    capacity_.OnInvalidation(n.query_key);
+  }
+  std::vector<invalidb::NotificationSink> taps;
+  {
+    std::lock_guard<std::mutex> lock(purge_mu_);
+    taps = notification_taps_;
+  }
+  for (const invalidb::Notification& n : batch) {
+    for (const auto& tap : taps) tap(n);
+  }
 }
 
 void QuaestorServer::AddNotificationTap(invalidb::NotificationSink tap) {
@@ -434,6 +550,9 @@ webcache::HttpResponse QuaestorServer::FetchQuery(
   qr.representation =
       DecideRepresentation(key, docs.size(), &representation_switched);
   if (representation_switched && active_list_.IsRegistered(key)) {
+    // Barrier: buffered changes precede the deregistration in stream
+    // order; flushing after it would silently drop their notifications.
+    FlushChanges();
     invalidb_->DeregisterQuery(key);
     active_list_.SetRegistered(key, false);
     MemoErase(key);
@@ -559,6 +678,10 @@ webcache::HttpResponse QuaestorServer::FetchQuery(
       Status st;
       {
         obs::ScopedSpan reg_span(tracer_, "invalidb.register");
+        // Barrier: buffered changes committed before this registration's
+        // evaluation; flushed afterwards they would re-match against the
+        // fresh query as spurious post-activation stream events.
+        FlushChanges();
         st = invalidb_->RegisterQuery(query, registration_set, mask);
       }
       if (st.ok() || st.IsAlreadyExists()) {
@@ -578,6 +701,7 @@ void QuaestorServer::EvictQuery(const std::string& query_key) {
   // Stop maintaining the query. Outstanding cached copies can no longer be
   // invalidated, so conservatively mark the key stale for as long as any
   // issued TTL is unexpired and purge CDNs now.
+  FlushChanges();  // barrier: pre-eviction changes must match while registered
   invalidb_->DeregisterQuery(query_key);
   active_list_.SetRegistered(query_key, false);
   MemoErase(query_key);
@@ -645,6 +769,9 @@ void QuaestorServer::SetDegraded(bool degraded) {
 }
 
 void QuaestorServer::SetPipelineDown(bool down) {
+  // Barrier either way: events buffered before the outage boundary belong
+  // to the healthy stream and must be matched on the pre-outage state.
+  FlushChanges();
   if (pipeline_down_.exchange(down, std::memory_order_acq_rel) == down) {
     return;
   }
@@ -676,6 +803,9 @@ size_t QuaestorServer::ResizeInvalidb(size_t new_query_partitions,
   // for responses issued during it (flags outstanding long-TTL copies).
   resizing_.store(true, std::memory_order_relaxed);
   RefreshDegradedState();
+  // Barrier: buffered changes must drain onto the old grid before the
+  // cutover evaluates every query against the authoritative database.
+  FlushChanges();
   const size_t reinstalled = invalidb_->Resize(
       new_query_partitions, new_object_partitions,
       [this](const db::Query& q) { return db_->Execute(q); });
@@ -766,6 +896,8 @@ void QuaestorServer::ExportMetrics(obs::MetricsRegistry* registry) const {
   invalidb_->stats().ExportTo(registry);
   registry->GetTimer("invalidb_notification_latency_ms")
       ->MergeHistogram(invalidb_->LatencyHistogram());
+  registry->GetTimer("invalidb_events_per_batch")
+      ->MergeHistogram(invalidb_->EventsPerBatchHistogram());
 }
 
 }  // namespace quaestor::core

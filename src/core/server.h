@@ -81,6 +81,18 @@ struct ServerOptions {
   double fault_change_loss_rate = 0.0;
   uint64_t fault_seed = 0x5eed;
 
+  /// Write-path batching: buffer committed change events and ship them to
+  /// InvaliDB as one OnChangeBatch per flush (size- or age-triggered)
+  /// instead of one OnChange per write. Notification output is identical
+  /// to the per-event path; registrations/deregistrations/resizes flush
+  /// the buffer first (barrier) so stream order is preserved.
+  struct WriteBatchingOptions {
+    bool enabled = false;
+    size_t max_batch = 64;
+    Micros flush_interval = 1 * kMicrosPerMilli;
+  };
+  WriteBatchingOptions write_batching;
+
   /// Graceful degradation (the paper's Δ argument, §3.1): when the
   /// invalidation pipeline is down, lagging, or has dead matching nodes,
   /// the server caps every issued TTL so expiration alone bounds
@@ -249,6 +261,12 @@ class QuaestorServer : public webcache::Origin {
   /// Heartbeat/health-check endpoint.
   PipelineHealth pipeline_health() const;
 
+  /// Ships the buffered change batch to InvaliDB now (no-op unless write
+  /// batching is enabled). Returns how many events were flushed. Called
+  /// implicitly before any InvaliDB control operation and on destruction;
+  /// exposed for deterministic tests and simulation ticks.
+  size_t FlushChanges();
+
   // -- Introspection --
 
   ServerStats stats() const;
@@ -314,6 +332,15 @@ class QuaestorServer : public webcache::Origin {
 
   /// Handles one InvaliDB notification (query result became stale).
   void OnNotification(const invalidb::Notification& n);
+
+  /// Batch form: one coalesced delivery from InvaliDB's batch sink. Side
+  /// effects match per-notification handling, except that the memo-erase /
+  /// EBF-flag / CDN-purge pass runs once per distinct query key.
+  void OnNotificationBatch(const std::vector<invalidb::Notification>& batch);
+
+  /// Appends one change event to the write batch, flushing when the batch
+  /// fills or the oldest buffered event ages out.
+  void BufferChange(const db::ChangeEvent& ev);
 
   /// Applies side effects of a committed record write.
   void OnRecordWrite(const db::Document& after);
@@ -397,6 +424,13 @@ class QuaestorServer : public webcache::Origin {
   mutable std::mutex purge_mu_;
   std::vector<PurgeTarget> purge_targets_;
   std::vector<invalidb::NotificationSink> notification_taps_;
+
+  /// Write-path batch buffer (guarded by write_batch_mu_; the flush call
+  /// into InvaliDB happens outside the lock — a notification tap may
+  /// perform a write that re-enters BufferChange).
+  std::mutex write_batch_mu_;
+  std::vector<db::ChangeEvent> write_batch_;
+  Micros write_batch_oldest_ = 0;
 
   static constexpr size_t kMemoShards = 16;
   mutable std::array<MemoShard, kMemoShards> body_memo_;

@@ -232,6 +232,13 @@ class JsonParser {
     return v;
   }
 
+  Result<Value> ParsePrefix(size_t* consumed) {
+    SkipWs();
+    auto v = ParseValue();
+    if (v.ok()) *consumed = pos_;
+    return v;
+  }
+
  private:
   void SkipWs() {
     while (pos_ < text_.size() &&
@@ -478,6 +485,10 @@ void AppendJsonEscaped(std::string* out, std::string_view s) {
 
 Result<Value> Value::FromJson(std::string_view text) {
   return JsonParser(text).Parse();
+}
+
+Result<Value> Value::FromJsonPrefix(std::string_view text, size_t* consumed) {
+  return JsonParser(text).ParsePrefix(consumed);
 }
 
 bool operator==(const Value& a, const Value& b) {

@@ -88,6 +88,13 @@ class Value {
   /// Parses JSON text.
   static Result<Value> FromJson(std::string_view text);
 
+  /// Parses one JSON value from the front of `text` without requiring the
+  /// whole input to be consumed. On success *consumed is the byte offset
+  /// just past the parsed value (leading whitespace included). Lets wire
+  /// decoders scan framing themselves and delegate embedded values here.
+  static Result<Value> FromJsonPrefix(std::string_view text,
+                                      size_t* consumed);
+
   /// Deep structural equality. Int and double values compare numerically
   /// (Value(1) == Value(1.0)).
   friend bool operator==(const Value& a, const Value& b);

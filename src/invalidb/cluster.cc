@@ -60,6 +60,10 @@ void ClusterStats::ExportTo(obs::MetricsRegistry* registry,
   registry->Count("invalidb_index_candidates", labels, index_candidates);
   registry->Count("invalidb_residual_candidates", labels,
                   residual_candidates);
+  registry->Count("invalidb_change_batches", labels, change_batches);
+  registry->Count("invalidb_batch_events", labels, batch_events);
+  registry->Count("invalidb_notifications_coalesced", labels,
+                  notifications_coalesced);
   registry->Count("rebalance_resizes", labels, rebalance_resizes);
   registry->Count("rebalance_queries_reinstalled", labels,
                   rebalance_queries_reinstalled);
@@ -144,13 +148,45 @@ void InvalidbCluster::SubmitToNode(Node& node, Task task) {
 
 void InvalidbCluster::WorkerLoop(Node* node) {
   NotifyScratch scratch;
+  std::vector<Task> drained;
+  const auto retire = [this](int64_t executed) {
+    if (in_flight_.fetch_sub(executed, std::memory_order_acq_rel) ==
+        executed) {
+      std::lock_guard<std::mutex> lock(flush_mu_);
+      flush_cv_.notify_all();
+    }
+  };
   for (;;) {
     std::optional<Task> task = node->queue->Pop();
     if (!task.has_value()) return;
-    ExecuteTask(*node, *task, scratch);
-    if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lock(flush_mu_);
-      flush_cv_.notify_all();
+    // Drain whatever else is already queued in one lock acquisition, then
+    // work through the backlog without touching the queue again.
+    drained.clear();
+    drained.push_back(std::move(*task));
+    node->queue->TryPopAll(&drained);
+    size_t i = 0;
+    while (i < drained.size()) {
+      if (options_.batched_matching && i + 1 < drained.size() &&
+          std::get_if<ChangeTask>(&drained[i]) != nullptr &&
+          std::get_if<ChangeTask>(&drained[i + 1]) != nullptr) {
+        // Coalesce a run of per-event change tasks into one batch: one
+        // match pass and one dispatch instead of one each per event.
+        auto run = std::make_shared<std::vector<db::ChangeEvent>>();
+        while (i < drained.size()) {
+          auto* change = std::get_if<ChangeTask>(&drained[i]);
+          if (change == nullptr) break;
+          run->push_back(std::move(change->event));
+          ++i;
+        }
+        const int64_t executed = static_cast<int64_t>(run->size());
+        Task coalesced(ChangeBatchTask{std::move(run)});
+        ExecuteTask(*node, coalesced, scratch);
+        retire(executed);
+      } else {
+        ExecuteTask(*node, drained[i], scratch);
+        ++i;
+        retire(1);
+      }
     }
   }
 }
@@ -180,9 +216,13 @@ void InvalidbCluster::ExecuteTask(Node& node, Task& task,
     return;
   }
   if (!node.alive.load(std::memory_order_acquire)) {
-    // A crashed node loses everything sent to it until its restart.
+    // A crashed node loses everything sent to it until its restart. A
+    // coalesced batch counts once per event it carries, so drop
+    // accounting is identical to the per-event path.
+    const auto* dead_batch = std::get_if<ChangeBatchTask>(&task);
     std::lock_guard<std::mutex> lock(sink_mu_);
-    stats_.tasks_dropped_dead++;
+    stats_.tasks_dropped_dead +=
+        dead_batch != nullptr ? dead_batch->events->size() : 1;
     return;
   }
   if (auto* reg = std::get_if<RegisterTask>(&task)) {
@@ -208,43 +248,106 @@ void InvalidbCluster::ExecuteTask(Node& node, Task& task,
       stats_.residual_candidates += ms.residual_candidates;
     }
     if (!scratch.raw.empty()) Dispatch(scratch, change->event.after);
+  } else if (auto* batch = std::get_if<ChangeBatchTask>(&task)) {
+    scratch.batch_raw.clear();
+    const MatchingNode::MatchStats ms = node.matcher.MatchBatch(
+        *batch->events, &scratch.batch_raw, &scratch.offsets);
+    {
+      std::lock_guard<std::mutex> lock(sink_mu_);
+      stats_.match_checks += ms.checked;
+      stats_.match_checks_naive += ms.installed;
+      stats_.index_candidates += ms.index_candidates;
+      stats_.residual_candidates += ms.residual_candidates;
+    }
+    if (!scratch.batch_raw.empty()) {
+      DispatchBatch(scratch, *batch->events, scratch.offsets);
+    }
   }
+}
+
+void InvalidbCluster::Translate(Notification& n,
+                                const db::Document& after_image,
+                                NotifyScratch& scratch) {
+  EventMask mask;
+  bool stateful;
+  {
+    // Only the mask and statefulness are needed here — copying the whole
+    // Subscription would deep-copy its query filter per notification.
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    auto it = subscriptions_.find(n.query_key);
+    if (it == subscriptions_.end()) return;  // deregistered meanwhile
+    mask = it->second.mask;
+    stateful = it->second.stateful;
+  }
+  if (stateful) {
+    // Translate raw membership events into windowed events.
+    scratch.windowed.clear();
+    sorted_layer_.OnRawEvent(n.query_key, n.type, after_image, n.event_time,
+                             &scratch.windowed);
+    for (Notification& w : scratch.windowed) {
+      if (mask & EventBit(w.type)) {
+        scratch.deliverable.push_back(std::move(w));
+      }
+    }
+  } else if (mask & EventBit(n.type)) {
+    scratch.deliverable.push_back(std::move(n));
+  }
+}
+
+void InvalidbCluster::Deliver(NotifyScratch& scratch) {
+  std::vector<Notification>& deliverable = scratch.deliverable;
+  if (deliverable.empty()) return;
+  const Micros now = clock_->NowMicros();
+  bool coalesce;
+  {
+    std::lock_guard<std::mutex> lock(sink_mu_);
+    for (const Notification& n : deliverable) {
+      latency_.Record(MicrosToMillis(now - n.event_time));
+      stats_.notifications_delivered++;
+    }
+    coalesce = static_cast<bool>(batch_sink_);
+    if (coalesce) stats_.notifications_coalesced += deliverable.size() - 1;
+  }
+  // Fan out without holding sink_mu_: the sink may do real work (encode +
+  // reliable send). Per-record order is safe — a record always hashes to
+  // one row, whose worker delivers sequentially; cross-record order for a
+  // query was never specified.
+  if (coalesce) {
+    // Coalesced fan-out: one envelope per dispatch instead of one call
+    // per notification. Order within the batch is commit order.
+    batch_sink_(deliverable);
+  } else {
+    for (const Notification& n : deliverable) sink_(n);
+  }
+  deliverable.clear();
 }
 
 void InvalidbCluster::Dispatch(NotifyScratch& scratch,
                                const db::Document& after_image) {
   obs::ScopedSpan span(tracer_, "invalidb.notify");
-  std::vector<Notification>& deliverable = scratch.deliverable;
-  deliverable.clear();
+  scratch.deliverable.clear();
   for (Notification& n : scratch.raw) {
-    Subscription sub;
-    {
-      std::lock_guard<std::mutex> lock(subs_mu_);
-      auto it = subscriptions_.find(n.query_key);
-      if (it == subscriptions_.end()) continue;  // deregistered meanwhile
-      sub = it->second;
-    }
-    if (sub.stateful) {
-      // Translate raw membership events into windowed events.
-      scratch.windowed.clear();
-      sorted_layer_.OnRawEvent(n.query_key, n.type, after_image,
-                               n.event_time, &scratch.windowed);
-      for (Notification& w : scratch.windowed) {
-        if (sub.mask & EventBit(w.type)) deliverable.push_back(std::move(w));
-      }
-    } else if (sub.mask & EventBit(n.type)) {
-      deliverable.push_back(std::move(n));
-    }
+    Translate(n, after_image, scratch);
   }
   scratch.raw.clear();
-  if (deliverable.empty()) return;
-  const Micros now = clock_->NowMicros();
-  std::lock_guard<std::mutex> lock(sink_mu_);
-  for (const Notification& n : deliverable) {
-    latency_.Record(MicrosToMillis(now - n.event_time));
-    stats_.notifications_delivered++;
-    sink_(n);
+  Deliver(scratch);
+}
+
+void InvalidbCluster::DispatchBatch(NotifyScratch& scratch,
+                                    const std::vector<db::ChangeEvent>& events,
+                                    const std::vector<size_t>& offsets) {
+  obs::ScopedSpan span(tracer_, "invalidb.notify");
+  scratch.deliverable.clear();
+  // Each event's notifications must be translated against that event's own
+  // after-image (the sorted layer stores the document), so walk the batch
+  // through the per-event slices recorded by MatchBatch.
+  for (size_t i = 0; i < events.size(); ++i) {
+    for (size_t j = offsets[i]; j < offsets[i + 1]; ++j) {
+      Translate(scratch.batch_raw[j], events[i].after, scratch);
+    }
   }
+  scratch.batch_raw.clear();
+  Deliver(scratch);
 }
 
 Status InvalidbCluster::RegisterQuery(
@@ -353,6 +456,58 @@ void InvalidbCluster::OnChange(const db::ChangeEvent& event) {
   const size_t row = RowOf(event.after.id);
   for (size_t col = 0; col < options_.query_partitions; ++col) {
     Submit(col, row, Task(ChangeTask{event}));
+  }
+}
+
+void InvalidbCluster::OnChangeBatch(std::vector<db::ChangeEvent> events) {
+  if (events.empty()) return;
+  if (!options_.batched_matching) {
+    // Reference path: unbatch at the ingest boundary; everything downstream
+    // is the per-event pipeline.
+    for (const db::ChangeEvent& event : events) OnChange(event);
+    return;
+  }
+  TopologyReadGuard topology(&topology_mu_, this);
+  {
+    std::lock_guard<std::mutex> lock(replay_mu_);
+    for (const db::ChangeEvent& event : events) {
+      replay_buffer_.push_back(event);
+      Micros prev = last_ingested_commit_.load(std::memory_order_relaxed);
+      while (prev < event.commit_time &&
+             !last_ingested_commit_.compare_exchange_weak(
+                 prev, event.commit_time, std::memory_order_relaxed)) {
+      }
+    }
+    while (replay_buffer_.size() > options_.replay_buffer_size) {
+      replay_buffer_.pop_front();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(sink_mu_);
+    stats_.changes_ingested += events.size();
+    stats_.change_batches++;
+    stats_.batch_events += events.size();
+    events_per_batch_.Record(static_cast<double>(events.size()));
+  }
+  // Group by object-partition row, preserving commit order within each row
+  // (events for different records are only ordered per record, and one
+  // record always hashes to one row, so per-record order is preserved).
+  // The replay buffer took its copies above, so the ingest batch can be
+  // carved up by move; each row slice is then shared read-only across the
+  // row's column tasks.
+  std::vector<std::vector<db::ChangeEvent>> by_row(
+      options_.object_partitions);
+  for (db::ChangeEvent& event : events) {
+    const size_t row = RowOf(event.after.id);
+    by_row[row].push_back(std::move(event));
+  }
+  for (size_t row = 0; row < options_.object_partitions; ++row) {
+    if (by_row[row].empty()) continue;
+    auto slice = std::make_shared<const std::vector<db::ChangeEvent>>(
+        std::move(by_row[row]));
+    for (size_t col = 0; col < options_.query_partitions; ++col) {
+      Submit(col, row, Task(ChangeBatchTask{slice}));
+    }
   }
 }
 
@@ -669,6 +824,16 @@ size_t InvalidbCluster::NumNodes() const {
 Histogram InvalidbCluster::LatencyHistogram() const {
   std::lock_guard<std::mutex> lock(sink_mu_);
   return latency_;
+}
+
+Histogram InvalidbCluster::EventsPerBatchHistogram() const {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  return events_per_batch_;
+}
+
+void InvalidbCluster::SetBatchSink(NotificationBatchSink sink) {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  batch_sink_ = std::move(sink);
 }
 
 std::vector<size_t> InvalidbCluster::QueriesPerNode() const {

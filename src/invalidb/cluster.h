@@ -50,6 +50,14 @@ struct InvalidbOptions {
   /// selects the brute-force every-query-per-event path (reference /
   /// comparison benchmarks).
   bool indexed_matching = true;
+  /// If true (default), OnChangeBatch() ships one task per (row, column)
+  /// and nodes match whole batches (one index probe per distinct
+  /// after-image shape, one dispatch pass per batch), and threaded
+  /// workers drain their task queue in a single lock acquisition,
+  /// coalescing runs of per-event change tasks. False degrades
+  /// OnChangeBatch to a per-event OnChange loop (the reference path —
+  /// notification output is byte-identical either way).
+  bool batched_matching = true;
 };
 
 /// Health snapshot of one matching node (heartbeat API).
@@ -79,6 +87,12 @@ struct ClusterStats {
   uint64_t index_candidates = 0;
   /// Candidates from the residual (non-indexable) query lists.
   uint64_t residual_candidates = 0;
+  /// Write-path batching: ingest batches accepted by OnChangeBatch, the
+  /// events they carried, and notifications handed to the batch sink
+  /// beyond the first of each delivery (the per-call saving).
+  uint64_t change_batches = 0;
+  uint64_t batch_events = 0;
+  uint64_t notifications_coalesced = 0;
   /// Elastic scale-out accounting (live Resize()).
   uint64_t rebalance_resizes = 0;
   uint64_t rebalance_queries_reinstalled = 0;
@@ -127,6 +141,23 @@ class InvalidbCluster {
 
   /// Ingests one change-stream event (the record after-image, §4.1).
   void OnChange(const db::ChangeEvent& event);
+
+  /// Ingests a contiguous slice of the change stream (commit order) as
+  /// one unit: one topology/replay/stats pass and one task per occupied
+  /// (row, column) instead of per event. Per-node notification output is
+  /// byte-identical to calling OnChange once per event.
+  void OnChangeBatch(std::vector<db::ChangeEvent> events);
+
+  /// Batch delivery: when set, each dispatch hands every notification it
+  /// produced to this sink in one call instead of one sink_ call each
+  /// (latency/stats accounting is unchanged; notifications_coalesced
+  /// counts the saved calls). Install before traffic starts.
+  using NotificationBatchSink =
+      std::function<void(const std::vector<Notification>&)>;
+  void SetBatchSink(NotificationBatchSink sink);
+
+  /// Events per ingested batch (OnChangeBatch calls only).
+  Histogram EventsPerBatchHistogram() const;
 
   // -- Node failover --
 
@@ -232,6 +263,13 @@ class InvalidbCluster {
   struct ChangeTask {
     db::ChangeEvent event;
   };
+  /// A row-grouped slice of one ingest batch, matched in one MatchBatch
+  /// pass (events stay in commit order). The slice is immutable and
+  /// shared across the row's column tasks, so fanning a batch out to N
+  /// query partitions costs N refcounts instead of N deep copies.
+  struct ChangeBatchTask {
+    std::shared_ptr<const std::vector<db::ChangeEvent>> events;
+  };
   /// Control tasks (failover): processed even by a dead node, in queue
   /// order, so the alive flag flips exactly where the crash/recovery sits
   /// in the task stream.
@@ -240,7 +278,7 @@ class InvalidbCluster {
     std::vector<RegisterTask> installs;
   };
   using Task = std::variant<RegisterTask, DeregisterTask, ChangeTask,
-                            KillTask, RestartTask>;
+                            ChangeBatchTask, KillTask, RestartTask>;
 
   struct Node {
     explicit Node(bool indexed) : matcher(indexed) {}
@@ -258,6 +296,10 @@ class InvalidbCluster {
     std::vector<Notification> raw;
     std::vector<Notification> deliverable;
     std::vector<Notification> windowed;
+    /// Batch matching: all notifications of one MatchBatch plus the
+    /// per-event slice boundaries.
+    std::vector<Notification> batch_raw;
+    std::vector<size_t> offsets;
   };
 
   struct Subscription {
@@ -280,6 +322,18 @@ class InvalidbCluster {
   /// Consumes `scratch.raw` (notifications are moved out, vector is left
   /// cleared) and delivers the subscribed subset to the sink.
   void Dispatch(NotifyScratch& scratch, const db::Document& after_image);
+  /// Batch form: consumes `scratch.batch_raw` using the per-event slice
+  /// boundaries in `offsets` (each slice is translated against its own
+  /// after-image), then delivers everything under one sink lock.
+  void DispatchBatch(NotifyScratch& scratch,
+                     const std::vector<db::ChangeEvent>& events,
+                     const std::vector<size_t>& offsets);
+  /// Translates one raw notification through the subscription filter and
+  /// (for stateful queries) the sorted layer into scratch.deliverable.
+  void Translate(Notification& n, const db::Document& after_image,
+                 NotifyScratch& scratch);
+  /// Delivers scratch.deliverable under one sink_mu_ acquisition.
+  void Deliver(NotifyScratch& scratch);
   void WorkerLoop(Node* node);
 
   Clock* clock_;
@@ -313,7 +367,9 @@ class InvalidbCluster {
   mutable std::mutex sink_mu_;
   Histogram latency_;  // guarded by sink_mu_
   Histogram migration_pause_;  // guarded by sink_mu_ (ms per Resize)
+  Histogram events_per_batch_;  // guarded by sink_mu_ (OnChangeBatch)
   ClusterStats stats_;  // guarded by sink_mu_
+  NotificationBatchSink batch_sink_;  // guarded by sink_mu_
 
   std::atomic<int64_t> in_flight_{0};
   std::mutex flush_mu_;

@@ -107,32 +107,43 @@ void MatchingNode::MatchQuery(QueryState& st, const db::ChangeEvent& event,
 MatchingNode::MatchStats MatchingNode::Match(const db::ChangeEvent& event,
                                              std::vector<Notification>* out) {
   obs::ScopedSpan span(tracer_, "invalidb.match");
+  if (use_index_) return MatchIndexed(event, out, /*reuse_probe=*/false);
+
   processed_ops_.fetch_add(1, std::memory_order_relaxed);
   MatchStats stats;
   stats.installed = queries_.size();
   const std::string record_key = RecordKey(event.after);
-
-  if (!use_index_) {
-    for (auto& [key, st] : queries_) {
-      MatchQuery(st, event, record_key, out);
-    }
-    stats.checked = stats.installed;
-    match_checks_.fetch_add(stats.checked, std::memory_order_relaxed);
-    match_checks_naive_.fetch_add(stats.installed, std::memory_order_relaxed);
-    return stats;
+  for (auto& [key, st] : queries_) {
+    MatchQuery(st, event, record_key, out);
   }
+  stats.checked = stats.installed;
+  match_checks_.fetch_add(stats.checked, std::memory_order_relaxed);
+  match_checks_naive_.fetch_add(stats.installed, std::memory_order_relaxed);
+  return stats;
+}
+
+MatchingNode::MatchStats MatchingNode::MatchIndexed(
+    const db::ChangeEvent& event, std::vector<Notification>* out,
+    bool reuse_probe) {
+  processed_ops_.fetch_add(1, std::memory_order_relaxed);
+  MatchStats stats;
+  stats.installed = queries_.size();
+  const std::string record_key = RecordKey(event.after);
 
   // Candidate union, deduped by per-query epoch stamps:
   //   (a) queries whose indexed conjunct the after-image can satisfy, and
   //   (b) queries currently containing the record (before-image members),
   //       so leaves are never missed.
   ++epoch_;
-  candidate_keys_.clear();
   candidates_.clear();
-  const CandidateStats cs = index_.CollectCandidates(
-      event.after.table, event.after.body, &candidate_keys_);
-  stats.index_candidates = cs.index_candidates;
-  stats.residual_candidates = cs.residual_candidates;
+  if (!reuse_probe) {
+    candidate_keys_.clear();
+    last_probe_ = index_.CollectCandidates(event.after.table,
+                                           event.after.body,
+                                           &candidate_keys_);
+  }
+  stats.index_candidates = last_probe_.index_candidates;
+  stats.residual_candidates = last_probe_.residual_candidates;
   for (const std::string* key : candidate_keys_) {
     auto it = queries_.find(*key);
     if (it == queries_.end()) continue;
@@ -158,6 +169,38 @@ MatchingNode::MatchStats MatchingNode::Match(const db::ChangeEvent& event,
   match_checks_.fetch_add(stats.checked, std::memory_order_relaxed);
   match_checks_naive_.fetch_add(stats.installed, std::memory_order_relaxed);
   return stats;
+}
+
+MatchingNode::MatchStats MatchingNode::MatchBatch(
+    const std::vector<db::ChangeEvent>& events,
+    std::vector<Notification>* out, std::vector<size_t>* offsets) {
+  obs::ScopedSpan span(tracer_, "invalidb.match");
+  MatchStats total;
+  offsets->clear();
+  offsets->reserve(events.size() + 1);
+  offsets->push_back(out->size());
+  const db::ChangeEvent* prev = nullptr;
+  for (const db::ChangeEvent& event : events) {
+    MatchStats s;
+    if (use_index_) {
+      // candidate_keys_ holds pointers into the index; they stay valid
+      // across the batch because no query is added or removed between
+      // events of one batch.
+      const bool reuse = prev != nullptr &&
+                         prev->after.table == event.after.table &&
+                         prev->after.body == event.after.body;
+      s = MatchIndexed(event, out, reuse);
+      prev = &event;
+    } else {
+      s = Match(event, out);
+    }
+    total.checked += s.checked;
+    total.installed += s.installed;
+    total.index_candidates += s.index_candidates;
+    total.residual_candidates += s.residual_candidates;
+    offsets->push_back(out->size());
+  }
+  return total;
 }
 
 void MatchingNode::MatchSingle(const std::string& query_key,

@@ -72,6 +72,18 @@ class MatchingNode {
   MatchStats Match(const db::ChangeEvent& event,
                    std::vector<Notification>* out);
 
+  /// Batch form of Match: processes `events` in order, appending each
+  /// event's notifications to `out` and recording slice boundaries in
+  /// `offsets` (sized events.size() + 1; event i's notifications occupy
+  /// [(*offsets)[i], (*offsets)[i+1])). Output and accounting are
+  /// identical to calling Match once per event; the win is that
+  /// consecutive events carrying the same after-image shape (same table
+  /// and body) reuse one QueryIndex probe instead of re-collecting
+  /// candidates. Returns the summed MatchStats.
+  MatchStats MatchBatch(const std::vector<db::ChangeEvent>& events,
+                        std::vector<Notification>* out,
+                        std::vector<size_t>* offsets);
+
   /// Matches one event against a single installed query — used to replay
   /// recently received objects when a query is activated, closing the gap
   /// between initial evaluation and activation (§4.1).
@@ -124,6 +136,13 @@ class MatchingNode {
                   const std::string& record_key,
                   std::vector<Notification>* out);
 
+  /// Indexed match of one event. With `reuse_probe`, candidate_keys_ and
+  /// last_probe_ are taken as-is from the previous event (valid only
+  /// within a batch — no Add/Remove may intervene — and only when the
+  /// after-image shape is unchanged).
+  MatchStats MatchIndexed(const db::ChangeEvent& event,
+                          std::vector<Notification>* out, bool reuse_probe);
+
   /// "table/id" → queries currently containing the record. This is the
   /// exact before-image membership, so a record leaving a result set is
   /// always a candidate even when the after-image misses every index.
@@ -139,6 +158,9 @@ class MatchingNode {
   // capacities warm up).
   std::vector<const std::string*> candidate_keys_;
   std::vector<QueryState*> candidates_;
+  /// Index-probe accounting of the last CollectCandidates call, replayed
+  /// verbatim when a batch reuses the probe.
+  CandidateStats last_probe_;
 
   std::atomic<size_t> query_count_{0};
   std::atomic<uint64_t> processed_ops_{0};

@@ -26,13 +26,22 @@ uint64_t Checksum(const std::string& sender, uint64_t seq,
 
 std::string Encode(const std::string& sender, uint64_t seq,
                    const std::string& payload) {
-  db::Object obj;
-  obj["rs"] = db::Value(sender);
-  obj["rn"] = db::Value(static_cast<int64_t>(seq));
-  obj["rc"] =
-      db::Value(static_cast<int64_t>(Checksum(sender, seq, payload)));
-  obj["rp"] = db::Value(payload);
-  return db::Value(std::move(obj)).ToJson();
+  // Single-pass serialization, keys in sorted order — byte-identical to
+  // the db::Object (std::map) construction this replaces, without the
+  // tree build and payload copy per envelope.
+  std::string out;
+  out.reserve(payload.size() + sender.size() + 64);
+  out += "{\"rc\":";
+  out += std::to_string(
+      static_cast<int64_t>(Checksum(sender, seq, payload)));
+  out += ",\"rn\":";
+  out += std::to_string(static_cast<int64_t>(seq));
+  out += ",\"rp\":";
+  db::AppendJsonEscaped(&out, payload);
+  out += ",\"rs\":";
+  db::AppendJsonEscaped(&out, sender);
+  out += '}';
+  return out;
 }
 
 Result<Envelope> Decode(const std::string& message) {
@@ -64,10 +73,14 @@ Result<Envelope> Decode(const std::string& message) {
 }
 
 std::string EncodeAck(const std::string& sender, uint64_t seq) {
-  db::Object obj;
-  obj["rs"] = db::Value(sender);
-  obj["ra"] = db::Value(static_cast<int64_t>(seq));
-  return db::Value(std::move(obj)).ToJson();
+  std::string out;
+  out.reserve(sender.size() + 32);
+  out += "{\"ra\":";
+  out += std::to_string(static_cast<int64_t>(seq));
+  out += ",\"rs\":";
+  db::AppendJsonEscaped(&out, sender);
+  out += '}';
+  return out;
 }
 
 Result<Envelope> DecodeAck(const std::string& message) {
@@ -125,6 +138,7 @@ void ReliableSender::Send(std::string payload) {
     p.payload = std::move(payload);
     p.backoff = options_.retransmit_timeout;
     p.next_retransmit = clock_->NowMicros() + JitteredLocked(p.backoff);
+    next_deadline_ = std::min(next_deadline_, p.next_retransmit);
     unacked_.emplace(seq, std::move(p));
   }
   kv_->QueuePush(queue_, std::move(wire));
@@ -146,12 +160,17 @@ size_t ReliableSender::RetransmitDue() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     const Micros now = clock_->NowMicros();
+    if (now < next_deadline_) return 0;  // nothing can be due yet
+    retransmit_scans_++;
+    next_deadline_ = kNoDeadline;
     for (auto& [seq, p] : unacked_) {
-      if (now < p.next_retransmit) continue;
-      resend.push_back(reliable::Encode(sender_id_, seq, p.payload));
-      p.backoff = std::min(p.backoff * 2, options_.max_backoff);
-      p.next_retransmit = now + JitteredLocked(p.backoff);
-      redeliveries_++;
+      if (now >= p.next_retransmit) {
+        resend.push_back(reliable::Encode(sender_id_, seq, p.payload));
+        p.backoff = std::min(p.backoff * 2, options_.max_backoff);
+        p.next_retransmit = now + JitteredLocked(p.backoff);
+        redeliveries_++;
+      }
+      next_deadline_ = std::min(next_deadline_, p.next_retransmit);
     }
   }
   for (std::string& m : resend) kv_->QueuePush(queue_, std::move(m));
@@ -166,6 +185,11 @@ size_t ReliableSender::unacked() const {
 uint64_t ReliableSender::redeliveries() const {
   std::lock_guard<std::mutex> lock(mu_);
   return redeliveries_;
+}
+
+uint64_t ReliableSender::retransmit_scans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retransmit_scans_;
 }
 
 // ---------------------------------------------------------------------------

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -74,7 +75,9 @@ class ReliableSender {
   void ProcessAcks();
 
   /// Retransmits every message whose ack deadline passed. Returns how
-  /// many were re-sent.
+  /// many were re-sent. Early-outs without touching the unacked map when
+  /// no deadline has passed (the earliest deadline is tracked on Send and
+  /// recomputed after each real scan), so idle ticks are O(1).
   size_t RetransmitDue();
 
   /// ProcessAcks + RetransmitDue (call from any pump loop).
@@ -86,6 +89,9 @@ class ReliableSender {
 
   size_t unacked() const;
   uint64_t redeliveries() const;
+  /// Full scans of the unacked map performed by RetransmitDue (ticks that
+  /// early-out on the deadline check do not count).
+  uint64_t retransmit_scans() const;
   const ReliableOptions& options() const { return options_; }
 
  private:
@@ -104,11 +110,18 @@ class ReliableSender {
   std::string sender_id_;
   ReliableOptions options_;
 
+  static constexpr Micros kNoDeadline = std::numeric_limits<Micros>::max();
+
   mutable std::mutex mu_;
   Rng rng_;
   uint64_t next_seq_ = 1;
   std::map<uint64_t, Pending> unacked_;
   uint64_t redeliveries_ = 0;
+  /// Earliest next_retransmit across unacked_ (kNoDeadline when empty).
+  /// Acks may leave it stale-low — that costs one empty scan, never a
+  /// missed retransmit.
+  Micros next_deadline_ = kNoDeadline;
+  uint64_t retransmit_scans_ = 0;
 };
 
 /// The receiving half: acks every envelope (duplicates included — the

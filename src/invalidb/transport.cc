@@ -1,6 +1,8 @@
 #include "invalidb/transport.h"
 
+#include <charconv>
 #include <chrono>
+#include <string_view>
 
 namespace quaestor::invalidb {
 
@@ -10,25 +12,209 @@ void TransportStats::ExportTo(obs::MetricsRegistry* registry,
   registry->Count("transport_duplicates_dropped", labels,
                   duplicates_dropped);
   registry->Count("transport_redeliveries", labels, redeliveries);
+  registry->Count("transport_batches_sent", labels, batches_sent);
+  registry->Count("transport_batch_events", labels, batch_events);
+  const auto with_reason = [&labels](const char* reason) {
+    obs::Labels merged = labels;
+    merged.emplace_back("reason", reason);
+    return merged;
+  };
+  registry->Count("transport_batch_flushes", with_reason("size"),
+                  flushes_size);
+  registry->Count("transport_batch_flushes", with_reason("interval"),
+                  flushes_interval);
+  registry->Count("transport_batch_flushes", with_reason("barrier"),
+                  flushes_barrier);
+  registry->Count("transport_batch_flushes", with_reason("manual"),
+                  flushes_manual);
 }
 
 namespace transport {
 
-using db::Array;
-using db::Object;
 using db::Value;
 
 namespace {
 
-Value DocumentToSpec(const db::Document& doc) {
-  Object obj;
-  obj["table"] = Value(doc.table);
-  obj["id"] = Value(doc.id);
-  obj["version"] = Value(static_cast<int64_t>(doc.version));
-  obj["write_time"] = Value(static_cast<int64_t>(doc.write_time));
-  obj["deleted"] = Value(doc.deleted);
-  obj["body"] = doc.body;
-  return Value(std::move(obj));
+/// Single-pass canonical document spec. Key order (body, deleted, id,
+/// table, version, write_time) is the sorted order a db::Object would
+/// serialize in — golden-tested against the tree encoder.
+void AppendDocumentSpec(std::string* out, const db::Document& doc) {
+  *out += "{\"body\":";
+  doc.body.AppendJson(out);
+  *out += ",\"deleted\":";
+  *out += doc.deleted ? "true" : "false";
+  *out += ",\"id\":";
+  db::AppendJsonEscaped(out, doc.id);
+  *out += ",\"table\":";
+  db::AppendJsonEscaped(out, doc.table);
+  *out += ",\"version\":";
+  *out += std::to_string(static_cast<int64_t>(doc.version));
+  *out += ",\"write_time\":";
+  *out += std::to_string(static_cast<int64_t>(doc.write_time));
+  *out += '}';
+}
+
+}  // namespace
+
+/// Change-event spec without the "op" discriminator — the inner element
+/// of a change_batch envelope. Keys: after, commit_time, kind.
+void AppendChangeEventSpec(std::string* out, const db::ChangeEvent& event) {
+  *out += "{\"after\":";
+  AppendDocumentSpec(out, event.after);
+  *out += ",\"commit_time\":";
+  *out += std::to_string(static_cast<int64_t>(event.commit_time));
+  *out += ",\"kind\":";
+  *out += std::to_string(static_cast<int64_t>(event.kind));
+  *out += '}';
+}
+
+/// Notification spec without "op". Keys: event_time, new_index,
+/// query_key, record_id, type.
+void AppendNotificationSpec(std::string* out, const Notification& n) {
+  *out += "{\"event_time\":";
+  *out += std::to_string(static_cast<int64_t>(n.event_time));
+  *out += ",\"new_index\":";
+  *out += std::to_string(static_cast<int64_t>(n.new_index));
+  *out += ",\"query_key\":";
+  db::AppendJsonEscaped(out, n.query_key);
+  *out += ",\"record_id\":";
+  db::AppendJsonEscaped(out, n.record_id);
+  *out += ",\"type\":";
+  *out += std::to_string(static_cast<int64_t>(n.type));
+  *out += '}';
+}
+
+namespace {
+
+/// Scanner for the canonical batch wire form: the encoders above emit a
+/// fixed key order with no whitespace, so the common case decodes in one
+/// pass without building a Value tree for the batch skeleton. Any byte
+/// that deviates from the canonical layout makes the caller fall back to
+/// the generic Value-based decoder, which handles non-canonical producers
+/// and yields the proper error for corrupt input.
+class CanonicalScanner {
+ public:
+  explicit CanonicalScanner(std::string_view text) : text_(text) {}
+
+  bool Lit(std::string_view lit) {
+    if (text_.size() - pos_ < lit.size() ||
+        text_.compare(pos_, lit.size(), lit) != 0) {
+      return false;
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool Int(int64_t* out) {
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    auto [ptr, ec] = std::from_chars(begin, end, *out);
+    if (ec != std::errc() || ptr == begin) return false;
+    pos_ += static_cast<size_t>(ptr - begin);
+    return true;
+  }
+
+  bool Bool(bool* out) {
+    if (Lit("true")) {
+      *out = true;
+      return true;
+    }
+    if (Lit("false")) {
+      *out = false;
+      return true;
+    }
+    return false;
+  }
+
+  /// JSON string literal. Escape-free strings (the common case for ids,
+  /// tables, and query keys) copy straight out of the wire buffer; a
+  /// backslash delegates to the generic parser for correct unescaping.
+  bool Str(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    const size_t stop = text_.find_first_of("\"\\", pos_ + 1);
+    if (stop == std::string_view::npos) return false;
+    if (text_[stop] == '"') {
+      out->assign(text_, pos_ + 1, stop - pos_ - 1);
+      pos_ = stop + 1;
+      return true;
+    }
+    return Val() && scratch_.is_string() &&
+           (*out = std::move(scratch_).as_string(), true);
+  }
+
+  /// Embedded arbitrary value (document bodies) via the generic parser.
+  bool Val(Value* out = nullptr) {
+    size_t consumed = 0;
+    auto v = Value::FromJsonPrefix(text_.substr(pos_), &consumed);
+    if (!v.ok()) return false;
+    (out != nullptr ? *out : scratch_) = std::move(v).value();
+    pos_ += consumed;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == text_.size(); }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  Value scratch_;
+};
+
+bool TryDecodeCanonicalChangeBatch(std::string_view text,
+                                   std::vector<db::ChangeEvent>* out) {
+  CanonicalScanner sc(text);
+  if (!sc.Lit("{\"events\":[")) return false;
+  out->clear();
+  if (!sc.Lit("]")) {
+    for (;;) {
+      db::ChangeEvent ev;
+      int64_t version = 0;
+      int64_t kind = 0;
+      if (!sc.Lit("{\"after\":{\"body\":") || !sc.Val(&ev.after.body) ||
+          !sc.Lit(",\"deleted\":") || !sc.Bool(&ev.after.deleted) ||
+          !sc.Lit(",\"id\":") || !sc.Str(&ev.after.id) ||
+          !sc.Lit(",\"table\":") || !sc.Str(&ev.after.table) ||
+          !sc.Lit(",\"version\":") || !sc.Int(&version) ||
+          !sc.Lit(",\"write_time\":") || !sc.Int(&ev.after.write_time) ||
+          !sc.Lit("},\"commit_time\":") || !sc.Int(&ev.commit_time) ||
+          !sc.Lit(",\"kind\":") || !sc.Int(&kind) || !sc.Lit("}")) {
+        return false;
+      }
+      ev.after.version = static_cast<uint64_t>(version);
+      ev.kind = static_cast<db::WriteKind>(kind);
+      out->push_back(std::move(ev));
+      if (sc.Lit(",")) continue;
+      if (sc.Lit("]")) break;
+      return false;
+    }
+  }
+  return sc.Lit(",\"op\":\"change_batch\"}") && sc.AtEnd();
+}
+
+bool TryDecodeCanonicalNotificationBatch(std::string_view text,
+                                         std::vector<Notification>* out) {
+  CanonicalScanner sc(text);
+  if (!sc.Lit("{\"notifications\":[")) return false;
+  out->clear();
+  if (!sc.Lit("]")) {
+    for (;;) {
+      Notification n;
+      int64_t type = 0;
+      if (!sc.Lit("{\"event_time\":") || !sc.Int(&n.event_time) ||
+          !sc.Lit(",\"new_index\":") || !sc.Int(&n.new_index) ||
+          !sc.Lit(",\"query_key\":") || !sc.Str(&n.query_key) ||
+          !sc.Lit(",\"record_id\":") || !sc.Str(&n.record_id) ||
+          !sc.Lit(",\"type\":") || !sc.Int(&type) || !sc.Lit("}")) {
+        return false;
+      }
+      n.type = static_cast<NotificationType>(type);
+      out->push_back(std::move(n));
+      if (sc.Lit(",")) continue;
+      if (sc.Lit("]")) break;
+      return false;
+    }
+  }
+  return sc.Lit(",\"op\":\"notify_batch\"}") && sc.AtEnd();
 }
 
 Result<db::Document> DocumentFromSpec(const Value& spec) {
@@ -61,60 +247,139 @@ Result<db::Document> DecodeDocument(const Value& spec) {
   return DocumentFromSpec(spec);
 }
 
+Result<db::ChangeEvent> DecodeChangeEvent(const Value& spec) {
+  const Value* after = spec.Find("after");
+  const Value* kind = spec.Find("kind");
+  const Value* commit = spec.Find("commit_time");
+  if (after == nullptr || kind == nullptr || !kind->is_int()) {
+    return Status::Corruption("malformed change event");
+  }
+  auto doc = DocumentFromSpec(*after);
+  if (!doc.ok()) return doc.status();
+  db::ChangeEvent ev;
+  ev.kind = static_cast<db::WriteKind>(kind->as_int());
+  ev.after = std::move(doc).value();
+  ev.commit_time = commit != nullptr && commit->is_int()
+                       ? commit->as_int()
+                       : ev.after.write_time;
+  return ev;
+}
+
 std::string EncodeChange(const db::ChangeEvent& event) {
-  Object msg;
-  msg["op"] = Value("change");
-  msg["kind"] = Value(static_cast<int64_t>(event.kind));
-  msg["after"] = DocumentToSpec(event.after);
-  msg["commit_time"] = Value(static_cast<int64_t>(event.commit_time));
-  return Value(std::move(msg)).ToJson();
+  std::string out;
+  out.reserve(160);
+  out += "{\"after\":";
+  AppendDocumentSpec(&out, event.after);
+  out += ",\"commit_time\":";
+  out += std::to_string(static_cast<int64_t>(event.commit_time));
+  out += ",\"kind\":";
+  out += std::to_string(static_cast<int64_t>(event.kind));
+  out += ",\"op\":\"change\"}";
+  return out;
+}
+
+std::string EncodeChangeBatch(const std::vector<db::ChangeEvent>& events) {
+  std::string out;
+  out.reserve(32 + 160 * events.size());
+  out += "{\"events\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendChangeEventSpec(&out, events[i]);
+  }
+  out += "],\"op\":\"change_batch\"}";
+  return out;
+}
+
+Result<std::vector<db::ChangeEvent>> DecodeChangeBatch(const Value& msg) {
+  const Value* events = msg.Find("events");
+  if (events == nullptr || !events->is_array()) {
+    return Status::Corruption("malformed change batch");
+  }
+  std::vector<db::ChangeEvent> out;
+  out.reserve(events->as_array().size());
+  for (const Value& spec : events->as_array()) {
+    auto ev = DecodeChangeEvent(spec);
+    if (!ev.ok()) return ev.status();
+    out.push_back(std::move(ev).value());
+  }
+  return out;
+}
+
+Result<std::vector<db::ChangeEvent>> DecodeChangeBatch(
+    const std::string& message) {
+  std::vector<db::ChangeEvent> fast;
+  if (TryDecodeCanonicalChangeBatch(message, &fast)) return fast;
+  auto parsed = Value::FromJson(message);
+  if (!parsed.ok()) return parsed.status();
+  const Value* op =
+      parsed->is_object() ? parsed->Find("op") : nullptr;
+  if (op == nullptr || !op->is_string() ||
+      op->as_string() != "change_batch") {
+    return Status::Corruption("malformed change batch");
+  }
+  return DecodeChangeBatch(parsed.value());
 }
 
 std::string EncodeRegister(const db::Query& query,
                            const std::vector<db::Document>& initial_result,
                            EventMask events, Micros evaluated_at) {
-  Object msg;
-  msg["op"] = Value("register");
-  msg["query"] = query.ToSpec();
-  msg["events"] = Value(static_cast<int64_t>(events));
-  msg["evaluated_at"] = Value(static_cast<int64_t>(evaluated_at));
-  Array docs;
-  for (const db::Document& d : initial_result) {
-    docs.push_back(DocumentToSpec(d));
+  std::string out;
+  out.reserve(128 + 160 * initial_result.size());
+  out += "{\"evaluated_at\":";
+  out += std::to_string(static_cast<int64_t>(evaluated_at));
+  out += ",\"events\":";
+  out += std::to_string(static_cast<int64_t>(events));
+  out += ",\"initial\":[";
+  for (size_t i = 0; i < initial_result.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendDocumentSpec(&out, initial_result[i]);
   }
-  msg["initial"] = Value(std::move(docs));
-  return Value(std::move(msg)).ToJson();
+  out += "],\"op\":\"register\",\"query\":";
+  query.ToSpec().AppendJson(&out);
+  out += '}';
+  return out;
 }
 
 std::string EncodeDeregister(const std::string& query_key) {
-  Object msg;
-  msg["op"] = Value("deregister");
-  msg["key"] = Value(query_key);
-  return Value(std::move(msg)).ToJson();
+  std::string out;
+  out.reserve(32 + query_key.size());
+  out += "{\"key\":";
+  db::AppendJsonEscaped(&out, query_key);
+  out += ",\"op\":\"deregister\"}";
+  return out;
 }
 
 std::string EncodeResize(size_t query_partitions, size_t object_partitions) {
-  Object msg;
-  msg["op"] = Value("resize");
-  msg["query_partitions"] = Value(static_cast<int64_t>(query_partitions));
-  msg["object_partitions"] = Value(static_cast<int64_t>(object_partitions));
-  return Value(std::move(msg)).ToJson();
+  std::string out;
+  out.reserve(80);
+  out += "{\"object_partitions\":";
+  out += std::to_string(static_cast<int64_t>(object_partitions));
+  out += ",\"op\":\"resize\",\"query_partitions\":";
+  out += std::to_string(static_cast<int64_t>(query_partitions));
+  out += '}';
+  return out;
 }
 
 std::string EncodeNotification(const Notification& n) {
-  Object msg;
-  msg["type"] = Value(static_cast<int64_t>(n.type));
-  msg["query_key"] = Value(n.query_key);
-  msg["record_id"] = Value(n.record_id);
-  msg["event_time"] = Value(static_cast<int64_t>(n.event_time));
-  msg["new_index"] = Value(n.new_index);
-  return Value(std::move(msg)).ToJson();
+  std::string out;
+  out.reserve(96 + n.query_key.size() + n.record_id.size());
+  AppendNotificationSpec(&out, n);
+  return out;
 }
 
-Result<Notification> DecodeNotification(const std::string& message) {
-  auto parsed = Value::FromJson(message);
-  if (!parsed.ok()) return parsed.status();
-  const Value& msg = parsed.value();
+std::string EncodeNotificationBatch(const std::vector<Notification>& batch) {
+  std::string out;
+  out.reserve(40 + 96 * batch.size());
+  out += "{\"notifications\":[";
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendNotificationSpec(&out, batch[i]);
+  }
+  out += "],\"op\":\"notify_batch\"}";
+  return out;
+}
+
+Result<Notification> DecodeNotification(const Value& msg) {
   const Value* type = msg.Find("type");
   const Value* key = msg.Find("query_key");
   const Value* record = msg.Find("record_id");
@@ -135,6 +400,42 @@ Result<Notification> DecodeNotification(const std::string& message) {
   return n;
 }
 
+Result<Notification> DecodeNotification(const std::string& message) {
+  auto parsed = Value::FromJson(message);
+  if (!parsed.ok()) return parsed.status();
+  return DecodeNotification(parsed.value());
+}
+
+Result<std::vector<Notification>> DecodeNotificationBatch(const Value& msg) {
+  const Value* notifs = msg.Find("notifications");
+  if (notifs == nullptr || !notifs->is_array()) {
+    return Status::Corruption("malformed notification batch");
+  }
+  std::vector<Notification> out;
+  out.reserve(notifs->as_array().size());
+  for (const Value& spec : notifs->as_array()) {
+    auto n = DecodeNotification(spec);
+    if (!n.ok()) return n.status();
+    out.push_back(std::move(n).value());
+  }
+  return out;
+}
+
+Result<std::vector<Notification>> DecodeNotificationBatch(
+    const std::string& message) {
+  std::vector<Notification> fast;
+  if (TryDecodeCanonicalNotificationBatch(message, &fast)) return fast;
+  auto parsed = Value::FromJson(message);
+  if (!parsed.ok()) return parsed.status();
+  const Value* op =
+      parsed->is_object() ? parsed->Find("op") : nullptr;
+  if (op == nullptr || !op->is_string() ||
+      op->as_string() != "notify_batch") {
+    return Status::Corruption("malformed notification batch");
+  }
+  return DecodeNotificationBatch(parsed.value());
+}
+
 }  // namespace transport
 
 // ---------------------------------------------------------------------------
@@ -144,58 +445,171 @@ Result<Notification> DecodeNotification(const std::string& message) {
 InvalidbRemote::InvalidbRemote(Clock* clock, kv::KvStore* kv,
                                std::string prefix, NotificationSink sink,
                                TransportOptions options)
-    : kv_(kv),
+    : clock_(clock),
+      kv_(kv),
+      options_(options),
       requests_queue_(prefix + ":requests"),
       notifications_queue_(prefix + ":notifications"),
       sink_(std::move(sink)),
       req_sender_(clock, kv, requests_queue_, "quaestor", options.reliable),
       notif_receiver_(kv, notifications_queue_, options.reliable) {}
 
-InvalidbRemote::~InvalidbRemote() { StopPolling(); }
+InvalidbRemote::~InvalidbRemote() {
+  StopPolling();
+  FlushChanges();
+}
+
+void InvalidbRemote::SendEncodedBatch(std::string payload, size_t count) {
+  payload += "],\"op\":\"change_batch\"}";
+  req_sender_.Send(payload);
+  batches_sent_++;
+  batch_events_ += count;
+}
+
+void InvalidbRemote::FlushWithReason(std::atomic<uint64_t>* reason) {
+  if (!options_.batching.enabled) return;
+  std::string payload;
+  size_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    if (batch_count_ == 0) return;
+    payload = std::move(batch_json_);
+    count = batch_count_;
+    batch_json_.clear();
+    batch_count_ = 0;
+  }
+  (*reason)++;
+  SendEncodedBatch(std::move(payload), count);
+}
+
+void InvalidbRemote::FlushChanges() { FlushWithReason(&flushes_manual_); }
+
+void InvalidbRemote::MaybeFlushByAge() {
+  if (!options_.batching.enabled) return;
+  std::string payload;
+  size_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    if (batch_count_ == 0 ||
+        clock_->NowMicros() - batch_oldest_ < options_.batching.flush_interval) {
+      return;
+    }
+    payload = std::move(batch_json_);
+    count = batch_count_;
+    batch_json_.clear();
+    batch_count_ = 0;
+  }
+  flushes_interval_++;
+  SendEncodedBatch(std::move(payload), count);
+}
+
+size_t InvalidbRemote::buffered_changes() const {
+  std::lock_guard<std::mutex> lock(batch_mu_);
+  return batch_count_;
+}
 
 void InvalidbRemote::RegisterQuery(
     const db::Query& query, const std::vector<db::Document>& initial_result,
     EventMask events, Micros evaluated_at) {
+  // Barrier: a change buffered before this call must be matched before the
+  // registration installs (otherwise the worker would replay it against
+  // the fresh query as a spurious post-activation event).
+  FlushWithReason(&flushes_barrier_);
   req_sender_.Send(transport::EncodeRegister(query, initial_result, events,
                                              evaluated_at));
 }
 
 void InvalidbRemote::DeregisterQuery(const std::string& query_key) {
+  FlushWithReason(&flushes_barrier_);
   req_sender_.Send(transport::EncodeDeregister(query_key));
 }
 
 void InvalidbRemote::OnChange(const db::ChangeEvent& event) {
-  req_sender_.Send(transport::EncodeChange(event));
+  if (!options_.batching.enabled) {
+    req_sender_.Send(transport::EncodeChange(event));
+    return;
+  }
+  std::string payload;
+  size_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    if (batch_count_ == 0) {
+      batch_oldest_ = clock_->NowMicros();
+      batch_json_ = "{\"events\":[";
+    } else {
+      batch_json_ += ',';
+    }
+    transport::AppendChangeEventSpec(&batch_json_, event);
+    if (++batch_count_ >= options_.batching.max_batch) {
+      payload = std::move(batch_json_);
+      count = batch_count_;
+      batch_json_.clear();
+      batch_count_ = 0;
+    }
+  }
+  if (count > 0) {
+    flushes_size_++;
+    SendEncodedBatch(std::move(payload), count);
+  }
 }
 
 void InvalidbRemote::Resize(size_t query_partitions,
                             size_t object_partitions) {
+  FlushWithReason(&flushes_barrier_);
   req_sender_.Send(
       transport::EncodeResize(query_partitions, object_partitions));
 }
 
-void InvalidbRemote::HandleWire(const std::string& payload) {
-  auto n = transport::DecodeNotification(payload);
-  if (n.ok()) {
-    sink_(n.value());
-  } else {
-    decode_errors_++;
+size_t InvalidbRemote::HandleWire(const std::string& payload) {
+  // Batch fast path: canonical notify_batch envelopes are by far the
+  // hottest payload, and only they start with this prefix. The string
+  // overload scans the canonical form in a single pass and falls back to
+  // the generic (Value-parsing, op-checked) decoder on any deviation.
+  if (payload.compare(0, 18, "{\"notifications\":[") == 0) {
+    auto batch = transport::DecodeNotificationBatch(payload);
+    if (!batch.ok()) {
+      decode_errors_++;
+      return 0;
+    }
+    for (const Notification& n : batch.value()) sink_(n);
+    return batch.value().size();
   }
+  auto parsed = db::Value::FromJson(payload);
+  if (!parsed.ok() || !parsed->is_object()) {
+    decode_errors_++;
+    return 0;
+  }
+  const db::Value& msg = parsed.value();
+  const db::Value* op = msg.Find("op");
+  if (op != nullptr && op->is_string() &&
+      op->as_string() == "notify_batch") {
+    auto batch = transport::DecodeNotificationBatch(msg);
+    if (!batch.ok()) {
+      decode_errors_++;
+      return 0;
+    }
+    for (const Notification& n : batch.value()) sink_(n);
+    return batch.value().size();
+  }
+  auto n = transport::DecodeNotification(msg);
+  if (!n.ok()) {
+    decode_errors_++;
+    return 0;
+  }
+  sink_(n.value());
+  return 1;
 }
 
-void InvalidbRemote::Tick() { req_sender_.Tick(); }
+void InvalidbRemote::Tick() {
+  MaybeFlushByAge();
+  req_sender_.Tick();
+}
 
 size_t InvalidbRemote::DrainNotifications() {
   Tick();
   size_t delivered = 0;
   notif_receiver_.Poll([this, &delivered](const std::string& payload) {
-    auto n = transport::DecodeNotification(payload);
-    if (n.ok()) {
-      sink_(n.value());
-      delivered++;
-    } else {
-      decode_errors_++;
-    }
+    delivered += HandleWire(payload);
   });
   return delivered;
 }
@@ -222,6 +636,12 @@ TransportStats InvalidbRemote::stats() const {
   s.decode_errors = decode_errors_.load();
   s.duplicates_dropped = notif_receiver_.duplicates_dropped();
   s.redeliveries = req_sender_.redeliveries();
+  s.batches_sent = batches_sent_.load();
+  s.batch_events = batch_events_.load();
+  s.flushes_size = flushes_size_.load();
+  s.flushes_interval = flushes_interval_.load();
+  s.flushes_barrier = flushes_barrier_.load();
+  s.flushes_manual = flushes_manual_.load();
   return s;
 }
 
@@ -244,6 +664,7 @@ InvalidbWorker::InvalidbWorker(Clock* clock, kv::KvStore* kv,
                                std::string prefix, InvalidbOptions options,
                                TransportOptions transport_options)
     : kv_(kv),
+      options_(transport_options),
       requests_queue_(prefix + ":requests"),
       notifications_queue_(prefix + ":notifications"),
       req_receiver_(kv, requests_queue_, transport_options.reliable),
@@ -251,13 +672,94 @@ InvalidbWorker::InvalidbWorker(Clock* clock, kv::KvStore* kv,
                     WorkerReliable(transport_options.reliable)) {
   cluster_ = std::make_unique<InvalidbCluster>(
       clock, options, [this](const Notification& n) {
-        notif_sender_.Send(transport::EncodeNotification(n));
+        if (options_.batching.enabled) {
+          BufferNotifications(&n, 1);
+        } else {
+          notif_sender_.Send(transport::EncodeNotification(n));
+        }
       });
+  if (options_.batching.enabled) {
+    // Coalesced fan-out: the cluster hands each dispatch's notifications
+    // over in one call; they accumulate into one notify_batch envelope
+    // per pump cycle (or per max_batch overflow).
+    cluster_->SetBatchSink([this](const std::vector<Notification>& batch) {
+      BufferNotifications(batch.data(), batch.size());
+    });
+  }
 }
 
-InvalidbWorker::~InvalidbWorker() { Stop(); }
+InvalidbWorker::~InvalidbWorker() {
+  Stop();
+  cluster_->Flush();
+  FlushNotifications();
+}
+
+void InvalidbWorker::SendEncodedNotifications(std::string payload,
+                                              size_t count) {
+  payload += "],\"op\":\"notify_batch\"}";
+  notif_sender_.Send(payload);
+  batches_sent_++;
+  batch_events_ += count;
+}
+
+void InvalidbWorker::BufferNotifications(const Notification* data,
+                                         size_t count) {
+  std::string payload;
+  size_t flushed = 0;
+  {
+    std::lock_guard<std::mutex> lock(notif_mu_);
+    for (size_t i = 0; i < count; ++i) {
+      if (notif_count_ == 0) {
+        notif_json_ = "{\"notifications\":[";
+      } else {
+        notif_json_ += ',';
+      }
+      transport::AppendNotificationSpec(&notif_json_, data[i]);
+      ++notif_count_;
+    }
+    if (notif_count_ >= options_.batching.max_batch) {
+      payload = std::move(notif_json_);
+      flushed = notif_count_;
+      notif_json_.clear();
+      notif_count_ = 0;
+    }
+  }
+  if (flushed > 0) {
+    flushes_size_++;
+    SendEncodedNotifications(std::move(payload), flushed);
+  }
+}
+
+size_t InvalidbWorker::FlushNotifications() {
+  if (!options_.batching.enabled) return 0;
+  std::string payload;
+  size_t flushed = 0;
+  {
+    std::lock_guard<std::mutex> lock(notif_mu_);
+    if (notif_count_ == 0) return 0;
+    payload = std::move(notif_json_);
+    flushed = notif_count_;
+    notif_json_.clear();
+    notif_count_ = 0;
+  }
+  flushes_manual_++;
+  SendEncodedNotifications(std::move(payload), flushed);
+  return flushed;
+}
 
 void InvalidbWorker::HandleMessage(const std::string& message) {
+  // Batch fast path (see InvalidbRemote::HandleWire): only change_batch
+  // envelopes start with this prefix, and the canonical form decodes in
+  // one pass with no Value tree for the batch skeleton.
+  if (message.compare(0, 11, "{\"events\":[") == 0) {
+    auto events = transport::DecodeChangeBatch(message);
+    if (!events.ok()) {
+      decode_errors_++;
+      return;
+    }
+    cluster_->OnChangeBatch(std::move(events).value());
+    return;
+  }
   auto parsed = db::Value::FromJson(message);
   if (!parsed.ok() || !parsed->is_object()) {
     decode_errors_++;
@@ -306,25 +808,19 @@ void InvalidbWorker::HandleMessage(const std::string& message) {
     }
     cluster_->DeregisterQuery(key->as_string());
   } else if (op->as_string() == "change") {
-    const db::Value* after = msg.Find("after");
-    const db::Value* kind = msg.Find("kind");
-    const db::Value* commit = msg.Find("commit_time");
-    if (after == nullptr || kind == nullptr || !kind->is_int()) {
+    auto ev = transport::DecodeChangeEvent(msg);
+    if (!ev.ok()) {
       decode_errors_++;
       return;
     }
-    auto doc = transport::DecodeDocument(*after);
-    if (!doc.ok()) {
+    cluster_->OnChange(ev.value());
+  } else if (op->as_string() == "change_batch") {
+    auto events = transport::DecodeChangeBatch(msg);
+    if (!events.ok()) {
       decode_errors_++;
       return;
     }
-    db::ChangeEvent ev;
-    ev.kind = static_cast<db::WriteKind>(kind->as_int());
-    ev.after = std::move(doc).value();
-    ev.commit_time = commit != nullptr && commit->is_int()
-                         ? commit->as_int()
-                         : ev.after.write_time;
-    cluster_->OnChange(ev);
+    cluster_->OnChangeBatch(std::move(events).value());
   } else if (op->as_string() == "resize") {
     const db::Value* qp = msg.Find("query_partitions");
     const db::Value* op_parts = msg.Find("object_partitions");
@@ -350,6 +846,7 @@ size_t InvalidbWorker::ProcessPending() {
   const size_t handled = req_receiver_.Poll(
       [this](const std::string& payload) { HandleMessage(payload); });
   cluster_->Flush();
+  FlushNotifications();
   return handled;
 }
 
@@ -361,6 +858,7 @@ void InvalidbWorker::Start() {
       req_receiver_.PollBlocking(
           /*timeout_micros=*/10 * kMicrosPerMilli,
           [this](const std::string& payload) { HandleMessage(payload); });
+      FlushNotifications();
     }
   });
 }
@@ -368,6 +866,8 @@ void InvalidbWorker::Start() {
 void InvalidbWorker::Stop() {
   if (!running_.exchange(false)) return;
   if (consumer_.joinable()) consumer_.join();
+  cluster_->Flush();
+  FlushNotifications();
 }
 
 TransportStats InvalidbWorker::stats() const {
@@ -375,6 +875,10 @@ TransportStats InvalidbWorker::stats() const {
   s.decode_errors = decode_errors_.load();
   s.duplicates_dropped = req_receiver_.duplicates_dropped();
   s.redeliveries = notif_sender_.redeliveries();
+  s.batches_sent = batches_sent_.load();
+  s.batch_events = batch_events_.load();
+  s.flushes_size = flushes_size_.load();
+  s.flushes_manual = flushes_manual_.load();
   return s;
 }
 

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,25 +31,70 @@ namespace quaestor::invalidb {
 /// additionally uses "<queue>:acks" for delivery confirmations.
 namespace transport {
 
-/// Serialized message builders / parsers (exposed for tests).
+/// Serialized message builders / parsers (exposed for tests). All
+/// encoders emit canonical JSON in a single append pass — keys in sorted
+/// order, byte-identical to serializing the equivalent db::Value tree.
 std::string EncodeChange(const db::ChangeEvent& event);
+/// One envelope carrying a commit-ordered slice of the change stream:
+/// {"events":[<event spec>...],"op":"change_batch"}.
+std::string EncodeChangeBatch(const std::vector<db::ChangeEvent>& events);
 std::string EncodeRegister(const db::Query& query,
                            const std::vector<db::Document>& initial_result,
                            EventMask events, Micros evaluated_at);
 std::string EncodeDeregister(const std::string& query_key);
 std::string EncodeResize(size_t query_partitions, size_t object_partitions);
 std::string EncodeNotification(const Notification& n);
+/// One envelope carrying every notification of one dispatch:
+/// {"notifications":[<notification spec>...],"op":"notify_batch"}.
+std::string EncodeNotificationBatch(const std::vector<Notification>& batch);
+
+/// Streaming element appenders: one inner spec of a batch envelope,
+/// appended to an accumulating buffer. The endpoints stage outgoing
+/// batches as pre-encoded bytes (one append per event, no deep copies of
+/// buffered events), so the flush just closes the envelope and sends.
+void AppendChangeEventSpec(std::string* out, const db::ChangeEvent& event);
+void AppendNotificationSpec(std::string* out, const Notification& n);
 Result<Notification> DecodeNotification(const std::string& message);
+/// Parse-once overload for callers that already hold the decoded Value.
+Result<Notification> DecodeNotification(const db::Value& msg);
 
 /// Decodes a document spec (internal wire format; exposed for tests).
 Result<db::Document> DecodeDocument(const db::Value& spec);
+/// Decodes one change-event spec ("after" + "kind" required;
+/// "commit_time" falls back to the after-image write_time).
+Result<db::ChangeEvent> DecodeChangeEvent(const db::Value& spec);
+/// Decodes a change_batch envelope. The whole batch is rejected if any
+/// inner event is malformed (a torn batch must not be half-applied).
+Result<std::vector<db::ChangeEvent>> DecodeChangeBatch(const db::Value& msg);
+Result<std::vector<db::ChangeEvent>> DecodeChangeBatch(
+    const std::string& message);
+/// Decodes a notify_batch envelope (all-or-nothing, like DecodeChangeBatch).
+Result<std::vector<Notification>> DecodeNotificationBatch(
+    const db::Value& msg);
+Result<std::vector<Notification>> DecodeNotificationBatch(
+    const std::string& message);
 
 }  // namespace transport
+
+/// Write-path batching knobs: when enabled, change events buffer at the
+/// sending endpoint and ship as one change_batch envelope per flush, and
+/// the worker coalesces each dispatch's notifications into one
+/// notify_batch envelope. Notification *content* is byte-identical to the
+/// per-event wire format; only the framing changes.
+struct BatchOptions {
+  bool enabled = false;
+  /// Flush as soon as this many events are buffered.
+  size_t max_batch = 64;
+  /// Flush once the oldest buffered event is this old (checked in Tick /
+  /// DrainNotifications — manual-pump callers control the cadence).
+  Micros flush_interval = 1 * kMicrosPerMilli;
+};
 
 /// Transport configuration: both queue directions share the reliable-
 /// delivery settings (disabled by default — the seed wire format).
 struct TransportOptions {
   ReliableOptions reliable;
+  BatchOptions batching;
 };
 
 /// Delivery-quality counters for one transport endpoint.
@@ -61,9 +107,20 @@ struct TransportStats {
   uint64_t duplicates_dropped = 0;
   /// Retransmissions this endpoint's sender performed.
   uint64_t redeliveries = 0;
+  /// Batch envelopes sent and the events/notifications they carried.
+  uint64_t batches_sent = 0;
+  uint64_t batch_events = 0;
+  /// Why each flush fired: the buffer filled (size), the oldest event
+  /// aged out (interval), a non-change request needed ordering (barrier),
+  /// or an explicit FlushChanges / pump-cycle flush (manual).
+  uint64_t flushes_size = 0;
+  uint64_t flushes_interval = 0;
+  uint64_t flushes_barrier = 0;
+  uint64_t flushes_manual = 0;
 
   /// Adds these totals into `transport_*` registry counters. Labels
-  /// conventionally carry {"endpoint","remote"|"worker"}.
+  /// conventionally carry {"endpoint","remote"|"worker"}; flush reasons
+  /// export as transport_batch_flushes with an extra {"reason",...}.
   void ExportTo(obs::MetricsRegistry* registry,
                 const obs::Labels& labels = {}) const;
 };
@@ -94,12 +151,18 @@ class InvalidbRemote {
   /// matched on the old grid and everything after on the new one.
   void Resize(size_t query_partitions, size_t object_partitions);
 
+  /// Ships the buffered change batch now (no-op when batching is off or
+  /// the buffer is empty). Register/Deregister/Resize flush implicitly —
+  /// a buffered change must never be reordered after a control request.
+  void FlushChanges();
+
   /// Delivers all currently queued notifications to the sink (manual
   /// pump; deterministic tests). Also ticks the request sender (acks +
   /// retransmits). Returns how many notifications were delivered.
   size_t DrainNotifications();
 
-  /// Pumps the reliable machinery without draining notifications.
+  /// Pumps the reliable machinery (and the batch age-out) without
+  /// draining notifications.
   void Tick();
 
   /// Starts/stops a background notification poller thread. Stop/Start
@@ -119,19 +182,41 @@ class InvalidbRemote {
   size_t unacked_requests() const { return req_sender_.unacked(); }
   /// Out-of-order notifications parked until their gap fills.
   size_t pending_notifications() const { return notif_receiver_.pending(); }
+  /// Change events currently buffered awaiting a flush.
+  size_t buffered_changes() const;
 
   uint64_t decode_errors() const { return decode_errors_.load(); }
   TransportStats stats() const;
 
  private:
-  void HandleWire(const std::string& payload);
+  size_t HandleWire(const std::string& payload);
+  void SendEncodedBatch(std::string payload, size_t count);
+  void FlushWithReason(std::atomic<uint64_t>* reason);
+  void MaybeFlushByAge();
 
+  Clock* clock_;
   kv::KvStore* kv_;
+  TransportOptions options_;
   std::string requests_queue_;
   std::string notifications_queue_;
   NotificationSink sink_;
   ReliableSender req_sender_;
   ReliableReceiver notif_receiver_;
+
+  /// Ingest batch staged as pre-encoded envelope bytes (guarded by
+  /// batch_mu_): the open "{"events":[" prefix plus one spec per buffered
+  /// event. batch_oldest_ is the NowMicros when the run started.
+  mutable std::mutex batch_mu_;
+  std::string batch_json_;
+  size_t batch_count_ = 0;
+  Micros batch_oldest_ = 0;
+  std::atomic<uint64_t> batches_sent_{0};
+  std::atomic<uint64_t> batch_events_{0};
+  std::atomic<uint64_t> flushes_size_{0};
+  std::atomic<uint64_t> flushes_interval_{0};
+  std::atomic<uint64_t> flushes_barrier_{0};
+  std::atomic<uint64_t> flushes_manual_{0};
+
   std::atomic<uint64_t> decode_errors_{0};
   std::atomic<bool> polling_{false};
   std::thread poller_;
@@ -151,8 +236,13 @@ class InvalidbWorker {
 
   /// Processes all currently queued requests (manual pump). Returns how
   /// many messages were handled; malformed messages are counted in
-  /// decode_errors() and skipped. Also ticks the notification sender.
+  /// decode_errors() and skipped. Also ticks the notification sender and
+  /// flushes buffered notifications at the end of the pump.
   size_t ProcessPending();
+
+  /// Ships the buffered notification batch now (no-op when batching is
+  /// off or nothing is buffered). Returns how many notifications shipped.
+  size_t FlushNotifications();
 
   /// Pumps the reliable machinery without processing requests.
   void Tick();
@@ -167,8 +257,11 @@ class InvalidbWorker {
 
  private:
   void HandleMessage(const std::string& message);
+  void BufferNotifications(const Notification* data, size_t count);
+  void SendEncodedNotifications(std::string payload, size_t count);
 
   kv::KvStore* kv_;
+  TransportOptions options_;
   std::string requests_queue_;
   std::string notifications_queue_;
   ReliableReceiver req_receiver_;
@@ -176,6 +269,18 @@ class InvalidbWorker {
   std::unique_ptr<InvalidbCluster> cluster_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> decode_errors_{0};
+
+  /// Outbound notification batch staged as pre-encoded envelope bytes
+  /// (guarded by notif_mu_). Fed by the cluster's batch sink from worker
+  /// threads; drained by the pump.
+  std::mutex notif_mu_;
+  std::string notif_json_;
+  size_t notif_count_ = 0;
+  std::atomic<uint64_t> batches_sent_{0};
+  std::atomic<uint64_t> batch_events_{0};
+  std::atomic<uint64_t> flushes_size_{0};
+  std::atomic<uint64_t> flushes_manual_{0};
+
   std::thread consumer_;
 };
 

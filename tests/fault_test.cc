@@ -293,6 +293,54 @@ TEST(ReliableQueueTest, CorruptedEnvelopeNotAckedThenRecovered) {
   EXPECT_EQ(sender.unacked(), 0u);
 }
 
+// Tick must be O(1) while nothing is due: the sender tracks the earliest
+// retransmit deadline and skips the scan of the unacked map entirely
+// until the clock reaches it. With frequent Ticks (every pump) and deep
+// unacked queues, the scan — not the retransmits — used to dominate.
+TEST(ReliableQueueTest, TickSkipsRetransmitScanUntilDeadline) {
+  SimulatedClock clock(0);
+  kv::KvStore kv(&clock);
+  invalidb::ReliableOptions opts = Reliable();
+  opts.jitter = 0.0;
+  invalidb::ReliableSender sender(&clock, &kv, "q", "s", opts);
+  for (int i = 0; i < 50; ++i) sender.Send("m" + std::to_string(i));
+  ASSERT_EQ(sender.unacked(), 50u);
+
+  // Hammer Tick with nothing due: no scan may run.
+  const uint64_t scans_before = sender.retransmit_scans();
+  for (int i = 0; i < 1000; ++i) {
+    clock.Advance(opts.retransmit_timeout / 2000);
+    sender.Tick();
+  }
+  EXPECT_EQ(sender.retransmit_scans(), scans_before);
+  EXPECT_EQ(sender.redeliveries(), 0u);
+
+  // Cross the deadline: exactly one scan retransmits everything due,
+  // then the early-out holds again until the next (backed-off) deadline.
+  clock.Advance(opts.retransmit_timeout);
+  sender.Tick();
+  EXPECT_EQ(sender.retransmit_scans(), scans_before + 1);
+  EXPECT_EQ(sender.redeliveries(), 50u);
+  for (int i = 0; i < 100; ++i) sender.Tick();
+  EXPECT_EQ(sender.retransmit_scans(), scans_before + 1);
+
+  // Acks clear the queue; the deadline lazily expires with one final
+  // scan, after which an idle sender never scans again.
+  std::vector<std::string> got;
+  invalidb::ReliableReceiver receiver(&kv, "q", opts);
+  receiver.Poll([&](const std::string& p) { got.push_back(p); });
+  EXPECT_EQ(got.size(), 50u);
+  sender.Tick();  // consume acks
+  ASSERT_EQ(sender.unacked(), 0u);
+  clock.Advance(opts.max_backoff * 4);
+  sender.Tick();  // stale deadline: one empty scan clears it
+  const uint64_t idle_scans = sender.retransmit_scans();
+  clock.Advance(opts.max_backoff * 4);
+  for (int i = 0; i < 100; ++i) sender.Tick();
+  EXPECT_EQ(sender.retransmit_scans(), idle_scans);
+  EXPECT_EQ(sender.redeliveries(), 50u);  // nothing re-sent after acks
+}
+
 TEST(ReliableQueueTest, ExponentialBackoffCapped) {
   SimulatedClock clock(0);
   kv::KvStore kv(&clock);

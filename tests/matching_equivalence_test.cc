@@ -7,6 +7,7 @@
 // and an index-free table answering the same randomized queries over the
 // same data must return byte-identical results.
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
@@ -18,8 +19,12 @@
 #include "db/query.h"
 #include "db/table.h"
 #include "db/value.h"
+#include "fault/fault_injector.h"
+#include "fault/faulty_kv_store.h"
 #include "invalidb/cluster.h"
 #include "invalidb/matching_node.h"
+#include "invalidb/transport.h"
+#include "kv/kv_store.h"
 
 namespace quaestor::invalidb {
 namespace {
@@ -426,6 +431,315 @@ TEST(MatchingEquivalenceTest, TopKPlanExecutesIdenticallyToScan) {
   }
   EXPECT_GT(indexed.index_stats().order_scans, 0u);
   EXPECT_EQ(plain.index_lookups(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Write-path batching: batched ingest == the per-event pipeline
+// ---------------------------------------------------------------------------
+
+// Canonical signature for byte-for-byte multiset comparison (event_time
+// zero-padded so a lexicographic sort groups by change event; within one
+// event the emission order legitimately depends on which column a query
+// hashes to, so runs compare as sorted multisets — equality means the
+// batch boundary changed nothing about matching output).
+std::string Sig(const Notification& n) {
+  char time_buf[21];
+  std::snprintf(time_buf, sizeof(time_buf), "%020lld",
+                static_cast<long long>(n.event_time));
+  return std::string(time_buf) + "|" + n.query_key + "|" + n.record_id +
+         "|" + std::to_string(static_cast<int>(n.type)) + "|" +
+         std::to_string(n.new_index);
+}
+
+/// One seeded workload: stateless random-predicate queries (a complete
+/// oracle needs no sorted-layer ordering; the order-sensitive stateful
+/// case gets its own single-row test below), consistent initial results,
+/// and a commit-ordered change stream over a shared record pool.
+struct BatchWorkload {
+  std::vector<Query> queries;
+  std::vector<std::vector<Document>> initial;
+  std::vector<ChangeEvent> stream;
+};
+
+BatchWorkload MakeBatchWorkload(uint64_t seed, int num_queries,
+                                int num_records, int num_events) {
+  Rng rng(seed * 0x9e3779b9u + 0xba7c4);
+  BatchWorkload w;
+  std::map<std::string, Value> live;
+  for (int i = 0; i < num_records; ++i) {
+    live["r" + std::to_string(i)] = RandomDoc(rng);
+  }
+  std::map<std::string, bool> seen;  // the cluster keys by NormalizedKey
+  for (int i = 0; i < num_queries; ++i) {
+    Query q("t", RandomPredicate(rng, 2));
+    if (!seen.emplace(q.NormalizedKey(), true).second) continue;
+    std::vector<Document> initial;
+    for (const auto& [id, body] : live) {
+      if (q.Matches(body)) {
+        Document doc;
+        doc.table = "t";
+        doc.id = id;
+        doc.body = body;
+        initial.push_back(doc);
+      }
+    }
+    w.queries.push_back(std::move(q));
+    w.initial.push_back(std::move(initial));
+  }
+  for (int round = 0; round < num_events; ++round) {
+    const std::string id =
+        "r" + std::to_string(rng.NextUint64(num_records));
+    ChangeEvent ev;
+    ev.commit_time = (round + 1) * kMicrosPerMilli;
+    ev.after.table = "t";
+    ev.after.id = id;
+    ev.after.version = static_cast<uint64_t>(round) + 2;
+    ev.after.write_time = ev.commit_time;
+    const auto it = live.find(id);
+    if (it != live.end() && rng.NextBool(0.2)) {
+      ev.kind = WriteKind::kDelete;
+      ev.after.deleted = true;
+      ev.after.body = it->second;
+      live.erase(it);
+    } else {
+      ev.kind = it == live.end() ? WriteKind::kInsert : WriteKind::kUpdate;
+      ev.after.body = RandomDoc(rng);
+      live[id] = ev.after.body;
+    }
+    w.stream.push_back(std::move(ev));
+  }
+  return w;
+}
+
+/// Feeds the stream in `batch`-sized slices through OnChangeBatch
+/// (batch == 1 is the per-event reference path) and returns the sorted
+/// notification multiset. `resize_at` >= 0 repartitions the live cluster
+/// to 3x2 at the first batch boundary past that event index — zero
+/// loss/duplication is the Resize() contract, so the exact boundary may
+/// differ between batch sizes without changing the multiset.
+std::vector<std::string> RunBatchedCluster(const BatchWorkload& w,
+                                           size_t batch, int resize_at,
+                                           ClusterStats* stats_out) {
+  SimulatedClock clock(0);
+  std::vector<std::string> sigs;
+  InvalidbOptions opts;
+  opts.query_partitions = 2;
+  opts.object_partitions = 2;
+  opts.batched_matching = batch > 1;
+  InvalidbCluster cluster(&clock, opts, [&](const Notification& n) {
+    sigs.push_back(Sig(n));
+  });
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    EXPECT_TRUE(
+        cluster.RegisterQuery(w.queries[i], w.initial[i], kEventsAll).ok());
+  }
+  bool resized = false;
+  for (size_t i = 0; i < w.stream.size(); i += batch) {
+    if (resize_at >= 0 && !resized && i >= static_cast<size_t>(resize_at)) {
+      cluster.Resize(3, 2);
+      resized = true;
+    }
+    const size_t end = std::min(i + batch, w.stream.size());
+    if (batch == 1) {
+      cluster.OnChange(w.stream[i]);
+    } else {
+      cluster.OnChangeBatch(std::vector<ChangeEvent>(
+          w.stream.begin() + i, w.stream.begin() + end));
+    }
+  }
+  if (stats_out != nullptr) *stats_out = cluster.stats();
+  std::sort(sigs.begin(), sigs.end());
+  return sigs;
+}
+
+TEST(MatchingEquivalenceTest, BatchedClusterByteIdenticalAcross20Seeds) {
+  constexpr int kEvents = 160;
+  size_t nonvacuous = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const BatchWorkload w = MakeBatchWorkload(seed, /*num_queries=*/40,
+                                              /*num_records=*/24, kEvents);
+    const std::vector<std::string> expected =
+        RunBatchedCluster(w, /*batch=*/1, /*resize_at=*/-1, nullptr);
+    if (expected.size() > kEvents) ++nonvacuous;
+    for (const size_t batch : {size_t{7}, size_t{64}}) {
+      ClusterStats stats;
+      EXPECT_EQ(RunBatchedCluster(w, batch, /*resize_at=*/-1, &stats),
+                expected)
+          << "seed " << seed << " batch " << batch;
+      // The batched path actually ran (not silently unbatched).
+      EXPECT_GT(stats.change_batches, 0u) << "seed " << seed;
+      EXPECT_EQ(stats.batch_events, static_cast<uint64_t>(kEvents))
+          << "seed " << seed;
+    }
+    // Mid-stream resize: the repartition lands between two batches of the
+    // batched run and between two events of the reference — the multiset
+    // must not notice either way.
+    const std::vector<std::string> expected_rz =
+        RunBatchedCluster(w, /*batch=*/1, /*resize_at=*/kEvents / 2, nullptr);
+    EXPECT_EQ(expected_rz, expected) << "seed " << seed;
+    EXPECT_EQ(
+        RunBatchedCluster(w, /*batch=*/64, /*resize_at=*/kEvents / 2, nullptr),
+        expected)
+        << "seed " << seed;
+  }
+  // Anti-vacuity: most seeds must emit more notifications than events.
+  EXPECT_GT(nonvacuous, 15u);
+}
+
+// The sweep above is stateless by design: a batch is row-grouped, so
+// cross-row commit interleaving — which the per-record ordering contract
+// never promised — can reach the (order-sensitive) sorted layer in a
+// different order. With a single object partition the grouping is the
+// identity and the full stateful pipeline must be byte-identical,
+// new_index and changeIndex moves included.
+TEST(MatchingEquivalenceTest, BatchedSortedLayerSingleRowByteIdentical) {
+  Rng rng(0x50fa);
+  BatchWorkload w;
+  Query top("t", db::Predicate::Compare("score", CompareOp::kGte,
+                                        Value(int64_t{0})));
+  top.SetOrderBy({{"score", false}}).SetLimit(3);
+  w.queries.push_back(std::move(top));
+  w.initial.emplace_back();
+  for (int round = 0; round < 200; ++round) {
+    ChangeEvent ev;
+    ev.commit_time = (round + 1) * kMicrosPerMilli;
+    ev.after.table = "t";
+    ev.after.id = "r" + std::to_string(rng.NextUint64(10));
+    ev.after.version = static_cast<uint64_t>(round) + 2;
+    ev.after.write_time = ev.commit_time;
+    ev.kind = WriteKind::kUpdate;
+    Object body;
+    body["score"] = Value(static_cast<int64_t>(rng.NextUint64(100)));
+    ev.after.body = Value(std::move(body));
+    w.stream.push_back(std::move(ev));
+  }
+
+  const auto run = [&](size_t batch) {
+    SimulatedClock clock(0);
+    std::vector<std::string> sigs;
+    size_t index_moves = 0;
+    InvalidbOptions opts;
+    opts.query_partitions = 2;
+    opts.object_partitions = 1;  // one row: batches keep global order
+    opts.batched_matching = batch > 1;
+    InvalidbCluster cluster(&clock, opts, [&](const Notification& n) {
+      sigs.push_back(Sig(n));
+      if (n.type == NotificationType::kChangeIndex) ++index_moves;
+    });
+    EXPECT_TRUE(
+        cluster.RegisterQuery(w.queries[0], w.initial[0], kEventsAll).ok());
+    for (size_t i = 0; i < w.stream.size(); i += batch) {
+      const size_t end = std::min(i + batch, w.stream.size());
+      if (batch == 1) {
+        cluster.OnChange(w.stream[i]);
+      } else {
+        cluster.OnChangeBatch(std::vector<ChangeEvent>(
+            w.stream.begin() + i, w.stream.begin() + end));
+      }
+    }
+    EXPECT_GT(index_moves, 10u);  // the window actually reshuffled
+    return sigs;  // NOT sorted: single row, order must match exactly
+  };
+
+  const std::vector<std::string> expected = run(1);
+  ASSERT_GT(expected.size(), 100u);
+  EXPECT_EQ(run(16), expected);
+  EXPECT_EQ(run(64), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Write-path batching over a lossy, duplicating, reordering transport
+// ---------------------------------------------------------------------------
+
+/// Ships the workload through a remote/worker pair over `kv` with
+/// batching at `batch` (1 = batching off), pumping until the pipeline
+/// drains. Returns the sorted notification multiset as seen by the
+/// remote's sink — i.e. after batch encode, the reliable layer, the
+/// faulty channel, and batch decode.
+std::vector<std::string> RunBatchedTransport(const BatchWorkload& w,
+                                             size_t batch, SimulatedClock* clock,
+                                             kv::KvStore* kv,
+                                             fault::FaultyKvStore* faulty) {
+  TransportOptions topts;
+  topts.reliable.enabled = true;
+  topts.reliable.seed = 0xba7c ^ batch;
+  topts.batching.enabled = batch > 1;
+  topts.batching.max_batch = batch;
+  std::vector<std::string> sigs;
+  InvalidbOptions copts;
+  copts.query_partitions = 2;
+  copts.object_partitions = 2;
+  copts.batched_matching = batch > 1;
+  InvalidbRemote remote(
+      clock, kv, "bt",
+      [&](const Notification& n) { sigs.push_back(Sig(n)); }, topts);
+  InvalidbWorker worker(clock, kv, "bt", copts, topts);
+
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    remote.RegisterQuery(w.queries[i], w.initial[i], kEventsAll);
+  }
+  for (const ChangeEvent& ev : w.stream) remote.OnChange(ev);
+  remote.FlushChanges();
+
+  for (int round = 0; round < 400; ++round) {
+    worker.ProcessPending();
+    remote.DrainNotifications();
+    clock->Advance(150 * kMicrosPerMilli);
+    worker.Tick();
+    remote.Tick();
+    const bool drained =
+        remote.unacked_requests() == 0 &&
+        remote.pending_notifications() == 0 &&
+        remote.buffered_changes() == 0 &&
+        kv->QueueLen("bt:requests") == 0 &&
+        kv->QueueLen("bt:notifications") == 0 &&
+        (faulty == nullptr || faulty->held_count() == 0);
+    if (drained && round > 4) break;
+  }
+  if (batch > 1) {
+    // The batched framing was actually on the wire.
+    EXPECT_GT(remote.stats().batches_sent, 0u);
+    EXPECT_GT(worker.stats().batches_sent, 0u);
+  }
+  EXPECT_EQ(remote.decode_errors(), 0u);
+  EXPECT_EQ(worker.decode_errors(), 0u);
+  std::sort(sigs.begin(), sigs.end());
+  return sigs;
+}
+
+TEST(MatchingEquivalenceTest, BatchedTransportByteIdenticalAcross20Seeds) {
+  constexpr int kEvents = 48;
+  fault::FaultProfile profile;
+  profile.drop_rate = 0.10;
+  profile.duplicate_rate = 0.10;
+  profile.reorder_rate = 0.10;
+  uint64_t total_dropped = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const BatchWorkload w = MakeBatchWorkload(seed, /*num_queries=*/30,
+                                              /*num_records=*/16, kEvents);
+
+    // Reference: batching off, perfect channel.
+    SimulatedClock ref_clock(0);
+    kv::KvStore ref_kv(&ref_clock);
+    const std::vector<std::string> expected =
+        RunBatchedTransport(w, /*batch=*/1, &ref_clock, &ref_kv, nullptr);
+    ASSERT_GT(expected.size(), 10u) << "seed " << seed;
+
+    // Every batch size must survive a 10% drop/dup/reorder channel with
+    // the exact multiset: the reliable layer guards whole envelopes, so a
+    // redelivered batch must dedup as one unit, never half-apply.
+    for (const size_t batch : {size_t{1}, size_t{7}, size_t{64}}) {
+      SimulatedClock clock(0);
+      fault::FaultInjector injector(seed * 6151 + 7 * batch, profile);
+      fault::FaultyKvStore faulty(&clock, &injector);
+      EXPECT_EQ(RunBatchedTransport(w, batch, &clock, &faulty, &faulty),
+                expected)
+          << "seed " << seed << " batch " << batch;
+      total_dropped += injector.stats().dropped;
+    }
+  }
+  // The sweep actually exercised the faults it claims to survive.
+  EXPECT_GT(total_dropped, 50u);
 }
 
 }  // namespace

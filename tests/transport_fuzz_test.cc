@@ -43,6 +43,8 @@ std::string RandomBytes(Rng* rng, size_t max_len) {
 // Feeds one message into every decoder; none may crash.
 void ExerciseDecoders(const std::string& message) {
   (void)transport::DecodeNotification(message).ok();
+  (void)transport::DecodeChangeBatch(message).ok();
+  (void)transport::DecodeNotificationBatch(message).ok();
   (void)reliable::Decode(message).ok();
   (void)reliable::DecodeAck(message).ok();
   auto parsed = db::Value::FromJson(message);
@@ -87,6 +89,17 @@ std::vector<std::string> ValidWireMessages() {
   msgs.push_back(transport::EncodeRegister(q, {init}, kEventsAll, 7));
   msgs.push_back(transport::EncodeDeregister(q.NormalizedKey()));
   msgs.push_back(transport::EncodeResize(3, 2));
+
+  // Batch envelopes: a multi-event change batch (escaped id stresses the
+  // canonical scanner's string fallback), an empty batch, and a
+  // notification batch.
+  db::ChangeEvent ev2 = ev;
+  ev2.kind = db::WriteKind::kDelete;
+  ev2.after.deleted = true;
+  ev2.after.id = "needs\\escaping\"quote";
+  msgs.push_back(transport::EncodeChangeBatch({ev, ev2}));
+  msgs.push_back(transport::EncodeChangeBatch({}));
+  msgs.push_back(transport::EncodeNotificationBatch({n, n}));
 
   msgs.push_back(reliable::Encode("sender-1", 42, msgs[0]));
   msgs.push_back(reliable::EncodeAck("sender-1", 42));
@@ -171,6 +184,56 @@ TEST(TransportFuzzTest, WorkerSurvivesGarbageOnItsRequestQueue) {
                transport::EncodeRegister(q, {}, kEventsAll, 0));
   worker.ProcessPending();
   EXPECT_TRUE(worker.cluster().IsRegistered(q.NormalizedKey()));
+}
+
+// A batch envelope is all-or-nothing at the worker: a torn or inner-
+// corrupt batch is dropped whole (one decode error, zero events applied)
+// and an empty batch is a harmless no-op — never a crash, never a
+// half-applied prefix.
+TEST(TransportFuzzTest, WorkerDropsTornBatchesWhole) {
+  SimulatedClock clock(0);
+  kv::KvStore kv(&clock);
+  std::vector<Notification> received;
+  InvalidbWorker worker(&clock, &kv, "tb");
+  InvalidbRemote remote(&clock, &kv, "tb",
+                        [&](const Notification& n) { received.push_back(n); });
+  db::Query q = Q("posts", R"({"g":1})");
+  kv.QueuePush("tb:requests", transport::EncodeRegister(q, {}, kEventsAll, 0));
+
+  std::vector<db::ChangeEvent> events;
+  for (int i = 0; i < 3; ++i) {
+    db::ChangeEvent ev;
+    ev.kind = db::WriteKind::kUpdate;
+    ev.after.table = "posts";
+    ev.after.id = "p" + std::to_string(i);
+    ev.after.body = Doc(R"({"g":1})");
+    ev.commit_time = i + 1;
+    ev.after.write_time = ev.commit_time;
+    events.push_back(std::move(ev));
+  }
+  const std::string whole = transport::EncodeChangeBatch(events);
+
+  // Truncated batch: even though the first two event specs are intact,
+  // none of the three may be matched.
+  kv.QueuePush("tb:requests", whole.substr(0, whole.size() - 12));
+  // Corrupt inner event (second of three): same all-or-nothing rule.
+  std::string corrupt = whole;
+  corrupt.replace(corrupt.find("\"id\":\"p1\""), 9, "\"id\":12345");
+  kv.QueuePush("tb:requests", corrupt);
+  // Empty batch: decodes fine, applies nothing.
+  kv.QueuePush("tb:requests", transport::EncodeChangeBatch({}));
+  worker.ProcessPending();
+  remote.DrainNotifications();
+  EXPECT_EQ(worker.decode_errors(), 2u);
+  EXPECT_TRUE(received.empty());
+  EXPECT_EQ(worker.cluster().stats().changes_ingested, 0u);
+
+  // The intact batch still flows after the torn ones were dropped.
+  kv.QueuePush("tb:requests", whole);
+  worker.ProcessPending();
+  remote.DrainNotifications();
+  EXPECT_EQ(received.size(), 3u);
+  EXPECT_EQ(worker.cluster().stats().changes_ingested, 3u);
 }
 
 TEST(TransportFuzzTest, RemoteSurvivesGarbageOnItsNotificationQueue) {
