@@ -4,9 +4,16 @@
 // The paper reports a 98% CDN cache hit rate, letting 2 DBaaS servers
 // carry the load.
 //
-// Scaled reproduction: many short-lived clients with cold browser caches
-// all read the same few hot queries; the CDN absorbs nearly everything
-// and the origin request share collapses.
+// Scaled reproduction in two parts:
+//  1. The steady crowd: many short-lived clients with cold browser caches
+//     all read the same few hot queries; the CDN absorbs nearly everything
+//     and the origin request share collapses.
+//  2. The overload storm: a 10x offered-load spike on an origin injected
+//     with 20x slowness, run twice — overload protections OFF (unbounded
+//     queueing) and ON (admission control + deadlines + stale-serving).
+//     The comparison metric is in-deadline goodput: reads and queries
+//     that completed successfully within the 1 s request budget. Emitted
+//     as BENCH_flash_crowd.json for the CI gate (ON >= 2x OFF).
 
 #include <cstdio>
 #include <vector>
@@ -16,7 +23,7 @@
 namespace quaestor::bench {
 namespace {
 
-void Run() {
+void RunProduction(db::Value* out) {
   workload::WorkloadOptions w;
   w.num_tables = 1;          // one shop catalogue
   w.docs_per_table = 1000;   // articles
@@ -48,6 +55,8 @@ void Run() {
           ? 0.0
           : static_cast<double>(cdn_hits) /
                 static_cast<double>(cdn_hits + origin);
+  const double origin_share =
+      static_cast<double>(origin) / static_cast<double>(total_reads);
 
   PrintHeader("Flash crowd (production scenario, paper: 98% CDN hit rate)");
   PrintRow("request rate (ops/s)", {r.throughput_ops_s});
@@ -57,18 +66,175 @@ void Run() {
   PrintRow("CDN hit rate (of CDN traffic)", {cdn_hit_rate});
   PrintRow("origin requests/s",
            {static_cast<double>(origin) / r.duration_s});
-  PrintRow("origin share of all requests",
-           {static_cast<double>(origin) / static_cast<double>(total_reads)});
+  PrintRow("origin share of all requests", {origin_share});
   PrintRow("stale query rate", {r.queries.StaleRate()});
   PrintNote("expected: CDN hit rate near the paper's 98%; the origin sees");
   PrintNote("a tiny fraction of the load, so 2 backend servers suffice");
+
+  out->SetPath("production.request_rate_ops_s", db::Value(r.throughput_ops_s));
+  out->SetPath("production.cdn_hit_rate", db::Value(cdn_hit_rate));
+  out->SetPath("production.origin_share", db::Value(origin_share));
+}
+
+constexpr double kDeadlineMs = 1000.0;
+
+/// One overload run: a 10x flash crowd on a 20x slower origin, with the
+/// overload protections on or off. Mirrors the failure_test ChaosTest
+/// storm so the bench and the test exercise the same machinery.
+struct OverloadRun {
+  double goodput_ops_s = 0.0;  // in-deadline successful reads+queries / s
+  double read_p99_ms = 0.0;
+  uint64_t shed = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t stale_serves = 0;
+};
+
+OverloadRun RunOverloadOnce(bool protections) {
+  workload::WorkloadOptions w;
+  w.num_tables = 2;
+  w.docs_per_table = 60;
+  w.queries_per_table = 3;
+  w.docs_per_query = 12;
+  w.read_weight = 0.66;
+  w.query_weight = 0.22;
+  w.insert_weight = 0.02;
+  w.update_weight = 0.10;
+
+  sim::SimOptions s;
+  s.num_client_instances = 3;
+  s.connections_per_instance = 2;
+  s.duration = SecondsToMicros(14.0);
+  s.warmup = SecondsToMicros(1.0);
+  s.seed = 11;
+  s.think_time = MillisToMicros(50.0);
+  // One backend worker, 2 ms service: ~500 req/s healthy, 25 req/s during
+  // the storm — the crowd genuinely oversubscribes the origin.
+  s.num_servers = 1;
+  s.server_service = MillisToMicros(2.0);
+  s.server_options.ttl_options.max_ttl = SecondsToMicros(5.0);
+
+  // The storm: 10x offered load on a 20x slower origin, after several
+  // seconds of normal traffic have warmed the caches.
+  sim::SimOptions::OverloadPhase phase;
+  phase.at = SecondsToMicros(6.0);
+  phase.duration = SecondsToMicros(4.0);
+  phase.load_multiplier = 10.0;
+  phase.origin_slowdown = 20.0;
+  s.overload_phases.push_back(phase);
+
+  if (protections) {
+    s.server_options.admission.enabled = true;
+    s.server_options.admission.max_concurrent = 1;
+    s.server_options.admission.service_cost = 4 * kMicrosPerMilli;
+    s.server_options.admission.max_queue = 16;
+    s.server_options.admission.target_queue_delay = 20 * kMicrosPerMilli;
+    s.server_options.admission.codel_interval = 100 * kMicrosPerMilli;
+    // Admission "measures" the storm: every served origin visit during
+    // the phase charges the controller the extra service time.
+    s.origin_spike_fn = [phase](Micros now) -> Micros {
+      if (now >= phase.at && now < phase.at + phase.duration) {
+        return MillisToMicros(38.0);
+      }
+      return 0;
+    };
+    s.client_options.request_deadline =
+        static_cast<Micros>(kDeadlineMs) * kMicrosPerMilli;
+    s.client_options.stale_serve.enabled = true;
+    s.client_options.stale_serve.ttl_cap = 1 * kMicrosPerSecond;
+    s.client_options.stale_serve.max_age = 30 * kMicrosPerSecond;
+    s.client_options.retry.enabled = true;
+    s.client_options.retry.max_attempts = 2;
+    s.client_options.retry.retry_budget = 10.0;
+    s.client_options.retry.budget_refill_per_success = 0.1;
+  }
+
+  sim::Simulation simulation(w, s);
+  sim::Simulation* sim_ptr = &simulation;
+
+  // In-deadline goodput, measured identically for both runs: successful
+  // reads/queries that completed within the budget. The unprotected run
+  // does not enforce the deadline — it is measured against it.
+  uint64_t in_deadline = 0;
+  simulation.AddOpObserver([&](const sim::OpObservation& obs) {
+    if (sim_ptr->clock().NowMicros() < s.warmup) return;
+    switch (obs.type) {
+      case workload::OpType::kRead:
+        if (obs.read->status.ok() &&
+            obs.read->outcome.latency_ms <= kDeadlineMs) {
+          in_deadline++;
+        }
+        break;
+      case workload::OpType::kQuery:
+        if (obs.query_result->status.ok() &&
+            obs.query_result->outcome.latency_ms <= kDeadlineMs) {
+          in_deadline++;
+        }
+        break;
+      default:
+        break;
+    }
+  });
+
+  sim::SimResults r = simulation.Run();
+  AccumulateObs(r.metrics);
+
+  OverloadRun out;
+  out.goodput_ops_s =
+      r.duration_s > 0 ? static_cast<double>(in_deadline) / r.duration_s : 0.0;
+  out.read_p99_ms = r.reads.latency.P99();
+  out.shed = r.shed_ops;
+  out.deadline_exceeded = r.deadline_exceeded_ops;
+  out.stale_serves = r.stale_shed_serves;
+  return out;
+}
+
+void RunOverload(db::Value* out) {
+  const OverloadRun off = RunOverloadOnce(/*protections=*/false);
+  const OverloadRun on = RunOverloadOnce(/*protections=*/true);
+  const double ratio =
+      off.goodput_ops_s > 0 ? on.goodput_ops_s / off.goodput_ops_s : 0.0;
+
+  PrintHeader("Overload storm (10x load, 20x slower origin, 1 s budget)");
+  PrintColumns("", {"off", "on"});
+  PrintRow("in-deadline goodput (ops/s)",
+           {off.goodput_ops_s, on.goodput_ops_s});
+  PrintRow("read p99 (ms)", {off.read_p99_ms, on.read_p99_ms});
+  PrintRow("shed ops", {static_cast<double>(off.shed),
+                        static_cast<double>(on.shed)});
+  PrintRow("deadline-exceeded ops",
+           {static_cast<double>(off.deadline_exceeded),
+            static_cast<double>(on.deadline_exceeded)});
+  PrintRow("stale-shed serves", {static_cast<double>(off.stale_serves),
+                                 static_cast<double>(on.stale_serves)});
+  PrintRow("goodput ratio (on/off)", {ratio});
+  PrintNote("expected: protections keep goodput >= 2x the unprotected run");
+  PrintNote("by shedding writes, bounding the queue, and serving flagged");
+  PrintNote("bounded-stale copies instead of queueing into the collapse");
+
+  out->SetPath("overload.deadline_ms", db::Value(kDeadlineMs));
+  out->SetPath("overload.off.goodput_in_deadline_ops_s",
+               db::Value(off.goodput_ops_s));
+  out->SetPath("overload.off.read_p99_ms", db::Value(off.read_p99_ms));
+  out->SetPath("overload.on.goodput_in_deadline_ops_s",
+               db::Value(on.goodput_ops_s));
+  out->SetPath("overload.on.read_p99_ms", db::Value(on.read_p99_ms));
+  out->SetPath("overload.on.shed_ops",
+               db::Value(static_cast<int64_t>(on.shed)));
+  out->SetPath("overload.on.deadline_exceeded_ops",
+               db::Value(static_cast<int64_t>(on.deadline_exceeded)));
+  out->SetPath("overload.on.stale_shed_serves",
+               db::Value(static_cast<int64_t>(on.stale_serves)));
+  out->SetPath("overload.goodput_ratio", db::Value(ratio));
 }
 
 }  // namespace
 }  // namespace quaestor::bench
 
 int main() {
-  quaestor::bench::Run();
+  quaestor::db::Value results{quaestor::db::Object{}};
+  quaestor::bench::RunProduction(&results);
+  quaestor::bench::RunOverload(&results);
+  quaestor::bench::WriteJsonFile("BENCH_flash_crowd.json", results);
   quaestor::bench::WriteObsSnapshot("flash_crowd");
   return 0;
 }

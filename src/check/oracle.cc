@@ -156,11 +156,12 @@ void ConsistencyOracle::OnSessionWrite(const std::string& session,
 
 void ConsistencyOracle::CheckRead(const std::string& session,
                                   const std::string& key, bool found,
-                                  uint64_t version) {
+                                  uint64_t version, Micros extra_bound) {
   checked_reads_++;
   if (DegradedNow()) degraded_checks_++;
   const Micros now = clock_->NowMicros();
-  const Micros window_start = now - Bound();
+  const Micros bound = Bound() + extra_bound;
+  const Micros window_start = now - bound;
   SessionState& ss = sessions_[session];
   auto hit = history_.find(key);
   const std::vector<VersionEntry>* h =
@@ -264,14 +265,20 @@ void ConsistencyOracle::CheckRead(const std::string& session,
     Report(Invariant::kDeltaAtomicity, session, key,
            "version " + std::to_string(version) + " was superseded " +
                std::to_string(staleness) + "us ago (bound " +
-               std::to_string(Bound()) + "us)");
+               std::to_string(bound) + "us)");
   }
+  // A flagged stale-shed response (extra_bound > 0) is an explicit,
+  // advertised downgrade to bounded staleness: session-order invariants
+  // are not asserted for it, but the floor stands, so the next unflagged
+  // read is still held to the session's history.
   uint64_t& floor = ss.observed[key];
   if (version < floor) {
-    Report(Invariant::kMonotonicReads, session, key,
-           "version regressed from " + std::to_string(floor) + " to " +
-               std::to_string(version));
-  } else if (options_.check_causal) {
+    if (extra_bound == 0) {
+      Report(Invariant::kMonotonicReads, session, key,
+             "version regressed from " + std::to_string(floor) + " to " +
+                 std::to_string(version));
+    }
+  } else if (options_.check_causal && extra_bound == 0) {
     auto cit = ss.causal.find(key);
     if (cit != ss.causal.end() && version < cit->second) {
       Report(Invariant::kCausal, session, key,
@@ -299,12 +306,13 @@ void ConsistencyOracle::CheckRead(const std::string& session,
 void ConsistencyOracle::CheckQuery(const std::string& session,
                                    const db::Query& query, bool found,
                                    uint64_t etag,
-                                   ttl::ResultRepresentation representation) {
+                                   ttl::ResultRepresentation representation,
+                                   Micros extra_bound) {
   checked_queries_++;
   if (!found) return;  // a failed fetch makes no freshness claim
   if (DegradedNow()) degraded_checks_++;
   const Micros now = clock_->NowMicros();
-  const Micros window_start = now - Bound();
+  const Micros window_start = now - (Bound() + extra_bound);
   const std::string qkey = query.NormalizedKey();
   auto it = queries_.find(qkey);
   if (it == queries_.end()) return;  // untracked
@@ -344,9 +352,14 @@ void ConsistencyOracle::CheckQuery(const std::string& session,
   size_t& floor = ss.observed_epoch[qkey];
   const size_t best = matches.back();
   if (best < floor) {
-    Report(Invariant::kMonotonicReads, session, qkey,
-           "result regressed to epoch " + std::to_string(best) +
-               " after epoch " + std::to_string(floor));
+    // Flagged stale-shed responses (extra_bound > 0) advertise bounded
+    // staleness only — no session-order claim — so a regression is not a
+    // violation; the floor stands for the next unflagged result.
+    if (extra_bound == 0) {
+      Report(Invariant::kMonotonicReads, session, qkey,
+             "result regressed to epoch " + std::to_string(best) +
+                 " after epoch " + std::to_string(floor));
+    }
   } else {
     // Merge conservatively: the earliest matching, window-consistent
     // epoch at or above the current floor.

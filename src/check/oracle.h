@@ -97,13 +97,22 @@ class ConsistencyOracle {
 
   /// Checks one record read. `found` is whether the read succeeded;
   /// `version` is the returned document version (ignored when !found).
+  /// `extra_bound` widens the staleness window for THIS check only — used
+  /// for stale-shed responses, which arrive flagged with their measured
+  /// age (an unflagged response never gets the wider window, so silent
+  /// staleness is still caught). A flagged check also suspends the
+  /// session-order assertions (monotonic reads / causal): serving a
+  /// bounded-stale retained copy under overload is an explicit, marked
+  /// downgrade. The session floor is left standing either way.
   void CheckRead(const std::string& session, const std::string& key,
-                 bool found, uint64_t version);
+                 bool found, uint64_t version, Micros extra_bound = 0);
 
-  /// Checks one query read against the tracked epochs.
+  /// Checks one query read against the tracked epochs. `extra_bound` as
+  /// in CheckRead.
   void CheckQuery(const std::string& session, const db::Query& query,
                   bool found, uint64_t etag,
-                  ttl::ResultRepresentation representation);
+                  ttl::ResultRepresentation representation,
+                  Micros extra_bound = 0);
 
   /// Records an externally detected LiveQuery divergence.
   void ReportLiveQueryMismatch(const std::string& session,

@@ -18,18 +18,46 @@ QuaestorClient::QuaestorClient(Clock* clock, core::QuaestorServer* server,
                  latency),
       options_(options),
       latency_model_(latency),
-      retry_rng_(options.retry.seed) {
+      retry_rng_(options.retry.seed),
+      retry_tokens_(options.retry.retry_budget) {
   hierarchy_.set_auth_token(options_.auth_token);
+  hierarchy_.set_stale_serve(options_.stale_serve);
+}
+
+RequestContext QuaestorClient::MakeContext() const {
+  if (options_.request_deadline <= 0) return RequestContext();
+  return RequestContext::WithTimeout(clock_->NowMicros(),
+                                     options_.request_deadline);
+}
+
+Status QuaestorClient::FailureStatus(const webcache::FetchOutcome& fo,
+                                     const std::string& key) {
+  if (fo.deadline_exceeded) return Status::DeadlineExceeded(key);
+  if (fo.shed) return Status::ResourceExhausted(key);
+  if (fo.unavailable) return Status::Unavailable(key);
+  return Status::NotFound(key);
 }
 
 webcache::FetchOutcome QuaestorClient::FetchWithRetry(
     const std::string& key, webcache::FetchMode mode, RequestOutcome* out) {
-  webcache::FetchOutcome fo = hierarchy_.Fetch(key, mode);
+  const RequestContext ctx = MakeContext();
+  webcache::FetchOutcome fo = hierarchy_.Fetch(key, mode, ctx);
   if (!options_.retry.enabled) return fo;
   const ClientOptions::RetryOptions& r = options_.retry;
+  const bool budgeted = r.retry_budget > 0.0;
+  // 503 (origin down) and 429 (origin shedding) are both worth one more
+  // try after backoff; a deadline that already expired is not.
+  const auto retryable = [](const webcache::FetchOutcome& f) {
+    return !f.ok && (f.unavailable || f.shed) && !f.deadline_exceeded;
+  };
   Micros backoff = r.initial_backoff;
-  for (size_t attempt = 1; !fo.ok && fo.unavailable && attempt < r.max_attempts;
+  for (size_t attempt = 1; retryable(fo) && attempt < r.max_attempts;
        ++attempt) {
+    if (budgeted && retry_tokens_ < 1.0) {
+      // Bucket empty: the backend is sick fleet-wide, don't pile on.
+      stats_.retries_suppressed++;
+      break;
+    }
     const double spread =
         1.0 + r.jitter * (2.0 * retry_rng_.NextDouble() - 1.0);
     const Micros wait = std::min(
@@ -40,10 +68,17 @@ webcache::FetchOutcome QuaestorClient::FetchWithRetry(
     backoff = std::min(r.max_backoff,
                        static_cast<Micros>(static_cast<double>(backoff) *
                                            r.multiplier));
+    if (budgeted) retry_tokens_ -= 1.0;
     stats_.retries++;
-    fo = hierarchy_.Fetch(key, mode);
+    fo = hierarchy_.Fetch(key, mode, ctx);
+  }
+  if (fo.ok && budgeted) {
+    retry_tokens_ =
+        std::min(r.retry_budget, retry_tokens_ + r.budget_refill_per_success);
   }
   if (!fo.ok && fo.unavailable) stats_.unavailable_failures++;
+  if (!fo.ok && fo.shed) stats_.shed_failures++;
+  if (!fo.ok && fo.deadline_exceeded) stats_.deadline_exceeded_failures++;
   return fo;
 }
 
@@ -159,6 +194,13 @@ void QuaestorClient::NoteServedBy(const webcache::FetchOutcome& fo,
                                   RequestOutcome* out) {
   out->served_by = fo.served_by;
   out->latency_ms += fo.latency_ms;
+  out->shed = fo.shed;
+  out->deadline_exceeded = fo.deadline_exceeded;
+  if (fo.ok && fo.served_stale_on_shed) {
+    out->served_stale_on_shed = true;
+    out->stale_entry_age = fo.stale_entry_age;
+    stats_.stale_shed_serves++;
+  }
   switch (fo.served_by) {
     case webcache::ServedBy::kClientCache:
       stats_.client_cache_hits++;
@@ -207,8 +249,7 @@ ReadResult QuaestorClient::Read(const std::string& table,
   webcache::FetchOutcome fo = FetchWithRetry(key, mode, &result.outcome);
   NoteServedBy(fo, &result.outcome);
   if (!fo.ok) {
-    result.status =
-        fo.unavailable ? Status::Unavailable(key) : Status::NotFound(key);
+    result.status = FailureStatus(fo, key);
     return result;
   }
 
@@ -221,8 +262,7 @@ ReadResult QuaestorClient::Read(const std::string& table,
     stats_.revalidations++;
     NoteServedBy(fresh, &result.outcome);
     if (!fresh.ok) {
-      result.status = fresh.unavailable ? Status::Unavailable(key)
-                                        : Status::NotFound(key);
+      result.status = FailureStatus(fresh, key);
       return result;
     }
     fo = std::move(fresh);
@@ -230,9 +270,11 @@ ReadResult QuaestorClient::Read(const std::string& table,
   NoteVersion(key, fo.etag);
   // Differential whitelisting (§3.3): any key revalidated since the last
   // EBF renewal — at the origin or at a purge-coherent CDN — is fresh
-  // until the next renewal.
-  if (result.outcome.revalidated ||
-      fo.served_by == webcache::ServedBy::kOrigin) {
+  // until the next renewal. A stale-shed serve proves nothing about
+  // freshness and must not whitelist.
+  if (!fo.served_stale_on_shed &&
+      (result.outcome.revalidated ||
+       fo.served_by == webcache::ServedBy::kOrigin)) {
     whitelist_.insert(key);
   }
 
@@ -260,8 +302,7 @@ QueryResult QuaestorClient::ExecuteQuery(const db::Query& query) {
   webcache::FetchOutcome fo = FetchWithRetry(key, mode, &result.outcome);
   NoteServedBy(fo, &result.outcome);
   if (!fo.ok) {
-    result.status =
-        fo.unavailable ? Status::Unavailable(key) : Status::NotFound(key);
+    result.status = FailureStatus(fo, key);
     return result;
   }
 
@@ -277,16 +318,16 @@ QueryResult QuaestorClient::ExecuteQuery(const db::Query& query) {
     stats_.revalidations++;
     NoteServedBy(fresh, &result.outcome);
     if (!fresh.ok) {
-      result.status = fresh.unavailable ? Status::Unavailable(key)
-                                        : Status::NotFound(key);
+      result.status = FailureStatus(fresh, key);
       return result;
     }
     fo = std::move(fresh);
   }
   seen_lm = std::max(seen_lm, fo.last_modified);
 
-  if (result.outcome.revalidated ||
-      fo.served_by == webcache::ServedBy::kOrigin) {
+  if (!fo.served_stale_on_shed &&
+      (result.outcome.revalidated ||
+       fo.served_by == webcache::ServedBy::kOrigin)) {
     whitelist_.insert(key);
   }
 
@@ -302,13 +343,21 @@ QueryResult QuaestorClient::ExecuteQuery(const db::Query& query) {
 
   if (qr.representation == ttl::ResultRepresentation::kObjectList) {
     // Results are inserted into the cache as individual record entries
-    // (§6.2) — bounded by the result's own remaining freshness.
+    // (§6.2) — bounded by the result's own remaining freshness. A stale-
+    // shed result's records inherit its marker: they are exactly as old
+    // as the flagged result body, and caching them unflagged would let a
+    // later record read serve the stale state as fresh data.
+    const Micros record_marker =
+        fo.served_stale_on_shed
+            ? std::max<Micros>(clock_->NowMicros() - fo.stale_entry_age, 1)
+            : 0;
     for (size_t i = 0; i < qr.ids.size(); ++i) {
       const Micros record_ttl =
           std::min(qr.record_ttls[i], fo.remaining_ttl);
       if (client_cache_ != nullptr && record_ttl > 0) {
         client_cache_->Put(qr.ids[i], qr.docs[i].ToJson(), qr.versions[i],
-                           record_ttl);
+                           record_ttl, /*last_modified=*/0, record_marker,
+                           record_marker);
       }
       NoteVersion(qr.ids[i], qr.versions[i]);
     }
@@ -356,7 +405,7 @@ Result<db::Document> QuaestorClient::Insert(const std::string& table,
   obs::ScopedSpan span(tracer_, "client.write");
   stats_.writes++;
   auto res = server_->Insert(server_->auth().Resolve(options_.auth_token),
-                             table, id, std::move(body));
+                             table, id, std::move(body), MakeContext());
   if (res.ok()) CacheOwnWrite(res.value());
   return res;
 }
@@ -369,7 +418,7 @@ Result<db::Document> QuaestorClient::Update(const std::string& table,
   // Beginning an update drops the record from the session's own cache.
   if (client_cache_ != nullptr) client_cache_->Remove(table + "/" + id);
   auto res = server_->Update(server_->auth().Resolve(options_.auth_token),
-                             table, id, update);
+                             table, id, update, MakeContext());
   if (res.ok()) CacheOwnWrite(res.value());
   return res;
 }
@@ -380,7 +429,7 @@ Result<db::Document> QuaestorClient::Delete(const std::string& table,
   stats_.writes++;
   if (client_cache_ != nullptr) client_cache_->Remove(table + "/" + id);
   auto res = server_->Delete(server_->auth().Resolve(options_.auth_token),
-                             table, id);
+                             table, id, MakeContext());
   if (res.ok()) CacheOwnWrite(res.value());
   return res;
 }
@@ -398,6 +447,11 @@ void ClientStats::ExportTo(obs::MetricsRegistry* registry,
   registry->Count("client_retries", labels, retries);
   registry->Count("client_unavailable_failures", labels,
                   unavailable_failures);
+  registry->Count("client_retries_suppressed", labels, retries_suppressed);
+  registry->Count("client_stale_shed_serves", labels, stale_shed_serves);
+  registry->Count("client_shed_failures", labels, shed_failures);
+  registry->Count("client_deadline_exceeded_failures", labels,
+                  deadline_exceeded_failures);
 }
 
 }  // namespace quaestor::client

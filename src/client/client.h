@@ -93,8 +93,27 @@ struct ClientOptions {
     /// Uniform backoff jitter fraction (avoids retry stampedes).
     double jitter = 0.2;
     uint64_t seed = 1;
+    /// Token-bucket retry budget shared across this session's requests
+    /// (layered on the per-request backoff): each retry spends one token,
+    /// each success refills `budget_refill_per_success` up to the cap.
+    /// When the bucket is empty further retries are suppressed — a fleet
+    /// of budgeted clients cannot amplify an overload into a retry storm
+    /// (a healthy backend keeps everyone's bucket full; a sick one drains
+    /// it fleet-wide). 0 = unlimited (legacy behaviour).
+    double retry_budget = 0.0;
+    double budget_refill_per_success = 0.1;
   };
   RetryOptions retry;
+
+  /// Per-request deadline (relative; 0 = none). Propagated to every tier
+  /// as an absolute RequestContext deadline: the origin abandons work it
+  /// cannot finish in time, and the hierarchy skips origin round trips
+  /// the remaining budget no longer covers.
+  Micros request_deadline = 0;
+
+  /// Overload fallback: serve flagged stale-retained copies when the
+  /// origin sheds (see webcache::StaleServePolicy). Off by default.
+  webcache::StaleServePolicy stale_serve;
 };
 
 /// Per-request outcome telemetry.
@@ -103,6 +122,13 @@ struct RequestOutcome {
   double latency_ms = 0.0;
   bool revalidated = false;       // EBF (or consistency level) forced it
   bool ebf_refreshed = false;     // this request piggybacked a new EBF
+  /// Overload accounting: response came from a stale-retained copy after
+  /// the origin shed (age in stale_entry_age), or the request failed
+  /// shed / past-deadline.
+  bool served_stale_on_shed = false;
+  Micros stale_entry_age = 0;
+  bool shed = false;
+  bool deadline_exceeded = false;
 };
 
 /// Result of a record read.
@@ -137,6 +163,13 @@ struct ClientStats {
   /// Retry accounting (retry.enabled only).
   uint64_t retries = 0;
   uint64_t unavailable_failures = 0;  // budget exhausted, 503 surfaced
+  /// Retries the token-bucket budget refused to fund.
+  uint64_t retries_suppressed = 0;
+  /// Overload accounting: flagged stale responses served after a shed,
+  /// and requests that ultimately failed shed / past-deadline.
+  uint64_t stale_shed_serves = 0;
+  uint64_t shed_failures = 0;
+  uint64_t deadline_exceeded_failures = 0;
 
   /// Adds these totals into `client_*` registry counters — exporting
   /// every session's stats under the same labels sums them.
@@ -227,10 +260,20 @@ class QuaestorClient {
   /// hierarchy_.Fetch plus the configured 503 retry policy: jittered
   /// exponential backoff, bounded attempts; failed attempts and waits are
   /// charged to `out->latency_ms` (the simulation models waiting as
-  /// response latency rather than sleeping a clock).
+  /// response latency rather than sleeping a clock). Shed (429) responses
+  /// retry like 503s, but every retry must be funded by the token-bucket
+  /// budget when one is configured.
   webcache::FetchOutcome FetchWithRetry(const std::string& key,
                                         webcache::FetchMode mode,
                                         RequestOutcome* out);
+
+  /// RequestContext for a request starting now (absolute deadline from
+  /// options_.request_deadline; disabled context when unset).
+  RequestContext MakeContext() const;
+
+  /// Maps a failed fetch outcome to the client-facing status.
+  static Status FailureStatus(const webcache::FetchOutcome& fo,
+                              const std::string& key);
 
   /// Monotonic reads: returns true if `version` regresses below the
   /// highest version this session has seen for `key`.
@@ -275,6 +318,9 @@ class QuaestorClient {
   bool read_newer_than_ebf_ = false;
 
   Rng retry_rng_;  // retry backoff jitter (deterministic from retry.seed)
+  /// Token-bucket retry budget (retry.retry_budget > 0): starts full,
+  /// retries spend, successes refill.
+  double retry_tokens_ = 0.0;
   ClientStats stats_;
   obs::Tracer* tracer_ = nullptr;
 };

@@ -30,6 +30,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Corruption";
     case StatusCode::kTimedOut:
       return "TimedOut";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

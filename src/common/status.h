@@ -24,6 +24,7 @@ enum class StatusCode {
   kNotSupported = 10,
   kCorruption = 11,
   kTimedOut = 12,
+  kDeadlineExceeded = 13,
 };
 
 /// Returns a stable human-readable name for a status code (e.g. "NotFound").
@@ -81,6 +82,9 @@ class Status {
   static Status TimedOut(std::string msg = "") {
     return Status(StatusCode::kTimedOut, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg = "") {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -97,6 +101,10 @@ class Status {
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// Renders as "OK" or "<Code>: <message>".
   std::string ToString() const;

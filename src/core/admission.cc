@@ -1,0 +1,146 @@
+#include "core/admission.h"
+
+#include <algorithm>
+
+namespace quaestor::core {
+
+namespace {
+
+const char* PriorityLabel(size_t i) {
+  switch (static_cast<Priority>(i)) {
+    case Priority::kCritical:
+      return "critical";
+    case Priority::kHigh:
+      return "high";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kLow:
+      return "low";
+  }
+  return "unknown";
+}
+
+obs::Labels WithPriority(const obs::Labels& labels, size_t i) {
+  obs::Labels out = labels;
+  out.emplace_back("priority", PriorityLabel(i));
+  return out;
+}
+
+}  // namespace
+
+void AdmissionStats::ExportTo(obs::MetricsRegistry* registry,
+                              const obs::Labels& labels) const {
+  for (size_t i = 0; i < 4; ++i) {
+    const obs::Labels l = WithPriority(labels, i);
+    registry->Count("admission_admitted", l, admitted[i]);
+    registry->Count("admission_shed_queue_full", l, shed_queue_full[i]);
+    registry->Count("admission_shed_overload", l, shed_overload[i]);
+    registry->Count("admission_shed_deadline", l, shed_deadline[i]);
+  }
+  registry->Observe("admission_queue_delay_ms_p99", labels,
+                    queue_delay_ms.P99());
+  registry->Observe("admission_queue_delay_ms_mean", labels,
+                    queue_delay_ms.Mean());
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {
+  if (options_.max_concurrent == 0) options_.max_concurrent = 1;
+  if (options_.service_cost <= 0) options_.service_cost = 1;
+  next_free_.assign(options_.max_concurrent, 0);
+}
+
+Micros AdmissionController::QueueDelayLocked(Micros now) const {
+  const Micros min_free = *std::min_element(next_free_.begin(),
+                                            next_free_.end());
+  return min_free > now ? min_free - now : 0;
+}
+
+Micros AdmissionController::QueueDelay(Micros now) const {
+  if (!options_.enabled) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return QueueDelayLocked(now);
+}
+
+void AdmissionController::InjectDelay(Micros now, Micros extra) {
+  if (!options_.enabled || extra <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Micros& free_at : next_free_) {
+    free_at = std::max(free_at, now) + extra;
+  }
+}
+
+bool AdmissionController::shedding() const {
+  if (!options_.enabled) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return shedding_;
+}
+
+Status AdmissionController::Admit(Micros now, const RequestContext& ctx,
+                                  Micros* queue_delay) {
+  if (queue_delay != nullptr) *queue_delay = 0;
+  if (!options_.enabled) return Status::OK();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t pri = static_cast<size_t>(ctx.priority);
+  const Micros delay = QueueDelayLocked(now);
+  if (queue_delay != nullptr) *queue_delay = delay;
+  stats_.queue_delay_ms.Record(MicrosToMillis(delay));
+
+  // CoDel bookkeeping: shedding engages only after the delay has stayed
+  // above target for a full interval (a burst shorter than the interval
+  // rides out on the queue), and disengages the moment the queue drains
+  // back under target.
+  if (delay > options_.target_queue_delay) {
+    if (above_target_since_ == 0) above_target_since_ = now;
+    if (now - above_target_since_ >= options_.codel_interval) {
+      shedding_ = true;
+    }
+  } else {
+    above_target_since_ = 0;
+    shedding_ = false;
+  }
+
+  // Hard bound on the wait queue: backlog beyond the workers, in
+  // requests. Applies to every class — the queue must stay finite.
+  const Micros backlog = delay * static_cast<Micros>(next_free_.size());
+  const size_t queued =
+      static_cast<size_t>(backlog / options_.service_cost);
+  if (queued >= options_.max_queue) {
+    stats_.shed_queue_full[pri]++;
+    return Status::ResourceExhausted("admission queue full");
+  }
+
+  // A request that would sit in the queue past its own deadline is dead
+  // on arrival; reject it before it burns a worker slot.
+  if (ctx.has_deadline() &&
+      ctx.Remaining(now) <= delay + options_.service_cost) {
+    stats_.shed_deadline[pri]++;
+    return Status::DeadlineExceeded("queue delay exceeds request deadline");
+  }
+
+  if (shedding_ && ctx.priority != Priority::kCritical) {
+    const Micros target = options_.target_queue_delay;
+    const bool shed =
+        ctx.priority == Priority::kLow ||
+        (ctx.priority == Priority::kNormal && delay > 2 * target) ||
+        (ctx.priority == Priority::kHigh && delay > 4 * target);
+    if (shed) {
+      stats_.shed_overload[pri]++;
+      return Status::ResourceExhausted("shedding under overload");
+    }
+  }
+
+  // Admit: charge the earliest-free worker.
+  auto it = std::min_element(next_free_.begin(), next_free_.end());
+  *it = std::max(*it, now) + options_.service_cost;
+  stats_.admitted[pri]++;
+  return Status::OK();
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace quaestor::core

@@ -1,0 +1,134 @@
+#ifndef QUAESTOR_CORE_ADMISSION_H_
+#define QUAESTOR_CORE_ADMISSION_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "common/request_context.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace quaestor::core {
+
+/// Admission-control configuration. Disabled by default: with
+/// `enabled = false` the controller admits everything unconditionally and
+/// the server's request path is byte-identical to a build without it.
+struct AdmissionOptions {
+  bool enabled = false;
+  /// Virtual worker count: how many requests the server is modelled to
+  /// process concurrently. Mirrors sim::QueueingResource so the simulated
+  /// clock drives queueing without real threads.
+  size_t max_concurrent = 4;
+  /// Bound on the wait queue, in requests (backlog beyond the workers).
+  /// Past this, even critical traffic is rejected — an unbounded queue is
+  /// exactly the failure mode this controller exists to remove.
+  size_t max_queue = 256;
+  /// Modelled per-request service cost charged to a worker on admit.
+  Micros service_cost = 2 * kMicrosPerMilli;
+  /// CoDel-style shedding: once the queue delay has exceeded
+  /// `target_queue_delay` continuously for `codel_interval`, the
+  /// controller enters shedding mode and drops low-priority work until
+  /// the delay drops back under target.
+  Micros target_queue_delay = 20 * kMicrosPerMilli;
+  Micros codel_interval = 100 * kMicrosPerMilli;
+};
+
+/// Why a request was not admitted.
+enum class ShedReason {
+  kQueueFull = 0,   // wait queue at capacity
+  kOverload = 1,    // CoDel shedding mode, priority too low
+  kDeadline = 2,    // queue delay alone would miss the deadline
+};
+
+/// Counters per priority class plus a queue-delay histogram.
+struct AdmissionStats {
+  std::array<uint64_t, 4> admitted{};       // indexed by Priority
+  std::array<uint64_t, 4> shed_queue_full{};
+  std::array<uint64_t, 4> shed_overload{};
+  std::array<uint64_t, 4> shed_deadline{};
+  Histogram queue_delay_ms;
+
+  uint64_t total_admitted() const {
+    uint64_t n = 0;
+    for (uint64_t v : admitted) n += v;
+    return n;
+  }
+  uint64_t total_shed() const {
+    uint64_t n = 0;
+    for (size_t i = 0; i < 4; ++i) {
+      n += shed_queue_full[i] + shed_overload[i] + shed_deadline[i];
+    }
+    return n;
+  }
+
+  /// Adds these totals into `admission_*` registry counters, one labelled
+  /// series per priority class.
+  void ExportTo(obs::MetricsRegistry* registry,
+                const obs::Labels& labels = {}) const;
+};
+
+/// Concurrency-limited admission with a bounded wait queue and CoDel-style
+/// queue-delay shedding (Nichols & Jacobson: shed when delay stays above
+/// target for an interval, not on instantaneous spikes).
+///
+/// The queue is virtual: `max_concurrent` worker free-times advance by
+/// `service_cost` per admitted request, so queue delay is
+/// `min(free_times) - now`. This models saturation identically under the
+/// simulated and real clocks and never blocks the caller — overload policy
+/// stays deterministic and testable.
+///
+/// Shedding is priority-tiered. In shedding mode kLow is dropped; past
+/// 2x target delay kNormal too; past 4x kHigh. kCritical (invalidation
+/// traffic) is only ever rejected by the hard queue bound, because losing
+/// it would turn overload into inconsistency. Requests whose remaining
+/// deadline cannot cover the current queue delay are rejected with
+/// kDeadlineExceeded without being charged to a worker: work that is
+/// already doomed must not consume capacity.
+///
+/// Thread-safe.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options = AdmissionOptions());
+
+  /// Decides one request. OK means admitted (a worker was charged);
+  /// otherwise kResourceExhausted (shed) or kDeadlineExceeded. When
+  /// disabled, always OK with zero queue delay and no state change.
+  /// `queue_delay` (optional) receives the virtual delay the request
+  /// would wait before service.
+  Status Admit(Micros now, const RequestContext& ctx,
+               Micros* queue_delay = nullptr);
+
+  /// Charges every virtual worker `extra` µs of service time starting at
+  /// `now` — the whole origin stalls (GC pause, noisy neighbour). Fault
+  /// harnesses feed seeded FaultInjector latency spikes through this to
+  /// turn origin slowness into real queue pressure. No-op when disabled.
+  void InjectDelay(Micros now, Micros extra);
+
+  /// True while CoDel shedding mode is engaged (observability).
+  bool shedding() const;
+
+  /// Virtual queue delay at `now` (µs); 0 when idle or disabled.
+  Micros QueueDelay(Micros now) const;
+
+  AdmissionStats stats() const;
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  Micros QueueDelayLocked(Micros now) const;
+
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::vector<Micros> next_free_;  // one entry per virtual worker
+  /// When the queue delay first rose above target (0 = currently under).
+  Micros above_target_since_ = 0;
+  bool shedding_ = false;
+  AdmissionStats stats_;
+};
+
+}  // namespace quaestor::core
+
+#endif  // QUAESTOR_CORE_ADMISSION_H_

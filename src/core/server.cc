@@ -28,6 +28,9 @@ void ServerStats::ExportTo(obs::MetricsRegistry* registry,
                   change_events_dropped);
   registry->Count("server_unavailable_responses", labels,
                   unavailable_responses);
+  registry->Count("server_shed_responses", labels, shed_responses);
+  registry->Count("server_deadline_exceeded_responses", labels,
+                  deadline_exceeded_responses);
 }
 
 QuaestorServer::QuaestorServer(Clock* clock, db::Database* database,
@@ -39,6 +42,7 @@ QuaestorServer::QuaestorServer(Clock* clock, db::Database* database,
       ttl_estimator_(clock, options.ttl_options),
       active_list_(),
       capacity_(options.query_capacity),
+      admission_(options.admission),
       fault_rng_(options.fault_seed) {
   invalidb_ = std::make_unique<invalidb::InvalidbCluster>(
       clock, options.invalidb_options,
@@ -117,11 +121,28 @@ size_t QuaestorServer::FlushChanges() {
 // Write path
 // ---------------------------------------------------------------------------
 
+Status QuaestorServer::AdmitWrite(const RequestContext& ctx) {
+  if (!options_.admission.enabled) return Status::OK();
+  RequestContext eff = ctx;
+  // Writes default to the lowest class: clients retry them and write
+  // batching absorbs the backlog, so they are the first load to shed.
+  if (eff.priority == Priority::kNormal) eff.priority = Priority::kLow;
+  Status st = admission_.Admit(clock_->NowMicros(), eff);
+  if (st.IsResourceExhausted()) {
+    shed_responses_.fetch_add(1, std::memory_order_relaxed);
+  } else if (st.IsDeadlineExceeded()) {
+    deadline_exceeded_responses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return st;
+}
+
 Result<db::Document> QuaestorServer::Insert(const Credentials& who,
                                             const std::string& table,
                                             const std::string& id,
-                                            db::Value body) {
+                                            db::Value body,
+                                            const RequestContext& ctx) {
   obs::ScopedSpan span(tracer_, "server.write");
+  QUAESTOR_RETURN_IF_ERROR(AdmitWrite(ctx));
   QUAESTOR_RETURN_IF_ERROR(auth_.CheckWrite(who, table));
   QUAESTOR_RETURN_IF_ERROR(schemas_.Validate(table, body));
   auto res = db_->Insert(table, id, std::move(body));
@@ -132,8 +153,10 @@ Result<db::Document> QuaestorServer::Insert(const Credentials& who,
 Result<db::Document> QuaestorServer::Update(const Credentials& who,
                                             const std::string& table,
                                             const std::string& id,
-                                            const db::Update& update) {
+                                            const db::Update& update,
+                                            const RequestContext& ctx) {
   obs::ScopedSpan span(tracer_, "server.write");
+  QUAESTOR_RETURN_IF_ERROR(AdmitWrite(ctx));
   QUAESTOR_RETURN_IF_ERROR(auth_.CheckWrite(who, table));
   if (schemas_.HasSchema(table)) {
     // Validate the post-image before committing.
@@ -150,8 +173,10 @@ Result<db::Document> QuaestorServer::Update(const Credentials& who,
 
 Result<db::Document> QuaestorServer::Delete(const Credentials& who,
                                             const std::string& table,
-                                            const std::string& id) {
+                                            const std::string& id,
+                                            const RequestContext& ctx) {
   obs::ScopedSpan span(tracer_, "server.write");
+  QUAESTOR_RETURN_IF_ERROR(AdmitWrite(ctx));
   QUAESTOR_RETURN_IF_ERROR(auth_.CheckWrite(who, table));
   auto res = db_->Delete(table, id);
   if (res.ok()) OnRecordWrite(res.value());
@@ -359,6 +384,35 @@ webcache::HttpResponse QuaestorServer::Fetch(
     resp.unavailable = true;  // 503: retryable, never cacheable
     return resp;
   }
+  if (options_.admission.enabled) {
+    const Micros now = clock_->NowMicros();
+    if (request.context.Expired(now)) {
+      // Dead on arrival: the client has already given up on this
+      // response, don't burn capacity producing it.
+      deadline_exceeded_responses_.fetch_add(1, std::memory_order_relaxed);
+      webcache::HttpResponse resp;
+      resp.deadline_exceeded = true;
+      return resp;
+    }
+    RequestContext eff = request.context;
+    // Conditional revalidations are usually a cheap 304 and keep cache
+    // copies fresh; admit them ahead of plain reads.
+    if (request.has_if_none_match && eff.priority == Priority::kNormal) {
+      eff.priority = Priority::kHigh;
+    }
+    const Status admit = admission_.Admit(now, eff);
+    if (!admit.ok()) {
+      webcache::HttpResponse resp;
+      if (admit.IsDeadlineExceeded()) {
+        deadline_exceeded_responses_.fetch_add(1, std::memory_order_relaxed);
+        resp.deadline_exceeded = true;
+      } else {
+        shed_responses_.fetch_add(1, std::memory_order_relaxed);
+        resp.shed = true;  // 429: saturated, not down
+      }
+      return resp;
+    }
+  }
   if (request.key.rfind("q:", 0) == 0) {
     db::Query query;
     {
@@ -538,6 +592,17 @@ webcache::HttpResponse QuaestorServer::FetchQuery(
   {
     obs::ScopedSpan db_span(tracer_, "db.execute");
     docs = db_->Execute(query);
+  }
+
+  // Deadline re-check after the expensive step: if execution outlived the
+  // request, abandon before serialization/registration — the client has
+  // already stopped waiting, and the stale-serve path needs the slot more.
+  if (options_.admission.enabled &&
+      request.context.Expired(clock_->NowMicros())) {
+    deadline_exceeded_responses_.fetch_add(1, std::memory_order_relaxed);
+    webcache::HttpResponse late;
+    late.deadline_exceeded = true;
+    return late;
   }
 
   // Assemble the response. A representation switch changes the InvaliDB
@@ -848,6 +913,9 @@ ServerStats QuaestorServer::stats() const {
       change_events_dropped_.load(std::memory_order_relaxed);
   s.unavailable_responses =
       unavailable_responses_.load(std::memory_order_relaxed);
+  s.shed_responses = shed_responses_.load(std::memory_order_relaxed);
+  s.deadline_exceeded_responses =
+      deadline_exceeded_responses_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -892,6 +960,7 @@ void QuaestorServer::set_tracer(obs::Tracer* tracer) {
 
 void QuaestorServer::ExportMetrics(obs::MetricsRegistry* registry) const {
   stats().ExportTo(registry);
+  if (options_.admission.enabled) admission_.stats().ExportTo(registry);
   ebf_.AggregateStats().ExportTo(registry);
   invalidb_->stats().ExportTo(registry);
   registry->GetTimer("invalidb_notification_latency_ms")

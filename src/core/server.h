@@ -14,7 +14,9 @@
 
 #include "common/clock.h"
 #include "common/random.h"
+#include "common/request_context.h"
 #include "common/result.h"
+#include "core/admission.h"
 #include "core/auth.h"
 #include "core/query_result.h"
 #include "core/transactions.h"
@@ -108,6 +110,11 @@ struct ServerOptions {
     Micros degraded_ttl_cap = 1 * kMicrosPerSecond;
   };
   DegradationOptions degradation;
+
+  /// Overload protection: concurrency-limited admission with CoDel-style
+  /// queue-delay shedding (see core/admission.h). Off by default; when
+  /// disabled the request path is byte-identical to a build without it.
+  AdmissionOptions admission;
 };
 
 /// Health-check snapshot of the invalidation pipeline.
@@ -140,6 +147,10 @@ struct ServerStats {
   uint64_t degradation_flips = 0;     // healthy <-> degraded transitions
   uint64_t change_events_dropped = 0; // lost before reaching InvaliDB
   uint64_t unavailable_responses = 0; // SetUnavailable fault in force
+  /// Overload control: requests rejected by the admission controller
+  /// (kResourceExhausted) or abandoned on an expired deadline.
+  uint64_t shed_responses = 0;
+  uint64_t deadline_exceeded_responses = 0;
 
   /// Adds these totals into `server_*` registry counters.
   void ExportTo(obs::MetricsRegistry* registry,
@@ -171,15 +182,21 @@ class QuaestorServer : public webcache::Origin {
 
   /// Credential-checked writes: authorization rules (auth()) and table
   /// schemas (schemas()) are enforced before commit. The 3-argument
-  /// forms run as the internal root principal.
+  /// forms run as the internal root principal. The optional context
+  /// carries a deadline/priority; under overload, writes admit at kLow
+  /// priority (clients retry them, write batching absorbs them) and a
+  /// shed write returns kResourceExhausted without committing.
   Result<db::Document> Insert(const Credentials& who,
                               const std::string& table, const std::string& id,
-                              db::Value body);
+                              db::Value body,
+                              const RequestContext& ctx = RequestContext());
   Result<db::Document> Update(const Credentials& who,
                               const std::string& table, const std::string& id,
-                              const db::Update& update);
+                              const db::Update& update,
+                              const RequestContext& ctx = RequestContext());
   Result<db::Document> Delete(const Credentials& who,
-                              const std::string& table, const std::string& id);
+                              const std::string& table, const std::string& id,
+                              const RequestContext& ctx = RequestContext());
 
   Result<db::Document> Insert(const std::string& table, const std::string& id,
                               db::Value body) {
@@ -281,6 +298,9 @@ class QuaestorServer : public webcache::Origin {
   /// into `registry` (accumulating — see the ExportTo convention).
   void ExportMetrics(obs::MetricsRegistry* registry) const;
 
+  /// Overload-control decisions (admitted/shed counters, queue delay).
+  AdmissionController& admission() { return admission_; }
+
   ebf::PartitionedEbf& ebf() { return ebf_; }
   ttl::TtlEstimator& ttl_estimator() { return ttl_estimator_; }
   ttl::ActiveList& active_list() { return active_list_; }
@@ -297,6 +317,10 @@ class QuaestorServer : public webcache::Origin {
   const ServerOptions& options() const { return options_; }
 
  private:
+  /// Runs one write through admission control at kLow priority (unless
+  /// the context raised it). Returns the shed/deadline error, or OK.
+  Status AdmitWrite(const RequestContext& ctx);
+
   struct QueryMeta {
     db::Query query;
     Micros first_seen = 0;
@@ -451,6 +475,10 @@ class QuaestorServer : public webcache::Origin {
   mutable std::atomic<uint64_t> degradation_flips_{0};
   mutable std::atomic<uint64_t> change_events_dropped_{0};
   mutable std::atomic<uint64_t> unavailable_responses_{0};
+  mutable std::atomic<uint64_t> shed_responses_{0};
+  mutable std::atomic<uint64_t> deadline_exceeded_responses_{0};
+
+  AdmissionController admission_;
 
   // Fault-tolerance state.
   std::atomic<bool> manual_degraded_{false};

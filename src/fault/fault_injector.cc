@@ -12,6 +12,7 @@ void FaultStats::ExportTo(obs::MetricsRegistry* registry,
   registry->Count("fault_reordered", labels, reordered);
   registry->Count("fault_delayed", labels, delayed);
   registry->Count("fault_corrupted", labels, corrupted);
+  registry->Count("fault_latency_spikes", labels, latency_spikes);
 }
 
 bool FaultInjector::ShouldDrop() {
@@ -51,6 +52,18 @@ Micros FaultInjector::DelayFor() {
   stats_.delayed++;
   return static_cast<Micros>(
              rng_.NextUint64(static_cast<uint64_t>(profile_.max_delay))) +
+         1;
+}
+
+Micros FaultInjector::LatencySpikeFor() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (profile_.max_latency_spike <= 0 ||
+      !rng_.NextBool(profile_.latency_spike_rate)) {
+    return 0;
+  }
+  stats_.latency_spikes++;
+  return static_cast<Micros>(rng_.NextUint64(
+             static_cast<uint64_t>(profile_.max_latency_spike))) +
          1;
 }
 

@@ -21,10 +21,16 @@ struct FaultProfile {
   double delay_rate = 0.0;      // message is held until `max_delay` passes
   Micros max_delay = 0;         // upper bound for injected delays
   double corrupt_rate = 0.0;    // message bytes are mutated in place
+  /// Origin latency spikes: with this probability a served request is
+  /// slowed by up to `max_latency_spike` (models GC pauses / noisy
+  /// neighbours at the origin during overload experiments).
+  double latency_spike_rate = 0.0;
+  Micros max_latency_spike = 0;
 
   bool Lossless() const {
     return drop_rate == 0.0 && duplicate_rate == 0.0 && reorder_rate == 0.0 &&
-           delay_rate == 0.0 && corrupt_rate == 0.0;
+           delay_rate == 0.0 && corrupt_rate == 0.0 &&
+           latency_spike_rate == 0.0;
   }
 };
 
@@ -36,6 +42,7 @@ struct FaultStats {
   uint64_t reordered = 0;
   uint64_t delayed = 0;
   uint64_t corrupted = 0;
+  uint64_t latency_spikes = 0;
 
   /// Adds these totals into `fault_*` registry counters.
   void ExportTo(obs::MetricsRegistry* registry,
@@ -62,6 +69,10 @@ class FaultInjector {
   /// A uniformly random delay in [1, max_delay] µs (0 when the profile
   /// injects no delay for this message).
   Micros DelayFor();
+
+  /// A uniformly random origin latency spike in [1, max_latency_spike] µs
+  /// (0 when no spike fires for this request).
+  Micros LatencySpikeFor();
 
   /// Mutates `message` in place: truncation, byte flips, or random-byte
   /// splices, chosen by the seeded stream. The result is intentionally

@@ -13,6 +13,7 @@
 #include "common/clock.h"
 #include "common/random.h"
 #include "common/result.h"
+#include "common/status.h"
 #include "kv/kv_store.h"
 
 namespace quaestor::invalidb {
@@ -29,6 +30,11 @@ struct ReliableOptions {
   /// retransmit storms).
   double jitter = 0.2;
   uint64_t seed = 1;
+  /// Backpressure: Send rejects (kResourceExhausted) while this many
+  /// messages are in flight unacked. 0 = unlimited — the default, because
+  /// the transport's call sites ignore Send's status and must keep the
+  /// seed's fire-and-forget semantics.
+  size_t max_inflight = 0;
 };
 
 /// Wire helpers for the sequence-numbered envelope (exposed for tests and
@@ -69,7 +75,10 @@ class ReliableSender {
   ReliableSender& operator=(const ReliableSender&) = delete;
 
   /// Ships one payload. Raw push when the reliable layer is disabled.
-  void Send(std::string payload);
+  /// kResourceExhausted (payload NOT enqueued) when the unacked window is
+  /// at max_inflight — the sender is outrunning the receiver and piling
+  /// more onto the queue only feeds the retransmit storm.
+  Status Send(std::string payload);
 
   /// Drains the ack queue and forgets acked messages.
   void ProcessAcks();
@@ -89,6 +98,8 @@ class ReliableSender {
 
   size_t unacked() const;
   uint64_t redeliveries() const;
+  /// Sends rejected by the max_inflight window.
+  uint64_t inflight_rejections() const;
   /// Full scans of the unacked map performed by RetransmitDue (ticks that
   /// early-out on the deadline check do not count).
   uint64_t retransmit_scans() const;
@@ -122,6 +133,7 @@ class ReliableSender {
   /// missed retransmit.
   Micros next_deadline_ = kNoDeadline;
   uint64_t retransmit_scans_ = 0;
+  uint64_t inflight_rejections_ = 0;
 };
 
 /// The receiving half: acks every envelope (duplicates included — the

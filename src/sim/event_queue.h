@@ -93,6 +93,10 @@ class QueueingResource {
 
   Micros service_time() const { return service_time_; }
 
+  /// Changes the per-job service time from now on (overload schedules
+  /// slow the origin mid-run); in-flight jobs keep their old cost.
+  void set_service_time(Micros service_time) { service_time_ = service_time; }
+
  private:
   std::vector<Micros> next_free_;
   Micros service_time_;

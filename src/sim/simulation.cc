@@ -167,9 +167,17 @@ bool Simulation::CheckQueryStale(const db::Query& query,
 
 void Simulation::RecordOutcome(OpMetrics* metrics,
                                const client::RequestOutcome& o,
-                               double total_latency_ms, bool stale,
+                               bool ok, double total_latency_ms, bool stale,
                                double stale_age_ms, bool in_window) {
   if (!in_window) return;
+  if (ok) {
+    results_.ok_ops++;
+    if (o.served_stale_on_shed) results_.stale_shed_serves++;
+  } else if (o.deadline_exceeded) {
+    results_.deadline_exceeded_ops++;
+  } else if (o.shed) {
+    results_.shed_ops++;
+  }
   metrics->count++;
   metrics->latency.Record(total_latency_ms);
   if (stale) {
@@ -190,7 +198,7 @@ void Simulation::RecordOutcome(OpMetrics* metrics,
   }
 }
 
-void Simulation::RunConnectionStep(size_t instance_index) {
+void Simulation::RunConnectionStep(size_t instance_index, Micros stop_at) {
   const Micros now = clock_.NowMicros();
   const bool in_window = now >= options_.warmup;
   ClientInstance& ci = clients_[instance_index];
@@ -198,6 +206,11 @@ void Simulation::RunConnectionStep(size_t instance_index) {
 
   Micros total = ci.cpu->Acquire(now);
   bool origin_visit = false;
+  // True only when the request actually held an origin worker (not shed,
+  // not past-deadline): the slowness-feedback hook below samples per unit
+  // of origin work performed, so a 100%-shed storm cannot keep charging
+  // the admission controller for work the origin never did.
+  bool origin_served = false;
 
   OpObservation obs;
   obs.instance = instance_index;
@@ -211,14 +224,19 @@ void Simulation::RunConnectionStep(size_t instance_index) {
       origin_visit =
           rr.outcome.served_by == webcache::ServedBy::kOrigin;
       double latency_ms = rr.outcome.latency_ms;
-      if (origin_visit) {
+      // A shed or past-deadline request never holds a backend worker —
+      // the rejection (or the skipped round trip) is the whole point of
+      // the protection — so it is not charged pool service time.
+      origin_served =
+          origin_visit && !rr.outcome.shed && !rr.outcome.deadline_exceeded;
+      if (origin_served) {
         latency_ms += MicrosToMillis(server_pool_.Acquire(now));
       }
       total += MillisToMicros(latency_ms);
       double stale_age_ms = 0.0;
       const bool stale = CheckReadStale(op.table, op.id, rr, &stale_age_ms);
-      RecordOutcome(&results_.reads, rr.outcome, latency_ms, stale,
-                    stale_age_ms, in_window);
+      RecordOutcome(&results_.reads, rr.outcome, rr.status.ok(), latency_ms,
+                    stale, stale_age_ms, in_window);
       obs.read = &rr;
       obs.stale = stale;
       obs.stale_age_ms = stale_age_ms;
@@ -230,7 +248,10 @@ void Simulation::RunConnectionStep(size_t instance_index) {
       origin_visit =
           qr.outcome.served_by == webcache::ServedBy::kOrigin;
       double latency_ms = qr.outcome.latency_ms;
-      if (origin_visit) {
+      // Shed / past-deadline queries don't hold a backend worker either.
+      origin_served =
+          origin_visit && !qr.outcome.shed && !qr.outcome.deadline_exceeded;
+      if (origin_served) {
         latency_ms += MicrosToMillis(server_pool_.Acquire(now));
         // Track the issued TTL estimate for Figure 11.
         if (in_window) {
@@ -246,8 +267,8 @@ void Simulation::RunConnectionStep(size_t instance_index) {
       total += MillisToMicros(latency_ms);
       double stale_age_ms = 0.0;
       const bool stale = CheckQueryStale(op.query, qr, &stale_age_ms);
-      RecordOutcome(&results_.queries, qr.outcome, latency_ms, stale,
-                    stale_age_ms, in_window);
+      RecordOutcome(&results_.queries, qr.outcome, qr.status.ok(), latency_ms,
+                    stale, stale_age_ms, in_window);
       obs.query = &op.query;
       obs.query_result = &qr;
       obs.stale = stale;
@@ -267,13 +288,19 @@ void Simulation::RunConnectionStep(size_t instance_index) {
         }
         return ci.client->Delete(op.table, op.id);
       }();
-      double latency_ms = ci.client->WriteLatencyMs() +
-                          MicrosToMillis(server_pool_.Acquire(now));
-      total += MillisToMicros(latency_ms);
       client::RequestOutcome o;
       o.served_by = webcache::ServedBy::kOrigin;
+      o.shed = !wr.ok() && wr.status().IsResourceExhausted();
+      o.deadline_exceeded = !wr.ok() && wr.status().IsDeadlineExceeded();
+      double latency_ms = ci.client->WriteLatencyMs();
+      // Shed writes are rejected at admission, before a backend worker
+      // picks them up — no pool service time.
+      if (!o.shed && !o.deadline_exceeded) {
+        latency_ms += MicrosToMillis(server_pool_.Acquire(now));
+      }
+      total += MillisToMicros(latency_ms);
       o.latency_ms = latency_ms;
-      RecordOutcome(&results_.writes, o, latency_ms, /*stale=*/false,
+      RecordOutcome(&results_.writes, o, wr.ok(), latency_ms, /*stale=*/false,
                     /*stale_age_ms=*/0.0, in_window);
       if (wr.ok()) obs.written = &wr.value();
       for (const OpObserver& ob : op_observers_) ob(obs);
@@ -281,13 +308,24 @@ void Simulation::RunConnectionStep(size_t instance_index) {
     }
   }
 
-  const Micros next =
-      now + std::max<Micros>(total, 1) + options_.think_time;
-  if (next < options_.duration) {
-    events_.Schedule(next,
-                     [this, instance_index] {
-                       RunConnectionStep(instance_index);
-                     });
+  // Origin slowness injection: a seeded latency spike stalls the server's
+  // admission workers, so slowness becomes queue pressure the controller
+  // can react to (not just a latency number in the results).
+  if (origin_served && options_.origin_spike_fn) {
+    const Micros spike = options_.origin_spike_fn(now);
+    if (spike > 0) server_->admission().InjectDelay(now, spike);
+  }
+
+  Micros think = options_.think_time;
+  if (load_multiplier_ > 1.0) {
+    think = static_cast<Micros>(static_cast<double>(think) /
+                                load_multiplier_);
+  }
+  const Micros next = now + std::max<Micros>(total, 1) + think;
+  if (next < stop_at) {
+    events_.Schedule(next, [this, instance_index, stop_at] {
+      RunConnectionStep(instance_index, stop_at);
+    });
   }
 }
 
@@ -306,13 +344,46 @@ SimResults Simulation::Run() {
     });
   }
 
+  // Overload phases: scale the origin pool and spawn the flash crowd.
+  for (const SimOptions::OverloadPhase& p : options_.overload_phases) {
+    const Micros phase_end = p.at + p.duration;
+    events_.Schedule(p.at, [this, p, phase_end] {
+      load_multiplier_ = std::max(1.0, p.load_multiplier);
+      if (p.origin_slowdown > 1.0) {
+        server_pool_.set_service_time(static_cast<Micros>(
+            static_cast<double>(options_.server_service) *
+            p.origin_slowdown));
+      }
+      // Flash crowd: (multiplier - 1)x extra connections per instance,
+      // staggered like the permanent ones, gone when the phase ends.
+      const size_t extra_per_instance = static_cast<size_t>(
+          (std::max(1.0, p.load_multiplier) - 1.0) *
+          static_cast<double>(options_.connections_per_instance));
+      uint64_t stagger = 0;
+      for (size_t i = 0; i < clients_.size(); ++i) {
+        for (size_t c = 0; c < extra_per_instance; ++c) {
+          stagger = (stagger + 7919) % 10000;
+          events_.ScheduleAfter(static_cast<Micros>(stagger),
+                                [this, i, phase_end] {
+                                  RunConnectionStep(i, phase_end);
+                                });
+        }
+      }
+    });
+    events_.Schedule(phase_end, [this] {
+      load_multiplier_ = 1.0;
+      server_pool_.set_service_time(options_.server_service);
+    });
+  }
+
   // Stagger connection start times to avoid lockstep artifacts.
   uint64_t stagger = 0;
   for (size_t i = 0; i < clients_.size(); ++i) {
     for (size_t c = 0; c < options_.connections_per_instance; ++c) {
       stagger = (stagger + 7919) % 10000;
-      events_.Schedule(static_cast<Micros>(stagger),
-                       [this, i] { RunConnectionStep(i); });
+      events_.Schedule(static_cast<Micros>(stagger), [this, i] {
+        RunConnectionStep(i, options_.duration);
+      });
     }
   }
 
@@ -325,6 +396,10 @@ SimResults Simulation::Run() {
   results_.throughput_ops_s =
       results_.duration_s > 0
           ? static_cast<double>(results_.total_ops) / results_.duration_s
+          : 0.0;
+  results_.goodput_ops_s =
+      results_.duration_s > 0
+          ? static_cast<double>(results_.ok_ops) / results_.duration_s
           : 0.0;
 
   // Figure 11: estimated vs true TTLs (seconds). The true TTL of a serve
@@ -373,6 +448,12 @@ SimResults Simulation::Run() {
   export_op("query", results_.queries);
   export_op("write", results_.writes);
   registry_.SetGauge("sim_throughput_ops_s", results_.throughput_ops_s);
+  registry_.SetGauge("sim_goodput_ops_s", results_.goodput_ops_s);
+  registry_.Count("sim_ok_ops", {}, results_.ok_ops);
+  registry_.Count("sim_shed_ops", {}, results_.shed_ops);
+  registry_.Count("sim_deadline_exceeded_ops", {},
+                  results_.deadline_exceeded_ops);
+  registry_.Count("sim_stale_shed_serves", {}, results_.stale_shed_serves);
   if (tracer_ != nullptr) {
     registry_.SetGauge("trace_spans",
                        static_cast<double>(tracer_->SpanCount()));

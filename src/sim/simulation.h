@@ -85,6 +85,29 @@ struct SimOptions {
     size_t object_partitions = 1;
   };
   std::vector<ScheduledResize> scheduled_resizes;
+
+  /// Overload schedule: between `at` and `at + duration` the arrival rate
+  /// is multiplied — a flash crowd of extra connections joins (and think
+  /// time shrinks by the same factor) — while the origin pool's service
+  /// time is scaled by `origin_slowdown`. Phases drive the overload-
+  /// protection experiments: admission shedding, deadline misses, and
+  /// stale-serving all need sustained pressure, not a single burst event.
+  struct OverloadPhase {
+    Micros at = 0;
+    Micros duration = 0;
+    double load_multiplier = 10.0;
+    double origin_slowdown = 1.0;
+  };
+  std::vector<OverloadPhase> overload_phases;
+
+  /// Origin slowness feedback: sampled once per served origin visit with
+  /// the current simulated time, and charged to the server's admission
+  /// workers as extra service time. This is the channel by which the
+  /// controller "measures" real origin latency — wire it to
+  /// fault::FaultInjector::LatencySpikeFor for seeded chaos spikes,
+  /// and/or return the current phase's extra service time so admission
+  /// tracks a slowed-down origin. Null = no feedback.
+  std::function<Micros(Micros now)> origin_spike_fn;
 };
 
 /// Per-operation-type measurements.
@@ -128,6 +151,16 @@ struct SimResults {
   double duration_s = 0.0;
   uint64_t total_ops = 0;
   double throughput_ops_s = 0.0;
+
+  /// Overload accounting (measurement window): successes, failures by
+  /// cause, and successes served from a flagged stale-retained copy.
+  /// Goodput is successful ops per second — the number overload
+  /// protection exists to defend while total_ops explodes.
+  uint64_t ok_ops = 0;
+  uint64_t shed_ops = 0;
+  uint64_t deadline_exceeded_ops = 0;
+  uint64_t stale_shed_serves = 0;
+  double goodput_ops_s = 0.0;
 
   /// TTL estimation quality samples (seconds) for Figure 11: parallel
   /// arrays are NOT paired; each is the population for one CDF.
@@ -210,13 +243,16 @@ class Simulation {
     std::unique_ptr<QueueingResource> cpu;
   };
 
-  void RunConnectionStep(size_t instance_index);
+  /// One closed-loop connection step; reschedules itself until `stop_at`
+  /// (the run's end for permanent connections, the phase's end for
+  /// flash-crowd extras).
+  void RunConnectionStep(size_t instance_index, Micros stop_at);
   bool CheckReadStale(const std::string& table, const std::string& id,
                       const client::ReadResult& rr, double* stale_age_ms);
   bool CheckQueryStale(const db::Query& query,
                        const client::QueryResult& qr, double* stale_age_ms);
   void RecordOutcome(OpMetrics* metrics, const client::RequestOutcome& o,
-                     double total_latency_ms, bool stale,
+                     bool ok, double total_latency_ms, bool stale,
                      double stale_age_ms, bool in_window);
 
   workload::WorkloadOptions workload_options_;
@@ -232,6 +268,8 @@ class Simulation {
   std::unique_ptr<workload::WorkloadGenerator> generator_;
   QueueingResource server_pool_;
   std::vector<OpObserver> op_observers_;
+  /// Arrival-rate multiplier currently in force (overload phases).
+  double load_multiplier_ = 1.0;
 
   // Figure 11 bookkeeping: query serve events and invalidation times.
   struct QueryServe {

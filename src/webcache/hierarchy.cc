@@ -8,14 +8,108 @@ Micros RemainingTtl(const CacheEntry& e, Micros now) {
   return e.expire_at > now ? e.expire_at - now : 0;
 }
 
+/// Surfaces the stale-shed marker on a cache hit: an entry re-published
+/// by the shed path must never be mistaken for fresh data, however many
+/// times it bounces between tiers.
+void MarkIfStaleShed(FetchOutcome* out, const CacheEntry& e, Micros now) {
+  if (e.stale_since == 0) return;
+  out->served_stale_on_shed = true;
+  out->stale_entry_age = now > e.stale_since ? now - e.stale_since : 0;
+}
+
 }  // namespace
 
+FetchOutcome CacheHierarchy::TryServeStale(const std::string& key,
+                                           FetchOutcome base) {
+  if (!stale_serve_.enabled) return base;
+  const Micros now = clock_->NowMicros();
+  // Freshest copy across ALL tiers (not nearest-first): the serve below
+  // re-publishes the copy to every tier, so picking a stale client copy
+  // while the CDN holds a newer body would push the old state back out
+  // to the whole fleet and regress sessions that already saw the new one.
+  std::optional<CacheEntry> copy;
+  const auto consider = [&copy](std::optional<CacheEntry> candidate) {
+    if (!candidate.has_value()) return;
+    if (!copy.has_value() ||
+        candidate->last_modified > copy->last_modified ||
+        (candidate->last_modified == copy->last_modified &&
+         candidate->stored_at > copy->stored_at)) {
+      copy = std::move(candidate);
+    }
+  };
+  if (client_cache_ != nullptr) consider(client_cache_->GetEvenIfExpired(key));
+  if (proxy_ != nullptr) consider(proxy_->GetEvenIfExpired(key));
+  if (cdn_ != nullptr) consider(cdn_->GetEvenIfExpired(key));
+  if (!copy.has_value()) {
+    stale_serve_stats_.no_copy++;
+    return base;
+  }
+
+  // Age from the *original* origin fetch (fetched_at survives tier
+  // propagation; stale_since survives re-publication), so repeated
+  // shedding or tier bouncing cannot launder an old body into a young
+  // one.
+  const Micros origin_time =
+      copy->stale_since != 0
+          ? copy->stale_since
+          : (copy->fetched_at != 0 ? copy->fetched_at : copy->stored_at);
+  const Micros age = now > origin_time ? now - origin_time : 0;
+  if (age > stale_serve_.max_age) {
+    stale_serve_stats_.too_old++;
+    return base;
+  }
+
+  stale_serve_stats_.serves++;
+  obs::ScopedSpan span(tracer_, "cache.stale_shed");
+  // 0 is the "not stale-shed" sentinel, but a copy fetched at simulated
+  // t=0 has stored_at == 0 — clamp the marker to 1µs so it survives.
+  const Micros marker = origin_time > 0 ? origin_time : 1;
+  FetchOutcome out = base;  // keeps the shed/deadline flags and latency
+  out.ok = true;
+  out.body = copy->body;
+  out.etag = copy->etag;
+  out.last_modified = copy->last_modified;
+  out.served_stale_on_shed = true;
+  out.stale_entry_age = age;
+  out.remaining_ttl = stale_serve_.ttl_cap;
+  // Re-publish with a capped TTL so the flash crowd behind this client
+  // hits caches instead of the saturated origin. The marker travels with
+  // the entry: every later hit stays flagged with the true age.
+  if (cdn_ != nullptr) {
+    cdn_->Put(key, out.body, out.etag, stale_serve_.ttl_cap,
+              out.last_modified, marker, marker);
+  }
+  if (proxy_ != nullptr) {
+    proxy_->Put(key, out.body, out.etag, stale_serve_.ttl_cap,
+                out.last_modified, marker, marker);
+  }
+  if (client_cache_ != nullptr) {
+    client_cache_->Put(key, out.body, out.etag, stale_serve_.ttl_cap,
+                       out.last_modified, marker, marker);
+  }
+  return out;
+}
+
 FetchOutcome CacheHierarchy::FromOrigin(const std::string& key,
-                                        bool write_through) {
+                                        bool write_through,
+                                        const RequestContext& ctx) {
   obs::ScopedSpan span(tracer_, "cache.origin");
+
+  // A deadline that cannot cover the origin round trip is already lost:
+  // skip the trip (sparing the origin the doomed work) and fall back to
+  // the stale-retained copy if policy allows.
+  if (ctx.has_deadline() &&
+      ctx.Remaining(clock_->NowMicros()) < MillisToMicros(latency_.origin_ms)) {
+    FetchOutcome out;
+    out.served_by = ServedBy::kOrigin;
+    out.deadline_exceeded = true;
+    return TryServeStale(key, out);
+  }
+
   HttpRequest req;
   req.key = key;
   req.auth_token = auth_token_;
+  req.context = ctx;
   // Revalidation: present the freshest ETag we have so the origin can
   // answer 304 (the body then comes from the stored copy).
   const CacheEntry* conditional_source = nullptr;
@@ -36,6 +130,13 @@ FetchOutcome CacheHierarchy::FromOrigin(const std::string& key,
   if (!resp.ok) {
     out.ok = false;
     out.unavailable = resp.unavailable;
+    out.shed = resp.shed;
+    out.deadline_exceeded = resp.deadline_exceeded;
+    if (resp.shed || resp.deadline_exceeded) {
+      // The origin is saturated, not wrong: a bounded-stale flagged copy
+      // beats an error (and sheds the retry, too).
+      return TryServeStale(key, out);
+    }
     return out;
   }
   out.ok = true;
@@ -70,13 +171,14 @@ FetchOutcome CacheHierarchy::FromOrigin(const std::string& key,
   return out;
 }
 
-FetchOutcome CacheHierarchy::Fetch(const std::string& key, FetchMode mode) {
+FetchOutcome CacheHierarchy::Fetch(const std::string& key, FetchMode mode,
+                                   const RequestContext& ctx) {
   obs::ScopedSpan span(tracer_, "cache.fetch");
   span.Annotate("key", key);
   const Micros now = clock_->NowMicros();
 
   if (mode == FetchMode::kRevalidate) {
-    return FromOrigin(key, /*write_through=*/true);
+    return FromOrigin(key, /*write_through=*/true, ctx);
   }
 
   // 1. Client (browser) cache.
@@ -92,6 +194,7 @@ FetchOutcome CacheHierarchy::Fetch(const std::string& key, FetchMode mode) {
       out.latency_ms = latency_.client_cache_ms;
       out.remaining_ttl = RemainingTtl(*hit, now);
       out.last_modified = hit->last_modified;
+      MarkIfStaleShed(&out, *hit, now);
       return out;
     }
   }
@@ -105,7 +208,8 @@ FetchOutcome CacheHierarchy::Fetch(const std::string& key, FetchMode mode) {
     if (hit.has_value()) {
       if (client_cache_ != nullptr) {
         client_cache_->Put(key, hit->body, hit->etag, RemainingTtl(*hit, now),
-                           hit->last_modified);
+                           hit->last_modified, hit->stale_since,
+                           hit->fetched_at);
       }
       FetchOutcome out;
       out.ok = true;
@@ -115,6 +219,7 @@ FetchOutcome CacheHierarchy::Fetch(const std::string& key, FetchMode mode) {
       out.latency_ms = latency_.expiration_proxy_ms;
       out.remaining_ttl = RemainingTtl(*hit, now);
       out.last_modified = hit->last_modified;
+      MarkIfStaleShed(&out, *hit, now);
       return out;
     }
   }
@@ -126,11 +231,13 @@ FetchOutcome CacheHierarchy::Fetch(const std::string& key, FetchMode mode) {
     if (hit.has_value()) {
       const Micros remaining = RemainingTtl(*hit, now);
       if (proxy_ != nullptr) {
-        proxy_->Put(key, hit->body, hit->etag, remaining, hit->last_modified);
+        proxy_->Put(key, hit->body, hit->etag, remaining, hit->last_modified,
+                    hit->stale_since, hit->fetched_at);
       }
       if (client_cache_ != nullptr) {
         client_cache_->Put(key, hit->body, hit->etag, remaining,
-                           hit->last_modified);
+                           hit->last_modified, hit->stale_since,
+                           hit->fetched_at);
       }
       FetchOutcome out;
       out.ok = true;
@@ -140,12 +247,13 @@ FetchOutcome CacheHierarchy::Fetch(const std::string& key, FetchMode mode) {
       out.latency_ms = latency_.cdn_ms;
       out.remaining_ttl = remaining;
       out.last_modified = hit->last_modified;
+      MarkIfStaleShed(&out, *hit, now);
       return out;
     }
   }
 
   // 4. Origin.
-  return FromOrigin(key, /*write_through=*/true);
+  return FromOrigin(key, /*write_through=*/true, ctx);
 }
 
 }  // namespace quaestor::webcache

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/clock.h"
+#include "common/request_context.h"
 #include "obs/trace.h"
 #include "webcache/http.h"
 #include "webcache/web_cache.h"
@@ -45,6 +46,32 @@ struct FetchOutcome {
   /// answered. Clients compare it to their EBF fetch time to notice data
   /// younger than the Bloom filter (needed for causal consistency).
   Micros last_modified = 0;
+  /// The origin rejected the request under overload (admission shed).
+  bool shed = false;
+  /// The request's deadline expired before a response could be produced.
+  bool deadline_exceeded = false;
+  /// This response came from a stale-retained copy served because the
+  /// origin shed or the deadline could not cover an origin round trip.
+  /// Consumers must treat the data as up to `stale_entry_age` old — the
+  /// consistency oracle widens its delta bound by exactly that much, and
+  /// only for flagged responses.
+  bool served_stale_on_shed = false;
+  /// Age of the stale copy (now - original fetch time) when flagged.
+  Micros stale_entry_age = 0;
+};
+
+/// Overload fallback policy: when the origin sheds (kResourceExhausted)
+/// or a deadline cannot cover the origin round trip, serve the
+/// stale-retained cache entry (bounded by `max_age`) with a capped TTL
+/// and the stale-shed marker instead of failing. Off by default — with
+/// `enabled = false` the fetch path is byte-identical to before.
+struct StaleServePolicy {
+  bool enabled = false;
+  /// TTL granted to the re-published stale copy: long enough to absorb
+  /// the retry storm, short enough to re-check the origin soon.
+  Micros ttl_cap = 1 * kMicrosPerSecond;
+  /// Oldest copy (measured from its original fetch) still servable.
+  Micros max_age = 60 * kMicrosPerSecond;
 };
 
 /// The web path between one client and the DBaaS: an optional client
@@ -64,8 +91,11 @@ class CacheHierarchy {
         origin_(origin),
         latency_(latency) {}
 
-  /// Performs a GET through the hierarchy.
-  FetchOutcome Fetch(const std::string& key, FetchMode mode);
+  /// Performs a GET through the hierarchy. The context (deadline +
+  /// priority) travels with the origin request; a default-constructed
+  /// context leaves behaviour unchanged.
+  FetchOutcome Fetch(const std::string& key, FetchMode mode,
+                     const RequestContext& ctx = RequestContext());
 
   ExpirationCache* client_cache() { return client_cache_; }
   InvalidationCache* cdn() { return cdn_; }
@@ -79,8 +109,30 @@ class CacheHierarchy {
   /// (default) detaches.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Overload fallback: serve stale-retained copies when the origin sheds.
+  void set_stale_serve(const StaleServePolicy& policy) {
+    stale_serve_ = policy;
+  }
+  const StaleServePolicy& stale_serve() const { return stale_serve_; }
+
+  /// Stale-shed fallback accounting (since construction).
+  struct StaleServeStats {
+    uint64_t serves = 0;    // fallback served a retained copy
+    uint64_t no_copy = 0;   // no tier held any copy
+    uint64_t too_old = 0;   // best copy exceeded max_age
+  };
+  const StaleServeStats& stale_serve_stats() const {
+    return stale_serve_stats_;
+  }
+
  private:
-  FetchOutcome FromOrigin(const std::string& key, bool write_through);
+  FetchOutcome FromOrigin(const std::string& key, bool write_through,
+                          const RequestContext& ctx);
+
+  /// Attempts the stale-shed fallback for a failed origin round trip
+  /// (`base` carries the shed/deadline flags). Returns the flagged stale
+  /// outcome, or `base` unchanged when no servable copy exists.
+  FetchOutcome TryServeStale(const std::string& key, FetchOutcome base);
 
   Clock* clock_;
   ExpirationCache* client_cache_;
@@ -90,6 +142,8 @@ class CacheHierarchy {
   LatencyModel latency_;
   std::string auth_token_;
   obs::Tracer* tracer_ = nullptr;
+  StaleServePolicy stale_serve_;
+  StaleServeStats stale_serve_stats_;
 };
 
 }  // namespace quaestor::webcache

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/clock.h"
+#include "common/request_context.h"
 
 namespace quaestor::webcache {
 
@@ -28,6 +29,14 @@ struct HttpResponse {
   /// younger than the Bloom filter (§3.2 Opt-in Consistency: causal mode
   /// must revalidate after observing such data, from *any* cache level).
   Micros last_modified = 0;
+  /// 429/503 Retry-After: the origin's admission controller shed this
+  /// request under overload (kResourceExhausted). Distinct from
+  /// `unavailable` — the origin is up, just saturated; the cache tier may
+  /// answer from a stale-retained copy instead of retrying.
+  bool shed = false;
+  /// The request's deadline expired (at admission or mid-processing);
+  /// any body was abandoned.
+  bool deadline_exceeded = false;
 };
 
 /// A request travelling through the cache hierarchy.
@@ -39,6 +48,10 @@ struct HttpRequest {
   /// Bearer token identifying the session (empty = anonymous). Resolved
   /// by the origin's access controller; caches never inspect it.
   std::string auth_token;
+  /// Deadline + priority, threaded client → cache tiers → origin. A
+  /// default-constructed context (no deadline, normal priority) leaves
+  /// every layer's behaviour unchanged.
+  RequestContext context;
 };
 
 /// Where a response was ultimately served from.

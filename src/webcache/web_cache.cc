@@ -104,7 +104,8 @@ std::optional<CacheEntry> ExpirationCache::GetEvenIfExpired(
 }
 
 void ExpirationCache::Put(const std::string& key, const std::string& body,
-                          uint64_t etag, Micros ttl, Micros last_modified) {
+                          uint64_t etag, Micros ttl, Micros last_modified,
+                          Micros stale_since, Micros fetched_at) {
   if (ttl <= 0) return;
   const Micros now = clock_->NowMicros();
   Shard& shard = ShardFor(key);
@@ -115,7 +116,9 @@ void ExpirationCache::Put(const std::string& key, const std::string& body,
   e.etag = etag;
   e.stored_at = now;
   e.expire_at = now + ttl;
+  e.fetched_at = fetched_at > 0 ? fetched_at : now;
   e.last_modified = last_modified;
+  e.stale_since = stale_since;
   // A refreshed entry earns a second chance like a hit would.
   it->second.referenced.store(!inserted, std::memory_order_relaxed);
   if (inserted) {
@@ -135,6 +138,21 @@ bool ExpirationCache::Remove(const std::string& key) {
   EraseLocked(shard, it);
   shard.purges.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+bool ExpirationCache::Expire(const std::string& key) {
+  const Micros now = clock_->NowMicros();
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return false;
+  CacheEntry& e = it->second.entry;
+  const bool was_fresh = e.IsFresh(now);
+  if (was_fresh) {
+    e.expire_at = now;
+    shard.purges.fetch_add(1, std::memory_order_relaxed);
+  }
+  return was_fresh;
 }
 
 void ExpirationCache::Clear() {

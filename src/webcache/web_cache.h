@@ -25,8 +25,22 @@ struct CacheEntry {
   uint64_t etag = 0;
   Micros stored_at = 0;
   Micros expire_at = 0;
+  /// When this body was originally fetched from the origin. Unlike
+  /// stored_at it survives tier-to-tier propagation (a CDN hit copied
+  /// down into the client cache keeps the CDN copy's fetch time), so the
+  /// overload stale-serve path can measure a copy's true age — time since
+  /// the origin last confirmed it — rather than time since the nearest
+  /// tier happened to store it.
+  Micros fetched_at = 0;
   /// Last-Modified of the stored response (commit time of the version).
   Micros last_modified = 0;
+  /// Stale-shed marker: nonzero iff this entry was (re)published by the
+  /// overload stale-serve path, holding the stored_at of the original
+  /// fetch. Every hit on such an entry must surface served_stale_on_shed
+  /// with age measured from this stamp — re-publishing with a capped TTL
+  /// must never let a later hit pass as fresh data (the consistency
+  /// oracle widens its bound only for flagged responses).
+  Micros stale_since = 0;
 
   bool IsFresh(Micros now) const { return now < expire_at; }
 };
@@ -92,13 +106,23 @@ class ExpirationCache {
   /// fresh-by-TTL copy must be revalidated if the EBF flags it).
   std::optional<CacheEntry> GetEvenIfExpired(const std::string& key);
 
-  /// Stores a response with TTL (no-op when ttl <= 0).
+  /// Stores a response with TTL (no-op when ttl <= 0). `stale_since`
+  /// carries the stale-shed marker (see CacheEntry); 0 for normal stores.
+  /// `fetched_at` preserves the original origin-fetch time when an entry
+  /// is propagated from another tier; 0 (a direct origin store) means now.
   void Put(const std::string& key, const std::string& body, uint64_t etag,
-           Micros ttl, Micros last_modified = 0);
+           Micros ttl, Micros last_modified = 0, Micros stale_since = 0,
+           Micros fetched_at = 0);
 
   /// Removes one entry locally (used by clients for their own writes —
   /// read-your-writes; NOT a server purge).
   bool Remove(const std::string& key);
+
+  /// Expires one entry in place: the copy stops being servable as fresh
+  /// (Get misses) but stays resident for the stale retention window so
+  /// revalidation and the overload stale-serve path (`GetEvenIfExpired`)
+  /// can still reach it. Returns true iff a fresh copy was expired.
+  bool Expire(const std::string& key);
 
   void Clear();
   size_t Size() const;
@@ -187,11 +211,15 @@ class InvalidationCache : public ExpirationCache {
                              size_t num_shards = 0)
       : ExpirationCache(clock, max_entries, num_shards) {}
 
-  /// Server-initiated purge. Returns true if a copy was dropped.
+  /// Server-initiated purge. The copy immediately stops being servable as
+  /// fresh, but stays resident (expired) for the stale retention window:
+  /// the overload stale-serve path may still publish it *flagged* as a
+  /// bounded-stale response when the origin sheds. Returns true if a fresh
+  /// copy was invalidated.
   bool Purge(const std::string& key) {
-    const bool removed = Remove(key);
+    const bool expired = Expire(key);
     purge_count_.fetch_add(1, std::memory_order_relaxed);
-    return removed;
+    return expired;
   }
 
   uint64_t PurgeCount() const {

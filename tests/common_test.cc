@@ -7,6 +7,7 @@
 #include "common/clock.h"
 #include "common/histogram.h"
 #include "common/queue.h"
+#include "common/request_context.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -52,6 +53,19 @@ TEST(StatusTest, AllFactoriesProduceMatchingCode) {
   EXPECT_EQ(Status::OutOfRange().code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::FailedPrecondition().code(),
             StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::DeadlineExceeded().code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(StatusTest, DeadlineExceededIsDistinctFromTimedOut) {
+  const Status deadline = Status::DeadlineExceeded("past deadline");
+  EXPECT_TRUE(deadline.IsDeadlineExceeded());
+  EXPECT_FALSE(deadline.IsTimedOut());
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: past deadline");
+
+  const Status timeout = Status::TimedOut("rpc timeout");
+  EXPECT_TRUE(timeout.IsTimedOut());
+  EXPECT_FALSE(timeout.IsDeadlineExceeded());
 }
 
 Status FailsThenPropagates(bool fail) {
@@ -62,6 +76,45 @@ Status FailsThenPropagates(bool fail) {
 TEST(StatusTest, ReturnIfErrorMacro) {
   EXPECT_TRUE(FailsThenPropagates(false).ok());
   EXPECT_TRUE(FailsThenPropagates(true).IsAborted());
+}
+
+// ---------------------------------------------------------------------------
+// RequestContext
+// ---------------------------------------------------------------------------
+
+TEST(RequestContextTest, DefaultHasNoDeadline) {
+  RequestContext ctx;
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_FALSE(ctx.Expired(1'000'000));
+  EXPECT_EQ(ctx.Remaining(1'000'000), RequestContext::kNoDeadlineRemaining);
+  EXPECT_EQ(ctx.priority, Priority::kNormal);
+}
+
+TEST(RequestContextTest, WithTimeoutSetsAbsoluteDeadline) {
+  const RequestContext ctx =
+      RequestContext::WithTimeout(/*now=*/500, /*timeout=*/1000,
+                                  Priority::kHigh);
+  EXPECT_TRUE(ctx.has_deadline());
+  EXPECT_EQ(ctx.deadline, 1500);
+  EXPECT_EQ(ctx.priority, Priority::kHigh);
+}
+
+TEST(RequestContextTest, RemainingCountsDownThenExpires) {
+  RequestContext ctx;
+  ctx.deadline = 2000;
+  EXPECT_EQ(ctx.Remaining(500), 1500);
+  EXPECT_FALSE(ctx.Expired(1999));
+  EXPECT_TRUE(ctx.Expired(2000));
+  EXPECT_TRUE(ctx.Expired(5000));
+  EXPECT_EQ(ctx.Remaining(2000), 0);
+  EXPECT_EQ(ctx.Remaining(9000), 0);
+}
+
+TEST(RequestContextTest, PriorityNames) {
+  EXPECT_EQ(PriorityToString(Priority::kCritical), "critical");
+  EXPECT_EQ(PriorityToString(Priority::kHigh), "high");
+  EXPECT_EQ(PriorityToString(Priority::kNormal), "normal");
+  EXPECT_EQ(PriorityToString(Priority::kLow), "low");
 }
 
 // ---------------------------------------------------------------------------

@@ -666,5 +666,256 @@ TEST(ChaosTest, PipelineOutageDegradedCachingStaysWithinBudget) {
   EXPECT_FALSE(server.degraded());
 }
 
+// ---------------------------------------------------------------------------
+// Overload protection end to end: flash crowd + slow origin + node kill
+// ---------------------------------------------------------------------------
+
+workload::WorkloadOptions OverloadWorkload() {
+  workload::WorkloadOptions w;
+  w.num_tables = 2;
+  w.docs_per_table = 60;
+  w.queries_per_table = 3;
+  w.docs_per_query = 12;
+  w.read_weight = 0.66;
+  w.query_weight = 0.22;
+  w.insert_weight = 0.02;
+  w.update_weight = 0.10;
+  // No deletes: a delete wipes every tier's copy of a (hot) key, so reads
+  // of it during the storm have no stale-retained fallback by design.
+  // Delete behaviour under faults is covered by the Monte Carlo chaos test.
+  w.delete_weight = 0.0;
+  return w;
+}
+
+sim::SimOptions OverloadSim(bool protections) {
+  sim::SimOptions s;
+  s.num_client_instances = 3;
+  s.connections_per_instance = 2;
+  s.duration = SecondsToMicros(14.0);
+  s.warmup = SecondsToMicros(1.0);
+  s.seed = 11;
+  s.think_time = MillisToMicros(50.0);
+  // A single backend worker with a 2 ms service time: ~500 req/s of real
+  // capacity normally, 25 req/s during the storm below — the flash crowd
+  // genuinely oversubscribes the origin instead of vanishing into slack.
+  s.num_servers = 1;
+  s.server_service = MillisToMicros(2.0);
+  // Keep every issued TTL short so staleness across the node-kill window
+  // is bounded by expiration, and the oracle's degraded budget can cover
+  // the worst surviving copy.
+  s.server_options.ttl_options.max_ttl = SecondsToMicros(5.0);
+  s.server_options.degradation.enabled = true;
+
+  // The storm: 8x connections on a 20x slower origin for 4 seconds. It
+  // hits after several seconds of normal traffic — a flash crowd storms
+  // *warm* caches; cold keys nobody ever fetched have no retained copy to
+  // shed-serve and would just measure cache warmup, not overload control.
+  sim::SimOptions::OverloadPhase phase;
+  phase.at = SecondsToMicros(6.0);
+  phase.duration = SecondsToMicros(4.0);
+  phase.load_multiplier = 8.0;
+  phase.origin_slowdown = 20.0;
+  s.overload_phases.push_back(phase);
+
+  if (protections) {
+    s.server_options.admission.enabled = true;
+    // The controller budgets the origin's HEALTHY per-request cost; storm
+    // slowness reaches it through the origin_spike_fn feedback below,
+    // which charges the measured extra service time to its workers. So
+    // normal traffic is billed accurately (no false shedding) while the
+    // slowed-down origin drives real queue pressure.
+    s.server_options.admission.max_concurrent = 1;
+    s.server_options.admission.service_cost = 4 * kMicrosPerMilli;
+    // Queue bound sized to the deadline: a short backlog keeps admitted
+    // requests inside their 1 s budget and drains quickly after the
+    // storm (a deep queue would keep serving deadline-exceeded long
+    // after the pressure is gone).
+    s.server_options.admission.max_queue = 16;
+    s.server_options.admission.target_queue_delay = 20 * kMicrosPerMilli;
+    s.server_options.admission.codel_interval = 100 * kMicrosPerMilli;
+    // Admission "measures" the storm: during the phase every served
+    // origin visit costs ~40 ms instead of ~2 ms, and the controller is
+    // charged the difference.
+    s.origin_spike_fn = [phase](Micros now) -> Micros {
+      if (now >= phase.at && now < phase.at + phase.duration) {
+        return MillisToMicros(38.0);
+      }
+      return 0;
+    };
+    s.client_options.request_deadline = SecondsToMicros(1.0);
+    s.client_options.stale_serve.enabled = true;
+    s.client_options.stale_serve.ttl_cap = 1 * kMicrosPerSecond;
+    s.client_options.stale_serve.max_age = 30 * kMicrosPerSecond;
+    s.client_options.retry.enabled = true;
+    s.client_options.retry.max_attempts = 2;
+    s.client_options.retry.retry_budget = 10.0;
+    s.client_options.retry.budget_refill_per_success = 0.1;
+  }
+  return s;
+}
+
+TEST(ChaosTest, OverloadWithNodeKillKeepsAvailabilityAndConsistency) {
+  sim::SimOptions sopts = OverloadSim(/*protections=*/true);
+
+  // Seeded origin latency spikes ride on top of the flash crowd.
+  fault::FaultProfile profile;
+  profile.latency_spike_rate = 0.2;
+  profile.max_latency_spike = 100 * kMicrosPerMilli;
+  fault::FaultInjector injector(23, profile);
+  const auto base_feedback = sopts.origin_spike_fn;
+  sopts.origin_spike_fn = [&injector, base_feedback](Micros now) -> Micros {
+    return (base_feedback ? base_feedback(now) : 0) +
+           injector.LatencySpikeFor();
+  };
+
+  sim::Simulation sim(OverloadWorkload(), sopts);
+  sim::Simulation* sim_ptr = &sim;
+
+  check::OracleOptions oopts;
+  oopts.delta = sopts.client_options.ebf_refresh_interval;
+  oopts.max_purge_delay = sopts.cdn_purge_latency;
+  oopts.revalidate_at_cdn = sopts.client_options.revalidate_at_cdn;
+  check::ConsistencyOracle oracle(&sim.clock(), &sim.database(), oopts);
+  sim.database().AddChangeListener(
+      [&oracle](const db::ChangeEvent& ev) { oracle.OnCommit(ev); });
+  const workload::WorkloadOptions w = OverloadWorkload();
+  for (size_t t = 0; t < w.num_tables; ++t) {
+    for (const db::Query& q : sim.generator().QueriesFor(t)) {
+      oracle.TrackQuery(q);
+    }
+  }
+
+  // Every read/query is checked; stale-shed responses arrive flagged with
+  // their measured age and ONLY those get a per-check widened bound — an
+  // unflagged stale response would still trip the oracle.
+  sim.AddOpObserver([&](const sim::OpObservation& obs) {
+    const std::string session = "i" + std::to_string(obs.instance);
+    switch (obs.type) {
+      case workload::OpType::kRead: {
+        // A shed or past-deadline failure makes no freshness claim (it is
+        // not a NotFound): nothing to check.
+        if (!obs.read->status.ok() && !obs.read->status.IsNotFound()) break;
+        const Micros extra = obs.read->outcome.served_stale_on_shed
+                                 ? obs.read->outcome.stale_entry_age
+                                 : 0;
+        oracle.CheckRead(session, obs.table + "/" + obs.id,
+                         obs.read->status.ok(), obs.read->version, extra);
+        break;
+      }
+      case workload::OpType::kQuery: {
+        const Micros extra =
+            obs.query_result->outcome.served_stale_on_shed
+                ? obs.query_result->outcome.stale_entry_age
+                : 0;
+        oracle.CheckQuery(session, *obs.query,
+                          obs.query_result->status.ok(),
+                          obs.query_result->etag,
+                          obs.query_result->representation, extra);
+        break;
+      }
+      default:
+        if (obs.written != nullptr) {
+          oracle.OnSessionWrite(session, *obs.written);
+        }
+        break;
+    }
+  });
+
+  // Mid-storm node kill (and later failover). The invalidation gap is
+  // covered by the server's degraded TTL caps; the oracle only demands
+  // the degraded budget while it lasts.
+  bool killed = false;
+  bool restarted = false;
+  sim.AddOpObserver([&](const sim::OpObservation&) {
+    const Micros now = sim_ptr->clock().NowMicros();
+    if (!killed && now >= SecondsToMicros(7.0)) {
+      sim_ptr->server().invalidb().KillNode(0);
+      oracle.SetDegraded(true, SecondsToMicros(10.0));
+      killed = true;
+    }
+    if (killed && !restarted && now >= SecondsToMicros(11.0)) {
+      sim_ptr->server().invalidb().RestartNode(
+          0, [&](const db::Query& rq) { return sim_ptr->database().Execute(rq); });
+      oracle.SetDegraded(false);
+      restarted = true;
+    }
+  });
+
+  uint64_t read_fails = 0;
+  uint64_t query_fails = 0;
+  uint64_t write_fails = 0;
+  sim.AddOpObserver([&](const sim::OpObservation& obs) {
+    switch (obs.type) {
+      case workload::OpType::kRead:
+        if (!obs.read->status.ok()) read_fails++;
+        break;
+      case workload::OpType::kQuery:
+        if (!obs.query_result->status.ok()) query_fails++;
+        break;
+      default:
+        if (obs.written == nullptr) write_fails++;
+        break;
+    }
+  });
+
+  sim::SimResults r = sim.Run();
+
+  ASSERT_TRUE(killed);
+  ASSERT_TRUE(restarted);
+
+  // The protections engaged: the origin shed work and stale-retained
+  // copies absorbed part of the storm.
+  EXPECT_GT(r.server_stats.shed_responses +
+                r.server_stats.deadline_exceeded_responses,
+            0u);
+  EXPECT_GT(r.stale_shed_serves, 0u);
+
+  // Availability floor: at least 80% of all operations still succeeded
+  // across the storm, the slow origin, and the node kill.
+  const uint64_t total = r.reads.count + r.queries.count + r.writes.count;
+  ASSERT_GT(total, 0u);
+  const double ok_ratio =
+      static_cast<double>(r.ok_ops) / static_cast<double>(total);
+  EXPECT_GE(ok_ratio, 0.8) << "ok " << r.ok_ops << " of " << total
+                           << " (reads " << r.reads.count << " queries "
+                           << r.queries.count << " writes " << r.writes.count
+                           << " shed " << r.shed_ops << " deadline "
+                           << r.deadline_exceeded_ops << " stale_serves "
+                           << r.stale_shed_serves << " read_fails "
+                           << read_fails << " query_fails " << query_fails
+                           << " write_fails " << write_fails << ")";
+
+  // Zero oracle violations: bounded staleness survived the overload.
+  std::string msg;
+  for (const check::Violation& v : oracle.violations()) {
+    msg += v.ToString() + "\n";
+  }
+  EXPECT_TRUE(oracle.violations().empty()) << msg;
+  EXPECT_GT(oracle.checked_reads(), 100u);
+}
+
+TEST(ChaosTest, OverloadProtectionsKeepTailLatencyBounded) {
+  // Same storm twice: protections ON vs OFF. The unprotected run piles
+  // every request onto the saturated origin and its tail latency
+  // collapses; the protected run sheds and serves stale instead.
+  auto run = [](bool protections) {
+    sim::Simulation sim(OverloadWorkload(), OverloadSim(protections));
+    return sim.Run();
+  };
+  const sim::SimResults off = run(false);
+  const sim::SimResults on = run(true);
+
+  // Unprotected: nothing fails, everything slows down.
+  EXPECT_EQ(off.shed_ops + off.deadline_exceeded_ops, 0u);
+  EXPECT_EQ(off.stale_shed_serves, 0u);
+
+  // Protected: reads' p99 stays well under the unprotected collapse.
+  EXPECT_LT(on.reads.latency.P99() * 2.0, off.reads.latency.P99())
+      << "on p99 " << on.reads.latency.P99() << " off p99 "
+      << off.reads.latency.P99();
+  // And goodput does not collapse versus the unprotected run.
+  EXPECT_GE(on.goodput_ops_s, 0.8 * off.goodput_ops_s);
+}
+
 }  // namespace
 }  // namespace quaestor

@@ -362,6 +362,32 @@ TEST(ReliableQueueTest, ExponentialBackoffCapped) {
   EXPECT_GE(redeliveries, 10u);
 }
 
+TEST(ReliableQueueTest, MaxInflightWindowRejectsNewSends) {
+  SimulatedClock clock(0);
+  kv::KvStore kv(&clock);
+  invalidb::ReliableOptions opts = Reliable();
+  opts.max_inflight = 3;
+  invalidb::ReliableSender sender(&clock, &kv, "q", "s", opts);
+  EXPECT_TRUE(sender.Send("a").ok());
+  EXPECT_TRUE(sender.Send("b").ok());
+  EXPECT_TRUE(sender.Send("c").ok());
+  EXPECT_TRUE(sender.Send("d").IsResourceExhausted());
+  EXPECT_EQ(sender.unacked(), 3u);
+  EXPECT_EQ(sender.inflight_rejections(), 1u);
+  EXPECT_EQ(kv.QueueLen("q"), 3u);  // the rejected payload never hit the wire
+
+  // Acks open the window again.
+  invalidb::ReliableReceiver receiver(&kv, "q", opts);
+  receiver.Poll([](const std::string&) {});
+  sender.Tick();
+  EXPECT_EQ(sender.unacked(), 0u);
+  EXPECT_TRUE(sender.Send("d").ok());
+
+  // The default stays unlimited: transport call sites ignore Send's
+  // status, so a bound must be opted into.
+  EXPECT_EQ(invalidb::ReliableOptions().max_inflight, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Client retry on 503
 // ---------------------------------------------------------------------------
@@ -401,6 +427,39 @@ TEST(ClientRetryTest, DisabledRetrySurfacesImmediately) {
   auto r = c.Read("t", "x");
   EXPECT_TRUE(r.status.IsUnavailable());
   EXPECT_EQ(c.stats().retries, 0u);
+}
+
+TEST(ClientRetryTest, RetryBudgetSuppressesRetryStorms) {
+  SimulatedClock clock(0);
+  db::Database db(&clock);
+  core::QuaestorServer server(&clock, &db);
+  ASSERT_TRUE(server.Insert("t", "x", Doc(R"({"v":1})")).ok());
+  client::ClientOptions copts;
+  copts.retry.enabled = true;
+  copts.retry.max_attempts = 3;
+  copts.retry.retry_budget = 3.0;
+  copts.retry.budget_refill_per_success = 1.0;
+  client::QuaestorClient c(&clock, &server, nullptr, nullptr, copts);
+  c.Connect();
+
+  // A long outage: the first failures burn the 3-token budget (2 retries
+  // per read), after which retries are suppressed fleet-wide.
+  server.SetUnavailable(true);
+  (void)c.Read("t", "x");  // 2 retries, 1 token left
+  EXPECT_EQ(c.stats().retries, 2u);
+  (void)c.Read("t", "x");  // 1 retry, then bucket empty
+  EXPECT_EQ(c.stats().retries, 3u);
+  EXPECT_EQ(c.stats().retries_suppressed, 1u);
+  (void)c.Read("t", "x");  // no tokens at all: fail fast
+  EXPECT_EQ(c.stats().retries, 3u);
+  EXPECT_EQ(c.stats().retries_suppressed, 2u);
+
+  // Successes refill the bucket and retries resume.
+  server.SetUnavailable(false);
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(c.Read("t", "x").status.ok());
+  server.SetUnavailable(true);
+  (void)c.Read("t", "x");
+  EXPECT_EQ(c.stats().retries, 5u);
 }
 
 // ---------------------------------------------------------------------------

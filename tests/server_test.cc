@@ -497,6 +497,221 @@ TEST_F(ServerTest, WriteBatchingDefersUntilFlush) {
   EXPECT_EQ(server_->FlushChanges(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionControllerTest, DisabledAdmitsEverythingStateless) {
+  AdmissionController ctrl;  // enabled = false
+  for (int i = 0; i < 1000; ++i) {
+    Micros delay = 99;
+    EXPECT_TRUE(ctrl.Admit(0, RequestContext(), &delay).ok());
+    EXPECT_EQ(delay, 0);
+  }
+  EXPECT_EQ(ctrl.QueueDelay(0), 0);
+  EXPECT_FALSE(ctrl.shedding());
+  EXPECT_EQ(ctrl.stats().total_admitted(), 0u);
+}
+
+TEST(AdmissionControllerTest, QueueDelayGrowsWithAdmissions) {
+  AdmissionOptions opts;
+  opts.enabled = true;
+  opts.max_concurrent = 2;
+  opts.service_cost = 1000;
+  AdmissionController ctrl(opts);
+  // Two free workers absorb two requests with zero delay.
+  Micros delay = 0;
+  EXPECT_TRUE(ctrl.Admit(0, RequestContext(), &delay).ok());
+  EXPECT_EQ(delay, 0);
+  EXPECT_TRUE(ctrl.Admit(0, RequestContext(), &delay).ok());
+  EXPECT_EQ(delay, 0);
+  // The third waits for the earliest worker.
+  EXPECT_TRUE(ctrl.Admit(0, RequestContext(), &delay).ok());
+  EXPECT_EQ(delay, 1000);
+  // Idle time drains the queue.
+  EXPECT_EQ(ctrl.QueueDelay(10'000), 0);
+}
+
+TEST(AdmissionControllerTest, CodelEngagesOnlyAfterSustainedExcess) {
+  AdmissionOptions opts;
+  opts.enabled = true;
+  opts.max_concurrent = 1;
+  opts.service_cost = 1000;
+  opts.target_queue_delay = 500;
+  opts.codel_interval = 10'000;
+  AdmissionController ctrl(opts);
+  // Build up delay above target: each admit at t=0 adds 1000us.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ctrl.Admit(0, RequestContext(), nullptr).ok());
+  }
+  EXPECT_FALSE(ctrl.shedding());  // excess not yet sustained
+  // Keep the queue above target past the interval: shedding engages.
+  Status last = Status::OK();
+  for (Micros t = 1000; t <= 20'000 && last.ok(); t += 1000) {
+    last = ctrl.Admit(t, RequestContext(), nullptr);
+  }
+  EXPECT_TRUE(ctrl.shedding());
+  EXPECT_TRUE(last.IsResourceExhausted());
+  // Critical traffic still gets through in shedding mode.
+  RequestContext critical;
+  critical.priority = Priority::kCritical;
+  EXPECT_TRUE(ctrl.Admit(20'000, critical, nullptr).ok());
+  // A long idle period drains the queue and disengages shedding.
+  EXPECT_TRUE(ctrl.Admit(10'000'000, RequestContext(), nullptr).ok());
+  EXPECT_FALSE(ctrl.shedding());
+}
+
+TEST(AdmissionControllerTest, QueueBoundRejectsEvenCritical) {
+  AdmissionOptions opts;
+  opts.enabled = true;
+  opts.max_concurrent = 1;
+  opts.service_cost = 1000;
+  opts.max_queue = 4;
+  opts.target_queue_delay = 1'000'000;  // keep CoDel out of the way
+  AdmissionController ctrl(opts);
+  RequestContext critical;
+  critical.priority = Priority::kCritical;
+  Status last = Status::OK();
+  int admitted = 0;
+  for (int i = 0; i < 50; ++i) {
+    last = ctrl.Admit(0, critical, nullptr);
+    if (last.ok()) admitted++;
+  }
+  EXPECT_TRUE(last.IsResourceExhausted());
+  // The backlog bound counts requests still holding a worker, so exactly
+  // max_queue admissions fit before the hard reject.
+  EXPECT_EQ(admitted, 4);
+  EXPECT_GT(ctrl.stats().shed_queue_full[0], 0u);
+}
+
+TEST(AdmissionControllerTest, DoomedDeadlineRejectedWithoutCharge) {
+  AdmissionOptions opts;
+  opts.enabled = true;
+  opts.max_concurrent = 1;
+  opts.service_cost = 1000;
+  opts.target_queue_delay = 1'000'000;
+  AdmissionController ctrl(opts);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ctrl.Admit(0, RequestContext(), nullptr).ok());
+  }
+  const Micros delay_before = ctrl.QueueDelay(0);
+  // Deadline shorter than the queue: rejected, queue unchanged.
+  RequestContext doomed = RequestContext::WithTimeout(0, 2000);
+  EXPECT_TRUE(ctrl.Admit(0, doomed, nullptr).IsDeadlineExceeded());
+  EXPECT_EQ(ctrl.QueueDelay(0), delay_before);
+  // A deadline that covers the wait is admitted.
+  RequestContext viable = RequestContext::WithTimeout(0, 60'000);
+  EXPECT_TRUE(ctrl.Admit(0, viable, nullptr).ok());
+}
+
+TEST(AdmissionControllerTest, InjectDelayStallsAllWorkers) {
+  AdmissionOptions opts;
+  opts.enabled = true;
+  opts.max_concurrent = 4;
+  opts.service_cost = 1000;
+  AdmissionController ctrl(opts);
+  EXPECT_EQ(ctrl.QueueDelay(0), 0);
+  ctrl.InjectDelay(0, 50'000);
+  EXPECT_EQ(ctrl.QueueDelay(0), 50'000);
+  Micros delay = 0;
+  ASSERT_TRUE(ctrl.Admit(0, RequestContext(), &delay).ok());
+  EXPECT_EQ(delay, 50'000);
+}
+
+TEST_F(ServerTest, AdmissionShedsReadsUnderSustainedOverload) {
+  ServerOptions opts;
+  opts.admission.enabled = true;
+  opts.admission.max_concurrent = 1;
+  opts.admission.service_cost = 1000;
+  opts.admission.target_queue_delay = 500;
+  opts.admission.codel_interval = 2000;
+  MakeServer(opts);
+  ASSERT_TRUE(server_->Insert("t", "1", Doc(R"({"x":1})")).ok());
+
+  // Hammer Fetch without advancing the clock much: queue delay builds,
+  // CoDel engages, and normal-priority reads start coming back shed.
+  bool saw_shed = false;
+  for (int i = 0; i < 200; ++i) {
+    clock_.Advance(100);
+    auto resp = Get("t/1");
+    if (!resp.ok && resp.shed) saw_shed = true;
+  }
+  EXPECT_TRUE(saw_shed);
+  EXPECT_GT(server_->stats().shed_responses, 0u);
+  EXPECT_GT(server_->admission().stats().total_shed(), 0u);
+}
+
+TEST_F(ServerTest, ExpiredDeadlineFetchFailsFastWithoutDbWork) {
+  ServerOptions opts;
+  opts.admission.enabled = true;
+  MakeServer(opts);
+  ASSERT_TRUE(server_->Insert("t", "1", Doc(R"({"x":1})")).ok());
+  clock_.Advance(10 * kSecond);
+
+  webcache::HttpRequest req;
+  req.key = "t/1";
+  req.context.deadline = clock_.NowMicros() - 1;  // already past
+  auto resp = server_->Fetch(req);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_TRUE(resp.deadline_exceeded);
+  EXPECT_FALSE(resp.shed);
+  EXPECT_EQ(server_->stats().deadline_exceeded_responses, 1u);
+}
+
+TEST_F(ServerTest, AdmissionDisabledResponsesAreByteIdentical) {
+  // Same sequence against an admission-enabled-but-idle server and a
+  // default server: an idle controller must not change any response.
+  SimulatedClock clock_b(0);
+  db::Database db_b(&clock_b);
+  ServerOptions with;
+  with.admission.enabled = false;
+  MakeServer();  // default options
+  QuaestorServer plain(&clock_b, &db_b, with);
+
+  ASSERT_TRUE(server_->Insert("t", "1", Doc(R"({"x":1})")).ok());
+  ASSERT_TRUE(plain.Insert("t", "1", Doc(R"({"x":1})")).ok());
+  for (int i = 0; i < 5; ++i) {
+    clock_.Advance(100'000);
+    clock_b.Advance(100'000);
+    webcache::HttpRequest req;
+    req.key = "t/1";
+    auto a = server_->Fetch(req);
+    auto b = plain.Fetch(req);
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.body, b.body);
+    EXPECT_EQ(a.etag, b.etag);
+    EXPECT_EQ(a.ttl, b.ttl);
+  }
+}
+
+TEST_F(ServerTest, WritesAreShedBeforeReadsUnderOverload) {
+  ServerOptions opts;
+  opts.admission.enabled = true;
+  opts.admission.max_concurrent = 1;
+  opts.admission.service_cost = 1000;
+  opts.admission.target_queue_delay = 2000;
+  opts.admission.codel_interval = 2000;
+  MakeServer(opts);
+  ASSERT_TRUE(server_->Insert("t", "1", Doc(R"({"x":1})")).ok());
+
+  // One write + one read per 1000us against a 1000us service cost: the
+  // queue settles right at 2x target, where shedding mode drops kLow
+  // writes every round but kNormal reads keep being admitted.
+  uint64_t write_sheds = 0;
+  uint64_t read_sheds = 0;
+  for (int i = 0; i < 50; ++i) {
+    clock_.Advance(1000);
+    db::Update u;
+    u.Set("x", db::Value(i));
+    if (server_->Update("t", "1", u).status().IsResourceExhausted()) {
+      write_sheds++;
+    }
+    if (!Get("t/1").ok) read_sheds++;
+  }
+  EXPECT_GT(write_sheds, 0u);
+  EXPECT_EQ(read_sheds, 0u);
+}
+
 TEST_F(ServerTest, NotificationTapObservesInvalidations) {
   MakeServer();
   std::vector<invalidb::Notification> taps;

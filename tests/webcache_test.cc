@@ -167,13 +167,16 @@ TEST(ExpirationCacheTest, RemoveDropsEntry) {
   EXPECT_FALSE(cache.GetEvenIfExpired("k").has_value());
 }
 
-TEST(InvalidationCacheTest, PurgeRemovesEntry) {
+TEST(InvalidationCacheTest, PurgeExpiresButRetainsEntry) {
   SimulatedClock clock(0);
   InvalidationCache cdn(&clock);
   cdn.Put("k", "v", 1, 100 * kSecond);
   EXPECT_TRUE(cdn.Purge("k"));
+  // The purged copy is no longer servable as fresh...
   EXPECT_FALSE(cdn.Get("k").has_value());
-  EXPECT_FALSE(cdn.Purge("k"));
+  // ...but stays resident for revalidation and stale-shed fallback.
+  EXPECT_TRUE(cdn.GetEvenIfExpired("k").has_value());
+  EXPECT_FALSE(cdn.Purge("k"));  // already expired: nothing fresh to drop
   EXPECT_EQ(cdn.PurgeCount(), 2u);
 }
 
@@ -188,6 +191,10 @@ class FakeOrigin : public Origin {
     fetches++;
     last_request = request;
     HttpResponse resp;
+    if (shed_mode) {
+      resp.shed = true;
+      return resp;
+    }
     if (!exists) return resp;
     resp.ok = true;
     resp.etag = version;
@@ -204,6 +211,7 @@ class FakeOrigin : public Origin {
   int fetches = 0;
   int not_modified_count = 0;
   bool exists = true;
+  bool shed_mode = false;  // origin answers 503-shed (overload)
   std::string body = "origin-body";
   uint64_t version = 1;
   Micros ttl = 60 * kSecond;
@@ -324,6 +332,115 @@ TEST_F(HierarchyTest, UncacheableResponsesNotStored) {
   // Every fetch reaches the origin.
   (void)hierarchy_.Fetch("k", FetchMode::kNormal);
   EXPECT_EQ(origin_.fetches, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Stale-serving load shedding
+// ---------------------------------------------------------------------------
+
+TEST_F(HierarchyTest, ShedOriginFailsWithoutStaleServePolicy) {
+  origin_.ttl = 1 * kSecond;
+  (void)hierarchy_.Fetch("k", FetchMode::kNormal);
+  clock_.Advance(5 * kSecond);
+  origin_.shed_mode = true;
+  FetchOutcome fo = hierarchy_.Fetch("k", FetchMode::kNormal);
+  EXPECT_FALSE(fo.ok);
+  EXPECT_TRUE(fo.shed);
+  EXPECT_FALSE(fo.served_stale_on_shed);
+}
+
+TEST_F(HierarchyTest, ShedOriginServesFlaggedStaleCopy) {
+  clock_.Advance(1);  // keep stored_at off the t=0 sentinel for exact ages
+  origin_.ttl = 1 * kSecond;
+  (void)hierarchy_.Fetch("k", FetchMode::kNormal);
+  clock_.Advance(5 * kSecond);
+  origin_.shed_mode = true;
+  StaleServePolicy policy;
+  policy.enabled = true;
+  policy.ttl_cap = 1 * kSecond;
+  policy.max_age = 60 * kSecond;
+  hierarchy_.set_stale_serve(policy);
+
+  FetchOutcome fo = hierarchy_.Fetch("k", FetchMode::kNormal);
+  ASSERT_TRUE(fo.ok);
+  EXPECT_TRUE(fo.shed);  // the origin did shed; the serve is the fallback
+  EXPECT_TRUE(fo.served_stale_on_shed);
+  EXPECT_EQ(fo.body, "origin-body");
+  EXPECT_EQ(fo.stale_entry_age, 5 * kSecond);
+  EXPECT_EQ(fo.remaining_ttl, policy.ttl_cap);
+  EXPECT_EQ(origin_.fetches, 2);
+
+  // The re-published copy absorbs the crowd: the next fetch is a cache
+  // hit — still flagged, with the true (not reset) age.
+  FetchOutcome hit = hierarchy_.Fetch("k", FetchMode::kNormal);
+  ASSERT_TRUE(hit.ok);
+  EXPECT_EQ(hit.served_by, ServedBy::kClientCache);
+  EXPECT_TRUE(hit.served_stale_on_shed);
+  EXPECT_EQ(hit.stale_entry_age, 5 * kSecond);
+  EXPECT_EQ(origin_.fetches, 2);
+}
+
+TEST_F(HierarchyTest, RepeatedSheddingCannotLaunderStaleness) {
+  clock_.Advance(1);  // keep stored_at off the t=0 sentinel for exact ages
+  origin_.ttl = 1 * kSecond;
+  (void)hierarchy_.Fetch("k", FetchMode::kNormal);
+  StaleServePolicy policy;
+  policy.enabled = true;
+  policy.ttl_cap = 1 * kSecond;
+  policy.max_age = 60 * kSecond;
+  hierarchy_.set_stale_serve(policy);
+  origin_.shed_mode = true;
+
+  clock_.Advance(5 * kSecond);
+  FetchOutcome first = hierarchy_.Fetch("k", FetchMode::kNormal);
+  ASSERT_TRUE(first.ok);
+  EXPECT_EQ(first.stale_entry_age, 5 * kSecond);
+
+  // Past the capped TTL the copy expires again and the origin is still
+  // shedding: the second stale serve must age from the ORIGINAL fetch.
+  clock_.Advance(2 * kSecond);
+  FetchOutcome second = hierarchy_.Fetch("k", FetchMode::kNormal);
+  ASSERT_TRUE(second.ok);
+  EXPECT_TRUE(second.served_stale_on_shed);
+  EXPECT_EQ(second.stale_entry_age, 7 * kSecond);
+}
+
+TEST_F(HierarchyTest, StaleServeRefusesCopiesPastMaxAge) {
+  origin_.ttl = 1 * kSecond;
+  (void)hierarchy_.Fetch("k", FetchMode::kNormal);
+  StaleServePolicy policy;
+  policy.enabled = true;
+  policy.ttl_cap = 1 * kSecond;
+  policy.max_age = 60 * kSecond;
+  hierarchy_.set_stale_serve(policy);
+  origin_.shed_mode = true;
+
+  clock_.Advance(120 * kSecond);  // older than max_age, inside retention
+  FetchOutcome fo = hierarchy_.Fetch("k", FetchMode::kNormal);
+  EXPECT_FALSE(fo.ok);
+  EXPECT_TRUE(fo.shed);
+  EXPECT_FALSE(fo.served_stale_on_shed);
+}
+
+TEST_F(HierarchyTest, DoomedDeadlineSkipsOriginAndServesStale) {
+  origin_.ttl = 1 * kSecond;
+  (void)hierarchy_.Fetch("k", FetchMode::kNormal);
+  StaleServePolicy policy;
+  policy.enabled = true;
+  policy.ttl_cap = 1 * kSecond;
+  policy.max_age = 60 * kSecond;
+  hierarchy_.set_stale_serve(policy);
+
+  clock_.Advance(5 * kSecond);
+  // Remaining budget shorter than the origin round trip: the trip is
+  // skipped entirely and the retained copy answers.
+  RequestContext ctx =
+      RequestContext::WithTimeout(clock_.NowMicros(), MillisToMicros(1.0));
+  FetchOutcome fo = hierarchy_.Fetch("k", FetchMode::kNormal, ctx);
+  ASSERT_TRUE(fo.ok);
+  EXPECT_TRUE(fo.deadline_exceeded);
+  EXPECT_TRUE(fo.served_stale_on_shed);
+  EXPECT_EQ(origin_.fetches, 1);  // no second origin visit
 }
 
 TEST(HierarchyBaselinesTest, UncachedAlwaysHitsOrigin) {
