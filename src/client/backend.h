@@ -1,0 +1,98 @@
+#ifndef QUAESTOR_CLIENT_BACKEND_H_
+#define QUAESTOR_CLIENT_BACKEND_H_
+
+#include <string>
+#include <utility>
+
+#include "common/request_context.h"
+#include "common/result.h"
+#include "core/server.h"
+#include "db/document.h"
+#include "db/query.h"
+#include "db/update.h"
+#include "db/value.h"
+#include "ebf/bloom_filter.h"
+#include "webcache/http.h"
+
+namespace quaestor::client {
+
+/// Everything the SDK needs from the service it talks to. The in-process
+/// default (LocalBackend) calls core::QuaestorServer directly; the
+/// socket backend (net::HttpBackend) speaks HTTP/1.1 to a remote
+/// HttpFrontend. The SDK itself cannot tell the difference.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Origin the cache hierarchy fetches through (read path).
+  virtual webcache::Origin* origin() = 0;
+
+  virtual ebf::BloomFilter BloomSnapshot() = 0;
+  virtual ebf::BloomFilter BloomSnapshotForTable(const std::string& table) = 0;
+  virtual void RegisterQueryShape(const db::Query& query) = 0;
+
+  /// Writes: the token is resolved to credentials server-side (a remote
+  /// client never sees the access controller).
+  virtual Result<db::Document> Insert(const std::string& auth_token,
+                                      const std::string& table,
+                                      const std::string& id, db::Value body,
+                                      const RequestContext& ctx) = 0;
+  virtual Result<db::Document> Update(const std::string& auth_token,
+                                      const std::string& table,
+                                      const std::string& id,
+                                      const db::Update& update,
+                                      const RequestContext& ctx) = 0;
+  virtual Result<db::Document> Delete(const std::string& auth_token,
+                                      const std::string& table,
+                                      const std::string& id,
+                                      const RequestContext& ctx) = 0;
+
+  /// Non-null only for in-process backends (transactions commit through
+  /// the server object; a remote session cannot run them).
+  virtual core::QuaestorServer* local_server() { return nullptr; }
+};
+
+/// In-process backend: the pre-net wiring, now behind the seam.
+class LocalBackend final : public Backend {
+ public:
+  explicit LocalBackend(core::QuaestorServer* server) : server_(server) {}
+
+  webcache::Origin* origin() override { return server_; }
+  ebf::BloomFilter BloomSnapshot() override {
+    return server_->BloomSnapshot();
+  }
+  ebf::BloomFilter BloomSnapshotForTable(const std::string& table) override {
+    return server_->BloomSnapshotForTable(table);
+  }
+  void RegisterQueryShape(const db::Query& query) override {
+    server_->RegisterQueryShape(query);
+  }
+  Result<db::Document> Insert(const std::string& auth_token,
+                              const std::string& table, const std::string& id,
+                              db::Value body,
+                              const RequestContext& ctx) override {
+    return server_->Insert(server_->auth().Resolve(auth_token), table, id,
+                           std::move(body), ctx);
+  }
+  Result<db::Document> Update(const std::string& auth_token,
+                              const std::string& table, const std::string& id,
+                              const db::Update& update,
+                              const RequestContext& ctx) override {
+    return server_->Update(server_->auth().Resolve(auth_token), table, id,
+                           update, ctx);
+  }
+  Result<db::Document> Delete(const std::string& auth_token,
+                              const std::string& table, const std::string& id,
+                              const RequestContext& ctx) override {
+    return server_->Delete(server_->auth().Resolve(auth_token), table, id,
+                           ctx);
+  }
+  core::QuaestorServer* local_server() override { return server_; }
+
+ private:
+  core::QuaestorServer* server_;
+};
+
+}  // namespace quaestor::client
+
+#endif  // QUAESTOR_CLIENT_BACKEND_H_

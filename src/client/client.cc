@@ -1,6 +1,8 @@
 #include "client/client.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "ebf/expiring_bloom_filter.h"
 
@@ -11,11 +13,29 @@ QuaestorClient::QuaestorClient(Clock* clock, core::QuaestorServer* server,
                                webcache::InvalidationCache* cdn,
                                ClientOptions options,
                                webcache::LatencyModel latency)
+    : QuaestorClient(std::make_unique<LocalBackend>(server), nullptr, clock,
+                     client_cache, cdn, std::move(options), latency) {}
+
+QuaestorClient::QuaestorClient(Clock* clock, Backend* backend,
+                               webcache::ExpirationCache* client_cache,
+                               webcache::InvalidationCache* cdn,
+                               ClientOptions options,
+                               webcache::LatencyModel latency)
+    : QuaestorClient(nullptr, backend, clock, client_cache, cdn,
+                     std::move(options), latency) {}
+
+QuaestorClient::QuaestorClient(std::unique_ptr<Backend> owned,
+                               Backend* backend, Clock* clock,
+                               webcache::ExpirationCache* client_cache,
+                               webcache::InvalidationCache* cdn,
+                               ClientOptions options,
+                               webcache::LatencyModel latency)
     : clock_(clock),
-      server_(server),
+      owned_backend_(std::move(owned)),
+      backend_(owned_backend_ ? owned_backend_.get() : backend),
       client_cache_(client_cache),
-      hierarchy_(clock, client_cache, /*proxy=*/nullptr, cdn, server,
-                 latency),
+      hierarchy_(clock, client_cache, /*proxy=*/nullptr, cdn,
+                 backend_->origin(), latency),
       options_(options),
       latency_model_(latency),
       retry_rng_(options.retry.seed),
@@ -60,21 +80,31 @@ webcache::FetchOutcome QuaestorClient::FetchWithRetry(
     }
     const double spread =
         1.0 + r.jitter * (2.0 * retry_rng_.NextDouble() - 1.0);
-    const Micros wait = std::min(
-        r.max_backoff, static_cast<Micros>(static_cast<double>(backoff) *
-                                           spread));
+    // Clamp in the double domain BEFORE narrowing to Micros: the grown
+    // backoff can exceed the int64 range after a few doublings with a
+    // large max_backoff, and casting an out-of-range double is UB
+    // (in practice INT64_MIN, i.e. a negative wait). At the cap, reuse
+    // the exact Micros value — max_backoff == INT64_MAX rounds UP when
+    // converted to double, so even the clamped double can be uncastable.
+    const double cap = static_cast<double>(r.max_backoff);
+    const double grown_wait = static_cast<double>(backoff) * spread;
+    const Micros wait =
+        grown_wait >= cap ? r.max_backoff : static_cast<Micros>(grown_wait);
     // The failed round-trip and the backoff wait both delay the response.
     out->latency_ms += fo.latency_ms + MicrosToMillis(wait);
-    backoff = std::min(r.max_backoff,
-                       static_cast<Micros>(static_cast<double>(backoff) *
-                                           r.multiplier));
+    const double grown_backoff = static_cast<double>(backoff) * r.multiplier;
+    backoff = grown_backoff >= cap ? r.max_backoff
+                                   : static_cast<Micros>(grown_backoff);
     if (budgeted) retry_tokens_ -= 1.0;
     stats_.retries++;
     fo = hierarchy_.Fetch(key, mode, ctx);
   }
   if (fo.ok && budgeted) {
-    retry_tokens_ =
-        std::min(r.retry_budget, retry_tokens_ + r.budget_refill_per_success);
+    // Bucket capacity is at least one whole token: a configured budget in
+    // (0, 1) would otherwise cap refills below 1.0 forever, permanently
+    // suppressing retries even against a healthy backend.
+    retry_tokens_ = std::min(std::max(r.retry_budget, 1.0),
+                             retry_tokens_ + r.budget_refill_per_success);
   }
   if (!fo.ok && fo.unavailable) stats_.unavailable_failures++;
   if (!fo.ok && fo.shed) stats_.shed_failures++;
@@ -84,14 +114,14 @@ webcache::FetchOutcome QuaestorClient::FetchWithRetry(
 
 void QuaestorClient::Connect() {
   if (!options_.use_ebf) return;
-  bloom_ = server_->BloomSnapshot();
+  bloom_ = backend_->BloomSnapshot();
   bloom_time_ = clock_->NowMicros();
   whitelist_.clear();
   read_newer_than_ebf_ = false;
 }
 
 void QuaestorClient::RefreshEbf() {
-  bloom_ = server_->BloomSnapshot();
+  bloom_ = backend_->BloomSnapshot();
   bloom_time_ = clock_->NowMicros();
   whitelist_.clear();
   read_newer_than_ebf_ = false;
@@ -170,12 +200,12 @@ webcache::FetchMode QuaestorClient::DecideModeTablePartitioned(
   if (it == table_ebfs_.end()) {
     // Lazy initial fetch of this table's filter (piggybacked).
     TableEbf entry;
-    entry.filter = server_->BloomSnapshotForTable(table);
+    entry.filter = backend_->BloomSnapshotForTable(table);
     entry.fetched_at = now;
     it = table_ebfs_.emplace(table, std::move(entry)).first;
   } else if (now - it->second.fetched_at >= options_.ebf_refresh_interval) {
     // ∆ elapsed for this table: refresh and promote to a revalidation.
-    it->second.filter = server_->BloomSnapshotForTable(table);
+    it->second.filter = backend_->BloomSnapshotForTable(table);
     it->second.fetched_at = now;
     EraseWhitelistForTable(table);
     stats_.ebf_refreshes++;
@@ -293,7 +323,7 @@ QueryResult QuaestorClient::ExecuteQuery(const db::Query& query) {
   obs::ScopedSpan span(tracer_, "client.query");
   span.Annotate("key", key);
   // The HTTP URL carries the query; the server can always decode it.
-  server_->RegisterQueryShape(query);
+  backend_->RegisterQueryShape(query);
   stats_.queries++;
   QueryResult result;
   webcache::FetchMode mode = DecideMode(key, &result.outcome);
@@ -404,8 +434,8 @@ Result<db::Document> QuaestorClient::Insert(const std::string& table,
                                             db::Value body) {
   obs::ScopedSpan span(tracer_, "client.write");
   stats_.writes++;
-  auto res = server_->Insert(server_->auth().Resolve(options_.auth_token),
-                             table, id, std::move(body), MakeContext());
+  auto res = backend_->Insert(options_.auth_token, table, id, std::move(body),
+                              MakeContext());
   if (res.ok()) CacheOwnWrite(res.value());
   return res;
 }
@@ -417,8 +447,8 @@ Result<db::Document> QuaestorClient::Update(const std::string& table,
   stats_.writes++;
   // Beginning an update drops the record from the session's own cache.
   if (client_cache_ != nullptr) client_cache_->Remove(table + "/" + id);
-  auto res = server_->Update(server_->auth().Resolve(options_.auth_token),
-                             table, id, update, MakeContext());
+  auto res =
+      backend_->Update(options_.auth_token, table, id, update, MakeContext());
   if (res.ok()) CacheOwnWrite(res.value());
   return res;
 }
@@ -428,8 +458,7 @@ Result<db::Document> QuaestorClient::Delete(const std::string& table,
   obs::ScopedSpan span(tracer_, "client.write");
   stats_.writes++;
   if (client_cache_ != nullptr) client_cache_->Remove(table + "/" + id);
-  auto res = server_->Delete(server_->auth().Resolve(options_.auth_token),
-                             table, id, MakeContext());
+  auto res = backend_->Delete(options_.auth_token, table, id, MakeContext());
   if (res.ok()) CacheOwnWrite(res.value());
   return res;
 }

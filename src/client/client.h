@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "client/backend.h"
 #include "common/clock.h"
 #include "common/random.h"
 #include "common/result.h"
@@ -194,6 +195,15 @@ class QuaestorClient {
                  ClientOptions options = ClientOptions(),
                  webcache::LatencyModel latency = webcache::LatencyModel());
 
+  /// Same session, arbitrary backend (e.g. net::HttpBackend speaking to a
+  /// remote origin over a real socket). The backend must outlive the
+  /// client.
+  QuaestorClient(Clock* clock, Backend* backend,
+                 webcache::ExpirationCache* client_cache,
+                 webcache::InvalidationCache* cdn,
+                 ClientOptions options = ClientOptions(),
+                 webcache::LatencyModel latency = webcache::LatencyModel());
+
   /// Fetches the initial EBF (piggybacked on connect, §3.1). Costs one
   /// origin round-trip.
   void Connect();
@@ -221,6 +231,9 @@ class QuaestorClient {
   ClientStats stats() const { return stats_; }
   const ClientOptions& options() const { return options_; }
 
+  /// Tokens left in the retry budget bucket (tests / dashboards).
+  double retry_tokens() const { return retry_tokens_; }
+
   /// Installs a tracer on the SDK and its cache hierarchy (spans:
   /// client.read/client.query/client.write, client.ebf_decide, plus the
   /// cache-tier and server spans beneath). Does NOT propagate to the
@@ -241,8 +254,9 @@ class QuaestorClient {
   /// Write latency (one origin round-trip) — exposed for simulators.
   double WriteLatencyMs() const { return latency_model_.origin_ms; }
 
-  /// The server this session talks to (transactions commit through it).
-  core::QuaestorServer* server() { return server_; }
+  /// The in-process server this session talks to (transactions commit
+  /// through it). nullptr when the session runs over a socket backend.
+  core::QuaestorServer* server() { return backend_->local_server(); }
 
   /// Absorbs an externally committed write (e.g. a transaction's
   /// after-image) into the session: read-your-writes and monotonic-reads
@@ -282,8 +296,17 @@ class QuaestorClient {
 
   void CacheOwnWrite(const db::Document& doc);
 
+  /// Delegation target of the public ctors: exactly one of `owned` /
+  /// `backend` is set (the server ctor wraps its server in an owned
+  /// LocalBackend; the Backend ctor borrows).
+  QuaestorClient(std::unique_ptr<Backend> owned, Backend* backend,
+                 Clock* clock, webcache::ExpirationCache* client_cache,
+                 webcache::InvalidationCache* cdn, ClientOptions options,
+                 webcache::LatencyModel latency);
+
   Clock* clock_;
-  core::QuaestorServer* server_;
+  std::unique_ptr<Backend> owned_backend_;
+  Backend* backend_;  // owned_backend_.get() or the borrowed one
   webcache::ExpirationCache* client_cache_;
   webcache::CacheHierarchy hierarchy_;
   ClientOptions options_;

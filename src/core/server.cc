@@ -79,7 +79,7 @@ QuaestorServer::QuaestorServer(Clock* clock, db::Database* database,
     if (options_.write_batching.enabled) {
       BufferChange(ev);
     } else {
-      invalidb_->OnChange(ev);
+      PipelineOnChange(ev);
     }
   });
   transactions_ = std::make_unique<TransactionManager>(this);
@@ -101,7 +101,7 @@ void QuaestorServer::BufferChange(const db::ChangeEvent& ev) {
     flush = std::move(write_batch_);
     write_batch_.clear();
   }
-  invalidb_->OnChangeBatch(std::move(flush));
+  PipelineOnChangeBatch(std::move(flush));
 }
 
 size_t QuaestorServer::FlushChanges() {
@@ -113,8 +113,52 @@ size_t QuaestorServer::FlushChanges() {
     write_batch_.clear();
   }
   const size_t flushed = flush.size();
-  if (!flush.empty()) invalidb_->OnChangeBatch(std::move(flush));
+  if (!flush.empty()) PipelineOnChangeBatch(std::move(flush));
   return flushed;
+}
+
+void QuaestorServer::SetExternalPipeline(ExternalPipeline pipeline) {
+  external_pipeline_ = std::move(pipeline);
+  has_external_pipeline_ = true;
+}
+
+void QuaestorServer::OnExternalNotifications(
+    const std::vector<invalidb::Notification>& batch) {
+  if (batch.empty()) return;
+  OnNotificationBatch(batch);
+}
+
+Status QuaestorServer::PipelineRegisterQuery(
+    const db::Query& query, const std::vector<db::Document>& initial,
+    invalidb::EventMask events) {
+  if (has_external_pipeline_) {
+    return external_pipeline_.register_query(query, initial, events);
+  }
+  return invalidb_->RegisterQuery(query, initial, events);
+}
+
+void QuaestorServer::PipelineDeregisterQuery(const std::string& query_key) {
+  if (has_external_pipeline_) {
+    external_pipeline_.deregister_query(query_key);
+    return;
+  }
+  invalidb_->DeregisterQuery(query_key);
+}
+
+void QuaestorServer::PipelineOnChange(const db::ChangeEvent& ev) {
+  if (has_external_pipeline_) {
+    external_pipeline_.on_change(ev);
+    return;
+  }
+  invalidb_->OnChange(ev);
+}
+
+void QuaestorServer::PipelineOnChangeBatch(std::vector<db::ChangeEvent> batch) {
+  if (has_external_pipeline_) {
+    external_pipeline_.on_change_batch(std::move(batch));
+    return;
+  }
+  invalidb_->OnChangeBatch(std::move(batch));
 }
 
 // ---------------------------------------------------------------------------
@@ -618,7 +662,7 @@ webcache::HttpResponse QuaestorServer::FetchQuery(
     // Barrier: buffered changes precede the deregistration in stream
     // order; flushing after it would silently drop their notifications.
     FlushChanges();
-    invalidb_->DeregisterQuery(key);
+    PipelineDeregisterQuery(key);
     active_list_.SetRegistered(key, false);
     MemoErase(key);
     ebf_.ReportWrite(key);
@@ -747,7 +791,7 @@ webcache::HttpResponse QuaestorServer::FetchQuery(
         // evaluation; flushed afterwards they would re-match against the
         // fresh query as spurious post-activation stream events.
         FlushChanges();
-        st = invalidb_->RegisterQuery(query, registration_set, mask);
+        st = PipelineRegisterQuery(query, registration_set, mask);
       }
       if (st.ok() || st.IsAlreadyExists()) {
         active_list_.SetRegistered(key, true);
@@ -767,7 +811,7 @@ void QuaestorServer::EvictQuery(const std::string& query_key) {
   // invalidated, so conservatively mark the key stale for as long as any
   // issued TTL is unexpired and purge CDNs now.
   FlushChanges();  // barrier: pre-eviction changes must match while registered
-  invalidb_->DeregisterQuery(query_key);
+  PipelineDeregisterQuery(query_key);
   active_list_.SetRegistered(query_key, false);
   MemoErase(query_key);
   ebf_.ReportWrite(query_key);

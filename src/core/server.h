@@ -239,6 +239,29 @@ class QuaestorServer : public webcache::Origin {
   /// streams of §3.2.
   void AddNotificationTap(invalidb::NotificationSink tap);
 
+  /// Routes the InvaliDB *data path* — query (de)registrations and the
+  /// change stream — to an external matching cluster (e.g. workers
+  /// reached over TCP, src/net) instead of the in-process one. Health,
+  /// resize, fault-injection and stats stay on the local cluster object.
+  /// Install before serving traffic; not synchronized against in-flight
+  /// requests. Notifications from the external cluster come back through
+  /// OnExternalNotifications.
+  struct ExternalPipeline {
+    std::function<Status(const db::Query& query,
+                         const std::vector<db::Document>& initial_result,
+                         invalidb::EventMask events)>
+        register_query;
+    std::function<void(const std::string& query_key)> deregister_query;
+    std::function<void(const db::ChangeEvent& event)> on_change;
+    std::function<void(std::vector<db::ChangeEvent> batch)> on_change_batch;
+  };
+  void SetExternalPipeline(ExternalPipeline pipeline);
+
+  /// Invalidation feedback from an external pipeline: runs the same
+  /// memo-erase / EBF-flag / CDN-purge handling as local notifications.
+  void OnExternalNotifications(
+      const std::vector<invalidb::Notification>& batch);
+
   // -- Fault tolerance & degradation --
 
   /// True while the TTL cap is in force: an explicit operator/health
@@ -366,6 +389,16 @@ class QuaestorServer : public webcache::Origin {
   /// fills or the oldest buffered event ages out.
   void BufferChange(const db::ChangeEvent& ev);
 
+  /// Data-path dispatch: the external pipeline when one is installed,
+  /// the in-process cluster otherwise. Every data-path use of invalidb_
+  /// goes through these four; control-plane uses stay direct.
+  Status PipelineRegisterQuery(const db::Query& query,
+                               const std::vector<db::Document>& initial,
+                               invalidb::EventMask events);
+  void PipelineDeregisterQuery(const std::string& query_key);
+  void PipelineOnChange(const db::ChangeEvent& ev);
+  void PipelineOnChangeBatch(std::vector<db::ChangeEvent> batch);
+
   /// Applies side effects of a committed record write.
   void OnRecordWrite(const db::Document& after);
 
@@ -438,6 +471,8 @@ class QuaestorServer : public webcache::Origin {
   ttl::ActiveList active_list_;
   ttl::CapacityManager capacity_;
   std::unique_ptr<invalidb::InvalidbCluster> invalidb_;
+  ExternalPipeline external_pipeline_;
+  bool has_external_pipeline_ = false;
   std::unique_ptr<TransactionManager> transactions_;
   db::SchemaRegistry schemas_;
   AccessController auth_;

@@ -129,4 +129,34 @@ Result<Update> Update::Parse(const Value& spec) {
   return u;
 }
 
+Value Update::ToSpec() const {
+  Object spec;
+  for (const UpdateAction& a : actions_) {
+    const char* opname = "$set";
+    switch (a.op) {
+      case UpdateOp::kSet:
+        opname = "$set";
+        break;
+      case UpdateOp::kUnset:
+        opname = "$unset";
+        break;
+      case UpdateOp::kInc:
+        opname = "$inc";
+        break;
+      case UpdateOp::kPush:
+        opname = "$push";
+        break;
+      case UpdateOp::kPull:
+        opname = "$pull";
+        break;
+    }
+    Value& fields = spec[opname];
+    if (!fields.is_object()) fields = Object{};
+    // $unset parses any operand shape; serialize as true for clarity.
+    fields.as_object()[a.path] =
+        a.op == UpdateOp::kUnset ? Value(true) : a.operand;
+  }
+  return Value(std::move(spec));
+}
+
 }  // namespace quaestor::db

@@ -47,6 +47,12 @@ class Update {
   ///   {"$set": {"a.b": 1}, "$inc": {"n": 2}, "$push": {"tags": "x"}}
   static Result<Update> Parse(const Value& spec);
 
+  /// Inverse of Parse: rebuilds the operator document, so updates
+  /// round-trip over the wire (Parse(ToSpec()) preserves semantics; two
+  /// actions on the same path under one operator collapse to the last,
+  /// matching object-key semantics of the spec format).
+  Value ToSpec() const;
+
  private:
   std::vector<UpdateAction> actions_;
 };

@@ -143,7 +143,7 @@ Status ReliableSender::Send(std::string payload) {
     p.payload = std::move(payload);
     p.backoff = options_.retransmit_timeout;
     p.next_retransmit = clock_->NowMicros() + JitteredLocked(p.backoff);
-    next_deadline_ = std::min(next_deadline_, p.next_retransmit);
+    deadlines_.insert(p.next_retransmit);
     unacked_.emplace(seq, std::move(p));
   }
   kv_->QueuePush(queue_, std::move(wire));
@@ -157,7 +157,14 @@ void ReliableSender::ProcessAcks() {
     auto ack = reliable::DecodeAck(*msg);
     if (!ack.ok() || ack->sender != sender_id_) continue;
     std::lock_guard<std::mutex> lock(mu_);
-    unacked_.erase(ack->seq);
+    auto it = unacked_.find(ack->seq);
+    if (it == unacked_.end()) continue;
+    // Retire the acked message's retransmit deadline with it — if it held
+    // the earliest deadline, the idle-tick early-out must see the next
+    // one, not a stale minimum.
+    auto dl = deadlines_.find(it->second.next_retransmit);
+    if (dl != deadlines_.end()) deadlines_.erase(dl);
+    unacked_.erase(it);
   }
 }
 
@@ -166,17 +173,19 @@ size_t ReliableSender::RetransmitDue() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     const Micros now = clock_->NowMicros();
-    if (now < next_deadline_) return 0;  // nothing can be due yet
+    const Micros earliest =
+        deadlines_.empty() ? kNoDeadline : *deadlines_.begin();
+    if (now < earliest) return 0;  // nothing can be due yet
     retransmit_scans_++;
-    next_deadline_ = kNoDeadline;
     for (auto& [seq, p] : unacked_) {
-      if (now >= p.next_retransmit) {
-        resend.push_back(reliable::Encode(sender_id_, seq, p.payload));
-        p.backoff = std::min(p.backoff * 2, options_.max_backoff);
-        p.next_retransmit = now + JitteredLocked(p.backoff);
-        redeliveries_++;
-      }
-      next_deadline_ = std::min(next_deadline_, p.next_retransmit);
+      if (now < p.next_retransmit) continue;
+      resend.push_back(reliable::Encode(sender_id_, seq, p.payload));
+      auto dl = deadlines_.find(p.next_retransmit);
+      if (dl != deadlines_.end()) deadlines_.erase(dl);
+      p.backoff = std::min(p.backoff * 2, options_.max_backoff);
+      p.next_retransmit = now + JitteredLocked(p.backoff);
+      deadlines_.insert(p.next_retransmit);
+      redeliveries_++;
     }
   }
   for (std::string& m : resend) kv_->QueuePush(queue_, std::move(m));

@@ -7,6 +7,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 
@@ -128,10 +129,13 @@ class ReliableSender {
   uint64_t next_seq_ = 1;
   std::map<uint64_t, Pending> unacked_;
   uint64_t redeliveries_ = 0;
-  /// Earliest next_retransmit across unacked_ (kNoDeadline when empty).
-  /// Acks may leave it stale-low — that costs one empty scan, never a
-  /// missed retransmit.
-  Micros next_deadline_ = kNoDeadline;
+  /// Every unacked message's next_retransmit, kept exactly in sync with
+  /// unacked_ (inserted on Send, erased on ack, replaced on retransmit).
+  /// *begin() is the earliest deadline, so the idle-tick early-out never
+  /// goes stale: acking the message that held the minimum removes its
+  /// deadline here too, instead of leaving a stale-low cached minimum
+  /// that would trigger a needless full scan on the next tick.
+  std::multiset<Micros> deadlines_;
   uint64_t retransmit_scans_ = 0;
   uint64_t inflight_rejections_ = 0;
 };

@@ -1,0 +1,67 @@
+#include "net/framing.h"
+
+namespace quaestor::net {
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>(v & 0xff));
+}
+
+void AppendU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>(v & 0xff));
+}
+
+uint32_t ReadU32(const char* p) {
+  return (static_cast<uint32_t>(static_cast<unsigned char>(p[0])) << 24) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 8) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3]));
+}
+
+uint16_t ReadU16(const char* p) {
+  return static_cast<uint16_t>(
+      (static_cast<uint16_t>(static_cast<unsigned char>(p[0])) << 8) |
+      static_cast<uint16_t>(static_cast<unsigned char>(p[1])));
+}
+
+}  // namespace
+
+void AppendFrame(std::string* out, const Frame& frame) {
+  const size_t rest = 1 + 2 + frame.channel.size() + frame.payload.size();
+  AppendU32(out, static_cast<uint32_t>(rest));
+  out->push_back(static_cast<char>(frame.priority));
+  AppendU16(out, static_cast<uint16_t>(frame.channel.size()));
+  out->append(frame.channel);
+  out->append(frame.payload);
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(4 + 1 + 2 + frame.channel.size() + frame.payload.size());
+  AppendFrame(&out, frame);
+  return out;
+}
+
+FrameDecode DecodeFrame(std::string_view in, Frame* frame, size_t* consumed) {
+  if (in.size() < 4) return FrameDecode::kNeedMore;
+  const uint32_t rest = ReadU32(in.data());
+  if (rest > kMaxFrameBytes || rest < 1 + 2) return FrameDecode::kError;
+  if (in.size() < 4 + static_cast<size_t>(rest)) return FrameDecode::kNeedMore;
+  const char* p = in.data() + 4;
+  frame->priority = static_cast<uint8_t>(*p);
+  const uint16_t channel_len = ReadU16(p + 1);
+  if (static_cast<size_t>(channel_len) + 1 + 2 > rest) {
+    return FrameDecode::kError;  // channel overruns the frame
+  }
+  frame->channel.assign(p + 3, channel_len);
+  frame->payload.assign(p + 3 + channel_len, rest - 1 - 2 - channel_len);
+  *consumed = 4 + static_cast<size_t>(rest);
+  return FrameDecode::kFrame;
+}
+
+}  // namespace quaestor::net

@@ -116,7 +116,12 @@ void ExpirationCache::Put(const std::string& key, const std::string& body,
   e.etag = etag;
   e.stored_at = now;
   e.expire_at = now + ttl;
-  e.fetched_at = fetched_at > 0 ? fetched_at : now;
+  // 0 is the "direct origin store" sentinel, but a store at simulated t=0
+  // would record fetched_at == 0 and be re-read as "unset" when the entry
+  // propagates to another tier — that tier would then backfill its own
+  // clock, laundering the copy's true age (hierarchy.cc clamps its
+  // stale-shed marker the same way).
+  e.fetched_at = fetched_at > 0 ? fetched_at : std::max<Micros>(now, 1);
   e.last_modified = last_modified;
   e.stale_since = stale_since;
   // A refreshed entry earns a second chance like a hit would.

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 #include <string>
 
@@ -388,6 +389,119 @@ TEST(OwnWriteCoverageTest, ForeignWriteFlagsOwnWriteCacheEntry) {
   clock.Advance(2 * kMicrosPerSecond);
   auto r = alice.Read("t", "x");
   EXPECT_EQ(r.doc.Find("v")->as_int(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Retry backoff and budget edge cases
+// ---------------------------------------------------------------------------
+
+// Regression: the exponential backoff was clamped only AFTER narrowing
+// the double-domain product to Micros. With a max_backoff near the
+// int64 ceiling the cast itself overflowed (undefined behaviour — in
+// practice INT64_MIN), charging a huge *negative* wait to the response
+// latency instead of capping the backoff.
+TEST_F(ClientTest, BackoffClampSurvivesHugeMaxBackoff) {
+  ClientOptions copts;
+  copts.retry.enabled = true;
+  copts.retry.max_attempts = 40;
+  copts.retry.initial_backoff = kSecond;
+  copts.retry.multiplier = 8.0;
+  copts.retry.max_backoff = std::numeric_limits<Micros>::max();
+  MakeStack(copts);
+  ASSERT_TRUE(db_.Insert("t", "x", Doc(R"({"v":1})")).ok());
+  server_->SetUnavailable(true);
+  ReadResult r = client_->Read("t", "x");
+  EXPECT_TRUE(r.status.IsUnavailable());
+  EXPECT_EQ(client_->stats().retries, 39u);
+  // Every backoff wait must come out non-negative and capped.
+  EXPECT_GE(r.outcome.latency_ms, 0.0);
+}
+
+// Regression: with a fractional retry budget (0 < budget < 1) the
+// refill-on-success was capped at the budget itself, so the bucket could
+// never accumulate one whole token and retries stayed suppressed forever
+// — even against a healthy backend.
+TEST_F(ClientTest, FractionalBudgetRefillsToWholeToken) {
+  ClientOptions copts;
+  copts.retry.enabled = true;
+  copts.retry.max_attempts = 2;
+  copts.retry.retry_budget = 0.5;
+  copts.retry.budget_refill_per_success = 0.25;
+  MakeStack(copts);
+  ASSERT_TRUE(db_.Insert("t", "x", Doc(R"({"v":1})")).ok());
+
+  // Half a token cannot fund a retry.
+  server_->SetUnavailable(true);
+  (void)client_->Read("t", "x");
+  EXPECT_EQ(client_->stats().retries, 0u);
+  EXPECT_EQ(client_->stats().retries_suppressed, 1u);
+
+  // A healthy stretch refills to one whole token (bucket capacity is
+  // max(budget, 1.0), not the fractional budget).
+  server_->SetUnavailable(false);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client_->Read("t", "x").status.ok());
+  }
+  EXPECT_DOUBLE_EQ(client_->retry_tokens(), 1.0);
+
+  // ...which funds exactly one retry on the next outage. (Drop the
+  // warmed copies so the read actually reaches the origin.)
+  browser_->Remove("t/x");
+  cdn_->Purge("t/x");
+  server_->SetUnavailable(true);
+  (void)client_->Read("t", "x");
+  EXPECT_EQ(client_->stats().retries, 1u);
+}
+
+// Pinning: every successful fetch refills the retry budget — including a
+// 304 revalidation and a flagged stale-serve under overload. Both are ok
+// outcomes and must share the refill site with plain 200s.
+TEST_F(ClientTest, RevalidationAndStaleServeSuccessesRefillBudget) {
+  ClientOptions copts;
+  copts.consistency = ConsistencyLevel::kStrong;
+  copts.retry.enabled = true;
+  copts.retry.max_attempts = 2;
+  copts.retry.retry_budget = 4.0;
+  copts.retry.budget_refill_per_success = 0.5;
+  MakeStack(copts);
+  ASSERT_TRUE(db_.Insert("t", "x", Doc(R"({"v":1})")).ok());
+
+  // Burn one token so the refills below are observable under the cap.
+  server_->SetUnavailable(true);
+  (void)client_->Read("t", "x");
+  EXPECT_DOUBLE_EQ(client_->retry_tokens(), 3.0);
+  server_->SetUnavailable(false);
+
+  // A plain 200 refills...
+  ASSERT_TRUE(client_->Read("t", "x").status.ok());
+  EXPECT_DOUBLE_EQ(client_->retry_tokens(), 3.5);
+
+  // ...and so does a strong-consistency 304 revalidation.
+  const uint64_t revalidated = server_->stats().not_modified;
+  ASSERT_TRUE(client_->Read("t", "x").status.ok());
+  EXPECT_GT(server_->stats().not_modified, revalidated);
+  EXPECT_DOUBLE_EQ(client_->retry_tokens(), 4.0);
+
+  // Stale-serve leg: a second session with an impossible deadline and a
+  // sub-token budget. The CDN is purged, so its retained copy can only
+  // answer via the stale-serve path — each flagged success must refill
+  // until the bucket holds one whole token.
+  ClientOptions sopts;
+  sopts.retry.enabled = true;
+  sopts.retry.max_attempts = 2;
+  sopts.retry.retry_budget = 0.5;
+  sopts.retry.budget_refill_per_success = 0.25;
+  sopts.request_deadline = 1 * kMicrosPerMilli;
+  sopts.stale_serve.enabled = true;
+  sopts.stale_serve.max_age = 3600 * kSecond;
+  auto other = OtherClient(sopts);
+  cdn_->Purge("t/x");
+  for (int i = 0; i < 3; ++i) {
+    ReadResult sr = other->Read("t", "x");
+    ASSERT_TRUE(sr.status.ok());
+    EXPECT_TRUE(sr.outcome.served_stale_on_shed);
+  }
+  EXPECT_DOUBLE_EQ(other->retry_tokens(), 1.0);
 }
 
 }  // namespace

@@ -324,21 +324,59 @@ TEST(ReliableQueueTest, TickSkipsRetransmitScanUntilDeadline) {
   for (int i = 0; i < 100; ++i) sender.Tick();
   EXPECT_EQ(sender.retransmit_scans(), scans_before + 1);
 
-  // Acks clear the queue; the deadline lazily expires with one final
-  // scan, after which an idle sender never scans again.
+  // Acks clear the queue and retire the deadlines with the messages: an
+  // idle sender never scans again — not even one lazy-expiry scan.
   std::vector<std::string> got;
   invalidb::ReliableReceiver receiver(&kv, "q", opts);
   receiver.Poll([&](const std::string& p) { got.push_back(p); });
   EXPECT_EQ(got.size(), 50u);
   sender.Tick();  // consume acks
   ASSERT_EQ(sender.unacked(), 0u);
-  clock.Advance(opts.max_backoff * 4);
-  sender.Tick();  // stale deadline: one empty scan clears it
   const uint64_t idle_scans = sender.retransmit_scans();
-  clock.Advance(opts.max_backoff * 4);
+  clock.Advance(opts.max_backoff * 8);
   for (int i = 0; i < 100; ++i) sender.Tick();
   EXPECT_EQ(sender.retransmit_scans(), idle_scans);
   EXPECT_EQ(sender.redeliveries(), 50u);  // nothing re-sent after acks
+}
+
+// Regression: acking the message that held the earliest retransmit
+// deadline must retire that deadline with it. The sender used to cache a
+// scalar minimum that went stale-low on ack, so the next Tick between
+// the dead deadline and the real one paid a full (empty) scan of the
+// unacked map for a message that was already gone.
+TEST(ReliableQueueTest, AckRetiresEarliestDeadlineWithoutScan) {
+  SimulatedClock clock(0);
+  kv::KvStore kv(&clock);
+  invalidb::ReliableOptions opts = Reliable();
+  opts.jitter = 0.0;
+  invalidb::ReliableSender sender(&clock, &kv, "q", "s", opts);
+  invalidb::ReliableReceiver receiver(&kv, "q", opts);
+
+  sender.Send("m1");  // deadline: t0 + timeout
+  clock.Advance(opts.retransmit_timeout / 2);
+  sender.Send("m2");  // deadline: t0 + 1.5 * timeout
+  // The channel delivers m1 but eats m2, so only m1 gets acked.
+  const std::string m1_wire = kv.QueueTryPop("q").value();
+  ASSERT_TRUE(kv.QueueTryPop("q").has_value());
+  kv.QueuePush("q", m1_wire);
+  receiver.Poll([](const std::string&) {});
+  sender.ProcessAcks();
+  ASSERT_EQ(sender.unacked(), 1u);  // only m2 remains
+
+  // Between m1's retired deadline and m2's live one nothing is due, so
+  // the O(1) early-out must hold — a scan here means the ack left the
+  // earliest-deadline tracking stale.
+  const uint64_t scans = sender.retransmit_scans();
+  clock.Advance(3 * opts.retransmit_timeout / 4);  // t0 + 1.25 * timeout
+  sender.Tick();
+  EXPECT_EQ(sender.retransmit_scans(), scans);
+  EXPECT_EQ(sender.redeliveries(), 0u);
+
+  // m2's own deadline still fires on time.
+  clock.Advance(opts.retransmit_timeout / 2);  // t0 + 1.75 * timeout
+  sender.Tick();
+  EXPECT_EQ(sender.retransmit_scans(), scans + 1);
+  EXPECT_EQ(sender.redeliveries(), 1u);
 }
 
 TEST(ReliableQueueTest, ExponentialBackoffCapped) {

@@ -443,6 +443,68 @@ TEST_F(HierarchyTest, DoomedDeadlineSkipsOriginAndServesStale) {
   EXPECT_EQ(origin_.fetches, 1);  // no second origin visit
 }
 
+// Regression: an entry stored at simulated t=0 recorded fetched_at == 0,
+// which is also the "unset" sentinel. When the copy later propagated
+// from the CDN into the client cache, the receiving tier backfilled
+// fetched_at with ITS store time — laundering the copy's true age — and
+// a later shed served a body far older than max_age as if it were young.
+TEST_F(HierarchyTest, TimeZeroFetchCannotLaunderAgeAcrossTiers) {
+  origin_.ttl = 100 * kSecond;
+  (void)hierarchy_.Fetch("k", FetchMode::kNormal);  // t = 0: warms both tiers
+  client_cache_.Remove("k");  // only the CDN holds the t=0 copy
+
+  // t = 90 s: a CDN hit propagates the copy back into the client cache,
+  // carrying the original fetch time with it.
+  clock_.Advance(90 * kSecond);
+  FetchOutcome hit = hierarchy_.Fetch("k", FetchMode::kNormal);
+  ASSERT_TRUE(hit.ok);
+  ASSERT_EQ(hit.served_by, ServedBy::kInvalidationCache);
+
+  StaleServePolicy policy;
+  policy.enabled = true;
+  policy.ttl_cap = 1 * kSecond;
+  policy.max_age = 60 * kSecond;
+  hierarchy_.set_stale_serve(policy);
+
+  // t = 95 s: the server invalidates; t = 120 s: every copy is expired
+  // and the origin sheds. The body is 120 s old — past max_age — so the
+  // stale serve must refuse it, not age it from the 90 s propagation.
+  clock_.Advance(5 * kSecond);
+  ASSERT_TRUE(cdn_.Purge("k"));
+  clock_.Advance(25 * kSecond);
+  origin_.shed_mode = true;
+  FetchOutcome fo = hierarchy_.Fetch("k", FetchMode::kNormal);
+  EXPECT_FALSE(fo.ok);
+  EXPECT_TRUE(fo.shed);
+  EXPECT_FALSE(fo.served_stale_on_shed);
+}
+
+TEST_F(HierarchyTest, PurgeThenStaleServeAgesFromOriginalFetch) {
+  clock_.Advance(1);  // keep stored_at off the t=0 sentinel for exact ages
+  origin_.ttl = 100 * kSecond;
+  (void)hierarchy_.Fetch("k", FetchMode::kNormal);
+  client_cache_.Remove("k");  // only the CDN retains a copy
+  StaleServePolicy policy;
+  policy.enabled = true;
+  policy.ttl_cap = 1 * kSecond;
+  policy.max_age = 60 * kSecond;
+  hierarchy_.set_stale_serve(policy);
+
+  // A purge expires the fresh CDN copy in place; when the origin then
+  // sheds, the retained body may still absorb the crowd — flagged, and
+  // aged from its original fetch, not from the purge.
+  clock_.Advance(5 * kSecond);
+  ASSERT_TRUE(cdn_.Purge("k"));
+  origin_.shed_mode = true;
+  FetchOutcome fo = hierarchy_.Fetch("k", FetchMode::kNormal);
+  ASSERT_TRUE(fo.ok);
+  EXPECT_TRUE(fo.shed);
+  EXPECT_TRUE(fo.served_stale_on_shed);
+  EXPECT_EQ(fo.body, "origin-body");
+  EXPECT_EQ(fo.stale_entry_age, 5 * kSecond);
+  EXPECT_EQ(origin_.fetches, 2);
+}
+
 TEST(HierarchyBaselinesTest, UncachedAlwaysHitsOrigin) {
   SimulatedClock clock(0);
   FakeOrigin origin;
